@@ -1,0 +1,580 @@
+(* Benchmark harness regenerating every figure of the paper's evaluation
+   (§8): Figures 1-8 plus the Appendix E plans.  Run all targets with
+
+     dune exec bench/main.exe
+
+   or individual ones:
+
+     dune exec bench/main.exe -- fig1 fig5 plans micro [--rows N]
+
+   Row counts are scaled down from the paper's 3×10^5 (our substrate is an
+   in-memory interpreter, not PostgreSQL on a testbed); the claims under
+   test are the *shapes* — who wins, by roughly what factor, where the
+   crossovers fall.  See EXPERIMENTS.md for the paper-vs-measured record. *)
+
+open Relalg
+
+let default_rows =
+  match Sys.getenv_opt "SI_ROWS" with Some s -> int_of_string s | None -> 6000
+
+let rows = ref default_rows
+let seed = 2017
+
+(* ---- timing and the Vendor A model ---- *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The paper's Vendor A owes its edge to aggressive 4-core parallelism
+   (Appendix E).  On a >= 4-core host we run the real Domain-parallel
+   executor; this container exposes a single CPU, so there we run
+   single-domain and divide by a fixed effective-parallelism factor,
+   clearly labelled (see DESIGN.md). *)
+let vendor_workers, vendor_divisor, vendor_label =
+  if Domain.recommended_domain_count () >= 4 then (4, 1.0, "VendorA(4dom)")
+  else (1, 2.5, "VendorA(t/2.5)")
+
+let run_base catalog q = Core.Runner.run_baseline catalog q
+
+let run_vendor catalog q = Core.Runner.run_baseline ~workers:vendor_workers catalog q
+
+let time_vendor catalog q =
+  let r, t = time (fun () -> run_vendor catalog q) in
+  (r, t /. vendor_divisor)
+
+(* ---- catalog setup ---- *)
+
+let baseball_catalog ?(bt = true) ~rows () =
+  let catalog = Catalog.create () in
+  ignore (Workload.Baseball.register catalog ~rows ~seed);
+  Workload.Baseball.build_indexes catalog ~bt;
+  catalog
+
+let unpivoted_catalog ?(bt = true) ~rows () =
+  let catalog = Catalog.create () in
+  ignore (Workload.Baseball.register_unpivoted catalog ~rows ~seed);
+  Workload.Baseball.build_indexes catalog ~bt;
+  catalog
+
+let check_equal name a b =
+  if not (Relation.equal_bag a b) then
+    Printf.printf "!! RESULT MISMATCH on %s — investigate\n%!" name
+
+(* ---- Figure 1 ---- *)
+
+let techniques =
+  [ ("pruning", Core.Optimizer.only `Pruning);
+    ("memo", Core.Optimizer.only `Memo);
+    ("apriori", Core.Optimizer.only `Apriori);
+    ("all", Core.Optimizer.all_techniques) ]
+
+type fig1_row = {
+  qname : string;
+  base_t : float;
+  vendor_t : float;
+  tech_t : (string * float * bool) list;  (* name, seconds, applied? *)
+  all_report : Core.Runner.report;
+}
+
+let rec report_has_apriori (rep : Core.Runner.report) =
+  rep.Core.Runner.apriori <> []
+  || List.exists (fun (_, r) -> report_has_apriori r) rep.Core.Runner.cte_reports
+
+let fig1_measure catalog (qname, sql) =
+  let q = Sqlfront.Parser.parse sql in
+  let base, base_t = time (fun () -> run_base catalog q) in
+  let vend, vendor_t = time_vendor catalog q in
+  check_equal (qname ^ "/vendor") base vend;
+  let all_report = ref None in
+  let tech_t =
+    List.map
+      (fun (tname, tech) ->
+        let (r, rep), t = time (fun () -> Core.Runner.run ~tech catalog q) in
+        check_equal (qname ^ "/" ^ tname) base r;
+        if tname = "all" then all_report := Some rep;
+        let applied =
+          match tname with "apriori" -> report_has_apriori rep | _ -> true
+        in
+        (tname, t, applied))
+      techniques
+  in
+  Printf.printf "%-6s measured\n%!" qname;
+  { qname; base_t; vendor_t; tech_t; all_report = Option.get !all_report }
+
+let fig1 () =
+  Printf.printf
+    "=== Figure 1: normalized running times (PostgreSQL-baseline = 1.0) ===\n";
+  Printf.printf
+    "rows = %d; normalized time (absolute seconds); '-' = not applicable\n\n" !rows;
+  let catalog = baseball_catalog ~rows:!rows () in
+  let results = List.map (fig1_measure catalog) Workload.Queries.figure1 in
+  print_newline ();
+  Printf.printf "%-6s | %-16s | %-16s | %-16s | %-16s | %-16s | %-16s\n" "query"
+    "base" vendor_label "pruning" "memo" "apriori" "all";
+  List.iter
+    (fun r ->
+      let cell (t, applied) =
+        if not applied then "        -       "
+        else Printf.sprintf "%6.3f (%6.2fs)" (t /. r.base_t) t
+      in
+      let tech name =
+        let _, t, a = List.find (fun (n, _, _) -> n = name) r.tech_t in
+        cell (t, a)
+      in
+      Printf.printf "%-6s | %s | %s | %s | %s | %s | %s\n" r.qname
+        (cell (r.base_t, true))
+        (cell (r.vendor_t, true))
+        (tech "pruning") (tech "memo") (tech "apriori") (tech "all"))
+    results;
+  print_newline ();
+  results
+
+(* ---- Figure 2 ---- *)
+
+let pearson xs ys =
+  let n = float_of_int (Array.length xs) in
+  let mean a = Array.fold_left ( +. ) 0. a /. n in
+  let mx = mean xs and my = mean ys in
+  let cov = ref 0. and vx = ref 0. and vy = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      cov := !cov +. (dx *. dy);
+      vx := !vx +. (dx *. dx);
+      vy := !vy +. (dy *. dy))
+    xs;
+  !cov /. (sqrt (!vx *. !vy) +. 1e-9)
+
+let fig2 () =
+  Printf.printf "=== Figure 2: data distributions of the two attribute pairings ===\n";
+  Printf.printf
+    "(paper: same template query returns 1.8%% of records on one pairing and\n\
+    \ 3.1%% on the other at k=500 — the pairings differ in correlation)\n\n";
+  let catalog = baseball_catalog ~rows:!rows () in
+  let tbl = Catalog.find catalog Workload.Baseball.table_name in
+  let col name =
+    let i = Schema.index_of tbl.Catalog.rel.Relation.schema name in
+    Array.map (fun row -> Value.to_float row.(i)) tbl.Catalog.rel.Relation.rows
+  in
+  let total = Relation.cardinality tbl.Catalog.rel in
+  List.iter
+    (fun (x, y) ->
+      let xs = col x and ys = col y in
+      let corr = pearson xs ys in
+      let k = max 1 (500 * total / 300000) in
+      let q = Sqlfront.Parser.parse (Workload.Queries.skyband ~a:(x, y) ~k ()) in
+      let result, _ = Core.Runner.run catalog q in
+      Printf.printf
+        "pairing (%-5s, %-5s): pearson %+.2f; skyband k=%d returns %5d rows = %.1f%% of records\n"
+        x y corr k
+        (Relation.cardinality result)
+        (100. *. float_of_int (Relation.cardinality result) /. float_of_int total))
+    [ ("b_h", "b_hr"); ("b_2b", "b_3b") ];
+  print_newline ()
+
+(* ---- Figure 3 ---- *)
+
+let fig3 fig1_results =
+  Printf.printf "=== Figure 3: NLJP cache sizes at end of execution ===\n";
+  Printf.printf
+    "(paper: no cache above 3000 kB, most below 500 kB, mean 571 kB /\n\
+    \ 10371 rows at 3e5 input rows; Q5's rows approach its input size)\n\n";
+  Printf.printf "%-6s %12s %12s\n" "query" "cache rows" "cache kB";
+  let total_rows = ref 0 and total_kb = ref 0 and n = ref 0 in
+  List.iter
+    (fun r ->
+      let rows = Core.Runner.cache_rows r.all_report in
+      let kb = Core.Runner.cache_bytes r.all_report / 1024 in
+      total_rows := !total_rows + rows;
+      total_kb := !total_kb + kb;
+      incr n;
+      Printf.printf "%-6s %12d %12d\n" r.qname rows kb)
+    fig1_results;
+  Printf.printf "mean   %12d %12d\n\n" (!total_rows / max 1 !n) (!total_kb / max 1 !n)
+
+(* ---- Figure 4 ---- *)
+
+let fig4 () =
+  Printf.printf
+    "=== Figure 4: Q1 under index configurations (PK / PK+BT / PK+BT+CI) ===\n";
+  Printf.printf
+    "(paper: BT gives PostgreSQL ~2x; our worst case (PK only) still ~64x over\n\
+    \ base; CI a further gain on top of BT)\n\n";
+  let sql = List.assoc "Q1" Workload.Queries.figure1 in
+  let q = Sqlfront.Parser.parse sql in
+  let configs = [ ("PK", false, false); ("PK+BT", true, false); ("PK+BT+CI", true, true) ] in
+  Printf.printf "%-10s %12s %14s %14s %14s\n" "indexes" "base" "prune" "memo" "prune+memo";
+  List.iter
+    (fun (label, bt, ci) ->
+      let catalog = baseball_catalog ~bt ~rows:!rows () in
+      let base, base_t = time (fun () -> run_base catalog q) in
+      let nljp_config =
+        { Core.Nljp.default_config with Core.Nljp.inner_index = bt; cache_index = ci }
+      in
+      let run_tech tech =
+        let (r, _), t = time (fun () -> Core.Runner.run ~tech ~nljp_config catalog q) in
+        check_equal ("fig4/" ^ label) base r;
+        t
+      in
+      let prune_t = run_tech (Core.Optimizer.only `Pruning) in
+      let memo_t = run_tech (Core.Optimizer.only `Memo) in
+      let both_t =
+        run_tech { Core.Optimizer.no_techniques with memo = true; pruning = true }
+      in
+      Printf.printf "%-10s %10.2fs %12.3fs %12.3fs %12.3fs\n%!" label base_t prune_t
+        memo_t both_t)
+    configs;
+  (* Skyband prune caches stay tiny (a few dominators prune everything), so
+     CI cannot matter there at any scale.  Its lever is the complex query,
+     where p⪰ equates the category/attr dimensions and CI hash-partitions
+     the cache on them instead of scanning it linearly. *)
+  let rows_kv = !rows / 2 in
+  let catalog_kv = unpivoted_catalog ~rows:rows_kv () in
+  let q_cplx = Sqlfront.Parser.parse (Workload.Queries.complex ~threshold:(max 5 (rows_kv / 100))) in
+  let run_ci ci =
+    let nljp_config =
+      { Core.Nljp.default_config with Core.Nljp.memo = false; cache_index = ci }
+    in
+    let (_, rep), t =
+      time (fun () ->
+          Core.Runner.run ~tech:(Core.Optimizer.only `Pruning) ~nljp_config catalog_kv
+            q_cplx)
+    in
+    (t, Core.Runner.cache_rows rep)
+  in
+  let t_no, rows_no = run_ci false in
+  let t_ci, rows_ci = run_ci true in
+  Printf.printf
+    "\nCI sensitivity on the complex query (%d unpivoted rows), prune-only:\n\
+     without CI (flat cache scan) %.3fs (%d cache rows); with CI\n\
+     (cache partitioned on p⪰'s equality dimensions) %.3fs (%d cache rows)\n\n"
+    rows_kv t_no rows_no t_ci rows_ci
+
+(* ---- Figures 5-8: parameter sweeps ---- *)
+
+let sweep_header title expectation =
+  Printf.printf "=== %s ===\n%s\n\n" title expectation;
+  Printf.printf "%-10s %12s %14s %14s\n" "param" "base" vendor_label "smart"
+
+let sweep_row param base_t vendor_t smart_t =
+  Printf.printf "%-10s %10.2fs %12.2fs %12.3fs\n%!" param base_t vendor_t smart_t
+
+let fig5 () =
+  sweep_header "Figure 5: skyband running time vs HAVING threshold"
+    "(paper: base/vendor flat w.r.t. threshold — they apply HAVING last;\n\
+    \ ours grows with k, the advantage shrinking as the query gets less picky)";
+  let catalog = baseball_catalog ~rows:!rows () in
+  List.iter
+    (fun k ->
+      let q = Sqlfront.Parser.parse (Workload.Queries.skyband ~k ()) in
+      let base, base_t = time (fun () -> run_base catalog q) in
+      let _, vendor_t = time_vendor catalog q in
+      let (r, _), smart_t = time (fun () -> Core.Runner.run catalog q) in
+      check_equal "fig5" base r;
+      sweep_row (Printf.sprintf "k=%d" k) base_t vendor_t smart_t)
+    (* the last two thresholds scale with the input so the query stops being
+       an iceberg at all — the regime where the paper's advantage fades *)
+    [ 10; 25; 50; 100; 250; !rows / 4; !rows ];
+  print_newline ()
+
+let fig6 () =
+  sweep_header "Figure 6: complex query running time vs HAVING threshold"
+    "(paper: advantage *increases* with the threshold — >= gets pickier as it\n\
+    \ grows; the paper's configuration applies prune+memo only)";
+  let rows = !rows / 2 in
+  let catalog = unpivoted_catalog ~rows () in
+  Printf.printf "(unpivoted rows = %d; '+apriori' adds the Appendix D reducers)\n" rows;
+  List.iter
+    (fun threshold ->
+      let q = Sqlfront.Parser.parse (Workload.Queries.complex ~threshold) in
+      let base, base_t = time (fun () -> run_base catalog q) in
+      let _, vendor_t = time_vendor catalog q in
+      let paper_tech = { Core.Optimizer.no_techniques with memo = true; pruning = true } in
+      let (r, _), smart_t = time (fun () -> Core.Runner.run ~tech:paper_tech catalog q) in
+      let (r2, _), full_t = time (fun () -> Core.Runner.run catalog q) in
+      check_equal "fig6" base r;
+      check_equal "fig6/full" base r2;
+      sweep_row (Printf.sprintf "c=%d" threshold) base_t vendor_t smart_t;
+      Printf.printf "%-10s %40s +apriori: %8.3fs\n" "" "" full_t)
+    [ 20; 40; 60; 80 ];
+  print_newline ()
+
+let fig7 () =
+  sweep_header "Figure 7: skyband running time vs input size"
+    "(paper: all grow with size; ours lowest throughout)";
+  List.iter
+    (fun n ->
+      let catalog = baseball_catalog ~rows:n () in
+      let q = Sqlfront.Parser.parse (Workload.Queries.skyband ~k:50 ()) in
+      let base, base_t = time (fun () -> run_base catalog q) in
+      let _, vendor_t = time_vendor catalog q in
+      let (r, _), smart_t = time (fun () -> Core.Runner.run catalog q) in
+      check_equal "fig7" base r;
+      sweep_row (string_of_int n) base_t vendor_t smart_t)
+    [ !rows / 4; !rows / 2; !rows; !rows * 2 ];
+  print_newline ()
+
+let fig8 () =
+  sweep_header "Figure 8: complex query running time vs input size"
+    "(paper: vendor can win at the smallest size, where the fixed threshold is\n\
+    \ not selective at all; ours best as size grows)";
+  List.iter
+    (fun n ->
+      let catalog = unpivoted_catalog ~rows:n () in
+      let threshold = max 5 (!rows / 100) in
+      let q = Sqlfront.Parser.parse (Workload.Queries.complex ~threshold) in
+      let base, base_t = time (fun () -> run_base catalog q) in
+      let _, vendor_t = time_vendor catalog q in
+      let paper_tech = { Core.Optimizer.no_techniques with memo = true; pruning = true } in
+      let (r, _), smart_t = time (fun () -> Core.Runner.run ~tech:paper_tech catalog q) in
+      check_equal "fig8" base r;
+      sweep_row (string_of_int n) base_t vendor_t smart_t)
+    [ !rows / 8; !rows / 4; !rows / 2; !rows ];
+  print_newline ()
+
+(* ---- Appendix E: query plans ---- *)
+
+let plans () =
+  Printf.printf "=== Appendix E: baseline plans for Q1 ===\n\n";
+  let catalog = baseball_catalog ~rows:1000 () in
+  let q = Sqlfront.Parser.parse (List.assoc "Q1" Workload.Queries.figure1) in
+  let plan = Sqlfront.Binder.bind catalog q in
+  Printf.printf
+    "PostgreSQL-style plan (indexed nested loop, hash aggregate, HAVING last):\n%s\n"
+    (Plan.explain plan);
+  Printf.printf
+    "Vendor A executes the same plan with the outer side partitioned across\n\
+     %d domains (its Parallelism / Gather Streams nodes).\n\n"
+    vendor_workers;
+  Printf.printf "Smart-Iceberg NLJP decomposition for the same query (cf. Listing 7):\n";
+  let _, report = Core.Runner.run catalog q in
+  (match report.Core.Runner.nljp_describe with
+   | Some d -> print_string d
+   | None -> print_endline "(NLJP not applied)");
+  print_newline ()
+
+(* ---- Ablations of the §7 design knobs (future work in the paper,
+   implemented here as opt-in extensions) ---- *)
+
+let ablate () =
+  Printf.printf "=== Ablations: Q_B order, cache bound, memo strategy ===\n\n";
+  let catalog = baseball_catalog ~rows:!rows () in
+  let sql = Workload.Queries.skyband ~k:50 () in
+  let q = Sqlfront.Parser.parse sql in
+  (* Q_B exploration order (prune-only, so ordering is the only variable) *)
+  Printf.printf "Q_B exploration order (skyband k=50, pruning only):\n";
+  List.iter
+    (fun (label, order) ->
+      let nljp_config =
+        { Core.Nljp.default_config with Core.Nljp.memo = false; outer_order = order }
+      in
+      let (_, rep), t =
+        time (fun () ->
+            Core.Runner.run ~tech:(Core.Optimizer.only `Pruning) ~nljp_config catalog q)
+      in
+      let stats = Option.get rep.Core.Runner.nljp_stats in
+      Printf.printf "  %-22s %8.3fs  pruned %d / %d, inner evals %d\n%!" label t
+        stats.Core.Nljp.pruned stats.Core.Nljp.outer_rows stats.Core.Nljp.inner_evals)
+    [ ("storage order", `Default);
+      ("binding col 0 asc", `Asc 0);
+      ("binding col 0 desc", `Desc 0);
+      ("auto (from p⪰)", `Auto) ];
+  (* Cache bound *)
+  Printf.printf "\nCache bound (skyband k=50, prune+memo, keep-first policy):\n";
+  List.iter
+    (fun cap ->
+      let nljp_config =
+        { Core.Nljp.default_config with Core.Nljp.max_cache_rows = cap }
+      in
+      let (_, rep), t = time (fun () -> Core.Runner.run ~nljp_config catalog q) in
+      let stats = Option.get rep.Core.Runner.nljp_stats in
+      Printf.printf "  cap %-12s %8.3fs  cache rows %d, pruned %d, memo hits %d\n%!"
+        (match cap with None -> "unbounded" | Some c -> string_of_int c)
+        t
+        (stats.Core.Nljp.prune_cache_rows + stats.Core.Nljp.memo_cache_rows)
+        stats.Core.Nljp.pruned stats.Core.Nljp.memo_hits)
+    [ None; Some 1000; Some 100; Some 10; Some 0 ];
+  (* Memoization strategy: NLJP cache vs Listing 8 static rewrite *)
+  Printf.printf "\nMemoization strategy (memo only):\n";
+  let (r1, _), t_nljp =
+    time (fun () -> Core.Runner.run ~tech:(Core.Optimizer.only `Memo) catalog q)
+  in
+  let (r2, _), t_static =
+    time (fun () ->
+        Core.Runner.run ~tech:(Core.Optimizer.only `Memo)
+          ~memo_strategy:`Static_rewrite catalog q)
+  in
+  check_equal "ablate/memo-strategy" r1 r2;
+  Printf.printf "  NLJP cache    %8.3fs\n  static rewrite %7.3fs (Listing 8)\n\n" t_nljp
+    t_static;
+  (* Adaptive a-priori gate (first cut of the cost-based decisions): the
+     pairs query at a low threshold has an unselective reducer that costs
+     more than it saves — the gate should drop it. *)
+  Printf.printf "Adaptive a-priori gate (pairs query, a-priori only):\n";
+  List.iter
+    (fun c ->
+      let qp = Sqlfront.Parser.parse (Workload.Queries.pairs ~c ~k:50 ()) in
+      let (_, rep_off), t_off =
+        time (fun () -> Core.Runner.run ~tech:(Core.Optimizer.only `Apriori) catalog qp)
+      in
+      let (_, rep_on), t_on =
+        time (fun () ->
+            Core.Runner.run ~tech:(Core.Optimizer.only `Apriori) ~adaptive_apriori:true
+              catalog qp)
+      in
+      let applied rep =
+        List.exists (fun (_, r) -> r.Core.Runner.apriori <> []) rep.Core.Runner.cte_reports
+      in
+      Printf.printf
+        "  c=%-3d gate off: %6.3fs (reducer %s)   gate on: %6.3fs (reducer %s)\n%!" c
+        t_off
+        (if applied rep_off then "applied" else "absent")
+        t_on
+        (if applied rep_on then "kept" else "dropped"))
+    [ 2; 8 ]
+
+(* ---- Fang et al. grouping-stage baseline (the paper's reference [9]) ---- *)
+
+let fang () =
+  Printf.printf
+    "=== Fang et al. (VLDB'99) grouping-stage baselines over a join result ===\n";
+  Printf.printf
+    "(the historical iceberg algorithms the paper builds on: candidates from\n\
+    \ probabilistic passes, exact counts only for candidates)\n\n";
+  let catalog = Catalog.create () in
+  let n =
+    Workload.Basket.register catalog ~baskets:(!rows / 3) ~items:400 ~avg_size:6
+      ~seed:2017
+  in
+  let tbl = Catalog.find catalog Workload.Basket.table_name in
+  let base_rel =
+    Relation.make
+      (Schema.requalify "i1" tbl.Catalog.rel.Relation.schema)
+      tbl.Catalog.rel.Relation.rows
+  in
+  let joined =
+    Ops.hash_join
+      ~left_keys:[ Expr.col ~q:"i1" "bid" ]
+      ~right_keys:[ Expr.col ~q:"i2" "bid" ]
+      ~residual:Expr.tt base_rel
+      (Relation.make
+         (Schema.requalify "i2" tbl.Catalog.rel.Relation.schema)
+         tbl.Catalog.rel.Relation.rows)
+  in
+  let item1 = Schema.index_of joined.Relation.schema ~q:"i1" "item" in
+  let item2 = Schema.index_of joined.Relation.schema ~q:"i2" "item" in
+  let threshold = max 5 (n / 200) in
+  (* Size the bucket arrays so an average bucket stays well under the
+     threshold — Fang et al.'s memory budget assumption. *)
+  let config =
+    {
+      Fang.default_config with
+      Fang.buckets = max 1024 (4 * Relation.cardinality joined / threshold);
+    }
+  in
+  Printf.printf "basket rows %d, joined pairs %d, threshold %d, buckets %d\n\n" n
+    (Relation.cardinality joined) threshold config.Fang.buckets;
+  Printf.printf "%-12s %10s %12s %14s %12s\n" "algorithm" "time" "candidates"
+    "false positives" "counters";
+  let reference = ref None in
+  List.iter
+    (fun (name, alg) ->
+      let (r, stats), t =
+        time (fun () ->
+            Fang.iceberg_count ~config ~algorithm:alg joined ~key:[ item1; item2 ]
+              ~threshold)
+      in
+      (match !reference with
+       | None -> reference := Some r
+       | Some oracle -> check_equal ("fang/" ^ name) oracle r);
+      Printf.printf "%-12s %9.3fs %12d %14d %12d\n%!" name t stats.Fang.candidates
+        stats.Fang.false_positives stats.Fang.exact_counters)
+    [ ("naive", Fang.Naive); ("coarse", Fang.Coarse_count);
+      ("defer-count", Fang.Defer_count); ("multi-stage", Fang.Multi_stage) ];
+  print_newline ()
+
+(* ---- Bechamel micro-suite: one Test.make per figure ---- *)
+
+let micro () =
+  Printf.printf "=== Bechamel micro-suite (one Test.make per figure, small inputs) ===\n\n";
+  let open Bechamel in
+  let small = 800 in
+  let bb = baseball_catalog ~rows:small () in
+  let kv = unpivoted_catalog ~rows:(small / 2) () in
+  let smart catalog sql () =
+    ignore (Core.Runner.run catalog (Sqlfront.Parser.parse sql))
+  in
+  let tests =
+    [ Test.make ~name:"fig1_q1_all"
+        (Staged.stage (smart bb (List.assoc "Q1" Workload.Queries.figure1)));
+      Test.make ~name:"fig2_selectivity"
+        (Staged.stage (smart bb (Workload.Queries.skyband ~k:10 ())));
+      Test.make ~name:"fig3_cache_accounting"
+        (Staged.stage (fun () ->
+             let _, rep =
+               Core.Runner.run bb
+                 (Sqlfront.Parser.parse (Workload.Queries.skyband ~k:25 ()))
+             in
+             ignore (Core.Runner.cache_bytes rep)));
+      Test.make ~name:"fig4_q1_no_ci"
+        (Staged.stage (fun () ->
+             let cfg = { Core.Nljp.default_config with Core.Nljp.cache_index = false } in
+             ignore
+               (Core.Runner.run ~nljp_config:cfg bb
+                  (Sqlfront.Parser.parse (List.assoc "Q1" Workload.Queries.figure1)))));
+      Test.make ~name:"fig5_skyband_k50"
+        (Staged.stage (smart bb (Workload.Queries.skyband ~k:50 ())));
+      Test.make ~name:"fig6_complex"
+        (Staged.stage (smart kv (Workload.Queries.complex ~threshold:20)));
+      Test.make ~name:"fig7_skyband_sized"
+        (Staged.stage (smart bb (Workload.Queries.skyband ~k:25 ())));
+      Test.make ~name:"fig8_complex_sized"
+        (Staged.stage (smart kv (Workload.Queries.complex ~threshold:10)));
+      Test.make ~name:"pairs_q4"
+        (Staged.stage (smart bb (Workload.Queries.pairs ~c:3 ~k:20 ()))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "%-24s %10.3f ms/run\n%!" name (est /. 1e6)
+          | _ -> Printf.printf "%-24s (no estimate)\n%!" name)
+        analyzed)
+    tests;
+  print_newline ()
+
+(* ---- driver ---- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse_args = function
+    | [] -> []
+    | "--rows" :: n :: rest ->
+      rows := int_of_string n;
+      parse_args rest
+    | x :: rest -> x :: parse_args rest
+  in
+  let targets = parse_args args in
+  let all = targets = [] || List.mem "all" targets in
+  let want t = all || List.mem t targets in
+  let fig1_results = ref [] in
+  if want "fig1" || want "fig3" then fig1_results := fig1 ();
+  if want "fig2" then fig2 ();
+  if want "fig3" then fig3 !fig1_results;
+  if want "fig4" then fig4 ();
+  if want "fig5" then fig5 ();
+  if want "fig6" then fig6 ();
+  if want "fig7" then fig7 ();
+  if want "fig8" then fig8 ();
+  if want "plans" then plans ();
+  if want "ablate" then ablate ();
+  if want "fang" then fang ();
+  if want "micro" then micro ()

@@ -1,0 +1,197 @@
+(* smart-iceberg: command-line front end.
+
+   Load CSV tables (or generate the synthetic workloads), then run iceberg
+   SQL with chosen optimization techniques, explain the optimizer's
+   decisions, or compare all technique combinations against the baseline.
+
+     dune exec bin/iceberg_cli.exe -- run --table basket.csv \
+       "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+        WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 20"
+*)
+
+open Relalg
+open Cmdliner
+
+(* ---- shared setup ---- *)
+
+let load_tables catalog specs =
+  List.iter
+    (fun spec ->
+      (* spec: path.csv[:key=col1+col2] *)
+      let path, key =
+        match String.split_on_char ':' spec with
+        | [ p ] -> (p, None)
+        | [ p; k ] ->
+          (match String.split_on_char '=' k with
+           | [ "key"; cols ] -> (p, Some (String.split_on_char '+' cols))
+           | _ -> failwith ("bad table spec: " ^ spec))
+        | _ -> failwith ("bad table spec: " ^ spec)
+      in
+      let name = Filename.remove_extension (Filename.basename path) in
+      let rel = Csv.load path in
+      let keys = match key with Some k -> [ k ] | None -> [] in
+      Catalog.add_table catalog ~keys name rel;
+      Printf.printf "loaded %s: %d rows %s\n" name (Relation.cardinality rel)
+        (Schema.to_string rel.Relation.schema))
+    specs
+
+let synth_catalog catalog kind rows =
+  match kind with
+  | "baseball" ->
+    ignore (Workload.Baseball.register catalog ~rows ~seed:2017);
+    ignore (Workload.Baseball.register_unpivoted catalog ~rows ~seed:2017);
+    Workload.Baseball.build_indexes catalog;
+    Printf.printf "generated %s and %s (%d rows each)\n" Workload.Baseball.table_name
+      Workload.Baseball.unpivoted_name rows
+  | "basket" ->
+    let n =
+      Workload.Basket.register catalog ~baskets:(rows / 5) ~items:200 ~avg_size:5
+        ~seed:2017
+    in
+    Printf.printf "generated basket (%d rows)\n" n
+  | "objects" ->
+    ignore (Workload.Objects.register catalog ~n:rows ~dist:Workload.Objects.Independent ~seed:2017);
+    Printf.printf "generated object (%d rows)\n" rows
+  | other -> failwith ("unknown synthetic workload: " ^ other)
+
+let setup tables synth rows =
+  let catalog = Catalog.create () in
+  load_tables catalog tables;
+  List.iter (fun kind -> synth_catalog catalog kind rows) synth;
+  catalog
+
+let tech_of_string = function
+  | "none" -> Core.Optimizer.no_techniques
+  | "apriori" -> Core.Optimizer.only `Apriori
+  | "memo" -> Core.Optimizer.only `Memo
+  | "pruning" | "prune" -> Core.Optimizer.only `Pruning
+  | "all" -> Core.Optimizer.all_techniques
+  | other -> failwith ("unknown technique set: " ^ other)
+
+(* ---- commands ---- *)
+
+let run_cmd tables synth rows tech verbose max_rows sql =
+  let catalog = setup tables synth rows in
+  let q = Sqlfront.Parser.parse sql in
+  let t0 = Unix.gettimeofday () in
+  let result, report =
+    if tech = "none" then (Core.Runner.run_baseline catalog q, None)
+    else
+      let r, rep = Core.Runner.run ~tech:(tech_of_string tech) catalog q in
+      (r, Some rep)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  print_string (Relation.to_string ~max_rows (Relation.sorted result));
+  Printf.printf "(%d rows in %.3fs, techniques: %s)\n" (Relation.cardinality result)
+    elapsed tech;
+  (match report with
+   | Some rep when verbose ->
+     print_newline ();
+     print_endline "optimizer decisions:";
+     print_string (Core.Runner.report_to_string rep)
+   | _ -> ());
+  0
+
+let explain_cmd tables synth rows sql =
+  let catalog = setup tables synth rows in
+  let q = Sqlfront.Parser.parse sql in
+  let plan = Sqlfront.Binder.bind catalog q in
+  print_endline "baseline plan:";
+  print_string (Plan.explain plan);
+  print_newline ();
+  print_endline "cost estimates:";
+  print_string (Core.Cost.explain catalog plan);
+  print_newline ();
+  print_endline "smart-iceberg decisions:";
+  let _, rep = Core.Runner.run catalog q in
+  print_string (Core.Runner.report_to_string rep);
+  0
+
+let compare_cmd tables synth rows sql =
+  let catalog = setup tables synth rows in
+  let q = Sqlfront.Parser.parse sql in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let base, base_t = time (fun () -> Core.Runner.run_baseline catalog q) in
+  Printf.printf "%-10s %8.3fs  (%d rows)\n" "baseline" base_t (Relation.cardinality base);
+  let vendor, vendor_t =
+    time (fun () -> Core.Runner.run_baseline ~workers:4 catalog q)
+  in
+  Printf.printf "%-10s %8.3fs  %.1fx  %s\n" "parallel" vendor_t (base_t /. vendor_t)
+    (if Core.Runner.same_result base vendor then "ok" else "RESULT MISMATCH");
+  List.iter
+    (fun name ->
+      let (r, _), t = time (fun () -> Core.Runner.run ~tech:(tech_of_string name) catalog q) in
+      Printf.printf "%-10s %8.3fs  %.1fx  %s\n" name t (base_t /. t)
+        (if Core.Runner.same_result base r then "ok" else "RESULT MISMATCH"))
+    [ "apriori"; "memo"; "pruning"; "all" ];
+  0
+
+(* ---- cmdliner plumbing ---- *)
+
+let tables_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "table"; "t" ] ~docv:"FILE.csv[:key=a+b]"
+        ~doc:"Load a CSV file as a table named after the file. An optional \
+              $(b,key=col1+col2) suffix declares a candidate key (used by the \
+              safety checks).")
+
+let synth_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "synth" ] ~docv:"KIND"
+        ~doc:"Generate a synthetic workload: $(b,baseball), $(b,basket) or \
+              $(b,objects).")
+
+let rows_arg =
+  Arg.(
+    value & opt int 10000
+    & info [ "rows" ] ~docv:"N" ~doc:"Synthetic workload size.")
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+
+let tech_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "techniques"; "O" ] ~docv:"SET"
+        ~doc:"Optimizations to enable: $(b,none), $(b,apriori), $(b,memo), \
+              $(b,pruning) or $(b,all).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Show optimizer decisions.")
+
+let max_rows_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "max-rows" ] ~docv:"N" ~doc:"Result rows to display.")
+
+let run_t =
+  Cmd.v (Cmd.info "run" ~doc:"Run an iceberg query")
+    Term.(
+      const run_cmd $ tables_arg $ synth_arg $ rows_arg $ tech_arg $ verbose_arg
+      $ max_rows_arg $ sql_arg)
+
+let explain_t =
+  Cmd.v (Cmd.info "explain" ~doc:"Show the baseline plan and optimizer decisions")
+    Term.(const explain_cmd $ tables_arg $ synth_arg $ rows_arg $ sql_arg)
+
+let compare_t =
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Time the query under every technique set against the baseline")
+    Term.(const compare_cmd $ tables_arg $ synth_arg $ rows_arg $ sql_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "smart-iceberg" ~version:"1.0"
+       ~doc:"Iceberg query optimizer (SIGMOD'17 reproduction)")
+    [ run_t; explain_t; compare_t ]
+
+let () = exit (Cmd.eval' main)

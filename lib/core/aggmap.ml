@@ -1,0 +1,15 @@
+open Sqlfront.Ast
+
+let rec scalar f = function
+  | (S_const _ | S_col _) as s -> s
+  | S_binop (op, a, b) -> S_binop (op, scalar f a, scalar f b)
+  | S_neg a -> S_neg (scalar f a)
+  | S_agg a -> f a
+
+let rec pred f = function
+  | P_true -> P_true
+  | P_cmp (op, a, b) -> P_cmp (op, scalar f a, scalar f b)
+  | P_and (a, b) -> P_and (pred f a, pred f b)
+  | P_or (a, b) -> P_or (pred f a, pred f b)
+  | P_not a -> P_not (pred f a)
+  | P_in (es, q) -> P_in (List.map (scalar f) es, q)

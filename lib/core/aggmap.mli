@@ -1,0 +1,8 @@
+(** Replace aggregate subexpressions inside AST scalars/predicates (used to
+    retarget Φ and Λ onto computed aggregate columns). *)
+
+val scalar :
+  (Sqlfront.Ast.agg -> Sqlfront.Ast.scalar) -> Sqlfront.Ast.scalar -> Sqlfront.Ast.scalar
+
+val pred :
+  (Sqlfront.Ast.agg -> Sqlfront.Ast.scalar) -> Sqlfront.Ast.pred -> Sqlfront.Ast.pred

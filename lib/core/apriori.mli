@@ -1,0 +1,48 @@
+(** Generalized a-priori (§4): push the HAVING condition Φ down to one side
+    of the join as a {e reducer} subquery, shrinking the join input.
+
+    Safety (Definition 2) is established by Theorem 2's schema-based checks:
+    - Φ applicable to the target side, and
+    - Φ monotone and [G_R ∪ J_R=] a superkey of the {e other} side, or
+    - Φ anti-monotone and [G_L → J_L] on the target side.
+
+    Theorem 1's instance-based conditions (Definition 3) are also provided,
+    for tests and for the tightness examples (Example 5). *)
+
+type target = [ `Left | `Right ]
+
+val target_side : Qspec.t -> target -> Qspec.side
+val other_side : Qspec.t -> target -> Qspec.side
+
+(** Monotonicity of the query's Φ, with non-negativity facts from the
+    catalog. *)
+val classification : Relalg.Catalog.t -> Qspec.t -> Monotone.t
+
+(** Theorem 2 verdict; [Error reason] explains the failed check. *)
+val safe : Relalg.Catalog.t -> Qspec.t -> target -> (unit, string) result
+
+(** The reducer query Q_T: [SELECT G FROM side GROUP BY G HAVING Φ]. *)
+val reducer : Qspec.t -> target -> Sqlfront.Ast.query
+
+(** A reducer is vacuous when it provably keeps every tuple — e.g. a
+    count threshold [COUNT <= c] over a side whose groups are singletons
+    (this is why the paper reports a-priori as non-applicable to the skyband
+    queries).  Sound to apply, pointless to. *)
+val vacuous : Qspec.t -> target -> bool
+
+(** Per-alias replacements: each table of the target side holding at least
+    one reducer output column (Appendix D's Ť) is wrapped as
+    [(SELECT * FROM t WHERE (g…) IN (SELECT g… FROM reducer)) alias]. *)
+val replacements : Qspec.t -> target -> (string * Sqlfront.Ast.table_ref) list
+
+(** The rewritten FROM items of the full query. *)
+val reduced_from : Qspec.t -> target -> Sqlfront.Ast.table_ref list
+
+(** The fully rewritten query Q' (Definition 2). *)
+val apply : Qspec.t -> target -> Sqlfront.Ast.query
+
+(** Instance-based properties of Definition 3 (executed on current data —
+    test/diagnostic use). *)
+val non_inflationary : Relalg.Catalog.t -> Qspec.t -> target -> bool
+
+val non_deflationary : Relalg.Catalog.t -> Qspec.t -> target -> bool

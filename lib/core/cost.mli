@@ -1,0 +1,24 @@
+(** A first-cut cost model over physical plans — the cost-based optimization
+    the paper's conclusion names as the necessary next step.
+
+    Cardinalities are estimated System-R style: equality predicates select
+    1/distinct, ranges interpolate between column min/max (uniformity
+    assumption), unknown predicates default to 1/3; joins multiply input
+    cardinalities by the join predicate's selectivity; grouping yields
+    min(input, product of the group columns' distinct counts).  Costs count
+    processed tuples: a nested loop pays |L|·|R|, a hash join |L|+|R|+out,
+    an index nested loop |L|·|R|·bound-fraction, and so on.
+
+    The estimates feed the EXPLAIN output and {!Optimizer}'s adaptive
+    a-priori gate; they are deliberately simple but directionally sound
+    (see the tests). *)
+
+type estimate = { rows : float; cost : float }
+
+(** Estimate a plan bottom-up.  Statistics are computed per referenced base
+    table on demand and memoized per call. *)
+val estimate : Relalg.Catalog.t -> Relalg.Plan.t -> estimate
+
+(** EXPLAIN with per-node estimates appended, e.g.
+    [HashAggregate ... (rows≈120 cost≈45000)]. *)
+val explain : Relalg.Catalog.t -> Relalg.Plan.t -> string

@@ -1,0 +1,195 @@
+open Sqlfront
+open Relalg
+
+let applicable catalog (spec : Qspec.t) =
+  if not (Qspec.pred_applicable spec.Qspec.right spec.Qspec.having) then
+    Error "HAVING condition is not applicable to the inner side"
+  else if not (Qspec.lambda_applicable spec) then
+    Error "SELECT aggregates must range over the inner side only"
+  else begin
+    ignore catalog;
+    let algebraic_ok =
+      Qspec.outer_group_is_key spec
+      || List.for_all
+           (fun a -> Agg.is_algebraic (Binder.agg_func a))
+           (Qspec.all_aggs spec)
+    in
+    if algebraic_ok then Ok ()
+    else Error "non-algebraic aggregate with G_L not a key of the outer side"
+  end
+
+let mj i = Printf.sprintf "mj%d" i
+let mg i = Printf.sprintf "mg%d" i
+let ma i = Printf.sprintf "ma%d" i
+
+(* Partial aggregates (f^i) and the combining expression over LJR columns
+   (Λ^a(f^o(...)) inlined), per Appendix C. *)
+let decompose_ast a ~name =
+  let ljr_col n = Ast.S_col (Some "ljr", n) in
+  match a with
+  | Ast.A_count_star ->
+    ([ (name ^ "c", Ast.A_count_star) ], Ast.S_agg (Ast.A_sum (ljr_col (name ^ "c"))))
+  | Ast.A_count e ->
+    ([ (name ^ "c", Ast.A_count e) ], Ast.S_agg (Ast.A_sum (ljr_col (name ^ "c"))))
+  | Ast.A_sum e ->
+    ([ (name ^ "s", Ast.A_sum e) ], Ast.S_agg (Ast.A_sum (ljr_col (name ^ "s"))))
+  | Ast.A_min e ->
+    ([ (name ^ "m", Ast.A_min e) ], Ast.S_agg (Ast.A_min (ljr_col (name ^ "m"))))
+  | Ast.A_max e ->
+    ([ (name ^ "m", Ast.A_max e) ], Ast.S_agg (Ast.A_max (ljr_col (name ^ "m"))))
+  | Ast.A_avg e ->
+    let final =
+      Ast.S_binop
+        ( Expr.Div,
+          Ast.S_binop
+            ( Expr.Mul,
+              Ast.S_agg (Ast.A_sum (ljr_col (name ^ "s"))),
+              Ast.S_const (Value.Float 1.0) ),
+          Ast.S_agg (Ast.A_sum (ljr_col (name ^ "n"))) )
+    in
+    ([ (name ^ "s", Ast.A_sum e); (name ^ "n", Ast.A_count e) ], final)
+  | Ast.A_count_distinct _ ->
+    invalid_arg "Memo_rewrite: COUNT(DISTINCT) cannot be decomposed"
+
+let rewrite catalog (spec : Qspec.t) =
+  (match applicable catalog spec with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Memo_rewrite: " ^ e));
+  let left = spec.Qspec.left and right = spec.Qspec.right in
+  let key_case = Qspec.outer_group_is_key spec in
+  let jl = left.Qspec.join_cols in
+  let gr = right.Qspec.group_cols in
+  let aggs = Qspec.all_aggs spec in
+  (* Retarget a column reference that lives on the left side to ljt.mjK. *)
+  let left_col_to_ljt (q, n) =
+    match Schema.index_of left.Qspec.schema ?q n with
+    | exception Schema.Unknown_column _ -> Ast.S_col (q, n)
+    | exception Schema.Ambiguous_column _ -> Ast.S_col (q, n)
+    | idx ->
+      let canon = Schema.nth left.Qspec.schema idx in
+      let rec find i = function
+        | [] -> invalid_arg "Memo_rewrite: Θ column outside J_L"
+        | c :: rest -> if c = canon then i else find (i + 1) rest
+      in
+      Ast.S_col (Some "ljt", mj (find 0 jl))
+  in
+  (* Retarget a right-side group column to ljr.mgK. *)
+  let right_col_to_ljr (q, n) =
+    match Schema.index_of right.Qspec.schema ?q n with
+    | exception Schema.Unknown_column _ -> Ast.S_col (q, n)
+    | exception Schema.Ambiguous_column _ -> Ast.S_col (q, n)
+    | idx ->
+      let canon = Schema.nth right.Qspec.schema idx in
+      let rec find i = function
+        | [] -> invalid_arg "Memo_rewrite: inner column outside G_R in Λ/Φ"
+        | c :: rest -> if c = canon then i else find (i + 1) rest
+      in
+      Ast.S_col (Some "ljr", mg (find 0 gr))
+  in
+  (* LJT: the distinct bindings. *)
+  let ljt =
+    Ast.simple_select ~distinct:true
+      ?where:(match left.Qspec.local with [] -> None | ps -> Some (Ast.conj ps))
+      (List.mapi
+         (fun i c -> Ast.Sel_expr (Ast.S_col (c.Schema.qualifier, c.Schema.name), Some (mj i)))
+         jl)
+      (List.map (fun (n, a) -> Ast.T_table (n, Some a)) left.Qspec.tables)
+  in
+  (* LJR: join the bindings with the inner side and aggregate. *)
+  let theta' =
+    List.map (Ast.map_cols_pred left_col_to_ljt) spec.Qspec.theta
+  in
+  let ljr_where = theta' @ right.Qspec.local in
+  let ljr_group =
+    List.mapi (fun i _ -> (Some "ljt", mj i)) jl
+    @ List.map (fun c -> (c.Schema.qualifier, c.Schema.name)) gr
+  in
+  let ljr_key_select =
+    List.mapi (fun i _ -> Ast.Sel_expr (Ast.S_col (Some "ljt", mj i), Some (mj i))) jl
+    @ List.mapi
+        (fun i c ->
+          Ast.Sel_expr (Ast.S_col (c.Schema.qualifier, c.Schema.name), Some (mg i)))
+        gr
+  in
+  let ljr_from =
+    Ast.T_subquery (ljt, "ljt")
+    :: List.map (fun (n, a) -> Ast.T_table (n, Some a)) right.Qspec.tables
+  in
+  let partials, combiners =
+    if key_case then
+      ( List.mapi (fun i a -> [ (ma i, a) ]) aggs,
+        List.mapi
+          (fun i _ -> Ast.S_agg (Ast.A_max (Ast.S_col (Some "ljr", ma i))))
+          aggs )
+    else
+      List.split (List.mapi (fun i a -> decompose_ast a ~name:(ma i)) aggs)
+  in
+  let ljr =
+    Ast.simple_select
+      ~where:(Ast.conj ljr_where)
+      ~group_by:ljr_group
+      ?having:(if key_case then Some spec.Qspec.having else None)
+      (ljr_key_select
+      @ List.concat_map
+          (fun ps -> List.map (fun (n, a) -> Ast.Sel_expr (Ast.S_agg a, Some n)) ps)
+          partials)
+      ljr_from
+  in
+  (* Final query: outer side joined back to LJR on the binding. *)
+  let combine_agg a =
+    let rec find i = function
+      | [] -> invalid_arg "Memo_rewrite: uncollected aggregate"
+      | a' :: rest -> if Ast.equal_agg a a' then i else find (i + 1) rest
+    in
+    List.nth combiners (find 0 aggs)
+  in
+  let retarget_scalar s =
+    Ast.map_cols_scalar right_col_to_ljr (Aggmap.scalar combine_agg s)
+  in
+  let retarget_pred p =
+    Ast.map_cols_pred right_col_to_ljr (Aggmap.pred combine_agg p)
+  in
+  let final_select =
+    List.map
+      (function
+        | Ast.Sel_star -> invalid_arg "Memo_rewrite: SELECT *"
+        | Ast.Sel_expr (s, alias) -> Ast.Sel_expr (retarget_scalar s, alias))
+      spec.Qspec.select
+  in
+  let final_where =
+    left.Qspec.local
+    @ List.mapi
+        (fun i c ->
+          Ast.P_cmp
+            ( Expr.Eq,
+              Ast.S_col (c.Schema.qualifier, c.Schema.name),
+              Ast.S_col (Some "ljr", mj i) ))
+        jl
+  in
+  let final_group =
+    List.filter_map
+      (fun (q, n) ->
+        match Schema.index_of left.Qspec.schema ?q n with
+        | _ -> Some (q, n)
+        | exception Schema.Unknown_column _ ->
+          (* right-side group column: use its LJR alias *)
+          (match Schema.index_of right.Qspec.schema ?q n with
+           | idx ->
+             let canon = Schema.nth right.Qspec.schema idx in
+             let rec find i = function
+               | [] -> None
+               | c :: rest -> if c = canon then Some i else find (i + 1) rest
+             in
+             Option.map (fun i -> (Some "ljr", mg i)) (find 0 gr)
+           | exception Schema.Unknown_column _ -> Some (q, n))
+        | exception Schema.Ambiguous_column _ -> Some (q, n))
+      spec.Qspec.group_by
+  in
+  Ast.simple_select
+    ~where:(Ast.conj final_where)
+    ~group_by:final_group
+    ?having:(if key_case then None else Some (retarget_pred spec.Qspec.having))
+    ~order_by:spec.Qspec.query.Ast.order_by
+    ?limit:spec.Qspec.query.Ast.limit final_select
+    (List.map (fun (n, a) -> Ast.T_table (n, Some a)) left.Qspec.tables
+    @ [ Ast.T_subquery (ljr, "ljr") ])

@@ -1,0 +1,13 @@
+(** Static memoization rewrite (Appendix C, Listing 8).
+
+    Rewrites the iceberg query into a three-stage SQL query: LJT (the
+    distinct bindings), LJR (aggregates per binding × G_R partition, with Φ
+    applied there when [G_L → A_L]), and a final join of the outer side back
+    to LJR — combining algebraic partial aggregates when [G_L → A_L] does
+    not hold.  Unlike NLJP-based memoization this needs no new operator and
+    handles [G_R ≠ ∅] directly. *)
+
+val applicable : Relalg.Catalog.t -> Qspec.t -> (unit, string) result
+
+(** The rewritten query; raises [Invalid_argument] when not applicable. *)
+val rewrite : Relalg.Catalog.t -> Qspec.t -> Sqlfront.Ast.query

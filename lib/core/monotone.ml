@@ -1,0 +1,84 @@
+open Sqlfront.Ast
+
+type t = Monotone | Anti_monotone | Both | Neither
+
+let to_string = function
+  | Monotone -> "monotone"
+  | Anti_monotone -> "anti-monotone"
+  | Both -> "set-insensitive"
+  | Neither -> "neither"
+
+let is_monotone = function Monotone | Both -> true | Anti_monotone | Neither -> false
+
+let is_anti_monotone = function
+  | Anti_monotone | Both -> true
+  | Monotone | Neither -> false
+
+let flip = function
+  | Monotone -> Anti_monotone
+  | Anti_monotone -> Monotone
+  | Both -> Both
+  | Neither -> Neither
+
+(* Conjunction and disjunction both preserve the common class. *)
+let combine a b =
+  match a, b with
+  | Both, x | x, Both -> x
+  | Monotone, Monotone -> Monotone
+  | Anti_monotone, Anti_monotone -> Anti_monotone
+  | _ -> Neither
+
+(* Is a scalar expression non-negative and monotonically non-decreasing in
+   its inputs?  Sums and products of non-negative columns and non-negative
+   constants qualify; this is what SUM thresholds need. *)
+let rec nonneg_scalar nonneg = function
+  | S_const (Relalg.Value.Int i) -> i >= 0
+  | S_const (Relalg.Value.Float f) -> f >= 0.
+  | S_const _ -> false
+  | S_col (q, n) -> nonneg (q, n)
+  | S_binop (Relalg.Expr.Add, a, b) | S_binop (Relalg.Expr.Mul, a, b) ->
+    nonneg_scalar nonneg a && nonneg_scalar nonneg b
+  | S_binop (Relalg.Expr.Sub, _, _) | S_binop (Relalg.Expr.Div, _, _) -> false
+  | S_neg _ -> false
+  | S_agg _ -> false
+
+(* Growing the input set can only move the aggregate in one direction (or
+   either).  COUNT and MAX grow; MIN shrinks; SUM of a non-negative
+   expression grows. *)
+type direction = Grows | Shrinks | Unknown
+
+let agg_direction nonneg = function
+  | A_count_star | A_count _ | A_count_distinct _ -> Grows
+  | A_max _ -> Grows
+  | A_min _ -> Shrinks
+  | A_sum e -> if nonneg_scalar nonneg e then Grows else Unknown
+  | A_avg _ -> Unknown
+
+let classify ~nonneg phi =
+  let atom op lhs rhs =
+    let normalized =
+      match lhs, rhs with
+      | S_agg a, c when is_agg_free c -> Some (a, op, c)
+      | c, S_agg a when is_agg_free c -> Some (a, Relalg.Expr.flip_cmp op, c)
+      | _ -> None
+    in
+    match normalized with
+    | None ->
+      if is_agg_free lhs && is_agg_free rhs then Both else Neither
+    | Some (agg, op, _threshold) ->
+      (match agg_direction nonneg agg, op with
+       | Grows, (Relalg.Expr.Ge | Relalg.Expr.Gt) -> Monotone
+       | Grows, (Relalg.Expr.Le | Relalg.Expr.Lt) -> Anti_monotone
+       | Shrinks, (Relalg.Expr.Ge | Relalg.Expr.Gt) -> Anti_monotone
+       | Shrinks, (Relalg.Expr.Le | Relalg.Expr.Lt) -> Monotone
+       | _, (Relalg.Expr.Eq | Relalg.Expr.Ne) -> Neither
+       | Unknown, _ -> Neither)
+  in
+  let rec go = function
+    | P_true -> Both
+    | P_cmp (op, a, b) -> atom op a b
+    | P_and (a, b) | P_or (a, b) -> combine (go a) (go b)
+    | P_not a -> flip (go a)
+    | P_in _ -> Neither
+  in
+  go phi

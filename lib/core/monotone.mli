@@ -1,0 +1,28 @@
+(** Monotonicity classification of HAVING conditions (Definition 1, Table 2).
+
+    A condition Φ is monotone when T ⊆ T' implies Φ(T) ⇒ Φ(T'), and
+    anti-monotone when T ⊇ T' implies Φ(T) ⇒ Φ(T').  Set-insensitive
+    conditions (no aggregates) are [Both].  The classification is
+    conservative: anything unrecognized is [Neither].
+
+    Note on Table 2: the paper's table lists MIN(A) >= c as monotone and
+    MIN(A) <= c as anti-monotone, but under Definition 1 the directions for
+    MIN are the mirror image of MAX (growing a set can only decrease its
+    minimum); we implement the mathematically consistent classification
+    (MIN >= c anti-monotone, MIN <= c monotone) and record the discrepancy
+    in DESIGN.md.
+
+    SUM thresholds are only classified when the argument is provably
+    non-negative (Table 2's dom(A) ⊆ ℝ≥0 caveat), via the [nonneg] oracle
+    backed by catalog domain facts. *)
+
+type t = Monotone | Anti_monotone | Both | Neither
+
+val to_string : t -> string
+val is_monotone : t -> bool
+val is_anti_monotone : t -> bool
+
+(** [classify ~nonneg phi]. [nonneg] answers whether a column's domain is
+    known ⊆ ℝ≥0. *)
+val classify :
+  nonneg:(string option * string -> bool) -> Sqlfront.Ast.pred -> t

@@ -1,0 +1,763 @@
+open Relalg
+open Sqlfront
+
+type config = {
+  pruning : bool;
+  memo : bool;
+  cache_index : bool;
+  inner_index : bool;
+  outer_order : [ `Default | `Auto | `Asc of int | `Desc of int ];
+  max_cache_rows : int option;
+}
+
+let default_config =
+  {
+    pruning = true;
+    memo = true;
+    cache_index = true;
+    inner_index = true;
+    outer_order = `Default;
+    max_cache_rows = None;
+  }
+
+type stats = {
+  mutable outer_rows : int;
+  mutable inner_evals : int;
+  mutable pruned : int;
+  mutable memo_hits : int;
+  mutable prune_cache_rows : int;
+  mutable memo_cache_rows : int;
+  mutable cache_bytes : int;
+  mutable pruning_on : bool;
+  mutable memo_on : bool;
+  mutable notes : string list;
+}
+
+let fresh_stats () =
+  {
+    outer_rows = 0;
+    inner_evals = 0;
+    pruned = 0;
+    memo_hits = 0;
+    prune_cache_rows = 0;
+    memo_cache_rows = 0;
+    cache_bytes = 0;
+    pruning_on = false;
+    memo_on = false;
+    notes = [];
+  }
+
+type t = {
+  catalog : Catalog.t;
+  spec : Qspec.t;
+  overrides : (string * Ast.table_ref) list;
+  config : config;
+  cls : Monotone.t;
+  key_case : bool;  (* G_L → A_L *)
+  all_aggs : Ast.agg list;
+  subsume : Subsume.t option;
+  prune_reason : string option;  (* why pruning is off, if it is *)
+  memo_reason : string option;
+  stats : stats;
+}
+
+(* ---- build-time checks ---- *)
+
+let value_bytes = function
+  | Value.Null -> 8
+  | Value.Int _ | Value.Float _ -> 8
+  | Value.Bool _ -> 1
+  | Value.Str s -> 16 + String.length s
+
+let row_bytes row = 24 + Array.fold_left (fun a v -> a + value_bytes v) 0 row
+
+(* Sample a column's type from its owning base table. *)
+let col_numeric catalog (spec : Qspec.t) col =
+  let find_in (side : Qspec.side) =
+    match col.Schema.qualifier with
+    | None -> None
+    | Some alias ->
+      List.find_opt (fun (_, a) -> String.equal a alias) side.Qspec.tables
+  in
+  let owner =
+    match find_in spec.Qspec.left with
+    | Some x -> Some x
+    | None -> find_in spec.Qspec.right
+  in
+  match owner with
+  | None -> false
+  | Some (tname, _) ->
+    let tbl = Catalog.find catalog tname in
+    (match Schema.index_of tbl.Catalog.rel.Relation.schema col.Schema.name with
+     | exception Schema.Unknown_column _ -> false
+     | idx ->
+       let rec sample i =
+         if i >= Relation.cardinality tbl.Catalog.rel then true (* empty: assume numeric *)
+         else
+           match tbl.Catalog.rel.Relation.rows.(i).(idx) with
+           | Value.Int _ | Value.Float _ -> true
+           | Value.Str _ | Value.Bool _ -> false
+           | Value.Null -> sample (i + 1)
+       in
+       sample 0)
+
+let build ?(overrides = []) catalog (spec : Qspec.t) config =
+  if not (Qspec.pred_applicable spec.Qspec.right spec.Qspec.having) then
+    Error "HAVING condition is not applicable to the inner side"
+  else if not (Qspec.lambda_applicable spec) then
+    Error "SELECT aggregates must range over the inner side only"
+  else begin
+    let cls =
+      Monotone.classify ~nonneg:(Qspec.col_nonneg catalog spec) spec.Qspec.having
+    in
+    let left = spec.Qspec.left in
+    let key_case = Qspec.outer_group_is_key spec in
+    (* Pruning conditions (Theorem 3). *)
+    let prune_reason =
+      if not config.pruning then Some "disabled by configuration"
+      else if not key_case then Some "G_L is not a superkey of the outer side"
+      else if
+        Monotone.is_anti_monotone cls
+        && spec.Qspec.right.Qspec.group_cols <> []
+      then Some "anti-monotone HAVING requires no inner-side GROUP BY columns"
+      else if cls = Monotone.Neither then
+        Some "HAVING condition is neither monotone nor anti-monotone"
+      else None
+    in
+    let subsume =
+      match prune_reason with
+      | Some _ -> None
+      | None ->
+        let theta =
+          Expr.canonicalize
+            (Schema.append left.Qspec.schema spec.Qspec.right.Qspec.schema)
+            (Qspec.theta_expr catalog spec)
+        in
+        Subsume.derive ~theta ~jl:left.Qspec.join_cols
+          ~jr:spec.Qspec.right.Qspec.join_cols
+          ~numeric:(col_numeric catalog spec)
+    in
+    let prune_reason =
+      match prune_reason, subsume with
+      | Some r, _ -> Some r
+      | None, None -> Some "no subsumption predicate derivable from Θ"
+      | None, Some _ -> None
+    in
+    (* Memoization conditions (§6 / Appendix C). *)
+    let all_aggs = Qspec.all_aggs spec in
+    let algebraic_ok =
+      key_case
+      || List.for_all
+           (fun a -> Relalg.Agg.is_algebraic (Sqlfront.Binder.agg_func a))
+           all_aggs
+    in
+    let jl_key =
+      (* J_L → A_L means bindings are distinct: memoization cannot pay off. *)
+      Fdreason.Fd.superkey left.Qspec.fds ~all:(Qspec.side_attrs left)
+        (List.map Qspec.col_name left.Qspec.join_cols)
+    in
+    let memo_reason =
+      if not config.memo then Some "disabled by configuration"
+      else if not algebraic_ok then
+        Some "non-algebraic aggregate with G_L not a key of the outer side"
+      else if jl_key then Some "J_L determines the outer side: bindings never repeat"
+      else None
+    in
+    if (not key_case) && not algebraic_ok then
+      Error "non-algebraic aggregates with G_L not a key cannot be combined"
+    else
+      Ok
+        {
+          catalog;
+          spec;
+          overrides;
+          config;
+          cls;
+          key_case;
+          all_aggs;
+          subsume;
+          prune_reason;
+          memo_reason;
+          stats = fresh_stats ();
+        }
+  end
+
+(* ---- pruning cache ---- *)
+
+module Prune_cache = struct
+  (* Three physical layouts for the cache of unpromising bindings:
+     - [Partitioned]: p⪰ implies equality on some binding dimensions
+       (equality Θ conjuncts), so only cache entries agreeing with the probe
+       on those dimensions can match — hash-partition on them (this is what
+       makes pruning effective for the "complex" query, whose p⪰ equates
+       category and both attr dimensions);
+     - [Sorted]: CI configuration with a numeric first binding column whose
+       order is constrained by p⪰ — binary-search to a candidate range;
+     - [Flat]: plain list scan. *)
+  type restrict = All | Le of float | Ge of float
+
+  type sorted = {
+    mutable rows : Row.t array;
+    mutable keys : float array;
+    mutable len : int;
+    key_of : Row.t -> float;
+  }
+
+  type t =
+    | Flat of { mutable items : Row.t list; mutable n : int }
+    | Sorted of sorted
+    | Partitioned of {
+        dims : int list;
+        tbl : Row.t list ref Row.Tbl.t;
+        mutable n : int;
+      }
+
+  let flat () = Flat { items = []; n = 0 }
+
+  let sorted ~key_of =
+    Sorted { rows = Array.make 64 [||]; keys = Array.make 64 0.; len = 0; key_of }
+
+  let partitioned dims = Partitioned { dims; tbl = Row.Tbl.create 256; n = 0 }
+
+  let ensure t =
+    if t.len >= Array.length t.rows then begin
+      let rows = Array.make (2 * Array.length t.rows) [||] in
+      let keys = Array.make (2 * Array.length t.keys) 0. in
+      Array.blit t.rows 0 rows 0 t.len;
+      Array.blit t.keys 0 keys 0 t.len;
+      t.rows <- rows;
+      t.keys <- keys
+    end
+
+  (* First position whose key is >= k (resp. > k). *)
+  let lower_bound t k =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.keys.(mid) < k then go (mid + 1) hi else go lo mid
+    in
+    go 0 t.len
+
+  let upper_bound t k =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.keys.(mid) <= k then go (mid + 1) hi else go lo mid
+    in
+    go 0 t.len
+
+  let add cache row =
+    match cache with
+    | Flat f ->
+      f.items <- row :: f.items;
+      f.n <- f.n + 1
+    | Sorted t ->
+      ensure t;
+      let k = t.key_of row in
+      let pos = lower_bound t k in
+      Array.blit t.rows pos t.rows (pos + 1) (t.len - pos);
+      Array.blit t.keys pos t.keys (pos + 1) (t.len - pos);
+      t.rows.(pos) <- row;
+      t.keys.(pos) <- k;
+      t.len <- t.len + 1
+    | Partitioned p ->
+      let key = Row.project row p.dims in
+      (match Row.Tbl.find_opt p.tbl key with
+       | Some cell -> cell := row :: !cell
+       | None -> Row.Tbl.add p.tbl key (ref [ row ]));
+      p.n <- p.n + 1
+
+  (* Does any candidate cache row satisfy [test]?  [probe] is the binding
+     being tested (used to locate the partition / range). *)
+  let exists cache ~probe ~restrict test =
+    match cache with
+    | Flat f -> List.exists test f.items
+    | Sorted t ->
+      let lo, hi =
+        match restrict with
+        | All -> (0, t.len)
+        | Le k -> (0, upper_bound t k)
+        | Ge k -> (lower_bound t k, t.len)
+      in
+      let rec go i = i < hi && (test t.rows.(i) || go (i + 1)) in
+      go lo
+    | Partitioned p ->
+      (match Row.Tbl.find_opt p.tbl (Row.project probe p.dims) with
+       | None -> false
+       | Some cell -> List.exists test !cell)
+
+  let length = function
+    | Flat f -> f.n
+    | Sorted t -> t.len
+    | Partitioned p -> p.n
+
+  let bytes cache =
+    match cache with
+    | Flat f -> List.fold_left (fun acc r -> acc + row_bytes r) 0 f.items
+    | Sorted t ->
+      let total = ref (8 * t.len) in
+      for i = 0 to t.len - 1 do
+        total := !total + row_bytes t.rows.(i)
+      done;
+      !total
+    | Partitioned p ->
+      Row.Tbl.fold
+        (fun key cell acc ->
+          acc + row_bytes key
+          + List.fold_left (fun acc r -> acc + row_bytes r) 0 !cell)
+        p.tbl 0
+end
+
+(* ---- execution ---- *)
+
+type partition = { v : Row.t; states : Agg.state list; finals : Value.t array }
+
+let execute op =
+  let { catalog; spec; overrides; config; cls; key_case; all_aggs; subsume; _ } = op in
+  let stats = op.stats in
+  stats.notes <-
+    (match op.prune_reason with
+     | Some r when config.pruning -> [ "pruning off: " ^ r ]
+     | _ -> [])
+    @ (match op.memo_reason with
+       | Some r when config.memo -> [ "memo off: " ^ r ]
+       | _ -> []);
+  let left_side = spec.Qspec.left and right_side = spec.Qspec.right in
+  (* Q_B: materialize the outer side; Q_R's relation: the inner side. *)
+  let l_rel = Binder.run catalog (Qspec.side_query ~overrides left_side) in
+  let r_rel = Binder.run catalog (Qspec.side_query ~overrides right_side) in
+  let l_schema = l_rel.Relation.schema and r_schema = r_rel.Relation.schema in
+  let jl_idx =
+    List.map (fun c -> Schema.index_of_col l_schema c) left_side.Qspec.join_cols
+  in
+  (* Optional Q_B exploration order (an ORDER BY on the binding query).
+     [`Auto] wants the most-subsuming bindings first so the cache fills with
+     maximally useful unpromising entries: with an anti-monotone Φ a binding
+     b prunes when b ⪰ cached, so cache ⪰-small entries early — if p⪰
+     implies w0 ≤ wp0 ("subsuming means smaller"), that is descending order
+     on the first binding column; the monotone case and the opposite p⪰
+     direction mirror this. *)
+  let auto_order () =
+    match subsume with
+    | None -> `Default
+    | Some su ->
+      let w0 = Qelim.Linexpr.var "w0" and wp0 = Qelim.Linexpr.var "wp0" in
+      let w_le_wp = Qelim.Qe.implies_atom su.Subsume.formula (Qelim.Atom.le w0 wp0) in
+      let wp_le_w = Qelim.Qe.implies_atom su.Subsume.formula (Qelim.Atom.le wp0 w0) in
+      let anti = Monotone.is_anti_monotone cls in
+      if w_le_wp && not wp_le_w then if anti then `Desc 0 else `Asc 0
+      else if wp_le_w && not w_le_wp then if anti then `Asc 0 else `Desc 0
+      else `Default
+  in
+  let l_rel =
+    let by dim flipped =
+      match List.nth_opt jl_idx dim with
+      | None -> l_rel
+      | Some col ->
+        Relation.sort_by
+          (fun a b ->
+            let c = Value.compare_total a.(col) b.(col) in
+            if flipped then -c else c)
+          l_rel
+    in
+    let order =
+      match config.outer_order with `Auto -> auto_order () | o -> (o :> [ `Default | `Auto | `Asc of int | `Desc of int ])
+    in
+    match order with
+    | `Default | `Auto -> l_rel
+    | `Asc dim -> by dim false
+    | `Desc dim -> by dim true
+  in
+  let binding_schema = Schema.project l_schema jl_idx in
+  let theta =
+    Expr.canonicalize
+      (Schema.append binding_schema r_schema)
+      (Qspec.theta_expr catalog spec)
+  in
+  let theta_ok = Expr.compile_join_bool binding_schema r_schema theta in
+  let gl_idx =
+    List.map (fun c -> Schema.index_of_col l_schema c) left_side.Qspec.group_cols
+  in
+  let gr_idx =
+    List.map (fun c -> Schema.index_of_col r_schema c) right_side.Qspec.group_cols
+  in
+  (* Aggregates compiled against the inner schema. *)
+  let agg_mapping = List.mapi (fun i a -> (a, Printf.sprintf "__agg%d" i)) all_aggs in
+  let compiled =
+    List.map (fun (a, _) -> Agg.compile r_schema (Binder.agg_func a)) agg_mapping
+  in
+  (* Φ over (G_R columns ++ aggregate columns). *)
+  let phi_schema =
+    Schema.of_cols
+      (right_side.Qspec.group_cols @ List.map (fun (_, n) -> Schema.col n) agg_mapping)
+  in
+  let phi_ast =
+    Aggmap.pred
+      (fun a ->
+        match List.find_opt (fun (a', _) -> Ast.equal_agg a a') agg_mapping with
+        | Some (_, n) -> Ast.S_col (None, n)
+        | None -> invalid_arg "Nljp: uncollected aggregate in HAVING")
+      spec.Qspec.having
+  in
+  let phi_ok = Expr.compile_bool phi_schema (Binder.pred_expr catalog phi_ast) in
+  (* Λ over (G_L ++ G_R ++ aggregate columns). *)
+  let lambda_schema =
+    Schema.of_cols
+      (left_side.Qspec.group_cols @ right_side.Qspec.group_cols
+      @ List.map (fun (_, n) -> Schema.col n) agg_mapping)
+  in
+  let out_items =
+    List.mapi
+      (fun i item ->
+        match item with
+        | Ast.Sel_star -> invalid_arg "Nljp: SELECT *"
+        | Ast.Sel_expr (s, alias) ->
+          let s' =
+            Aggmap.scalar
+              (fun a ->
+                match List.find_opt (fun (a', _) -> Ast.equal_agg a a') agg_mapping with
+                | Some (_, n) -> Ast.S_col (None, n)
+                | None -> invalid_arg "Nljp: uncollected aggregate in SELECT")
+              s
+          in
+          let e = Binder.scalar_expr s' in
+          let name =
+            match alias, s with
+            | Some a, _ -> Schema.col a
+            | None, Ast.S_col (qq, n) ->
+              let idx = Schema.index_of lambda_schema ?q:qq n in
+              Schema.nth lambda_schema idx
+            | None, _ -> Schema.col (Printf.sprintf "col%d" i)
+          in
+          (Expr.compile lambda_schema (Expr.canonicalize lambda_schema e), name))
+      spec.Qspec.select
+  in
+  let out_schema = Schema.of_cols (List.map snd out_items) in
+  (* Inner-side access paths for Q_R(b).  Equality Θ conjuncts between a
+     bare inner column and a binding expression become a hash-index probe
+     (what the paper gets from PostgreSQL preparing Q_R once); with the BT
+     configuration, an inequality conjunct additionally gives a sorted-index
+     range restriction. *)
+  let bare_r = function
+    | Expr.Col c ->
+      (match Schema.index_of_col r_schema c with
+       | i -> Some i
+       | exception Schema.Unknown_column _ -> None
+       | exception Schema.Ambiguous_column _ -> None)
+    | _ -> None
+  in
+  let binding_only e =
+    List.for_all
+      (fun c ->
+        match Schema.index_of_col binding_schema c with
+        | _ -> true
+        | exception Schema.Unknown_column _ -> false
+        | exception Schema.Ambiguous_column _ -> false)
+      (Expr.columns e)
+  in
+  let eq_probes =
+    List.filter_map
+      (fun conj ->
+        match conj with
+        | Expr.Cmp (Expr.Eq, a, b) ->
+          (match bare_r a, bare_r b with
+           | Some ridx, _ when binding_only b -> Some (ridx, Expr.compile binding_schema b)
+           | _, Some ridx when binding_only a -> Some (ridx, Expr.compile binding_schema a)
+           | _ -> None)
+        | _ -> None)
+      (Expr.conjuncts theta)
+  in
+  let inner_hash =
+    match eq_probes with
+    | [] -> None
+    | probes ->
+      let idx = Index.Hash.build r_rel (List.map fst probes) in
+      let fs = Array.of_list (List.map snd probes) in
+      let key_of b = Array.map (fun f -> f b) fs in
+      Some (idx, key_of)
+  in
+  let inner_index =
+    if not config.inner_index then None
+    else
+      List.find_map
+        (fun conj ->
+          match conj with
+          | Expr.Cmp (cmp_op, a, b) ->
+            let mk ridx bound_e op =
+              let idx = Index.Sorted.build r_rel [ ridx ] in
+              let f = Expr.compile binding_schema bound_e in
+              let bound b =
+                match op with
+                | Expr.Le -> (None, Some (f b, `Inclusive))
+                | Expr.Lt -> (None, Some (f b, `Strict))
+                | Expr.Ge -> (Some (f b, `Inclusive), None)
+                | Expr.Gt -> (Some (f b, `Strict), None)
+                | Expr.Eq -> (Some (f b, `Inclusive), Some (f b, `Inclusive))
+                | Expr.Ne -> (None, None)
+              in
+              Some (idx, bound)
+            in
+            (match cmp_op with
+             | Expr.Eq -> None (* handled by the hash probe *)
+             | _ ->
+               (match bare_r a, bare_r b with
+                | Some ridx, _ when binding_only b -> mk ridx b cmp_op
+                | _, Some ridx when binding_only a -> mk ridx a (Expr.flip_cmp cmp_op)
+                | _ -> None))
+          | _ -> None)
+        (Expr.conjuncts theta)
+  in
+  (* Pruning setup. *)
+  let pruning_active = config.pruning && op.prune_reason = None in
+  let memo_active = config.memo && op.memo_reason = None in
+  stats.pruning_on <- pruning_active;
+  stats.memo_on <- memo_active;
+  let subsume_test =
+    match subsume with Some s when pruning_active -> Some (Subsume.compile s) | _ -> None
+  in
+  let first_binding_numeric =
+    match left_side.Qspec.join_cols with
+    | [] -> false
+    | c :: _ -> col_numeric catalog spec c
+  in
+  let key_to_float v =
+    match v with
+    | Value.Int i -> float_of_int i
+    | Value.Float f -> f
+    | Value.Bool b -> if b then 1. else 0.
+    | Value.Null | Value.Str _ -> 0.
+  in
+  (* Binding dimensions on which p⪰ implies equality: only cache entries
+     agreeing with the probe there can ever match, so partition on them. *)
+  let eq_dims =
+    match subsume with
+    | Some su when pruning_active && config.cache_index ->
+      List.filter_map
+        (fun i ->
+          let w = Qelim.Linexpr.var (Printf.sprintf "w%d" i) in
+          let wp = Qelim.Linexpr.var (Printf.sprintf "wp%d" i) in
+          if
+            Qelim.Qe.implies_atom su.Subsume.formula (Qelim.Atom.le w wp)
+            && Qelim.Qe.implies_atom su.Subsume.formula (Qelim.Atom.le wp w)
+          then Some i
+          else None)
+        (List.init (List.length left_side.Qspec.join_cols) Fun.id)
+    | _ -> []
+  in
+  let ci_restrict =
+    (* With no equality dimensions, CI falls back to ordering the cache by
+       the first binding column when p⪰ constrains its order. *)
+    match subsume with
+    | Some su
+      when pruning_active && config.cache_index && eq_dims = []
+           && first_binding_numeric ->
+      let w0 = Qelim.Linexpr.var "w0" and wp0 = Qelim.Linexpr.var "wp0" in
+      let imp_w_le_wp = Qelim.Qe.implies_atom su.Subsume.formula (Qelim.Atom.le w0 wp0) in
+      let imp_wp_le_w = Qelim.Qe.implies_atom su.Subsume.formula (Qelim.Atom.le wp0 w0) in
+      if imp_w_le_wp then Some `W_le_wp
+      else if imp_wp_le_w then Some `Wp_le_w
+      else None
+    | _ -> None
+  in
+  let prune_cache =
+    if eq_dims <> [] then Prune_cache.partitioned eq_dims
+    else
+      match ci_restrict with
+      | Some _ ->
+        Prune_cache.sorted ~key_of:(fun row ->
+            if Array.length row = 0 then 0. else key_to_float row.(0))
+      | None -> Prune_cache.flat ()
+  in
+  let prune b =
+    match subsume_test with
+    | None -> false
+    | Some test ->
+      let b0 = if Array.length b = 0 then 0. else key_to_float b.(0) in
+      (* monotone: prune when some cached w' subsumes b; anti-monotone: when
+         b subsumes some cached w'. *)
+      if Monotone.is_monotone cls then
+        let restrict =
+          match ci_restrict with
+          | Some `W_le_wp -> Prune_cache.Le b0  (* cached key <= b0 *)
+          | Some `Wp_le_w -> Prune_cache.Ge b0
+          | None -> Prune_cache.All
+        in
+        Prune_cache.exists prune_cache ~probe:b ~restrict (fun cached -> test cached b)
+      else
+        let restrict =
+          match ci_restrict with
+          | Some `W_le_wp -> Prune_cache.Ge b0  (* b is w: b0 <= cached *)
+          | Some `Wp_le_w -> Prune_cache.Le b0
+          | None -> Prune_cache.All
+        in
+        Prune_cache.exists prune_cache ~probe:b ~restrict (fun cached -> test b cached)
+  in
+  (* Memo cache. *)
+  let memo : partition list Row.Tbl.t = Row.Tbl.create 1024 in
+  (* Q_R(b): evaluate the inner query for one binding. *)
+  let eval_inner b =
+    stats.inner_evals <- stats.inner_evals + 1;
+    let parts : Agg.state list Row.Tbl.t = Row.Tbl.create 8 in
+    let order = ref [] in
+    let consider rrow =
+      if theta_ok b rrow then begin
+        let v = Row.project rrow gr_idx in
+        let states =
+          match Row.Tbl.find_opt parts v with
+          | Some s -> s
+          | None ->
+            let s = List.map (fun c -> c.Agg.fresh ()) compiled in
+            Row.Tbl.add parts v s;
+            order := v :: !order;
+            s
+        in
+        List.iter2 (fun c st -> c.Agg.step st rrow) compiled states
+      end
+    in
+    (match inner_hash, inner_index with
+     | Some (idx, key_of), _ -> List.iter consider (Index.Hash.probe idx (key_of b))
+     | None, Some (idx, bound) ->
+       let lo, hi = bound b in
+       Index.Sorted.iter_range idx ~lo ~hi consider
+     | None, None -> Relation.iter consider r_rel);
+    List.rev_map
+      (fun v ->
+        let states = Row.Tbl.find parts v in
+        let finals = Array.of_list (List.map2 (fun c st -> c.Agg.final st) compiled states) in
+        { v; states; finals })
+      !order
+  in
+  (* Definition 5.  With G_R = ∅ the condition reduces to ¬Φ(R⋉w), which for
+     an empty join set means evaluating Φ on the empty input (COUNT = 0 may
+     well satisfy an anti-monotone threshold — such a binding is promising).
+     With G_R ≠ ∅ an empty join set is vacuously unpromising. *)
+  let empty_finals =
+    lazy
+      (Array.of_list
+         (List.map (fun (c : Agg.compiled) -> c.Agg.final (c.Agg.fresh ())) compiled))
+  in
+  let unpromising parts =
+    match parts with
+    | [] -> if gr_idx = [] then not (phi_ok (Lazy.force empty_finals)) else true
+    | _ -> List.for_all (fun p -> not (phi_ok (Array.append p.v p.finals))) parts
+  in
+  (* Main loop. *)
+  let out_rows = ref [] in
+  let emit u v finals =
+    let lam_row = Array.concat [ u; v; finals ] in
+    out_rows := Array.of_list (List.map (fun (f, _) -> f lam_row) out_items) :: !out_rows
+  in
+  let acc : (Row.t * Row.t * Agg.state list) Row.Tbl.t = Row.Tbl.create 256 in
+  let fresh_merge states =
+    List.map2
+      (fun c st ->
+        let s = c.Agg.fresh () in
+        c.Agg.merge s st;
+        s)
+      compiled states
+  in
+  Relation.iter
+    (fun lrow ->
+      stats.outer_rows <- stats.outer_rows + 1;
+      let b = Row.project lrow jl_idx in
+      let result =
+        if memo_active && Row.Tbl.mem memo b then begin
+          stats.memo_hits <- stats.memo_hits + 1;
+          Some (Row.Tbl.find memo b)
+        end
+        else if pruning_active && prune b then begin
+          stats.pruned <- stats.pruned + 1;
+          None
+        end
+        else begin
+          let parts = eval_inner b in
+          let below_cap len =
+            match config.max_cache_rows with None -> true | Some cap -> len < cap
+          in
+          if
+            pruning_active && unpromising parts
+            && below_cap (Prune_cache.length prune_cache)
+          then Prune_cache.add prune_cache b;
+          if memo_active && below_cap (Row.Tbl.length memo) then
+            Row.Tbl.replace memo b parts;
+          Some parts
+        end
+      in
+      match result with
+      | None -> ()
+      | Some parts ->
+        let u = Row.project lrow gl_idx in
+        if key_case then
+          List.iter
+            (fun p -> if phi_ok (Array.append p.v p.finals) then emit u p.v p.finals)
+            parts
+        else
+          List.iter
+            (fun p ->
+              let key = Row.append u p.v in
+              match Row.Tbl.find_opt acc key with
+              | None -> Row.Tbl.add acc key (u, p.v, fresh_merge p.states)
+              | Some (_, _, states) ->
+                List.iter2
+                  (fun c (dst, src) -> c.Agg.merge dst src)
+                  compiled
+                  (List.combine states p.states))
+            parts)
+    l_rel;
+  (* Q_P for the non-key case: evaluate Φ and Λ on the combined groups. *)
+  if not key_case then
+    Row.Tbl.iter
+      (fun _ (u, v, states) ->
+        let finals = Array.of_list (List.map2 (fun c st -> c.Agg.final st) compiled states) in
+        if phi_ok (Array.append v finals) then emit u v finals)
+      acc;
+  (* Final stats. *)
+  stats.prune_cache_rows <- Prune_cache.length prune_cache;
+  stats.memo_cache_rows <- Row.Tbl.length memo;
+  let memo_bytes =
+    Row.Tbl.fold
+      (fun b parts acc ->
+        acc + row_bytes b
+        + List.fold_left
+            (fun acc p ->
+              acc + row_bytes p.v
+              + List.fold_left (fun a st -> a + Agg.state_bytes st) 0 p.states
+              + (8 * Array.length p.finals))
+            0 parts)
+      memo 0
+  in
+  stats.cache_bytes <- Prune_cache.bytes prune_cache + memo_bytes;
+  (Relation.of_rows out_schema (List.rev !out_rows), stats)
+
+let describe op =
+  let spec = op.spec in
+  let b = Buffer.create 512 in
+  let jl = String.concat ", " (List.map Qspec.col_name spec.Qspec.left.Qspec.join_cols) in
+  Buffer.add_string b
+    (Printf.sprintf "-- Q_B (binding query; binding = (%s)):\n%s;\n" jl
+       (Pretty.query (Qspec.side_query spec.Qspec.left)));
+  Buffer.add_string b
+    (Printf.sprintf "-- Q_R(b) (inner query over):\n%s;\n-- with Θ(b, ·) = %s\n"
+       (Pretty.query (Qspec.side_query spec.Qspec.right))
+       (Pretty.pred (Ast.conj spec.Qspec.theta)));
+  (match op.subsume with
+   | Some s ->
+     Buffer.add_string b
+       (Printf.sprintf "-- Q_C(b') (pruning): %s\n" (Subsume.to_string s))
+   | None ->
+     Buffer.add_string b
+       (Printf.sprintf "-- Q_C: pruning inactive (%s)\n"
+          (Option.value op.prune_reason ~default:"unavailable")));
+  (match op.memo_reason with
+   | None -> Buffer.add_string b "-- memoization: on (cache keyed by binding)\n"
+   | Some r -> Buffer.add_string b (Printf.sprintf "-- memoization: off (%s)\n" r));
+  Buffer.add_string b
+    (Printf.sprintf "-- Q_P: emit groups satisfying %s (%s)\n"
+       (Pretty.pred spec.Qspec.having)
+       (if op.key_case then "per outer tuple: G_L is a key"
+        else "combining algebraic partial aggregates"));
+  Buffer.contents b
+
+let subsumption op = op.subsume

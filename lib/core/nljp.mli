@@ -1,0 +1,78 @@
+(** NLJP — Nested-Loop Join with Pruning (§5–§7).
+
+    The operator is specified by four component queries:
+    - the {e binding query} Q_B producing outer tuples (their J_L projection
+      is the binding),
+    - the parameterized {e inner query} Q_R(b) aggregating the joining inner
+      tuples per G_R partition,
+    - the {e pruning query} Q_C(b') probing the cache of unpromising
+      bindings through the derived subsumption predicate p⪰ (§5.2), and
+    - the {e post-processing query} Q_P assembling final result tuples
+      (per-tuple when G_L → A_L; by combining algebraic partial states
+      otherwise, Appendix C).
+
+    [build] verifies the paper's applicability conditions and degrades
+    gracefully: if pruning's Theorem 3 conditions fail, pruning is disabled
+    (with a recorded reason) while memoization may stay on, and vice versa. *)
+
+type config = {
+  pruning : bool;
+  memo : bool;
+  cache_index : bool;
+      (** CI: index the cache of unpromising bindings — hash-partitioned on
+          the dimensions where p⪰ implies equality, else binary-searched on
+          the first binding column when p⪰ implies an order on it *)
+  inner_index : bool;
+      (** BT: probe the materialized inner side through a sorted index
+          derived from a Θ bound (equality conjuncts always probe a hash
+          index, mirroring PostgreSQL's prepared Q_R plans) *)
+  outer_order : [ `Default | `Auto | `Asc of int | `Desc of int ];
+      (** §7 leaves Q_B's exploration order unspecified and flags choosing
+          it as future work; [`Asc i]/[`Desc i] sort the outer input by the
+          i-th binding column.  [`Auto] derives a direction from p⪰: it
+          orders so that the most-subsuming bindings are explored (and
+          cached) first, which maximizes later pruning *)
+  max_cache_rows : int option;
+      (** §7's future-work cache bound: both caches stop admitting entries
+          beyond this size (a keep-first replacement policy — safe because
+          dropping cache entries only costs pruning/memo opportunities) *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable outer_rows : int;
+  mutable inner_evals : int;
+  mutable pruned : int;
+  mutable memo_hits : int;
+  mutable prune_cache_rows : int;
+  mutable memo_cache_rows : int;
+  mutable cache_bytes : int;
+  mutable pruning_on : bool;
+  mutable memo_on : bool;
+  mutable notes : string list;
+}
+
+type t
+
+(** Check applicability and assemble the operator; [Error reason] when the
+    query shape cannot run as NLJP at all (Φ or Λ not applicable to the
+    inner side).  [overrides] plugs substituted FROM items (e.g. a-priori
+    reducers, Listing 11) into the side queries by alias; they must preserve
+    each table's schema and only remove rows. *)
+val build :
+  ?overrides:(string * Sqlfront.Ast.table_ref) list ->
+  Relalg.Catalog.t ->
+  Qspec.t ->
+  config ->
+  (t, string) result
+
+(** Execute; the result schema matches the original query's SELECT list. *)
+val execute : t -> Relalg.Relation.t * stats
+
+(** Human-readable description of the component queries (cf. Listings 7
+    and 10), including the derived p⪰. *)
+val describe : t -> string
+
+(** The derived subsumption predicate, if pruning is active. *)
+val subsumption : t -> Subsume.t option

@@ -1,0 +1,245 @@
+open Sqlfront
+
+type technique = { apriori : bool; memo : bool; pruning : bool }
+
+let all_techniques = { apriori = true; memo = true; pruning = true }
+let no_techniques = { apriori = false; memo = false; pruning = false }
+
+let only = function
+  | `Apriori -> { no_techniques with apriori = true }
+  | `Memo -> { no_techniques with memo = true }
+  | `Pruning -> { no_techniques with pruning = true }
+
+type apriori_rewrite = {
+  considered : string list;
+  reduced : string list;
+  reducer : Ast.query;
+  reducer_sql : string;
+  replacements : (string * Ast.table_ref) list;
+}
+
+type decision = {
+  query : Ast.query;
+  apriori_rewrites : apriori_rewrite list;
+  nljp : (Nljp.t * string list) option;
+  notes : string list;
+}
+
+(* Non-empty proper subsets, smallest first, preserving input order inside a
+   subset.  Queries join at most a handful of relations, so the exponential
+   enumeration the paper describes is fine. *)
+let proper_subsets xs =
+  let n = List.length xs in
+  let arr = Array.of_list xs in
+  let subsets = ref [] in
+  for mask = 1 to (1 lsl n) - 2 do
+    let members = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then members := arr.(i) :: !members
+    done;
+    subsets := (List.length !members, !members) :: !subsets
+  done;
+  List.map snd (List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !subsets))
+
+let try_analyze catalog q ~left_aliases =
+  match Qspec.analyze catalog q ~left_aliases with
+  | spec -> Some spec
+  | exception Qspec.Unsupported _ -> None
+
+(* pick_gapriori: find a subset of the still-considered aliases that can be
+   safely reduced (treating it as L and the rest of the query as R).
+   Subsets owning a GROUP BY column as written are tried first: their
+   reducers constrain the actual grouping attributes, whereas subsets that
+   only reach a group column through an equality-equivalence produce much
+   weaker (though still safe) reducers. *)
+let pick_gapriori catalog q remaining =
+  let all = Qspec.aliases_of q in
+  let candidates =
+    List.filter (fun s -> List.for_all (fun a -> List.mem a remaining) s) (proper_subsets all)
+  in
+  let attempt ~require_raw_group left_aliases =
+    match try_analyze catalog q ~left_aliases with
+    | None -> None
+    | Some spec ->
+      if require_raw_group && spec.Qspec.left.Qspec.group_cols = [] then None
+      else if (not require_raw_group) && spec.Qspec.left.Qspec.group_cols <> [] then
+        None (* already tried in the first pass *)
+      else begin
+        match Apriori.safe catalog spec `Left with
+        | Error _ -> None
+        | Ok () when Apriori.vacuous spec `Left -> None
+        | Ok () ->
+          let replacements = Apriori.replacements spec `Left in
+          if replacements = [] then None
+          else
+            let reducer = Apriori.reducer spec `Left in
+            Some
+              {
+                considered = left_aliases;
+                reduced = List.map fst replacements;
+                reducer;
+                reducer_sql = Pretty.query reducer;
+                replacements;
+              }
+      end
+  in
+  match List.find_map (attempt ~require_raw_group:true) candidates with
+  | Some rw -> Some rw
+  | None -> List.find_map (attempt ~require_raw_group:false) candidates
+
+(* pick_memprune: choose the outer side for NLJP.  Prefer minimal subsets
+   that contain every alias owning a GROUP BY column, then fall back to any
+   split; respect the a-priori groupings (T_L ⊇ T or T_L ∩ T = ∅). *)
+let pick_memprune catalog q ~tech ~nljp_config ~apriori_groups ~overrides =
+  let all = Qspec.aliases_of q in
+  let group_aliases =
+    (* aliases mentioned by GROUP BY columns (when qualified) *)
+    List.filter_map (fun (qq, _) -> qq) q.Ast.group_by
+  in
+  let covers_groups s = List.for_all (fun a -> List.mem a s) group_aliases in
+  let compatible s =
+    List.for_all
+      (fun grp ->
+        List.for_all (fun a -> List.mem a s) grp
+        || List.for_all (fun a -> not (List.mem a s)) grp)
+      apriori_groups
+  in
+  let candidates =
+    let subs = List.filter compatible (proper_subsets all) in
+    let preferred, others = List.partition covers_groups subs in
+    preferred @ others
+  in
+  let config =
+    { nljp_config with Nljp.pruning = tech.pruning; Nljp.memo = tech.memo }
+  in
+  List.find_map
+    (fun left_aliases ->
+      match try_analyze catalog q ~left_aliases with
+      | None -> None
+      | Some spec ->
+        (match Nljp.build ~overrides catalog spec config with
+         | Ok op -> Some (op, left_aliases)
+         | Error _ -> None))
+    candidates
+
+let pick_static_memo catalog q =
+  match Qspec.aliases_of q with
+  | exception Qspec.Unsupported _ -> None
+  | all ->
+    let group_aliases = List.filter_map (fun (qq, _) -> qq) q.Ast.group_by in
+    let covers_groups s = List.for_all (fun a -> List.mem a s) group_aliases in
+    let preferred, others = List.partition covers_groups (proper_subsets all) in
+    List.find_map
+      (fun left_aliases ->
+        match try_analyze catalog q ~left_aliases with
+        | None -> None
+        | Some spec ->
+          (match Memo_rewrite.applicable catalog spec with
+           | Ok () -> Some (Memo_rewrite.rewrite catalog spec)
+           | Error _ -> None))
+      (preferred @ others)
+
+(* Adaptive gate: execute the reducer; if it keeps almost every candidate
+   group, drop the rewrite (the semijoins would cost more than they save).
+   The group-count denominator is a cheap DISTINCT over the owning table,
+   an over-estimate, so the gate is conservative. *)
+let adaptive_keep catalog rw =
+  let reducer = rw.reducer in
+  match reducer.Ast.group_by with
+  | [] -> true
+  | (q0, _) :: _ as group_by ->
+    let same_alias = List.for_all (fun (q, _) -> q = q0) group_by in
+    if not same_alias then true
+    else begin
+      let owner =
+        List.find_map
+          (function
+            | Ast.T_table (name, alias) ->
+              let a = Option.value alias ~default:name in
+              if Some a = q0 || (q0 = None && reducer.Ast.from = [ Ast.T_table (name, alias) ])
+              then Some (name, a)
+              else None
+            | Ast.T_subquery _ -> None)
+          reducer.Ast.from
+      in
+      match owner with
+      | None -> true
+      | Some (name, alias) ->
+        let distinct_q =
+          Ast.simple_select ~distinct:true
+            (List.map (fun (_, n) -> Ast.Sel_expr (Ast.S_col (Some alias, n), None)) group_by)
+            [ Ast.T_table (name, Some alias) ]
+        in
+        (match Binder.run catalog distinct_q, Binder.run catalog reducer with
+         | total, kept ->
+           let nt = Relalg.Relation.cardinality total in
+           let nk = Relalg.Relation.cardinality kept in
+           nt = 0 || float_of_int nk /. float_of_int nt < 0.9
+         | exception _ -> true)
+    end
+
+let decide ?(adaptive = false) catalog q ~tech ~nljp_config =
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
+  (* Phase 1: generalized a-priori over disjoint subsets (Listing 9). *)
+  let rewrites = ref [] in
+  if tech.apriori then begin
+    let remaining = ref (Qspec.aliases_of q) in
+    let continue = ref true in
+    while !continue && !remaining <> [] do
+      match pick_gapriori catalog q !remaining with
+      | None -> continue := false
+      | Some rw ->
+        rewrites := rw :: !rewrites;
+        note "a-priori: reduced %s via reducer over {%s}"
+          (String.concat ", " rw.reduced)
+          (String.concat ", " rw.considered);
+        remaining := List.filter (fun a -> not (List.mem a rw.considered)) !remaining
+    done
+  end;
+  let rewrites = List.rev !rewrites in
+  let rewrites =
+    if not adaptive then rewrites
+    else
+      List.filter
+        (fun rw ->
+          let keep = adaptive_keep catalog rw in
+          if not keep then
+            note "a-priori: dropped unselective reducer on {%s} (adaptive gate)"
+              (String.concat ", " rw.reduced);
+          keep)
+        rewrites
+  in
+  let overrides = List.concat_map (fun rw -> rw.replacements) rewrites in
+  (* Phase 2: memoization and pruning via NLJP. *)
+  let nljp =
+    if tech.memo || tech.pruning then begin
+      let apriori_groups = List.map (fun rw -> rw.reduced) rewrites in
+      match pick_memprune catalog q ~tech ~nljp_config ~apriori_groups ~overrides with
+      | Some (op, aliases) ->
+        note "NLJP: outer side {%s}" (String.concat ", " aliases);
+        Some (op, aliases)
+      | None ->
+        note "NLJP: no applicable outer/inner split";
+        None
+    end
+    else None
+  in
+  { query = q; apriori_rewrites = rewrites; nljp; notes = List.rev !notes }
+
+let rewritten_query d =
+  let repl = List.concat_map (fun rw -> rw.replacements) d.apriori_rewrites in
+  {
+    d.query with
+    Ast.from =
+      List.map
+        (fun item ->
+          match item with
+          | Ast.T_table (name, al) ->
+            let alias = Option.value al ~default:name in
+            (match List.assoc_opt alias repl with
+             | Some sub -> sub
+             | None -> item)
+          | Ast.T_subquery _ -> item)
+        d.query.Ast.from;
+  }

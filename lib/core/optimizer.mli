@@ -1,0 +1,54 @@
+(** The Appendix D optimization procedure (Listing 9) for iceberg queries
+    with multiway joins: collect generalized-a-priori rewrites over disjoint
+    relation subsets, then pick an outer/inner split for NLJP-based
+    memoization and pruning compatible with those rewrites. *)
+
+type technique = { apriori : bool; memo : bool; pruning : bool }
+
+val all_techniques : technique
+val no_techniques : technique
+val only : [ `Apriori | `Memo | `Pruning ] -> technique
+
+type apriori_rewrite = {
+  considered : string list;  (** the T_L whose analysis found the reducer *)
+  reduced : string list;  (** Ť: aliases actually wrapped *)
+  reducer : Sqlfront.Ast.query;
+  reducer_sql : string;
+  replacements : (string * Sqlfront.Ast.table_ref) list;
+}
+
+type decision = {
+  query : Sqlfront.Ast.query;
+  apriori_rewrites : apriori_rewrite list;
+  nljp : (Nljp.t * string list) option;  (** operator + chosen outer aliases *)
+  notes : string list;
+}
+
+(** [decide catalog q ~tech ~nljp_config]: run the Listing 9 procedure on a
+    single-block query whose FROM items are all plain tables.
+
+    With [adaptive:true] (a first cut of the cost-based decisions the paper
+    leaves as future work), each chosen reducer is executed up front and
+    dropped when it would keep ≥ 90% of the candidate groups — the regime
+    where the paper observes a-priori costing more than it saves. *)
+val decide :
+  ?adaptive:bool ->
+  Relalg.Catalog.t ->
+  Sqlfront.Ast.query ->
+  tech:technique ->
+  nljp_config:Nljp.config ->
+  decision
+
+(** The query with all chosen a-priori rewrites applied (for non-NLJP
+    execution paths). *)
+val rewritten_query : decision -> Sqlfront.Ast.query
+
+(** Appendix C's alternative to NLJP-based memoization: choose an
+    outer/inner split for which the Listing 8 static rewrite applies and
+    return the rewritten query. *)
+val pick_static_memo :
+  Relalg.Catalog.t -> Sqlfront.Ast.query -> Sqlfront.Ast.query option
+
+(** All non-empty proper subsets of a list, smallest first (shared with
+    tests). *)
+val proper_subsets : 'a list -> 'a list list

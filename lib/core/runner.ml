@@ -1,0 +1,280 @@
+open Sqlfront
+open Relalg
+
+type report = {
+  technique : Optimizer.technique;
+  apriori : Optimizer.apriori_rewrite list;
+  nljp_outer : string list option;
+  nljp_stats : Nljp.stats option;
+  nljp_describe : string option;
+  notes : string list;
+  cte_reports : (string * report) list;
+}
+
+(* ---- metadata derivation for materialized CTE results ---- *)
+
+(* Output columns of a query's SELECT list, in order. *)
+let output_names (q : Ast.query) =
+  List.mapi
+    (fun i item ->
+      match item with
+      | Ast.Sel_star -> None
+      | Ast.Sel_expr (s, alias) ->
+        (match alias, s with
+         | Some a, _ -> Some (a, s)
+         | None, Ast.S_col (_, n) -> Some (n, s)
+         | None, _ -> Some (Printf.sprintf "col%d" i, s)))
+    q.Ast.select
+
+(* If every GROUP BY column survives into the SELECT list, those output
+   columns form a key of the result. *)
+let derived_key (q : Ast.query) =
+  if q.Ast.group_by = [] then None
+  else begin
+    let names = output_names q in
+    let covers (gq, gn) =
+      List.find_map
+        (fun entry ->
+          match entry with
+          | Some (out, Ast.S_col (sq, sn)) when String.equal sn gn ->
+            (match gq, sq with
+             | None, _ | _, None -> Some out
+             | Some a, Some b -> if String.equal a b then Some out else None)
+          | _ -> None)
+        names
+    in
+    let keys = List.map covers q.Ast.group_by in
+    if List.for_all Option.is_some keys then Some (List.map Option.get keys)
+    else None
+  end
+
+(* Non-negativity of a source column of the query, from catalog facts. *)
+let source_nonneg catalog (q : Ast.query) (qq, n) =
+  let tables =
+    List.filter_map
+      (function
+        | Ast.T_table (name, alias) -> Some (name, Option.value alias ~default:name)
+        | Ast.T_subquery _ -> None)
+      q.Ast.from
+  in
+  let check (tname, alias) =
+    match qq with
+    | Some a when not (String.equal a alias) -> false
+    | _ ->
+      (match Catalog.find_opt catalog tname with
+       | None -> false
+       | Some tbl ->
+         Schema.mem tbl.Catalog.rel.Relation.schema (Schema.col n)
+         && Catalog.is_nonneg tbl n)
+  in
+  List.exists check tables
+
+let rec scalar_nonneg catalog q s =
+  match s with
+  | Ast.S_const (Value.Int i) -> i >= 0
+  | Ast.S_const (Value.Float f) -> f >= 0.
+  | Ast.S_const _ -> false
+  | Ast.S_col (qq, n) -> source_nonneg catalog q (qq, n)
+  | Ast.S_binop ((Expr.Add | Expr.Mul), a, b) ->
+    scalar_nonneg catalog q a && scalar_nonneg catalog q b
+  | Ast.S_binop ((Expr.Sub | Expr.Div), _, _) -> false
+  | Ast.S_neg _ -> false
+  | Ast.S_agg a ->
+    (match a with
+     | Ast.A_count_star | Ast.A_count _ | Ast.A_count_distinct _ -> true
+     | Ast.A_sum x | Ast.A_min x | Ast.A_max x | Ast.A_avg x ->
+       scalar_nonneg catalog q x)
+
+let derived_nonneg catalog (q : Ast.query) =
+  List.filter_map
+    (function
+      | Some (out, s) -> if scalar_nonneg catalog q s then Some out else None
+      | None -> None)
+    (output_names q)
+
+(* ---- execution ---- *)
+
+let fresh_temp_name catalog base =
+  if not (Catalog.mem catalog base) then base
+  else begin
+    let rec go i =
+      let name = Printf.sprintf "%s__%d" base i in
+      if Catalog.mem catalog name then go (i + 1) else name
+    in
+    go 0
+  end
+
+let rename_table_refs (q : Ast.query) renames =
+  {
+    q with
+    Ast.from =
+      List.map
+        (fun item ->
+          match item with
+          | Ast.T_table (name, alias) ->
+            (match List.assoc_opt (String.lowercase_ascii name) renames with
+             | Some fresh ->
+               Ast.T_table (fresh, Some (Option.value alias ~default:name))
+             | None -> item)
+          | Ast.T_subquery _ -> item)
+        q.Ast.from;
+  }
+
+let rec run ?(tech = Optimizer.all_techniques) ?(nljp_config = Nljp.default_config)
+    ?(memo_strategy = `Nljp) ?(adaptive_apriori = false) catalog (q : Ast.query) =
+  (* Materialize CTE blocks (each optimized recursively), registering them
+     as temp tables carrying derived keys and domain facts. *)
+  let temp_names = ref [] in
+  let renames = ref [] in
+  let cte_reports = ref [] in
+  List.iter
+    (fun (name, def) ->
+      let def = rename_table_refs def !renames in
+      let rel, rep = run ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog def in
+      let fresh = fresh_temp_name catalog name in
+      let keys = match derived_key def with Some k -> [ k ] | None -> [] in
+      let nonneg = derived_nonneg catalog def in
+      Catalog.add_table catalog ~keys ~nonneg fresh
+        (Relation.make (Schema.unqualified rel.Relation.schema) rel.Relation.rows);
+      temp_names := fresh :: !temp_names;
+      renames := (String.lowercase_ascii name, fresh) :: !renames;
+      cte_reports := (name, rep) :: !cte_reports)
+    q.Ast.with_defs;
+  let main = rename_table_refs { q with Ast.with_defs = [] } !renames in
+  let result, rep =
+    run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog main
+  in
+  List.iter (Catalog.remove_table catalog) !temp_names;
+  (result, { rep with cte_reports = List.rev !cte_reports })
+
+and run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog (q : Ast.query) =
+  let fallback notes =
+    let rel = Binder.run catalog q in
+    ( rel,
+      {
+        technique = tech;
+        apriori = [];
+        nljp_outer = None;
+        nljp_stats = None;
+        nljp_describe = None;
+        notes;
+        cte_reports = [];
+      } )
+  in
+  (* Queries outside the iceberg shape (single table, no HAVING, …) run
+     directly on the baseline engine. *)
+  let optimizable =
+    q.Ast.having <> None
+    && List.length q.Ast.from >= 2
+    && List.for_all (function Ast.T_table _ -> true | _ -> false) q.Ast.from
+    && (tech.Optimizer.apriori || tech.Optimizer.memo || tech.Optimizer.pruning)
+  in
+  if not optimizable then fallback []
+  else if
+    memo_strategy = `Static_rewrite && tech.Optimizer.memo
+    && not tech.Optimizer.pruning
+  then begin
+    (* Appendix C: memoization through static query rewriting. *)
+    match Optimizer.pick_static_memo catalog q with
+    | Some rewritten ->
+      let rel = Binder.run catalog rewritten in
+      ( rel,
+        {
+          technique = tech;
+          apriori = [];
+          nljp_outer = None;
+          nljp_stats = None;
+          nljp_describe = None;
+          notes = [ "memoization via static rewrite (Listing 8)" ];
+          cte_reports = [];
+        } )
+    | None -> fallback [ "static memo rewrite not applicable" ]
+  end
+  else begin
+    match Optimizer.decide ~adaptive:adaptive_apriori catalog q ~tech ~nljp_config with
+    | exception Qspec.Unsupported reason ->
+      fallback [ "not optimized: " ^ reason ]
+    | decision ->
+      let base_report =
+        {
+          technique = tech;
+          apriori = decision.Optimizer.apriori_rewrites;
+          nljp_outer = None;
+          nljp_stats = None;
+          nljp_describe = None;
+          notes = decision.Optimizer.notes;
+          cte_reports = [];
+        }
+      in
+      (match decision.Optimizer.nljp with
+       | Some (op, aliases) ->
+         let rel, stats = Nljp.execute op in
+         ( rel,
+           {
+             base_report with
+             nljp_outer = Some aliases;
+             nljp_stats = Some stats;
+             nljp_describe = Some (Nljp.describe op);
+           } )
+       | None ->
+         let rel = Binder.run catalog (Optimizer.rewritten_query decision) in
+         (rel, base_report))
+  end
+
+let run_baseline ?(workers = 1) catalog q = Binder.run ~workers catalog q
+
+let rec cache_rows rep =
+  let own =
+    match rep.nljp_stats with
+    | Some s -> s.Nljp.prune_cache_rows + s.Nljp.memo_cache_rows
+    | None -> 0
+  in
+  own + List.fold_left (fun acc (_, r) -> acc + cache_rows r) 0 rep.cte_reports
+
+let rec cache_bytes rep =
+  let own = match rep.nljp_stats with Some s -> s.Nljp.cache_bytes | None -> 0 in
+  own + List.fold_left (fun acc (_, r) -> acc + cache_bytes r) 0 rep.cte_reports
+
+let same_result = Relation.equal_bag
+
+let report_to_string rep =
+  let b = Buffer.create 256 in
+  let rec go indent rep =
+    let pad = String.make indent ' ' in
+    List.iter
+      (fun rw ->
+        Buffer.add_string b
+          (Printf.sprintf "%sa-priori reducer on {%s}:\n%s  %s\n" pad
+             (String.concat ", " rw.Optimizer.reduced)
+             pad rw.Optimizer.reducer_sql))
+      rep.apriori;
+    (match rep.nljp_outer with
+     | Some aliases ->
+       Buffer.add_string b
+         (Printf.sprintf "%sNLJP outer side: {%s}\n" pad (String.concat ", " aliases))
+     | None -> ());
+    (match rep.nljp_describe with
+     | Some d ->
+       String.split_on_char '\n' d
+       |> List.iter (fun line ->
+              if line <> "" then Buffer.add_string b (pad ^ line ^ "\n"))
+     | None -> ());
+    (match rep.nljp_stats with
+     | Some s ->
+       Buffer.add_string b
+         (Printf.sprintf
+            "%souter=%d inner_evals=%d pruned=%d memo_hits=%d cache_rows=%d cache_kB=%d\n"
+            pad s.Nljp.outer_rows s.Nljp.inner_evals s.Nljp.pruned s.Nljp.memo_hits
+            (s.Nljp.prune_cache_rows + s.Nljp.memo_cache_rows)
+            (s.Nljp.cache_bytes / 1024));
+       List.iter (fun n -> Buffer.add_string b (pad ^ "note: " ^ n ^ "\n")) s.Nljp.notes
+     | None -> ());
+    List.iter (fun n -> Buffer.add_string b (pad ^ n ^ "\n")) rep.notes;
+    List.iter
+      (fun (name, r) ->
+        Buffer.add_string b (Printf.sprintf "%sCTE %s:\n" pad name);
+        go (indent + 2) r)
+      rep.cte_reports
+  in
+  go 0 rep;
+  Buffer.contents b

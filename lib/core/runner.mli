@@ -1,0 +1,44 @@
+(** Top-level execution entry points.
+
+    [run] is Smart-Iceberg: CTE blocks are optimized recursively and
+    materialized as temporary tables (with derived keys and domain facts, so
+    the outer block's safety checks can reason about them), then the main
+    block goes through the Appendix D procedure and executes via rewrites
+    and/or the NLJP operator.  [run_baseline] is the stand-in for stock
+    PostgreSQL ([workers = 1]) and Vendor A ([workers = 4]). *)
+
+type report = {
+  technique : Optimizer.technique;
+  apriori : Optimizer.apriori_rewrite list;
+  nljp_outer : string list option;
+  nljp_stats : Nljp.stats option;
+  nljp_describe : string option;
+  notes : string list;
+  cte_reports : (string * report) list;
+}
+
+(** [memo_strategy] selects how memoization is realized when it is the only
+    requested technique: through the NLJP operator's cache (default) or
+    through Appendix C's static SQL rewrite (Listing 8). *)
+val run :
+  ?tech:Optimizer.technique ->
+  ?nljp_config:Nljp.config ->
+  ?memo_strategy:[ `Nljp | `Static_rewrite ] ->
+  ?adaptive_apriori:bool ->
+  Relalg.Catalog.t ->
+  Sqlfront.Ast.query ->
+  Relalg.Relation.t * report
+
+val run_baseline :
+  ?workers:int -> Relalg.Catalog.t -> Sqlfront.Ast.query -> Relalg.Relation.t
+
+(** Total cache footprint of a report (pruning + memo caches of the main
+    block and every CTE block), for the Figure 3 accounting. *)
+val cache_rows : report -> int
+
+val cache_bytes : report -> int
+
+(** Multiset equality of results (column names ignored). *)
+val same_result : Relalg.Relation.t -> Relalg.Relation.t -> bool
+
+val report_to_string : report -> string

@@ -1,0 +1,46 @@
+(** Automatic subsumption-test generation (§5.2, Appendix B).
+
+    [w ⪰ w'] (Definition 4) holds for every instance exactly when
+    ∀w_r (Θ(w', w_r) ⇒ Θ(w, w_r)).  [derive] eliminates the w_r variables
+    with the UE/DE/EE procedure, yielding a quantifier-free predicate
+    p⪰(w, w') over the two bindings alone, then compiles it to a closure
+    over binding rows.
+
+    String- and bool-valued join attributes are supported by interning
+    values into distinct numeric codes; this preserves semantics only if
+    such attributes occur in equality (or the ≠ pattern produced by its
+    negation) — [derive] refuses when a non-equality Θ conjunct touches a
+    column marked non-numeric. *)
+
+type t = {
+  formula : Qelim.Formula.t;  (** over variables w0…, wp0… *)
+  jl : Relalg.Schema.col list;  (** binding columns, fixing variable order *)
+}
+
+(** [derive ~theta ~jl ~jr ~numeric]: [theta] is the join condition over the
+    concatenated L++R schema; [numeric col] says whether the column is
+    numeric (non-numeric columns may only appear in equality conjuncts).
+    [None] when Θ is not translatable to linear arithmetic. *)
+val derive :
+  theta:Relalg.Expr.t ->
+  jl:Relalg.Schema.col list ->
+  jr:Relalg.Schema.col list ->
+  numeric:(Relalg.Schema.col -> bool) ->
+  t option
+
+(** [compile t] returns a test [p w w'] deciding p⪰(w, w') — "w subsumes
+    w'" — on binding rows laid out in [t.jl] order.  Interning state for
+    non-numeric values is shared inside the returned closure. *)
+val compile : t -> Relalg.Row.t -> Relalg.Row.t -> bool
+
+val to_string : t -> string
+
+(** Oracle form of Definition 4 for testing: does w subsume w' on this
+    instance, i.e. R⋉w ⊇ R⋉w'? *)
+val subsumes_instance :
+  theta:Relalg.Expr.t ->
+  jl_schema:Relalg.Schema.t ->
+  r:Relalg.Relation.t ->
+  w:Relalg.Row.t ->
+  w':Relalg.Row.t ->
+  bool

@@ -1,0 +1,168 @@
+open Relalg
+
+type algorithm = Naive | Coarse_count | Defer_count | Multi_stage
+
+type config = {
+  buckets : int;
+  stages : int;
+  sample_rate : float;
+  seed : int;
+}
+
+let default_config = { buckets = 512; stages = 3; sample_rate = 0.05; seed = 7 }
+
+type stats = {
+  scans : int;
+  candidates : int;
+  false_positives : int;
+  exact_counters : int;
+}
+
+(* A cheap deterministic per-stage hash of a key row. *)
+let key_hash stage key =
+  let h = ref (0x9E3779B9 + (stage * 0x85EBCA6B)) in
+  Array.iter (fun v -> h := (!h * 31) + Value.hash v) key;
+  !h land max_int
+
+(* splitmix-style PRN for sampling, independent of the key hash *)
+let sample_rand seed i =
+  let z = (seed + (i * 0x9E3779B9)) land max_int in
+  let z = (z lxor (z lsr 16)) * 0x85EBCA6B land max_int in
+  let z = (z lxor (z lsr 13)) * 0xC2B2AE35 land max_int in
+  float_of_int (z land 0xFFFFFF) /. float_of_int 0x1000000
+
+let out_schema rel key =
+  Schema.of_cols
+    (List.map (fun i -> Schema.nth rel.Relation.schema i) key @ [ Schema.col "count" ])
+
+(* The per-row contribution under the chosen metric: 1 for COUNT, the
+   (non-negative) value for SUM. *)
+let weight_of metric row =
+  match metric with
+  | `Count -> 1
+  | `Sum i ->
+    (match row.(i) with
+     | Value.Int v -> max 0 v
+     | Value.Float v -> max 0 (int_of_float v)
+     | Value.Null | Value.Str _ | Value.Bool _ -> 0)
+
+(* Exact counting of a set of rows' keys into a fresh table. *)
+let exact_counts ~metric rel key_idx ~keep =
+  let counts = Row.Tbl.create 1024 in
+  Relation.iter
+    (fun row ->
+      let k = Row.project row key_idx in
+      if keep k then
+        Row.Tbl.replace counts k
+          (weight_of metric row + Option.value (Row.Tbl.find_opt counts k) ~default:0))
+    rel;
+  counts
+
+let result_of_counts schema counts threshold =
+  let out = ref [] in
+  Row.Tbl.iter
+    (fun k n -> if n >= threshold then out := Array.append k [| Value.Int n |] :: !out)
+    counts;
+  Relation.of_rows schema !out
+
+let iceberg_count ?(config = default_config) ?(metric = `Count) ~algorithm rel ~key
+    ~threshold =
+  let schema = out_schema rel key in
+  match algorithm with
+  | Naive ->
+    let counts = exact_counts ~metric rel key ~keep:(fun _ -> true) in
+    ( result_of_counts schema counts threshold,
+      {
+        scans = 1;
+        candidates = Row.Tbl.length counts;
+        false_positives = 0;
+        exact_counters = Row.Tbl.length counts;
+      } )
+  | Coarse_count | Multi_stage ->
+    let stages = if algorithm = Coarse_count then 1 else max 1 config.stages in
+    (* pass 1..stages folded into one scan: bucket counting *)
+    let arrays = Array.init stages (fun _ -> Array.make config.buckets 0) in
+    Relation.iter
+      (fun row ->
+        let k = Row.project row key in
+        let w = weight_of metric row in
+        for s = 0 to stages - 1 do
+          let b = key_hash s k mod config.buckets in
+          arrays.(s).(b) <- arrays.(s).(b) + w
+        done)
+      rel;
+    (* candidate-selection scan + final exact count, folded: a key is a
+       candidate iff every stage bucket is heavy *)
+    let candidate k =
+      let rec go s =
+        s >= stages
+        || (arrays.(s).(key_hash s k mod config.buckets) >= threshold && go (s + 1))
+      in
+      go 0
+    in
+    let counts = exact_counts ~metric rel key ~keep:candidate in
+    let n_candidates = Row.Tbl.length counts in
+    let result = result_of_counts schema counts threshold in
+    ( result,
+      {
+        scans = 2;
+        candidates = n_candidates;
+        false_positives = n_candidates - Relation.cardinality result;
+        exact_counters = n_candidates;
+      } )
+  | Defer_count ->
+    (* pass 1: sample to find likely-heavy keys.  The sample must give a
+       heavy key a few expected occurrences or it cannot discriminate, so
+       the rate is raised to at least 3/threshold. *)
+    let rate = Float.max config.sample_rate (3. /. float_of_int (max 1 threshold)) in
+    let sampled = Row.Tbl.create 256 in
+    let i = ref 0 in
+    Relation.iter
+      (fun row ->
+        incr i;
+        if sample_rand config.seed !i < rate then begin
+          let k = Row.project row key in
+          Row.Tbl.replace sampled k
+            (1 + Option.value (Row.Tbl.find_opt sampled k) ~default:0)
+        end)
+      rel;
+    let sample_cut =
+      (* a key with true count = threshold has expected sampled count
+         rate·threshold; use half of that to keep false negatives of the
+         sampling phase harmless (they fall through to the buckets) *)
+      Float.max 2. (rate *. float_of_int threshold /. 2.)
+    in
+    let heavy = Row.Tbl.create 64 in
+    Row.Tbl.iter
+      (fun k n -> if float_of_int n >= sample_cut then Row.Tbl.replace heavy k ())
+      sampled;
+    (* pass 2: count heavy keys exactly; everything else goes to buckets *)
+    let buckets = Array.make config.buckets 0 in
+    let heavy_counts = Row.Tbl.create 64 in
+    Relation.iter
+      (fun row ->
+        let k = Row.project row key in
+        let w = weight_of metric row in
+        if Row.Tbl.mem heavy k then
+          Row.Tbl.replace heavy_counts k
+            (w + Option.value (Row.Tbl.find_opt heavy_counts k) ~default:0)
+        else begin
+          let b = key_hash 0 k mod config.buckets in
+          buckets.(b) <- buckets.(b) + w
+        end)
+      rel;
+    (* pass 3: exact count of bucket-implied candidates *)
+    let candidate k =
+      (not (Row.Tbl.mem heavy k)) && buckets.(key_hash 0 k mod config.buckets) >= threshold
+    in
+    let counts = exact_counts ~metric rel key ~keep:candidate in
+    let n_candidates = Row.Tbl.length counts + Row.Tbl.length heavy_counts in
+    Row.Tbl.iter (fun k n -> Row.Tbl.replace counts k n) heavy_counts;
+    let result = result_of_counts schema counts threshold in
+    ( result,
+      {
+        scans = 3;
+        candidates = n_candidates;
+        false_positives = n_candidates - Relation.cardinality result;
+        exact_counters = n_candidates;
+      } )

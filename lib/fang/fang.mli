@@ -1,0 +1,59 @@
+(** The classic iceberg-query algorithms of Fang et al. (VLDB'99) — the
+    paper's reference [9] and the origin of the term.  They compute
+
+      SELECT K, COUNT(.) FROM R GROUP BY K HAVING COUNT(.) >= threshold
+
+    without materializing a per-group table for every candidate group:
+    probabilistic counting passes produce a small candidate set with no
+    false negatives, and one final scan removes the false positives.
+
+    Implemented variants:
+    - [Naive] — exact hash aggregation (the correctness oracle).
+    - [Coarse_count] — one bucket-counting pass: each key hashes to one of
+      [buckets] counters; keys landing in a "heavy" bucket (count ≥
+      threshold) are candidates.
+    - [Defer_count] — sample first; keys that look heavy in the sample are
+      counted exactly and {e excluded} from the buckets, which removes the
+      dominant source of bucket over-counts (the paper's DEFER-COUNT).
+    - [Multi_stage] — several independent bucket arrays (à la Bloom): a key
+      is a candidate only if {e all} of its buckets are heavy
+      (the paper's MULTI-STAGE).
+
+    The Smart-Iceberg framework targets the join in front of the grouping;
+    these techniques target the grouping itself, so they compose: the
+    relation scanned here may be any join result.  We include them as the
+    historical baseline for the grouping stage. *)
+
+type algorithm = Naive | Coarse_count | Defer_count | Multi_stage
+
+type config = {
+  buckets : int;  (** counters per bucket array *)
+  stages : int;  (** bucket arrays for [Multi_stage] *)
+  sample_rate : float;  (** sampling fraction for [Defer_count] *)
+  seed : int;
+}
+
+val default_config : config
+
+type stats = {
+  scans : int;  (** passes over the input *)
+  candidates : int;  (** groups surviving the probabilistic passes *)
+  false_positives : int;  (** candidates removed by the final scan *)
+  exact_counters : int;  (** peak exactly-counted groups (memory proxy) *)
+}
+
+(** [iceberg_count ?config ?metric ~algorithm rel ~key ~threshold] returns
+    the groups (key columns ++ aggregate) whose aggregate is ≥ [threshold],
+    plus execution statistics.  [key] gives the grouping column indexes.
+    [metric] is the aggregate: [`Count] (default) or [`Sum i], summing the
+    i-th column — the paper's opening example (revenue ≥ 10⁶) is a SUM
+    iceberg.  For [`Sum] the values must be non-negative integers, or the
+    coarse passes could produce false negatives. *)
+val iceberg_count :
+  ?config:config ->
+  ?metric:[ `Count | `Sum of int ] ->
+  algorithm:algorithm ->
+  Relalg.Relation.t ->
+  key:int list ->
+  threshold:int ->
+  Relalg.Relation.t * stats

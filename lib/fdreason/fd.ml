@@ -1,0 +1,57 @@
+module S = Set.Make (String)
+
+type t = { lhs : string list; rhs : string list }
+
+let make lhs rhs = { lhs; rhs }
+
+let to_string fd =
+  Printf.sprintf "{%s} -> {%s}"
+    (String.concat ", " fd.lhs)
+    (String.concat ", " fd.rhs)
+
+let closure fds attrs =
+  let rec fixpoint current =
+    let next =
+      List.fold_left
+        (fun acc fd ->
+          if List.for_all (fun a -> S.mem a acc) fd.lhs then
+            S.union acc (S.of_list fd.rhs)
+          else acc)
+        current fds
+    in
+    if S.equal next current then current else fixpoint next
+  in
+  S.elements (fixpoint (S.of_list attrs))
+
+let implies fds fd =
+  let closed = S.of_list (closure fds fd.lhs) in
+  List.for_all (fun a -> S.mem a closed) fd.rhs
+
+let superkey fds ~all xs =
+  let closed = S.of_list (closure fds xs) in
+  List.for_all (fun a -> S.mem a closed) all
+
+let of_equalities ?(constants = []) pairs =
+  let eq_fds =
+    List.concat_map
+      (fun (a, b) -> [ { lhs = [ a ]; rhs = [ b ] }; { lhs = [ b ]; rhs = [ a ] } ])
+      pairs
+  in
+  let const_fds = List.map (fun a -> { lhs = []; rhs = [ a ] }) constants in
+  eq_fds @ const_fds
+
+let qualify f fds =
+  List.map (fun fd -> { lhs = List.map f fd.lhs; rhs = List.map f fd.rhs }) fds
+
+let project fds attrs =
+  let attr_set = S.of_list attrs in
+  let keep_attrs xs = List.filter (fun a -> S.mem a attr_set) xs in
+  List.filter_map
+    (fun fd ->
+      if List.for_all (fun a -> S.mem a attr_set) fd.lhs then begin
+        let rhs = keep_attrs (closure fds fd.lhs) in
+        let rhs = List.filter (fun a -> not (List.mem a fd.lhs)) rhs in
+        if rhs = [] then None else Some { fd with rhs }
+      end
+      else None)
+    fds

@@ -1,0 +1,36 @@
+(** Functional-dependency reasoning over abstract string attributes.
+
+    Used for every schema-based safety check in the paper: Theorem 2's
+    superkey and [G_L → J_L] conditions, Theorem 3's [G_L → A_L], the
+    memoization conditions of §6, and Appendix D's inference of dependencies
+    that hold in a join result (equality predicates contribute X = Y as the
+    pair of FDs X → Y, Y → X; equality with a constant contributes ∅ → X). *)
+
+type t = { lhs : string list; rhs : string list }
+
+val make : string list -> string list -> t
+val to_string : t -> string
+
+(** Attribute-set closure X⁺ under the given FDs. *)
+val closure : t list -> string list -> string list
+
+(** [implies fds fd]: does the set entail [fd]? *)
+val implies : t list -> t -> bool
+
+(** [superkey fds ~all xs]: X⁺ ⊇ all. *)
+val superkey : t list -> all:string list -> string list -> bool
+
+(** FDs contributed by equality predicates in a join/selection condition:
+    each [(a, b)] pair yields a → b and b → a; each constant-bound
+    attribute yields ∅ → a. *)
+val of_equalities :
+  ?constants:string list -> (string * string) list -> t list
+
+(** Qualify every attribute of every FD, e.g. with a table alias. *)
+val qualify : (string -> string) -> t list -> t list
+
+(** Restrict FDs to those expressible over the given attribute set after
+    closure-based projection (sound, possibly incomplete beyond what the
+    checks need: computes X⁺ ∩ attrs for every X ⊆ attrs appearing as an
+    LHS). *)
+val project : t list -> string list -> t list

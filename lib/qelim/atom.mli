@@ -1,0 +1,35 @@
+(** Linear-constraint atoms [e op 0] with [op ∈ {≤, <, =}]. *)
+
+type op = Le | Lt | Eq
+
+type t = { e : Linexpr.t; op : op }
+
+(** [le a b], [lt a b], [eq a b] build the atoms a ≤ b, a < b, a = b. *)
+
+val le : Linexpr.t -> Linexpr.t -> t
+
+val lt : Linexpr.t -> Linexpr.t -> t
+val eq : Linexpr.t -> Linexpr.t -> t
+
+(** [Some b] when the atom has no variables; [None] otherwise. *)
+val truth : t -> bool option
+
+val vars : t -> string list
+val mentions : t -> string -> bool
+val rename : (string -> string) -> t -> t
+val subst : string -> Linexpr.t -> t -> t
+val eval : (string -> Rat.t) -> t -> bool
+val eval_float : (string -> float) -> t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Syntactic normalization: scale so the leading coefficient is ±1,
+    letting equal constraints with different scalings compare equal. *)
+val normalize : t -> t
+
+(** [implies a b]: does [a] syntactically imply [b]?  Sound but incomplete —
+    recognizes same-expression constraints with weaker bounds (used only to
+    tidy derived predicates). *)
+val implies : t -> t -> bool
+
+val to_string : t -> string

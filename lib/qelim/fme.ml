@@ -1,0 +1,59 @@
+(* Classify an atom relative to x.  [e op 0] with coefficient c on x reads
+   c·x + rest op 0, i.e. x op (-rest)/c when c > 0 (an upper bound) and the
+   reverse inequality when c < 0 (a lower bound). *)
+type bound =
+  | Unrelated of Atom.t
+  | Equality of Linexpr.t  (* x = this expression *)
+  | Upper of Linexpr.t * bool  (* x ≤/(<) expr; bool = strict *)
+  | Lower of Linexpr.t * bool  (* expr ≤/(<) x *)
+
+let classify x (a : Atom.t) =
+  let c, rest = Linexpr.split_var a.Atom.e x in
+  if Rat.is_zero c then Unrelated a
+  else
+    let target = Linexpr.scale (Rat.neg (Rat.inv c)) rest in
+    match a.Atom.op with
+    | Atom.Eq -> Equality target
+    | Atom.Le -> if Rat.sign c > 0 then Upper (target, false) else Lower (target, false)
+    | Atom.Lt -> if Rat.sign c > 0 then Upper (target, true) else Lower (target, true)
+
+let eliminate x atoms =
+  let classified = List.map (classify x) atoms in
+  let equalities =
+    List.filter_map (function Equality e -> Some e | _ -> None) classified
+  in
+  match equalities with
+  | repl :: _ ->
+    (* Case (i): substitute the pinned value into every other atom. *)
+    List.filter_map
+      (fun (a : Atom.t) ->
+        if Rat.is_zero (Linexpr.coeff a.Atom.e x) then Some a
+        else
+          let a' = Atom.subst x repl a in
+          if Linexpr.equal a'.Atom.e Linexpr.zero && a'.Atom.op <> Atom.Lt then None
+          else Some a')
+      atoms
+  | [] ->
+    let unrelated =
+      List.filter_map (function Unrelated a -> Some a | _ -> None) classified
+    in
+    let lowers =
+      List.filter_map (function Lower (e, s) -> Some (e, s) | _ -> None) classified
+    in
+    let uppers =
+      List.filter_map (function Upper (e, s) -> Some (e, s) | _ -> None) classified
+    in
+    (* Case (ii): cross bounds; case (iii): one-sided bounds vanish. *)
+    let crossed =
+      List.concat_map
+        (fun (lo, slo) ->
+          List.map
+            (fun (hi, shi) ->
+              let e = Linexpr.sub lo hi in
+              { Atom.e; op = (if slo || shi then Atom.Lt else Atom.Le) })
+            uppers)
+        lowers
+    in
+    unrelated @ crossed
+
+let eliminate_many xs atoms = List.fold_left (fun acc x -> eliminate x acc) atoms xs

@@ -1,0 +1,14 @@
+(** Fourier–Motzkin elimination of one variable from a conjunction of linear
+    atoms (the EE step of the paper's derivation procedure, §5.2):
+
+    - if some atom pins [x] by an equality, substitute it everywhere;
+    - otherwise cross-multiply every lower bound with every upper bound
+      (strict if either side is strict);
+    - an [x] bounded on at most one side is simply dropped.
+
+    The result is satisfiable exactly when ∃x of the input is. *)
+
+val eliminate : string -> Atom.t list -> Atom.t list
+
+(** Eliminate several variables in sequence. *)
+val eliminate_many : string list -> Atom.t list -> Atom.t list

@@ -1,0 +1,75 @@
+module M = Map.Make (String)
+
+type t = { coeffs : Rat.t M.t; const : Rat.t }
+(* invariant: no zero coefficients stored *)
+
+let zero = { coeffs = M.empty; const = Rat.zero }
+let const k = { coeffs = M.empty; const = k }
+let var x = { coeffs = M.singleton x Rat.one; const = Rat.zero }
+
+let put m x c = if Rat.is_zero c then M.remove x m else M.add x c m
+
+let add a b =
+  {
+    coeffs =
+      M.fold (fun x c acc ->
+          let c' = match M.find_opt x acc with Some d -> Rat.add c d | None -> c in
+          put acc x c')
+        b.coeffs a.coeffs;
+    const = Rat.add a.const b.const;
+  }
+
+let scale k a =
+  if Rat.is_zero k then zero
+  else { coeffs = M.map (Rat.mul k) a.coeffs; const = Rat.mul k a.const }
+
+let neg = scale Rat.minus_one
+let sub a b = add a (neg b)
+
+let coeff a x = match M.find_opt x a.coeffs with Some c -> c | None -> Rat.zero
+let constant a = a.const
+let vars a = List.map fst (M.bindings a.coeffs)
+let is_constant a = M.is_empty a.coeffs
+
+let split_var a x =
+  (coeff a x, { a with coeffs = M.remove x a.coeffs })
+
+let subst x e a =
+  let c, rest = split_var a x in
+  if Rat.is_zero c then a else add rest (scale c e)
+
+let rename f a =
+  M.fold (fun x c acc -> add acc (scale c (var (f x)))) a.coeffs (const a.const)
+
+let eval env a =
+  M.fold (fun x c acc -> Rat.add acc (Rat.mul c (env x))) a.coeffs a.const
+
+let eval_float env a =
+  M.fold
+    (fun x c acc -> acc +. (Rat.to_float c *. env x))
+    a.coeffs (Rat.to_float a.const)
+
+let compare a b =
+  let c = M.compare Rat.compare a.coeffs b.coeffs in
+  if c <> 0 then c else Rat.compare a.const b.const
+
+let equal a b = compare a b = 0
+
+let to_string a =
+  let terms =
+    M.fold
+      (fun x c acc ->
+        let t =
+          if Rat.equal c Rat.one then x
+          else if Rat.equal c Rat.minus_one then "-" ^ x
+          else Rat.to_string c ^ "*" ^ x
+        in
+        t :: acc)
+      a.coeffs []
+  in
+  let terms = List.rev terms in
+  let terms =
+    if Rat.is_zero a.const && terms <> [] then terms
+    else terms @ [ Rat.to_string a.const ]
+  in
+  match terms with [] -> "0" | _ -> String.concat " + " terms

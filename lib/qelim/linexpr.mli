@@ -1,0 +1,28 @@
+(** Linear expressions Σ cᵢ·xᵢ + k over named real variables. *)
+
+type t
+
+val zero : t
+val const : Rat.t -> t
+val var : string -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+val coeff : t -> string -> Rat.t
+val constant : t -> Rat.t
+val vars : t -> string list
+val is_constant : t -> bool
+
+(** Remove the variable, returning its coefficient and the remainder. *)
+val split_var : t -> string -> Rat.t * t
+
+(** Substitute a linear expression for a variable. *)
+val subst : string -> t -> t -> t
+
+val rename : (string -> string) -> t -> t
+val eval : (string -> Rat.t) -> t -> Rat.t
+val eval_float : (string -> float) -> t -> float
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string

@@ -1,0 +1,34 @@
+let eliminate_exists xs f =
+  let f = Formula.nnf f in
+  let disjuncts = Formula.dnf f in
+  let eliminated =
+    List.map
+      (fun conj ->
+        let atoms = Fme.eliminate_many xs conj in
+        Formula.conj (List.map Formula.atom atoms))
+      disjuncts
+  in
+  Formula.simplify (Formula.disj eliminated)
+
+let forall_implies ~vars ~premise ~conclusion =
+  (* ∀v (P ⇒ C)  ≡  ¬∃v (P ∧ ¬C) *)
+  let body = Formula.conj [ premise; Formula.Not conclusion ] in
+  let ex = eliminate_exists vars body in
+  Formula.simplify (Formula.nnf (Formula.Not ex))
+
+let implies_atom f atom =
+  let body = Formula.conj [ f; Formula.Not (Formula.atom atom) ] in
+  let residue = eliminate_exists (Formula.vars body) body in
+  match residue with Formula.False -> true | _ -> false
+
+let rec eliminate_all f =
+  match f with
+  | Formula.True | Formula.False | Formula.Atom _ -> f
+  | Formula.Not g -> Formula.simplify (Formula.Not (eliminate_all g))
+  | Formula.And gs -> Formula.simplify (Formula.And (List.map eliminate_all gs))
+  | Formula.Or gs -> Formula.simplify (Formula.Or (List.map eliminate_all gs))
+  | Formula.Exists (x, g) -> eliminate_exists [ x ] (eliminate_all g)
+  | Formula.Forall (x, g) ->
+    let inner = eliminate_all g in
+    Formula.simplify
+      (Formula.nnf (Formula.Not (eliminate_exists [ x ] (Formula.nnf (Formula.Not inner)))))

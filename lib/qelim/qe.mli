@@ -1,0 +1,22 @@
+(** Quantifier elimination for linear arithmetic over the reals, composed of
+    the paper's three steps (§5.2): UE (∀x θ ↦ ¬∃x ¬θ), DE (∃ distributes
+    over ∨ after DNF conversion) and EE (Fourier–Motzkin on conjunctions). *)
+
+(** [eliminate_exists xs f]: a quantifier-free formula over the remaining
+    variables equivalent to ∃xs. f ([f] quantifier-free). *)
+val eliminate_exists : string list -> Formula.t -> Formula.t
+
+(** [forall_implies ~vars ~premise ~conclusion]: quantifier-free equivalent
+    of ∀vars (premise ⇒ conclusion) — exactly the shape of the paper's
+    subsumption condition ∀w_r (Θ(w', w_r) ⇒ Θ(w, w_r)). *)
+val forall_implies :
+  vars:string list -> premise:Formula.t -> conclusion:Formula.t -> Formula.t
+
+(** Eliminate every quantifier in a closed-under-prefix formula (quantifiers
+    may appear anywhere); used by tests. *)
+val eliminate_all : Formula.t -> Formula.t
+
+(** Sound (refutation-complete for linear reals) implication test: does the
+    quantifier-free [f] entail the atom on every assignment?  Implemented as
+    unsatisfiability of f ∧ ¬atom via full elimination. *)
+val implies_atom : Formula.t -> Atom.t -> bool

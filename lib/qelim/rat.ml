@@ -1,0 +1,56 @@
+type t = { n : int; d : int }  (* invariant: d > 0, gcd(|n|, d) = 1 *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make n d =
+  if d = 0 then invalid_arg "Rat.make: zero denominator";
+  let s = if d < 0 then -1 else 1 in
+  let n = s * n and d = s * d in
+  let g = gcd (abs n) d in
+  if g = 0 then { n = 0; d = 1 } else { n = n / g; d = d / g }
+
+let zero = { n = 0; d = 1 }
+let one = { n = 1; d = 1 }
+let minus_one = { n = -1; d = 1 }
+let of_int n = { n; d = 1 }
+
+let of_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then of_int (int_of_float f)
+  else begin
+    (* Scale by powers of ten up to 10^9; exact for decimal literals. *)
+    let rec go scale k =
+      let scaled = f *. scale in
+      if Float.is_integer scaled || k >= 9 then
+        make (int_of_float (Float.round scaled)) (int_of_float scale)
+      else go (scale *. 10.) (k + 1)
+    in
+    go 1. 0
+  end
+
+let to_float t = float_of_int t.n /. float_of_int t.d
+let add a b = make ((a.n * b.d) + (b.n * a.d)) (a.d * b.d)
+let sub a b = make ((a.n * b.d) - (b.n * a.d)) (a.d * b.d)
+let mul a b = make (a.n * b.n) (a.d * b.d)
+
+let div a b =
+  if b.n = 0 then invalid_arg "Rat.div: division by zero";
+  make (a.n * b.d) (a.d * b.n)
+
+let neg a = { a with n = -a.n }
+
+let inv a =
+  if a.n = 0 then invalid_arg "Rat.inv: zero";
+  make a.d a.n
+
+let compare a b = compare (a.n * b.d) (b.n * a.d)
+let equal a b = a.n = b.n && a.d = b.d
+let sign a = compare a zero
+let is_zero a = a.n = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_string a =
+  if a.d = 1 then string_of_int a.n else Printf.sprintf "%d/%d" a.n a.d
+
+let num a = a.n
+let den a = a.d

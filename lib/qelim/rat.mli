@@ -1,0 +1,31 @@
+(** Exact rational arithmetic over native integers (the paper uses
+    Mathematica for its constraint manipulation; query constants are small,
+    so machine-word rationals suffice and stay exact). *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val of_int : int -> t
+val make : int -> int -> t  (** [make num den]; raises on zero denominator *)
+
+(** Exact when the float is representable; decimal constants from SQL are. *)
+val of_float : float -> t
+
+val to_float : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val inv : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val to_string : t -> string
+val num : t -> int
+val den : t -> int

@@ -1,0 +1,63 @@
+open Relalg
+
+let ( let* ) = Option.bind
+
+let rec linexpr ~var e =
+  match e with
+  | Expr.Const (Value.Int i) -> Some (Linexpr.const (Rat.of_int i))
+  | Expr.Const (Value.Float f) -> Some (Linexpr.const (Rat.of_float f))
+  | Expr.Const _ -> None
+  | Expr.Col c -> Some (Linexpr.var (var c))
+  | Expr.Neg a ->
+    let* la = linexpr ~var a in
+    Some (Linexpr.neg la)
+  | Expr.Binop (Expr.Add, a, b) ->
+    let* la = linexpr ~var a in
+    let* lb = linexpr ~var b in
+    Some (Linexpr.add la lb)
+  | Expr.Binop (Expr.Sub, a, b) ->
+    let* la = linexpr ~var a in
+    let* lb = linexpr ~var b in
+    Some (Linexpr.sub la lb)
+  | Expr.Binop (Expr.Mul, a, b) ->
+    let* la = linexpr ~var a in
+    let* lb = linexpr ~var b in
+    if Linexpr.is_constant la then Some (Linexpr.scale (Linexpr.constant la) lb)
+    else if Linexpr.is_constant lb then Some (Linexpr.scale (Linexpr.constant lb) la)
+    else None
+  | Expr.Binop (Expr.Div, a, b) ->
+    let* la = linexpr ~var a in
+    let* lb = linexpr ~var b in
+    if Linexpr.is_constant lb && not (Rat.is_zero (Linexpr.constant lb)) then
+      Some (Linexpr.scale (Rat.inv (Linexpr.constant lb)) la)
+    else None
+  | Expr.Cmp _ | Expr.And _ | Expr.Or _ | Expr.Not _ | Expr.In_set _ -> None
+
+let rec formula ~var p =
+  match p with
+  | Expr.Const (Value.Bool true) -> Some Formula.True
+  | Expr.Const (Value.Bool false) -> Some Formula.False
+  | Expr.Cmp (op, a, b) ->
+    let* la = linexpr ~var a in
+    let* lb = linexpr ~var b in
+    Some
+      (match op with
+       | Expr.Eq -> Formula.atom (Atom.eq la lb)
+       | Expr.Lt -> Formula.atom (Atom.lt la lb)
+       | Expr.Le -> Formula.atom (Atom.le la lb)
+       | Expr.Gt -> Formula.atom (Atom.lt lb la)
+       | Expr.Ge -> Formula.atom (Atom.le lb la)
+       | Expr.Ne ->
+         Formula.disj [ Formula.atom (Atom.lt la lb); Formula.atom (Atom.lt lb la) ])
+  | Expr.And (a, b) ->
+    let* fa = formula ~var a in
+    let* fb = formula ~var b in
+    Some (Formula.conj [ fa; fb ])
+  | Expr.Or (a, b) ->
+    let* fa = formula ~var a in
+    let* fb = formula ~var b in
+    Some (Formula.disj [ fa; fb ])
+  | Expr.Not a ->
+    let* fa = formula ~var a in
+    Some (Formula.nnf (Formula.Not fa))
+  | Expr.Const _ | Expr.Col _ | Expr.Binop _ | Expr.Neg _ | Expr.In_set _ -> None

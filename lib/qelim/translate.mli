@@ -1,0 +1,11 @@
+(** Bridge between SQL predicates ([Relalg.Expr]) and linear-arithmetic
+    formulas.  Translation is partial: multiplication of two columns,
+    IN-subqueries, or non-numeric constants yield [None], in which case the
+    optimizer simply forgoes the technique needing the formula. *)
+
+(** [linexpr ~var e]: linear view of a scalar expression; [var] names the
+    logic variable standing for a column. *)
+val linexpr : var:(Relalg.Schema.col -> string) -> Relalg.Expr.t -> Linexpr.t option
+
+(** [formula ~var p]: logical form of a boolean SQL predicate. *)
+val formula : var:(Relalg.Schema.col -> string) -> Relalg.Expr.t -> Formula.t option

@@ -1,0 +1,101 @@
+type table = {
+  name : string;
+  rel : Relation.t;
+  keys : string list list;
+  fds : (string list * string list) list;
+  nonneg : string list;
+  mutable indexes : Index.t list;
+}
+
+type t = (string, table) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let norm = String.lowercase_ascii
+
+let add_table t ?(keys = []) ?(fds = []) ?(nonneg = []) name rel =
+  Hashtbl.replace t (norm name) { name; rel; keys; fds; nonneg; indexes = [] }
+
+let find_opt t name = Hashtbl.find_opt t (norm name)
+
+let find t name =
+  match find_opt t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "Catalog: unknown table %s" name)
+
+let mem t name = Hashtbl.mem t (norm name)
+
+let table_names t = Hashtbl.fold (fun _ tbl acc -> tbl.name :: acc) t []
+
+let all_fds tbl =
+  let all_cols = List.map (fun c -> c.Schema.name) (Schema.cols tbl.rel.Relation.schema) in
+  List.map (fun k -> (k, all_cols)) tbl.keys @ tbl.fds
+
+let is_nonneg tbl col = List.mem col tbl.nonneg
+
+let col_idxs tbl cols =
+  List.map (fun c -> Schema.index_of tbl.rel.Relation.schema c) cols
+
+let build_hash_index t name cols =
+  let tbl = find t name in
+  let idx = Index.Hash_index (Index.Hash.build tbl.rel (col_idxs tbl cols)) in
+  tbl.indexes <- idx :: tbl.indexes
+
+let build_sorted_index t name cols =
+  let tbl = find t name in
+  let idx = Index.Sorted_index (Index.Sorted.build tbl.rel (col_idxs tbl cols)) in
+  tbl.indexes <- idx :: tbl.indexes
+
+let drop_indexes t name =
+  let tbl = find t name in
+  tbl.indexes <- []
+
+let replace_rows t name rel =
+  let tbl = find t name in
+  let index_cols =
+    List.map
+      (fun idx ->
+        let cols = Index.columns idx in
+        let names =
+          List.map (fun i -> (Schema.nth tbl.rel.Relation.schema i).Schema.name) cols
+        in
+        (names, match idx with Index.Hash_index _ -> `Hash | Index.Sorted_index _ -> `Sorted))
+      tbl.indexes
+  in
+  Hashtbl.replace t (norm name) { tbl with rel; indexes = [] };
+  List.iter
+    (fun (names, kind) ->
+      match kind with
+      | `Hash -> build_hash_index t name names
+      | `Sorted -> build_sorted_index t name names)
+    index_cols
+
+let sorted_index_on tbl col =
+  let rec go = function
+    | [] -> None
+    | Index.Sorted_index s :: rest ->
+      (match Index.Sorted.key_idxs s with
+       | i :: _ when (Schema.nth tbl.rel.Relation.schema i).Schema.name = col -> Some s
+       | _ -> go rest)
+    | Index.Hash_index _ :: rest -> go rest
+  in
+  go tbl.indexes
+
+let hash_index_on tbl cols =
+  let want =
+    try Some (col_idxs tbl cols) with Schema.Unknown_column _ -> None
+  in
+  match want with
+  | None -> None
+  | Some want ->
+    let rec go = function
+      | [] -> None
+      | Index.Hash_index h :: rest ->
+        if Index.Hash.key_idxs h = want then Some h else go rest
+      | Index.Sorted_index _ :: rest -> go rest
+    in
+    go tbl.indexes
+
+let add_temp t name rel = add_table t name rel
+
+let remove_table t name = Hashtbl.remove t (norm name)

@@ -1,0 +1,54 @@
+(** The catalog: named base tables plus the schema knowledge the optimizer
+    needs — candidate keys, functional dependencies, domain facts (whether a
+    column is known non-negative, for Table 2's SUM caveat) and available
+    indexes (the paper's PK / BT configurations). *)
+
+type table = {
+  name : string;
+  rel : Relation.t;
+  keys : string list list;  (** candidate keys, by unqualified column name *)
+  fds : (string list * string list) list;  (** extra FDs beyond keys *)
+  nonneg : string list;  (** columns with dom ⊆ ℝ≥0 *)
+  mutable indexes : Index.t list;
+}
+
+type t
+
+val create : unit -> t
+
+val add_table :
+  t ->
+  ?keys:string list list ->
+  ?fds:(string list * string list) list ->
+  ?nonneg:string list ->
+  string ->
+  Relation.t ->
+  unit
+
+(** Replace a table's rows, keeping metadata and rebuilding its indexes
+    (used by benchmarks that sweep input size). *)
+val replace_rows : t -> string -> Relation.t -> unit
+
+val find : t -> string -> table
+val find_opt : t -> string -> table option
+val mem : t -> string -> bool
+val table_names : t -> string list
+
+(** All FDs of the table: declared FDs plus key → all-columns. *)
+val all_fds : table -> (string list * string list) list
+
+val is_nonneg : table -> string -> bool
+
+val build_hash_index : t -> string -> string list -> unit
+val build_sorted_index : t -> string -> string list -> unit
+val drop_indexes : t -> string -> unit
+
+(** A sorted index whose first key column is [col], if one exists. *)
+val sorted_index_on : table -> string -> Index.Sorted.t option
+
+val hash_index_on : table -> string list -> Index.Hash.t option
+
+(** Register a derived relation under a fresh name (CTE materialization). *)
+val add_temp : t -> string -> Relation.t -> unit
+
+val remove_table : t -> string -> unit

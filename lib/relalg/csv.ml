@@ -1,0 +1,95 @@
+let split_line line =
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let n = String.length line in
+  let rec go i in_quotes =
+    if i >= n then fields := Buffer.contents buf :: !fields
+    else
+      let c = line.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else if c = '"' then go (i + 1) true
+      else if c = ',' then begin
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) false
+      end
+  in
+  go 0 false;
+  List.rev !fields
+
+let parse_lines lines =
+  match lines with
+  | [] -> invalid_arg "Csv: empty input"
+  | header :: rest ->
+    let names = split_line header in
+    let schema = Schema.of_names names in
+    let arity = List.length names in
+    let rows =
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else begin
+            let fields = split_line line in
+            if List.length fields <> arity then
+              invalid_arg (Printf.sprintf "Csv: row arity %d <> header arity %d" (List.length fields) arity);
+            Some (Row.make (List.map Value.of_csv_field fields))
+          end)
+        rest
+    in
+    Relation.of_rows schema rows
+
+let parse_string s =
+  let s = String.concat "" (String.split_on_char '\r' s) in
+  parse_lines (String.split_on_char '\n' s)
+
+let load path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  parse_lines (List.rev !lines)
+
+let escape_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv_string rel =
+  let b = Buffer.create 1024 in
+  let names =
+    List.map (fun c -> c.Schema.name) (Schema.cols rel.Relation.schema)
+  in
+  Buffer.add_string b (String.concat "," (List.map escape_field names));
+  Buffer.add_char b '\n';
+  Relation.iter
+    (fun row ->
+      let fields =
+        Array.to_list (Array.map (fun v -> escape_field (Value.to_string v)) row)
+      in
+      Buffer.add_string b (String.concat "," fields);
+      Buffer.add_char b '\n')
+    rel;
+  Buffer.contents b
+
+let save path rel =
+  let oc = open_out path in
+  output_string oc (to_csv_string rel);
+  close_out oc

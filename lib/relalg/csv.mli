@@ -1,0 +1,7 @@
+(** Minimal CSV import/export (comma-separated, first line is the header,
+    double-quote escaping) so the CLI and examples can load real data. *)
+
+val load : string -> Relation.t
+val save : string -> Relation.t -> unit
+val parse_string : string -> Relation.t
+val to_csv_string : Relation.t -> string

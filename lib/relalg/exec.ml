@@ -1,0 +1,238 @@
+(* Plan interpretation is push-based where it matters: joins stream their
+   output rows directly into the consumer (a collector, or the aggregation
+   operator), so a join feeding GROUP BY never materializes its full result
+   — matching how the paper's baseline systems pipeline their plans.
+   Blocking operators (grouping, sort, distinct) materialize.
+
+   To keep the hot loops allocation-light, a streamed node emits each output
+   row as a (left part, right part) pair; consumers either concatenate
+   (materialization) or blit both parts into a reusable scratch row
+   (aggregation).
+
+   With [workers > 1] (the Vendor A stand-in), joins are parallelized by
+   chunking the outer side across domains; under aggregation each domain
+   builds a partial group table that is merged at the end — mirroring
+   Vendor A's Parallelism (Gather/Repartition Streams) plan nodes in
+   Appendix E. *)
+
+let scan catalog table alias filter =
+  let tbl = Catalog.find catalog table in
+  let q = Option.value alias ~default:tbl.Catalog.name in
+  let rel =
+    Relation.make
+      (Schema.requalify q tbl.Catalog.rel.Relation.schema)
+      tbl.Catalog.rel.Relation.rows
+  in
+  match filter with None -> rel | Some pred -> Ops.select pred rel
+
+let compile_bound schema lo hi () =
+  let cb = function
+    | None -> fun _ -> None
+    | Some (e, strictness) ->
+      let f = Expr.compile schema e in
+      fun row -> Some (f row, strictness)
+  in
+  let flo = cb lo and fhi = cb hi in
+  fun row -> (flo row, fhi row)
+
+let sorted_index_for catalog table key_col =
+  Catalog.sorted_index_on (Catalog.find catalog table) key_col
+
+type streamed = {
+  schema : Schema.t;
+  left_arity : int;  (* output rows are (left part, right part) *)
+  outer : Relation.t;  (* the driving (outer) relation, chunkable *)
+  (* [feed chunk emit] streams the node's output for the given outer chunk;
+     safe to run concurrently on disjoint chunks (it compiles its own
+     predicate state per call). *)
+  feed : Row.t array -> (Row.t -> Row.t -> unit) -> unit;
+}
+
+let empty_row : Row.t = [||]
+
+let rec run ?(workers = 1) catalog plan =
+  match plan with
+  | Plan.Scan { table; alias; filter } -> scan catalog table alias filter
+  | Plan.Values { name; rel } ->
+    Relation.make (Schema.requalify name rel.Relation.schema) rel.Relation.rows
+  | Plan.Filter (pred, p) -> Ops.select pred (run ~workers catalog p)
+  | Plan.Project (outs, p) -> Ops.project outs (run ~workers catalog p)
+  | Plan.Nl_join _ | Plan.Hash_join _ | Plan.Index_nl_join _ ->
+    collect ~workers (stream ~workers catalog plan)
+  | Plan.Merge_join { keys; residual; left; right } ->
+    let l = run ~workers catalog left and r = run ~workers catalog right in
+    Ops.merge_join
+      ~left_keys:(List.map fst keys)
+      ~right_keys:(List.map snd keys)
+      ~residual l r
+  | Plan.Group { group_cols; aggs; input } -> group ~workers catalog group_cols aggs input
+  | Plan.Distinct p -> Ops.distinct (run ~workers catalog p)
+  | Plan.Order_by (keys, p) -> Ops.order_by keys (run ~workers catalog p)
+  | Plan.Limit (n, p) -> Ops.limit n (run ~workers catalog p)
+  | Plan.Semijoin { keys; sub; input } ->
+    let s = run ~workers catalog sub and i = run ~workers catalog input in
+    Ops.semijoin keys s i
+  | Plan.Rename (alias, p) ->
+    let rel = run ~workers catalog p in
+    Relation.make
+      (Schema.requalify alias (Schema.unqualified rel.Relation.schema))
+      rel.Relation.rows
+
+(* Build a streamed view of a plan.  Joins stream; anything else
+   materializes and streams its rows trivially. *)
+and stream ~workers catalog plan : streamed =
+  match plan with
+  | Plan.Nl_join { pred; left; right } ->
+    let l = run ~workers catalog left in
+    let r = run ~workers catalog right in
+    let schema = Schema.append l.Relation.schema r.Relation.schema in
+    let feed chunk emit =
+      let ok = Expr.compile_join_bool l.Relation.schema r.Relation.schema pred in
+      let rrows = r.Relation.rows in
+      let nr = Array.length rrows in
+      Array.iter
+        (fun lrow ->
+          for j = 0 to nr - 1 do
+            let rrow = rrows.(j) in
+            if ok lrow rrow then emit lrow rrow
+          done)
+        chunk
+    in
+    { schema; left_arity = Schema.arity l.Relation.schema; outer = l; feed }
+  | Plan.Hash_join { keys; residual; left; right } ->
+    let l = run ~workers catalog left in
+    let r = run ~workers catalog right in
+    let schema = Schema.append l.Relation.schema r.Relation.schema in
+    let rkeys = List.map (Expr.compile r.Relation.schema) (List.map snd keys) in
+    let tbl = Row.Tbl.create (max 16 (Relation.cardinality r)) in
+    Relation.iter
+      (fun rrow ->
+        let key = Array.of_list (List.map (fun f -> f rrow) rkeys) in
+        match Row.Tbl.find_opt tbl key with
+        | Some cell -> cell := rrow :: !cell
+        | None -> Row.Tbl.add tbl key (ref [ rrow ]))
+      r;
+    let feed chunk emit =
+      let lkeys = List.map (Expr.compile l.Relation.schema) (List.map fst keys) in
+      let ok = Expr.compile_join_bool l.Relation.schema r.Relation.schema residual in
+      Array.iter
+        (fun lrow ->
+          let key = Array.of_list (List.map (fun f -> f lrow) lkeys) in
+          match Row.Tbl.find_opt tbl key with
+          | None -> ()
+          | Some cell ->
+            List.iter (fun rrow -> if ok lrow rrow then emit lrow rrow) !cell)
+        chunk
+    in
+    { schema; left_arity = Schema.arity l.Relation.schema; outer = l; feed }
+  | Plan.Index_nl_join { pred; left; table; alias; key_col; lo; hi } ->
+    (match sorted_index_for catalog table key_col with
+     | None ->
+       (* No BT index: degrade to a plain nested loop over the table. *)
+       stream ~workers catalog
+         (Plan.Nl_join { pred; left; right = Plan.Scan { table; alias; filter = None } })
+     | Some index ->
+       let l = run ~workers catalog left in
+       let tbl = Catalog.find catalog table in
+       let q = Option.value alias ~default:tbl.Catalog.name in
+       let right_schema = Schema.requalify q tbl.Catalog.rel.Relation.schema in
+       let schema = Schema.append l.Relation.schema right_schema in
+       let make_bound = compile_bound l.Relation.schema lo hi in
+       let feed chunk emit =
+         let ok = Expr.compile_join_bool l.Relation.schema right_schema pred in
+         let bound = make_bound () in
+         Array.iter
+           (fun lrow ->
+             let blo, bhi = bound lrow in
+             Index.Sorted.iter_range index ~lo:blo ~hi:bhi (fun rrow ->
+                 if ok lrow rrow then emit lrow rrow))
+           chunk
+       in
+       { schema; left_arity = Schema.arity l.Relation.schema; outer = l; feed })
+  | _ ->
+    let rel = run ~workers catalog plan in
+    {
+      schema = rel.Relation.schema;
+      left_arity = Schema.arity rel.Relation.schema;
+      outer = rel;
+      feed = (fun chunk emit -> Array.iter (fun row -> emit row empty_row) chunk);
+    }
+
+(* Materialize a streamed node (possibly in parallel). *)
+and collect ~workers s =
+  let collect_chunk chunk =
+    let out = ref [] in
+    s.feed chunk (fun lrow rrow ->
+        out := (if Array.length rrow = 0 then lrow else Row.append lrow rrow) :: !out);
+    List.rev !out
+  in
+  if workers <= 1 then Relation.of_rows s.schema (collect_chunk s.outer.Relation.rows)
+  else begin
+    let results = Parallel.run_chunks ~workers s.outer.Relation.rows collect_chunk in
+    Relation.of_rows s.schema (List.concat results)
+  end
+
+(* Hash aggregation over a streamed input; parallel chunks build partial
+   tables merged via the aggregates' algebraic [merge]. *)
+and group ~workers catalog group_cols aggs input =
+  let s = stream ~workers catalog input in
+  let out_schema = Schema.of_cols (List.map snd group_cols @ List.map snd aggs) in
+  let arity = Schema.arity s.schema in
+  let build chunk =
+    let gexprs = Array.of_list (List.map (fun (e, _) -> Expr.compile s.schema e) group_cols) in
+    let compiled = Array.of_list (List.map (fun (f, _) -> Agg.compile s.schema f) aggs) in
+    let nagg = Array.length compiled in
+    let groups = Row.Tbl.create 256 in
+    let scratch = Array.make arity Value.Null in
+    let ng = Array.length gexprs in
+    (* Probe with a reusable key buffer; copy only on first insertion. *)
+    let key_buf = Array.make ng Value.Null in
+    s.feed chunk (fun lrow rrow ->
+        let ll = Array.length lrow in
+        Array.blit lrow 0 scratch 0 ll;
+        if Array.length rrow > 0 then Array.blit rrow 0 scratch ll (Array.length rrow);
+        for i = 0 to ng - 1 do
+          key_buf.(i) <- gexprs.(i) scratch
+        done;
+        let states =
+          match Row.Tbl.find_opt groups key_buf with
+          | Some st -> st
+          | None ->
+            let st = Array.map (fun (c : Agg.compiled) -> c.Agg.fresh ()) compiled in
+            Row.Tbl.add groups (Array.copy key_buf) st;
+            st
+        in
+        for i = 0 to nagg - 1 do
+          compiled.(i).Agg.step states.(i) scratch
+        done);
+    (compiled, groups)
+  in
+  let partials =
+    if workers <= 1 || Relation.cardinality s.outer < 2048 then
+      [ build s.outer.Relation.rows ]
+    else Parallel.run_chunks ~workers s.outer.Relation.rows build
+  in
+  match partials with
+  | [] -> Relation.empty out_schema
+  | (compiled0, merged) :: rest ->
+    List.iter
+      (fun (_, groups) ->
+        Row.Tbl.iter
+          (fun key states ->
+            match Row.Tbl.find_opt merged key with
+            | None -> Row.Tbl.add merged key states
+            | Some acc ->
+              Array.iteri (fun i c -> c.Agg.merge acc.(i) states.(i)) compiled0)
+          groups)
+      rest;
+    let finalize key states =
+      Array.append key (Array.map2 (fun (c : Agg.compiled) st -> c.Agg.final st) compiled0 states)
+    in
+    if group_cols = [] && Row.Tbl.length merged = 0 then
+      let states = Array.map (fun (c : Agg.compiled) -> c.Agg.fresh ()) compiled0 in
+      Relation.of_rows out_schema [ finalize [||] states ]
+    else begin
+      let rows = ref [] in
+      Row.Tbl.iter (fun key states -> rows := finalize key states :: !rows) merged;
+      Relation.of_rows out_schema !rows
+    end

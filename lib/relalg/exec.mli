@@ -1,0 +1,7 @@
+(** Plan interpreter.
+
+    [workers = 1] gives the sequential baseline ("PostgreSQL" stand-in);
+    [workers = 4] parallelizes joins and aggregation across domains ("Vendor
+    A" stand-in, cf. Appendix E's Parallelism/Gather plan nodes). *)
+
+val run : ?workers:int -> Catalog.t -> Plan.t -> Relation.t

@@ -1,0 +1,98 @@
+module Hash = struct
+  type t = { key_idxs : int list; tbl : Row.t list ref Row.Tbl.t }
+
+  let build rel key_idxs =
+    let tbl = Row.Tbl.create (max 16 (Relation.cardinality rel)) in
+    Relation.iter
+      (fun row ->
+        let key = Row.project row key_idxs in
+        match Row.Tbl.find_opt tbl key with
+        | Some cell -> cell := row :: !cell
+        | None -> Row.Tbl.add tbl key (ref [ row ]))
+      rel;
+    { key_idxs; tbl }
+
+  let key_idxs t = t.key_idxs
+
+  let probe t key =
+    match Row.Tbl.find_opt t.tbl key with Some cell -> !cell | None -> []
+
+  let distinct_keys t = Row.Tbl.length t.tbl
+end
+
+module Sorted = struct
+  type t = { key_idxs : int list; rows : Row.t array }
+
+  let build rel key_idxs =
+    let rows = Array.copy rel.Relation.rows in
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | i :: rest ->
+          let c = Value.compare_total a.(i) b.(i) in
+          if c <> 0 then c else go rest
+      in
+      go key_idxs
+    in
+    Array.sort cmp rows;
+    { key_idxs; rows }
+
+  let key_idxs t = t.key_idxs
+
+  let first_key t row =
+    match t.key_idxs with
+    | [] -> invalid_arg "Index.Sorted: empty key"
+    | i :: _ -> row.(i)
+
+  (* Smallest index whose first-key-column value is >= (or > if strict) v. *)
+  let lower_bound t v strict =
+    let n = Array.length t.rows in
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        let c = Value.compare_total (first_key t t.rows.(mid)) v in
+        let keep_right = if strict then c <= 0 else c < 0 in
+        if keep_right then go (mid + 1) hi else go lo mid
+    in
+    go 0 n
+
+  let bounds t ~lo ~hi =
+    let n = Array.length t.rows in
+    let start =
+      match lo with
+      | None -> 0
+      | Some (v, `Inclusive) -> lower_bound t v false
+      | Some (v, `Strict) -> lower_bound t v true
+    in
+    let stop =
+      match hi with
+      | None -> n
+      | Some (v, `Inclusive) -> lower_bound t v true
+      | Some (v, `Strict) -> lower_bound t v false
+    in
+    (start, stop)
+
+  let range t ~lo ~hi =
+    let start, stop = bounds t ~lo ~hi in
+    let rec seq i () =
+      if i >= stop then Seq.Nil else Seq.Cons (t.rows.(i), seq (i + 1))
+    in
+    seq start
+
+  let iter_range t ~lo ~hi f =
+    let start, stop = bounds t ~lo ~hi in
+    for i = start to stop - 1 do
+      f t.rows.(i)
+    done
+
+  let cardinality t = Array.length t.rows
+end
+
+type t =
+  | Hash_index of Hash.t
+  | Sorted_index of Sorted.t
+
+let columns = function
+  | Hash_index h -> Hash.key_idxs h
+  | Sorted_index s -> Sorted.key_idxs s

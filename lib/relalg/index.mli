@@ -1,0 +1,49 @@
+(** Secondary indexes over in-memory relations.
+
+    [Hash] supports equality probes on a column tuple (used for hash joins,
+    memoization lookups and primary keys — the paper's {e PK} / {e CI}
+    configurations).  [Sorted] keeps rows ordered by a column list and
+    supports range restriction on the first column (the paper's {e BT}
+    secondary B-tree on comparison attributes). *)
+
+module Hash : sig
+  type t
+
+  val build : Relation.t -> int list -> t
+  val key_idxs : t -> int list
+  val probe : t -> Row.t -> Row.t list
+  val distinct_keys : t -> int
+end
+
+module Sorted : sig
+  type t
+
+  val build : Relation.t -> int list -> t
+  val key_idxs : t -> int list
+
+  (** All rows whose first key column lies within the given bounds
+      (inclusive unless [strict]).  [None] means unbounded on that side.
+      Uses binary search over the sorted row array. *)
+  val range :
+    t ->
+    lo:(Value.t * [ `Strict | `Inclusive ]) option ->
+    hi:(Value.t * [ `Strict | `Inclusive ]) option ->
+    Row.t Seq.t
+
+  (** Allocation-free variant of [range] for hot loops. *)
+  val iter_range :
+    t ->
+    lo:(Value.t * [ `Strict | `Inclusive ]) option ->
+    hi:(Value.t * [ `Strict | `Inclusive ]) option ->
+    (Row.t -> unit) ->
+    unit
+
+  val cardinality : t -> int
+end
+
+(** An available index on a base table, as registered in the catalog. *)
+type t =
+  | Hash_index of Hash.t
+  | Sorted_index of Sorted.t
+
+val columns : t -> int list

@@ -1,0 +1,186 @@
+let select pred rel =
+  let keep = Expr.compile_bool rel.Relation.schema pred in
+  Relation.filter keep rel
+
+let project outs rel =
+  let schema = Schema.of_cols (List.map snd outs) in
+  let fs = List.map (fun (e, _) -> Expr.compile rel.Relation.schema e) outs in
+  Relation.map_rows schema (fun row -> Array.of_list (List.map (fun f -> f row) fs)) rel
+
+let joined_schema l r = Schema.append l.Relation.schema r.Relation.schema
+
+let nl_join ~pred left right =
+  let schema = joined_schema left right in
+  let ok = Expr.compile_join_bool left.Relation.schema right.Relation.schema pred in
+  let out = ref [] in
+  Relation.iter
+    (fun lrow ->
+      Relation.iter
+        (fun rrow -> if ok lrow rrow then out := Row.append lrow rrow :: !out)
+        right)
+    left;
+  Relation.of_rows schema (List.rev !out)
+
+let hash_join ~left_keys ~right_keys ~residual left right =
+  let schema = joined_schema left right in
+  let rkeys = List.map (Expr.compile right.Relation.schema) right_keys in
+  let lkeys = List.map (Expr.compile left.Relation.schema) left_keys in
+  let tbl = Row.Tbl.create (max 16 (Relation.cardinality right)) in
+  Relation.iter
+    (fun rrow ->
+      let key = Array.of_list (List.map (fun f -> f rrow) rkeys) in
+      match Row.Tbl.find_opt tbl key with
+      | Some cell -> cell := rrow :: !cell
+      | None -> Row.Tbl.add tbl key (ref [ rrow ]))
+    right;
+  let ok = Expr.compile_join_bool left.Relation.schema right.Relation.schema residual in
+  let out = ref [] in
+  Relation.iter
+    (fun lrow ->
+      let key = Array.of_list (List.map (fun f -> f lrow) lkeys) in
+      match Row.Tbl.find_opt tbl key with
+      | None -> ()
+      | Some cell ->
+        List.iter
+          (fun rrow -> if ok lrow rrow then out := Row.append lrow rrow :: !out)
+          !cell)
+    left;
+  Relation.of_rows schema (List.rev !out)
+
+let merge_join ~left_keys ~right_keys ~residual left right =
+  let schema = joined_schema left right in
+  let key_row fs row = Array.of_list (List.map (fun f -> f row) fs) in
+  let lkeys = List.map (Expr.compile left.Relation.schema) left_keys in
+  let rkeys = List.map (Expr.compile right.Relation.schema) right_keys in
+  let lsorted =
+    let rows = Array.map (fun r -> (key_row lkeys r, r)) left.Relation.rows in
+    Array.sort (fun (a, _) (b, _) -> Row.compare a b) rows;
+    rows
+  in
+  let rsorted =
+    let rows = Array.map (fun r -> (key_row rkeys r, r)) right.Relation.rows in
+    Array.sort (fun (a, _) (b, _) -> Row.compare a b) rows;
+    rows
+  in
+  let ok = Expr.compile_join_bool left.Relation.schema right.Relation.schema residual in
+  let out = ref [] in
+  let nl = Array.length lsorted and nr = Array.length rsorted in
+  (* classic merge: advance the smaller key; on a match, cross the two
+     equal-key runs *)
+  let i = ref 0 and j = ref 0 in
+  while !i < nl && !j < nr do
+    let kl, _ = lsorted.(!i) and kr, _ = rsorted.(!j) in
+    let c = Row.compare kl kr in
+    if c < 0 then incr i
+    else if c > 0 then incr j
+    else begin
+      let i_end = ref !i in
+      while !i_end < nl && Row.compare (fst lsorted.(!i_end)) kl = 0 do
+        incr i_end
+      done;
+      let j_end = ref !j in
+      while !j_end < nr && Row.compare (fst rsorted.(!j_end)) kr = 0 do
+        incr j_end
+      done;
+      for a = !i to !i_end - 1 do
+        for b = !j to !j_end - 1 do
+          let _, lrow = lsorted.(a) and _, rrow = rsorted.(b) in
+          if ok lrow rrow then out := Row.append lrow rrow :: !out
+        done
+      done;
+      i := !i_end;
+      j := !j_end
+    end
+  done;
+  Relation.of_rows schema (List.rev !out)
+
+let index_nl_join ~pred ~index ~right_schema ~right_bound left =
+  let schema = Schema.append left.Relation.schema right_schema in
+  let ok = Expr.compile_join_bool left.Relation.schema right_schema pred in
+  let out = ref [] in
+  Relation.iter
+    (fun lrow ->
+      let lo, hi = right_bound lrow in
+      Seq.iter
+        (fun rrow -> if ok lrow rrow then out := Row.append lrow rrow :: !out)
+        (Index.Sorted.range index ~lo ~hi))
+    left;
+  Relation.of_rows schema (List.rev !out)
+
+let group_by ~group_cols ~aggs rel =
+  let gexprs = List.map (fun (e, _) -> Expr.compile rel.Relation.schema e) group_cols in
+  let compiled = List.map (fun (f, _) -> Agg.compile rel.Relation.schema f) aggs in
+  let schema =
+    Schema.of_cols (List.map snd group_cols @ List.map snd aggs)
+  in
+  let groups = Row.Tbl.create 64 in
+  let order = ref [] in
+  Relation.iter
+    (fun row ->
+      let key = Array.of_list (List.map (fun f -> f row) gexprs) in
+      let states =
+        match Row.Tbl.find_opt groups key with
+        | Some states -> states
+        | None ->
+          let states = List.map (fun c -> c.Agg.fresh ()) compiled in
+          Row.Tbl.add groups key states;
+          order := key :: !order;
+          states
+      in
+      List.iter2 (fun c st -> c.Agg.step st row) compiled states)
+    rel;
+  let finalize key states =
+    Array.append key (Array.of_list (List.map2 (fun c st -> c.Agg.final st) compiled states))
+  in
+  if group_cols = [] && Row.Tbl.length groups = 0 then
+    (* SQL: global aggregation over the empty input yields one row. *)
+    let states = List.map (fun c -> c.Agg.fresh ()) compiled in
+    Relation.of_rows schema [ finalize [||] states ]
+  else
+    let rows =
+      List.rev_map (fun key -> finalize key (Row.Tbl.find groups key)) !order
+    in
+    Relation.of_rows schema rows
+
+let distinct rel =
+  let seen = Row.Tbl.create 64 in
+  Relation.filter
+    (fun row ->
+      if Row.Tbl.mem seen row then false
+      else begin
+        Row.Tbl.add seen row ();
+        true
+      end)
+    rel
+
+let order_by keys rel =
+  let fs =
+    List.map (fun (e, dir) -> (Expr.compile rel.Relation.schema e, dir)) keys
+  in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (f, dir) :: rest ->
+        let c = Value.compare_total (f a) (f b) in
+        let c = match dir with `Asc -> c | `Desc -> -c in
+        if c <> 0 then c else go rest
+    in
+    go fs
+  in
+  Relation.sort_by cmp rel
+
+let limit n rel =
+  let rows = rel.Relation.rows in
+  let n = min n (Array.length rows) in
+  Relation.make rel.Relation.schema (Array.sub rows 0 n)
+
+let semijoin keys sub rel =
+  let set = Expr.row_set_of (Array.to_list sub.Relation.rows) in
+  select (Expr.In_set (keys, set)) rel
+
+let union_all a b =
+  if Schema.arity a.Relation.schema <> Schema.arity b.Relation.schema then
+    invalid_arg "Ops.union_all: arity mismatch";
+  Relation.make a.Relation.schema (Array.append a.Relation.rows b.Relation.rows)
+
+let cross a b = nl_join ~pred:Expr.tt a b

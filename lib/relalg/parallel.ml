@@ -1,0 +1,23 @@
+let split n arr =
+  let len = Array.length arr in
+  if len = 0 || n <= 1 then [ arr ]
+  else begin
+    let n = min n len in
+    let base = len / n and extra = len mod n in
+    let rec go i start acc =
+      if i >= n then List.rev acc
+      else begin
+        let size = base + if i < extra then 1 else 0 in
+        go (i + 1) (start + size) (Array.sub arr start size :: acc)
+      end
+    in
+    go 0 0 []
+  end
+
+let run_chunks ~workers rows f =
+  let chunks = split workers rows in
+  match chunks with
+  | [ only ] -> [ f only ]
+  | _ ->
+    let domains = List.map (fun chunk -> Domain.spawn (fun () -> f chunk)) chunks in
+    List.map Domain.join domains

@@ -1,0 +1,12 @@
+(** Domain-based intra-operator parallelism, used only by the "Vendor A"
+    executor configuration (the paper's commercial system uses 4 cores; our
+    Smart-Iceberg runtime stays sequential like the paper's). *)
+
+(** Split an array into at most [n] contiguous chunks of near-equal size. *)
+val split : int -> 'a array -> 'a array list
+
+(** [run_chunks ~workers rows f] applies [f] to each chunk in its own domain
+    and returns results in chunk order.  [f] is called once per chunk and
+    must not share mutable state across chunks; with [workers <= 1] it runs
+    sequentially in the current domain. *)
+val run_chunks : workers:int -> 'a array -> ('a array -> 'b) -> 'b list

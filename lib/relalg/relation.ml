@@ -1,0 +1,53 @@
+type t = { schema : Schema.t; rows : Row.t array }
+
+let make schema rows = { schema; rows }
+let of_rows schema rows = { schema; rows = Array.of_list rows }
+let cardinality t = Array.length t.rows
+let empty schema = { schema; rows = [||] }
+
+let to_string ?(max_rows = 20) t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Schema.to_string t.schema);
+  Buffer.add_char b '\n';
+  let n = Array.length t.rows in
+  let shown = min n max_rows in
+  for i = 0 to shown - 1 do
+    Buffer.add_string b (Row.to_string t.rows.(i));
+    Buffer.add_char b '\n'
+  done;
+  if n > shown then Buffer.add_string b (Printf.sprintf "... (%d rows total)\n" n);
+  Buffer.contents b
+
+let iter f t = Array.iter f t.rows
+let fold f init t = Array.fold_left f init t.rows
+
+let filter p t =
+  { t with rows = Array.of_seq (Seq.filter p (Array.to_seq t.rows)) }
+
+let map_rows schema f t = { schema; rows = Array.map f t.rows }
+
+let sort_by cmp t =
+  let rows = Array.copy t.rows in
+  Array.sort cmp rows;
+  { t with rows }
+
+let equal_bag a b =
+  cardinality a = cardinality b
+  && Schema.arity a.schema = Schema.arity b.schema
+  &&
+  let sa = Array.copy a.rows and sb = Array.copy b.rows in
+  Array.sort Row.compare sa;
+  Array.sort Row.compare sb;
+  Array.for_all2 Row.equal sa sb
+
+let sorted t = sort_by Row.compare t
+
+let value_bytes = function
+  | Value.Null -> 8
+  | Value.Int _ -> 8
+  | Value.Float _ -> 8
+  | Value.Bool _ -> 1
+  | Value.Str s -> 16 + String.length s
+
+let approx_bytes t =
+  fold (fun acc row -> acc + 24 + Array.fold_left (fun a v -> a + value_bytes v) 0 row) 0 t

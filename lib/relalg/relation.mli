@@ -1,0 +1,27 @@
+(** A relation is a schema plus a bag of rows (duplicate-preserving, matching
+    the paper's duplicate semantics for π, σ and ⋈). *)
+
+type t = { schema : Schema.t; rows : Row.t array }
+
+val make : Schema.t -> Row.t array -> t
+val of_rows : Schema.t -> Row.t list -> t
+val cardinality : t -> int
+val empty : Schema.t -> t
+
+(** Rows with all values rendered; for tests and the CLI. *)
+val to_string : ?max_rows:int -> t -> string
+
+val iter : (Row.t -> unit) -> t -> unit
+val fold : ('a -> Row.t -> 'a) -> 'a -> t -> 'a
+val filter : (Row.t -> bool) -> t -> t
+val map_rows : Schema.t -> (Row.t -> Row.t) -> t -> t
+val sort_by : (Row.t -> Row.t -> int) -> t -> t
+
+(** Multiset equality, ignoring row order and column qualifiers (used by
+    tests to compare optimized vs. baseline results). *)
+val equal_bag : t -> t -> bool
+
+(** Deterministically order rows (for printing stable results). *)
+val sorted : t -> t
+
+val approx_bytes : t -> int

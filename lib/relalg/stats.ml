@@ -1,0 +1,81 @@
+type col_stats = {
+  distinct : int;
+  min_val : Value.t;
+  max_val : Value.t;
+  null_count : int;
+}
+
+type t = {
+  row_count : int;
+  columns : (string * col_stats) list;
+}
+
+let of_relation rel =
+  let arity = Schema.arity rel.Relation.schema in
+  let distinct = Array.init arity (fun _ -> Row.Tbl.create 64) in
+  let mins = Array.make arity Value.Null in
+  let maxs = Array.make arity Value.Null in
+  let nulls = Array.make arity 0 in
+  Relation.iter
+    (fun row ->
+      for i = 0 to arity - 1 do
+        let v = row.(i) in
+        if Value.is_null v then nulls.(i) <- nulls.(i) + 1
+        else begin
+          Row.Tbl.replace distinct.(i) [| v |] ();
+          if Value.is_null mins.(i) || Value.compare_total v mins.(i) < 0 then
+            mins.(i) <- v;
+          if Value.is_null maxs.(i) || Value.compare_total v maxs.(i) > 0 then
+            maxs.(i) <- v
+        end
+      done)
+    rel;
+  {
+    row_count = Relation.cardinality rel;
+    columns =
+      List.mapi
+        (fun i c ->
+          ( c.Schema.name,
+            {
+              distinct = Row.Tbl.length distinct.(i);
+              min_val = mins.(i);
+              max_val = maxs.(i);
+              null_count = nulls.(i);
+            } ))
+        (Schema.cols rel.Relation.schema);
+  }
+
+let col t name = List.assoc_opt name t.columns
+
+let default_inequality = 1. /. 3.
+
+let range_selectivity cs op v =
+  let numeric = function Value.Int _ | Value.Float _ -> true | _ -> false in
+  if not (numeric cs.min_val && numeric cs.max_val && numeric v) then
+    default_inequality
+  else begin
+    let lo = Value.to_float cs.min_val and hi = Value.to_float cs.max_val in
+    let x = Value.to_float v in
+    if hi <= lo then default_inequality
+    else begin
+      let frac_le = Float.max 0. (Float.min 1. ((x -. lo) /. (hi -. lo))) in
+      match op with
+      | Expr.Le | Expr.Lt -> frac_le
+      | Expr.Ge | Expr.Gt -> 1. -. frac_le
+      | Expr.Eq -> (if cs.distinct = 0 then 1. else 1. /. float_of_int cs.distinct)
+      | Expr.Ne -> 1.
+    end
+  end
+
+let eq_selectivity cs = if cs.distinct = 0 then 1. else 1. /. float_of_int cs.distinct
+
+let to_string t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "rows=%d\n" t.row_count);
+  List.iter
+    (fun (name, cs) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s: distinct=%d range=[%s, %s] nulls=%d\n" name cs.distinct
+           (Value.to_string cs.min_val) (Value.to_string cs.max_val) cs.null_count))
+    t.columns;
+  Buffer.contents b

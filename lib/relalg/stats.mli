@@ -1,0 +1,30 @@
+(** Table and column statistics, collected in one pass over a relation.
+
+    Used by the cost model ({!module:Core.Cost} in the core library) to
+    estimate cardinalities the way classic optimizers do: distinct counts
+    for equality selectivity, min/max for range selectivity. *)
+
+type col_stats = {
+  distinct : int;
+  min_val : Value.t;  (** [Null] when the column has no non-null values *)
+  max_val : Value.t;
+  null_count : int;
+}
+
+type t = {
+  row_count : int;
+  columns : (string * col_stats) list;  (** by unqualified column name *)
+}
+
+val of_relation : Relation.t -> t
+val col : t -> string -> col_stats option
+
+(** Fraction of rows with values ≤ v (resp. <, ≥, >), assuming a uniform
+    distribution between min and max; 1/3 when the column is non-numeric or
+    constant (the classic default selectivity for inequalities). *)
+val range_selectivity : col_stats -> Expr.cmp -> Value.t -> float
+
+(** Equality selectivity 1/distinct (1 when empty). *)
+val eq_selectivity : col_stats -> float
+
+val to_string : t -> string

@@ -1,0 +1,179 @@
+type scalar =
+  | S_const of Relalg.Value.t
+  | S_col of string option * string
+  | S_binop of Relalg.Expr.binop * scalar * scalar
+  | S_neg of scalar
+  | S_agg of agg
+
+and agg =
+  | A_count_star
+  | A_count of scalar
+  | A_count_distinct of scalar
+  | A_sum of scalar
+  | A_min of scalar
+  | A_max of scalar
+  | A_avg of scalar
+
+type pred =
+  | P_true
+  | P_cmp of Relalg.Expr.cmp * scalar * scalar
+  | P_and of pred * pred
+  | P_or of pred * pred
+  | P_not of pred
+  | P_in of scalar list * query
+
+and select_item =
+  | Sel_star
+  | Sel_expr of scalar * string option
+
+and table_ref =
+  | T_table of string * string option
+  | T_subquery of query * string
+
+and query = {
+  with_defs : (string * query) list;
+  distinct : bool;
+  select : select_item list;
+  from : table_ref list;
+  where : pred option;
+  group_by : (string option * string) list;
+  having : pred option;
+  order_by : (scalar * [ `Asc | `Desc ]) list;
+  limit : int option;
+}
+
+let simple_select ?(with_defs = []) ?(distinct = false) ?where ?(group_by = [])
+    ?having ?(order_by = []) ?limit select from =
+  { with_defs; distinct; select; from; where; group_by; having; order_by; limit }
+
+let col ?q name = S_col (q, name)
+let icst i = S_const (Relalg.Value.Int i)
+
+let conj = function
+  | [] -> P_true
+  | p :: ps -> List.fold_left (fun acc p -> P_and (acc, p)) p ps
+
+let rec conjuncts = function
+  | P_and (a, b) -> conjuncts a @ conjuncts b
+  | P_true -> []
+  | p -> [ p ]
+
+let rec equal_scalar a b =
+  match a, b with
+  | S_const x, S_const y -> Relalg.Value.equal_total x y
+  | S_col (q1, n1), S_col (q2, n2) -> q1 = q2 && String.equal n1 n2
+  | S_binop (o1, a1, b1), S_binop (o2, a2, b2) ->
+    o1 = o2 && equal_scalar a1 a2 && equal_scalar b1 b2
+  | S_neg x, S_neg y -> equal_scalar x y
+  | S_agg x, S_agg y -> equal_agg x y
+  | _ -> false
+
+and equal_agg a b =
+  match a, b with
+  | A_count_star, A_count_star -> true
+  | A_count x, A_count y
+  | A_count_distinct x, A_count_distinct y
+  | A_sum x, A_sum y
+  | A_min x, A_min y
+  | A_max x, A_max y
+  | A_avg x, A_avg y -> equal_scalar x y
+  | _ -> false
+
+let rec equal_pred a b =
+  match a, b with
+  | P_true, P_true -> true
+  | P_cmp (o1, a1, b1), P_cmp (o2, a2, b2) ->
+    o1 = o2 && equal_scalar a1 a2 && equal_scalar b1 b2
+  | P_and (a1, b1), P_and (a2, b2) | P_or (a1, b1), P_or (a2, b2) ->
+    equal_pred a1 a2 && equal_pred b1 b2
+  | P_not x, P_not y -> equal_pred x y
+  | P_in (e1, q1), P_in (e2, q2) ->
+    List.length e1 = List.length e2 && List.for_all2 equal_scalar e1 e2 && q1 == q2
+  | _ -> false
+
+let add_unique eq x xs = if List.exists (eq x) xs then xs else xs @ [ x ]
+
+let aggs_of_scalar s =
+  let rec go acc = function
+    | S_const _ | S_col _ -> acc
+    | S_binop (_, a, b) -> go (go acc a) b
+    | S_neg a -> go acc a
+    | S_agg a -> add_unique equal_agg a acc
+  in
+  go [] s
+
+let aggs_of_pred p =
+  let rec go acc = function
+    | P_true -> acc
+    | P_cmp (_, a, b) ->
+      List.fold_left (fun acc x -> add_unique equal_agg x acc) acc
+        (aggs_of_scalar a @ aggs_of_scalar b)
+    | P_and (a, b) | P_or (a, b) -> go (go acc a) b
+    | P_not a -> go acc a
+    | P_in (es, _) ->
+      List.fold_left
+        (fun acc e ->
+          List.fold_left (fun acc x -> add_unique equal_agg x acc) acc (aggs_of_scalar e))
+        acc es
+  in
+  go [] p
+
+let cols_of_scalar s =
+  let rec go acc = function
+    | S_const _ -> acc
+    | S_col (q, n) -> add_unique ( = ) (q, n) acc
+    | S_binop (_, a, b) -> go (go acc a) b
+    | S_neg a -> go acc a
+    | S_agg a ->
+      (match a with
+       | A_count_star -> acc
+       | A_count x | A_count_distinct x | A_sum x | A_min x | A_max x | A_avg x ->
+         go acc x)
+  in
+  go [] s
+
+let cols_of_pred p =
+  let rec go acc = function
+    | P_true -> acc
+    | P_cmp (_, a, b) ->
+      List.fold_left (fun acc c -> add_unique ( = ) c acc) acc
+        (cols_of_scalar a @ cols_of_scalar b)
+    | P_and (a, b) | P_or (a, b) -> go (go acc a) b
+    | P_not a -> go acc a
+    | P_in (es, _) ->
+      List.fold_left
+        (fun acc e ->
+          List.fold_left (fun acc c -> add_unique ( = ) c acc) acc (cols_of_scalar e))
+        acc es
+  in
+  go [] p
+
+let rec is_agg_free = function
+  | S_const _ | S_col _ -> true
+  | S_binop (_, a, b) -> is_agg_free a && is_agg_free b
+  | S_neg a -> is_agg_free a
+  | S_agg _ -> false
+
+let rec map_cols_scalar f = function
+  | S_const _ as s -> s
+  | S_col (q, n) -> f (q, n)
+  | S_binop (op, a, b) -> S_binop (op, map_cols_scalar f a, map_cols_scalar f b)
+  | S_neg a -> S_neg (map_cols_scalar f a)
+  | S_agg a -> S_agg (map_cols_agg f a)
+
+and map_cols_agg f = function
+  | A_count_star -> A_count_star
+  | A_count x -> A_count (map_cols_scalar f x)
+  | A_count_distinct x -> A_count_distinct (map_cols_scalar f x)
+  | A_sum x -> A_sum (map_cols_scalar f x)
+  | A_min x -> A_min (map_cols_scalar f x)
+  | A_max x -> A_max (map_cols_scalar f x)
+  | A_avg x -> A_avg (map_cols_scalar f x)
+
+let rec map_cols_pred f = function
+  | P_true -> P_true
+  | P_cmp (op, a, b) -> P_cmp (op, map_cols_scalar f a, map_cols_scalar f b)
+  | P_and (a, b) -> P_and (map_cols_pred f a, map_cols_pred f b)
+  | P_or (a, b) -> P_or (map_cols_pred f a, map_cols_pred f b)
+  | P_not a -> P_not (map_cols_pred f a)
+  | P_in (es, q) -> P_in (List.map (map_cols_scalar f) es, q)

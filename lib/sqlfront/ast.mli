@@ -1,0 +1,91 @@
+(** Abstract syntax for the SQL subset of the paper's queries: single- or
+    multi-block SELECT with WITH (CTEs), self-joins, GROUP BY / HAVING,
+    IN-subqueries, the aggregates of Table 2, and arithmetic. *)
+
+type scalar =
+  | S_const of Relalg.Value.t
+  | S_col of string option * string  (** qualifier, column *)
+  | S_binop of Relalg.Expr.binop * scalar * scalar
+  | S_neg of scalar
+  | S_agg of agg
+
+and agg =
+  | A_count_star
+  | A_count of scalar
+  | A_count_distinct of scalar
+  | A_sum of scalar
+  | A_min of scalar
+  | A_max of scalar
+  | A_avg of scalar
+
+type pred =
+  | P_true
+  | P_cmp of Relalg.Expr.cmp * scalar * scalar
+  | P_and of pred * pred
+  | P_or of pred * pred
+  | P_not of pred
+  | P_in of scalar list * query  (** (e1, …, ek) IN (subquery) *)
+
+and select_item =
+  | Sel_star
+  | Sel_expr of scalar * string option  (** expr, alias *)
+
+and table_ref =
+  | T_table of string * string option  (** table, alias *)
+  | T_subquery of query * string
+
+and query = {
+  with_defs : (string * query) list;
+  distinct : bool;
+  select : select_item list;
+  from : table_ref list;
+  where : pred option;
+  group_by : (string option * string) list;
+  having : pred option;
+  order_by : (scalar * [ `Asc | `Desc ]) list;
+  limit : int option;
+}
+
+val simple_select :
+  ?with_defs:(string * query) list ->
+  ?distinct:bool ->
+  ?where:pred ->
+  ?group_by:(string option * string) list ->
+  ?having:pred ->
+  ?order_by:(scalar * [ `Asc | `Desc ]) list ->
+  ?limit:int ->
+  select_item list ->
+  table_ref list ->
+  query
+
+val col : ?q:string -> string -> scalar
+val icst : int -> scalar
+
+(** Conjunction of a predicate list ([P_true] when empty). *)
+val conj : pred list -> pred
+
+val conjuncts : pred -> pred list
+
+(** All aggregate subexpressions, left-to-right, duplicates removed. *)
+val aggs_of_scalar : scalar -> agg list
+
+val aggs_of_pred : pred -> agg list
+
+(** Columns referenced outside aggregate arguments / inside (both useful to
+    the analyzer). *)
+val cols_of_scalar : scalar -> (string option * string) list
+
+val cols_of_pred : pred -> (string option * string) list
+
+(** True when the scalar contains no aggregate. *)
+val is_agg_free : scalar -> bool
+
+val equal_scalar : scalar -> scalar -> bool
+val equal_agg : agg -> agg -> bool
+val equal_pred : pred -> pred -> bool
+
+(** Map column references (qualifier, name) everywhere, including inside
+    subqueries of [P_in]. *)
+val map_cols_scalar : (string option * string -> scalar) -> scalar -> scalar
+
+val map_cols_pred : (string option * string -> scalar) -> pred -> pred

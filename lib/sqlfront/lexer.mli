@@ -1,0 +1,29 @@
+(** Hand-rolled SQL lexer.  Keywords are case-insensitive; identifiers keep
+    their original case.  [--] comments run to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | SEMI
+  | EOF
+
+exception Lex_error of string * int  (** message, character offset *)
+
+val tokenize : string -> token array
+val token_to_string : token -> string

@@ -1,0 +1,434 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { tokens : Lexer.token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let save st = st.pos
+let restore st p = st.pos <- p
+
+let error st msg =
+  let t = peek st in
+  raise
+    (Parse_error
+       (Printf.sprintf "%s at token %d (%S)" msg st.pos (Lexer.token_to_string t)))
+
+let expect st tok msg = if peek st = tok then advance st else error st msg
+
+let is_kw t kw =
+  match t with
+  | Lexer.IDENT s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let accept_kw st kw =
+  if is_kw (peek st) kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st kw = if not (accept_kw st kw) then error st ("expected " ^ kw)
+
+let reserved =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "LIMIT";
+    "AND"; "OR"; "NOT"; "IN"; "AS"; "ON"; "ASC"; "DESC"; "WITH"; "DISTINCT";
+    "UNION"; "ALL"; "TRUE"; "FALSE"; "NULL"; "JOIN"; "INNER"; "LEFT"; "RIGHT" ]
+
+let is_reserved s = List.mem (String.uppercase_ascii s) reserved
+
+let agg_keywords = [ "COUNT"; "SUM"; "MIN"; "MAX"; "AVG" ]
+
+(* ---- scalars ---- *)
+
+let rec parse_scalar_expr st =
+  let lhs = parse_term st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (S_binop (Relalg.Expr.Add, acc, parse_term st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (S_binop (Relalg.Expr.Sub, acc, parse_term st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (S_binop (Relalg.Expr.Mul, acc, parse_factor st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (S_binop (Relalg.Expr.Div, acc, parse_factor st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_factor st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    S_const (Relalg.Value.Int i)
+  | Lexer.FLOAT f ->
+    advance st;
+    S_const (Relalg.Value.Float f)
+  | Lexer.STRING s ->
+    advance st;
+    S_const (Relalg.Value.Str s)
+  | Lexer.MINUS ->
+    advance st;
+    S_neg (parse_factor st)
+  | Lexer.LPAREN ->
+    advance st;
+    let s = parse_scalar_expr st in
+    expect st Lexer.RPAREN "expected ) after scalar";
+    s
+  | Lexer.IDENT id when is_kw (peek st) "TRUE" ->
+    ignore id;
+    advance st;
+    S_const (Relalg.Value.Bool true)
+  | Lexer.IDENT _ when is_kw (peek st) "FALSE" ->
+    advance st;
+    S_const (Relalg.Value.Bool false)
+  | Lexer.IDENT _ when is_kw (peek st) "NULL" ->
+    advance st;
+    S_const Relalg.Value.Null
+  | Lexer.IDENT id when List.mem (String.uppercase_ascii id) agg_keywords
+                        && st.tokens.(st.pos + 1) = Lexer.LPAREN ->
+    parse_agg st
+  | Lexer.IDENT id ->
+    advance st;
+    if peek st = Lexer.DOT then begin
+      advance st;
+      match next st with
+      | Lexer.IDENT col -> S_col (Some id, col)
+      | _ -> error st "expected column name after ."
+    end
+    else S_col (None, id)
+  | _ -> error st "expected scalar expression"
+
+and parse_agg st =
+  let name =
+    match next st with
+    | Lexer.IDENT id -> String.uppercase_ascii id
+    | _ -> error st "expected aggregate name"
+  in
+  expect st Lexer.LPAREN "expected ( after aggregate";
+  let finish mk =
+    let arg = parse_scalar_expr st in
+    expect st Lexer.RPAREN "expected ) after aggregate argument";
+    S_agg (mk arg)
+  in
+  match name with
+  | "COUNT" ->
+    if peek st = Lexer.STAR then begin
+      advance st;
+      expect st Lexer.RPAREN "expected ) after COUNT(*";
+      S_agg A_count_star
+    end
+    else if accept_kw st "DISTINCT" then begin
+      let arg = parse_scalar_expr st in
+      expect st Lexer.RPAREN "expected ) after COUNT(DISTINCT ...";
+      S_agg (A_count_distinct arg)
+    end
+    else if peek st = Lexer.INT 1 then begin
+      (* COUNT(1) is treated as COUNT star, as in the Appendix E query *)
+      advance st;
+      expect st Lexer.RPAREN "expected ) after COUNT(1";
+      S_agg A_count_star
+    end
+    else finish (fun a -> A_count a)
+  | "SUM" -> finish (fun a -> A_sum a)
+  | "MIN" -> finish (fun a -> A_min a)
+  | "MAX" -> finish (fun a -> A_max a)
+  | "AVG" -> finish (fun a -> A_avg a)
+  | _ -> error st "unknown aggregate"
+
+(* ---- predicates ---- *)
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Relalg.Expr.Eq
+  | Lexer.NE -> Some Relalg.Expr.Ne
+  | Lexer.LT -> Some Relalg.Expr.Lt
+  | Lexer.LE -> Some Relalg.Expr.Le
+  | Lexer.GT -> Some Relalg.Expr.Gt
+  | Lexer.GE -> Some Relalg.Expr.Ge
+  | _ -> None
+
+let rec parse_pred_expr st =
+  let lhs = parse_and_pred st in
+  let rec loop acc =
+    if accept_kw st "OR" then loop (P_or (acc, parse_and_pred st)) else acc
+  in
+  loop lhs
+
+and parse_and_pred st =
+  let lhs = parse_not_pred st in
+  let rec loop acc =
+    if accept_kw st "AND" then loop (P_and (acc, parse_not_pred st)) else acc
+  in
+  loop lhs
+
+and parse_not_pred st =
+  if accept_kw st "NOT" then P_not (parse_not_pred st) else parse_primary_pred st
+
+and parse_primary_pred st =
+  if is_kw (peek st) "TRUE" then begin
+    advance st;
+    P_true
+  end
+  else if peek st = Lexer.LPAREN then begin
+    (* Could be: a tuple for IN, a parenthesized predicate, or a scalar. *)
+    let p0 = save st in
+    match try_tuple_in st with
+    | Some p -> p
+    | None ->
+      restore st p0;
+      (match try_paren_pred st with
+       | Some p -> p
+       | None ->
+         restore st p0;
+         parse_comparison st)
+  end
+  else parse_comparison st
+
+and try_tuple_in st =
+  try
+    expect st Lexer.LPAREN "(";
+    let rec items acc =
+      let s = parse_scalar_expr st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        items (s :: acc)
+      end
+      else List.rev (s :: acc)
+    in
+    let es = items [] in
+    expect st Lexer.RPAREN ")";
+    if not (accept_kw st "IN") then raise (Parse_error "not tuple-in");
+    expect st Lexer.LPAREN "expected ( after IN";
+    let q = parse_query st in
+    expect st Lexer.RPAREN "expected ) after IN subquery";
+    Some (P_in (es, q))
+  with Parse_error _ -> None
+
+and try_paren_pred st =
+  try
+    expect st Lexer.LPAREN "(";
+    let p = parse_pred_expr st in
+    expect st Lexer.RPAREN ")";
+    (* If a comparison or arithmetic operator follows, the parentheses were
+       grouping a scalar, not a predicate. *)
+    (match peek st with
+     | Lexer.EQ | Lexer.NE | Lexer.LT | Lexer.LE | Lexer.GT | Lexer.GE
+     | Lexer.PLUS | Lexer.MINUS | Lexer.STAR | Lexer.SLASH ->
+       raise (Parse_error "scalar parentheses")
+     | _ -> ());
+    Some p
+  with Parse_error _ -> None
+
+and parse_comparison st =
+  let lhs = parse_scalar_expr st in
+  if accept_kw st "IN" then begin
+    expect st Lexer.LPAREN "expected ( after IN";
+    let q = parse_query st in
+    expect st Lexer.RPAREN "expected ) after IN subquery";
+    P_in ([ lhs ], q)
+  end
+  else
+    match cmp_of_token (peek st) with
+    | Some op ->
+      advance st;
+      let rhs = parse_scalar_expr st in
+      P_cmp (op, lhs, rhs)
+    | None -> error st "expected comparison operator"
+
+(* ---- queries ---- *)
+
+and parse_query st =
+  let with_defs =
+    if accept_kw st "WITH" then begin
+      let rec defs acc =
+        let name =
+          match next st with
+          | Lexer.IDENT id -> id
+          | _ -> error st "expected CTE name"
+        in
+        expect_kw st "AS";
+        expect st Lexer.LPAREN "expected ( after AS";
+        let q = parse_query st in
+        expect st Lexer.RPAREN "expected ) after CTE body";
+        let acc = (name, q) :: acc in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          defs acc
+        end
+        else List.rev acc
+      in
+      defs []
+    end
+    else []
+  in
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let select = parse_select_items st in
+  expect_kw st "FROM";
+  let from = parse_table_refs st in
+  let where = if accept_kw st "WHERE" then Some (parse_pred_expr st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      parse_col_list st
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_pred_expr st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec keys acc =
+        let s = parse_scalar_expr st in
+        let dir =
+          if accept_kw st "DESC" then `Desc
+          else begin
+            ignore (accept_kw st "ASC");
+            `Asc
+          end
+        in
+        let acc = (s, dir) :: acc in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          keys acc
+        end
+        else List.rev acc
+      in
+      keys []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then
+      match next st with
+      | Lexer.INT n -> Some n
+      | _ -> error st "expected integer after LIMIT"
+    else None
+  in
+  { with_defs; distinct; select; from; where; group_by; having; order_by; limit }
+
+and parse_select_items st =
+  let parse_item () =
+    if peek st = Lexer.STAR then begin
+      advance st;
+      Sel_star
+    end
+    else begin
+      let s = parse_scalar_expr st in
+      let alias =
+        if accept_kw st "AS" then
+          match next st with
+          | Lexer.IDENT id -> Some id
+          | _ -> error st "expected alias after AS"
+        else
+          match peek st with
+          | Lexer.IDENT id when not (is_reserved id) ->
+            advance st;
+            Some id
+          | _ -> None
+      in
+      Sel_expr (s, alias)
+    end
+  in
+  let rec items acc =
+    let i = parse_item () in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      items (i :: acc)
+    end
+    else List.rev (i :: acc)
+  in
+  items []
+
+and parse_table_refs st =
+  let parse_ref () =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let q = parse_query st in
+      expect st Lexer.RPAREN "expected ) after subquery";
+      ignore (accept_kw st "AS");
+      match next st with
+      | Lexer.IDENT id -> T_subquery (q, id)
+      | _ -> error st "expected alias after subquery"
+    end
+    else
+      match next st with
+      | Lexer.IDENT name ->
+        let alias =
+          if accept_kw st "AS" then
+            match next st with
+            | Lexer.IDENT id -> Some id
+            | _ -> error st "expected alias after AS"
+          else
+            match peek st with
+            | Lexer.IDENT id when not (is_reserved id) ->
+              advance st;
+              Some id
+            | _ -> None
+        in
+        T_table (name, alias)
+      | _ -> error st "expected table name or subquery"
+  in
+  let rec refs acc =
+    let r = parse_ref () in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      refs (r :: acc)
+    end
+    else List.rev (r :: acc)
+  in
+  refs []
+
+and parse_col_list st =
+  let parse_col () =
+    match next st with
+    | Lexer.IDENT a ->
+      if peek st = Lexer.DOT then begin
+        advance st;
+        match next st with
+        | Lexer.IDENT b -> (Some a, b)
+        | _ -> error st "expected column after ."
+      end
+      else (None, a)
+    | _ -> error st "expected column"
+  in
+  let rec cols acc =
+    let c = parse_col () in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      cols (c :: acc)
+    end
+    else List.rev (c :: acc)
+  in
+  cols []
+
+let run_parser f input =
+  let st = { tokens = Lexer.tokenize input; pos = 0 } in
+  let result = f st in
+  if peek st = Lexer.SEMI then advance st;
+  if peek st <> Lexer.EOF then error st "trailing tokens after statement";
+  result
+
+let parse input = run_parser parse_query input
+let parse_pred input = run_parser parse_pred_expr input
+let parse_scalar input = run_parser parse_scalar_expr input

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Parse_error of string
+
+(** Parse one statement; a trailing [;] is allowed. *)
+val parse : string -> Ast.query
+
+(** Parse a standalone predicate (used by tests). *)
+val parse_pred : string -> Ast.pred
+
+(** Parse a standalone scalar expression (used by tests). *)
+val parse_scalar : string -> Ast.scalar

@@ -1,0 +1,7 @@
+(** Render an AST back to SQL text (used by EXPLAIN output to show the NLJP
+    component queries à la Listings 7 and 10, and by parser round-trip
+    tests). *)
+
+val scalar : Ast.scalar -> string
+val pred : Ast.pred -> string
+val query : Ast.query -> string

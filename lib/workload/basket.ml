@@ -1,0 +1,26 @@
+open Relalg
+
+let table_name = "basket"
+
+let register catalog ~baskets ~items ~avg_size ~seed =
+  let rng = Prng.create seed in
+  let sample_item = Prng.zipf_sampler rng ~n:items ~s:1.1 in
+  let out = ref [] in
+  let count = ref 0 in
+  for bid = 0 to baskets - 1 do
+    let size = 1 + Prng.int rng (2 * avg_size) in
+    let seen = Hashtbl.create 8 in
+    for _ = 1 to size do
+      let item = sample_item () in
+      if not (Hashtbl.mem seen item) then begin
+        Hashtbl.add seen item ();
+        incr count;
+        out := [| Value.Int bid; Value.Str (Printf.sprintf "item%04d" item) |] :: !out
+      end
+    done
+  done;
+  Catalog.add_table catalog
+    ~keys:[ [ "bid"; "item" ] ]
+    table_name
+    (Relation.of_rows (Schema.of_names [ "bid"; "item" ]) (List.rev !out));
+  !count

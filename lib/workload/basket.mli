@@ -1,0 +1,8 @@
+(** Market-basket data for Listing 1: [basket(bid, item)], one row per item
+    per basket, item popularity Zipf-distributed so frequent pairs exist. *)
+
+val table_name : string
+
+(** [register catalog ~baskets ~items ~avg_size ~seed]: returns row count. *)
+val register :
+  Relalg.Catalog.t -> baskets:int -> items:int -> avg_size:int -> seed:int -> int

@@ -1,0 +1,30 @@
+open Relalg
+
+type distribution = Independent | Correlated | Anticorrelated
+
+let table_name = "object"
+
+let register catalog ~n ~dist ~seed =
+  let rng = Prng.create seed in
+  let point () =
+    match dist with
+    | Independent -> (Prng.float rng, Prng.float rng)
+    | Correlated ->
+      let base = Prng.float rng in
+      let jitter () = 0.15 *. Prng.gaussian rng in
+      (Float.max 0. (base +. jitter ()), Float.max 0. (base +. jitter ()))
+    | Anticorrelated ->
+      let base = Prng.float rng in
+      let jitter () = 0.1 *. Prng.gaussian rng in
+      (Float.max 0. (base +. jitter ()), Float.max 0. (1. -. base +. jitter ()))
+  in
+  let rows =
+    List.init n (fun i ->
+        let x, y = point () in
+        [| Value.Int i;
+           Value.Int (int_of_float (x *. 1000.));
+           Value.Int (int_of_float (y *. 1000.)) |])
+  in
+  Catalog.add_table catalog ~keys:[ [ "id" ] ] ~nonneg:[ "x"; "y" ] table_name
+    (Relation.of_rows (Schema.of_names [ "id"; "x"; "y" ]) rows);
+  n

@@ -1,0 +1,8 @@
+(** Two-dimensional objects for the k-skyband query of Listing 2:
+    [object(id, x, y)], with the three classic point distributions from the
+    skyline literature. *)
+
+type distribution = Independent | Correlated | Anticorrelated
+
+val table_name : string
+val register : Relalg.Catalog.t -> n:int -> dist:distribution -> seed:int -> int

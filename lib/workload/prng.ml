@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: non-positive bound";
+  (* Int64.to_int truncates to OCaml's 63-bit ints, so mask the sign away. *)
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod n
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let gaussian t =
+  let u1 = Stdlib.max 1e-12 (float t) in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let zipf_sampler t ~n ~s =
+  let cumulative = Array.make (n + 1) 0.0 in
+  for k = 1 to n do
+    cumulative.(k) <- cumulative.(k - 1) +. (1.0 /. Float.pow (float_of_int k) s)
+  done;
+  let total = cumulative.(n) in
+  fun () ->
+    let target = float t *. total in
+    (* smallest k with cumulative.(k) >= target *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cumulative.(mid) < target then go (mid + 1) hi else go lo mid
+    in
+    go 1 n

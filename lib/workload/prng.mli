@@ -1,0 +1,20 @@
+(** Deterministic splitmix64 PRNG so every experiment is reproducible
+    without threading OCaml's global [Random] state. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, n). *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Standard normal via Box–Muller. *)
+val gaussian : t -> float
+
+(** A Zipf sampler over ranks [1, n] with exponent [s]: precomputes the
+    cumulative weights once, then samples by binary search. *)
+val zipf_sampler : t -> n:int -> s:float -> unit -> int

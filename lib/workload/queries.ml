@@ -1,0 +1,111 @@
+let pp = Printf.sprintf
+
+let skyband ?(a = ("b_h", "b_hr")) ~k () =
+  let x, y = a in
+  pp
+    "SELECT R.playerid, R.year, R.round, COUNT(1) \
+     FROM player_performance L, player_performance R \
+     WHERE L.%s >= R.%s AND L.%s >= R.%s AND (L.%s > R.%s OR L.%s > R.%s) \
+     GROUP BY R.playerid, R.year, R.round \
+     HAVING COUNT(1) <= %d"
+    x x y y x x y y k
+
+let pairs ?(agg = `Avg) ~c ~k () =
+  let f = match agg with `Avg -> "AVG" | `Sum -> "SUM" in
+  pp
+    "WITH pair AS \
+     (SELECT s1.playerid AS pid1, s2.playerid AS pid2, \
+     %s(s1.b_h) AS hits1, %s(s1.b_hr) AS hruns1, \
+     %s(s2.b_h) AS hits2, %s(s2.b_hr) AS hruns2 \
+     FROM player_performance s1, player_performance s2 \
+     WHERE s1.teamid = s2.teamid AND s1.year = s2.year \
+     AND s1.round = s2.round AND s1.playerid < s2.playerid \
+     GROUP BY s1.playerid, s2.playerid \
+     HAVING COUNT(*) >= %d) \
+     SELECT L.pid1, L.pid2, COUNT(*) \
+     FROM pair L, pair R \
+     WHERE R.hits1 >= L.hits1 AND R.hruns1 >= L.hruns1 \
+     AND R.hits2 >= L.hits2 AND R.hruns2 >= L.hruns2 \
+     AND (R.hits1 > L.hits1 OR R.hruns1 > L.hruns1 \
+     OR R.hits2 > L.hits2 OR R.hruns2 > L.hruns2) \
+     GROUP BY L.pid1, L.pid2 \
+     HAVING COUNT(*) <= %d"
+    f f f f c k
+
+let complex ~threshold =
+  pp
+    "SELECT S1.id, S1.attr, S2.attr, COUNT(*) \
+     FROM perf_kv S1, perf_kv S2, perf_kv T1, perf_kv T2 \
+     WHERE S1.id = S2.id AND T1.id = T2.id \
+     AND S1.category = T1.category \
+     AND T1.attr = S1.attr AND T2.attr = S2.attr \
+     AND T1.val > S1.val AND T2.val > S2.val \
+     GROUP BY S1.id, S1.attr, S2.attr \
+     HAVING COUNT(*) >= %d"
+    threshold
+
+let skyband_avg ?(a = ("b_h", "b_hr")) ~k () =
+  let x, y = a in
+  pp
+    "WITH p AS \
+     (SELECT playerid, AVG(%s) AS x, AVG(%s) AS y \
+     FROM player_performance GROUP BY playerid) \
+     SELECT L.playerid, COUNT(*) \
+     FROM p L, p R \
+     WHERE L.x < R.x AND L.y < R.y \
+     GROUP BY L.playerid \
+     HAVING COUNT(*) <= %d"
+    x y k
+
+let figure1 =
+  [ ("Q1", skyband ~a:("b_h", "b_hr") ~k:50 ());
+    ("Q2", skyband ~a:("b_h", "b_hr") ~k:200 ());
+    ("Q3", skyband ~a:("b_2b", "b_3b") ~k:50 ());
+    ("Q4", pairs ~agg:`Avg ~c:3 ~k:20 ());
+    ("Q5", pairs ~agg:`Sum ~c:3 ~k:50 ());
+    ("Q6", pairs ~agg:`Avg ~c:5 ~k:20 ());
+    ("Q7", pairs ~agg:`Sum ~c:3 ~k:100 ());
+    ("Q8", skyband_avg ~a:("b_h", "b_hr") ~k:50 ()) ]
+
+let listing1 ~threshold =
+  pp
+    "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+     WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= %d"
+    threshold
+
+let listing2 ~k =
+  pp
+    "SELECT L.id, COUNT(*) FROM object L, object R \
+     WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) \
+     GROUP BY L.id HAVING COUNT(*) <= %d"
+    k
+
+let listing3 ~threshold =
+  pp
+    "SELECT S1.id, S1.attr, S2.attr, COUNT(*) \
+     FROM product S1, product S2, product T1, product T2 \
+     WHERE S1.id = S2.id AND T1.id = T2.id \
+     AND S1.category = T1.category \
+     AND T1.attr = S1.attr AND T2.attr = S2.attr \
+     AND T1.val > S1.val AND T2.val > S2.val \
+     GROUP BY S1.id, S1.attr, S2.attr \
+     HAVING COUNT(*) >= %d"
+    threshold
+
+let listing4 ~c ~k =
+  pp
+    "WITH pair AS \
+     (SELECT s1.pid AS pid1, s2.pid AS pid2, \
+     AVG(s1.hits) AS hits1, AVG(s1.hruns) AS hruns1, \
+     AVG(s2.hits) AS hits2, AVG(s2.hruns) AS hruns2 \
+     FROM score s1, score s2 \
+     WHERE s1.teamid = s2.teamid AND s1.year = s2.year \
+     AND s1.round = s2.round AND s1.pid < s2.pid \
+     GROUP BY s1.pid, s2.pid HAVING COUNT(*) >= %d) \
+     SELECT L.pid1, L.pid2, COUNT(*) FROM pair L, pair R \
+     WHERE R.hits1 >= L.hits1 AND R.hruns1 >= L.hruns1 \
+     AND R.hits2 >= L.hits2 AND R.hruns2 >= L.hruns2 \
+     AND (R.hits1 > L.hits1 OR R.hruns1 > L.hruns1 \
+     OR R.hits2 > L.hits2 OR R.hruns2 > L.hruns2) \
+     GROUP BY L.pid1, L.pid2 HAVING COUNT(*) <= %d"
+    c k

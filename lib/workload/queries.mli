@@ -1,0 +1,31 @@
+(** The experiment queries of §8, instantiated over the synthetic baseball
+    data, plus the four listings from the introduction. *)
+
+(** k-skyband over seasonal records (Appendix E's Q1 shape): count, for each
+    record of the inner instance, how many records weakly dominate it on the
+    attribute pair [a], keeping those with at most [k] dominators. *)
+val skyband : ?a:string * string -> k:int -> unit -> string
+
+(** The "pairs" query (Listing 4): players together ≥ [c] years, pairs
+    dominated by ≤ [k] others; [agg] aggregates statistics over time. *)
+val pairs : ?agg:[ `Avg | `Sum ] -> c:int -> k:int -> unit -> string
+
+(** The "complex" query (Listing 3) over the unpivoted table: products
+    strictly dominated on two attributes by ≥ [threshold] same-category
+    products. *)
+val complex : threshold:int -> string
+
+(** Q8: average player statistics over time, then a skyband with the simple
+    strict-dominance join condition. *)
+val skyband_avg : ?a:string * string -> k:int -> unit -> string
+
+(** The eight queries of Figure 1, as (name, SQL). *)
+val figure1 : (string * string) list
+
+(** Listings 1–4 of the paper (market basket, k-skyband, unexciting
+    products, player pairs) over the example tables. *)
+val listing1 : threshold:int -> string
+
+val listing2 : k:int -> string
+val listing3 : threshold:int -> string
+val listing4 : c:int -> k:int -> string

@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "smart_iceberg"
+    [ ("value", Test_value.suite);
+      ("relation-ops", Test_relation_ops.suite);
+      ("agg", Test_agg.suite);
+      ("index", Test_index.suite);
+      ("expr", Test_expr.suite);
+      ("csv", Test_csv.suite);
+      ("parser", Test_parser.suite);
+      ("binder", Test_binder.suite);
+      ("qelim", Test_qelim.suite);
+      ("fd", Test_fd.suite);
+      ("monotone", Test_monotone.suite);
+      ("qspec", Test_qspec.suite);
+      ("apriori", Test_apriori.suite);
+      ("subsume", Test_subsume.suite);
+      ("nljp", Test_nljp.suite);
+      ("memo-rewrite", Test_memo_rewrite.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("equiv-inference", Test_equiv.suite);
+      ("extensions", Test_extensions.suite);
+      ("stats-cost", Test_stats_cost.suite);
+      ("fang", Test_fang.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("plan-exec", Test_plan_exec.suite);
+      ("runner-edge", Test_runner_edge.suite);
+      ("runner", Test_runner.suite);
+      ("workload", Test_workload.suite) ]

@@ -1,0 +1,172 @@
+open Core
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let analyze catalog sql left =
+  Qspec.analyze catalog (Sqlfront.Parser.parse sql) ~left_aliases:left
+
+let market_sql threshold =
+  Printf.sprintf
+    "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+     WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) %s"
+    threshold
+
+let theorem2 =
+  [ t "market basket: monotone HAVING is safe (Example 6)" (fun () ->
+        let spec = analyze (basket_catalog ()) (market_sql ">= 2") [ "i1" ] in
+        (match Apriori.safe (basket_catalog ()) spec `Left with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "expected safe: %s" e));
+    t "market basket: anti-monotone HAVING is unsafe (Example 6)" (fun () ->
+        let spec = analyze (basket_catalog ()) (market_sql "<= 2") [ "i1" ] in
+        (match Apriori.safe (basket_catalog ()) spec `Left with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "item does not determine bid: must be unsafe"));
+    t "Example 7: basket side safe, discount side not" (fun () ->
+        let catalog = Relalg.Catalog.create () in
+        Relalg.Catalog.add_table catalog
+          ~keys:[ [ "bid"; "item"; "did" ] ]
+          "basketd"
+          (rel [ "bid"; "item"; "did" ]
+             [ [ iv 1; sv "a"; iv 1 ]; [ iv 1; sv "b"; iv 2 ]; [ iv 2; sv "a"; iv 1 ] ]);
+        Relalg.Catalog.add_table catalog ~keys:[ [ "did" ] ] "discount"
+          (rel [ "did"; "rate" ] [ [ iv 1; iv 10 ]; [ iv 2; iv 20 ] ]);
+        let sql =
+          "SELECT item, rate FROM basketd L, discount R WHERE L.did = R.did \
+           GROUP BY item, rate HAVING COUNT(DISTINCT bid) >= 25"
+        in
+        let spec_l = analyze catalog sql [ "L" ] in
+        (match Apriori.safe catalog spec_l `Left with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "L should be safe: %s" e);
+        (* reducing R (discount) requires G_L ∪ J_L= superkey of basketd,
+           which fails: (item, did) is not a key *)
+        let spec_r = analyze catalog sql [ "R" ] in
+        (match Apriori.safe catalog spec_r `Left with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "R reduction should be unsafe"));
+    t "Example 7 anti-monotone variant with item -> did" (fun () ->
+        let catalog = Relalg.Catalog.create () in
+        Relalg.Catalog.add_table catalog
+          ~keys:[ [ "bid"; "item" ] ]
+          ~fds:[ ([ "item" ], [ "did" ]) ]
+          "basketd"
+          (rel [ "bid"; "item"; "did" ] [ [ iv 1; sv "a"; iv 1 ] ]);
+        Relalg.Catalog.add_table catalog ~keys:[ [ "did" ] ] "discount"
+          (rel [ "did"; "rate" ] [ [ iv 1; iv 10 ] ]);
+        let sql =
+          "SELECT item, rate FROM basketd L, discount R WHERE L.did = R.did \
+           GROUP BY item, rate HAVING COUNT(DISTINCT bid) <= 25"
+        in
+        let spec = analyze catalog sql [ "L" ] in
+        match Apriori.safe catalog spec `Left with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "anti-monotone with item->did should be safe: %s" e) ]
+
+(* Example 5 instances: tightness of Theorem 1. *)
+let example5 =
+  [ t "Example 5 monotone: inflationary query detected and rejected" (fun () ->
+        let catalog = Relalg.Catalog.create () in
+        Relalg.Catalog.add_table catalog "l" (rel [ "g"; "j" ] [ [ iv 1; iv 7 ] ]);
+        Relalg.Catalog.add_table catalog "r"
+          (rel [ "j"; "o"; "g" ] [ [ iv 7; iv 1; iv 5 ]; [ iv 7; iv 2; iv 5 ] ]);
+        let sql =
+          "SELECT l.g, r.g, COUNT(*) FROM l, r WHERE l.j = r.j \
+           GROUP BY l.g, r.g HAVING COUNT(*) >= 2"
+        in
+        let spec = analyze catalog sql [ "l" ] in
+        Alcotest.(check bool) "inflationary" false
+          (Apriori.non_inflationary catalog spec `Left);
+        (match Apriori.safe catalog spec `Left with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "Theorem 2 must reject (no FD declared)");
+        (* and indeed applying it anyway would be wrong *)
+        let base = Core.Runner.run_baseline catalog (Sqlfront.Parser.parse sql) in
+        let wrong =
+          Sqlfront.Binder.run catalog (Apriori.apply spec `Left)
+        in
+        Alcotest.(check bool) "rewrite changes result" false
+          (Relalg.Relation.equal_bag base wrong));
+    t "Example 5 anti-monotone: deflationary query detected and rejected" (fun () ->
+        let catalog = Relalg.Catalog.create () in
+        Relalg.Catalog.add_table catalog "l"
+          (rel [ "g"; "j" ] [ [ iv 1; iv 7 ]; [ iv 1; iv 8 ] ]);
+        Relalg.Catalog.add_table catalog "r" (rel [ "j"; "g" ] [ [ iv 7; iv 5 ] ]);
+        let sql =
+          "SELECT l.g, r.g, COUNT(*) FROM l, r WHERE l.j = r.j \
+           GROUP BY l.g, r.g HAVING COUNT(*) <= 1"
+        in
+        let spec = analyze catalog sql [ "l" ] in
+        Alcotest.(check bool) "deflationary" false
+          (Apriori.non_deflationary catalog spec `Left);
+        (match Apriori.safe catalog spec `Left with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "Theorem 2 must reject");
+        let base = Core.Runner.run_baseline catalog (Sqlfront.Parser.parse sql) in
+        let wrong = Sqlfront.Binder.run catalog (Apriori.apply spec `Left) in
+        Alcotest.(check bool) "rewrite changes result" false
+          (Relalg.Relation.equal_bag base wrong));
+    t "market basket is non-inflationary (Example 4)" (fun () ->
+        let catalog = basket_catalog () in
+        let spec = analyze catalog (market_sql ">= 2") [ "i1" ] in
+        Alcotest.(check bool) "non-inflationary" true
+          (Apriori.non_inflationary catalog spec `Left)) ]
+
+let rewrite_semantics =
+  [ t "reducer SQL shape" (fun () ->
+        let spec = analyze (basket_catalog ()) (market_sql ">= 2") [ "i1" ] in
+        let sql = Sqlfront.Pretty.query (Apriori.reducer spec `Left) in
+        Alcotest.(check bool) "groups by item" true
+          (contains sql "GROUP BY i1.item");
+        Alcotest.(check bool) "keeps having" true
+          (contains sql "HAVING COUNT(*) >= 2"));
+    t "rewritten query result equals original (market basket)" (fun () ->
+        let catalog = basket_catalog () in
+        let spec = analyze catalog (market_sql ">= 2") [ "i1" ] in
+        let base =
+          Core.Runner.run_baseline catalog (Sqlfront.Parser.parse (market_sql ">= 2"))
+        in
+        let rewritten = Sqlfront.Binder.run catalog (Apriori.apply spec `Left) in
+        check_bag "equal" base rewritten);
+    t "vacuous reducer detected for skyband" (fun () ->
+        let catalog = objects_catalog [ (1, 1); (2, 2); (3, 3) ] in
+        let spec = analyze catalog (Workload.Queries.listing2 ~k:50) [ "L" ] in
+        Alcotest.(check bool) "vacuous" true (Apriori.vacuous spec `Left));
+    t "market basket reducer is not vacuous" (fun () ->
+        let spec = analyze (basket_catalog ()) (market_sql ">= 2") [ "i1" ] in
+        Alcotest.(check bool) "not vacuous" false (Apriori.vacuous spec `Left)) ]
+
+(* Random-instance equivalence: whenever Theorem 2 declares the rewrite
+   safe, the rewritten query must return the baseline result. *)
+let random_equivalence =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"a-priori rewrite preserves results when safe" ~count:60
+         (QCheck.int_range 0 10000)
+         (fun seed ->
+           let catalog = random_catalog seed in
+           let thresholds = [ ">= 2"; ">= 3"; "<= 1"; "<= 3" ] in
+           List.for_all
+             (fun th ->
+               let sql = market_sql th in
+               let spec = analyze catalog sql [ "i1" ] in
+               match Apriori.safe catalog spec `Left with
+               | Error _ -> true
+               | Ok () ->
+                 let base = Core.Runner.run_baseline catalog (Sqlfront.Parser.parse sql) in
+                 let rw = Sqlfront.Binder.run catalog (Apriori.apply spec `Left) in
+                 Relalg.Relation.equal_bag base rw)
+             thresholds));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"Theorem 1: schema safety implies instance conditions" ~count:40
+         (QCheck.int_range 0 10000)
+         (fun seed ->
+           let catalog = random_catalog seed in
+           let sql = market_sql ">= 2" in
+           let spec = analyze catalog sql [ "i1" ] in
+           match Apriori.safe catalog spec `Left with
+           | Error _ -> true
+           | Ok () -> Apriori.non_inflationary catalog spec `Left)) ]
+
+let suite = theorem2 @ example5 @ rewrite_semantics @ random_equivalence

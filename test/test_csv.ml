@@ -1,0 +1,38 @@
+open Relalg
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [ t "parse simple csv" (fun () ->
+        let r = Csv.parse_string "a,b\n1,x\n2,y\n" in
+        check_rows "parsed" (rel [ "a"; "b" ] [ [ iv 1; sv "x" ]; [ iv 2; sv "y" ] ]) r);
+    t "quoted fields with commas" (fun () ->
+        let r = Csv.parse_string "a\n\"x,y\"\n" in
+        check_rows "quoted" (rel [ "a" ] [ [ sv "x,y" ] ]) r);
+    t "escaped quotes" (fun () ->
+        let r = Csv.parse_string "a\n\"he said \"\"hi\"\"\"\n" in
+        check_rows "escaped" (rel [ "a" ] [ [ sv "he said \"hi\"" ] ]) r);
+    t "empty fields become null" (fun () ->
+        let r = Csv.parse_string "a,b\n1,\n" in
+        Alcotest.(check bool) "null" true (Value.is_null r.Relation.rows.(0).(1)));
+    t "blank trailing lines skipped" (fun () ->
+        let r = Csv.parse_string "a\n1\n\n\n" in
+        Alcotest.(check int) "rows" 1 (Relation.cardinality r));
+    t "arity mismatch raises" (fun () ->
+        match Csv.parse_string "a,b\n1\n" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected arity error");
+    t "roundtrip through string" (fun () ->
+        let original =
+          rel [ "a"; "b" ] [ [ iv 1; sv "x,y" ]; [ fv 2.5; sv "q\"z" ] ]
+        in
+        let r = Csv.parse_string (Csv.to_csv_string original) in
+        check_bag "roundtrip" original r);
+    t "roundtrip through file" (fun () ->
+        let original = rel [ "k"; "v" ] [ [ iv 1; sv "one" ]; [ iv 2; sv "two" ] ] in
+        let path = Filename.temp_file "si_test" ".csv" in
+        Csv.save path original;
+        let r = Csv.load path in
+        Sys.remove path;
+        check_bag "file roundtrip" original r) ]

@@ -1,0 +1,140 @@
+open Relalg
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let schema = Schema.of_cols [ Schema.col ~q:"t" "a"; Schema.col ~q:"t" "b" ]
+let sample = row [ iv 10; iv 3 ]
+
+let eval e = Expr.eval schema sample e
+let check_v = Alcotest.check Helpers.value_testable
+
+let evaluation =
+  [ t "column lookup" (fun () -> check_v "a" (iv 10) (eval (Expr.col "a")));
+    t "qualified column lookup" (fun () -> check_v "t.a" (iv 10) (eval (Expr.col ~q:"t" "a")));
+    t "unknown column raises" (fun () ->
+        match eval (Expr.col "zz") with
+        | exception Schema.Unknown_column _ -> ()
+        | v -> Alcotest.failf "expected Unknown_column, got %s" (Value.to_string v));
+    t "arithmetic" (fun () ->
+        check_v "a*b+1" (iv 31)
+          (eval
+             (Expr.Binop
+                (Expr.Add, Expr.Binop (Expr.Mul, Expr.col "a", Expr.col "b"), Expr.int 1))));
+    t "comparison" (fun () ->
+        check_v "a > b" (Value.Bool true) (eval (Expr.Cmp (Expr.Gt, Expr.col "a", Expr.col "b"))));
+    t "null comparison is false" (fun () ->
+        check_v "null < 1" (Value.Bool false)
+          (eval (Expr.Cmp (Expr.Lt, Expr.Const Value.Null, Expr.int 1))));
+    t "and or not" (fun () ->
+        let p =
+          Expr.And
+            ( Expr.Cmp (Expr.Gt, Expr.col "a", Expr.int 5),
+              Expr.Not (Expr.Cmp (Expr.Eq, Expr.col "b", Expr.int 3)) )
+        in
+        check_v "and" (Value.Bool false) (eval p));
+    t "in_set" (fun () ->
+        let set = Expr.row_set_of [ row [ iv 10; iv 3 ] ] in
+        check_v "in" (Value.Bool true) (eval (Expr.In_set ([ Expr.col "a"; Expr.col "b" ], set)))) ]
+
+let structure =
+  [ t "conjuncts splits nested ands" (fun () ->
+        let p =
+          Expr.And
+            ( Expr.And
+                ( Expr.Cmp (Expr.Eq, Expr.col "a", Expr.int 1),
+                  Expr.Cmp (Expr.Eq, Expr.col "b", Expr.int 2) ),
+              Expr.Cmp (Expr.Gt, Expr.col "a", Expr.col "b") )
+        in
+        Alcotest.(check int) "3 conjuncts" 3 (List.length (Expr.conjuncts p)));
+    t "conj of empty list is true" (fun () ->
+        Alcotest.(check bool) "tt" true (Expr.equal (Expr.conj []) Expr.tt));
+    t "columns in order without duplicates" (fun () ->
+        let p =
+          Expr.And
+            ( Expr.Cmp (Expr.Lt, Expr.col "b", Expr.col "a"),
+              Expr.Cmp (Expr.Gt, Expr.col "b", Expr.int 0) )
+        in
+        Alcotest.(check (list string)) "cols" [ "b"; "a" ]
+          (List.map (fun c -> c.Schema.name) (Expr.columns p)));
+    t "bind substitutes resolvable columns" (fun () ->
+        let p = Expr.Cmp (Expr.Lt, Expr.col "a", Expr.col "zz") in
+        let bound = Expr.bind schema sample p in
+        (match bound with
+         | Expr.Cmp (Expr.Lt, Expr.Const (Value.Int 10), Expr.Col c) ->
+           Alcotest.(check string) "zz kept" "zz" c.Schema.name
+         | _ -> Alcotest.fail "unexpected bind result"));
+    t "requalify rewrites qualifiers" (fun () ->
+        let p = Expr.col ~q:"t" "a" in
+        match Expr.requalify (fun _ -> Some "u") p with
+        | Expr.Col c -> Alcotest.(check (option string)) "u" (Some "u") c.Schema.qualifier
+        | _ -> Alcotest.fail "not a column");
+    t "canonicalize resolves bare columns" (fun () ->
+        match Expr.canonicalize schema (Expr.col "a") with
+        | Expr.Col c -> Alcotest.(check (option string)) "t" (Some "t") c.Schema.qualifier
+        | _ -> Alcotest.fail "not a column");
+    t "flip and negate cmp" (fun () ->
+        Alcotest.(check bool) "flip lt = gt" true (Expr.flip_cmp Expr.Lt = Expr.Gt);
+        Alcotest.(check bool) "negate le = gt" true (Expr.negate_cmp Expr.Le = Expr.Gt)) ]
+
+(* compile must agree with eval on arbitrary small expressions *)
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> Expr.Const (Value.Int i)) (int_range (-20) 20);
+        return (Expr.col "a");
+        return (Expr.col "b") ]
+  in
+  let rec go n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          ( 3,
+            map3
+              (fun op l r -> Expr.Binop (op, l, r))
+              (oneofl [ Expr.Add; Expr.Sub; Expr.Mul ])
+              (go (n - 1)) (go (n - 1)) );
+          ( 2,
+            map3
+              (fun op l r -> Expr.Cmp (op, l, r))
+              (oneofl [ Expr.Eq; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge; Expr.Ne ])
+              (go (n - 1)) (go (n - 1)) ) ]
+  in
+  go 3
+
+(* Generated expressions may mix booleans into arithmetic; both evaluation
+   paths must then agree on raising Type_error. *)
+let outcome f = try Ok (f ()) with Value.Type_error _ -> Error `Type_error
+
+let same_outcome a b =
+  match outcome a, outcome b with
+  | Ok x, Ok y -> Value.equal_total x y
+  | Error `Type_error, Error `Type_error -> true
+  | _ -> false
+
+let props =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"compile agrees with eval" ~count:500
+         (QCheck.make ~print:Expr.to_string expr_gen)
+         (fun e ->
+           same_outcome
+             (fun () -> Expr.eval schema sample e)
+             (fun () -> Expr.compile schema e sample)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"compile_join_bool agrees with eval on concatenation"
+         ~count:300
+         (QCheck.make ~print:Expr.to_string expr_gen)
+         (fun e ->
+           let left = Schema.of_cols [ Schema.col ~q:"t" "a" ] in
+           let right = Schema.of_cols [ Schema.col ~q:"t" "b" ] in
+           let p = Expr.Cmp (Expr.Ne, e, Expr.int 0) in
+           same_outcome
+             (fun () ->
+               Value.Bool (Expr.eval_bool (Schema.append left right) sample p))
+             (fun () ->
+               let f = Expr.compile_join_bool left right p in
+               Value.Bool (f [| iv 10 |] [| iv 3 |])))) ]
+
+let suite = evaluation @ structure @ props

@@ -1,0 +1,56 @@
+open Fdreason
+
+let t name f = Alcotest.test_case name `Quick f
+
+let fd l r = Fd.make l r
+
+let suite =
+  [ t "closure reaches transitively" (fun () ->
+        let fds = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "c" ] ] in
+        Alcotest.(check (list string)) "a+" [ "a"; "b"; "c" ] (Fd.closure fds [ "a" ]));
+    t "closure requires full lhs" (fun () ->
+        let fds = [ fd [ "a"; "b" ] [ "c" ] ] in
+        Alcotest.(check (list string)) "a+" [ "a" ] (Fd.closure fds [ "a" ]));
+    t "empty lhs applies always" (fun () ->
+        let fds = [ fd [] [ "k" ] ] in
+        Alcotest.(check (list string)) "x+" [ "k"; "x" ] (Fd.closure fds [ "x" ]));
+    t "implies" (fun () ->
+        let fds = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "c" ] ] in
+        Alcotest.(check bool) "a->c" true (Fd.implies fds (fd [ "a" ] [ "c" ]));
+        Alcotest.(check bool) "c->a fails" false (Fd.implies fds (fd [ "c" ] [ "a" ])));
+    t "superkey" (fun () ->
+        let fds = [ fd [ "id" ] [ "name"; "dept" ] ] in
+        Alcotest.(check bool) "id superkey" true
+          (Fd.superkey fds ~all:[ "id"; "name"; "dept" ] [ "id" ]);
+        Alcotest.(check bool) "name not" false
+          (Fd.superkey fds ~all:[ "id"; "name"; "dept" ] [ "name" ]));
+    t "equalities give both directions" (fun () ->
+        let fds = Fd.of_equalities [ ("a", "b") ] in
+        Alcotest.(check bool) "a->b" true (Fd.implies fds (fd [ "a" ] [ "b" ]));
+        Alcotest.(check bool) "b->a" true (Fd.implies fds (fd [ "b" ] [ "a" ])));
+    t "constants are determined by nothing" (fun () ->
+        let fds = Fd.of_equalities ~constants:[ "k" ] [] in
+        Alcotest.(check bool) "∅->k" true (Fd.implies fds (fd [] [ "k" ])));
+    t "qualify renames both sides" (fun () ->
+        let fds = Fd.qualify (fun a -> "t." ^ a) [ fd [ "x" ] [ "y" ] ] in
+        Alcotest.(check bool) "t.x -> t.y" true (Fd.implies fds (fd [ "t.x" ] [ "t.y" ])));
+    t "join-equality inference (Appendix D example)" (fun () ->
+        (* S1(id, attr) key; S1.id = S2.id equality; then (S1.id, S2.attr)
+           determines S2's attributes. *)
+        let fds =
+          Fd.qualify (fun a -> "s1." ^ a) [ fd [ "id"; "attr" ] [ "id"; "attr"; "val" ] ]
+          @ Fd.qualify (fun a -> "s2." ^ a) [ fd [ "id"; "attr" ] [ "id"; "attr"; "val" ] ]
+          @ Fd.of_equalities [ ("s1.id", "s2.id") ]
+        in
+        Alcotest.(check bool) "s1.id,s2.attr -> s2.val" true
+          (Fd.implies fds (fd [ "s1.id"; "s2.attr" ] [ "s2.val" ])));
+    t "project keeps expressible fds" (fun () ->
+        let fds = [ fd [ "a" ] [ "b" ]; fd [ "b" ] [ "c" ] ] in
+        let projected = Fd.project fds [ "a"; "c" ] in
+        Alcotest.(check bool) "a->c kept" true (Fd.implies projected (fd [ "a" ] [ "c" ]));
+        Alcotest.(check bool) "no b" true
+          (List.for_all (fun f -> not (List.mem "b" (f.Fd.lhs @ f.Fd.rhs))) projected));
+    t "closure is idempotent" (fun () ->
+        let fds = [ fd [ "a" ] [ "b" ]; fd [ "b"; "c" ] [ "d" ] ] in
+        let once = Fd.closure fds [ "a"; "c" ] in
+        Alcotest.(check (list string)) "idempotent" once (Fd.closure fds once)) ]

@@ -1,0 +1,91 @@
+(* Differential fuzzing: generate random iceberg queries over the random
+   catalog and check that every optimizer configuration returns exactly the
+   baseline's result.  This is the broadest safety net for the rewrite
+   machinery: safety checks must either reject a technique or preserve the
+   query's semantics. *)
+open Core
+open Relalg
+open Helpers
+
+let pick rng xs = List.nth xs (Workload.Prng.int rng (List.length xs))
+
+(* A random skyband/dominance-flavored query over object(id, x, y). *)
+let object_query rng =
+  let dims = pick rng [ [ "x" ]; [ "x"; "y" ] ] in
+  let cmp = pick rng [ "<="; "<" ] in
+  let joins =
+    List.map (fun d -> Printf.sprintf "L.%s %s R.%s" d cmp d) dims
+  in
+  let strict =
+    if Workload.Prng.int rng 2 = 0 && List.length dims > 1 then
+      [ "("
+        ^ String.concat " OR "
+            (List.map (fun d -> Printf.sprintf "L.%s < R.%s" d d) dims)
+        ^ ")" ]
+    else []
+  in
+  let where = String.concat " AND " (joins @ strict) in
+  let group = pick rng [ "L.id" ] in
+  let aggs =
+    pick rng
+      [ [ "COUNT(*)" ]; [ "COUNT(*)"; "SUM(R.x)" ]; [ "COUNT(*)"; "AVG(R.y)" ];
+        [ "MIN(R.x)"; "COUNT(*)" ]; [ "MAX(R.y)"; "COUNT(*)" ] ]
+  in
+  let dir = pick rng [ ">="; "<=" ] in
+  let threshold = 1 + Workload.Prng.int rng 15 in
+  Printf.sprintf "SELECT %s, %s FROM object L, object R WHERE %s GROUP BY %s HAVING COUNT(*) %s %d"
+    group (String.concat ", " aggs) where group dir threshold
+
+(* A random market-basket-flavored query over basket(bid, item). *)
+let basket_query rng =
+  let group = pick rng [ "i1.item, i2.item"; "i1.item" ] in
+  let dir = pick rng [ ">="; "<=" ] in
+  let threshold = 1 + Workload.Prng.int rng 6 in
+  let extra =
+    pick rng [ ""; " AND i1.bid > 2"; " AND i2.bid < 20" ]
+  in
+  Printf.sprintf
+    "SELECT %s, COUNT(*) FROM basket i1, basket i2 WHERE i1.bid = i2.bid%s GROUP BY %s HAVING COUNT(*) %s %d"
+    group extra group dir threshold
+
+let configurations =
+  [ (fun c q -> Runner.run ~tech:Optimizer.all_techniques c q);
+    (fun c q -> Runner.run ~tech:(Optimizer.only `Apriori) c q);
+    (fun c q -> Runner.run ~tech:(Optimizer.only `Memo) c q);
+    (fun c q -> Runner.run ~tech:(Optimizer.only `Pruning) c q);
+    (fun c q -> Runner.run ~tech:(Optimizer.only `Memo) ~memo_strategy:`Static_rewrite c q);
+    (fun c q -> Runner.run ~adaptive_apriori:true c q);
+    (fun c q ->
+      Runner.run
+        ~nljp_config:
+          { Nljp.default_config with Nljp.cache_index = false; inner_index = false }
+        c q);
+    (fun c q ->
+      Runner.run
+        ~nljp_config:
+          { Nljp.default_config with Nljp.outer_order = `Desc 0; max_cache_rows = Some 16 }
+        c q) ]
+
+let check_one mk seed =
+  let rng = Workload.Prng.create seed in
+  let catalog = random_catalog (seed * 7) in
+  let sql = mk rng in
+  let q = Sqlfront.Parser.parse sql in
+  let base = Runner.run_baseline catalog q in
+  List.for_all
+    (fun run ->
+      let r, _ = run catalog q in
+      let ok = Relation.equal_bag base r in
+      if not ok then
+        QCheck.Test.fail_reportf "mismatch for:\n%s\nbase %d rows, got %d rows" sql
+          (Relation.cardinality base) (Relation.cardinality r);
+      ok)
+    configurations
+
+let suite =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random dominance queries: all configs match baseline"
+         ~count:40 (QCheck.int_range 1 100000) (check_one object_query));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random basket queries: all configs match baseline"
+         ~count:40 (QCheck.int_range 1 100000) (check_one basket_query)) ]

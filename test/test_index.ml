@@ -1,0 +1,85 @@
+open Relalg
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let data () =
+  rel [ "k"; "v" ]
+    [ [ iv 5; sv "e" ]; [ iv 1; sv "a" ]; [ iv 3; sv "c" ]; [ iv 3; sv "c2" ];
+      [ iv 9; sv "i" ]; [ iv 7; sv "g" ] ]
+
+let hash_tests =
+  [ t "probe hit" (fun () ->
+        let idx = Index.Hash.build (data ()) [ 0 ] in
+        Alcotest.(check int) "two rows for k=3" 2
+          (List.length (Index.Hash.probe idx (row [ iv 3 ]))));
+    t "probe miss" (fun () ->
+        let idx = Index.Hash.build (data ()) [ 0 ] in
+        Alcotest.(check int) "none for k=4" 0
+          (List.length (Index.Hash.probe idx (row [ iv 4 ]))));
+    t "distinct keys" (fun () ->
+        let idx = Index.Hash.build (data ()) [ 0 ] in
+        Alcotest.(check int) "5 keys" 5 (Index.Hash.distinct_keys idx));
+    t "composite key probe" (fun () ->
+        let idx = Index.Hash.build (data ()) [ 0; 1 ] in
+        Alcotest.(check int) "one row" 1
+          (List.length (Index.Hash.probe idx (row [ iv 3; sv "c" ])))) ]
+
+let range_list idx ~lo ~hi = List.of_seq (Index.Sorted.range idx ~lo ~hi)
+
+let sorted_tests =
+  [ t "unbounded range returns all sorted" (fun () ->
+        let idx = Index.Sorted.build (data ()) [ 0 ] in
+        let ks =
+          List.map (fun r -> r.(0)) (range_list idx ~lo:None ~hi:None)
+        in
+        Alcotest.(check (list int)) "sorted" [ 1; 3; 3; 5; 7; 9 ]
+          (List.map (function Value.Int i -> i | _ -> -1) ks));
+    t "inclusive bounds" (fun () ->
+        let idx = Index.Sorted.build (data ()) [ 0 ] in
+        Alcotest.(check int) "3..7 incl" 4
+          (List.length
+             (range_list idx
+                ~lo:(Some (iv 3, `Inclusive))
+                ~hi:(Some (iv 7, `Inclusive)))));
+    t "strict bounds" (fun () ->
+        let idx = Index.Sorted.build (data ()) [ 0 ] in
+        Alcotest.(check int) "3..7 strict" 1
+          (List.length
+             (range_list idx ~lo:(Some (iv 3, `Strict)) ~hi:(Some (iv 7, `Strict)))));
+    t "iter_range agrees with range" (fun () ->
+        let idx = Index.Sorted.build (data ()) [ 0 ] in
+        let collected = ref [] in
+        Index.Sorted.iter_range idx ~lo:(Some (iv 3, `Inclusive)) ~hi:None (fun r ->
+            collected := r :: !collected);
+        Alcotest.(check int) "same count"
+          (List.length (range_list idx ~lo:(Some (iv 3, `Inclusive)) ~hi:None))
+          (List.length !collected)) ]
+
+let props =
+  let pts = QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 30)) in
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"sorted range equals filter" ~count:200
+         (QCheck.triple pts (QCheck.int_range 0 30) (QCheck.int_range 0 30))
+         (fun (xs, a, b) ->
+           let lo = min a b and hi = max a b in
+           let data = rel [ "k" ] (List.map (fun x -> [ iv x ]) xs) in
+           let idx = Index.Sorted.build data [ 0 ] in
+           let via_index =
+             List.length
+               (range_list idx
+                  ~lo:(Some (iv lo, `Inclusive))
+                  ~hi:(Some (iv hi, `Strict)))
+           in
+           let via_filter = List.length (List.filter (fun x -> x >= lo && x < hi) xs) in
+           via_index = via_filter));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"hash probe equals filter" ~count:200
+         (QCheck.pair pts (QCheck.int_range 0 30))
+         (fun (xs, k) ->
+           let data = rel [ "k" ] (List.map (fun x -> [ iv x ]) xs) in
+           let idx = Index.Hash.build data [ 0 ] in
+           List.length (Index.Hash.probe idx (row [ iv k ]))
+           = List.length (List.filter (fun x -> x = k) xs))) ]
+
+let suite = hash_tests @ sorted_tests @ props

@@ -1,0 +1,81 @@
+open Core
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let analyze catalog sql left =
+  Qspec.analyze catalog (Sqlfront.Parser.parse sql) ~left_aliases:left
+
+let check_rewrite catalog sql left =
+  let spec = analyze catalog sql left in
+  (match Memo_rewrite.applicable catalog spec with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "not applicable: %s" e);
+  let rewritten = Memo_rewrite.rewrite catalog spec in
+  let base = Core.Runner.run_baseline catalog (Sqlfront.Parser.parse sql) in
+  let rw = Sqlfront.Binder.run catalog rewritten in
+  check_bag (Printf.sprintf "rewrite of %s" sql) base rw
+
+let suite =
+  [ t "key case (G_L -> A_L): skyband" (fun () ->
+        check_rewrite (random_catalog 5) (Workload.Queries.listing2 ~k:6) [ "L" ]);
+    t "key case with several aggregates" (fun () ->
+        check_rewrite (random_catalog 19)
+          "SELECT L.id, COUNT(*), SUM(R.x), AVG(R.y) FROM object L, object R \
+           WHERE L.x <= R.x GROUP BY L.id HAVING COUNT(*) <= 12"
+          [ "L" ]);
+    t "key case with G_R non-empty" (fun () ->
+        check_rewrite (random_catalog 29)
+          "SELECT i1.bid, i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+           WHERE i1.bid = i2.bid GROUP BY i1.bid, i1.item, i2.item HAVING COUNT(*) >= 1"
+          [ "i1" ]);
+    t "non-key case combines partial aggregates" (fun () ->
+        check_rewrite (random_catalog 37)
+          "SELECT L.x, COUNT(*), SUM(R.y) FROM object L, object R \
+           WHERE L.y <= R.y GROUP BY L.x HAVING COUNT(*) >= 2"
+          [ "L" ]);
+    t "non-key case with AVG (paper's f^i = (SUM, COUNT))" (fun () ->
+        check_rewrite (random_catalog 41)
+          "SELECT L.x, AVG(R.y) FROM object L, object R \
+           WHERE L.y <= R.y GROUP BY L.x HAVING COUNT(*) >= 2"
+          [ "L" ]);
+    t "non-key case with G_R non-empty" (fun () ->
+        check_rewrite (random_catalog 43)
+          "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+           WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 2"
+          [ "i1" ]);
+    t "count distinct accepted only in the key case" (fun () ->
+        let catalog = random_catalog 47 in
+        let key_case_sql =
+          "SELECT L.id, COUNT(DISTINCT R.x) FROM object L, object R \
+           WHERE L.x <= R.x GROUP BY L.id HAVING COUNT(DISTINCT R.x) >= 2"
+        in
+        (match Memo_rewrite.applicable catalog (analyze catalog key_case_sql [ "L" ]) with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "key case should accept count distinct: %s" e);
+        let non_key_sql =
+          "SELECT L.x, COUNT(DISTINCT R.y) FROM object L, object R \
+           WHERE L.y <= R.y GROUP BY L.x HAVING COUNT(DISTINCT R.y) >= 2"
+        in
+        match Memo_rewrite.applicable catalog (analyze catalog non_key_sql [ "L" ]) with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "non-key count distinct must be rejected");
+    t "rewritten SQL contains the LJT/LJR stages" (fun () ->
+        let catalog = random_catalog 5 in
+        let spec = analyze catalog (Workload.Queries.listing2 ~k:6) [ "L" ] in
+        let sql = Sqlfront.Pretty.query (Memo_rewrite.rewrite catalog spec) in
+        Alcotest.(check bool) "distinct bindings" true (contains sql "SELECT DISTINCT");
+        Alcotest.(check bool) "ljr alias" true (contains sql "ljr"));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"memo rewrite preserves results on random instances"
+         ~count:40 (QCheck.int_range 0 9999)
+         (fun seed ->
+           let catalog = random_catalog seed in
+           let sql = Workload.Queries.listing2 ~k:(1 + (seed mod 10)) in
+           let spec = analyze catalog sql [ "L" ] in
+           match Memo_rewrite.applicable catalog spec with
+           | Error _ -> false
+           | Ok () ->
+             let base = Core.Runner.run_baseline catalog (Sqlfront.Parser.parse sql) in
+             let rw = Sqlfront.Binder.run catalog (Memo_rewrite.rewrite catalog spec) in
+             Relalg.Relation.equal_bag base rw)) ]

@@ -1,0 +1,127 @@
+open Core
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let analyze catalog sql left =
+  Qspec.analyze catalog (Sqlfront.Parser.parse sql) ~left_aliases:left
+
+let names cols = List.map (fun c -> c.Relalg.Schema.name) cols
+
+let market_basket () =
+  analyze (basket_catalog ())
+    "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+     WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 2"
+    [ "i1" ]
+
+let suite =
+  [ t "market basket decomposition (Example 6)" (fun () ->
+        let spec = market_basket () in
+        Alcotest.(check (list string)) "G_L" [ "item" ] (names spec.Qspec.left.Qspec.group_cols);
+        Alcotest.(check (list string)) "G_R" [ "item" ]
+          (names spec.Qspec.right.Qspec.group_cols);
+        Alcotest.(check (list string)) "J_L" [ "bid" ] (names spec.Qspec.left.Qspec.join_cols);
+        Alcotest.(check (list string)) "J_L=" [ "bid" ]
+          (names spec.Qspec.left.Qspec.eq_join_cols);
+        Alcotest.(check int) "one theta conjunct" 1 (List.length spec.Qspec.theta));
+    t "skyband decomposition (Example 9)" (fun () ->
+        let catalog = objects_catalog [ (1, 1); (2, 2) ] in
+        let spec =
+          analyze catalog (Workload.Queries.listing2 ~k:50) [ "L" ]
+        in
+        Alcotest.(check (list string)) "G_L" [ "id" ] (names spec.Qspec.left.Qspec.group_cols);
+        Alcotest.(check (list string)) "G_R" [] (names spec.Qspec.right.Qspec.group_cols);
+        Alcotest.(check (list string)) "J_L" [ "x"; "y" ]
+          (names spec.Qspec.left.Qspec.join_cols);
+        Alcotest.(check (list string)) "no equality join cols" []
+          (names spec.Qspec.left.Qspec.eq_join_cols));
+    t "local conjuncts stay inside the side" (fun () ->
+        let catalog = basket_catalog () in
+        let spec =
+          analyze catalog
+            "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+             WHERE i1.bid = i2.bid AND i1.bid > 0 AND i2.bid > 1 \
+             GROUP BY i1.item, i2.item HAVING COUNT(*) >= 2"
+            [ "i1" ]
+        in
+        Alcotest.(check int) "left local" 1 (List.length spec.Qspec.left.Qspec.local);
+        Alcotest.(check int) "right local" 1 (List.length spec.Qspec.right.Qspec.local);
+        Alcotest.(check int) "theta" 1 (List.length spec.Qspec.theta));
+    t "pred_applicable" (fun () ->
+        let spec = market_basket () in
+        let phi = Sqlfront.Parser.parse_pred "COUNT(*) >= 2" in
+        Alcotest.(check bool) "count star applies to both" true
+          (Qspec.pred_applicable spec.Qspec.left phi
+          && Qspec.pred_applicable spec.Qspec.right phi);
+        let phi2 = Sqlfront.Parser.parse_pred "COUNT(i2.item) >= 2" in
+        Alcotest.(check bool) "i2 column only right" true
+          ((not (Qspec.pred_applicable spec.Qspec.left phi2))
+          && Qspec.pred_applicable spec.Qspec.right phi2));
+    t "side FDs include key and local equalities" (fun () ->
+        let catalog = Relalg.Catalog.create () in
+        Relalg.Catalog.add_table catalog ~keys:[ [ "id"; "attr" ] ]
+          ~fds:[ ([ "id" ], [ "category" ]) ] "product"
+          (rel [ "id"; "category"; "attr"; "val" ] []);
+        let spec =
+          analyze catalog (Workload.Queries.listing3 ~threshold:10) [ "S1"; "S2" ]
+        in
+        let fds = spec.Qspec.left.Qspec.fds in
+        Alcotest.(check bool) "S1 key" true
+          (Fdreason.Fd.implies fds (Fdreason.Fd.make [ "S1.id"; "S1.attr" ] [ "S1.val" ]));
+        (* S1.id = S2.id is local to {S1, S2} *)
+        Alcotest.(check bool) "S1.id determines S2.id" true
+          (Fdreason.Fd.implies fds (Fdreason.Fd.make [ "S1.id" ] [ "S2.id" ])));
+    t "outer_group_is_key via equality inference" (fun () ->
+        let catalog = Relalg.Catalog.create () in
+        Relalg.Catalog.add_table catalog ~keys:[ [ "id"; "attr" ] ]
+          ~fds:[ ([ "id" ], [ "category" ]) ] "product"
+          (rel [ "id"; "category"; "attr"; "val" ] []);
+        let spec =
+          analyze catalog (Workload.Queries.listing3 ~threshold:10) [ "S1"; "S2" ]
+        in
+        Alcotest.(check bool) "G_L key of S1 x S2" true (Qspec.outer_group_is_key spec));
+    t "lambda_applicable accepts inner-side aggregates" (fun () ->
+        let spec = market_basket () in
+        Alcotest.(check bool) "ok" true (Qspec.lambda_applicable spec));
+    t "lambda_applicable rejects outer-side aggregate arguments" (fun () ->
+        let catalog = basket_catalog () in
+        let spec =
+          analyze catalog
+            "SELECT i1.item, i2.item, COUNT(i1.bid) FROM basket i1, basket i2 \
+             WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 2"
+            [ "i2" ]
+        in
+        (* aggregate argument i1.bid lives on the outer ({i2} is left here?
+           no: left_aliases [i2], so i1 is the inner side) — applicable *)
+        Alcotest.(check bool) "applicable when arg on inner" true
+          (Qspec.lambda_applicable spec);
+        let spec2 =
+          analyze catalog
+            "SELECT i1.item, i2.item, COUNT(i1.bid) FROM basket i1, basket i2 \
+             WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 2"
+            [ "i1" ]
+        in
+        Alcotest.(check bool) "rejected when arg on outer" false
+          (Qspec.lambda_applicable spec2));
+    t "all_aggs deduplicates across select and having" (fun () ->
+        let catalog = basket_catalog () in
+        let spec =
+          analyze catalog
+            "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+             WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 2"
+            [ "i1" ]
+        in
+        Alcotest.(check int) "one agg" 1 (List.length (Qspec.all_aggs spec)));
+    t "unsupported shapes raise" (fun () ->
+        let catalog = basket_catalog () in
+        (match
+           analyze catalog "SELECT i1.item FROM basket i1, basket i2 WHERE i1.bid = i2.bid GROUP BY i1.item"
+             [ "i1" ]
+         with
+        | exception Qspec.Unsupported _ -> ()
+        | _ -> Alcotest.fail "no HAVING should be unsupported"));
+    t "aliases_of" (fun () ->
+        let q =
+          Sqlfront.Parser.parse "SELECT a.x, COUNT(*) FROM t a, t b, u GROUP BY a.x HAVING COUNT(*) >= 1"
+        in
+        Alcotest.(check (list string)) "aliases" [ "a"; "b"; "u" ] (Qspec.aliases_of q)) ]

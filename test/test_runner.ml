@@ -1,0 +1,175 @@
+open Core
+open Relalg
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Small but non-trivial catalogs for the four paper query families. *)
+let family_catalog seed =
+  let rng = Workload.Prng.create seed in
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog ~keys:[ [ "id" ] ] ~nonneg:[ "x"; "y" ] "object"
+    (rel [ "id"; "x"; "y" ]
+       (List.init 120 (fun i ->
+            [ iv i; iv (Workload.Prng.int rng 20); iv (Workload.Prng.int rng 20) ])));
+  let score =
+    List.concat_map
+      (fun pid ->
+        List.filter_map
+          (fun year ->
+            if Workload.Prng.int rng 4 = 0 then None
+            else
+              Some
+                [ iv pid; iv (2000 + year); iv 1; iv (pid mod 4);
+                  iv (Workload.Prng.int rng 50); iv (Workload.Prng.int rng 20) ])
+          (List.init 6 Fun.id))
+      (List.init 16 Fun.id)
+  in
+  Catalog.add_table catalog
+    ~keys:[ [ "pid"; "year"; "round" ] ]
+    ~nonneg:[ "hits"; "hruns" ] "score"
+    (rel [ "pid"; "year"; "round"; "teamid"; "hits"; "hruns" ] score);
+  let product =
+    List.concat_map
+      (fun id ->
+        List.map
+          (fun attr ->
+            [ iv id; sv (Printf.sprintf "cat%d" (id mod 2)); sv attr;
+              iv (Workload.Prng.int rng 15) ])
+          [ "a"; "b"; "c" ])
+      (List.init 30 Fun.id)
+  in
+  Catalog.add_table catalog
+    ~keys:[ [ "id"; "attr" ] ]
+    ~fds:[ ([ "id" ], [ "category" ]) ]
+    ~nonneg:[ "val" ] "product"
+    (rel [ "id"; "category"; "attr"; "val" ] product);
+  catalog
+
+let techniques =
+  [ ("all", Optimizer.all_techniques);
+    ("apriori", Optimizer.only `Apriori);
+    ("memo", Optimizer.only `Memo);
+    ("pruning", Optimizer.only `Pruning) ]
+
+let family_queries =
+  [ ("skyband", Workload.Queries.listing2 ~k:8);
+    ( "skyband monotone",
+      "SELECT L.id, COUNT(*) FROM object L, object R \
+       WHERE L.x <= R.x AND L.y <= R.y AND (L.x < R.x OR L.y < R.y) \
+       GROUP BY L.id HAVING COUNT(*) >= 4" );
+    ( "basket",
+      "SELECT i1.pid, i2.pid, COUNT(*) FROM score i1, score i2 \
+       WHERE i1.teamid = i2.teamid AND i1.year = i2.year AND i1.round = i2.round \
+       GROUP BY i1.pid, i2.pid HAVING COUNT(*) >= 4" );
+    ("pairs", Workload.Queries.listing4 ~c:2 ~k:4);
+    ("complex", Workload.Queries.listing3 ~threshold:6) ]
+
+let equivalence =
+  List.concat_map
+    (fun (qname, sql) ->
+      List.map
+        (fun (tname, tech) ->
+          t (Printf.sprintf "%s with %s equals baseline" qname tname) (fun () ->
+              check_sql_equiv ~tech (family_catalog 100) sql))
+        techniques)
+    family_queries
+
+let decisions =
+  [ t "complex query reproduces the Appendix D walkthrough" (fun () ->
+        let catalog = family_catalog 4 in
+        let q = Sqlfront.Parser.parse (Workload.Queries.listing3 ~threshold:6) in
+        let _, rep = Runner.run catalog q in
+        (* two a-priori reducers (S1 via {S1,T1}, S2 via {S2,T2}) *)
+        Alcotest.(check int) "two reducers" 2 (List.length rep.Runner.apriori);
+        let reduced = List.concat_map (fun rw -> rw.Optimizer.reduced) rep.Runner.apriori in
+        Alcotest.(check bool) "S1 reduced" true (List.mem "S1" reduced);
+        Alcotest.(check bool) "S2 reduced" true (List.mem "S2" reduced);
+        (* NLJP outer side {S1, S2} *)
+        (match rep.Runner.nljp_outer with
+         | Some aliases ->
+           Alcotest.(check (list string)) "outer" [ "S1"; "S2" ]
+             (List.sort compare aliases)
+         | None -> Alcotest.fail "NLJP expected"));
+    t "pairs query optimizes both blocks" (fun () ->
+        let catalog = family_catalog 5 in
+        let q = Sqlfront.Parser.parse (Workload.Queries.listing4 ~c:2 ~k:4) in
+        let _, rep = Runner.run catalog q in
+        (match rep.Runner.cte_reports with
+         | [ (name, cte_rep) ] ->
+           Alcotest.(check string) "cte name" "pair" name;
+           (* the WITH block has a monotone HAVING: a-priori applies *)
+           Alcotest.(check bool) "cte a-priori" true (cte_rep.Runner.apriori <> [])
+         | _ -> Alcotest.fail "one CTE expected");
+        (* the outer block is a skyband over the pair view: NLJP applies *)
+        Alcotest.(check bool) "outer NLJP" true (rep.Runner.nljp_outer <> None));
+    t "skyband query gets no a-priori but does get NLJP" (fun () ->
+        let catalog = family_catalog 6 in
+        let q = Sqlfront.Parser.parse (Workload.Queries.listing2 ~k:8) in
+        let _, rep = Runner.run catalog q in
+        Alcotest.(check bool) "no a-priori" true (rep.Runner.apriori = []);
+        Alcotest.(check bool) "NLJP" true (rep.Runner.nljp_outer <> None));
+    t "technique flags are respected" (fun () ->
+        let catalog = family_catalog 7 in
+        let q = Sqlfront.Parser.parse (Workload.Queries.listing2 ~k:8) in
+        let _, rep = Runner.run ~tech:(Optimizer.only `Memo) catalog q in
+        (match rep.Runner.nljp_stats with
+         | Some s ->
+           Alcotest.(check bool) "pruning off" false s.Nljp.pruning_on;
+           Alcotest.(check bool) "memo on" true s.Nljp.memo_on
+         | None -> Alcotest.fail "NLJP stats expected"));
+    t "cache accounting aggregates CTE blocks" (fun () ->
+        let catalog = family_catalog 8 in
+        let q = Sqlfront.Parser.parse (Workload.Queries.listing4 ~c:2 ~k:4) in
+        let _, rep = Runner.run catalog q in
+        Alcotest.(check bool) "rows >= 0" true (Runner.cache_rows rep >= 0);
+        Alcotest.(check bool) "bytes >= rows presence" true
+          (Runner.cache_rows rep = 0 || Runner.cache_bytes rep > 0));
+    t "temp tables are cleaned up" (fun () ->
+        let catalog = family_catalog 9 in
+        let q = Sqlfront.Parser.parse (Workload.Queries.listing4 ~c:2 ~k:4) in
+        ignore (Runner.run catalog q);
+        Alcotest.(check bool) "pair gone" false (Catalog.mem catalog "pair"));
+    t "non-iceberg query falls back to baseline" (fun () ->
+        let catalog = family_catalog 10 in
+        let q = Sqlfront.Parser.parse "SELECT id, x FROM object WHERE x > 3" in
+        let r, rep = Runner.run catalog q in
+        Alcotest.(check bool) "no nljp" true (rep.Runner.nljp_outer = None);
+        check_bag "same as baseline" (Runner.run_baseline catalog q) r);
+    t "report renders" (fun () ->
+        let catalog = family_catalog 11 in
+        let q = Sqlfront.Parser.parse (Workload.Queries.listing3 ~threshold:6) in
+        let _, rep = Runner.run catalog q in
+        let s = Runner.report_to_string rep in
+        Alcotest.(check bool) "mentions reducer" true (contains s "a-priori reducer")) ]
+
+let vendor =
+  [ t "parallel baseline equals sequential baseline on all families" (fun () ->
+        let catalog = family_catalog 12 in
+        List.iter
+          (fun (name, sql) ->
+            let q = Sqlfront.Parser.parse sql in
+            let seq = Runner.run_baseline catalog q in
+            let par = Runner.run_baseline ~workers:4 catalog q in
+            check_bag name seq par)
+          family_queries) ]
+
+let random_full_pipeline =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"full pipeline equals baseline across techniques (random instances)"
+         ~count:15 (QCheck.int_range 0 9999)
+         (fun seed ->
+           let catalog = family_catalog seed in
+           List.for_all
+             (fun (_, sql) ->
+               let q = Sqlfront.Parser.parse sql in
+               let base = Runner.run_baseline catalog q in
+               List.for_all
+                 (fun (_, tech) ->
+                   let r, _ = Runner.run ~tech catalog q in
+                   Relation.equal_bag base r)
+                 techniques)
+             family_queries)) ]
+
+let suite = equivalence @ decisions @ vendor @ random_full_pipeline

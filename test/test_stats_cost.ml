@@ -1,0 +1,151 @@
+open Relalg
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let sample () =
+  rel [ "id"; "grp"; "v" ]
+    (List.init 100 (fun i -> [ iv i; iv (i mod 10); iv (i mod 50) ]))
+
+let stats_tests =
+  [ t "row count and distinct counts" (fun () ->
+        let s = Stats.of_relation (sample ()) in
+        Alcotest.(check int) "rows" 100 s.Stats.row_count;
+        let d name = (Option.get (Stats.col s name)).Stats.distinct in
+        Alcotest.(check int) "id distinct" 100 (d "id");
+        Alcotest.(check int) "grp distinct" 10 (d "grp");
+        Alcotest.(check int) "v distinct" 50 (d "v"));
+    t "min max nulls" (fun () ->
+        let r = rel [ "a" ] [ [ iv 5 ]; [ Value.Null ]; [ iv 2 ]; [ iv 9 ] ] in
+        let s = Stats.of_relation r in
+        let cs = Option.get (Stats.col s "a") in
+        Alcotest.check Helpers.value_testable "min" (iv 2) cs.Stats.min_val;
+        Alcotest.check Helpers.value_testable "max" (iv 9) cs.Stats.max_val;
+        Alcotest.(check int) "nulls" 1 cs.Stats.null_count);
+    t "range selectivity interpolates" (fun () ->
+        let s = Stats.of_relation (sample ()) in
+        let cs = Option.get (Stats.col s "id") in
+        let sel = Stats.range_selectivity cs Expr.Le (iv 49) in
+        Alcotest.(check bool) (Printf.sprintf "~0.5, got %.2f" sel) true
+          (sel > 0.4 && sel < 0.6));
+    t "eq selectivity is 1/distinct" (fun () ->
+        let s = Stats.of_relation (sample ()) in
+        let cs = Option.get (Stats.col s "grp") in
+        Alcotest.(check (float 1e-9)) "0.1" 0.1 (Stats.eq_selectivity cs)) ]
+
+(* The cost model's row estimates should be within a small factor of the
+   actual cardinalities for the plan shapes the optimizer emits. *)
+let within_factor f est actual =
+  let actual = Float.max 1. (float_of_int actual) in
+  est /. actual <= f && actual /. est <= f
+
+let cost_catalog () =
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog ~keys:[ [ "id" ] ] "pts"
+    (rel [ "id"; "x"; "grp" ]
+       (List.init 200 (fun i -> [ iv i; iv (i mod 40); iv (i mod 8) ])));
+  catalog
+
+let estimate_vs_actual catalog sql factor =
+  let q = Sqlfront.Parser.parse sql in
+  let plan = Sqlfront.Binder.bind catalog q in
+  let est = Core.Cost.estimate catalog plan in
+  let actual = Relation.cardinality (Exec.run catalog plan) in
+  if not (within_factor factor est.Core.Cost.rows actual) then
+    Alcotest.failf "estimate %.0f vs actual %d (allowed factor %.0f) for %s"
+      est.Core.Cost.rows actual factor sql
+
+let cost_tests =
+  [ t "scan estimate is exact" (fun () ->
+        estimate_vs_actual (cost_catalog ()) "SELECT id FROM pts" 1.01);
+    t "equality filter estimate" (fun () ->
+        estimate_vs_actual (cost_catalog ()) "SELECT id FROM pts WHERE grp = 3" 1.5);
+    t "range filter estimate" (fun () ->
+        estimate_vs_actual (cost_catalog ()) "SELECT id FROM pts WHERE x <= 10" 2.);
+    t "equi-join estimate" (fun () ->
+        estimate_vs_actual (cost_catalog ())
+          "SELECT a.id FROM pts a, pts b WHERE a.grp = b.grp" 2.);
+    t "group estimate bounded by distinct product" (fun () ->
+        estimate_vs_actual (cost_catalog ())
+          "SELECT grp, COUNT(*) FROM pts GROUP BY grp" 1.5);
+    t "nested loop costs more than hash join" (fun () ->
+        let catalog = cost_catalog () in
+        let nl =
+          Core.Cost.estimate catalog
+            (Plan.Nl_join
+               {
+                 pred = Expr.Cmp (Expr.Eq, Expr.col ~q:"a" "grp", Expr.col ~q:"b" "grp");
+                 left = Plan.Scan { table = "pts"; alias = Some "a"; filter = None };
+                 right = Plan.Scan { table = "pts"; alias = Some "b"; filter = None };
+               })
+        in
+        let hj =
+          Core.Cost.estimate catalog
+            (Plan.Hash_join
+               {
+                 keys = [ (Expr.col ~q:"a" "grp", Expr.col ~q:"b" "grp") ];
+                 residual = Expr.tt;
+                 left = Plan.Scan { table = "pts"; alias = Some "a"; filter = None };
+                 right = Plan.Scan { table = "pts"; alias = Some "b"; filter = None };
+               })
+        in
+        Alcotest.(check bool) "nl > hj" true (nl.Core.Cost.cost > hj.Core.Cost.cost);
+        Alcotest.(check bool) "same rows" true
+          (Float.abs (nl.Core.Cost.rows -. hj.Core.Cost.rows) < 1e-6));
+    t "explain renders estimates" (fun () ->
+        let catalog = cost_catalog () in
+        let plan =
+          Sqlfront.Binder.bind catalog
+            (Sqlfront.Parser.parse
+               "SELECT grp, COUNT(*) FROM pts GROUP BY grp HAVING COUNT(*) >= 10")
+        in
+        let s = Core.Cost.explain catalog plan in
+        Alcotest.(check bool) "has rows≈" true (contains s "rows≈");
+        Alcotest.(check bool) "has HashAggregate" true (contains s "HashAggregate")) ]
+
+let adaptive_tests =
+  [ t "adaptive gate drops an unselective reducer" (fun () ->
+        (* threshold 1: every item appears at least once, so the reducer
+           keeps every group — the gate must drop it *)
+        let catalog = random_catalog 61 in
+        let q =
+          Sqlfront.Parser.parse
+            "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+             WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 1"
+        in
+        let d =
+          Core.Optimizer.decide ~adaptive:true catalog q
+            ~tech:(Core.Optimizer.only `Apriori) ~nljp_config:Core.Nljp.default_config
+        in
+        Alcotest.(check int) "no rewrites kept" 0
+          (List.length d.Core.Optimizer.apriori_rewrites);
+        let d' =
+          Core.Optimizer.decide ~adaptive:false catalog q
+            ~tech:(Core.Optimizer.only `Apriori) ~nljp_config:Core.Nljp.default_config
+        in
+        Alcotest.(check bool) "kept without gate" true
+          (d'.Core.Optimizer.apriori_rewrites <> []));
+    t "adaptive gate keeps a selective reducer" (fun () ->
+        let catalog = random_catalog 62 in
+        let q =
+          Sqlfront.Parser.parse
+            "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+             WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 12"
+        in
+        let d =
+          Core.Optimizer.decide ~adaptive:true catalog q
+            ~tech:(Core.Optimizer.only `Apriori) ~nljp_config:Core.Nljp.default_config
+        in
+        Alcotest.(check bool) "kept" true (d.Core.Optimizer.apriori_rewrites <> []));
+    t "adaptive runs still return correct results" (fun () ->
+        let catalog = random_catalog 63 in
+        let sql =
+          "SELECT i1.item, i2.item, COUNT(*) FROM basket i1, basket i2 \
+           WHERE i1.bid = i2.bid GROUP BY i1.item, i2.item HAVING COUNT(*) >= 3"
+        in
+        let q = Sqlfront.Parser.parse sql in
+        let base = Core.Runner.run_baseline catalog q in
+        let r, _ = Core.Runner.run ~adaptive_apriori:true catalog q in
+        check_bag "adaptive" base r) ]
+
+let suite = stats_tests @ cost_tests @ adaptive_tests

@@ -1,0 +1,85 @@
+open Relalg
+
+let t name f = Alcotest.test_case name `Quick f
+
+let check_v = Alcotest.check Helpers.value_testable
+
+let arithmetic =
+  [ t "add ints" (fun () -> check_v "2+3" (Value.Int 5) (Value.add (Value.Int 2) (Value.Int 3)));
+    t "add mixed promotes to float" (fun () ->
+        check_v "2+0.5" (Value.Float 2.5) (Value.add (Value.Int 2) (Value.Float 0.5)));
+    t "sub" (fun () -> check_v "5-7" (Value.Int (-2)) (Value.sub (Value.Int 5) (Value.Int 7)));
+    t "mul" (fun () -> check_v "4*3" (Value.Int 12) (Value.mul (Value.Int 4) (Value.Int 3)));
+    t "int division truncates" (fun () ->
+        check_v "7/2" (Value.Int 3) (Value.div (Value.Int 7) (Value.Int 2)));
+    t "float division" (fun () ->
+        check_v "7.0/2" (Value.Float 3.5) (Value.div (Value.Float 7.) (Value.Int 2)));
+    t "null propagates through arithmetic" (fun () ->
+        check_v "null+1" Value.Null (Value.add Value.Null (Value.Int 1)));
+    t "division by zero raises" (fun () ->
+        Alcotest.check_raises "7/0" (Value.Type_error "div: division by zero") (fun () ->
+            ignore (Value.div (Value.Int 7) (Value.Int 0))));
+    t "neg" (fun () -> check_v "-(3)" (Value.Int (-3)) (Value.neg (Value.Int 3)));
+    t "string arithmetic raises" (fun () ->
+        match Value.add (Value.Str "a") (Value.Int 1) with
+        | exception Value.Type_error _ -> ()
+        | v -> Alcotest.failf "expected Type_error, got %s" (Value.to_string v)) ]
+
+let comparison =
+  [ t "int float cross comparison" (fun () ->
+        Alcotest.(check (option int)) "3 vs 3.0" (Some 0)
+          (Value.compare_sql (Value.Int 3) (Value.Float 3.0)));
+    t "null comparisons are unknown" (fun () ->
+        Alcotest.(check (option int)) "null vs 1" None
+          (Value.compare_sql Value.Null (Value.Int 1)));
+    t "compare_sql_code null sentinel" (fun () ->
+        Alcotest.(check int) "code" min_int
+          (Value.compare_sql_code Value.Null (Value.Int 1)));
+    t "total order puts null first" (fun () ->
+        Alcotest.(check bool) "null < 0" true
+          (Value.compare_total Value.Null (Value.Int 0) < 0));
+    t "string ordering" (fun () ->
+        Alcotest.(check bool) "a < b" true
+          (Value.compare_total (Value.Str "a") (Value.Str "b") < 0));
+    t "hash consistent with equality across int/float" (fun () ->
+        Alcotest.(check int) "hash 3 = hash 3.0" (Value.hash (Value.Int 3))
+          (Value.hash (Value.Float 3.0))) ]
+
+let parsing =
+  [ t "csv int" (fun () -> check_v "42" (Value.Int 42) (Value.of_csv_field "42"));
+    t "csv float" (fun () -> check_v "4.5" (Value.Float 4.5) (Value.of_csv_field "4.5"));
+    t "csv bool" (fun () -> check_v "true" (Value.Bool true) (Value.of_csv_field "true"));
+    t "csv empty is null" (fun () -> check_v "" Value.Null (Value.of_csv_field ""));
+    t "csv fallback string" (fun () ->
+        check_v "abc" (Value.Str "abc") (Value.of_csv_field "abc"));
+    t "to_string roundtrip int" (fun () ->
+        Alcotest.(check string) "17" "17" (Value.to_string (Value.Int 17))) ]
+
+let props =
+  let value_gen =
+    QCheck.Gen.(
+      oneof
+        [ map (fun i -> Value.Int i) (int_range (-1000) 1000);
+          map (fun f -> Value.Float f) (float_bound_inclusive 100.);
+          map (fun s -> Value.Str s) (string_size (int_range 0 5));
+          return Value.Null ])
+  in
+  let arb = QCheck.make ~print:Value.to_string value_gen in
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"compare_total is antisymmetric" ~count:500
+         (QCheck.pair arb arb)
+         (fun (a, b) ->
+           Value.compare_total a b = -Value.compare_total b a
+           || Value.compare_total a b = 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"equal_total values hash equal" ~count:500
+         (QCheck.pair arb arb)
+         (fun (a, b) ->
+           (not (Value.equal_total a b)) || Value.hash a = Value.hash b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"add commutes on numbers" ~count:500
+         (QCheck.pair (QCheck.make QCheck.Gen.(map (fun i -> Value.Int i) small_int))
+            (QCheck.make QCheck.Gen.(map (fun i -> Value.Int i) small_int)))
+         (fun (a, b) -> Value.equal_total (Value.add a b) (Value.add b a))) ]
+
+let suite = arithmetic @ comparison @ parsing @ props

@@ -1,0 +1,142 @@
+open Relalg
+
+let t name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [ t "prng is deterministic" (fun () ->
+        let a = Workload.Prng.create 42 and b = Workload.Prng.create 42 in
+        let xs g = List.init 10 (fun _ -> Workload.Prng.int g 1000) in
+        Alcotest.(check (list int)) "same stream" (xs a) (xs b));
+    t "prng int respects bound" (fun () ->
+        let g = Workload.Prng.create 1 in
+        for _ = 1 to 1000 do
+          let v = Workload.Prng.int g 7 in
+          if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+        done);
+    t "gaussian has sane mean" (fun () ->
+        let g = Workload.Prng.create 2 in
+        let n = 5000 in
+        let sum = ref 0. in
+        for _ = 1 to n do
+          sum := !sum +. Workload.Prng.gaussian g
+        done;
+        Alcotest.(check bool) "|mean| < 0.1" true (Float.abs (!sum /. float_of_int n) < 0.1));
+    t "zipf favors low ranks" (fun () ->
+        let g = Workload.Prng.create 3 in
+        let sample = Workload.Prng.zipf_sampler g ~n:50 ~s:1.2 in
+        let low = ref 0 in
+        for _ = 1 to 1000 do
+          if sample () <= 5 then incr low
+        done;
+        Alcotest.(check bool) "rank<=5 majority-ish" true (!low > 300));
+    t "baseball generator row count and keys" (fun () ->
+        let catalog = Catalog.create () in
+        let n = Workload.Baseball.register catalog ~rows:500 ~seed:1 in
+        Alcotest.(check int) "rows" 500 n;
+        let tbl = Catalog.find catalog Workload.Baseball.table_name in
+        Alcotest.(check int) "cardinality" 500 (Relation.cardinality tbl.Catalog.rel);
+        (* key (playerid, year, round) has no duplicates *)
+        let keys = Hashtbl.create 512 in
+        Relation.iter
+          (fun row ->
+            let k = (row.(0), row.(1), row.(2)) in
+            if Hashtbl.mem keys k then Alcotest.fail "duplicate key";
+            Hashtbl.add keys k ())
+          tbl.Catalog.rel);
+    t "baseball stats are non-negative" (fun () ->
+        let catalog = Catalog.create () in
+        ignore (Workload.Baseball.register catalog ~rows:300 ~seed:5);
+        let tbl = Catalog.find catalog Workload.Baseball.table_name in
+        Relation.iter
+          (fun row ->
+            Array.iteri
+              (fun i v ->
+                if i >= 4 then
+                  match v with
+                  | Value.Int x when x < 0 -> Alcotest.fail "negative stat"
+                  | _ -> ())
+              row)
+          tbl.Catalog.rel);
+    t "attribute pairings have different correlation (Figure 2)" (fun () ->
+        let catalog = Catalog.create () in
+        ignore (Workload.Baseball.register catalog ~rows:2000 ~seed:11);
+        let tbl = Catalog.find catalog Workload.Baseball.table_name in
+        let col name =
+          let i = Schema.index_of tbl.Catalog.rel.Relation.schema name in
+          Relation.fold (fun acc row -> Value.to_float row.(i) :: acc) [] tbl.Catalog.rel
+        in
+        let corr xs ys =
+          let n = float_of_int (List.length xs) in
+          let mean l = List.fold_left ( +. ) 0. l /. n in
+          let mx = mean xs and my = mean ys in
+          let cov =
+            List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0. xs ys /. n
+          in
+          let sd l m =
+            sqrt (List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. l /. n)
+          in
+          cov /. (sd xs mx *. sd ys my +. 1e-9)
+        in
+        let c_hhr = corr (col "b_h") (col "b_hr") in
+        let c_23 = corr (col "b_2b") (col "b_3b") in
+        Alcotest.(check bool)
+          (Printf.sprintf "h/hr strongly correlated (%.2f) vs 2b/3b (%.2f)" c_hhr c_23)
+          true
+          (c_hhr > 0.6 && c_23 < c_hhr -. 0.3));
+    t "unpivoted table has id->category FD" (fun () ->
+        let catalog = Catalog.create () in
+        ignore (Workload.Baseball.register_unpivoted catalog ~rows:400 ~seed:2);
+        let tbl = Catalog.find catalog Workload.Baseball.unpivoted_name in
+        let seen = Hashtbl.create 128 in
+        Relation.iter
+          (fun row ->
+            match Hashtbl.find_opt seen row.(0) with
+            | Some cat ->
+              if not (Value.equal_total cat row.(1)) then
+                Alcotest.fail "id -> category violated"
+            | None -> Hashtbl.add seen row.(0) row.(1))
+          tbl.Catalog.rel);
+    t "indexes build and rebuild on resize" (fun () ->
+        let catalog = Catalog.create () in
+        ignore (Workload.Baseball.register catalog ~rows:200 ~seed:3);
+        Workload.Baseball.build_indexes catalog;
+        let tbl = Catalog.find catalog Workload.Baseball.table_name in
+        Alcotest.(check bool) "bt present" true
+          (Catalog.sorted_index_on tbl "b_h" <> None);
+        ignore (Workload.Baseball.register catalog ~rows:400 ~seed:3);
+        Workload.Baseball.build_indexes catalog ~bt:false;
+        let tbl = Catalog.find catalog Workload.Baseball.table_name in
+        Alcotest.(check bool) "bt dropped" true (Catalog.sorted_index_on tbl "b_h" = None));
+    t "basket generator has frequent pairs" (fun () ->
+        let catalog = Catalog.create () in
+        let n =
+          Workload.Basket.register catalog ~baskets:100 ~items:30 ~avg_size:4 ~seed:1
+        in
+        Alcotest.(check bool) "rows generated" true (n > 100);
+        let r =
+          Sqlfront.Binder.run catalog
+            (Sqlfront.Parser.parse (Workload.Queries.listing1 ~threshold:10))
+        in
+        Alcotest.(check bool) "some frequent pairs" true (Relation.cardinality r > 0));
+    t "object distributions differ in skyline size" (fun () ->
+        let skyline dist =
+          let catalog = Catalog.create () in
+          ignore (Workload.Objects.register catalog ~n:400 ~dist ~seed:9);
+          let r =
+            Sqlfront.Binder.run catalog
+              (Sqlfront.Parser.parse
+                 "SELECT L.id, COUNT(*) FROM object L, object R \
+                  WHERE R.x <= L.x AND R.y <= L.y AND (R.x < L.x OR R.y < L.y) \
+                  GROUP BY L.id HAVING COUNT(*) <= 3")
+          in
+          Relation.cardinality r
+        in
+        let corr = skyline Workload.Objects.Correlated in
+        let anti = skyline Workload.Objects.Anticorrelated in
+        Alcotest.(check bool)
+          (Printf.sprintf "anticorrelated skyline (%d) larger than correlated (%d)" anti corr)
+          true (anti > corr));
+    t "figure1 queries all parse and analyze" (fun () ->
+        List.iter
+          (fun (_, sql) -> ignore (Sqlfront.Parser.parse sql))
+          Workload.Queries.figure1) ]
