@@ -70,14 +70,14 @@ let tech_of_string = function
 
 (* ---- commands ---- *)
 
-let run_cmd tables synth rows tech verbose max_rows sql =
+let run_cmd tables synth rows tech workers verbose max_rows sql =
   let catalog = setup tables synth rows in
   let q = Sqlfront.Parser.parse sql in
   let t0 = Unix.gettimeofday () in
   let result, report =
-    if tech = "none" then (Core.Runner.run_baseline catalog q, None)
+    if tech = "none" then (Core.Runner.run_baseline ~workers catalog q, None)
     else
-      let r, rep = Core.Runner.run ~tech:(tech_of_string tech) catalog q in
+      let r, rep = Core.Runner.run ~tech:(tech_of_string tech) ~workers catalog q in
       (r, Some rep)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
@@ -107,7 +107,7 @@ let explain_cmd tables synth rows sql =
   print_string (Core.Runner.report_to_string rep);
   0
 
-let compare_cmd tables synth rows sql =
+let compare_cmd tables synth rows workers sql =
   let catalog = setup tables synth rows in
   let q = Sqlfront.Parser.parse sql in
   let time f =
@@ -124,7 +124,10 @@ let compare_cmd tables synth rows sql =
     (if Core.Runner.same_result base vendor then "ok" else "RESULT MISMATCH");
   List.iter
     (fun name ->
-      let (r, _), t = time (fun () -> Core.Runner.run ~tech:(tech_of_string name) catalog q) in
+      let (r, _), t =
+        time (fun () ->
+            Core.Runner.run ~tech:(tech_of_string name) ~workers catalog q)
+      in
       Printf.printf "%-10s %8.3fs  %.1fx  %s\n" name t (base_t /. t)
         (if Core.Runner.same_result base r then "ok" else "RESULT MISMATCH"))
     [ "apriori"; "memo"; "pruning"; "all" ];
@@ -164,6 +167,15 @@ let tech_arg =
         ~doc:"Optimizations to enable: $(b,none), $(b,apriori), $(b,memo), \
               $(b,pruning) or $(b,all).")
 
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for the smart path: NLJP chunks its outer \
+              relation across $(docv) domains (and $(b,--techniques none) \
+              parallelizes the baseline joins the same way). Results are \
+              identical to sequential execution.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Show optimizer decisions.")
 
@@ -175,8 +187,8 @@ let max_rows_arg =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run an iceberg query")
     Term.(
-      const run_cmd $ tables_arg $ synth_arg $ rows_arg $ tech_arg $ verbose_arg
-      $ max_rows_arg $ sql_arg)
+      const run_cmd $ tables_arg $ synth_arg $ rows_arg $ tech_arg $ workers_arg
+      $ verbose_arg $ max_rows_arg $ sql_arg)
 
 let explain_t =
   Cmd.v (Cmd.info "explain" ~doc:"Show the baseline plan and optimizer decisions")
@@ -186,7 +198,7 @@ let compare_t =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Time the query under every technique set against the baseline")
-    Term.(const compare_cmd $ tables_arg $ synth_arg $ rows_arg $ sql_arg)
+    Term.(const compare_cmd $ tables_arg $ synth_arg $ rows_arg $ workers_arg $ sql_arg)
 
 let main =
   Cmd.group

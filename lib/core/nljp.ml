@@ -8,6 +8,7 @@ type config = {
   inner_index : bool;
   outer_order : [ `Default | `Auto | `Asc of int | `Desc of int ];
   max_cache_rows : int option;
+  workers : int;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     inner_index = true;
     outer_order = `Default;
     max_cache_rows = None;
+    workers = 1;
   }
 
 type stats = {
@@ -293,6 +295,15 @@ module Prune_cache = struct
     | Sorted t -> t.len
     | Partitioned p -> p.n
 
+  let iter cache f =
+    match cache with
+    | Flat fl -> List.iter f fl.items
+    | Sorted t ->
+      for i = 0 to t.len - 1 do
+        f t.rows.(i)
+      done
+    | Partitioned p -> Row.Tbl.iter (fun _ cell -> List.iter f !cell) p.tbl
+
   let bytes cache =
     match cache with
     | Flat f -> List.fold_left (fun acc r -> acc + row_bytes r) 0 f.items
@@ -313,6 +324,16 @@ end
 (* ---- execution ---- *)
 
 type partition = { v : Row.t; states : Agg.state list; finals : Value.t array }
+
+(* Everything one outer-relation chunk produces; chunks are combined in
+   chunk order so results are deterministic regardless of [workers]. *)
+type chunk_out = {
+  c_rows : Row.t list;  (* key-case emissions, in chunk order *)
+  c_acc : (Row.t * Row.t * Agg.state list) Row.Tbl.t;  (* non-key partials *)
+  c_prune : Prune_cache.t;
+  c_memo : partition list Row.Tbl.t;
+  c_stats : stats;
+}
 
 let execute op =
   let { catalog; spec; overrides; config; cls; key_case; all_aggs; subsume; _ } = op in
@@ -376,7 +397,7 @@ let execute op =
       (Schema.append binding_schema r_schema)
       (Qspec.theta_expr catalog spec)
   in
-  let theta_ok = Expr.compile_join_bool binding_schema r_schema theta in
+  let theta_ok = Compile.join_pred binding_schema r_schema theta in
   let gl_idx =
     List.map (fun c -> Schema.index_of_col l_schema c) left_side.Qspec.group_cols
   in
@@ -401,7 +422,7 @@ let execute op =
         | None -> invalid_arg "Nljp: uncollected aggregate in HAVING")
       spec.Qspec.having
   in
-  let phi_ok = Expr.compile_bool phi_schema (Binder.pred_expr catalog phi_ast) in
+  let phi_ok = Compile.pred phi_schema (Binder.pred_expr catalog phi_ast) in
   (* Λ over (G_L ++ G_R ++ aggregate columns). *)
   let lambda_schema =
     Schema.of_cols
@@ -431,7 +452,7 @@ let execute op =
               Schema.nth lambda_schema idx
             | None, _ -> Schema.col (Printf.sprintf "col%d" i)
           in
-          (Expr.compile lambda_schema (Expr.canonicalize lambda_schema e), name))
+          (Compile.scalar lambda_schema (Expr.canonicalize lambda_schema e), name))
       spec.Qspec.select
   in
   let out_schema = Schema.of_cols (List.map snd out_items) in
@@ -463,8 +484,8 @@ let execute op =
         match conj with
         | Expr.Cmp (Expr.Eq, a, b) ->
           (match bare_r a, bare_r b with
-           | Some ridx, _ when binding_only b -> Some (ridx, Expr.compile binding_schema b)
-           | _, Some ridx when binding_only a -> Some (ridx, Expr.compile binding_schema a)
+           | Some ridx, _ when binding_only b -> Some (ridx, Compile.scalar binding_schema b)
+           | _, Some ridx when binding_only a -> Some (ridx, Compile.scalar binding_schema a)
            | _ -> None)
         | _ -> None)
       (Expr.conjuncts theta)
@@ -487,7 +508,7 @@ let execute op =
           | Expr.Cmp (cmp_op, a, b) ->
             let mk ridx bound_e op =
               let idx = Index.Sorted.build r_rel [ ridx ] in
-              let f = Expr.compile binding_schema bound_e in
+              let f = Compile.scalar binding_schema bound_e in
               let bound b =
                 match op with
                 | Expr.Le -> (None, Some (f b, `Inclusive))
@@ -514,9 +535,6 @@ let execute op =
   let memo_active = config.memo && op.memo_reason = None in
   stats.pruning_on <- pruning_active;
   stats.memo_on <- memo_active;
-  let subsume_test =
-    match subsume with Some s when pruning_active -> Some (Subsume.compile s) | _ -> None
-  in
   let first_binding_numeric =
     match left_side.Qspec.join_cols with
     | [] -> false
@@ -561,7 +579,7 @@ let execute op =
       else None
     | _ -> None
   in
-  let prune_cache =
+  let mk_prune_cache () =
     if eq_dims <> [] then Prune_cache.partitioned eq_dims
     else
       match ci_restrict with
@@ -570,35 +588,39 @@ let execute op =
             if Array.length row = 0 then 0. else key_to_float row.(0))
       | None -> Prune_cache.flat ()
   in
-  let prune b =
-    match subsume_test with
-    | None -> false
-    | Some test ->
-      let b0 = if Array.length b = 0 then 0. else key_to_float b.(0) in
-      (* monotone: prune when some cached w' subsumes b; anti-monotone: when
-         b subsumes some cached w'. *)
-      if Monotone.is_monotone cls then
-        let restrict =
-          match ci_restrict with
-          | Some `W_le_wp -> Prune_cache.Le b0  (* cached key <= b0 *)
-          | Some `Wp_le_w -> Prune_cache.Ge b0
-          | None -> Prune_cache.All
-        in
-        Prune_cache.exists prune_cache ~probe:b ~restrict (fun cached -> test cached b)
-      else
-        let restrict =
-          match ci_restrict with
-          | Some `W_le_wp -> Prune_cache.Ge b0  (* b is w: b0 <= cached *)
-          | Some `Wp_le_w -> Prune_cache.Le b0
-          | None -> Prune_cache.All
-        in
-        Prune_cache.exists prune_cache ~probe:b ~restrict (fun cached -> test b cached)
+  (* [caches] lets a domain consult both the frozen shared cache and its
+     chunk-local one. *)
+  let prune ~test ~caches b =
+    let b0 = if Array.length b = 0 then 0. else key_to_float b.(0) in
+    (* monotone: prune when some cached w' subsumes b; anti-monotone: when
+       b subsumes some cached w'. *)
+    if Monotone.is_monotone cls then
+      let restrict =
+        match ci_restrict with
+        | Some `W_le_wp -> Prune_cache.Le b0  (* cached key <= b0 *)
+        | Some `Wp_le_w -> Prune_cache.Ge b0
+        | None -> Prune_cache.All
+      in
+      List.exists
+        (fun cache ->
+          Prune_cache.exists cache ~probe:b ~restrict (fun cached -> test cached b))
+        caches
+    else
+      let restrict =
+        match ci_restrict with
+        | Some `W_le_wp -> Prune_cache.Ge b0  (* b is w: b0 <= cached *)
+        | Some `Wp_le_w -> Prune_cache.Le b0
+        | None -> Prune_cache.All
+      in
+      List.exists
+        (fun cache ->
+          Prune_cache.exists cache ~probe:b ~restrict (fun cached -> test b cached))
+        caches
   in
-  (* Memo cache. *)
-  let memo : partition list Row.Tbl.t = Row.Tbl.create 1024 in
-  (* Q_R(b): evaluate the inner query for one binding. *)
-  let eval_inner b =
-    stats.inner_evals <- stats.inner_evals + 1;
+  (* Q_R(b): evaluate the inner query for one binding, counting the eval
+     against the caller's (chunk-local) stats. *)
+  let eval_inner st b =
+    st.inner_evals <- st.inner_evals + 1;
     let parts : Agg.state list Row.Tbl.t = Row.Tbl.create 8 in
     let order = ref [] in
     let consider rrow =
@@ -634,22 +656,19 @@ let execute op =
      well satisfy an anti-monotone threshold — such a binding is promising).
      With G_R ≠ ∅ an empty join set is vacuously unpromising. *)
   let empty_finals =
-    lazy
-      (Array.of_list
-         (List.map (fun (c : Agg.compiled) -> c.Agg.final (c.Agg.fresh ())) compiled))
+    (* Computed eagerly: forcing a [lazy] from several domains at once is a
+       race, and this array is shared by every chunk. *)
+    Array.of_list
+      (List.map (fun (c : Agg.compiled) -> c.Agg.final (c.Agg.fresh ())) compiled)
   in
   let unpromising parts =
     match parts with
-    | [] -> if gr_idx = [] then not (phi_ok (Lazy.force empty_finals)) else true
+    | [] -> if gr_idx = [] then not (phi_ok empty_finals) else true
     | _ -> List.for_all (fun p -> not (phi_ok (Array.append p.v p.finals))) parts
   in
-  (* Main loop. *)
-  let out_rows = ref [] in
-  let emit u v finals =
-    let lam_row = Array.concat [ u; v; finals ] in
-    out_rows := Array.of_list (List.map (fun (f, _) -> f lam_row) out_items) :: !out_rows
+  let below_cap len =
+    match config.max_cache_rows with None -> true | Some cap -> len < cap
   in
-  let acc : (Row.t * Row.t * Agg.state list) Row.Tbl.t = Row.Tbl.create 256 in
   let fresh_merge states =
     List.map2
       (fun c st ->
@@ -658,64 +677,208 @@ let execute op =
         s)
       compiled states
   in
-  Relation.iter
-    (fun lrow ->
-      stats.outer_rows <- stats.outer_rows + 1;
-      let b = Row.project lrow jl_idx in
-      let result =
-        if memo_active && Row.Tbl.mem memo b then begin
-          stats.memo_hits <- stats.memo_hits + 1;
-          Some (Row.Tbl.find memo b)
-        end
-        else if pruning_active && prune b then begin
-          stats.pruned <- stats.pruned + 1;
-          None
-        end
-        else begin
-          let parts = eval_inner b in
-          let below_cap len =
-            match config.max_cache_rows with None -> true | Some cap -> len < cap
-          in
-          if
-            pruning_active && unpromising parts
-            && below_cap (Prune_cache.length prune_cache)
-          then Prune_cache.add prune_cache b;
-          if memo_active && below_cap (Row.Tbl.length memo) then
-            Row.Tbl.replace memo b parts;
-          Some parts
-        end
-      in
-      match result with
-      | None -> ()
-      | Some parts ->
-        let u = Row.project lrow gl_idx in
-        if key_case then
-          List.iter
-            (fun p -> if phi_ok (Array.append p.v p.finals) then emit u p.v p.finals)
-            parts
-        else
-          List.iter
-            (fun p ->
-              let key = Row.append u p.v in
-              match Row.Tbl.find_opt acc key with
-              | None -> Row.Tbl.add acc key (u, p.v, fresh_merge p.states)
-              | Some (_, _, states) ->
-                List.iter2
-                  (fun c (dst, src) -> c.Agg.merge dst src)
-                  compiled
-                  (List.combine states p.states))
-            parts)
-    l_rel;
-  (* Q_P for the non-key case: evaluate Φ and Λ on the combined groups. *)
-  if not key_case then
-    Row.Tbl.iter
-      (fun _ (u, v, states) ->
-        let finals = Array.of_list (List.map2 (fun c st -> c.Agg.final st) compiled states) in
-        if phi_ok (Array.append v finals) then emit u v finals)
-      acc;
-  (* Final stats. *)
-  stats.prune_cache_rows <- Prune_cache.length prune_cache;
-  stats.memo_cache_rows <- Row.Tbl.length memo;
+  (* Main loop over one chunk of the outer relation.  Probes a frozen
+     shared prune/memo cache (when given) plus chunk-local caches; every
+     value the closure captures from the surrounding scope is immutable or
+     a pure compiled closure, so chunks may run on separate domains.  The
+     subsumption test is compiled per chunk because its string-interning
+     table is mutable. *)
+  let process_chunk ~shared_prune ~shared_memo chunk =
+    let st = fresh_stats () in
+    let subsume_test =
+      match subsume with
+      | Some s when pruning_active -> Some (Subsume.compile s)
+      | _ -> None
+    in
+    let local_prune = mk_prune_cache () in
+    let local_memo : partition list Row.Tbl.t = Row.Tbl.create 64 in
+    let out_rows = ref [] in
+    let emit u v finals =
+      let lam_row = Array.concat [ u; v; finals ] in
+      out_rows :=
+        Array.of_list (List.map (fun (f, _) -> f lam_row) out_items) :: !out_rows
+    in
+    let acc : (Row.t * Row.t * Agg.state list) Row.Tbl.t = Row.Tbl.create 256 in
+    let prune_len () =
+      Prune_cache.length local_prune
+      + match shared_prune with Some c -> Prune_cache.length c | None -> 0
+    in
+    let memo_len () =
+      Row.Tbl.length local_memo
+      + match shared_memo with Some m -> Row.Tbl.length m | None -> 0
+    in
+    Array.iter
+      (fun lrow ->
+        st.outer_rows <- st.outer_rows + 1;
+        let b = Row.project lrow jl_idx in
+        let memo_lookup =
+          if not memo_active then None
+          else
+            match Row.Tbl.find_opt local_memo b with
+            | Some parts -> Some parts
+            | None ->
+              (match shared_memo with
+               | Some m -> Row.Tbl.find_opt m b
+               | None -> None)
+        in
+        let result =
+          match memo_lookup with
+          | Some parts ->
+            st.memo_hits <- st.memo_hits + 1;
+            Some parts
+          | None ->
+            let is_pruned =
+              pruning_active
+              &&
+              match subsume_test with
+              | None -> false
+              | Some test ->
+                let caches =
+                  match shared_prune with
+                  | Some c -> [ c; local_prune ]
+                  | None -> [ local_prune ]
+                in
+                prune ~test ~caches b
+            in
+            if is_pruned then begin
+              st.pruned <- st.pruned + 1;
+              None
+            end
+            else begin
+              let parts = eval_inner st b in
+              if pruning_active && unpromising parts && below_cap (prune_len ())
+              then Prune_cache.add local_prune b;
+              if memo_active && below_cap (memo_len ()) then
+                Row.Tbl.replace local_memo b parts;
+              Some parts
+            end
+        in
+        match result with
+        | None -> ()
+        | Some parts ->
+          let u = Row.project lrow gl_idx in
+          if key_case then
+            List.iter
+              (fun p -> if phi_ok (Array.append p.v p.finals) then emit u p.v p.finals)
+              parts
+          else
+            List.iter
+              (fun p ->
+                let key = Row.append u p.v in
+                match Row.Tbl.find_opt acc key with
+                | None -> Row.Tbl.add acc key (u, p.v, fresh_merge p.states)
+                | Some (_, _, states) ->
+                  List.iter2
+                    (fun c (dst, src) -> c.Agg.merge dst src)
+                    compiled
+                    (List.combine states p.states))
+              parts)
+      chunk;
+    {
+      c_rows = List.rev !out_rows;
+      c_acc = acc;
+      c_prune = local_prune;
+      c_memo = local_memo;
+      c_stats = st;
+    }
+  in
+  let rows = l_rel.Relation.rows in
+  let n = Array.length rows in
+  let workers = max 1 config.workers in
+  let chunk_results, final_prune, final_memo =
+    if workers = 1 || n < workers * 32 then begin
+      (* Sequential: one chunk, its local caches are the caches. *)
+      let r = process_chunk ~shared_prune:None ~shared_memo:None rows in
+      ([ r ], r.c_prune, r.c_memo)
+    end
+    else begin
+      (* Process the outer side in waves of [workers] chunks.  During a
+         wave the shared caches are frozen — domains only read them, so no
+         locks are needed; at each wave boundary the domains' local caches
+         are merged into the shared ones here, on the spawning domain.  An
+         entry dropped by the cap (or duplicated because two domains found
+         the same binding unpromising) only costs pruning opportunities,
+         never correctness — §7's cache-bound argument. *)
+      let shared_prune = mk_prune_cache () in
+      let shared_memo : partition list Row.Tbl.t = Row.Tbl.create 1024 in
+      let wave = workers * 256 in
+      let results = ref [] in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min wave (n - !pos) in
+        let slice = Array.sub rows !pos len in
+        let rs =
+          Parallel.run_chunks ~workers slice
+            (process_chunk ~shared_prune:(Some shared_prune)
+               ~shared_memo:(Some shared_memo))
+        in
+        List.iter
+          (fun r ->
+            Prune_cache.iter r.c_prune (fun b ->
+                if below_cap (Prune_cache.length shared_prune) then
+                  Prune_cache.add shared_prune b);
+            Row.Tbl.iter
+              (fun b parts ->
+                if
+                  (not (Row.Tbl.mem shared_memo b))
+                  && below_cap (Row.Tbl.length shared_memo)
+                then Row.Tbl.add shared_memo b parts)
+              r.c_memo)
+          rs;
+        results := !results @ rs;
+        pos := !pos + len
+      done;
+      (!results, shared_prune, shared_memo)
+    end
+  in
+  (* Combine chunk outputs in chunk order. *)
+  let out_rows = ref [] in
+  List.iter
+    (fun r -> List.iter (fun row -> out_rows := row :: !out_rows) r.c_rows)
+    chunk_results;
+  (* Q_P for the non-key case: merge the per-chunk partial states, then
+     evaluate Φ and Λ on the combined groups. *)
+  (if not key_case then
+     match chunk_results with
+     | [] -> ()
+     | first :: rest ->
+       let acc = first.c_acc in
+       List.iter
+         (fun r ->
+           Row.Tbl.iter
+             (fun key (u, v, states) ->
+               match Row.Tbl.find_opt acc key with
+               | None -> Row.Tbl.add acc key (u, v, states)
+               | Some (_, _, dst) ->
+                 List.iter2
+                   (fun c (d, s) -> c.Agg.merge d s)
+                   compiled (List.combine dst states))
+             r.c_acc)
+         rest;
+       let emit u v finals =
+         let lam_row = Array.concat [ u; v; finals ] in
+         out_rows :=
+           Array.of_list (List.map (fun (f, _) -> f lam_row) out_items)
+           :: !out_rows
+       in
+       Row.Tbl.iter
+         (fun _ (u, v, states) ->
+           let finals =
+             Array.of_list (List.map2 (fun c st -> c.Agg.final st) compiled states)
+           in
+           if phi_ok (Array.append v finals) then emit u v finals)
+         acc);
+  (* Aggregate per-chunk stats into the operator's stats record. *)
+  List.iter
+    (fun r ->
+      let s = r.c_stats in
+      stats.outer_rows <- stats.outer_rows + s.outer_rows;
+      stats.inner_evals <- stats.inner_evals + s.inner_evals;
+      stats.pruned <- stats.pruned + s.pruned;
+      stats.memo_hits <- stats.memo_hits + s.memo_hits)
+    chunk_results;
+  stats.prune_cache_rows <- Prune_cache.length final_prune;
+  stats.memo_cache_rows <- Row.Tbl.length final_memo;
   let memo_bytes =
     Row.Tbl.fold
       (fun b parts acc ->
@@ -726,9 +889,9 @@ let execute op =
               + List.fold_left (fun a st -> a + Agg.state_bytes st) 0 p.states
               + (8 * Array.length p.finals))
             0 parts)
-      memo 0
+      final_memo 0
   in
-  stats.cache_bytes <- Prune_cache.bytes prune_cache + memo_bytes;
+  stats.cache_bytes <- Prune_cache.bytes final_prune + memo_bytes;
   (Relation.of_rows out_schema (List.rev !out_rows), stats)
 
 let describe op =

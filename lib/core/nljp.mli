@@ -36,6 +36,16 @@ type config = {
       (** §7's future-work cache bound: both caches stop admitting entries
           beyond this size (a keep-first replacement policy — safe because
           dropping cache entries only costs pruning/memo opportunities) *)
+  workers : int;
+      (** With [workers > 1], the outer relation is processed in waves of
+          [workers] chunks, one Domain per chunk.  Each domain probes a
+          frozen shared prune/memo cache plus its own local cache; local
+          caches are merged into the shared cache at wave boundaries (the
+          same §7 argument that makes [max_cache_rows] safe makes the merge
+          lock-free: dropping or duplicating entries never changes results,
+          only pruning opportunity).  Results are [Relation.equal_bag]-equal
+          to sequential execution; stats counters are summed across chunks.
+          Small outer sides fall back to sequential execution. *)
 }
 
 val default_config : config

@@ -121,7 +121,15 @@ let rename_table_refs (q : Ast.query) renames =
   }
 
 let rec run ?(tech = Optimizer.all_techniques) ?(nljp_config = Nljp.default_config)
-    ?(memo_strategy = `Nljp) ?(adaptive_apriori = false) catalog (q : Ast.query) =
+    ?workers ?(memo_strategy = `Nljp) ?(adaptive_apriori = false) catalog
+    (q : Ast.query) =
+  (* [?workers] overrides the NLJP worker count; once folded into the config
+     it propagates to CTE blocks through the recursive call below. *)
+  let nljp_config =
+    match workers with
+    | None -> nljp_config
+    | Some w -> { nljp_config with Nljp.workers = w }
+  in
   (* Materialize CTE blocks (each optimized recursively), registering them
      as temp tables carrying derived keys and domain facts. *)
   let temp_names = ref [] in

@@ -19,10 +19,14 @@ type report = {
 
 (** [memo_strategy] selects how memoization is realized when it is the only
     requested technique: through the NLJP operator's cache (default) or
-    through Appendix C's static SQL rewrite (Listing 8). *)
+    through Appendix C's static SQL rewrite (Listing 8).  [workers] overrides
+    [nljp_config.workers] for the smart path (main block and CTE blocks
+    alike): NLJP chunks its outer relation across that many Domains.  Results
+    are bag-equal to sequential execution. *)
 val run :
   ?tech:Optimizer.technique ->
   ?nljp_config:Nljp.config ->
+  ?workers:int ->
   ?memo_strategy:[ `Nljp | `Static_rewrite ] ->
   ?adaptive_apriori:bool ->
   Relalg.Catalog.t ->

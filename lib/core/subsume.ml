@@ -100,18 +100,33 @@ let compile t =
     in
     find 0
   in
+  (* Linear expressions evaluate over flat coefficient arrays, split by
+     which binding row the variable reads from, so the per-probe cost is
+     two tight float loops with no tag dispatch. *)
   let compile_linexpr e =
-    let terms =
-      List.map
-        (fun v -> (resolve v, Qelim.Rat.to_float (Qelim.Linexpr.coeff e v)))
-        (Qelim.Linexpr.vars e)
-    in
+    let w_terms = ref [] and wp_terms = ref [] in
+    List.iter
+      (fun v ->
+        let c = Qelim.Rat.to_float (Qelim.Linexpr.coeff e v) in
+        match resolve v with
+        | `W i -> w_terms := (i, c) :: !w_terms
+        | `Wp i -> wp_terms := (i, c) :: !wp_terms)
+      (Qelim.Linexpr.vars e);
+    let widx = Array.of_list (List.rev_map fst !w_terms)
+    and wcoef = Array.of_list (List.rev_map snd !w_terms)
+    and pidx = Array.of_list (List.rev_map fst !wp_terms)
+    and pcoef = Array.of_list (List.rev_map snd !wp_terms) in
+    let nw = Array.length widx and np = Array.length pidx in
     let const = Qelim.Rat.to_float (Qelim.Linexpr.constant e) in
     fun w w' ->
-      List.fold_left
-        (fun acc (src, c) ->
-          acc +. (c *. match src with `W i -> to_float w.(i) | `Wp i -> to_float w'.(i)))
-        const terms
+      let acc = ref const in
+      for k = 0 to nw - 1 do
+        acc := !acc +. (wcoef.(k) *. to_float w.(widx.(k)))
+      done;
+      for k = 0 to np - 1 do
+        acc := !acc +. (pcoef.(k) *. to_float w'.(pidx.(k)))
+      done;
+      !acc
   in
   let rec compile_formula f =
     match f with
@@ -127,11 +142,17 @@ let compile t =
       let fg = compile_formula g in
       fun w w' -> not (fg w w')
     | Qelim.Formula.And gs ->
-      let fgs = List.map compile_formula gs in
-      fun w w' -> List.for_all (fun f -> f w w') fgs
+      let fgs = Array.of_list (List.map compile_formula gs) in
+      let n = Array.length fgs in
+      fun w w' ->
+        let rec go i = i >= n || (fgs.(i) w w' && go (i + 1)) in
+        go 0
     | Qelim.Formula.Or gs ->
-      let fgs = List.map compile_formula gs in
-      fun w w' -> List.exists (fun f -> f w w') fgs
+      let fgs = Array.of_list (List.map compile_formula gs) in
+      let n = Array.length fgs in
+      fun w w' ->
+        let rec go i = i < n && (fgs.(i) w w' || go (i + 1)) in
+        go 0
     | Qelim.Formula.Exists _ | Qelim.Formula.Forall _ ->
       invalid_arg "Subsume.compile: quantified formula"
   in
@@ -147,7 +168,7 @@ let to_string t =
   Printf.sprintf "p>=(w, w') = %s  [%s]" (Qelim.Formula.to_string t.formula) names
 
 let subsumes_instance ~theta ~jl_schema ~r ~w ~w' =
-  let ok = Expr.compile_join_bool jl_schema r.Relation.schema theta in
+  let ok = Compile.join_pred jl_schema r.Relation.schema theta in
   Relation.fold
     (fun acc rrow -> acc && ((not (ok w' rrow)) || ok w rrow))
     true r

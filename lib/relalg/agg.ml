@@ -35,7 +35,7 @@ let compile schema func =
       final = (fun st -> match st with Count_st s -> Value.Int s.n | _ -> bad ());
     }
   | Count e ->
-    let f = Expr.compile schema e in
+    let f = Compile.scalar schema e in
     {
       fresh = (fun () -> Count_st { n = 0 });
       step =
@@ -49,7 +49,7 @@ let compile schema func =
       final = (fun st -> match st with Count_st s -> Value.Int s.n | _ -> bad ());
     }
   | Count_distinct e ->
-    let f = Expr.compile schema e in
+    let f = Compile.scalar schema e in
     {
       fresh = (fun () -> Distinct_st (Row.Tbl.create 16));
       step =
@@ -69,7 +69,7 @@ let compile schema func =
           match st with Distinct_st tbl -> Value.Int (Row.Tbl.length tbl) | _ -> bad ());
     }
   | Sum e ->
-    let f = Expr.compile schema e in
+    let f = Compile.scalar schema e in
     {
       fresh = (fun () -> Sum_st { acc = Value.Null });
       step =
@@ -91,7 +91,7 @@ let compile schema func =
     }
   | Min e | Max e ->
     let smaller = (match func with Min _ -> true | _ -> false) in
-    let f = Expr.compile schema e in
+    let f = Compile.scalar schema e in
     let better a b =
       match Value.compare_sql a b with
       | None -> false
@@ -117,7 +117,7 @@ let compile schema func =
       final = (fun st -> match st with Minmax_st s -> s.acc | _ -> bad ());
     }
   | Avg e ->
-    let f = Expr.compile schema e in
+    let f = Compile.scalar schema e in
     {
       fresh = (fun () -> Avg_st { sum = Value.Null; n = 0 });
       step =

@@ -29,7 +29,7 @@ let compile_bound schema lo hi () =
   let cb = function
     | None -> fun _ -> None
     | Some (e, strictness) ->
-      let f = Expr.compile schema e in
+      let f = Compile.scalar schema e in
       fun row -> Some (f row, strictness)
   in
   let flo = cb lo and fhi = cb hi in
@@ -87,7 +87,7 @@ and stream ~workers catalog plan : streamed =
     let r = run ~workers catalog right in
     let schema = Schema.append l.Relation.schema r.Relation.schema in
     let feed chunk emit =
-      let ok = Expr.compile_join_bool l.Relation.schema r.Relation.schema pred in
+      let ok = Compile.join_pred l.Relation.schema r.Relation.schema pred in
       let rrows = r.Relation.rows in
       let nr = Array.length rrows in
       Array.iter
@@ -103,21 +103,21 @@ and stream ~workers catalog plan : streamed =
     let l = run ~workers catalog left in
     let r = run ~workers catalog right in
     let schema = Schema.append l.Relation.schema r.Relation.schema in
-    let rkeys = List.map (Expr.compile r.Relation.schema) (List.map snd keys) in
+    let rkey = Compile.row_fn r.Relation.schema (List.map snd keys) in
     let tbl = Row.Tbl.create (max 16 (Relation.cardinality r)) in
     Relation.iter
       (fun rrow ->
-        let key = Array.of_list (List.map (fun f -> f rrow) rkeys) in
+        let key = rkey rrow in
         match Row.Tbl.find_opt tbl key with
         | Some cell -> cell := rrow :: !cell
         | None -> Row.Tbl.add tbl key (ref [ rrow ]))
       r;
     let feed chunk emit =
-      let lkeys = List.map (Expr.compile l.Relation.schema) (List.map fst keys) in
-      let ok = Expr.compile_join_bool l.Relation.schema r.Relation.schema residual in
+      let lkey = Compile.row_fn l.Relation.schema (List.map fst keys) in
+      let ok = Compile.join_pred l.Relation.schema r.Relation.schema residual in
       Array.iter
         (fun lrow ->
-          let key = Array.of_list (List.map (fun f -> f lrow) lkeys) in
+          let key = lkey lrow in
           match Row.Tbl.find_opt tbl key with
           | None -> ()
           | Some cell ->
@@ -139,7 +139,7 @@ and stream ~workers catalog plan : streamed =
        let schema = Schema.append l.Relation.schema right_schema in
        let make_bound = compile_bound l.Relation.schema lo hi in
        let feed chunk emit =
-         let ok = Expr.compile_join_bool l.Relation.schema right_schema pred in
+         let ok = Compile.join_pred l.Relation.schema right_schema pred in
          let bound = make_bound () in
          Array.iter
            (fun lrow ->
@@ -179,7 +179,7 @@ and group ~workers catalog group_cols aggs input =
   let out_schema = Schema.of_cols (List.map snd group_cols @ List.map snd aggs) in
   let arity = Schema.arity s.schema in
   let build chunk =
-    let gexprs = Array.of_list (List.map (fun (e, _) -> Expr.compile s.schema e) group_cols) in
+    let gexprs = Array.of_list (List.map (fun (e, _) -> Compile.scalar s.schema e) group_cols) in
     let compiled = Array.of_list (List.map (fun (f, _) -> Agg.compile s.schema f) aggs) in
     let nagg = Array.length compiled in
     let groups = Row.Tbl.create 256 in

@@ -20,6 +20,7 @@ let row_set_of rows =
   tbl
 
 let row_set_cardinality = Row.Tbl.length
+let row_set_mem = Row.Tbl.mem
 
 let tt = Const (Value.Bool true)
 

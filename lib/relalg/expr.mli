@@ -24,6 +24,7 @@ type t =
 
 val row_set_of : Row.t list -> row_set
 val row_set_cardinality : row_set -> int
+val row_set_mem : row_set -> Row.t -> bool
 
 val tt : t  (** the always-true predicate *)
 

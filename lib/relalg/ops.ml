@@ -1,17 +1,17 @@
 let select pred rel =
-  let keep = Expr.compile_bool rel.Relation.schema pred in
+  let keep = Compile.pred rel.Relation.schema pred in
   Relation.filter keep rel
 
 let project outs rel =
   let schema = Schema.of_cols (List.map snd outs) in
-  let fs = List.map (fun (e, _) -> Expr.compile rel.Relation.schema e) outs in
-  Relation.map_rows schema (fun row -> Array.of_list (List.map (fun f -> f row) fs)) rel
+  let f = Compile.row_fn rel.Relation.schema (List.map fst outs) in
+  Relation.map_rows schema f rel
 
 let joined_schema l r = Schema.append l.Relation.schema r.Relation.schema
 
 let nl_join ~pred left right =
   let schema = joined_schema left right in
-  let ok = Expr.compile_join_bool left.Relation.schema right.Relation.schema pred in
+  let ok = Compile.join_pred left.Relation.schema right.Relation.schema pred in
   let out = ref [] in
   Relation.iter
     (fun lrow ->
@@ -23,21 +23,21 @@ let nl_join ~pred left right =
 
 let hash_join ~left_keys ~right_keys ~residual left right =
   let schema = joined_schema left right in
-  let rkeys = List.map (Expr.compile right.Relation.schema) right_keys in
-  let lkeys = List.map (Expr.compile left.Relation.schema) left_keys in
+  let rkey = Compile.row_fn right.Relation.schema right_keys in
+  let lkey = Compile.row_fn left.Relation.schema left_keys in
   let tbl = Row.Tbl.create (max 16 (Relation.cardinality right)) in
   Relation.iter
     (fun rrow ->
-      let key = Array.of_list (List.map (fun f -> f rrow) rkeys) in
+      let key = rkey rrow in
       match Row.Tbl.find_opt tbl key with
       | Some cell -> cell := rrow :: !cell
       | None -> Row.Tbl.add tbl key (ref [ rrow ]))
     right;
-  let ok = Expr.compile_join_bool left.Relation.schema right.Relation.schema residual in
+  let ok = Compile.join_pred left.Relation.schema right.Relation.schema residual in
   let out = ref [] in
   Relation.iter
     (fun lrow ->
-      let key = Array.of_list (List.map (fun f -> f lrow) lkeys) in
+      let key = lkey lrow in
       match Row.Tbl.find_opt tbl key with
       | None -> ()
       | Some cell ->
@@ -49,20 +49,19 @@ let hash_join ~left_keys ~right_keys ~residual left right =
 
 let merge_join ~left_keys ~right_keys ~residual left right =
   let schema = joined_schema left right in
-  let key_row fs row = Array.of_list (List.map (fun f -> f row) fs) in
-  let lkeys = List.map (Expr.compile left.Relation.schema) left_keys in
-  let rkeys = List.map (Expr.compile right.Relation.schema) right_keys in
+  let lkey = Compile.row_fn left.Relation.schema left_keys in
+  let rkey = Compile.row_fn right.Relation.schema right_keys in
   let lsorted =
-    let rows = Array.map (fun r -> (key_row lkeys r, r)) left.Relation.rows in
+    let rows = Array.map (fun r -> (lkey r, r)) left.Relation.rows in
     Array.sort (fun (a, _) (b, _) -> Row.compare a b) rows;
     rows
   in
   let rsorted =
-    let rows = Array.map (fun r -> (key_row rkeys r, r)) right.Relation.rows in
+    let rows = Array.map (fun r -> (rkey r, r)) right.Relation.rows in
     Array.sort (fun (a, _) (b, _) -> Row.compare a b) rows;
     rows
   in
-  let ok = Expr.compile_join_bool left.Relation.schema right.Relation.schema residual in
+  let ok = Compile.join_pred left.Relation.schema right.Relation.schema residual in
   let out = ref [] in
   let nl = Array.length lsorted and nr = Array.length rsorted in
   (* classic merge: advance the smaller key; on a match, cross the two
@@ -96,7 +95,7 @@ let merge_join ~left_keys ~right_keys ~residual left right =
 
 let index_nl_join ~pred ~index ~right_schema ~right_bound left =
   let schema = Schema.append left.Relation.schema right_schema in
-  let ok = Expr.compile_join_bool left.Relation.schema right_schema pred in
+  let ok = Compile.join_pred left.Relation.schema right_schema pred in
   let out = ref [] in
   Relation.iter
     (fun lrow ->
@@ -108,7 +107,7 @@ let index_nl_join ~pred ~index ~right_schema ~right_bound left =
   Relation.of_rows schema (List.rev !out)
 
 let group_by ~group_cols ~aggs rel =
-  let gexprs = List.map (fun (e, _) -> Expr.compile rel.Relation.schema e) group_cols in
+  let gkey = Compile.row_fn rel.Relation.schema (List.map fst group_cols) in
   let compiled = List.map (fun (f, _) -> Agg.compile rel.Relation.schema f) aggs in
   let schema =
     Schema.of_cols (List.map snd group_cols @ List.map snd aggs)
@@ -117,7 +116,7 @@ let group_by ~group_cols ~aggs rel =
   let order = ref [] in
   Relation.iter
     (fun row ->
-      let key = Array.of_list (List.map (fun f -> f row) gexprs) in
+      let key = gkey row in
       let states =
         match Row.Tbl.find_opt groups key with
         | Some states -> states
@@ -155,7 +154,7 @@ let distinct rel =
 
 let order_by keys rel =
   let fs =
-    List.map (fun (e, dir) -> (Expr.compile rel.Relation.schema e, dir)) keys
+    List.map (fun (e, dir) -> (Compile.scalar rel.Relation.schema e, dir)) keys
   in
   let cmp a b =
     let rec go = function

@@ -1,6 +1,7 @@
-(** Domain-based intra-operator parallelism, used only by the "Vendor A"
-    executor configuration (the paper's commercial system uses 4 cores; our
-    Smart-Iceberg runtime stays sequential like the paper's). *)
+(** Domain-based intra-operator parallelism: chunk an array across Domains
+    and join the results.  Used by the "Vendor A" executor configuration
+    (the paper's commercial system uses 4 cores) and by the Smart-Iceberg
+    NLJP operator when [Nljp.config.workers > 1]. *)
 
 (** Split an array into at most [n] contiguous chunks of near-equal size. *)
 val split : int -> 'a array -> 'a array list

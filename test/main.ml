@@ -22,6 +22,8 @@ let () =
       ("stats-cost", Test_stats_cost.suite);
       ("fang", Test_fang.suite);
       ("fuzz", Test_fuzz.suite);
+      ("parallel", Test_parallel.suite);
+      ("nljp-parallel", Test_nljp_parallel.suite);
       ("plan-exec", Test_plan_exec.suite);
       ("runner-edge", Test_runner_edge.suite);
       ("runner", Test_runner.suite);

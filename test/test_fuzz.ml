@@ -82,10 +82,182 @@ let check_one mk seed =
       ok)
     configurations
 
+(* ---- compiled vs interpreted expressions ----
+
+   The staged compiler (Compile) must agree with the reference interpreter
+   (Expr.eval / eval_bool) on arbitrary expressions and rows, including Null
+   propagation, NULL-comparison semantics and Type_error situations (strings
+   in arithmetic, division by zero, non-boolean predicates). *)
+
+let fuzz_names = [ "a"; "b"; "c" ]
+let fuzz_schema = Schema.of_names fuzz_names
+
+let random_value rng =
+  (* A narrow int range makes ties likely, so the <= / < and >= / > pairs are
+     actually distinguished by the property. *)
+  match Workload.Prng.int rng 12 with
+  | 0 | 1 | 2 | 3 | 4 | 5 -> Value.Int (Workload.Prng.int rng 5 - 2) (* includes 0 *)
+  | 6 | 7 -> Value.Float (float_of_int (Workload.Prng.int rng 5) /. 2.)
+  | 8 -> Value.Null
+  | 9 -> Value.Bool (Workload.Prng.int rng 2 = 0)
+  | _ -> Value.Str (pick rng [ "x"; "y" ])
+
+let random_row rng names = Array.init (List.length names) (fun _ -> random_value rng)
+
+let rec random_expr rng names depth =
+  if depth = 0 || Workload.Prng.int rng 5 = 0 then
+    if Workload.Prng.int rng 2 = 0 then Expr.Col (Schema.col (pick rng names))
+    else Expr.Const (random_value rng)
+  else begin
+    let sub () = random_expr rng names (depth - 1) in
+    match Workload.Prng.int rng 9 with
+    | 0 | 1 ->
+      let op = pick rng Expr.[ Add; Sub; Mul; Div ] in
+      Expr.Binop (op, sub (), sub ())
+    | 2 | 3 | 4 ->
+      let op = pick rng Expr.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+      Expr.Cmp (op, sub (), sub ())
+    | 5 -> Expr.And (sub (), sub ())
+    | 6 -> Expr.Or (sub (), sub ())
+    | 7 -> Expr.Not (sub ())
+    | _ -> Expr.Neg (sub ())
+  end
+
+let outcome f = match f () with v -> Ok v | exception Value.Type_error m -> Error m
+
+let agree eq pp name a b =
+  match a, b with
+  | Ok x, Ok y when eq x y -> true
+  | Error _, Error _ -> true
+  | _ ->
+    let show = function Ok v -> pp v | Error m -> "Type_error: " ^ m in
+    QCheck.Test.fail_reportf "%s disagree:\ninterpreted: %s\ncompiled:    %s" name
+      (show a) (show b)
+
+let check_compiled_scalar seed =
+  let rng = Workload.Prng.create seed in
+  let e = random_expr rng fuzz_names 4 in
+  let scalar = Compile.scalar fuzz_schema e in
+  let predicate = outcome (fun () -> Compile.pred fuzz_schema e) in
+  List.for_all
+    (fun _ ->
+      let row = random_row rng fuzz_names in
+      let v_ok =
+        agree Value.equal_total Value.to_string
+          (Printf.sprintf "eval of %s" (Expr.to_string e))
+          (outcome (fun () -> Expr.eval fuzz_schema row e))
+          (outcome (fun () -> scalar row))
+      in
+      let b_ok =
+        match predicate with
+        | Error _ -> true (* constant folding surfaced a Type_error early *)
+        | Ok p ->
+          agree Bool.equal string_of_bool
+            (Printf.sprintf "eval_bool of %s" (Expr.to_string e))
+            (outcome (fun () -> Expr.eval_bool fuzz_schema row e))
+            (outcome (fun () -> p row))
+      in
+      v_ok && b_ok)
+    (List.init 8 (fun i -> i))
+
+let check_compiled_join seed =
+  let rng = Workload.Prng.create seed in
+  let left = Schema.of_names ~q:"L" [ "a"; "b" ]
+  and right = Schema.of_names ~q:"R" [ "c" ] in
+  let names = [ "a"; "b"; "c" ] in
+  let e = random_expr rng names 4 in
+  let both = Schema.append left right in
+  match outcome (fun () -> Compile.join_pred left right e) with
+  | Error _ -> true
+  | Ok p ->
+    List.for_all
+      (fun _ ->
+        let lrow = random_row rng [ "a"; "b" ] and rrow = random_row rng [ "c" ] in
+        agree Bool.equal string_of_bool
+          (Printf.sprintf "join_pred of %s" (Expr.to_string e))
+          (outcome (fun () ->
+               Expr.eval_bool both (Array.append lrow rrow) e))
+          (outcome (fun () -> p lrow rrow)))
+      (List.init 8 (fun i -> i))
+
+(* Exhaustive check of every comparator and arithmetic operator over a pool
+   of values covering ties, sign changes, Null, Bool and Str — and of every
+   operand-shape specialization in the compiler (Col/Col, Col/Const,
+   Const/Col, generic, join-pair).  Random expressions rarely produce a live
+   [Int = Int] tie, so this is what actually pins the </ <= and >/ >=
+   distinctions in each compiled fast path. *)
+let exhaustive_operators () =
+  let pool =
+    Value.
+      [ Int (-1); Int 0; Int 1; Int 2; Float (-0.5); Float 0.; Float 1.;
+        Null; Bool true; Bool false; Str "x"; Str "y" ]
+  in
+  let cmps = Expr.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+  let binops = Expr.[ Add; Sub; Mul; Div ] in
+  let check_scalar what e row =
+    agree Value.equal_total Value.to_string what
+      (outcome (fun () -> Expr.eval fuzz_schema row e))
+      (outcome (fun () ->
+           let f = Compile.scalar fuzz_schema e in
+           f row))
+  in
+  let lschema = Schema.of_names [ "a" ] and rschema = Schema.of_names [ "b" ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let row = [| a; b; Value.Int 0 |] in
+          List.iter
+            (fun op ->
+              let shapes =
+                [ ("col/col", Expr.Cmp (op, Expr.col "a", Expr.col "b"));
+                  ("col/const", Expr.Cmp (op, Expr.col "a", Expr.Const b));
+                  ("const/col", Expr.Cmp (op, Expr.Const a, Expr.col "b"));
+                  ( "generic",
+                    Expr.Cmp
+                      (op, Expr.Binop (Expr.Mul, Expr.col "a", Expr.int 1), Expr.col "b")
+                  ) ]
+              in
+              List.iter
+                (fun (shape, e) ->
+                  ignore
+                    (check_scalar
+                       (Printf.sprintf "cmp %s %s" shape (Expr.to_string e))
+                       e row))
+                shapes;
+              (* join-pair specialization: a from the left row, b from the right *)
+              let e = Expr.Cmp (op, Expr.col "a", Expr.col "b") in
+              ignore
+                (agree Bool.equal string_of_bool
+                   (Printf.sprintf "join cmp %s" (Expr.to_string e))
+                   (outcome (fun () ->
+                        Expr.eval_bool (Schema.append lschema rschema)
+                          [| a; b |] e))
+                   (outcome (fun () ->
+                        let p = Compile.join_pred lschema rschema e in
+                        p [| a |] [| b |]))))
+            cmps;
+          List.iter
+            (fun op ->
+              let e = Expr.Binop (op, Expr.col "a", Expr.col "b") in
+              ignore (check_scalar (Printf.sprintf "binop %s" (Expr.to_string e)) e row))
+            binops)
+        pool)
+    pool
+
 let suite =
   [ QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"random dominance queries: all configs match baseline"
          ~count:40 (QCheck.int_range 1 100000) (check_one object_query));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"random basket queries: all configs match baseline"
-         ~count:40 (QCheck.int_range 1 100000) (check_one basket_query)) ]
+         ~count:40 (QCheck.int_range 1 100000) (check_one basket_query));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"compiled scalars and predicates agree with the interpreter"
+         ~count:300 (QCheck.int_range 1 1000000) check_compiled_scalar);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"compiled join predicates agree with the interpreter"
+         ~count:300 (QCheck.int_range 1 1000000) check_compiled_join);
+    Alcotest.test_case "all operators and operand shapes agree exhaustively" `Quick
+      exhaustive_operators ]

@@ -1,0 +1,62 @@
+(* Edge cases of the Domain-chunking helpers: splitting must lose nothing,
+   keep order, and degrade to a single chunk on degenerate inputs, because
+   both the Vendor-A executor and parallel NLJP rely on [concat (split n a)]
+   being [a] to reassemble results in outer order. *)
+open Relalg
+
+let t name f = Alcotest.test_case name `Quick f
+
+let concat_chunks chunks = Array.concat chunks
+
+let check_split msg n arr =
+  let chunks = Parallel.split n arr in
+  Alcotest.(check (array int)) (msg ^ ": concat = original") arr (concat_chunks chunks);
+  List.iter
+    (fun c ->
+      if Array.length arr > 0 && List.length chunks > 1 && Array.length c = 0 then
+        Alcotest.failf "%s: empty chunk in multi-chunk split" msg)
+    chunks;
+  chunks
+
+let suite =
+  [ t "split of empty array is a single empty chunk" (fun () ->
+        Alcotest.(check int) "one chunk" 1 (List.length (Parallel.split 4 [||]));
+        Alcotest.(check (array int)) "empty" [||] (List.hd (Parallel.split 4 [||])));
+    t "split with workers greater than length" (fun () ->
+        let arr = [| 1; 2; 3 |] in
+        let chunks = check_split "workers>len" 8 arr in
+        Alcotest.(check bool) "at most len chunks" true (List.length chunks <= 3));
+    t "split with workers <= 0 keeps the array whole" (fun () ->
+        let arr = [| 5; 6; 7; 8 |] in
+        List.iter
+          (fun n ->
+            let chunks = check_split (Printf.sprintf "workers=%d" n) n arr in
+            Alcotest.(check int) "single chunk" 1 (List.length chunks))
+          [ 0; -1; 1 ]);
+    t "split chunk sizes are near-equal" (fun () ->
+        let arr = Array.init 103 (fun i -> i) in
+        let chunks = check_split "near-equal" 4 arr in
+        Alcotest.(check int) "four chunks" 4 (List.length chunks);
+        let sizes = List.map Array.length chunks in
+        let mn = List.fold_left min max_int sizes
+        and mx = List.fold_left max 0 sizes in
+        Alcotest.(check bool) "sizes differ by at most 1" true (mx - mn <= 1));
+    t "run_chunks preserves chunk order" (fun () ->
+        let arr = Array.init 57 (fun i -> i) in
+        List.iter
+          (fun workers ->
+            let results = Parallel.run_chunks ~workers arr Array.to_list in
+            Alcotest.(check (list int))
+              (Printf.sprintf "order stable with %d workers" workers)
+              (Array.to_list arr) (List.concat results))
+          [ 1; 2; 4; 16 ]);
+    t "run_chunks on empty and degenerate inputs" (fun () ->
+        Alcotest.(check (list (list int)))
+          "empty array" [ [] ]
+          (Parallel.run_chunks ~workers:4 [||] Array.to_list);
+        Alcotest.(check (list int))
+          "workers=0" [ 1; 2 ]
+          (List.concat (Parallel.run_chunks ~workers:0 [| 1; 2 |] Array.to_list));
+        Alcotest.(check (list int))
+          "workers > length" [ 1; 2; 3 ]
+          (List.concat (Parallel.run_chunks ~workers:9 [| 1; 2; 3 |] Array.to_list))) ]
