@@ -25,6 +25,61 @@ let seed = 2017
 let env_workers = Option.map int_of_string (Sys.getenv_opt "SI_WORKERS")
 let par_workers = ref (Option.value env_workers ~default:4)
 
+(* --layout column (or SI_LAYOUT=column) stores every generated table in
+   chunked columnar form, so filtered scans go through the zone-map
+   block-skipping path; results are checked bag-equal either way. *)
+let layout : [ `Row | `Column ] ref =
+  ref
+    (match Sys.getenv_opt "SI_LAYOUT" with
+     | Some ("column" | "col") -> `Column
+     | _ -> `Row)
+
+let layout_name () = match !layout with `Row -> "row" | `Column -> "column"
+
+(* ---- machine-readable results (--json FILE) ---- *)
+
+type json_row = {
+  j_name : string;
+  j_technique : string;
+  j_workers : int;
+  j_layout : string;
+  j_ms_raw : float;
+  j_ms_scaled : float;
+  j_cache_bytes : int;
+}
+
+let json_path = ref None
+let json_rows : json_row list ref = ref []
+
+let record ?(workers = 1) ?(cache_bytes = 0) ?ms_scaled ~technique name ms_raw =
+  json_rows :=
+    {
+      j_name = name;
+      j_technique = technique;
+      j_workers = workers;
+      j_layout = layout_name ();
+      j_ms_raw = ms_raw;
+      j_ms_scaled = Option.value ms_scaled ~default:ms_raw;
+      j_cache_bytes = cache_bytes;
+    }
+    :: !json_rows
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"name\": %S, \"technique\": %S, \"workers\": %d, \"layout\": %S, \
+         \"ms_raw\": %.3f, \"ms_scaled\": %.3f, \"cache_bytes\": %d}%s\n"
+        r.j_name r.j_technique r.j_workers r.j_layout r.j_ms_raw r.j_ms_scaled
+        r.j_cache_bytes
+        (if i = List.length !json_rows - 1 then "" else ","))
+    (List.rev !json_rows);
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %d benchmark rows to %s\n" (List.length !json_rows) path
+
 (* ---- timing and the Vendor A model ---- *)
 
 let time f =
@@ -61,12 +116,14 @@ let baseball_catalog ?(bt = true) ~rows () =
   let catalog = Catalog.create () in
   ignore (Workload.Baseball.register catalog ~rows ~seed);
   Workload.Baseball.build_indexes catalog ~bt;
+  if !layout = `Column then Catalog.set_all_layouts catalog `Column;
   catalog
 
 let unpivoted_catalog ?(bt = true) ~rows () =
   let catalog = Catalog.create () in
   ignore (Workload.Baseball.register_unpivoted catalog ~rows ~seed);
   Workload.Baseball.build_indexes catalog ~bt;
+  if !layout = `Column then Catalog.set_all_layouts catalog `Column;
   catalog
 
 let check_equal name a b =
@@ -97,7 +154,10 @@ let rec report_has_apriori (rep : Core.Runner.report) =
 let fig1_measure catalog (qname, sql) =
   let q = Sqlfront.Parser.parse sql in
   let base, base_t = time (fun () -> run_base catalog q) in
+  record ~technique:"base" qname (base_t *. 1000.);
   let vend, vendor_raw_t, vendor_t = time_vendor catalog q in
+  record ~technique:"vendor" ~workers:vendor_workers
+    ~ms_scaled:(vendor_t *. 1000.) qname (vendor_raw_t *. 1000.);
   check_equal (qname ^ "/vendor") base vend;
   let all_report = ref None in
   let tech_t =
@@ -106,6 +166,8 @@ let fig1_measure catalog (qname, sql) =
         let (r, rep), t = time (fun () -> Core.Runner.run ~tech catalog q) in
         check_equal (qname ^ "/" ^ tname) base r;
         if tname = "all" then all_report := Some rep;
+        record ~technique:tname ~cache_bytes:(Core.Runner.cache_bytes rep) qname
+          (t *. 1000.);
         let applied =
           match tname with "apriori" -> report_has_apriori rep | _ -> true
         in
@@ -177,7 +239,7 @@ let fig2 () =
   let tbl = Catalog.find catalog Workload.Baseball.table_name in
   let col name =
     let i = Schema.index_of tbl.Catalog.rel.Relation.schema name in
-    Array.map (fun row -> Value.to_float row.(i)) tbl.Catalog.rel.Relation.rows
+    Array.map (fun row -> Value.to_float row.(i)) (Relation.rows tbl.Catalog.rel)
   in
   let total = Relation.cardinality tbl.Catalog.rel in
   List.iter
@@ -475,7 +537,7 @@ let fang () =
   let base_rel =
     Relation.make
       (Schema.requalify "i1" tbl.Catalog.rel.Relation.schema)
-      tbl.Catalog.rel.Relation.rows
+      (Relation.rows tbl.Catalog.rel)
   in
   let joined =
     Ops.hash_join
@@ -484,7 +546,7 @@ let fang () =
       ~residual:Expr.tt base_rel
       (Relation.make
          (Schema.requalify "i2" tbl.Catalog.rel.Relation.schema)
-         tbl.Catalog.rel.Relation.rows)
+         (Relation.rows tbl.Catalog.rel))
   in
   let item1 = Schema.index_of joined.Relation.schema ~q:"i1" "item" in
   let item2 = Schema.index_of joined.Relation.schema ~q:"i2" "item" in
@@ -622,7 +684,9 @@ let micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Printf.printf "%-24s %10.3f ms/run\n%!" name (est /. 1e6)
+          | Some (est :: _) ->
+            record ~technique:"micro" name (est /. 1e6);
+            Printf.printf "%-24s %10.3f ms/run\n%!" name (est /. 1e6)
           | _ -> Printf.printf "%-24s (no estimate)\n%!" name)
         analyzed)
     tests;
@@ -655,6 +719,9 @@ let par () =
       let ok = Relation.equal_bag seq par in
       if not ok then
         Printf.printf "!! RESULT MISMATCH on par/%s — investigate\n%!" name;
+      record ~technique:"all" ("par_" ^ name) (seq_t *. 1000.);
+      record ~technique:"all" ~workers:!par_workers ("par_" ^ name)
+        (par_t *. 1000.);
       Printf.printf "%-22s %10.3fs %12.3fs %9.2fx %8s\n%!" name seq_t par_t
         (seq_t /. par_t)
         (if ok then "ok" else "MISMATCH"))
@@ -663,6 +730,109 @@ let par () =
       ("pairs_c3", bb, Workload.Queries.pairs ~c:3 ~k:50 ());
       ("complex", kv, Workload.Queries.complex ~threshold:(max 5 (!rows / 200))) ];
   print_newline ()
+
+(* ---- columnar zone-map scan: row layout vs block skipping ---- *)
+
+let col () =
+  Printf.printf
+    "=== Columnar scan: selective filter, zone-map block skipping vs rows ===\n";
+  Printf.printf
+    "(clustered id column, so consecutive blocks hold disjoint id ranges and\n\
+    \ a selective range predicate refutes almost every block's zone map)\n\n";
+  let n = max 1_000_000 !rows in
+  let schema = Schema.of_names [ "id"; "grp"; "x" ] in
+  let data =
+    Array.init n (fun i ->
+        [| Value.Int i; Value.Int (i mod 97);
+           Value.Float (float_of_int (i * 7 mod 1000) /. 10.) |])
+  in
+  let row_rel = Relation.make schema data in
+  let col_rel, build_t = time (fun () -> Relation.to_layout `Column row_rel) in
+  (* Selective: an id window covering ~half a block, so the zone maps
+     refute all but 1-2 blocks and the output stays small (a large output
+     makes both layouts GC-bound on row building, hiding the scan cost). *)
+  let lo = n * 9 / 10 in
+  let hi = lo + (Column.Cstore.default_block_size / 2) in
+  let pred =
+    Expr.(
+      And
+        ( And (Cmp (Ge, col "id", int lo), Cmp (Lt, col "id", int hi)),
+          Cmp (Lt, col "grp", int 50) ))
+  in
+  let reps = 5 in
+  let scan rel () =
+    let last = ref (Relation.empty schema) in
+    for _ = 1 to reps do
+      last := Ops.select pred rel
+    done;
+    !last
+  in
+  let r_row, t_row = time (scan row_rel) in
+  Colscan.reset_counters ();
+  let r_col, t_col = time (scan col_rel) in
+  let skipped, scanned = Colscan.counters () in
+  check_equal "col/differential" r_row r_col;
+  Printf.printf
+    "rows=%d (%d blocks, built in %.2fs), predicate keeps %d rows, %d reps\n"
+    n
+    (Column.Cstore.nblocks (Relation.cstore col_rel))
+    build_t (Relation.cardinality r_col) reps;
+  Printf.printf "row layout    %8.3fs\n" t_row;
+  Printf.printf "column layout %8.3fs  (blocks skipped=%d scanned=%d per total)\n"
+    t_col skipped scanned;
+  Printf.printf "speedup %.1fx; footprint row=%d kB column=%d kB\n\n"
+    (t_row /. t_col)
+    (Relation.approx_bytes row_rel / 1024)
+    (Relation.approx_bytes col_rel / 1024);
+  record ~technique:"rowscan" "colscan_selective" (t_row *. 1000.);
+  record ~technique:"zonemap"
+    ~cache_bytes:(Relation.approx_bytes col_rel)
+    "colscan_selective" (t_col *. 1000.);
+  if skipped = 0 then
+    Printf.printf "!! expected blocks to be skipped — investigate\n%!";
+  if t_col *. 2. > t_row then
+    Printf.printf
+      "!! zone-map speedup below 2x (%.1fx) — investigate\n%!"
+      (t_row /. t_col);
+  (* End-to-end: the same optimized workload queries over row- vs
+     column-primary base tables (fresh catalog per layout, same seed). *)
+  Printf.printf
+    "\n--- end-to-end layouts (optimizer on, fresh catalog per run) ---\n";
+  Printf.printf "%-18s %10s %10s %8s %8s\n" "query" "row" "column" "ratio" "check";
+  let saved_layout = !layout in
+  let basket_catalog () =
+    let catalog = Catalog.create () in
+    ignore
+      (Workload.Basket.register catalog ~baskets:(!rows / 3) ~items:400
+         ~avg_size:6 ~seed:2017);
+    if !layout = `Column then Catalog.set_all_layouts catalog `Column;
+    catalog
+  in
+  List.iter
+    (fun (name, build, sql) ->
+      let q = Sqlfront.Parser.parse sql in
+      let timed l =
+        layout := l;
+        let catalog = build () in
+        let (r, _), t = time (fun () -> Core.Runner.run catalog q) in
+        record ~technique:"all" ("layout_" ^ name) (t *. 1000.);
+        (r, t)
+      in
+      let r_row, t_r = timed `Row in
+      let r_col, t_c = timed `Column in
+      layout := saved_layout;
+      let ok = Relation.equal_bag r_row r_col in
+      if not ok then
+        Printf.printf "!! RESULT MISMATCH on layout/%s — investigate\n%!" name;
+      Printf.printf "%-18s %9.3fs %9.3fs %7.2fx %8s\n%!" name t_r t_c
+        (t_r /. t_c)
+        (if ok then "ok" else "MISMATCH"))
+    [ ("baseball_q1", (fun () -> baseball_catalog ~rows:!rows ()),
+       List.assoc "Q1" Workload.Queries.figure1);
+      ("baseball_pairs", (fun () -> baseball_catalog ~rows:!rows ()),
+       Workload.Queries.pairs ~c:3 ~k:50 ());
+      ("basket_listing1", basket_catalog,
+       Workload.Queries.listing1 ~threshold:(max 5 (!rows / 120))) ]
 
 (* ---- driver ---- *)
 
@@ -675,6 +845,16 @@ let () =
       parse_args rest
     | "--workers" :: n :: rest ->
       par_workers := int_of_string n;
+      parse_args rest
+    | "--layout" :: l :: rest ->
+      (layout :=
+         match l with
+         | "row" -> `Row
+         | "column" | "col" -> `Column
+         | other -> failwith ("unknown layout: " ^ other));
+      parse_args rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
       parse_args rest
     | x :: rest -> x :: parse_args rest
   in
@@ -694,4 +874,6 @@ let () =
   if want "ablate" then ablate ();
   if want "fang" then fang ();
   if want "par" then par ();
-  if want "micro" then micro ()
+  if want "col" then col ();
+  if want "micro" then micro ();
+  match !json_path with Some path -> write_json path | None -> ()

@@ -14,7 +14,7 @@ open Cmdliner
 
 (* ---- shared setup ---- *)
 
-let load_tables catalog specs =
+let load_tables ?layout catalog specs =
   List.iter
     (fun spec ->
       (* spec: path.csv[:key=col1+col2] *)
@@ -28,7 +28,7 @@ let load_tables catalog specs =
         | _ -> failwith ("bad table spec: " ^ spec)
       in
       let name = Filename.remove_extension (Filename.basename path) in
-      let rel = Csv.load path in
+      let rel = Csv.load ?layout path in
       let keys = match key with Some k -> [ k ] | None -> [] in
       Catalog.add_table catalog ~keys name rel;
       Printf.printf "loaded %s: %d rows %s\n" name (Relation.cardinality rel)
@@ -54,10 +54,18 @@ let synth_catalog catalog kind rows =
     Printf.printf "generated object (%d rows)\n" rows
   | other -> failwith ("unknown synthetic workload: " ^ other)
 
-let setup tables synth rows =
+let layout_of_string = function
+  | "row" -> `Row
+  | "column" | "col" -> `Column
+  | other -> failwith ("unknown layout: " ^ other)
+
+let setup tables synth rows layout =
   let catalog = Catalog.create () in
-  load_tables catalog tables;
+  let layout = layout_of_string layout in
+  load_tables ~layout catalog tables;
   List.iter (fun kind -> synth_catalog catalog kind rows) synth;
+  (* Synthetic generators register row-form tables; flip them here. *)
+  if layout = `Column then Catalog.set_all_layouts catalog `Column;
   catalog
 
 let tech_of_string = function
@@ -70,8 +78,8 @@ let tech_of_string = function
 
 (* ---- commands ---- *)
 
-let run_cmd tables synth rows tech workers verbose max_rows sql =
-  let catalog = setup tables synth rows in
+let run_cmd tables synth rows layout tech workers verbose max_rows sql =
+  let catalog = setup tables synth rows layout in
   let q = Sqlfront.Parser.parse sql in
   let t0 = Unix.gettimeofday () in
   let result, report =
@@ -92,8 +100,8 @@ let run_cmd tables synth rows tech workers verbose max_rows sql =
    | _ -> ());
   0
 
-let explain_cmd tables synth rows sql =
-  let catalog = setup tables synth rows in
+let explain_cmd tables synth rows layout sql =
+  let catalog = setup tables synth rows layout in
   let q = Sqlfront.Parser.parse sql in
   let plan = Sqlfront.Binder.bind catalog q in
   print_endline "baseline plan:";
@@ -107,8 +115,8 @@ let explain_cmd tables synth rows sql =
   print_string (Core.Runner.report_to_string rep);
   0
 
-let compare_cmd tables synth rows workers sql =
-  let catalog = setup tables synth rows in
+let compare_cmd tables synth rows layout workers sql =
+  let catalog = setup tables synth rows layout in
   let q = Sqlfront.Parser.parse sql in
   let time f =
     let t0 = Unix.gettimeofday () in
@@ -157,6 +165,14 @@ let rows_arg =
     value & opt int 10000
     & info [ "rows" ] ~docv:"N" ~doc:"Synthetic workload size.")
 
+let layout_arg =
+  Arg.(
+    value & opt string "row"
+    & info [ "layout" ] ~docv:"LAYOUT"
+        ~doc:"Physical table layout: $(b,row) (boxed row arrays) or \
+              $(b,column) (chunked columnar storage with zone maps; \
+              filtered scans skip non-matching blocks).")
+
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
 
@@ -187,18 +203,20 @@ let max_rows_arg =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run an iceberg query")
     Term.(
-      const run_cmd $ tables_arg $ synth_arg $ rows_arg $ tech_arg $ workers_arg
-      $ verbose_arg $ max_rows_arg $ sql_arg)
+      const run_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg $ tech_arg
+      $ workers_arg $ verbose_arg $ max_rows_arg $ sql_arg)
 
 let explain_t =
   Cmd.v (Cmd.info "explain" ~doc:"Show the baseline plan and optimizer decisions")
-    Term.(const explain_cmd $ tables_arg $ synth_arg $ rows_arg $ sql_arg)
+    Term.(const explain_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg $ sql_arg)
 
 let compare_t =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Time the query under every technique set against the baseline")
-    Term.(const compare_cmd $ tables_arg $ synth_arg $ rows_arg $ workers_arg $ sql_arg)
+    Term.(
+      const compare_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg
+      $ workers_arg $ sql_arg)
 
 let main =
   Cmd.group

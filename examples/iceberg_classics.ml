@@ -24,7 +24,7 @@ let () =
   let tbl = Catalog.find catalog Workload.Basket.table_name in
   let side q =
     Relation.make (Schema.requalify q tbl.Catalog.rel.Relation.schema)
-      tbl.Catalog.rel.Relation.rows
+      (Relation.rows tbl.Catalog.rel)
   in
   let joined, t_join =
     time (fun () ->

@@ -1,0 +1,22 @@
+type t = { bits : Bytes.t; len : int }
+
+let create len = { bits = Bytes.make ((len + 7) lsr 3) '\000'; len }
+let length t = t.len
+
+let set t i =
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.unsafe_set t.bits byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl bit)))
+
+let get t i =
+  let byte = i lsr 3 and bit = i land 7 in
+  Char.code (Bytes.unsafe_get t.bits byte) land (1 lsl bit) <> 0
+
+let count t =
+  let c = ref 0 in
+  for i = 0 to t.len - 1 do
+    if get t i then incr c
+  done;
+  !c
+
+let approx_bytes t = 16 + Bytes.length t.bits

@@ -1,0 +1,12 @@
+(** Bit-packed boolean vector, used for null bitmaps and boolean columns.
+    Mutable during construction ([set]); treated as immutable once a block
+    is frozen. *)
+
+type t
+
+val create : int -> t
+val length : t -> int
+val set : t -> int -> unit
+val get : t -> int -> bool
+val count : t -> int
+val approx_bytes : t -> int

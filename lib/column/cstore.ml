@@ -1,0 +1,221 @@
+(* Chunked columnar storage: a relation is split into fixed-size blocks;
+   each block stores every column as a typed vector (unboxed where the
+   block's values allow) plus a zone map built in the same pass.
+
+   A column's physical type is chosen per block from the values actually
+   present, so conversion is lossless: an [Int]-only block becomes an
+   [int array], a block that mixes types falls back to boxed values.
+   Strings are dictionary-coded against a per-column dictionary shared by
+   all blocks (codes are first-appearance-ordered; ordered tests use the
+   zone map's min/max strings). *)
+
+type cvec =
+  | C_int of int array * Bitset.t option
+  | C_float of float array * Bitset.t option
+  | C_dict of int array * Bitset.t option
+  | C_bool of Bitset.t * Bitset.t option
+  | C_mixed of Value.t array
+
+type block = { length : int; cols : cvec array; zmaps : Zmap.t array }
+
+type t = {
+  schema : Schema.t;
+  dicts : Dict.t option array;
+  blocks : block array;
+  length : int;
+}
+
+(* 4096 rows/block: large enough that zone-map tests and per-block closure
+   setup amortize to noise, small enough that selective predicates over
+   clustered data skip most of the table (see DESIGN.md §7). *)
+let default_block_size = 4096
+
+let schema t = t.schema
+let length t = t.length
+let nblocks t = Array.length t.blocks
+let block t i = t.blocks.(i)
+let dict t ci = t.dicts.(ci)
+
+let with_schema schema t = { t with schema }
+
+(* ---- building ---- *)
+
+(* Build one column vector + zone map over rows.(lo .. lo+len-1).(ci). *)
+let build_col dicts ci rows lo len =
+  let nulls = ref 0 in
+  let ints = ref 0 and floats = ref 0 and strs = ref 0 and bools = ref 0 in
+  let min_v = ref Value.Null and max_v = ref Value.Null in
+  for k = 0 to len - 1 do
+    let v = rows.(lo + k).(ci) in
+    match v with
+    | Value.Null -> incr nulls
+    | _ ->
+      (match v with
+       | Value.Int _ -> incr ints
+       | Value.Float _ -> incr floats
+       | Value.Str _ -> incr strs
+       | Value.Bool _ -> incr bools
+       | Value.Null -> ());
+      if Value.is_null !min_v || Value.compare_total v !min_v < 0 then min_v := v;
+      if Value.is_null !max_v || Value.compare_total v !max_v > 0 then max_v := v
+  done;
+  let zmap = { Zmap.min_v = !min_v; max_v = !max_v; nulls = !nulls; rows = len } in
+  let non_null = len - !nulls in
+  let bitmap () =
+    if !nulls = 0 then None
+    else begin
+      let b = Bitset.create len in
+      for k = 0 to len - 1 do
+        if Value.is_null rows.(lo + k).(ci) then Bitset.set b k
+      done;
+      Some b
+    end
+  in
+  let vec =
+    if non_null = 0 then
+      (* all-null block: a zeroed int vector under a full null bitmap *)
+      C_int (Array.make len 0, bitmap ())
+    else if !ints = non_null then begin
+      let a = Array.make len 0 in
+      for k = 0 to len - 1 do
+        match rows.(lo + k).(ci) with Value.Int x -> a.(k) <- x | _ -> ()
+      done;
+      C_int (a, bitmap ())
+    end
+    else if !floats = non_null then begin
+      let a = Array.make len 0. in
+      for k = 0 to len - 1 do
+        match rows.(lo + k).(ci) with Value.Float x -> a.(k) <- x | _ -> ()
+      done;
+      C_float (a, bitmap ())
+    end
+    else if !strs = non_null then begin
+      let d =
+        match dicts.(ci) with
+        | Some d -> d
+        | None ->
+          let d = Dict.create () in
+          dicts.(ci) <- Some d;
+          d
+      in
+      let a = Array.make len 0 in
+      for k = 0 to len - 1 do
+        match rows.(lo + k).(ci) with
+        | Value.Str s -> a.(k) <- Dict.intern d s
+        | _ -> ()
+      done;
+      C_dict (a, bitmap ())
+    end
+    else if !bools = non_null then begin
+      let b = Bitset.create len in
+      for k = 0 to len - 1 do
+        match rows.(lo + k).(ci) with Value.Bool true -> Bitset.set b k | _ -> ()
+      done;
+      C_bool (b, bitmap ())
+    end
+    else C_mixed (Array.init len (fun k -> rows.(lo + k).(ci)))
+  in
+  (vec, zmap)
+
+let of_rows ?(block_size = default_block_size) schema rows =
+  if block_size <= 0 then invalid_arg "Cstore.of_rows: block_size <= 0";
+  let n = Array.length rows in
+  let arity = Schema.arity schema in
+  let dicts = Array.make (max arity 1) None in
+  let nb = (n + block_size - 1) / block_size in
+  let blocks =
+    Array.init nb (fun bi ->
+        let lo = bi * block_size in
+        let len = min block_size (n - lo) in
+        let cols = Array.make arity (C_mixed [||]) in
+        let zmaps = Array.make arity Zmap.empty in
+        for ci = 0 to arity - 1 do
+          let vec, zmap = build_col dicts ci rows lo len in
+          cols.(ci) <- vec;
+          zmaps.(ci) <- zmap
+        done;
+        { length = len; cols; zmaps })
+  in
+  { schema; dicts; blocks; length = n }
+
+(* ---- reading ---- *)
+
+let is_null vec i =
+  match vec with
+  | C_int (_, Some b) | C_float (_, Some b) | C_dict (_, Some b)
+  | C_bool (_, Some b) ->
+    Bitset.get b i
+  | C_mixed a -> Value.is_null a.(i)
+  | _ -> false
+
+let value_at t b ci i =
+  let vec = b.cols.(ci) in
+  if is_null vec i then Value.Null
+  else
+    match vec with
+    | C_int (a, _) -> Value.Int a.(i)
+    | C_float (a, _) -> Value.Float a.(i)
+    | C_dict (a, _) ->
+      (match t.dicts.(ci) with
+       | Some d -> Value.Str (Dict.get d a.(i))
+       | None -> Value.Null)
+    | C_bool (a, _) -> Value.Bool (Bitset.get a i)
+    | C_mixed a -> a.(i)
+
+let row_of t (b : block) i : Row.t =
+  Array.init (Array.length b.cols) (fun ci -> value_at t b ci i)
+
+let block_rows t (b : block) : Row.t array = Array.init b.length (row_of t b)
+
+let to_rows t : Row.t array =
+  let out = Array.make t.length [||] in
+  let pos = ref 0 in
+  Array.iter
+    (fun (b : block) ->
+      for i = 0 to b.length - 1 do
+        out.(!pos) <- row_of t b i;
+        incr pos
+      done)
+    t.blocks;
+  out
+
+let iter_blocks f t = Array.iter f t.blocks
+
+let iter_col t ci f =
+  Array.iter
+    (fun (b : block) ->
+      for i = 0 to b.length - 1 do
+        f (value_at t b ci i)
+      done)
+    t.blocks
+
+(* Table-level zone map of one column: union over all blocks. *)
+let col_zmap t ci =
+  Array.fold_left (fun acc b -> Zmap.merge acc b.zmaps.(ci)) Zmap.empty t.blocks
+
+(* ---- footprint ---- *)
+
+let vec_bytes = function
+  | C_int (a, bm) | C_dict (a, bm) ->
+    (8 * Array.length a)
+    + (match bm with Some b -> Bitset.approx_bytes b | None -> 0)
+  | C_float (a, bm) ->
+    (8 * Array.length a)
+    + (match bm with Some b -> Bitset.approx_bytes b | None -> 0)
+  | C_bool (v, bm) ->
+    Bitset.approx_bytes v
+    + (match bm with Some b -> Bitset.approx_bytes b | None -> 0)
+  | C_mixed a -> Array.fold_left (fun acc v -> acc + 8 + Value.approx_bytes v) 0 a
+
+let approx_bytes t =
+  let blocks =
+    Array.fold_left
+      (fun acc b -> Array.fold_left (fun acc vec -> acc + vec_bytes vec) acc b.cols)
+      0 t.blocks
+  in
+  let dicts =
+    Array.fold_left
+      (fun acc d -> match d with Some d -> acc + Dict.approx_bytes d | None -> acc)
+      0 t.dicts
+  in
+  blocks + dicts

@@ -1,0 +1,51 @@
+(** Chunked columnar relation storage.
+
+    Rows are split into fixed-size blocks; within a block every column is a
+    typed vector (unboxed [int array]/[float array], dictionary-coded
+    strings, bit-packed booleans, or a boxed fallback for mixed-type
+    blocks) with an optional null bitmap, plus a {!Zmap.t} zone map built
+    in the same pass.  Conversion to and from row form is lossless.
+
+    The representation is exposed so the execution layer can compile
+    column-aware scan kernels against it. *)
+
+type cvec =
+  | C_int of int array * Bitset.t option
+  | C_float of float array * Bitset.t option
+  | C_dict of int array * Bitset.t option  (** codes into the column dictionary *)
+  | C_bool of Bitset.t * Bitset.t option  (** (values, null bitmap) *)
+  | C_mixed of Value.t array  (** fallback for blocks mixing value types *)
+
+type block = { length : int; cols : cvec array; zmaps : Zmap.t array }
+
+type t = private {
+  schema : Schema.t;
+  dicts : Dict.t option array;
+  blocks : block array;
+  length : int;
+}
+
+val default_block_size : int
+
+val of_rows : ?block_size:int -> Schema.t -> Row.t array -> t
+
+val schema : t -> Schema.t
+val length : t -> int
+val nblocks : t -> int
+val block : t -> int -> block
+val dict : t -> int -> Dict.t option
+
+(** Same blocks under a different schema (e.g. requalified aliases). *)
+val with_schema : Schema.t -> t -> t
+
+val value_at : t -> block -> int -> int -> Value.t
+val row_of : t -> block -> int -> Row.t
+val block_rows : t -> block -> Row.t array
+val to_rows : t -> Row.t array
+val iter_blocks : (block -> unit) -> t -> unit
+val iter_col : t -> int -> (Value.t -> unit) -> unit
+
+(** Union of a column's per-block zone maps (table-level min/max/nulls). *)
+val col_zmap : t -> int -> Zmap.t
+
+val approx_bytes : t -> int

@@ -1,0 +1,33 @@
+type t = {
+  mutable strs : string array;
+  mutable n : int;
+  codes : (string, int) Hashtbl.t;
+}
+
+let create () = { strs = Array.make 16 ""; n = 0; codes = Hashtbl.create 64 }
+
+let intern t s =
+  match Hashtbl.find_opt t.codes s with
+  | Some c -> c
+  | None ->
+    if t.n >= Array.length t.strs then begin
+      let strs = Array.make (2 * Array.length t.strs) "" in
+      Array.blit t.strs 0 strs 0 t.n;
+      t.strs <- strs
+    end;
+    let c = t.n in
+    t.strs.(c) <- s;
+    t.n <- c + 1;
+    Hashtbl.add t.codes s c;
+    c
+
+let get t c = t.strs.(c)
+let find_opt t s = Hashtbl.find_opt t.codes s
+let size t = t.n
+
+let approx_bytes t =
+  let total = ref (8 * Array.length t.strs) in
+  for i = 0 to t.n - 1 do
+    total := !total + 16 + String.length t.strs.(i)
+  done;
+  !total

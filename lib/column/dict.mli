@@ -1,0 +1,20 @@
+(** Per-column string dictionary: interns each distinct string once and
+    stores dense integer codes in the blocks.  Codes are assigned in first-
+    appearance order, so they are NOT value-ordered — range tests on
+    dictionary columns go through the zone map's min/max strings instead. *)
+
+type t
+
+val create : unit -> t
+
+(** Return the code for [s], interning it if new. *)
+val intern : t -> string -> int
+
+val get : t -> int -> string
+val find_opt : t -> string -> int option
+
+(** Number of distinct interned strings (= exact distinct count of the
+    column's non-null values when the dictionary covers every block). *)
+val size : t -> int
+
+val approx_bytes : t -> int

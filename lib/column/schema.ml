@@ -1,0 +1,57 @@
+type col = { qualifier : string option; name : string }
+
+type t = col array
+
+exception Unknown_column of string
+exception Ambiguous_column of string
+
+let col ?q name = { qualifier = q; name }
+
+let col_to_string c =
+  match c.qualifier with
+  | None -> c.name
+  | Some q -> q ^ "." ^ c.name
+
+let of_cols cs = Array.of_list cs
+let of_names ?q names = Array.of_list (List.map (fun n -> col ?q n) names)
+let cols t = Array.to_list t
+let arity = Array.length
+
+let matches ~q ~name c =
+  String.equal c.name name
+  &&
+  match q, c.qualifier with
+  | None, _ -> true
+  | Some q, Some cq -> String.equal q cq
+  | Some _, None -> false
+
+let index_of t ?q name =
+  let hits = ref [] in
+  Array.iteri (fun i c -> if matches ~q ~name c then hits := i :: !hits) t;
+  match !hits with
+  | [ i ] -> i
+  | [] ->
+    raise
+      (Unknown_column (col_to_string { qualifier = q; name } ^ " in " ^ "(" ^ String.concat ", " (List.map col_to_string (cols t)) ^ ")"))
+  | _ -> raise (Ambiguous_column (col_to_string { qualifier = q; name }))
+
+let index_of_col t c = index_of t ?q:c.qualifier c.name
+
+let mem t c =
+  try
+    ignore (index_of_col t c);
+    true
+  with
+  | Unknown_column _ -> false
+  | Ambiguous_column _ -> true
+
+let nth t i = t.(i)
+let append = Array.append
+let requalify q t = Array.map (fun c -> { c with qualifier = Some q }) t
+let unqualified t = Array.map (fun c -> { c with qualifier = None }) t
+let project t idxs = Array.of_list (List.map (fun i -> t.(i)) idxs)
+let to_string t = "(" ^ String.concat ", " (List.map col_to_string (cols t)) ^ ")"
+
+let equal_names a b =
+  arity a = arity b
+  && Array.for_all2 (fun c d -> String.equal c.name d.name) a b

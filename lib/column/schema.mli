@@ -1,0 +1,43 @@
+(** Relation schemas: ordered lists of (possibly qualified) column names.
+
+    A column is identified by an optional relation qualifier and a name,
+    e.g. [L.x] or [item].  Name resolution mirrors SQL: an unqualified
+    reference matches any column with that name (and is ambiguous if several
+    match); a qualified reference matches only columns carrying that
+    qualifier. *)
+
+type col = { qualifier : string option; name : string }
+
+type t
+
+exception Unknown_column of string
+exception Ambiguous_column of string
+
+val col : ?q:string -> string -> col
+val col_to_string : col -> string
+
+val of_cols : col list -> t
+val of_names : ?q:string -> string list -> t
+val cols : t -> col list
+val arity : t -> int
+
+(** [index_of t ~q name] resolves a column reference to its position. *)
+val index_of : t -> ?q:string -> string -> int
+
+val index_of_col : t -> col -> int
+val mem : t -> col -> bool
+val nth : t -> int -> col
+
+(** Concatenate two schemas (for join output). *)
+val append : t -> t -> t
+
+(** Re-qualify every column with the given alias, as SQL does for
+    [FROM tbl AS alias]. *)
+val requalify : string -> t -> t
+
+(** Drop qualifiers (e.g. for a subquery result exported under one alias). *)
+val unqualified : t -> t
+
+val project : t -> int list -> t
+val to_string : t -> string
+val equal_names : t -> t -> bool

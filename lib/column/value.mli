@@ -1,0 +1,58 @@
+(** SQL-style atomic values.
+
+    Comparisons follow SQL semantics restricted to the subset the paper
+    exercises: [Null] never compares equal to anything (predicates involving
+    it evaluate to false), integers and floats compare numerically across the
+    two representations, and heterogeneous comparisons raise
+    [Type_error]. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+exception Type_error of string
+
+val is_null : t -> bool
+
+(** Total order used for sorting and index keys; [Null] sorts first.
+    Unlike SQL predicate comparison this is total so rows can be ordered. *)
+val compare_total : t -> t -> int
+
+val equal_total : t -> t -> bool
+
+(** SQL predicate comparison: [None] when either side is [Null], otherwise
+    [Some c] with [c] as [compare]. *)
+val compare_sql : t -> t -> int option
+
+(** Allocation-free variant for hot loops: [min_int] when either side is
+    [Null], otherwise the sign of the comparison. *)
+val compare_sql_code : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+
+(** Numeric view used by aggregates; raises [Type_error] on non-numbers. *)
+val to_float : t -> float
+
+val to_bool : t -> bool
+val of_int : int -> t
+val of_float : float -> t
+val of_string : string -> t
+val of_bool : bool -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Parse a CSV field: tries int, then float, then bool, else string;
+    the empty string becomes [Null]. *)
+val of_csv_field : string -> t
+
+(** Rough in-memory footprint of one value, for cache accounting. *)
+val approx_bytes : t -> int
+
+val hash : t -> int

@@ -1,0 +1,63 @@
+type t = { min_v : Value.t; max_v : Value.t; nulls : int; rows : int }
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+let empty = { min_v = Value.Null; max_v = Value.Null; nulls = 0; rows = 0 }
+
+let all_null t = t.nulls = t.rows
+
+let observe t v =
+  if Value.is_null v then { t with nulls = t.nulls + 1; rows = t.rows + 1 }
+  else
+    let min_v =
+      if Value.is_null t.min_v || Value.compare_total v t.min_v < 0 then v
+      else t.min_v
+    and max_v =
+      if Value.is_null t.max_v || Value.compare_total v t.max_v > 0 then v
+      else t.max_v
+    in
+    { min_v; max_v; nulls = t.nulls; rows = t.rows + 1 }
+
+(* Union of two zone maps (for table-level stats). *)
+let merge a b =
+  if a.rows = 0 then b
+  else if b.rows = 0 then a
+  else
+    let pick cmp x y =
+      if Value.is_null x then y
+      else if Value.is_null y then x
+      else if cmp (Value.compare_total x y) 0 then x
+      else y
+    in
+    {
+      min_v = pick ( < ) a.min_v b.min_v;
+      max_v = pick ( > ) a.max_v b.max_v;
+      nulls = a.nulls + b.nulls;
+      rows = a.rows + b.rows;
+    }
+
+(* Could any row of the block satisfy [v_row op v]?  Row-level comparison
+   semantics: any comparison against NULL is false, non-null pairs compare
+   with [Value.compare_total] (numerics cross-representation, other type
+   mixes by rank) — exactly what [Compile.value_cmp] evaluates per row, so
+   interval reasoning over the block's min/max of *stored* values is sound:
+   a NULL probe constant, or an all-null block, fails every comparison and
+   the whole block can be skipped. *)
+let may_match t op v =
+  if Value.is_null v || all_null t then false
+  else
+    let cmin = Value.compare_total t.min_v v in
+    let cmax = Value.compare_total t.max_v v in
+    match op with
+    | Eq -> cmin <= 0 && cmax >= 0
+    | Ne ->
+      (* only an all-equal block [min = v = max] has no v' <> v *)
+      not (cmin = 0 && cmax = 0)
+    | Lt -> cmin < 0
+    | Le -> cmin <= 0
+    | Gt -> cmax > 0
+    | Ge -> cmax >= 0
+
+let to_string t =
+  Printf.sprintf "[%s, %s] nulls=%d/%d"
+    (Value.to_string t.min_v) (Value.to_string t.max_v) t.nulls t.rows

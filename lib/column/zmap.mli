@@ -1,0 +1,26 @@
+(** Zone maps: per-block min/max (under [Value.compare_total]'s total
+    order) and null count, built in the same pass that loads the block.
+
+    [may_match] is the data-skipping test: it answers "could any row in
+    this block satisfy [row_value op constant]?" conservatively (false
+    positives allowed, false negatives never).  SQL NULL semantics are
+    baked in: comparisons against NULL are false at row level, so a NULL
+    probe constant or an all-null block never matches, and null rows inside
+    a block cannot force [may_match] true — min/max range only over the
+    block's non-null values. *)
+
+type t = { min_v : Value.t; max_v : Value.t; nulls : int; rows : int }
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+val empty : t
+val all_null : t -> bool
+
+(** Fold one value into the zone map (functional; used by block builders). *)
+val observe : t -> Value.t -> t
+
+(** Union of two zone maps, for deriving table-level statistics. *)
+val merge : t -> t -> t
+
+val may_match : t -> cmp -> Value.t -> bool
+val to_string : t -> string

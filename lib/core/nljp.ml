@@ -65,13 +65,8 @@ type t = {
 
 (* ---- build-time checks ---- *)
 
-let value_bytes = function
-  | Value.Null -> 8
-  | Value.Int _ | Value.Float _ -> 8
-  | Value.Bool _ -> 1
-  | Value.Str s -> 16 + String.length s
-
-let row_bytes row = 24 + Array.fold_left (fun a v -> a + value_bytes v) 0 row
+let row_bytes row =
+  24 + Array.fold_left (fun a v -> a + Value.approx_bytes v) 0 row
 
 (* Sample a column's type from its owning base table. *)
 let col_numeric catalog (spec : Qspec.t) col =
@@ -93,15 +88,25 @@ let col_numeric catalog (spec : Qspec.t) col =
     (match Schema.index_of tbl.Catalog.rel.Relation.schema col.Schema.name with
      | exception Schema.Unknown_column _ -> false
      | idx ->
-       let rec sample i =
-         if i >= Relation.cardinality tbl.Catalog.rel then true (* empty: assume numeric *)
-         else
-           match tbl.Catalog.rel.Relation.rows.(i).(idx) with
+       (match Relation.cstore_opt tbl.Catalog.rel with
+        | Some cs ->
+          (* Columnar table: the column-level zone map already knows the
+             value domain — no need to materialize rows to sample one. *)
+          (match (Column.Cstore.col_zmap cs idx).Column.Zmap.min_v with
            | Value.Int _ | Value.Float _ -> true
-           | Value.Str _ | Value.Bool _ -> false
-           | Value.Null -> sample (i + 1)
-       in
-       sample 0)
+           | Value.Null -> true (* empty or all-null: assume numeric *)
+           | Value.Str _ | Value.Bool _ -> false)
+        | None ->
+          let rows = Relation.rows tbl.Catalog.rel in
+          let rec sample i =
+            if i >= Array.length rows then true (* empty: assume numeric *)
+            else
+              match rows.(i).(idx) with
+              | Value.Int _ | Value.Float _ -> true
+              | Value.Str _ | Value.Bool _ -> false
+              | Value.Null -> sample (i + 1)
+          in
+          sample 0))
 
 let build ?(overrides = []) catalog (spec : Qspec.t) config =
   if not (Qspec.pred_applicable spec.Qspec.right spec.Qspec.having) then
@@ -349,6 +354,9 @@ let execute op =
   (* Q_B: materialize the outer side; Q_R's relation: the inner side. *)
   let l_rel = Binder.run catalog (Qspec.side_query ~overrides left_side) in
   let r_rel = Binder.run catalog (Qspec.side_query ~overrides right_side) in
+  (* Force the inner side's row view now, on this domain: [eval_inner]
+     runs inside worker domains and must not race on the lazy row cache. *)
+  ignore (Relation.rows r_rel : Row.t array);
   let l_schema = l_rel.Relation.schema and r_schema = r_rel.Relation.schema in
   let jl_idx =
     List.map (fun c -> Schema.index_of_col l_schema c) left_side.Qspec.join_cols
@@ -782,13 +790,14 @@ let execute op =
       c_stats = st;
     }
   in
-  let rows = l_rel.Relation.rows in
-  let n = Array.length rows in
+  let n = Relation.cardinality l_rel in
   let workers = max 1 config.workers in
   let chunk_results, final_prune, final_memo =
     if workers = 1 || n < workers * 32 then begin
       (* Sequential: one chunk, its local caches are the caches. *)
-      let r = process_chunk ~shared_prune:None ~shared_memo:None rows in
+      let r =
+        process_chunk ~shared_prune:None ~shared_memo:None (Relation.rows l_rel)
+      in
       ([ r ], r.c_prune, r.c_memo)
     end
     else begin
@@ -801,12 +810,39 @@ let execute op =
          never correctness — §7's cache-bound argument. *)
       let shared_prune = mk_prune_cache () in
       let shared_memo : partition list Row.Tbl.t = Row.Tbl.create 1024 in
-      let wave = workers * 256 in
+      (* Wave slices of the outer side.  A columnar outer is consumed block
+         by block ([workers] blocks per wave) without ever materializing
+         the whole row array; a row outer is sliced as before. *)
+      let slices : Row.t array Seq.t =
+        match Relation.layout l_rel, Relation.cstore_opt l_rel with
+        | `Column, Some cs ->
+          let nb = Column.Cstore.nblocks cs in
+          let rec from bi () =
+            if bi >= nb then Seq.Nil
+            else begin
+              let hi = min nb (bi + workers) in
+              let parts =
+                List.init (hi - bi) (fun k ->
+                    Column.Cstore.block_rows cs (Column.Cstore.block cs (bi + k)))
+              in
+              Seq.Cons (Array.concat parts, from hi)
+            end
+          in
+          from 0
+        | _ ->
+          let rows = Relation.rows l_rel in
+          let wave = workers * 256 in
+          let rec from pos () =
+            if pos >= n then Seq.Nil
+            else
+              let len = min wave (n - pos) in
+              Seq.Cons (Array.sub rows pos len, from (pos + len))
+          in
+          from 0
+      in
       let results = ref [] in
-      let pos = ref 0 in
-      while !pos < n do
-        let len = min wave (n - !pos) in
-        let slice = Array.sub rows !pos len in
+      Seq.iter
+        (fun slice ->
         let rs =
           Parallel.run_chunks ~workers slice
             (process_chunk ~shared_prune:(Some shared_prune)
@@ -825,9 +861,8 @@ let execute op =
                 then Row.Tbl.add shared_memo b parts)
               r.c_memo)
           rs;
-        results := !results @ rs;
-        pos := !pos + len
-      done;
+          results := !results @ rs)
+        slices;
       (!results, shared_prune, shared_memo)
     end
   in

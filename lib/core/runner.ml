@@ -143,17 +143,30 @@ let rec run ?(tech = Optimizer.all_techniques) ?(nljp_config = Nljp.default_conf
       let keys = match derived_key def with Some k -> [ k ] | None -> [] in
       let nonneg = derived_nonneg catalog def in
       Catalog.add_table catalog ~keys ~nonneg fresh
-        (Relation.make (Schema.unqualified rel.Relation.schema) rel.Relation.rows);
+        (Relation.with_schema (Schema.unqualified rel.Relation.schema) rel);
       temp_names := fresh :: !temp_names;
       renames := (String.lowercase_ascii name, fresh) :: !renames;
       cte_reports := (name, rep) :: !cte_reports)
     q.Ast.with_defs;
   let main = rename_table_refs { q with Ast.with_defs = [] } !renames in
+  (* Delta of the global block counters across this query, so nested (CTE)
+     runs report their own scans without resets clobbering the enclosing
+     query's accounting. *)
+  let skipped0, scanned0 = Colscan.counters () in
   let result, rep =
     run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog main
   in
   List.iter (Catalog.remove_table catalog) !temp_names;
-  (result, { rep with cte_reports = List.rev !cte_reports })
+  let skipped1, scanned1 = Colscan.counters () in
+  let block_notes =
+    if skipped1 > skipped0 || scanned1 > scanned0 then
+      [ Printf.sprintf "columnar scan: blocks skipped=%d scanned=%d"
+          (skipped1 - skipped0) (scanned1 - scanned0) ]
+    else []
+  in
+  ( result,
+    { rep with notes = rep.notes @ block_notes; cte_reports = List.rev !cte_reports }
+  )
 
 and run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog (q : Ast.query) =
   let fallback notes =

@@ -96,6 +96,15 @@ let hash_index_on tbl cols =
     in
     go tbl.indexes
 
+(* Convert a table to the given physical layout in place.  Indexes hold
+   their own row references and stay valid either way. *)
+let set_layout t name layout =
+  let tbl = find t name in
+  Hashtbl.replace t (norm name) { tbl with rel = Relation.to_layout layout tbl.rel }
+
+let set_all_layouts t layout =
+  List.iter (fun name -> set_layout t name layout) (table_names t)
+
 let add_temp t name rel = add_table t name rel
 
 let remove_table t name = Hashtbl.remove t (norm name)

@@ -48,6 +48,12 @@ val sorted_index_on : table -> string -> Index.Sorted.t option
 
 val hash_index_on : table -> string list -> Index.Hash.t option
 
+(** Convert one table (resp. every table) to the given physical layout,
+    keeping metadata and indexes. *)
+val set_layout : t -> string -> [ `Row | `Column ] -> unit
+
+val set_all_layouts : t -> [ `Row | `Column ] -> unit
+
 (** Register a derived relation under a fresh name (CTE materialization). *)
 val add_temp : t -> string -> Relation.t -> unit
 

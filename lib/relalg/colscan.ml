@@ -1,0 +1,154 @@
+(* Block-skipping selection over columnar relations.
+
+   A compiled predicate's column-vs-constant conjuncts (Compile.zone_probes)
+   are first tested against each block's zone map: a refuted probe proves
+   the block holds no matching row and the whole block is skipped without
+   touching its vectors.  Surviving blocks are scanned; when the probes are
+   the entire predicate they run as typed kernels directly on the unboxed
+   vectors, otherwise rows are rebuilt and the compiled row predicate
+   decides.
+
+   The skip/scan counters are global and atomic: scans may run from worker
+   domains, and Runner reports them per query (reset between runs). *)
+
+let blocks_skipped = Atomic.make 0
+let blocks_scanned = Atomic.make 0
+
+let reset_counters () =
+  Atomic.set blocks_skipped 0;
+  Atomic.set blocks_scanned 0
+
+(* (skipped, scanned) since the last [reset_counters]. *)
+let counters () = (Atomic.get blocks_skipped, Atomic.get blocks_scanned)
+
+open Column
+
+(* Compile one probe into an [int -> bool] row test over a block, reading
+   the typed vector directly.  NULL rows never match (SQL comparison
+   semantics), which the numeric fast paths get from the null bitmap and
+   the generic path gets from Compile.value_cmp. *)
+let probe_test cs (b : Cstore.block) (p : Compile.zone_probe) : int -> bool =
+  let vec = b.Cstore.cols.(p.Compile.zp_col) in
+  let null_guard bm test =
+    match bm with
+    | None -> test
+    | Some bm -> fun i -> (not (Bitset.get bm i)) && test i
+  in
+  let generic () =
+    let vc = Compile.value_cmp p.Compile.zp_op in
+    let v = p.Compile.zp_const in
+    fun i -> vc (Cstore.value_at cs b p.Compile.zp_col i) v
+  in
+  match vec, p.Compile.zp_const with
+  | Cstore.C_int (a, bm), Value.Int k ->
+    let test =
+      match p.Compile.zp_op with
+      | Expr.Eq -> fun i -> a.(i) = k
+      | Expr.Ne -> fun i -> a.(i) <> k
+      | Expr.Lt -> fun i -> a.(i) < k
+      | Expr.Le -> fun i -> a.(i) <= k
+      | Expr.Gt -> fun i -> a.(i) > k
+      | Expr.Ge -> fun i -> a.(i) >= k
+    in
+    null_guard bm test
+  | Cstore.C_int (a, bm), Value.Float f ->
+    let test =
+      match p.Compile.zp_op with
+      | Expr.Eq -> fun i -> float_of_int a.(i) = f
+      | Expr.Ne -> fun i -> float_of_int a.(i) <> f
+      | Expr.Lt -> fun i -> float_of_int a.(i) < f
+      | Expr.Le -> fun i -> float_of_int a.(i) <= f
+      | Expr.Gt -> fun i -> float_of_int a.(i) > f
+      | Expr.Ge -> fun i -> float_of_int a.(i) >= f
+    in
+    null_guard bm test
+  | Cstore.C_float (a, bm), (Value.Int _ | Value.Float _) ->
+    let f =
+      match p.Compile.zp_const with
+      | Value.Int k -> float_of_int k
+      | Value.Float f -> f
+      | _ -> assert false
+    in
+    let test =
+      match p.Compile.zp_op with
+      | Expr.Eq -> fun i -> a.(i) = f
+      | Expr.Ne -> fun i -> a.(i) <> f
+      | Expr.Lt -> fun i -> a.(i) < f
+      | Expr.Le -> fun i -> a.(i) <= f
+      | Expr.Gt -> fun i -> a.(i) > f
+      | Expr.Ge -> fun i -> a.(i) >= f
+    in
+    null_guard bm test
+  | Cstore.C_dict (codes, bm), Value.Str s ->
+    (match p.Compile.zp_op, Cstore.dict cs p.Compile.zp_col with
+     | (Expr.Eq | Expr.Ne), Some d ->
+       (* Equality against the dictionary is one code comparison per row;
+          an absent string matches nothing (Eq) / every non-null row (Ne). *)
+       (match Dict.find_opt d s, p.Compile.zp_op with
+        | Some code, Expr.Eq -> null_guard bm (fun i -> codes.(i) = code)
+        | Some code, Expr.Ne -> null_guard bm (fun i -> codes.(i) <> code)
+        | None, Expr.Eq -> fun _ -> false
+        | None, Expr.Ne -> null_guard bm (fun _ -> true)
+        | _ -> assert false)
+     | _ -> generic ())
+  | _ -> generic ()
+
+(* Scan one block, pushing kept rows (in order).  [tests] are the typed
+   probe kernels when the probes cover the predicate; otherwise [keep]
+   re-evaluates the compiled row predicate on rebuilt rows. *)
+let scan_block cs (b : Cstore.block) tests keep push =
+  match (keep : (Row.t -> bool) option) with
+  | None ->
+    let nt = Array.length tests in
+    for i = 0 to b.Cstore.length - 1 do
+      let ok = ref true in
+      let t = ref 0 in
+      while !ok && !t < nt do
+        if not (tests.(!t) i) then ok := false;
+        incr t
+      done;
+      if !ok then push (Cstore.row_of cs b i)
+    done
+  | Some keep ->
+    for i = 0 to b.Cstore.length - 1 do
+      let row = Cstore.row_of cs b i in
+      if keep row then push row
+    done
+
+(* [select pred rel] is the block-skipping counterpart of [Ops.select];
+   [None] when [rel] is not column-primary (caller falls back to rows). *)
+let select pred rel =
+  if Relation.layout rel <> `Column then None
+  else begin
+    let cs = Relation.cstore rel in
+    let schema = Relation.(rel.schema) in
+    let probes, exact = Compile.zone_probes schema pred in
+    let keep = if exact then None else Some (Compile.pred schema pred) in
+    let zprobes =
+      List.map
+        (fun (p : Compile.zone_probe) ->
+          (p.Compile.zp_col, Compile.zmap_cmp p.Compile.zp_op, p.Compile.zp_const))
+        probes
+    in
+    let out = ref [] in
+    let push row = out := row :: !out in
+    Cstore.iter_blocks
+      (fun (b : Cstore.block) ->
+        let skip =
+          List.exists
+            (fun (ci, op, v) -> not (Zmap.may_match b.Cstore.zmaps.(ci) op v))
+            zprobes
+        in
+        if skip then Atomic.incr blocks_skipped
+        else begin
+          Atomic.incr blocks_scanned;
+          let tests =
+            if keep = None then
+              Array.of_list (List.map (probe_test cs b) probes)
+            else [||]
+          in
+          scan_block cs b tests keep push
+        end)
+      cs;
+    Some (Relation.of_rows schema (List.rev !out))
+  end

@@ -1,0 +1,18 @@
+(** Block-skipping selection over columnar relations.
+
+    For a column-primary relation, [select] tests the predicate's
+    column-vs-constant conjuncts against each block's zone map and skips
+    refuted blocks wholesale; surviving blocks are scanned with typed
+    kernels when the probes cover the predicate, or through the compiled
+    row predicate otherwise.  Results agree row-for-row (and in order)
+    with [Ops.select] on the row layout. *)
+
+(** [None] unless the relation is column-primary. *)
+val select : Expr.t -> Relation.t -> Relation.t option
+
+(** Zero the global block counters (Runner does this per query). *)
+val reset_counters : unit -> unit
+
+(** [(skipped, scanned)] blocks since the last reset; atomically maintained
+    so parallel scans report correctly. *)
+val counters : unit -> int * int

@@ -86,6 +86,57 @@ let value_cmp (op : Expr.cmp) : Value.t -> Value.t -> bool =
        | Value.Int x, Value.Int y -> x >= y
        | _ -> Value.compare_sql_code a b >= 0)
 
+(* ---- zone-map probes for block skipping ---- *)
+
+type zone_probe = { zp_col : int; zp_op : Expr.cmp; zp_const : Value.t }
+
+let zmap_cmp : Expr.cmp -> Column.Zmap.cmp = function
+  | Expr.Eq -> Column.Zmap.Eq
+  | Expr.Ne -> Column.Zmap.Ne
+  | Expr.Lt -> Column.Zmap.Lt
+  | Expr.Le -> Column.Zmap.Le
+  | Expr.Gt -> Column.Zmap.Gt
+  | Expr.Ge -> Column.Zmap.Ge
+
+let flip_cmp : Expr.cmp -> Expr.cmp = function
+  | Expr.Eq -> Expr.Eq
+  | Expr.Ne -> Expr.Ne
+  | Expr.Lt -> Expr.Gt
+  | Expr.Le -> Expr.Ge
+  | Expr.Gt -> Expr.Lt
+  | Expr.Ge -> Expr.Le
+
+(* Walk the top-level AND-chain and collect every column-vs-constant
+   comparison.  Each probe is a necessary condition for the whole predicate,
+   so a block whose zone map refutes any one of them cannot contain a
+   matching row — regardless of the conjuncts we could not convert.
+   [exact] reports whether the probes ARE the predicate (every conjunct
+   converted), letting the scan evaluate them on typed vectors and skip the
+   per-row closure entirely. *)
+let zone_probes schema e =
+  let probes = ref [] in
+  let push op c v =
+    probes :=
+      { zp_col = Schema.index_of_col schema c; zp_op = op; zp_const = v }
+      :: !probes
+  in
+  let rec go exact e =
+    match e with
+    | Expr.And (a, b) ->
+      let ea = go exact a in
+      go ea b
+    | Expr.Cmp (op, Expr.Col c, Expr.Const v) ->
+      push op c v;
+      exact
+    | Expr.Cmp (op, Expr.Const v, Expr.Col c) ->
+      push (flip_cmp op) c v;
+      exact
+    | Expr.Const (Value.Bool true) -> exact
+    | _ -> false
+  in
+  let exact = go true (fold_constants e) in
+  (List.rev !probes, exact)
+
 let binop_fn = function
   | Expr.Add -> Value.add
   | Expr.Sub -> Value.sub

@@ -47,3 +47,21 @@ val row_fn : Schema.t -> Expr.t list -> Row.t -> Row.t
 (** Constant folding on its own (exposed for tests): evaluates constant
     subtrees, keeping any that would raise so errors stay at run time. *)
 val fold_constants : Expr.t -> Expr.t
+
+(** The comparator a [Cmp] node compiles to: int/int fast path, SQL NULL
+    semantics (any comparison against NULL is false).  Exposed for the
+    columnar scan kernels. *)
+val value_cmp : Expr.cmp -> Value.t -> Value.t -> bool
+
+(** A column-vs-constant comparison usable against a block's zone map. *)
+type zone_probe = { zp_col : int; zp_op : Expr.cmp; zp_const : Value.t }
+
+(** Comparison codes translated for {!Column.Zmap.may_match}. *)
+val zmap_cmp : Expr.cmp -> Column.Zmap.cmp
+
+(** [zone_probes schema e] collects the column-vs-constant conjuncts of
+    [e]'s top-level AND-chain.  Every probe is a necessary condition for
+    [e], so refuting one against a block's zone map proves the block holds
+    no matching row.  The boolean is true when the probes are exactly [e]
+    (nothing was left unconverted). *)
+val zone_probes : Schema.t -> Expr.t -> zone_probe list * bool

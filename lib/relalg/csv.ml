@@ -31,7 +31,34 @@ let split_line line =
   go 0 false;
   List.rev !fields
 
-let parse_lines lines =
+(* A column mixing Int and Float fields is promoted to Float throughout,
+   so both physical layouts see one consistent numeric type (a columnar
+   block can then stay an unboxed [float array] instead of degrading to
+   the boxed mixed representation). *)
+let promote_numeric arity rows =
+  let has_int = Array.make arity false in
+  let has_float = Array.make arity false in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Value.Int _ -> has_int.(i) <- true
+          | Value.Float _ -> has_float.(i) <- true
+          | _ -> ())
+        row)
+    rows;
+  let promote = Array.init arity (fun i -> has_int.(i) && has_float.(i)) in
+  if not (Array.exists Fun.id promote) then rows
+  else
+    List.map
+      (Array.mapi (fun i v ->
+           match v with
+           | Value.Int x when promote.(i) -> Value.Float (float_of_int x)
+           | v -> v))
+      rows
+
+let parse_lines ?(layout = `Row) lines =
   match lines with
   | [] -> invalid_arg "Csv: empty input"
   | header :: rest ->
@@ -50,13 +77,14 @@ let parse_lines lines =
           end)
         rest
     in
-    Relation.of_rows schema rows
+    let rel = Relation.of_rows schema (promote_numeric arity rows) in
+    Relation.to_layout layout rel
 
-let parse_string s =
+let parse_string ?layout s =
   let s = String.concat "" (String.split_on_char '\r' s) in
-  parse_lines (String.split_on_char '\n' s)
+  parse_lines ?layout (String.split_on_char '\n' s)
 
-let load path =
+let load ?layout path =
   let ic = open_in path in
   let lines = ref [] in
   (try
@@ -65,7 +93,7 @@ let load path =
      done
    with End_of_file -> ());
   close_in ic;
-  parse_lines (List.rev !lines)
+  parse_lines ?layout (List.rev !lines)
 
 let escape_field s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then

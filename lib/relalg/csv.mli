@@ -1,7 +1,12 @@
 (** Minimal CSV import/export (comma-separated, first line is the header,
-    double-quote escaping) so the CLI and examples can load real data. *)
+    double-quote escaping) so the CLI and examples can load real data.
 
-val load : string -> Relation.t
+    Empty fields parse to SQL NULL; columns mixing Int and Float fields are
+    promoted to Float consistently in both layouts.  [?layout] selects the
+    physical layout of the loaded relation (default [`Row]); [`Column]
+    loads into chunked columnar storage with zone maps. *)
+
+val load : ?layout:[ `Row | `Column ] -> string -> Relation.t
 val save : string -> Relation.t -> unit
-val parse_string : string -> Relation.t
+val parse_string : ?layout:[ `Row | `Column ] -> string -> Relation.t
 val to_csv_string : Relation.t -> string

@@ -18,11 +18,9 @@
 let scan catalog table alias filter =
   let tbl = Catalog.find catalog table in
   let q = Option.value alias ~default:tbl.Catalog.name in
-  let rel =
-    Relation.make
-      (Schema.requalify q tbl.Catalog.rel.Relation.schema)
-      tbl.Catalog.rel.Relation.rows
-  in
+  (* requalify keeps the table's physical layout (row or columnar), so a
+     filtered scan of a columnar table takes the block-skipping path. *)
+  let rel = Relation.requalify q tbl.Catalog.rel in
   match filter with None -> rel | Some pred -> Ops.select pred rel
 
 let compile_bound schema lo hi () =
@@ -53,8 +51,7 @@ let empty_row : Row.t = [||]
 let rec run ?(workers = 1) catalog plan =
   match plan with
   | Plan.Scan { table; alias; filter } -> scan catalog table alias filter
-  | Plan.Values { name; rel } ->
-    Relation.make (Schema.requalify name rel.Relation.schema) rel.Relation.rows
+  | Plan.Values { name; rel } -> Relation.requalify name rel
   | Plan.Filter (pred, p) -> Ops.select pred (run ~workers catalog p)
   | Plan.Project (outs, p) -> Ops.project outs (run ~workers catalog p)
   | Plan.Nl_join _ | Plan.Hash_join _ | Plan.Index_nl_join _ ->
@@ -74,9 +71,9 @@ let rec run ?(workers = 1) catalog plan =
     Ops.semijoin keys s i
   | Plan.Rename (alias, p) ->
     let rel = run ~workers catalog p in
-    Relation.make
+    Relation.with_schema
       (Schema.requalify alias (Schema.unqualified rel.Relation.schema))
-      rel.Relation.rows
+      rel
 
 (* Build a streamed view of a plan.  Joins stream; anything else
    materializes and streams its rows trivially. *)
@@ -86,9 +83,11 @@ and stream ~workers catalog plan : streamed =
     let l = run ~workers catalog left in
     let r = run ~workers catalog right in
     let schema = Schema.append l.Relation.schema r.Relation.schema in
+    (* Force the inner rows here, on the spawning domain: [feed] runs on
+       worker domains and must not race on the relation's lazy row cache. *)
+    let rrows = Relation.rows r in
     let feed chunk emit =
       let ok = Compile.join_pred l.Relation.schema r.Relation.schema pred in
-      let rrows = r.Relation.rows in
       let nr = Array.length rrows in
       Array.iter
         (fun lrow ->
@@ -166,9 +165,9 @@ and collect ~workers s =
         out := (if Array.length rrow = 0 then lrow else Row.append lrow rrow) :: !out);
     List.rev !out
   in
-  if workers <= 1 then Relation.of_rows s.schema (collect_chunk s.outer.Relation.rows)
+  if workers <= 1 then Relation.of_rows s.schema (collect_chunk (Relation.rows s.outer))
   else begin
-    let results = Parallel.run_chunks ~workers s.outer.Relation.rows collect_chunk in
+    let results = Parallel.run_chunks ~workers (Relation.rows s.outer) collect_chunk in
     Relation.of_rows s.schema (List.concat results)
   end
 
@@ -209,8 +208,8 @@ and group ~workers catalog group_cols aggs input =
   in
   let partials =
     if workers <= 1 || Relation.cardinality s.outer < 2048 then
-      [ build s.outer.Relation.rows ]
-    else Parallel.run_chunks ~workers s.outer.Relation.rows build
+      [ build (Relation.rows s.outer) ]
+    else Parallel.run_chunks ~workers (Relation.rows s.outer) build
   in
   match partials with
   | [] -> Relation.empty out_schema

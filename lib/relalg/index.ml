@@ -24,7 +24,7 @@ module Sorted = struct
   type t = { key_idxs : int list; rows : Row.t array }
 
   let build rel key_idxs =
-    let rows = Array.copy rel.Relation.rows in
+    let rows = Array.copy (Relation.rows rel) in
     let cmp a b =
       let rec go = function
         | [] -> 0

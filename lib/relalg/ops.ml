@@ -1,6 +1,10 @@
 let select pred rel =
-  let keep = Compile.pred rel.Relation.schema pred in
-  Relation.filter keep rel
+  (* Column-primary input takes the zone-map block-skipping path. *)
+  match Colscan.select pred rel with
+  | Some r -> r
+  | None ->
+    let keep = Compile.pred rel.Relation.schema pred in
+    Relation.filter keep rel
 
 let project outs rel =
   let schema = Schema.of_cols (List.map snd outs) in
@@ -52,12 +56,12 @@ let merge_join ~left_keys ~right_keys ~residual left right =
   let lkey = Compile.row_fn left.Relation.schema left_keys in
   let rkey = Compile.row_fn right.Relation.schema right_keys in
   let lsorted =
-    let rows = Array.map (fun r -> (lkey r, r)) left.Relation.rows in
+    let rows = Array.map (fun r -> (lkey r, r)) (Relation.rows left) in
     Array.sort (fun (a, _) (b, _) -> Row.compare a b) rows;
     rows
   in
   let rsorted =
-    let rows = Array.map (fun r -> (rkey r, r)) right.Relation.rows in
+    let rows = Array.map (fun r -> (rkey r, r)) (Relation.rows right) in
     Array.sort (fun (a, _) (b, _) -> Row.compare a b) rows;
     rows
   in
@@ -169,17 +173,17 @@ let order_by keys rel =
   Relation.sort_by cmp rel
 
 let limit n rel =
-  let rows = rel.Relation.rows in
+  let rows = (Relation.rows rel) in
   let n = min n (Array.length rows) in
   Relation.make rel.Relation.schema (Array.sub rows 0 n)
 
 let semijoin keys sub rel =
-  let set = Expr.row_set_of (Array.to_list sub.Relation.rows) in
+  let set = Expr.row_set_of (Array.to_list (Relation.rows sub)) in
   select (Expr.In_set (keys, set)) rel
 
 let union_all a b =
   if Schema.arity a.Relation.schema <> Schema.arity b.Relation.schema then
     invalid_arg "Ops.union_all: arity mismatch";
-  Relation.make a.Relation.schema (Array.append a.Relation.rows b.Relation.rows)
+  Relation.make a.Relation.schema (Array.append (Relation.rows a) (Relation.rows b))
 
 let cross a b = nl_join ~pred:Expr.tt a b

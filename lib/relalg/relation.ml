@@ -1,53 +1,132 @@
-type t = { schema : Schema.t; rows : Row.t array }
+(* A relation carries its schema plus one or both physical layouts:
+   a boxed row array (the original engine substrate) and/or a chunked
+   columnar store (Column.Cstore, with per-block zone maps).  Whichever
+   layout is missing is materialized lazily from the other and cached;
+   [primary] records which layout the relation was built in (it decides
+   footprint accounting and which scan path executes).
 
-let make schema rows = { schema; rows }
-let of_rows schema rows = { schema; rows = Array.of_list rows }
-let cardinality t = Array.length t.rows
-let empty schema = { schema; rows = [||] }
+   The caches are plain mutable fields: forcing happens on the spawning
+   domain before work is chunked across Domains (Exec and Nljp force the
+   arrays they capture), and a racing double-materialization would only
+   waste work, never produce torn data (an [option] update is a single
+   word store). *)
+
+type t = {
+  schema : Schema.t;
+  primary : [ `Row | `Column ];
+  mutable rows_q : Row.t array option;
+  mutable cols_q : Column.Cstore.t option;
+}
+
+let make schema rows =
+  { schema; primary = `Row; rows_q = Some rows; cols_q = None }
+
+let of_rows schema rows = make schema (Array.of_list rows)
+
+let of_cstore cs =
+  {
+    schema = Column.Cstore.schema cs;
+    primary = `Column;
+    rows_q = None;
+    cols_q = Some cs;
+  }
+
+let layout t = t.primary
+
+let rows t =
+  match t.rows_q with
+  | Some r -> r
+  | None ->
+    let r =
+      match t.cols_q with
+      | Some cs -> Column.Cstore.to_rows cs
+      | None -> [||]
+    in
+    t.rows_q <- Some r;
+    r
+
+let cstore t =
+  match t.cols_q with
+  | Some cs -> cs
+  | None ->
+    let cs = Column.Cstore.of_rows t.schema (rows t) in
+    t.cols_q <- Some cs;
+    cs
+
+let cstore_opt t = t.cols_q
+
+let to_layout layout t =
+  if t.primary = layout then t
+  else
+    match layout with
+    | `Row -> make t.schema (rows t)
+    | `Column -> of_cstore (Column.Cstore.with_schema t.schema (cstore t))
+
+let cardinality t =
+  match t.rows_q, t.cols_q with
+  | Some r, _ -> Array.length r
+  | None, Some cs -> Column.Cstore.length cs
+  | None, None -> 0
+
+let empty schema = make schema [||]
+
+(* Change the schema without rebuilding either layout (used by scans to
+   requalify a base table under its alias). *)
+let with_schema schema t =
+  {
+    schema;
+    primary = t.primary;
+    rows_q = t.rows_q;
+    cols_q = Option.map (Column.Cstore.with_schema schema) t.cols_q;
+  }
+
+let requalify q t = with_schema (Schema.requalify q t.schema) t
 
 let to_string ?(max_rows = 20) t =
   let b = Buffer.create 256 in
   Buffer.add_string b (Schema.to_string t.schema);
   Buffer.add_char b '\n';
-  let n = Array.length t.rows in
+  let rows = rows t in
+  let n = Array.length rows in
   let shown = min n max_rows in
   for i = 0 to shown - 1 do
-    Buffer.add_string b (Row.to_string t.rows.(i));
+    Buffer.add_string b (Row.to_string rows.(i));
     Buffer.add_char b '\n'
   done;
   if n > shown then Buffer.add_string b (Printf.sprintf "... (%d rows total)\n" n);
   Buffer.contents b
 
-let iter f t = Array.iter f t.rows
-let fold f init t = Array.fold_left f init t.rows
+let iter f t = Array.iter f (rows t)
+let fold f init t = Array.fold_left f init (rows t)
 
 let filter p t =
-  { t with rows = Array.of_seq (Seq.filter p (Array.to_seq t.rows)) }
+  make t.schema (Array.of_seq (Seq.filter p (Array.to_seq (rows t))))
 
-let map_rows schema f t = { schema; rows = Array.map f t.rows }
+let map_rows schema f t = make schema (Array.map f (rows t))
 
 let sort_by cmp t =
-  let rows = Array.copy t.rows in
+  let rows = Array.copy (rows t) in
   Array.sort cmp rows;
-  { t with rows }
+  make t.schema rows
 
 let equal_bag a b =
   cardinality a = cardinality b
   && Schema.arity a.schema = Schema.arity b.schema
   &&
-  let sa = Array.copy a.rows and sb = Array.copy b.rows in
+  let sa = Array.copy (rows a) and sb = Array.copy (rows b) in
   Array.sort Row.compare sa;
   Array.sort Row.compare sb;
   Array.for_all2 Row.equal sa sb
 
 let sorted t = sort_by Row.compare t
 
-let value_bytes = function
-  | Value.Null -> 8
-  | Value.Int _ -> 8
-  | Value.Float _ -> 8
-  | Value.Bool _ -> 1
-  | Value.Str s -> 16 + String.length s
-
+(* Layout-aware footprint: a column-primary relation is accounted as its
+   typed blocks plus dictionaries; row form as boxed rows. *)
 let approx_bytes t =
-  fold (fun acc row -> acc + 24 + Array.fold_left (fun a v -> a + value_bytes v) 0 row) 0 t
+  match t.primary, t.cols_q with
+  | `Column, Some cs -> Column.Cstore.approx_bytes cs
+  | _ ->
+    fold
+      (fun acc row ->
+        acc + 24 + Array.fold_left (fun a v -> a + Value.approx_bytes v) 0 row)
+      0 t

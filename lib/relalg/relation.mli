@@ -1,12 +1,48 @@
-(** A relation is a schema plus a bag of rows (duplicate-preserving, matching
-    the paper's duplicate semantics for π, σ and ⋈). *)
+(** A relation is a schema plus a bag of rows (duplicate-preserving,
+    matching the paper's duplicate semantics for π, σ and ⋈), stored in one
+    (or both) of two physical layouts: a boxed row array, or a chunked
+    columnar store with per-block zone maps ({!Column.Cstore}).  The missing
+    layout is materialized lazily and cached; [layout] reports the primary
+    one (which decides the scan path and footprint accounting). *)
 
-type t = { schema : Schema.t; rows : Row.t array }
+type t = private {
+  schema : Schema.t;
+  primary : [ `Row | `Column ];
+  mutable rows_q : Row.t array option;  (** use {!rows} *)
+  mutable cols_q : Column.Cstore.t option;  (** use {!cstore} / {!cstore_opt} *)
+}
 
 val make : Schema.t -> Row.t array -> t
 val of_rows : Schema.t -> Row.t list -> t
+
+(** Wrap a columnar store (primary layout [`Column]). *)
+val of_cstore : Column.Cstore.t -> t
+
+val layout : t -> [ `Row | `Column ]
+
+(** Row view; materialized from the columnar store (and cached) on first
+    use of a column-primary relation. *)
+val rows : t -> Row.t array
+
+(** Columnar view; built from the rows (and cached) on first use of a
+    row-primary relation. *)
+val cstore : t -> Column.Cstore.t
+
+(** The columnar view only if it is already present — scan paths use this
+    to pick block-skipping execution without forcing conversions. *)
+val cstore_opt : t -> Column.Cstore.t option
+
+(** Convert to the given primary layout (identity if already there). *)
+val to_layout : [ `Row | `Column ] -> t -> t
+
 val cardinality : t -> int
 val empty : Schema.t -> t
+
+(** Same data under a different schema (no copy of either layout). *)
+val with_schema : Schema.t -> t -> t
+
+(** [with_schema] composed with {!Schema.requalify}. *)
+val requalify : string -> t -> t
 
 (** Rows with all values rendered; for tests and the CLI. *)
 val to_string : ?max_rows:int -> t -> string
@@ -24,4 +60,6 @@ val equal_bag : t -> t -> bool
 (** Deterministically order rows (for printing stable results). *)
 val sorted : t -> t
 
+(** Layout-aware footprint: typed blocks + dictionaries for column-primary
+    relations, boxed rows otherwise. *)
 val approx_bytes : t -> int

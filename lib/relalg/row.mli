@@ -1,16 +1,6 @@
-(** Rows are immutable-by-convention arrays of values. *)
+(** Re-export of {!Column.Row} (see [lib/column]); rows are
+    immutable-by-convention arrays of values. *)
 
-type t = Value.t array
-
-val make : Value.t list -> t
-val append : t -> t -> t
-val project : t -> int list -> t
-val equal : t -> t -> bool
-val compare : t -> t -> int
-val hash : t -> int
-val to_string : t -> string
-
-(** Hashtbl key module with total (SQL-agnostic) equality. *)
-module Key : Hashtbl.HashedType with type t = t
-
-module Tbl : Hashtbl.S with type key = t
+include module type of struct
+  include Column.Row
+end

@@ -10,7 +10,47 @@ type t = {
   columns : (string * col_stats) list;
 }
 
-let of_relation rel =
+(* Columnar relation: min/max/null counts come straight from the merged
+   per-block zone maps (built at load time — no second pass over values);
+   only distinct counts still need to visit values, and a column stored
+   dictionary-coded in every block reads its distinct count off the
+   dictionary for free. *)
+let of_cstore cs =
+  let schema = Column.Cstore.schema cs in
+  let columns =
+    List.mapi
+      (fun i c ->
+        let z = Column.Cstore.col_zmap cs i in
+        let all_dict =
+          Array.for_all
+            (fun (b : Column.Cstore.block) ->
+              match b.Column.Cstore.cols.(i) with
+              | Column.Cstore.C_dict _ -> true
+              | _ -> false)
+            cs.Column.Cstore.blocks
+        in
+        let distinct =
+          match Column.Cstore.dict cs i with
+          | Some d when all_dict && Column.Cstore.nblocks cs > 0 ->
+            Column.Dict.size d
+          | _ ->
+            let seen = Row.Tbl.create 64 in
+            Column.Cstore.iter_col cs i (fun v ->
+                if not (Value.is_null v) then Row.Tbl.replace seen [| v |] ());
+            Row.Tbl.length seen
+        in
+        ( c.Schema.name,
+          {
+            distinct;
+            min_val = z.Column.Zmap.min_v;
+            max_val = z.Column.Zmap.max_v;
+            null_count = z.Column.Zmap.nulls;
+          } ))
+      (Schema.cols schema)
+  in
+  { row_count = Column.Cstore.length cs; columns }
+
+let of_relation_rows rel =
   let arity = Schema.arity rel.Relation.schema in
   let distinct = Array.init arity (fun _ -> Row.Tbl.create 64) in
   let mins = Array.make arity Value.Null in
@@ -44,6 +84,11 @@ let of_relation rel =
             } ))
         (Schema.cols rel.Relation.schema);
   }
+
+let of_relation rel =
+  match Relation.cstore_opt rel with
+  | Some cs -> of_cstore cs
+  | None -> of_relation_rows rel
 
 let col t name = List.assoc_opt name t.columns
 

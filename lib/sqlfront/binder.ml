@@ -37,7 +37,7 @@ and pred_expr_env env p =
     let sub = run_env env q in
     if List.length es <> Schema.arity sub.Relation.schema then
       err "IN: arity mismatch between tuple and subquery";
-    Expr.In_set (List.map (scalar_expr_env env) es, Expr.row_set_of (Array.to_list sub.Relation.rows))
+    Expr.In_set (List.map (scalar_expr_env env) es, Expr.row_set_of (Array.to_list (Relation.rows sub)))
 
 and agg_func_env env = function
   | A_count_star -> Agg.Count_star

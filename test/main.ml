@@ -6,6 +6,8 @@ let () =
       ("index", Test_index.suite);
       ("expr", Test_expr.suite);
       ("csv", Test_csv.suite);
+      ("column", Test_column.suite);
+      ("layout", Test_layout.suite);
       ("parser", Test_parser.suite);
       ("binder", Test_binder.suite);
       ("qelim", Test_qelim.suite);

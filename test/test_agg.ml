@@ -151,7 +151,7 @@ let decompose_end_to_end func name =
                data
            in
            (* AVG combines through floats; compare numerically. *)
-           let to_sorted r = (Relation.sorted r).Relation.rows in
+           let to_sorted r = Relation.rows (Relation.sorted r) in
            let ca = to_sorted combined and cb = to_sorted direct in
            Array.length ca = Array.length cb
            && Array.for_all2

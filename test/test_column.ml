@@ -1,0 +1,243 @@
+(* The columnar storage subsystem: block construction, lossless row
+   roundtrips, dictionary coding, zone-map semantics (including SQL NULL
+   edge cases) and the block-skipping scan path. *)
+open Relalg
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let bv b = Value.Bool b
+let nv = Value.Null
+
+(* A deliberately awkward relation: every typed vector kind, nulls in each
+   column, one mixed-type column, and a length that is not a multiple of
+   the block size. *)
+let awkward_rows =
+  List.init 23 (fun i ->
+      row
+        [ (if i mod 7 = 3 then nv else iv i);
+          (if i mod 5 = 0 then nv else fv (float_of_int i /. 2.));
+          (if i mod 6 = 1 then nv else sv (Printf.sprintf "s%d" (i mod 4)));
+          (if i mod 4 = 2 then nv else bv (i mod 2 = 0));
+          (match i mod 3 with 0 -> iv i | 1 -> sv "mix" | _ -> nv) ])
+
+let awkward_schema = Schema.of_names [ "i"; "f"; "s"; "b"; "m" ]
+
+let check_same_rows msg (expected : Row.t array) (actual : Row.t array) =
+  Alcotest.(check int) (msg ^ ": length") (Array.length expected) (Array.length actual);
+  Array.iteri
+    (fun r erow ->
+      Array.iteri
+        (fun c ev ->
+          if not (Value.equal_total ev actual.(r).(c)) then
+            Alcotest.failf "%s: row %d col %d: expected %s, got %s" msg r c
+              (Value.to_string ev)
+              (Value.to_string actual.(r).(c)))
+        erow)
+    expected
+
+let suite =
+  [ t "roundtrip is lossless and order-preserving" (fun () ->
+        let rows = Array.of_list awkward_rows in
+        List.iter
+          (fun bs ->
+            let cs = Column.Cstore.of_rows ~block_size:bs awkward_schema rows in
+            check_same_rows
+              (Printf.sprintf "block_size=%d" bs)
+              rows (Column.Cstore.to_rows cs))
+          [ 1; 4; 7; 23; 100 ]);
+    t "empty relation roundtrips" (fun () ->
+        let cs = Column.Cstore.of_rows awkward_schema [||] in
+        Alcotest.(check int) "length" 0 (Column.Cstore.length cs);
+        Alcotest.(check int) "rows" 0 (Array.length (Column.Cstore.to_rows cs)));
+    t "block sizing" (fun () ->
+        let rows = Array.of_list awkward_rows in
+        let cs = Column.Cstore.of_rows ~block_size:7 awkward_schema rows in
+        (* 23 rows at 7 per block: 7 + 7 + 7 + 2 *)
+        Alcotest.(check int) "nblocks" 4 (Column.Cstore.nblocks cs);
+        Alcotest.(check int) "last block"
+          2 (Column.Cstore.block cs 3).Column.Cstore.length;
+        Alcotest.(check int) "total" 23 (Column.Cstore.length cs));
+    t "value_at and row_of agree with to_rows" (fun () ->
+        let rows = Array.of_list awkward_rows in
+        let cs = Column.Cstore.of_rows ~block_size:5 awkward_schema rows in
+        let r = ref 0 in
+        Column.Cstore.iter_blocks
+          (fun (b : Column.Cstore.block) ->
+            for k = 0 to b.Column.Cstore.length - 1 do
+              let expected = rows.(!r) in
+              check_same_rows "row_of" [| expected |]
+                [| Column.Cstore.row_of cs b k |];
+              Array.iteri
+                (fun c ev ->
+                  if not (Value.equal_total ev (Column.Cstore.value_at cs b c k))
+                  then Alcotest.failf "value_at row %d col %d" !r c)
+                expected;
+              incr r
+            done)
+          cs;
+        Alcotest.(check int) "visited all" (Array.length rows) !r);
+    t "iter_col visits one column in order" (fun () ->
+        let rows = Array.of_list awkward_rows in
+        let cs = Column.Cstore.of_rows ~block_size:4 awkward_schema rows in
+        let seen = ref [] in
+        Column.Cstore.iter_col cs 2 (fun v -> seen := v :: !seen);
+        let got = Array.of_list (List.rev !seen) in
+        check_same_rows "col 2"
+          (Array.map (fun r -> [| r.(2) |]) rows)
+          (Array.map (fun v -> [| v |]) got));
+    t "string columns are dictionary-coded" (fun () ->
+        let rows =
+          Array.init 20 (fun i -> [| sv (Printf.sprintf "v%d" (i mod 3)) |])
+        in
+        let cs = Column.Cstore.of_rows ~block_size:8 (Schema.of_names [ "s" ]) rows in
+        (match Column.Cstore.dict cs 0 with
+         | None -> Alcotest.fail "expected a dictionary"
+         | Some d ->
+           Alcotest.(check int) "distinct" 3 (Column.Dict.size d);
+           Alcotest.(check (option int)) "absent string" None
+             (Column.Dict.find_opt d "nope");
+           (match Column.Dict.find_opt d "v1" with
+            | Some c -> Alcotest.(check string) "code roundtrip" "v1" (Column.Dict.get d c)
+            | None -> Alcotest.fail "v1 not interned"));
+        (* every block of the column should use the dictionary encoding *)
+        Column.Cstore.iter_blocks
+          (fun (b : Column.Cstore.block) ->
+            match b.Column.Cstore.cols.(0) with
+            | Column.Cstore.C_dict _ -> ()
+            | _ -> Alcotest.fail "expected C_dict block")
+          cs);
+    t "zone maps summarize each block" (fun () ->
+        let rows = Array.init 10 (fun i -> [| iv i |]) in
+        let cs = Column.Cstore.of_rows ~block_size:5 (Schema.of_names [ "x" ]) rows in
+        let b0 = Column.Cstore.block cs 0 and b1 = Column.Cstore.block cs 1 in
+        let z0 = b0.Column.Cstore.zmaps.(0) and z1 = b1.Column.Cstore.zmaps.(0) in
+        Alcotest.(check string) "block 0" "[0, 4] nulls=0/5" (Column.Zmap.to_string z0);
+        Alcotest.(check string) "block 1" "[5, 9] nulls=0/5" (Column.Zmap.to_string z1);
+        let z = Column.Cstore.col_zmap cs 0 in
+        Alcotest.(check string) "merged" "[0, 9] nulls=0/10" (Column.Zmap.to_string z));
+    t "zone map min/max ignore nulls" (fun () ->
+        let z =
+          List.fold_left Column.Zmap.observe Column.Zmap.empty
+            [ nv; iv 3; nv; iv 7; nv ]
+        in
+        Alcotest.(check string) "summary" "[3, 7] nulls=3/5" (Column.Zmap.to_string z));
+    t "may_match interval logic" (fun () ->
+        let z =
+          List.fold_left Column.Zmap.observe Column.Zmap.empty [ iv 10; iv 20 ]
+        in
+        let check op v expected =
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s" (Value.to_string v)
+               (match op with
+                | Column.Zmap.Eq -> "=" | Ne -> "<>" | Lt -> "<"
+                | Le -> "<=" | Gt -> ">" | Ge -> ">="))
+            expected
+            (Column.Zmap.may_match z op v)
+        in
+        check Column.Zmap.Eq (iv 15) true;
+        check Column.Zmap.Eq (iv 10) true;
+        check Column.Zmap.Eq (iv 9) false;
+        check Column.Zmap.Eq (iv 21) false;
+        (* row < 10 is impossible when min = 10 *)
+        check Column.Zmap.Lt (iv 10) false;
+        check Column.Zmap.Lt (iv 11) true;
+        check Column.Zmap.Le (iv 10) true;
+        check Column.Zmap.Le (iv 9) false;
+        (* row > 20 is impossible when max = 20 *)
+        check Column.Zmap.Gt (iv 20) false;
+        check Column.Zmap.Gt (iv 19) true;
+        check Column.Zmap.Ge (iv 20) true;
+        check Column.Zmap.Ge (iv 21) false;
+        check Column.Zmap.Ne (iv 15) true;
+        (* numeric comparison crosses representations *)
+        check Column.Zmap.Eq (fv 15.0) true;
+        check Column.Zmap.Gt (fv 20.5) false);
+    t "may_match NULL semantics" (fun () ->
+        let z =
+          List.fold_left Column.Zmap.observe Column.Zmap.empty [ iv 1; iv 2 ]
+        in
+        (* comparisons against a NULL constant are false for every row *)
+        Alcotest.(check bool) "null probe" false
+          (Column.Zmap.may_match z Column.Zmap.Eq nv);
+        (* an all-null block has no row that satisfies any comparison *)
+        let all_null =
+          List.fold_left Column.Zmap.observe Column.Zmap.empty [ nv; nv ]
+        in
+        Alcotest.(check bool) "all-null block" false
+          (Column.Zmap.may_match all_null Column.Zmap.Ge (iv 0));
+        (* nulls inside a block don't widen the range *)
+        let with_nulls =
+          List.fold_left Column.Zmap.observe Column.Zmap.empty [ nv; iv 5; nv ]
+        in
+        Alcotest.(check bool) "nulls don't match Lt" false
+          (Column.Zmap.may_match with_nulls Column.Zmap.Lt (iv 5)));
+    t "may_match Ne skips single-value blocks" (fun () ->
+        let z = List.fold_left Column.Zmap.observe Column.Zmap.empty [ iv 7; iv 7 ] in
+        Alcotest.(check bool) "all equal" false
+          (Column.Zmap.may_match z Column.Zmap.Ne (iv 7));
+        Alcotest.(check bool) "different constant" true
+          (Column.Zmap.may_match z Column.Zmap.Ne (iv 8)));
+    t "block-skipping select agrees with row scan and skips" (fun () ->
+        let n = 4000 in
+        let schema = Schema.of_names [ "id"; "grp" ] in
+        let rows = Array.init n (fun i -> [| iv i; iv (i mod 13) |]) in
+        let col_rel =
+          Relation.of_cstore (Column.Cstore.of_rows ~block_size:256 schema rows)
+        in
+        let row_rel = Relation.make schema rows in
+        let pred lo hi =
+          Expr.And
+            ( Expr.Cmp (Expr.Ge, Expr.col "id", Expr.int lo),
+              Expr.Cmp (Expr.Lt, Expr.col "id", Expr.int hi) )
+        in
+        Colscan.reset_counters ();
+        let p = pred 1000 1100 in
+        check_bag "selective window" (Ops.select p row_rel) (Ops.select p col_rel);
+        let skipped, scanned = Colscan.counters () in
+        Alcotest.(check bool) "skipped some blocks" true (skipped > 0);
+        Alcotest.(check bool) "scanned the window" true (scanned >= 1);
+        Alcotest.(check int) "accounted every block"
+          (4000 / 256 + 1) (skipped + scanned);
+        (* a predicate the zone probes can't cover falls back to the row
+           predicate per block, still correct *)
+        let fancy =
+          Expr.Cmp
+            ( Expr.Eq,
+              Expr.Binop (Expr.Mul, Expr.col "grp", Expr.int 2),
+              Expr.int 6 )
+        in
+        check_bag "generic fallback" (Ops.select fancy row_rel)
+          (Ops.select fancy col_rel);
+        (* dictionary equality fast path, including an absent constant *)
+        let srows = Array.init 100 (fun i -> [| sv (if i mod 2 = 0 then "a" else "b") |]) in
+        let sschema = Schema.of_names [ "s" ] in
+        let scol = Relation.of_cstore (Column.Cstore.of_rows ~block_size:16 sschema srows) in
+        let srow = Relation.make sschema srows in
+        List.iter
+          (fun c ->
+            let p = Expr.Cmp (Expr.Eq, Expr.col "s", Expr.Const (sv c)) in
+            check_bag ("dict eq " ^ c) (Ops.select p srow) (Ops.select p scol);
+            let p = Expr.Cmp (Expr.Ne, Expr.col "s", Expr.Const (sv c)) in
+            check_bag ("dict ne " ^ c) (Ops.select p srow) (Ops.select p scol))
+          [ "a"; "b"; "absent" ]);
+    t "approx_bytes is layout-aware" (fun () ->
+        let n = 10_000 in
+        let schema = Schema.of_names [ "x" ] in
+        let rows = Array.init n (fun i -> [| iv i |]) in
+        let row_rel = Relation.make schema rows in
+        let col_rel = Relation.to_layout `Column row_rel in
+        let rb = Relation.approx_bytes row_rel
+        and cb = Relation.approx_bytes col_rel in
+        Alcotest.(check bool) "row footprint counts boxes" true (rb > n * 8);
+        (* unboxed int vectors: well under the boxed-row figure *)
+        Alcotest.(check bool) "columnar footprint smaller" true (cb < rb);
+        Alcotest.(check bool) "columnar footprint sane" true (cb >= n * 8));
+    t "to_layout converts and preserves the bag" (fun () ->
+        let rel = rel [ "a"; "b" ] [ [ iv 1; sv "x" ]; [ iv 2; sv "y" ]; [ iv 1; sv "x" ] ] in
+        let col = Relation.to_layout `Column rel in
+        Alcotest.(check bool) "column primary" true (Relation.layout col = `Column);
+        check_bag "same bag" rel col;
+        let back = Relation.to_layout `Row col in
+        Alcotest.(check bool) "row primary" true (Relation.layout back = `Row);
+        check_bag "same bag back" rel back) ]

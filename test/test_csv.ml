@@ -15,7 +15,7 @@ let suite =
         check_rows "escaped" (rel [ "a" ] [ [ sv "he said \"hi\"" ] ]) r);
     t "empty fields become null" (fun () ->
         let r = Csv.parse_string "a,b\n1,\n" in
-        Alcotest.(check bool) "null" true (Value.is_null r.Relation.rows.(0).(1)));
+        Alcotest.(check bool) "null" true (Value.is_null (Relation.rows r).(0).(1)));
     t "blank trailing lines skipped" (fun () ->
         let r = Csv.parse_string "a\n1\n\n\n" in
         Alcotest.(check int) "rows" 1 (Relation.cardinality r));
@@ -35,4 +35,47 @@ let suite =
         Csv.save path original;
         let r = Csv.load path in
         Sys.remove path;
-        check_bag "file roundtrip" original r) ]
+        check_bag "file roundtrip" original r);
+    t "mixed int/float columns promote to float" (fun () ->
+        (* a column mixing 1 and 2.5 must come back all-Float, so columnar
+           blocks stay unboxed — and identically so in both layouts *)
+        let text = "a,b\n1,1\n2.5,2\n,3\n" in
+        let expect =
+          rel [ "a"; "b" ]
+            [ [ fv 1.0; iv 1 ]; [ fv 2.5; iv 2 ]; [ Value.Null; iv 3 ] ]
+        in
+        List.iter
+          (fun layout ->
+            let r = Csv.parse_string ~layout text in
+            check_bag "promoted" expect r;
+            (* exact representation, not just numeric equality *)
+            Array.iter
+              (fun row ->
+                match row.(0) with
+                | Value.Float _ | Value.Null -> ()
+                | v ->
+                  Alcotest.failf "expected Float/Null in col a, got %s"
+                    (Value.to_string v))
+              (Relation.rows r);
+            (* the all-int column must NOT be promoted *)
+            Array.iter
+              (fun row ->
+                match row.(1) with
+                | Value.Int _ -> ()
+                | v ->
+                  Alcotest.failf "expected Int in col b, got %s" (Value.to_string v))
+              (Relation.rows r))
+          [ `Row; `Column ]);
+    t "columnar layout parses edge cases identically" (fun () ->
+        let text = "a,b,c\n\"x,y\",1,\n\"he said \"\"hi\"\"\",2,w\n,3,z\n" in
+        let r = Csv.parse_string ~layout:`Row text in
+        let c = Csv.parse_string ~layout:`Column text in
+        Alcotest.(check bool) "column primary" true (Relation.layout c = `Column);
+        check_bag "layouts agree" r c;
+        (* trailing empty field really is Null in the columnar store *)
+        let cs = Relation.cstore c in
+        let nulls = ref 0 in
+        Column.Cstore.iter_col cs 2 (fun v -> if Value.is_null v then incr nulls);
+        Alcotest.(check int) "nulls in c" 1 !nulls;
+        Alcotest.(check int) "nulls via zone map" 1
+          (Column.Cstore.col_zmap cs 2).Column.Zmap.nulls) ]

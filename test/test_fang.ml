@@ -81,9 +81,9 @@ let unit_tests =
           Ops.nl_join
             ~pred:(Expr.Cmp (Expr.Eq, Expr.col ~q:"i1" "bid", Expr.col ~q:"i2" "bid"))
             (Relation.make (Schema.requalify "i1" tbl.Catalog.rel.Relation.schema)
-               tbl.Catalog.rel.Relation.rows)
+               (Relation.rows tbl.Catalog.rel))
             (Relation.make (Schema.requalify "i2" tbl.Catalog.rel.Relation.schema)
-               tbl.Catalog.rel.Relation.rows)
+               (Relation.rows tbl.Catalog.rel))
         in
         let item1 = Schema.index_of joined.Relation.schema ~q:"i1" "item" in
         let item2 = Schema.index_of joined.Relation.schema ~q:"i2" "item" in

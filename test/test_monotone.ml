@@ -101,7 +101,7 @@ let semantic_props =
     let e = Sqlfront.Binder.pred_expr (Relalg.Catalog.create ()) p' in
     match values with
     | [] -> false (* empty groups do not arise *)
-    | _ -> Expr.eval_bool grouped.Relation.schema grouped.Relation.rows.(0) e
+    | _ -> Expr.eval_bool grouped.Relation.schema (Relation.rows grouped).(0) e
   in
   let conditions =
     [ "COUNT(*) >= 3"; "COUNT(*) <= 3"; "SUM(a) >= 10"; "SUM(a) <= 10";
