@@ -36,6 +36,19 @@ let layout : [ `Row | `Column ] ref =
 
 let layout_name () = match !layout with `Row -> "row" | `Column -> "column"
 
+(* --no-vector (or SI_VECTOR=0) disables the vectorized NLJP inner loop,
+   so row-vs-vectorized ablations can run from the same binary. *)
+let vector_on =
+  ref (match Sys.getenv_opt "SI_VECTOR" with Some "0" -> false | _ -> true)
+
+let nljp_cfg () =
+  { Core.Nljp.default_config with Core.Nljp.vector = !vector_on }
+
+(* Smart-path runner honoring the bench-wide vector switch. *)
+let run_smart ?tech ?workers ?memo_strategy ?adaptive_apriori catalog q =
+  Core.Runner.run ?tech ~nljp_config:(nljp_cfg ()) ?workers ?memo_strategy
+    ?adaptive_apriori catalog q
+
 (* ---- machine-readable results (--json FILE) ---- *)
 
 type json_row = {
@@ -46,12 +59,14 @@ type json_row = {
   j_ms_raw : float;
   j_ms_scaled : float;
   j_cache_bytes : int;
+  j_blocks_skipped : int;
 }
 
 let json_path = ref None
 let json_rows : json_row list ref = ref []
 
-let record ?(workers = 1) ?(cache_bytes = 0) ?ms_scaled ~technique name ms_raw =
+let record ?(workers = 1) ?(cache_bytes = 0) ?(blocks_skipped = 0) ?ms_scaled
+    ~technique name ms_raw =
   json_rows :=
     {
       j_name = name;
@@ -61,6 +76,7 @@ let record ?(workers = 1) ?(cache_bytes = 0) ?ms_scaled ~technique name ms_raw =
       j_ms_raw = ms_raw;
       j_ms_scaled = Option.value ms_scaled ~default:ms_raw;
       j_cache_bytes = cache_bytes;
+      j_blocks_skipped = blocks_skipped;
     }
     :: !json_rows
 
@@ -71,9 +87,10 @@ let write_json path =
     (fun i r ->
       Printf.fprintf oc
         "  {\"name\": %S, \"technique\": %S, \"workers\": %d, \"layout\": %S, \
-         \"ms_raw\": %.3f, \"ms_scaled\": %.3f, \"cache_bytes\": %d}%s\n"
+         \"ms_raw\": %.3f, \"ms_scaled\": %.3f, \"cache_bytes\": %d, \
+         \"blocks_skipped\": %d}%s\n"
         r.j_name r.j_technique r.j_workers r.j_layout r.j_ms_raw r.j_ms_scaled
-        r.j_cache_bytes
+        r.j_cache_bytes r.j_blocks_skipped
         (if i = List.length !json_rows - 1 then "" else ","))
     (List.rev !json_rows);
   output_string oc "]\n";
@@ -163,7 +180,7 @@ let fig1_measure catalog (qname, sql) =
   let tech_t =
     List.map
       (fun (tname, tech) ->
-        let (r, rep), t = time (fun () -> Core.Runner.run ~tech catalog q) in
+        let (r, rep), t = time (fun () -> run_smart ~tech catalog q) in
         check_equal (qname ^ "/" ^ tname) base r;
         if tname = "all" then all_report := Some rep;
         record ~technique:tname ~cache_bytes:(Core.Runner.cache_bytes rep) qname
@@ -248,7 +265,7 @@ let fig2 () =
       let corr = pearson xs ys in
       let k = max 1 (500 * total / 300000) in
       let q = Sqlfront.Parser.parse (Workload.Queries.skyband ~a:(x, y) ~k ()) in
-      let result, _ = Core.Runner.run catalog q in
+      let result, _ = run_smart catalog q in
       Printf.printf
         "pairing (%-5s, %-5s): pearson %+.2f; skyband k=%d returns %5d rows = %.1f%% of records\n"
         x y corr k
@@ -294,7 +311,7 @@ let fig4 () =
       let catalog = baseball_catalog ~bt ~rows:!rows () in
       let base, base_t = time (fun () -> run_base catalog q) in
       let nljp_config =
-        { Core.Nljp.default_config with Core.Nljp.inner_index = bt; cache_index = ci }
+        { (nljp_cfg ()) with Core.Nljp.inner_index = bt; cache_index = ci }
       in
       let run_tech tech =
         let (r, _), t = time (fun () -> Core.Runner.run ~tech ~nljp_config catalog q) in
@@ -318,7 +335,7 @@ let fig4 () =
   let q_cplx = Sqlfront.Parser.parse (Workload.Queries.complex ~threshold:(max 5 (rows_kv / 100))) in
   let run_ci ci =
     let nljp_config =
-      { Core.Nljp.default_config with Core.Nljp.memo = false; cache_index = ci }
+      { (nljp_cfg ()) with Core.Nljp.memo = false; cache_index = ci }
     in
     let (_, rep), t =
       time (fun () ->
@@ -356,7 +373,7 @@ let fig5 () =
       let q = Sqlfront.Parser.parse (Workload.Queries.skyband ~k ()) in
       let base, base_t = time (fun () -> run_base catalog q) in
       let _, vendor_raw_t, vendor_t = time_vendor catalog q in
-      let (r, _), smart_t = time (fun () -> Core.Runner.run catalog q) in
+      let (r, _), smart_t = time (fun () -> run_smart catalog q) in
       check_equal "fig5" base r;
       sweep_row (Printf.sprintf "k=%d" k) base_t vendor_raw_t vendor_t smart_t)
     (* the last two thresholds scale with the input so the query stops being
@@ -377,8 +394,8 @@ let fig6 () =
       let base, base_t = time (fun () -> run_base catalog q) in
       let _, vendor_raw_t, vendor_t = time_vendor catalog q in
       let paper_tech = { Core.Optimizer.no_techniques with memo = true; pruning = true } in
-      let (r, _), smart_t = time (fun () -> Core.Runner.run ~tech:paper_tech catalog q) in
-      let (r2, _), full_t = time (fun () -> Core.Runner.run catalog q) in
+      let (r, _), smart_t = time (fun () -> run_smart ~tech:paper_tech catalog q) in
+      let (r2, _), full_t = time (fun () -> run_smart catalog q) in
       check_equal "fig6" base r;
       check_equal "fig6/full" base r2;
       sweep_row (Printf.sprintf "c=%d" threshold) base_t vendor_raw_t vendor_t smart_t;
@@ -395,7 +412,7 @@ let fig7 () =
       let q = Sqlfront.Parser.parse (Workload.Queries.skyband ~k:50 ()) in
       let base, base_t = time (fun () -> run_base catalog q) in
       let _, vendor_raw_t, vendor_t = time_vendor catalog q in
-      let (r, _), smart_t = time (fun () -> Core.Runner.run catalog q) in
+      let (r, _), smart_t = time (fun () -> run_smart catalog q) in
       check_equal "fig7" base r;
       sweep_row (string_of_int n) base_t vendor_raw_t vendor_t smart_t)
     [ !rows / 4; !rows / 2; !rows; !rows * 2 ];
@@ -413,7 +430,7 @@ let fig8 () =
       let base, base_t = time (fun () -> run_base catalog q) in
       let _, vendor_raw_t, vendor_t = time_vendor catalog q in
       let paper_tech = { Core.Optimizer.no_techniques with memo = true; pruning = true } in
-      let (r, _), smart_t = time (fun () -> Core.Runner.run ~tech:paper_tech catalog q) in
+      let (r, _), smart_t = time (fun () -> run_smart ~tech:paper_tech catalog q) in
       check_equal "fig8" base r;
       sweep_row (string_of_int n) base_t vendor_raw_t vendor_t smart_t)
     [ !rows / 8; !rows / 4; !rows / 2; !rows ];
@@ -434,7 +451,7 @@ let plans () =
      %d domains (its Parallelism / Gather Streams nodes).\n\n"
     vendor_workers;
   Printf.printf "Smart-Iceberg NLJP decomposition for the same query (cf. Listing 7):\n";
-  let _, report = Core.Runner.run catalog q in
+  let _, report = run_smart catalog q in
   (match report.Core.Runner.nljp_describe with
    | Some d -> print_string d
    | None -> print_endline "(NLJP not applied)");
@@ -453,7 +470,7 @@ let ablate () =
   List.iter
     (fun (label, order) ->
       let nljp_config =
-        { Core.Nljp.default_config with Core.Nljp.memo = false; outer_order = order }
+        { (nljp_cfg ()) with Core.Nljp.memo = false; outer_order = order }
       in
       let (_, rep), t =
         time (fun () ->
@@ -471,7 +488,7 @@ let ablate () =
   List.iter
     (fun cap ->
       let nljp_config =
-        { Core.Nljp.default_config with Core.Nljp.max_cache_rows = cap }
+        { (nljp_cfg ()) with Core.Nljp.max_cache_rows = cap }
       in
       let (_, rep), t = time (fun () -> Core.Runner.run ~nljp_config catalog q) in
       let stats = Option.get rep.Core.Runner.nljp_stats in
@@ -484,11 +501,11 @@ let ablate () =
   (* Memoization strategy: NLJP cache vs Listing 8 static rewrite *)
   Printf.printf "\nMemoization strategy (memo only):\n";
   let (r1, _), t_nljp =
-    time (fun () -> Core.Runner.run ~tech:(Core.Optimizer.only `Memo) catalog q)
+    time (fun () -> run_smart ~tech:(Core.Optimizer.only `Memo) catalog q)
   in
   let (r2, _), t_static =
     time (fun () ->
-        Core.Runner.run ~tech:(Core.Optimizer.only `Memo)
+        run_smart ~tech:(Core.Optimizer.only `Memo)
           ~memo_strategy:`Static_rewrite catalog q)
   in
   check_equal "ablate/memo-strategy" r1 r2;
@@ -502,11 +519,11 @@ let ablate () =
     (fun c ->
       let qp = Sqlfront.Parser.parse (Workload.Queries.pairs ~c ~k:50 ()) in
       let (_, rep_off), t_off =
-        time (fun () -> Core.Runner.run ~tech:(Core.Optimizer.only `Apriori) catalog qp)
+        time (fun () -> run_smart ~tech:(Core.Optimizer.only `Apriori) catalog qp)
       in
       let (_, rep_on), t_on =
         time (fun () ->
-            Core.Runner.run ~tech:(Core.Optimizer.only `Apriori) ~adaptive_apriori:true
+            run_smart ~tech:(Core.Optimizer.only `Apriori) ~adaptive_apriori:true
               catalog qp)
       in
       let applied rep =
@@ -630,7 +647,7 @@ let micro () =
   let pred_rel = (Catalog.find bb Workload.Baseball.table_name).Catalog.rel in
   let compiled_pred = Compile.pred pred_schema heavy_pred in
   let smart catalog sql () =
-    ignore (Core.Runner.run catalog (Sqlfront.Parser.parse sql))
+    ignore (run_smart catalog (Sqlfront.Parser.parse sql))
   in
   let tests =
     [ Test.make ~name:"fig1_q1_all"
@@ -640,13 +657,13 @@ let micro () =
       Test.make ~name:"fig3_cache_accounting"
         (Staged.stage (fun () ->
              let _, rep =
-               Core.Runner.run bb
+               run_smart bb
                  (Sqlfront.Parser.parse (Workload.Queries.skyband ~k:25 ()))
              in
              ignore (Core.Runner.cache_bytes rep)));
       Test.make ~name:"fig4_q1_no_ci"
         (Staged.stage (fun () ->
-             let cfg = { Core.Nljp.default_config with Core.Nljp.cache_index = false } in
+             let cfg = { (nljp_cfg ()) with Core.Nljp.cache_index = false } in
              ignore
                (Core.Runner.run ~nljp_config:cfg bb
                   (Sqlfront.Parser.parse (List.assoc "Q1" Workload.Queries.figure1)))));
@@ -712,9 +729,9 @@ let par () =
   List.iter
     (fun (name, catalog, sql) ->
       let q = Sqlfront.Parser.parse sql in
-      let (seq, _), seq_t = time (fun () -> Core.Runner.run catalog q) in
+      let (seq, _), seq_t = time (fun () -> run_smart catalog q) in
       let (par, _), par_t =
-        time (fun () -> Core.Runner.run ~workers:!par_workers catalog q)
+        time (fun () -> run_smart ~workers:!par_workers catalog q)
       in
       let ok = Relation.equal_bag seq par in
       if not ok then
@@ -814,7 +831,7 @@ let col () =
       let timed l =
         layout := l;
         let catalog = build () in
-        let (r, _), t = time (fun () -> Core.Runner.run catalog q) in
+        let (r, _), t = time (fun () -> run_smart catalog q) in
         record ~technique:"all" ("layout_" ^ name) (t *. 1000.);
         (r, t)
       in
@@ -833,6 +850,102 @@ let col () =
        Workload.Queries.pairs ~c:3 ~k:50 ());
       ("basket_listing1", basket_catalog,
        Workload.Queries.listing1 ~threshold:(max 5 (!rows / 120))) ]
+
+(* ---- vectorized NLJP inner loop: row-at-a-time vs typed kernels ---- *)
+
+let vec () =
+  Printf.printf
+    "=== Vectorized NLJP inner loop: zone-map skipping + typed kernels ===\n";
+  Printf.printf
+    "(clustered inner key; each binding is a selective [lo, hi] window whose\n\
+    \ parameterized zone probes refute most blocks before any row is touched;\n\
+    \ surviving blocks aggregate through unboxed COUNT/SUM kernels)\n\n";
+  let n = max 50_000 !rows in
+  let ev_schema = Schema.of_names [ "k"; "x" ] in
+  let ev_rows =
+    Array.init n (fun i ->
+        [| Value.Int i; Value.Float (float_of_int (i * 7 mod 1000) /. 10.) |])
+  in
+  let width = 1500 in
+  let probe_schema = Schema.of_names [ "id"; "lo"; "hi" ] in
+  let probe_rows =
+    (* 120 distinct windows, each bound twice: the repeats land as memo hits
+       in every leg, so the legs differ only in the inner loop itself. *)
+    Array.init 240 (fun j ->
+        let lo = j / 2 * 6131 mod (n - width) in
+        [| Value.Int j; Value.Int lo; Value.Int (lo + width) |])
+  in
+  let mk lay =
+    let catalog = Catalog.create () in
+    Catalog.add_table catalog "ev" (Relation.make ev_schema ev_rows);
+    Catalog.add_table catalog ~keys:[ [ "id" ] ] "probe"
+      (Relation.make probe_schema probe_rows);
+    if lay = `Column then Catalog.set_all_layouts catalog `Column;
+    catalog
+  in
+  let sql =
+    "SELECT L.id, COUNT(*), SUM(R.x) FROM probe L, ev R WHERE R.k >= L.lo \
+     AND R.k <= L.hi GROUP BY L.id HAVING COUNT(*) >= 1"
+  in
+  let q = Sqlfront.Parser.parse sql in
+  let reps = 5 in
+  let saved_layout = !layout in
+  let leg lay vector bt =
+    layout := lay;
+    let catalog = mk lay in
+    let cfg =
+      { (nljp_cfg ()) with Core.Nljp.vector = vector; inner_index = bt }
+    in
+    let out = ref None in
+    let (), t =
+      time (fun () ->
+          for _ = 1 to reps do
+            out := Some (Core.Runner.run ~nljp_config:cfg catalog q)
+          done)
+    in
+    let r, rep = Option.get !out in
+    (r, rep, t /. float_of_int reps)
+  in
+  let r_rowbt, _, t_rowbt = leg `Row true true in
+  let r_colbt, _, t_colbt = leg `Column false true in
+  let r_scan, _, t_scan = leg `Column false false in
+  let r_vec, rep_vec, t_vec = leg `Column true true in
+  check_equal "vec/col+bt" r_rowbt r_colbt;
+  check_equal "vec/col+scan" r_rowbt r_scan;
+  check_equal "vec/col+vec" r_rowbt r_vec;
+  let vector_engaged, vevals, skipped, scanned =
+    match rep_vec.Core.Runner.nljp_stats with
+    | Some s ->
+      ( s.Core.Nljp.vector_on, s.Core.Nljp.vector_evals,
+        s.Core.Nljp.inner_blocks_skipped, s.Core.Nljp.inner_blocks_scanned )
+    | None -> (false, 0, 0, 0)
+  in
+  Printf.printf
+    "inner rows=%d, outer bindings=%d (120 distinct windows of %d keys), %d reps\n\n"
+    n (Array.length probe_rows) width reps;
+  Printf.printf "%-34s %10s\n" "inner path" "per run";
+  Printf.printf "%-34s %8.3fs\n" "row layout, sorted index" t_rowbt;
+  Printf.printf "%-34s %8.3fs\n" "column, row-at-a-time + index" t_colbt;
+  Printf.printf "%-34s %8.3fs\n" "column, row-at-a-time full scan" t_scan;
+  Printf.printf "%-34s %8.3fs  (evals=%d, blocks skipped=%d scanned=%d)\n\n"
+    "column, vectorized kernels" t_vec vevals skipped scanned;
+  Printf.printf
+    "vectorized vs row-at-a-time scan %.1fx; vs sorted-index row path %.1fx\n\n"
+    (t_scan /. t_vec) (t_colbt /. t_vec);
+  record ~technique:"rowpath" "vec_inner" (t_scan *. 1000.);
+  record ~technique:"rowpath+bt" "vec_inner" (t_colbt *. 1000.);
+  record ~technique:"vector" ~blocks_skipped:skipped "vec_inner" (t_vec *. 1000.);
+  layout := saved_layout;
+  if not vector_engaged then
+    Printf.printf "!! vectorized path did not engage — investigate\n%!";
+  if skipped = 0 then
+    Printf.printf
+      "!! expected per-binding zone probes to skip blocks — investigate\n%!";
+  if t_scan < 3. *. t_vec then
+    Printf.printf
+      "!! vectorized speedup over the row-at-a-time inner loop below 3x \
+       (%.1fx) — investigate\n%!"
+      (t_scan /. t_vec)
 
 (* ---- driver ---- *)
 
@@ -856,6 +969,9 @@ let () =
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse_args rest
+    | "--no-vector" :: rest ->
+      vector_on := false;
+      parse_args rest
     | x :: rest -> x :: parse_args rest
   in
   let targets = parse_args args in
@@ -875,5 +991,6 @@ let () =
   if want "fang" then fang ();
   if want "par" then par ();
   if want "col" then col ();
+  if want "vec" then vec ();
   if want "micro" then micro ();
   match !json_path with Some path -> write_json path | None -> ()

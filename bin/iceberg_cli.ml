@@ -78,14 +78,19 @@ let tech_of_string = function
 
 (* ---- commands ---- *)
 
-let run_cmd tables synth rows layout tech workers verbose max_rows sql =
+let run_cmd tables synth rows layout tech workers no_vector verbose max_rows sql =
   let catalog = setup tables synth rows layout in
   let q = Sqlfront.Parser.parse sql in
+  let nljp_config =
+    { Core.Nljp.default_config with Core.Nljp.vector = not no_vector }
+  in
   let t0 = Unix.gettimeofday () in
   let result, report =
     if tech = "none" then (Core.Runner.run_baseline ~workers catalog q, None)
     else
-      let r, rep = Core.Runner.run ~tech:(tech_of_string tech) ~workers catalog q in
+      let r, rep =
+        Core.Runner.run ~tech:(tech_of_string tech) ~nljp_config ~workers catalog q
+      in
       (r, Some rep)
   in
   let elapsed = Unix.gettimeofday () -. t0 in
@@ -192,6 +197,15 @@ let workers_arg =
               parallelizes the baseline joins the same way). Results are \
               identical to sequential execution.")
 
+let no_vector_arg =
+  Arg.(
+    value & flag
+    & info [ "no-vector" ]
+        ~doc:"Disable the vectorized NLJP inner loop (per-binding zone-map \
+              block skipping + typed aggregation kernels over columnar \
+              inner sides); the row-at-a-time inner path runs instead. \
+              Mainly for ablation.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Show optimizer decisions.")
 
@@ -204,7 +218,7 @@ let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run an iceberg query")
     Term.(
       const run_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg $ tech_arg
-      $ workers_arg $ verbose_arg $ max_rows_arg $ sql_arg)
+      $ workers_arg $ no_vector_arg $ verbose_arg $ max_rows_arg $ sql_arg)
 
 let explain_t =
   Cmd.v (Cmd.info "explain" ~doc:"Show the baseline plan and optimizer decisions")

@@ -181,6 +181,32 @@ let to_rows t : Row.t array =
 
 let iter_blocks f t = Array.iter f t.blocks
 
+(* ---- selection vectors ----
+
+   A selection vector is a prefix of an [int array] holding the in-block
+   row indices that survive the predicates applied so far, in row order.
+   Kernels compile to (fill; refine; refine; …) pipelines over it. *)
+
+let sel_all (b : block) sel =
+  for i = 0 to b.length - 1 do
+    sel.(i) <- i
+  done;
+  b.length
+
+let sel_refine sel n test =
+  let kept = ref 0 in
+  for k = 0 to n - 1 do
+    let i = sel.(k) in
+    if test i then begin
+      sel.(!kept) <- i;
+      incr kept
+    end
+  done;
+  !kept
+
+let max_block_length t =
+  Array.fold_left (fun acc (b : block) -> max acc b.length) 0 t.blocks
+
 let iter_col t ci f =
   Array.iter
     (fun (b : block) ->

@@ -43,6 +43,18 @@ val row_of : t -> block -> int -> Row.t
 val block_rows : t -> block -> Row.t array
 val to_rows : t -> Row.t array
 val iter_blocks : (block -> unit) -> t -> unit
+
+(** Selection vectors: a prefix of [sel] holds surviving in-block row
+    indices in row order.  [sel_all b sel] fills the identity selection and
+    returns the block length; [sel_refine sel n test] compacts the first [n]
+    entries in place, keeping those satisfying [test], and returns the new
+    count.  [sel] must be at least [max_block_length] long. *)
+val sel_all : block -> int array -> int
+
+val sel_refine : int array -> int -> (int -> bool) -> int
+
+(** Largest block length (scratch sizing for selection vectors). *)
+val max_block_length : t -> int
 val iter_col : t -> int -> (Value.t -> unit) -> unit
 
 (** Union of a column's per-block zone maps (table-level min/max/nulls). *)

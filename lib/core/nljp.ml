@@ -6,6 +6,7 @@ type config = {
   memo : bool;
   cache_index : bool;
   inner_index : bool;
+  vector : bool;
   outer_order : [ `Default | `Auto | `Asc of int | `Desc of int ];
   max_cache_rows : int option;
   workers : int;
@@ -17,6 +18,7 @@ let default_config =
     memo = true;
     cache_index = true;
     inner_index = true;
+    vector = true;
     outer_order = `Default;
     max_cache_rows = None;
     workers = 1;
@@ -32,6 +34,10 @@ type stats = {
   mutable cache_bytes : int;
   mutable pruning_on : bool;
   mutable memo_on : bool;
+  mutable vector_on : bool;
+  mutable vector_evals : int;
+  mutable inner_blocks_skipped : int;
+  mutable inner_blocks_scanned : int;
   mutable notes : string list;
 }
 
@@ -46,6 +52,10 @@ let fresh_stats () =
     cache_bytes = 0;
     pruning_on = false;
     memo_on = false;
+    vector_on = false;
+    vector_evals = 0;
+    inner_blocks_skipped = 0;
+    inner_blocks_scanned = 0;
     notes = [];
   }
 
@@ -207,6 +217,15 @@ module Prune_cache = struct
     mutable rows : Row.t array;
     mutable keys : float array;
     mutable len : int;
+    (* Unsorted append buffer: [add] lands here in O(1) instead of an
+       O(len) [Array.blit] shifted insertion per entry, and is merged into
+       the sorted arrays only when the buffer fills.  [exists] scans the
+       (bounded) buffer linearly on top of the binary search, so probes
+       stay strictly read-only — worker domains scan a frozen shared cache
+       concurrently. *)
+    mutable brows : Row.t array;
+    mutable bkeys : float array;
+    mutable blen : int;
     key_of : Row.t -> float;
   }
 
@@ -222,18 +241,45 @@ module Prune_cache = struct
   let flat () = Flat { items = []; n = 0 }
 
   let sorted ~key_of =
-    Sorted { rows = Array.make 64 [||]; keys = Array.make 64 0.; len = 0; key_of }
+    Sorted
+      {
+        rows = Array.make 64 [||];
+        keys = Array.make 64 0.;
+        len = 0;
+        brows = Array.make 64 [||];
+        bkeys = Array.make 64 0.;
+        blen = 0;
+        key_of;
+      }
 
   let partitioned dims = Partitioned { dims; tbl = Row.Tbl.create 256; n = 0 }
 
-  let ensure t =
-    if t.len >= Array.length t.rows then begin
-      let rows = Array.make (2 * Array.length t.rows) [||] in
-      let keys = Array.make (2 * Array.length t.keys) 0. in
-      Array.blit t.rows 0 rows 0 t.len;
-      Array.blit t.keys 0 keys 0 t.len;
+  (* Sort the buffer and merge the two sorted runs in one pass. *)
+  let flush t =
+    if t.blen > 0 then begin
+      let n = t.blen in
+      let idx = Array.init n Fun.id in
+      Array.sort (fun i j -> Float.compare t.bkeys.(i) t.bkeys.(j)) idx;
+      let total = t.len + n in
+      let cap = max total (Array.length t.rows) in
+      let rows = Array.make cap [||] and keys = Array.make cap 0. in
+      let i = ref 0 and j = ref 0 in
+      for k = 0 to total - 1 do
+        if !i < t.len && (!j >= n || t.keys.(!i) <= t.bkeys.(idx.(!j))) then begin
+          rows.(k) <- t.rows.(!i);
+          keys.(k) <- t.keys.(!i);
+          incr i
+        end
+        else begin
+          rows.(k) <- t.brows.(idx.(!j));
+          keys.(k) <- t.bkeys.(idx.(!j));
+          incr j
+        end
+      done;
       t.rows <- rows;
-      t.keys <- keys
+      t.keys <- keys;
+      t.len <- total;
+      t.blen <- 0
     end
 
   (* First position whose key is >= k (resp. > k). *)
@@ -261,14 +307,10 @@ module Prune_cache = struct
       f.items <- row :: f.items;
       f.n <- f.n + 1
     | Sorted t ->
-      ensure t;
-      let k = t.key_of row in
-      let pos = lower_bound t k in
-      Array.blit t.rows pos t.rows (pos + 1) (t.len - pos);
-      Array.blit t.keys pos t.keys (pos + 1) (t.len - pos);
-      t.rows.(pos) <- row;
-      t.keys.(pos) <- k;
-      t.len <- t.len + 1
+      t.brows.(t.blen) <- row;
+      t.bkeys.(t.blen) <- t.key_of row;
+      t.blen <- t.blen + 1;
+      if t.blen = Array.length t.brows then flush t
     | Partitioned p ->
       let key = Row.project row p.dims in
       (match Row.Tbl.find_opt p.tbl key with
@@ -289,7 +331,13 @@ module Prune_cache = struct
         | Ge k -> (lower_bound t k, t.len)
       in
       let rec go i = i < hi && (test t.rows.(i) || go (i + 1)) in
-      go lo
+      let in_range k =
+        match restrict with All -> true | Le b -> k <= b | Ge b -> k >= b
+      in
+      let rec go_buf i =
+        i < t.blen && ((in_range t.bkeys.(i) && test t.brows.(i)) || go_buf (i + 1))
+      in
+      go lo || go_buf 0
     | Partitioned p ->
       (match Row.Tbl.find_opt p.tbl (Row.project probe p.dims) with
        | None -> false
@@ -297,7 +345,7 @@ module Prune_cache = struct
 
   let length = function
     | Flat f -> f.n
-    | Sorted t -> t.len
+    | Sorted t -> t.len + t.blen
     | Partitioned p -> p.n
 
   let iter cache f =
@@ -306,6 +354,9 @@ module Prune_cache = struct
     | Sorted t ->
       for i = 0 to t.len - 1 do
         f t.rows.(i)
+      done;
+      for i = 0 to t.blen - 1 do
+        f t.brows.(i)
       done
     | Partitioned p -> Row.Tbl.iter (fun _ cell -> List.iter f !cell) p.tbl
 
@@ -313,9 +364,12 @@ module Prune_cache = struct
     match cache with
     | Flat f -> List.fold_left (fun acc r -> acc + row_bytes r) 0 f.items
     | Sorted t ->
-      let total = ref (8 * t.len) in
+      let total = ref (8 * (t.len + t.blen)) in
       for i = 0 to t.len - 1 do
         total := !total + row_bytes t.rows.(i)
+      done;
+      for i = 0 to t.blen - 1 do
+        total := !total + row_bytes t.brows.(i)
       done;
       !total
     | Partitioned p ->
@@ -354,9 +408,6 @@ let execute op =
   (* Q_B: materialize the outer side; Q_R's relation: the inner side. *)
   let l_rel = Binder.run catalog (Qspec.side_query ~overrides left_side) in
   let r_rel = Binder.run catalog (Qspec.side_query ~overrides right_side) in
-  (* Force the inner side's row view now, on this domain: [eval_inner]
-     runs inside worker domains and must not race on the lazy row cache. *)
-  ignore (Relation.rows r_rel : Row.t array);
   let l_schema = l_rel.Relation.schema and r_schema = r_rel.Relation.schema in
   let jl_idx =
     List.map (fun c -> Schema.index_of_col l_schema c) left_side.Qspec.join_cols
@@ -507,8 +558,36 @@ let execute op =
       let key_of b = Array.map (fun f -> f b) fs in
       Some (idx, key_of)
   in
+  (* Vectorized inner path (Colprobe): engaged when no equality conjunct
+     feeds the hash probe, the inner side is column-primary, and the whole
+     inner query compiles to parameterized probes + typed aggregation
+     kernels.  It subsumes the sorted index: the zone-map tests restrict
+     the scan per binding block-wise, for every probe at once. *)
+  let colprobe, vector_reason =
+    if not config.vector then (None, Some "disabled by configuration")
+    else if inner_hash <> None then
+      (None, Some "equality Θ conjunct uses the hash probe path")
+    else if Relation.layout r_rel <> `Column then
+      (None, Some "inner side is not column-primary")
+    else
+      match
+        Colprobe.build ~binding:binding_schema ~inner:(Relation.cstore r_rel)
+          ~theta ~gr_idx
+          ~aggs:(List.map (fun (a, _) -> Binder.agg_func a) agg_mapping)
+      with
+      | Ok cp -> (Some cp, None)
+      | Error r -> (None, Some r)
+  in
+  stats.vector_on <- colprobe <> None;
+  (match vector_reason with
+   | Some r -> stats.notes <- stats.notes @ [ "vector off: " ^ r ]
+   | None -> ());
+  (* Force the inner side's row view now, on this domain, when a row-path
+     access method will run inside worker domains ([eval_inner] must not
+     race on the lazy row cache).  The vectorized path never touches rows. *)
+  if colprobe = None then ignore (Relation.rows r_rel : Row.t array);
   let inner_index =
-    if not config.inner_index then None
+    if (not config.inner_index) || colprobe <> None then None
     else
       List.find_map
         (fun conj ->
@@ -629,6 +708,22 @@ let execute op =
      against the caller's (chunk-local) stats. *)
   let eval_inner st b =
     st.inner_evals <- st.inner_evals + 1;
+    match colprobe with
+    | Some cp ->
+      st.vector_evals <- st.vector_evals + 1;
+      let out = Colprobe.eval cp b in
+      st.inner_blocks_skipped <-
+        st.inner_blocks_skipped + out.Colprobe.blocks_skipped;
+      st.inner_blocks_scanned <-
+        st.inner_blocks_scanned + out.Colprobe.blocks_scanned;
+      List.map
+        (fun (v, states) ->
+          let finals =
+            Array.of_list (List.map2 (fun c st -> c.Agg.final st) compiled states)
+          in
+          { v; states; finals })
+        out.Colprobe.groups
+    | None ->
     let parts : Agg.state list Row.Tbl.t = Row.Tbl.create 8 in
     let order = ref [] in
     let consider rrow =
@@ -715,73 +810,130 @@ let execute op =
       Row.Tbl.length local_memo
       + match shared_memo with Some m -> Row.Tbl.length m | None -> 0
     in
-    Array.iter
-      (fun lrow ->
+    let memo_find b =
+      match Row.Tbl.find_opt local_memo b with
+      | Some parts -> Some parts
+      | None ->
+        (match shared_memo with Some m -> Row.Tbl.find_opt m b | None -> None)
+    in
+    let pruned_now b =
+      pruning_active
+      &&
+      match subsume_test with
+      | None -> false
+      | Some test ->
+        let caches =
+          match shared_prune with
+          | Some c -> [ c; local_prune ]
+          | None -> [ local_prune ]
+        in
+        prune ~test ~caches b
+    in
+    let handle lrow parts =
+      let u = Row.project lrow gl_idx in
+      if key_case then
+        List.iter
+          (fun p -> if phi_ok (Array.append p.v p.finals) then emit u p.v p.finals)
+          parts
+      else
+        List.iter
+          (fun p ->
+            let key = Row.append u p.v in
+            match Row.Tbl.find_opt acc key with
+            | None -> Row.Tbl.add acc key (u, p.v, fresh_merge p.states)
+            | Some (_, _, states) ->
+              List.iter2
+                (fun c (dst, src) -> c.Agg.merge dst src)
+                compiled
+                (List.combine states p.states))
+          parts
+    in
+    if memo_active && config.max_cache_rows = None then begin
+      (* Binding-batch dedup: collect the chunk's distinct bindings, resolve
+         each exactly once, then replay the rows against an array-indexed
+         resolution — repeated bindings skip the per-row memo hashing.
+         Resolution runs in first-occurrence order, which is exactly the
+         order the per-row loop evaluates fresh bindings in, so cache
+         contents, emission order and float merge order are unchanged.
+         (With a cache cap the per-row loop below is kept: capped stores
+         interleave with repeat rows and batching would change what gets
+         cached.) *)
+      let nrows = Array.length chunk in
+      let bid_of : int Row.Tbl.t = Row.Tbl.create 64 in
+      let bidx = Array.make (max 1 nrows) 0 in
+      let rev_dbind = ref [] in
+      let ndist = ref 0 in
+      for i = 0 to nrows - 1 do
         st.outer_rows <- st.outer_rows + 1;
-        let b = Row.project lrow jl_idx in
-        let memo_lookup =
-          if not memo_active then None
-          else
-            match Row.Tbl.find_opt local_memo b with
-            | Some parts -> Some parts
+        let b = Row.project chunk.(i) jl_idx in
+        match Row.Tbl.find_opt bid_of b with
+        | Some id -> bidx.(i) <- id
+        | None ->
+          let id = !ndist in
+          incr ndist;
+          Row.Tbl.add bid_of b id;
+          rev_dbind := b :: !rev_dbind;
+          bidx.(i) <- id
+      done;
+      let dbind = Array.of_list (List.rev !rev_dbind) in
+      let res =
+        Array.map
+          (fun b ->
+            match memo_find b with
+            | Some parts -> `Hit parts
             | None ->
-              (match shared_memo with
-               | Some m -> Row.Tbl.find_opt m b
-               | None -> None)
-        in
-        let result =
-          match memo_lookup with
-          | Some parts ->
-            st.memo_hits <- st.memo_hits + 1;
-            Some parts
-          | None ->
-            let is_pruned =
-              pruning_active
-              &&
-              match subsume_test with
-              | None -> false
-              | Some test ->
-                let caches =
-                  match shared_prune with
-                  | Some c -> [ c; local_prune ]
-                  | None -> [ local_prune ]
-                in
-                prune ~test ~caches b
-            in
-            if is_pruned then begin
-              st.pruned <- st.pruned + 1;
-              None
-            end
-            else begin
-              let parts = eval_inner st b in
-              if pruning_active && unpromising parts && below_cap (prune_len ())
-              then Prune_cache.add local_prune b;
-              if memo_active && below_cap (memo_len ()) then
+              if pruned_now b then `Pruned
+              else begin
+                let parts = eval_inner st b in
+                if pruning_active && unpromising parts then
+                  Prune_cache.add local_prune b;
                 Row.Tbl.replace local_memo b parts;
+                `Fresh parts
+              end)
+          dbind
+      in
+      (* A fresh binding's first row is the eval itself; its repeats are
+         memo hits, same as the per-row loop would count them. *)
+      let seen = Array.make (max 1 !ndist) false in
+      for i = 0 to nrows - 1 do
+        let id = bidx.(i) in
+        match res.(id) with
+        | `Pruned -> st.pruned <- st.pruned + 1
+        | `Hit parts ->
+          st.memo_hits <- st.memo_hits + 1;
+          handle chunk.(i) parts
+        | `Fresh parts ->
+          if seen.(id) then st.memo_hits <- st.memo_hits + 1
+          else seen.(id) <- true;
+          handle chunk.(i) parts
+      done
+    end
+    else
+      Array.iter
+        (fun lrow ->
+          st.outer_rows <- st.outer_rows + 1;
+          let b = Row.project lrow jl_idx in
+          let result =
+            match (if memo_active then memo_find b else None) with
+            | Some parts ->
+              st.memo_hits <- st.memo_hits + 1;
               Some parts
-            end
-        in
-        match result with
-        | None -> ()
-        | Some parts ->
-          let u = Row.project lrow gl_idx in
-          if key_case then
-            List.iter
-              (fun p -> if phi_ok (Array.append p.v p.finals) then emit u p.v p.finals)
-              parts
-          else
-            List.iter
-              (fun p ->
-                let key = Row.append u p.v in
-                match Row.Tbl.find_opt acc key with
-                | None -> Row.Tbl.add acc key (u, p.v, fresh_merge p.states)
-                | Some (_, _, states) ->
-                  List.iter2
-                    (fun c (dst, src) -> c.Agg.merge dst src)
-                    compiled
-                    (List.combine states p.states))
-              parts)
-      chunk;
+            | None ->
+              if pruned_now b then begin
+                st.pruned <- st.pruned + 1;
+                None
+              end
+              else begin
+                let parts = eval_inner st b in
+                if pruning_active && unpromising parts && below_cap (prune_len ())
+                then Prune_cache.add local_prune b;
+                if memo_active && below_cap (memo_len ()) then
+                  Row.Tbl.replace local_memo b parts;
+                Some parts
+              end
+          in
+          match result with None -> () | Some parts -> handle lrow parts)
+        chunk;
     {
       c_rows = List.rev !out_rows;
       c_acc = acc;
@@ -861,9 +1013,11 @@ let execute op =
                 then Row.Tbl.add shared_memo b parts)
               r.c_memo)
           rs;
-          results := !results @ rs)
+          (* Prepend and reverse once at the end: appending per wave would
+             rescan the accumulated list every wave (quadratic in waves). *)
+          results := List.rev_append rs !results)
         slices;
-      (!results, shared_prune, shared_memo)
+      (List.rev !results, shared_prune, shared_memo)
     end
   in
   (* Combine chunk outputs in chunk order. *)
@@ -910,7 +1064,12 @@ let execute op =
       stats.outer_rows <- stats.outer_rows + s.outer_rows;
       stats.inner_evals <- stats.inner_evals + s.inner_evals;
       stats.pruned <- stats.pruned + s.pruned;
-      stats.memo_hits <- stats.memo_hits + s.memo_hits)
+      stats.memo_hits <- stats.memo_hits + s.memo_hits;
+      stats.vector_evals <- stats.vector_evals + s.vector_evals;
+      stats.inner_blocks_skipped <-
+        stats.inner_blocks_skipped + s.inner_blocks_skipped;
+      stats.inner_blocks_scanned <-
+        stats.inner_blocks_scanned + s.inner_blocks_scanned)
     chunk_results;
   stats.prune_cache_rows <- Prune_cache.length final_prune;
   stats.memo_cache_rows <- Row.Tbl.length final_memo;

@@ -26,6 +26,14 @@ type config = {
       (** BT: probe the materialized inner side through a sorted index
           derived from a Θ bound (equality conjuncts always probe a hash
           index, mirroring PostgreSQL's prepared Q_R plans) *)
+  vector : bool;
+      (** Vectorized inner loop ({!Relalg.Colprobe}): when the inner side is
+          column-primary, no equality conjunct feeds the hash probe, and
+          Q_R(b) compiles entirely to [r_col op f(binding)] probes + typed
+          aggregation kernels, evaluate it per binding by zone-map block
+          skipping and selection-vector kernels over the unboxed column
+          vectors, never materializing an inner row.  Falls back to the row
+          path — with the reason recorded in [stats.notes] — otherwise. *)
   outer_order : [ `Default | `Auto | `Asc of int | `Desc of int ];
       (** §7 leaves Q_B's exploration order unspecified and flags choosing
           it as future work; [`Asc i]/[`Desc i] sort the outer input by the
@@ -60,6 +68,11 @@ type stats = {
   mutable cache_bytes : int;
   mutable pruning_on : bool;
   mutable memo_on : bool;
+  mutable vector_on : bool;  (** the vectorized inner loop was used *)
+  mutable vector_evals : int;  (** inner evals served by it *)
+  mutable inner_blocks_skipped : int;
+      (** blocks refuted per binding by a zone-map probe, summed over evals *)
+  mutable inner_blocks_scanned : int;
   mutable notes : string list;
 }
 

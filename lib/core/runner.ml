@@ -288,6 +288,12 @@ let report_to_string rep =
             pad s.Nljp.outer_rows s.Nljp.inner_evals s.Nljp.pruned s.Nljp.memo_hits
             (s.Nljp.prune_cache_rows + s.Nljp.memo_cache_rows)
             (s.Nljp.cache_bytes / 1024));
+       if s.Nljp.vector_on then
+         Buffer.add_string b
+           (Printf.sprintf
+              "%svectorized inner loop: evals=%d blocks skipped=%d scanned=%d\n"
+              pad s.Nljp.vector_evals s.Nljp.inner_blocks_skipped
+              s.Nljp.inner_blocks_scanned);
        List.iter (fun n -> Buffer.add_string b (pad ^ "note: " ^ n ^ "\n")) s.Nljp.notes
      | None -> ());
     List.iter (fun n -> Buffer.add_string b (pad ^ n ^ "\n")) rep.notes;

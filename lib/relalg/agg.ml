@@ -148,6 +148,16 @@ let compile schema func =
           | _ -> bad ());
     }
 
+(* Raw state constructors for the vectorized kernels (Colprobe): a kernel
+   accumulates into unboxed scratch and boxes the result as a state once at
+   the end of an evaluation; the states interoperate with [compile]'s
+   [merge]/[final] for the matching function. *)
+let count_state n = Count_st { n }
+let sum_state acc = Sum_st { acc }
+let min_state acc = Minmax_st { acc; smaller = true }
+let max_state acc = Minmax_st { acc; smaller = false }
+let avg_state ~sum ~n = Avg_st { sum; n }
+
 let is_algebraic = function
   | Count_star | Count _ | Sum _ | Min _ | Max _ | Avg _ -> true
   | Count_distinct _ -> false

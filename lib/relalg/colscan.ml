@@ -23,75 +23,10 @@ let counters () = (Atomic.get blocks_skipped, Atomic.get blocks_scanned)
 
 open Column
 
-(* Compile one probe into an [int -> bool] row test over a block, reading
-   the typed vector directly.  NULL rows never match (SQL comparison
-   semantics), which the numeric fast paths get from the null bitmap and
-   the generic path gets from Compile.value_cmp. *)
+(* The typed row-test kernels live in Colprobe (shared with the vectorized
+   NLJP inner loop); a zone probe is the constant-valued special case. *)
 let probe_test cs (b : Cstore.block) (p : Compile.zone_probe) : int -> bool =
-  let vec = b.Cstore.cols.(p.Compile.zp_col) in
-  let null_guard bm test =
-    match bm with
-    | None -> test
-    | Some bm -> fun i -> (not (Bitset.get bm i)) && test i
-  in
-  let generic () =
-    let vc = Compile.value_cmp p.Compile.zp_op in
-    let v = p.Compile.zp_const in
-    fun i -> vc (Cstore.value_at cs b p.Compile.zp_col i) v
-  in
-  match vec, p.Compile.zp_const with
-  | Cstore.C_int (a, bm), Value.Int k ->
-    let test =
-      match p.Compile.zp_op with
-      | Expr.Eq -> fun i -> a.(i) = k
-      | Expr.Ne -> fun i -> a.(i) <> k
-      | Expr.Lt -> fun i -> a.(i) < k
-      | Expr.Le -> fun i -> a.(i) <= k
-      | Expr.Gt -> fun i -> a.(i) > k
-      | Expr.Ge -> fun i -> a.(i) >= k
-    in
-    null_guard bm test
-  | Cstore.C_int (a, bm), Value.Float f ->
-    let test =
-      match p.Compile.zp_op with
-      | Expr.Eq -> fun i -> float_of_int a.(i) = f
-      | Expr.Ne -> fun i -> float_of_int a.(i) <> f
-      | Expr.Lt -> fun i -> float_of_int a.(i) < f
-      | Expr.Le -> fun i -> float_of_int a.(i) <= f
-      | Expr.Gt -> fun i -> float_of_int a.(i) > f
-      | Expr.Ge -> fun i -> float_of_int a.(i) >= f
-    in
-    null_guard bm test
-  | Cstore.C_float (a, bm), (Value.Int _ | Value.Float _) ->
-    let f =
-      match p.Compile.zp_const with
-      | Value.Int k -> float_of_int k
-      | Value.Float f -> f
-      | _ -> assert false
-    in
-    let test =
-      match p.Compile.zp_op with
-      | Expr.Eq -> fun i -> a.(i) = f
-      | Expr.Ne -> fun i -> a.(i) <> f
-      | Expr.Lt -> fun i -> a.(i) < f
-      | Expr.Le -> fun i -> a.(i) <= f
-      | Expr.Gt -> fun i -> a.(i) > f
-      | Expr.Ge -> fun i -> a.(i) >= f
-    in
-    null_guard bm test
-  | Cstore.C_dict (codes, bm), Value.Str s ->
-    (match p.Compile.zp_op, Cstore.dict cs p.Compile.zp_col with
-     | (Expr.Eq | Expr.Ne), Some d ->
-       (* Equality against the dictionary is one code comparison per row;
-          an absent string matches nothing (Eq) / every non-null row (Ne). *)
-       (match Dict.find_opt d s, p.Compile.zp_op with
-        | Some code, Expr.Eq -> null_guard bm (fun i -> codes.(i) = code)
-        | Some code, Expr.Ne -> null_guard bm (fun i -> codes.(i) <> code)
-        | None, Expr.Eq -> fun _ -> false
-        | None, Expr.Ne -> null_guard bm (fun _ -> true)
-        | _ -> assert false)
-     | _ -> generic ())
-  | _ -> generic ()
+  Colprobe.row_test cs b p.Compile.zp_col p.Compile.zp_op p.Compile.zp_const
 
 (* Scan one block, pushing kept rows (in order).  [tests] are the typed
    probe kernels when the probes cover the predicate; otherwise [keep]

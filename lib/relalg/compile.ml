@@ -207,6 +207,57 @@ and pr schema (e : Expr.t) : pred =
 let scalar schema e = sc schema (fold_constants e)
 let pred schema e = pr schema (fold_constants e)
 
+(* ---- parameterized probes: r_col op f(binding) ---- *)
+
+(* Conjuncts of shape [r_col op f(binding)] compile once into (column,
+   op, binding-scalar) triples: given a binding b, [pp_val b] is the
+   comparison constant, testable against each inner block's zone map before
+   any vector is touched (the per-binding generalization of [zone_probes]).
+   Conjuncts mentioning the binding only become gates — evaluated once per
+   binding; a false gate proves Q_R(b) empty without reading the inner side
+   at all. *)
+type param_probe = { pp_col : int; pp_op : Expr.cmp; pp_val : Row.t -> Value.t }
+
+let param_probes ~binding ~inner e =
+  let bare_inner = function
+    | Expr.Col c ->
+      (match Schema.index_of_col inner c with
+       | i -> Some i
+       | exception Schema.Unknown_column _ -> None
+       | exception Schema.Ambiguous_column _ -> None)
+    | _ -> None
+  in
+  let binding_only e =
+    List.for_all
+      (fun c ->
+        match Schema.index_of_col binding c with
+        | _ -> true
+        | exception Schema.Unknown_column _ -> false
+        | exception Schema.Ambiguous_column _ -> false)
+      (Expr.columns e)
+  in
+  let probes = ref [] and gates = ref [] and exact = ref true in
+  List.iter
+    (fun conj ->
+      match conj with
+      | Expr.Const (Value.Bool true) -> ()
+      | Expr.Cmp (op, a, b) when bare_inner a <> None && binding_only b ->
+        probes :=
+          { pp_col = Option.get (bare_inner a); pp_op = op; pp_val = scalar binding b }
+          :: !probes
+      | Expr.Cmp (op, a, b) when bare_inner b <> None && binding_only a ->
+        probes :=
+          {
+            pp_col = Option.get (bare_inner b);
+            pp_op = flip_cmp op;
+            pp_val = scalar binding a;
+          }
+          :: !probes
+      | conj when binding_only conj -> gates := pred binding conj :: !gates
+      | _ -> exact := false)
+    (Expr.conjuncts (fold_constants e));
+  (List.rev !probes, List.rev !gates, !exact)
+
 (* ---- join-pair compiler ---- *)
 
 (* Columns resolve against the appended schema (same name resolution and

@@ -65,3 +65,20 @@ val zmap_cmp : Expr.cmp -> Column.Zmap.cmp
     no matching row.  The boolean is true when the probes are exactly [e]
     (nothing was left unconverted). *)
 val zone_probes : Schema.t -> Expr.t -> zone_probe list * bool
+
+(** A parameterized probe [r_col op f(binding)]: the comparison constant is
+    recomputed per binding by [pp_val], so the same compiled probe skips
+    different blocks for different bindings (per-binding data skipping). *)
+type param_probe = { pp_col : int; pp_op : Expr.cmp; pp_val : Row.t -> Value.t }
+
+(** [param_probes ~binding ~inner theta] splits [theta]'s top-level
+    AND-chain into probes ([inner column] op [binding-only expression]) and
+    gates (conjuncts over the binding alone, evaluated once per binding).
+    The boolean is true when probes + gates are exactly [theta]; only then
+    may a scan evaluate the probes as typed kernels in place of the row
+    predicate.  Column names resolve like [join_pred binding inner]. *)
+val param_probes :
+  binding:Schema.t ->
+  inner:Schema.t ->
+  Expr.t ->
+  param_probe list * (Row.t -> bool) list * bool

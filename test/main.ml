@@ -8,6 +8,7 @@ let () =
       ("csv", Test_csv.suite);
       ("column", Test_column.suite);
       ("layout", Test_layout.suite);
+      ("vector", Test_vector.suite);
       ("parser", Test_parser.suite);
       ("binder", Test_binder.suite);
       ("qelim", Test_qelim.suite);
