@@ -58,15 +58,15 @@ type json_row = {
   j_layout : string;
   j_ms_raw : float;
   j_ms_scaled : float;
-  j_cache_bytes : int;
-  j_blocks_skipped : int;
+  j_counters : (string * int) list;
+      (* operator counters under the lib/obs names (nljp., colscan. and
+         optimizer. prefixes), captured as snapshot deltas around the run *)
 }
 
 let json_path = ref None
 let json_rows : json_row list ref = ref []
 
-let record ?(workers = 1) ?(cache_bytes = 0) ?(blocks_skipped = 0) ?ms_scaled
-    ~technique name ms_raw =
+let record ?(workers = 1) ?(counters = []) ?ms_scaled ~technique name ms_raw =
   json_rows :=
     {
       j_name = name;
@@ -75,8 +75,7 @@ let record ?(workers = 1) ?(cache_bytes = 0) ?(blocks_skipped = 0) ?ms_scaled
       j_layout = layout_name ();
       j_ms_raw = ms_raw;
       j_ms_scaled = Option.value ms_scaled ~default:ms_raw;
-      j_cache_bytes = cache_bytes;
-      j_blocks_skipped = blocks_skipped;
+      j_counters = counters;
     }
     :: !json_rows
 
@@ -85,12 +84,15 @@ let write_json path =
   output_string oc "[\n";
   List.iteri
     (fun i r ->
+      let counters =
+        List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) r.j_counters
+        |> String.concat ", "
+      in
       Printf.fprintf oc
         "  {\"name\": %S, \"technique\": %S, \"workers\": %d, \"layout\": %S, \
-         \"ms_raw\": %.3f, \"ms_scaled\": %.3f, \"cache_bytes\": %d, \
-         \"blocks_skipped\": %d}%s\n"
+         \"ms_raw\": %.3f, \"ms_scaled\": %.3f, \"counters\": {%s}}%s\n"
         r.j_name r.j_technique r.j_workers r.j_layout r.j_ms_raw r.j_ms_scaled
-        r.j_cache_bytes r.j_blocks_skipped
+        counters
         (if i = List.length !json_rows - 1 then "" else ","))
     (List.rev !json_rows);
   output_string oc "]\n";
@@ -103,6 +105,13 @@ let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* Like [time], but also captures what the run did to the obs counter
+   registry — the counters land in the JSON row next to the timing. *)
+let time_obs f =
+  let before = Obs.Metrics.snapshot () in
+  let r, t = time f in
+  (r, t, Obs.Metrics.delta ~before ~after:(Obs.Metrics.snapshot ()))
 
 (* The paper's Vendor A owes its edge to aggressive 4-core parallelism
    (Appendix E).  On a >= 4-core host we run the real Domain-parallel
@@ -122,10 +131,10 @@ let run_base catalog q = Core.Runner.run_baseline catalog q
 
 let run_vendor catalog q = Core.Runner.run_baseline ~workers:vendor_workers catalog q
 
-(* Returns (result, raw measured seconds, divisor-scaled seconds). *)
+(* Returns (result, raw measured seconds, divisor-scaled seconds, counters). *)
 let time_vendor catalog q =
-  let r, t = time (fun () -> run_vendor catalog q) in
-  (r, t, t /. vendor_divisor)
+  let r, t, c = time_obs (fun () -> run_vendor catalog q) in
+  (r, t, t /. vendor_divisor, c)
 
 (* ---- catalog setup ---- *)
 
@@ -170,21 +179,20 @@ let rec report_has_apriori (rep : Core.Runner.report) =
 
 let fig1_measure catalog (qname, sql) =
   let q = Sqlfront.Parser.parse sql in
-  let base, base_t = time (fun () -> run_base catalog q) in
-  record ~technique:"base" qname (base_t *. 1000.);
-  let vend, vendor_raw_t, vendor_t = time_vendor catalog q in
-  record ~technique:"vendor" ~workers:vendor_workers
+  let base, base_t, base_c = time_obs (fun () -> run_base catalog q) in
+  record ~technique:"base" ~counters:base_c qname (base_t *. 1000.);
+  let vend, vendor_raw_t, vendor_t, vendor_c = time_vendor catalog q in
+  record ~technique:"vendor" ~workers:vendor_workers ~counters:vendor_c
     ~ms_scaled:(vendor_t *. 1000.) qname (vendor_raw_t *. 1000.);
   check_equal (qname ^ "/vendor") base vend;
   let all_report = ref None in
   let tech_t =
     List.map
       (fun (tname, tech) ->
-        let (r, rep), t = time (fun () -> run_smart ~tech catalog q) in
+        let (r, rep), t, c = time_obs (fun () -> run_smart ~tech catalog q) in
         check_equal (qname ^ "/" ^ tname) base r;
         if tname = "all" then all_report := Some rep;
-        record ~technique:tname ~cache_bytes:(Core.Runner.cache_bytes rep) qname
-          (t *. 1000.);
+        record ~technique:tname ~counters:c qname (t *. 1000.);
         let applied =
           match tname with "apriori" -> report_has_apriori rep | _ -> true
         in
@@ -372,7 +380,7 @@ let fig5 () =
     (fun k ->
       let q = Sqlfront.Parser.parse (Workload.Queries.skyband ~k ()) in
       let base, base_t = time (fun () -> run_base catalog q) in
-      let _, vendor_raw_t, vendor_t = time_vendor catalog q in
+      let _, vendor_raw_t, vendor_t, _ = time_vendor catalog q in
       let (r, _), smart_t = time (fun () -> run_smart catalog q) in
       check_equal "fig5" base r;
       sweep_row (Printf.sprintf "k=%d" k) base_t vendor_raw_t vendor_t smart_t)
@@ -392,7 +400,7 @@ let fig6 () =
     (fun threshold ->
       let q = Sqlfront.Parser.parse (Workload.Queries.complex ~threshold) in
       let base, base_t = time (fun () -> run_base catalog q) in
-      let _, vendor_raw_t, vendor_t = time_vendor catalog q in
+      let _, vendor_raw_t, vendor_t, _ = time_vendor catalog q in
       let paper_tech = { Core.Optimizer.no_techniques with memo = true; pruning = true } in
       let (r, _), smart_t = time (fun () -> run_smart ~tech:paper_tech catalog q) in
       let (r2, _), full_t = time (fun () -> run_smart catalog q) in
@@ -411,7 +419,7 @@ let fig7 () =
       let catalog = baseball_catalog ~rows:n () in
       let q = Sqlfront.Parser.parse (Workload.Queries.skyband ~k:50 ()) in
       let base, base_t = time (fun () -> run_base catalog q) in
-      let _, vendor_raw_t, vendor_t = time_vendor catalog q in
+      let _, vendor_raw_t, vendor_t, _ = time_vendor catalog q in
       let (r, _), smart_t = time (fun () -> run_smart catalog q) in
       check_equal "fig7" base r;
       sweep_row (string_of_int n) base_t vendor_raw_t vendor_t smart_t)
@@ -428,7 +436,7 @@ let fig8 () =
       let threshold = max 5 (!rows / 100) in
       let q = Sqlfront.Parser.parse (Workload.Queries.complex ~threshold) in
       let base, base_t = time (fun () -> run_base catalog q) in
-      let _, vendor_raw_t, vendor_t = time_vendor catalog q in
+      let _, vendor_raw_t, vendor_t, _ = time_vendor catalog q in
       let paper_tech = { Core.Optimizer.no_techniques with memo = true; pruning = true } in
       let (r, _), smart_t = time (fun () -> run_smart ~tech:paper_tech catalog q) in
       check_equal "fig8" base r;
@@ -729,16 +737,16 @@ let par () =
   List.iter
     (fun (name, catalog, sql) ->
       let q = Sqlfront.Parser.parse sql in
-      let (seq, _), seq_t = time (fun () -> run_smart catalog q) in
-      let (par, _), par_t =
-        time (fun () -> run_smart ~workers:!par_workers catalog q)
+      let (seq, _), seq_t, seq_c = time_obs (fun () -> run_smart catalog q) in
+      let (par, _), par_t, par_c =
+        time_obs (fun () -> run_smart ~workers:!par_workers catalog q)
       in
       let ok = Relation.equal_bag seq par in
       if not ok then
         Printf.printf "!! RESULT MISMATCH on par/%s — investigate\n%!" name;
-      record ~technique:"all" ("par_" ^ name) (seq_t *. 1000.);
-      record ~technique:"all" ~workers:!par_workers ("par_" ^ name)
-        (par_t *. 1000.);
+      record ~technique:"all" ~counters:seq_c ("par_" ^ name) (seq_t *. 1000.);
+      record ~technique:"all" ~workers:!par_workers ~counters:par_c
+        ("par_" ^ name) (par_t *. 1000.);
       Printf.printf "%-22s %10.3fs %12.3fs %9.2fx %8s\n%!" name seq_t par_t
         (seq_t /. par_t)
         (if ok then "ok" else "MISMATCH"))
@@ -784,10 +792,11 @@ let col () =
     done;
     !last
   in
-  let r_row, t_row = time (scan row_rel) in
-  Colscan.reset_counters ();
-  let r_col, t_col = time (scan col_rel) in
-  let skipped, scanned = Colscan.counters () in
+  let r_row, t_row, row_c = time_obs (scan row_rel) in
+  let r_col, t_col, col_c = time_obs (scan col_rel) in
+  let counter_of c name = Option.value (List.assoc_opt name c) ~default:0 in
+  let skipped = counter_of col_c "colscan.blocks_skipped"
+  and scanned = counter_of col_c "colscan.blocks_scanned" in
   check_equal "col/differential" r_row r_col;
   Printf.printf
     "rows=%d (%d blocks, built in %.2fs), predicate keeps %d rows, %d reps\n"
@@ -801,9 +810,10 @@ let col () =
     (t_row /. t_col)
     (Relation.approx_bytes row_rel / 1024)
     (Relation.approx_bytes col_rel / 1024);
-  record ~technique:"rowscan" "colscan_selective" (t_row *. 1000.);
+  record ~technique:"rowscan" ~counters:row_c "colscan_selective"
+    (t_row *. 1000.);
   record ~technique:"zonemap"
-    ~cache_bytes:(Relation.approx_bytes col_rel)
+    ~counters:(("footprint_bytes", Relation.approx_bytes col_rel) :: col_c)
     "colscan_selective" (t_col *. 1000.);
   if skipped = 0 then
     Printf.printf "!! expected blocks to be skipped — investigate\n%!";
@@ -831,8 +841,8 @@ let col () =
       let timed l =
         layout := l;
         let catalog = build () in
-        let (r, _), t = time (fun () -> run_smart catalog q) in
-        record ~technique:"all" ("layout_" ^ name) (t *. 1000.);
+        let (r, _), t, c = time_obs (fun () -> run_smart catalog q) in
+        record ~technique:"all" ~counters:c ("layout_" ^ name) (t *. 1000.);
         (r, t)
       in
       let r_row, t_r = timed `Row in
@@ -897,19 +907,19 @@ let vec () =
       { (nljp_cfg ()) with Core.Nljp.vector = vector; inner_index = bt }
     in
     let out = ref None in
-    let (), t =
-      time (fun () ->
+    let (), t, c =
+      time_obs (fun () ->
           for _ = 1 to reps do
             out := Some (Core.Runner.run ~nljp_config:cfg catalog q)
           done)
     in
     let r, rep = Option.get !out in
-    (r, rep, t /. float_of_int reps)
+    (r, rep, t /. float_of_int reps, c)
   in
-  let r_rowbt, _, t_rowbt = leg `Row true true in
-  let r_colbt, _, t_colbt = leg `Column false true in
-  let r_scan, _, t_scan = leg `Column false false in
-  let r_vec, rep_vec, t_vec = leg `Column true true in
+  let r_rowbt, _, t_rowbt, _ = leg `Row true true in
+  let r_colbt, _, t_colbt, colbt_c = leg `Column false true in
+  let r_scan, _, t_scan, scan_c = leg `Column false false in
+  let r_vec, rep_vec, t_vec, vec_c = leg `Column true true in
   check_equal "vec/col+bt" r_rowbt r_colbt;
   check_equal "vec/col+scan" r_rowbt r_scan;
   check_equal "vec/col+vec" r_rowbt r_vec;
@@ -932,9 +942,10 @@ let vec () =
   Printf.printf
     "vectorized vs row-at-a-time scan %.1fx; vs sorted-index row path %.1fx\n\n"
     (t_scan /. t_vec) (t_colbt /. t_vec);
-  record ~technique:"rowpath" "vec_inner" (t_scan *. 1000.);
-  record ~technique:"rowpath+bt" "vec_inner" (t_colbt *. 1000.);
-  record ~technique:"vector" ~blocks_skipped:skipped "vec_inner" (t_vec *. 1000.);
+  record ~technique:"rowpath" ~counters:scan_c "vec_inner" (t_scan *. 1000.);
+  record ~technique:"rowpath+bt" ~counters:colbt_c "vec_inner"
+    (t_colbt *. 1000.);
+  record ~technique:"vector" ~counters:vec_c "vec_inner" (t_vec *. 1000.);
   layout := saved_layout;
   if not vector_engaged then
     Printf.printf "!! vectorized path did not engage — investigate\n%!";

@@ -78,46 +78,73 @@ let tech_of_string = function
 
 (* ---- commands ---- *)
 
-let run_cmd tables synth rows layout tech workers no_vector verbose max_rows sql =
+let run_cmd tables synth rows layout tech workers no_vector verbose max_rows
+    explain trace sql =
   let catalog = setup tables synth rows layout in
-  let q = Sqlfront.Parser.parse sql in
   let nljp_config =
     { Core.Nljp.default_config with Core.Nljp.vector = not no_vector }
   in
-  let t0 = Unix.gettimeofday () in
-  let result, report =
-    if tech = "none" then (Core.Runner.run_baseline ~workers catalog q, None)
-    else
-      let r, rep =
-        Core.Runner.run ~tech:(tech_of_string tech) ~nljp_config ~workers catalog q
-      in
-      (r, Some rep)
-  in
-  let elapsed = Unix.gettimeofday () -. t0 in
-  print_string (Relation.to_string ~max_rows (Relation.sorted result));
-  Printf.printf "(%d rows in %.3fs, techniques: %s)\n" (Relation.cardinality result)
-    elapsed tech;
-  (match report with
-   | Some rep when verbose ->
-     print_newline ();
-     print_endline "optimizer decisions:";
-     print_string (Core.Runner.report_to_string rep)
-   | _ -> ());
-  0
+  if explain then begin
+    (* EXPLAIN mode: print the optimizer's plan and return — no execution. *)
+    let q = Sqlfront.Parser.parse sql in
+    let tech =
+      if tech = "none" then Core.Optimizer.no_techniques else tech_of_string tech
+    in
+    print_string (Core.Explain.query ~tech ~nljp_config catalog q);
+    0
+  end
+  else begin
+    let root =
+      match trace with None -> None | Some _ -> Some (Obs.Span.enter "query")
+    in
+    let q =
+      match root with
+      | None -> Sqlfront.Parser.parse sql
+      | Some parent ->
+        Obs.Span.with_span ~parent "parse" (fun _ -> Sqlfront.Parser.parse sql)
+    in
+    let t0 = Unix.gettimeofday () in
+    let result, report =
+      if tech = "none" then (Core.Runner.run_baseline ~workers catalog q, None)
+      else
+        let r, rep =
+          Core.Runner.run ?span:root ~tech:(tech_of_string tech) ~nljp_config
+            ~workers catalog q
+        in
+        (r, Some rep)
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    print_string (Relation.to_string ~max_rows (Relation.sorted result));
+    Printf.printf "(%d rows in %.3fs, techniques: %s)\n" (Relation.cardinality result)
+      elapsed tech;
+    (match report with
+     | Some rep when verbose ->
+       print_newline ();
+       print_endline "optimizer decisions:";
+       print_string (Core.Runner.report_to_string rep)
+     | _ -> ());
+    (match root, trace with
+     | Some sp, Some file ->
+       Obs.Span.finish ~rows_out:(Relation.cardinality result) sp;
+       let oc = open_out file in
+       output_string oc (Obs.Json.to_string (Obs.Span.trace_json sp));
+       output_char oc '\n';
+       close_out oc;
+       Printf.eprintf "trace written to %s\n%!" file
+     | _ -> ());
+    0
+  end
 
-let explain_cmd tables synth rows layout sql =
+let explain_cmd tables synth rows layout tech no_vector sql =
   let catalog = setup tables synth rows layout in
   let q = Sqlfront.Parser.parse sql in
-  let plan = Sqlfront.Binder.bind catalog q in
-  print_endline "baseline plan:";
-  print_string (Plan.explain plan);
-  print_newline ();
-  print_endline "cost estimates:";
-  print_string (Core.Cost.explain catalog plan);
-  print_newline ();
-  print_endline "smart-iceberg decisions:";
-  let _, rep = Core.Runner.run catalog q in
-  print_string (Core.Runner.report_to_string rep);
+  let tech =
+    if tech = "none" then Core.Optimizer.no_techniques else tech_of_string tech
+  in
+  let nljp_config =
+    { Core.Nljp.default_config with Core.Nljp.vector = not no_vector }
+  in
+  print_string (Core.Explain.query ~tech ~nljp_config catalog q);
   0
 
 let compare_cmd tables synth rows layout workers sql =
@@ -214,15 +241,38 @@ let max_rows_arg =
     value & opt int 40
     & info [ "max-rows" ] ~docv:"N" ~doc:"Result rows to display.")
 
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Print the optimizer's chosen plan (a-priori reducers, NLJP \
+              split, inner access path, cost estimates) and exit without \
+              executing the query.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "SI_TRACE")
+        ~doc:"Record the query lifecycle (parse, optimize, execute spans \
+              with row counts and operator counters) and write the trace \
+              as JSON to $(docv).")
+
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run an iceberg query")
     Term.(
       const run_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg $ tech_arg
-      $ workers_arg $ no_vector_arg $ verbose_arg $ max_rows_arg $ sql_arg)
+      $ workers_arg $ no_vector_arg $ verbose_arg $ max_rows_arg $ explain_flag
+      $ trace_arg $ sql_arg)
 
 let explain_t =
-  Cmd.v (Cmd.info "explain" ~doc:"Show the baseline plan and optimizer decisions")
-    Term.(const explain_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg $ sql_arg)
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the optimizer's chosen plan without executing the query")
+    Term.(
+      const explain_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg
+      $ tech_arg $ no_vector_arg $ sql_arg)
 
 let compare_t =
   Cmd.v

@@ -42,7 +42,7 @@ let with_schema schema t = { t with schema }
 
 (* Build one column vector + zone map over rows.(lo .. lo+len-1).(ci). *)
 let build_col dicts ci rows lo len =
-  let nulls = ref 0 in
+  let nulls = ref 0 and nans = ref 0 in
   let ints = ref 0 and floats = ref 0 and strs = ref 0 and bools = ref 0 in
   let min_v = ref Value.Null and max_v = ref Value.Null in
   for k = 0 to len - 1 do
@@ -56,10 +56,17 @@ let build_col dicts ci rows lo len =
        | Value.Str _ -> incr strs
        | Value.Bool _ -> incr bools
        | Value.Null -> ());
-      if Value.is_null !min_v || Value.compare_total v !min_v < 0 then min_v := v;
-      if Value.is_null !max_v || Value.compare_total v !max_v > 0 then max_v := v
+      (* NaN stays out of the zone bounds (it compares false against
+         everything) and counts as null-ish, mirroring [Zmap.observe]. *)
+      if Value.is_nan v then incr nans
+      else begin
+        if Value.is_null !min_v || Value.compare_total v !min_v < 0 then min_v := v;
+        if Value.is_null !max_v || Value.compare_total v !max_v > 0 then max_v := v
+      end
   done;
-  let zmap = { Zmap.min_v = !min_v; max_v = !max_v; nulls = !nulls; rows = len } in
+  let zmap =
+    { Zmap.min_v = !min_v; max_v = !max_v; nulls = !nulls + !nans; rows = len }
+  in
   let non_null = len - !nulls in
   let bitmap () =
     if !nulls = 0 then None

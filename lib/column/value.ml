@@ -11,6 +11,11 @@ let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 
 let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ -> false
 
+(* NaN behaves like NULL in SQL predicate comparisons: any comparison
+   involving it is false.  (The total order still places it below other
+   floats, so sorting and MIN/MAX remain deterministic.) *)
+let is_nan = function Float f -> Float.is_nan f | _ -> false
+
 let rank = function
   | Null -> 0
   | Bool _ -> 1
@@ -38,7 +43,7 @@ let compare_sql a b =
 let compare_sql_code a b =
   match a, b with
   | Null, _ | _, Null -> min_int
-  | _ -> compare_total a b
+  | _ -> if is_nan a || is_nan b then min_int else compare_total a b
 
 let arith name fi ff a b =
   match a, b with
@@ -49,7 +54,19 @@ let arith name fi ff a b =
   | Float x, Int y -> Float (ff x (float_of_int y))
   | _ -> type_error "%s: non-numeric operands" name
 
-let add = arith "add" ( + ) ( +. )
+(* Int addition that promotes to float instead of wrapping: two same-sign
+   operands whose sum flips sign overflowed the 63-bit range.  SUM/AVG fold
+   through this, so large sums degrade to float precision rather than
+   silently wrapping — and the vectorized kernels replay the same rule
+   (Colprobe.step_sum_int) to stay bit-identical. *)
+let add a b =
+  match a, b with
+  | Int x, Int y ->
+    let s = x + y in
+    if (x >= 0) = (y >= 0) && (s >= 0) <> (x >= 0) then
+      Float (float_of_int x +. float_of_int y)
+    else Int s
+  | _ -> arith "add" ( + ) ( +. ) a b
 let sub = arith "sub" ( - ) ( -. )
 let mul = arith "mul" ( * ) ( *. )
 

@@ -17,6 +17,9 @@ exception Type_error of string
 
 val is_null : t -> bool
 
+(** [Float nan] (any comparison involving it is false, like [Null]). *)
+val is_nan : t -> bool
+
 (** Total order used for sorting and index keys; [Null] sorts first.
     Unlike SQL predicate comparison this is total so rows can be ordered. *)
 val compare_total : t -> t -> int
@@ -31,7 +34,11 @@ val compare_sql : t -> t -> int option
     [Null], otherwise the sign of the comparison. *)
 val compare_sql_code : t -> t -> int
 
+(** Arithmetic; NULL propagates.  [add] on two ints promotes the result to
+    float when the sum overflows instead of wrapping silently — the rule
+    SUM/AVG accumulation folds through. *)
 val add : t -> t -> t
+
 val sub : t -> t -> t
 val mul : t -> t -> t
 val div : t -> t -> t

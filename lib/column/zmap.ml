@@ -6,8 +6,13 @@ let empty = { min_v = Value.Null; max_v = Value.Null; nulls = 0; rows = 0 }
 
 let all_null t = t.nulls = t.rows
 
+(* NaN is excluded from the bounds and counted with the nulls ("null-ish"):
+   it compares false against everything, so including it in min/max would
+   poison the interval and let [may_match] refute blocks that do contain
+   matching rows. *)
 let observe t v =
-  if Value.is_null v then { t with nulls = t.nulls + 1; rows = t.rows + 1 }
+  if Value.is_null v || Value.is_nan v then
+    { t with nulls = t.nulls + 1; rows = t.rows + 1 }
   else
     let min_v =
       if Value.is_null t.min_v || Value.compare_total v t.min_v < 0 then v
@@ -41,10 +46,12 @@ let merge a b =
    with [Value.compare_total] (numerics cross-representation, other type
    mixes by rank) — exactly what [Compile.value_cmp] evaluates per row, so
    interval reasoning over the block's min/max of *stored* values is sound:
-   a NULL probe constant, or an all-null block, fails every comparison and
-   the whole block can be skipped. *)
+   a NULL or NaN probe constant, or an all-null(-ish) block, fails every
+   comparison and the whole block can be skipped.  Stored NaNs are kept out
+   of the bounds by [observe]/the cstore builder, so the interval only
+   describes values a comparison could actually accept. *)
 let may_match t op v =
-  if Value.is_null v || all_null t then false
+  if Value.is_null v || Value.is_nan v || all_null t then false
   else
     let cmin = Value.compare_total t.min_v v in
     let cmax = Value.compare_total t.max_v v in

@@ -1,0 +1,20 @@
+(** EXPLAIN: the optimizer's plan for a query, without executing it.
+
+    The report shows the chosen generalized-a-priori reducers, the NLJP
+    outer/inner split with its component queries and memo/prune
+    configuration (including the reasons when either is off), the
+    inner-side access path in priority order (hash probe ≻ vectorized
+    column probe ≻ sorted inner index ≻ row scan), and the cost model's
+    per-node estimates for the baseline physical plan.
+
+    Nothing of the main query runs: [Optimizer.decide] with adaptivity off
+    is pure analysis.  The one exception is WITH — CTE blocks must be
+    materialized so the main block can be planned against their schemas;
+    the output flags this. *)
+
+val query :
+  ?tech:Optimizer.technique ->
+  ?nljp_config:Nljp.config ->
+  Relalg.Catalog.t ->
+  Sqlfront.Ast.query ->
+  string

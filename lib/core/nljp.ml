@@ -36,8 +36,10 @@ type stats = {
   mutable memo_on : bool;
   mutable vector_on : bool;
   mutable vector_evals : int;
+  mutable vector_fallbacks : int;
   mutable inner_blocks_skipped : int;
   mutable inner_blocks_scanned : int;
+  mutable waves : int;
   mutable notes : string list;
 }
 
@@ -54,10 +56,28 @@ let fresh_stats () =
     memo_on = false;
     vector_on = false;
     vector_evals = 0;
+    vector_fallbacks = 0;
     inner_blocks_skipped = 0;
     inner_blocks_scanned = 0;
+    waves = 0;
     notes = [];
   }
+
+(* Global metric mirrors of the per-execution stats (DESIGN.md §9), bumped
+   once per [execute] on the spawning domain so Runner and the bench read
+   every NLJP counter from the one obs registry. *)
+let m_outer_rows = Obs.Metrics.counter "nljp.outer_rows"
+let m_inner_evals = Obs.Metrics.counter "nljp.inner_evals"
+let m_pruned = Obs.Metrics.counter "nljp.pruned"
+let m_memo_hits = Obs.Metrics.counter "nljp.memo_hits"
+let m_vector_evals = Obs.Metrics.counter "nljp.vector_evals"
+let m_vector_fallbacks = Obs.Metrics.counter "nljp.vector_fallbacks"
+let m_blocks_skipped = Obs.Metrics.counter "nljp.inner_blocks_skipped"
+let m_blocks_scanned = Obs.Metrics.counter "nljp.inner_blocks_scanned"
+let m_prune_cache_rows = Obs.Metrics.counter "nljp.prune_cache_rows"
+let m_memo_cache_rows = Obs.Metrics.counter "nljp.memo_cache_rows"
+let m_cache_bytes = Obs.Metrics.counter "nljp.cache_bytes"
+let m_waves = Obs.Metrics.counter "nljp.waves"
 
 type t = {
   catalog : Catalog.t;
@@ -98,25 +118,30 @@ let col_numeric catalog (spec : Qspec.t) col =
     (match Schema.index_of tbl.Catalog.rel.Relation.schema col.Schema.name with
      | exception Schema.Unknown_column _ -> false
      | idx ->
+       let numeric_or_null = function
+         | Value.Int _ | Value.Float _ | Value.Null -> true
+         | Value.Str _ | Value.Bool _ -> false
+       in
        (match Relation.cstore_opt tbl.Catalog.rel with
         | Some cs ->
           (* Columnar table: the column-level zone map already knows the
-             value domain — no need to materialize rows to sample one. *)
-          (match (Column.Cstore.col_zmap cs idx).Column.Zmap.min_v with
-           | Value.Int _ | Value.Float _ -> true
-           | Value.Null -> true (* empty or all-null: assume numeric *)
-           | Value.Str _ | Value.Bool _ -> false)
+             value domain.  Both ends must be numeric: values order by type
+             rank, so a mixed column hides its strings at [max_v] (and its
+             bools at [min_v]) while the other bound still looks numeric. *)
+          let zm = Column.Cstore.col_zmap cs idx in
+          numeric_or_null zm.Column.Zmap.min_v
+          && numeric_or_null zm.Column.Zmap.max_v
         | None ->
+          (* Every value must be checked: sampling the first non-null row
+             would misjudge a mixed column that happens to lead with a
+             number, and the subsumption arithmetic downstream is only
+             sound if no string can flow into an ordered comparison. *)
           let rows = Relation.rows tbl.Catalog.rel in
-          let rec sample i =
-            if i >= Array.length rows then true (* empty: assume numeric *)
-            else
-              match rows.(i).(idx) with
-              | Value.Int _ | Value.Float _ -> true
-              | Value.Str _ | Value.Bool _ -> false
-              | Value.Null -> sample (i + 1)
+          let rec all i =
+            i >= Array.length rows
+            || (numeric_or_null rows.(i).(idx) && all (i + 1))
           in
-          sample 0))
+          all 0))
 
 let build ?(overrides = []) catalog (spec : Qspec.t) config =
   if not (Qspec.pred_applicable spec.Qspec.right spec.Qspec.having) then
@@ -397,6 +422,7 @@ type chunk_out = {
 let execute op =
   let { catalog; spec; overrides; config; cls; key_case; all_aggs; subsume; _ } = op in
   let stats = op.stats in
+  let waves0 = stats.waves in
   stats.notes <-
     (match op.prune_reason with
      | Some r when config.pruning -> [ "pruning off: " ^ r ]
@@ -705,25 +731,10 @@ let execute op =
         caches
   in
   (* Q_R(b): evaluate the inner query for one binding, counting the eval
-     against the caller's (chunk-local) stats. *)
-  let eval_inner st b =
-    st.inner_evals <- st.inner_evals + 1;
-    match colprobe with
-    | Some cp ->
-      st.vector_evals <- st.vector_evals + 1;
-      let out = Colprobe.eval cp b in
-      st.inner_blocks_skipped <-
-        st.inner_blocks_skipped + out.Colprobe.blocks_skipped;
-      st.inner_blocks_scanned <-
-        st.inner_blocks_scanned + out.Colprobe.blocks_scanned;
-      List.map
-        (fun (v, states) ->
-          let finals =
-            Array.of_list (List.map2 (fun c st -> c.Agg.final st) compiled states)
-          in
-          { v; states; finals })
-        out.Colprobe.groups
-    | None ->
+     against the caller's (chunk-local) stats.  [row_eval] is the row-path
+     body, also the degradation target when the vectorized evaluator hits a
+     block it cannot handle ([Colprobe.Fallback]). *)
+  let row_eval b =
     let parts : Agg.state list Row.Tbl.t = Row.Tbl.create 8 in
     let order = ref [] in
     let consider rrow =
@@ -753,6 +764,37 @@ let execute op =
         let finals = Array.of_list (List.map2 (fun c st -> c.Agg.final st) compiled states) in
         { v; states; finals })
       !order
+  in
+  let eval_inner st b =
+    st.inner_evals <- st.inner_evals + 1;
+    match colprobe with
+    | None -> row_eval b
+    | Some cp ->
+      (match Colprobe.eval cp b with
+       | out ->
+         st.vector_evals <- st.vector_evals + 1;
+         st.inner_blocks_skipped <-
+           st.inner_blocks_skipped + out.Colprobe.blocks_skipped;
+         st.inner_blocks_scanned <-
+           st.inner_blocks_scanned + out.Colprobe.blocks_scanned;
+         List.map
+           (fun (v, states) ->
+             let finals =
+               Array.of_list (List.map2 (fun c st -> c.Agg.final st) compiled states)
+             in
+             { v; states; finals })
+           out.Colprobe.groups
+       | exception Colprobe.Fallback reason ->
+         (* A block's physical layout contradicted the build-time check:
+            degrade this binding to the row path (a full inner scan — the
+            vector path only engages when no hash/index access applies) and
+            record why, once per distinct reason.  [Relation.iter] may force
+            the inner row view lazily here; racing domains at worst
+            duplicate that materialization, never tear it. *)
+         st.vector_fallbacks <- st.vector_fallbacks + 1;
+         let note = "vector off: " ^ reason in
+         if not (List.mem note st.notes) then st.notes <- st.notes @ [ note ];
+         row_eval b)
   in
   (* Definition 5.  With G_R = ∅ the condition reduces to ¬Φ(R⋉w), which for
      an empty join set means evaluating Φ on the empty input (COUNT = 0 may
@@ -947,6 +989,7 @@ let execute op =
   let chunk_results, final_prune, final_memo =
     if workers = 1 || n < workers * 32 then begin
       (* Sequential: one chunk, its local caches are the caches. *)
+      stats.waves <- stats.waves + 1;
       let r =
         process_chunk ~shared_prune:None ~shared_memo:None (Relation.rows l_rel)
       in
@@ -995,6 +1038,7 @@ let execute op =
       let results = ref [] in
       Seq.iter
         (fun slice ->
+        stats.waves <- stats.waves + 1;
         let rs =
           Parallel.run_chunks ~workers slice
             (process_chunk ~shared_prune:(Some shared_prune)
@@ -1066,10 +1110,16 @@ let execute op =
       stats.pruned <- stats.pruned + s.pruned;
       stats.memo_hits <- stats.memo_hits + s.memo_hits;
       stats.vector_evals <- stats.vector_evals + s.vector_evals;
+      stats.vector_fallbacks <- stats.vector_fallbacks + s.vector_fallbacks;
       stats.inner_blocks_skipped <-
         stats.inner_blocks_skipped + s.inner_blocks_skipped;
       stats.inner_blocks_scanned <-
-        stats.inner_blocks_scanned + s.inner_blocks_scanned)
+        stats.inner_blocks_scanned + s.inner_blocks_scanned;
+      List.iter
+        (fun note ->
+          if not (List.mem note stats.notes) then
+            stats.notes <- stats.notes @ [ note ])
+        s.notes)
     chunk_results;
   stats.prune_cache_rows <- Prune_cache.length final_prune;
   stats.memo_cache_rows <- Row.Tbl.length final_memo;
@@ -1086,6 +1136,22 @@ let execute op =
       final_memo 0
   in
   stats.cache_bytes <- Prune_cache.bytes final_prune + memo_bytes;
+  (* Publish this execution's totals into the metrics registry.  Cache and
+     wave figures are end-of-run values, not per-chunk sums, so they are
+     added here rather than in the chunk loop above. *)
+  let this_run get = List.fold_left (fun a r -> a + get r.c_stats) 0 chunk_results in
+  Obs.Metrics.add m_outer_rows (this_run (fun s -> s.outer_rows));
+  Obs.Metrics.add m_inner_evals (this_run (fun s -> s.inner_evals));
+  Obs.Metrics.add m_pruned (this_run (fun s -> s.pruned));
+  Obs.Metrics.add m_memo_hits (this_run (fun s -> s.memo_hits));
+  Obs.Metrics.add m_vector_evals (this_run (fun s -> s.vector_evals));
+  Obs.Metrics.add m_vector_fallbacks (this_run (fun s -> s.vector_fallbacks));
+  Obs.Metrics.add m_blocks_skipped (this_run (fun s -> s.inner_blocks_skipped));
+  Obs.Metrics.add m_blocks_scanned (this_run (fun s -> s.inner_blocks_scanned));
+  Obs.Metrics.add m_prune_cache_rows stats.prune_cache_rows;
+  Obs.Metrics.add m_memo_cache_rows stats.memo_cache_rows;
+  Obs.Metrics.add m_cache_bytes stats.cache_bytes;
+  Obs.Metrics.add m_waves (stats.waves - waves0);
   (Relation.of_rows out_schema (List.rev !out_rows), stats)
 
 let describe op =
@@ -1118,3 +1184,164 @@ let describe op =
   Buffer.contents b
 
 let subsumption op = op.subsume
+
+(* ---- static access-path planning (EXPLAIN) ----
+
+   Mirror of [execute]'s inner access decision — hash probe (equality Θ
+   conjunct) ≻ vectorized column probe ≻ sorted inner index ≻ row scan —
+   computed from the side schemas and catalog layout facts alone, without
+   materializing either side query.  Where the runtime decision depends on
+   materialized data (a filtered scan of a columnar table currently yields
+   a row relation, an override replaces the inner FROM item), the mirror
+   predicts the degradation and says why in its notes. *)
+
+type access =
+  | A_hash of int
+  | A_vector
+  | A_index of string
+  | A_scan
+
+let access_to_string = function
+  | A_hash n ->
+    Printf.sprintf "hash probe (%d equality conjunct%s)" n
+      (if n = 1 then "" else "s")
+  | A_vector -> "vectorized column probe (zone-map skipping)"
+  | A_index c -> Printf.sprintf "sorted inner index on %s" c
+  | A_scan -> "row scan"
+
+let plan_access op =
+  let { catalog; spec; overrides; config; _ } = op in
+  let notes = ref [] in
+  let note n = if not (List.mem n !notes) then notes := !notes @ [ n ] in
+  try
+    let left_side = spec.Qspec.left and right_side = spec.Qspec.right in
+    let l_schema = left_side.Qspec.schema
+    and r_schema = right_side.Qspec.schema in
+    let jl_idx =
+      List.map (fun c -> Schema.index_of_col l_schema c) left_side.Qspec.join_cols
+    in
+    let binding_schema = Schema.project l_schema jl_idx in
+    let theta =
+      Expr.canonicalize
+        (Schema.append binding_schema r_schema)
+        (Qspec.theta_expr catalog spec)
+    in
+    let bare_r = function
+      | Expr.Col c ->
+        (match Schema.index_of_col r_schema c with
+         | i -> Some i
+         | exception Schema.Unknown_column _ -> None
+         | exception Schema.Ambiguous_column _ -> None)
+      | _ -> None
+    in
+    let binding_only e =
+      List.for_all
+        (fun c ->
+          match Schema.index_of_col binding_schema c with
+          | _ -> true
+          | exception Schema.Unknown_column _ -> false
+          | exception Schema.Ambiguous_column _ -> false)
+        (Expr.columns e)
+    in
+    let conjs = Expr.conjuncts theta in
+    let eq_probes =
+      List.filter_map
+        (fun conj ->
+          match conj with
+          | Expr.Cmp (Expr.Eq, a, b) ->
+            (match bare_r a, bare_r b with
+             | Some ridx, _ when binding_only b -> Some ridx
+             | _, Some ridx when binding_only a -> Some ridx
+             | _ -> None)
+          | _ -> None)
+        conjs
+    in
+    if eq_probes <> [] then (A_hash (List.length eq_probes), !notes)
+    else begin
+      let inner_columnar =
+        match right_side.Qspec.tables with
+        | [ (tname, alias) ] ->
+          if List.mem_assoc alias overrides then begin
+            note "vector off: inner FROM item is overridden (a-priori reducer)";
+            false
+          end
+          else if right_side.Qspec.local <> [] then begin
+            note
+              "vector off: inner-side local predicates materialize a row relation";
+            false
+          end
+          else (
+            match Relation.layout (Catalog.find catalog tname).Catalog.rel with
+            | `Column -> true
+            | _ ->
+              note "vector off: inner side is not column-primary";
+              false)
+        | _ ->
+          note "vector off: inner side joins several tables";
+          false
+      in
+      let vector_ok =
+        if not config.vector then begin
+          note "vector off: disabled by configuration";
+          false
+        end
+        else if not inner_columnar then false
+        else begin
+          let _, _, exact =
+            Compile.param_probes ~binding:binding_schema ~inner:r_schema theta
+          in
+          if not exact then begin
+            note "vector off: Θ has conjuncts outside the r_col-vs-binding shape";
+            false
+          end
+          else
+            List.for_all
+              (fun f ->
+                match (f : Agg.func) with
+                | Agg.Count_star -> true
+                | Agg.Count_distinct _ ->
+                  note "vector off: COUNT(DISTINCT) has no bounded kernel state";
+                  false
+                | Agg.Count e | Agg.Sum e | Agg.Min e | Agg.Max e | Agg.Avg e ->
+                  (match e with
+                   | Expr.Col c ->
+                     (match f with
+                      | Agg.Count _ -> true
+                      | _ ->
+                        if col_numeric catalog spec c then true
+                        else begin
+                          note
+                            ("vector off: " ^ Agg.to_string f
+                           ^ ": input column is not numeric");
+                          false
+                        end)
+                   | _ ->
+                     note
+                       ("vector off: " ^ Agg.to_string f
+                      ^ " ranges over a computed expression");
+                     false))
+              (List.map Binder.agg_func op.all_aggs)
+        end
+      in
+      if vector_ok then (A_vector, !notes)
+      else if not config.inner_index then (A_scan, !notes)
+      else
+        let idx =
+          List.find_map
+            (fun conj ->
+              match conj with
+              | Expr.Cmp (Expr.Eq, _, _) -> None
+              | Expr.Cmp (_, a, b) ->
+                (match bare_r a, bare_r b with
+                 | Some ridx, _ when binding_only b -> Some ridx
+                 | _, Some ridx when binding_only a -> Some ridx
+                 | _ -> None)
+              | _ -> None)
+            conjs
+        in
+        (match idx with
+         | Some ridx -> (A_index (Qspec.col_name (Schema.nth r_schema ridx)), !notes)
+         | None -> (A_scan, !notes))
+    end
+  with e ->
+    (A_scan, !notes @ [ "access-path planning degraded: " ^ Printexc.to_string e ])

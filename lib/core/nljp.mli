@@ -70,9 +70,13 @@ type stats = {
   mutable memo_on : bool;
   mutable vector_on : bool;  (** the vectorized inner loop was used *)
   mutable vector_evals : int;  (** inner evals served by it *)
+  mutable vector_fallbacks : int;
+      (** evals the vectorized path abandoned mid-flight
+          ([Relalg.Colprobe.Fallback]) and redid on the row path *)
   mutable inner_blocks_skipped : int;
       (** blocks refuted per binding by a zone-map probe, summed over evals *)
   mutable inner_blocks_scanned : int;
+  mutable waves : int;  (** outer-side slices processed (1 when sequential) *)
   mutable notes : string list;
 }
 
@@ -99,3 +103,19 @@ val describe : t -> string
 
 (** The derived subsumption predicate, if pruning is active. *)
 val subsumption : t -> Subsume.t option
+
+(** The inner-side access path, in [execute]'s priority order: hash probe
+    on equality Θ conjuncts ≻ vectorized column probe ≻ sorted inner index
+    on a Θ bound ≻ row scan. *)
+type access =
+  | A_hash of int  (** equality conjuncts feeding the hash-index probe *)
+  | A_vector
+  | A_index of string  (** sorted inner index on this column *)
+  | A_scan
+
+val access_to_string : access -> string
+
+(** Statically mirror [execute]'s access-path decision — no side query is
+    materialized, so this is safe for EXPLAIN.  The notes say why faster
+    paths were rejected (mirroring [stats.notes]'s wording). *)
+val plan_access : t -> access * string list

@@ -178,7 +178,14 @@ let adaptive_keep catalog rw =
          | exception _ -> true)
     end
 
+(* Decision-mix metrics (DESIGN.md §9): how often each optimization fires. *)
+let m_decisions = Obs.Metrics.counter "optimizer.decisions"
+let m_apriori = Obs.Metrics.counter "optimizer.apriori_rewrites"
+let m_adaptive_dropped = Obs.Metrics.counter "optimizer.adaptive_dropped"
+let m_nljp_plans = Obs.Metrics.counter "optimizer.nljp_plans"
+
 let decide ?(adaptive = false) catalog q ~tech ~nljp_config =
+  Obs.Metrics.incr m_decisions;
   let notes = ref [] in
   let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
   (* Phase 1: generalized a-priori over disjoint subsets (Listing 9). *)
@@ -204,12 +211,15 @@ let decide ?(adaptive = false) catalog q ~tech ~nljp_config =
       List.filter
         (fun rw ->
           let keep = adaptive_keep catalog rw in
-          if not keep then
+          if not keep then begin
+            Obs.Metrics.incr m_adaptive_dropped;
             note "a-priori: dropped unselective reducer on {%s} (adaptive gate)"
-              (String.concat ", " rw.reduced);
+              (String.concat ", " rw.reduced)
+          end;
           keep)
         rewrites
   in
+  Obs.Metrics.add m_apriori (List.length rewrites);
   let overrides = List.concat_map (fun rw -> rw.replacements) rewrites in
   (* Phase 2: memoization and pruning via NLJP. *)
   let nljp =
@@ -217,6 +227,7 @@ let decide ?(adaptive = false) catalog q ~tech ~nljp_config =
       let apriori_groups = List.map (fun rw -> rw.reduced) rewrites in
       match pick_memprune catalog q ~tech ~nljp_config ~apriori_groups ~overrides with
       | Some (op, aliases) ->
+        Obs.Metrics.incr m_nljp_plans;
         note "NLJP: outer side {%s}" (String.concat ", " aliases);
         Some (op, aliases)
       | None ->

@@ -94,6 +94,21 @@ let derived_nonneg catalog (q : Ast.query) =
 
 (* ---- execution ---- *)
 
+(* Span plumbing: spans are explicit and optional — when the caller passes
+   none, tracing costs nothing. *)
+let in_span span name f =
+  match span with
+  | None -> f None
+  | Some parent -> Obs.Span.with_span ~parent name (fun s -> f (Some s))
+
+let span_rows_out s n =
+  match s with Some sp -> sp.Obs.Span.rows_out <- Some n | None -> ()
+
+let span_counter s k v =
+  match s with Some sp -> Obs.Span.set_counter sp k v | None -> ()
+
+let span_note s msg = match s with Some sp -> Obs.Span.note sp msg | None -> ()
+
 let fresh_temp_name catalog base =
   if not (Catalog.mem catalog base) then base
   else begin
@@ -120,9 +135,9 @@ let rename_table_refs (q : Ast.query) renames =
         q.Ast.from;
   }
 
-let rec run ?(tech = Optimizer.all_techniques) ?(nljp_config = Nljp.default_config)
-    ?workers ?(memo_strategy = `Nljp) ?(adaptive_apriori = false) catalog
-    (q : Ast.query) =
+let rec run ?span ?(tech = Optimizer.all_techniques)
+    ?(nljp_config = Nljp.default_config) ?workers ?(memo_strategy = `Nljp)
+    ?(adaptive_apriori = false) catalog (q : Ast.query) =
   (* [?workers] overrides the NLJP worker count; once folded into the config
      it propagates to CTE blocks through the recursive call below. *)
   let nljp_config =
@@ -138,7 +153,15 @@ let rec run ?(tech = Optimizer.all_techniques) ?(nljp_config = Nljp.default_conf
   List.iter
     (fun (name, def) ->
       let def = rename_table_refs def !renames in
-      let rel, rep = run ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog def in
+      let rel, rep =
+        in_span span ("cte:" ^ name) (fun s ->
+            let rel, rep =
+              run ?span:s ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
+                catalog def
+            in
+            span_rows_out s (Relation.cardinality rel);
+            (rel, rep))
+      in
       let fresh = fresh_temp_name catalog name in
       let keys = match derived_key def with Some k -> [ k ] | None -> [] in
       let nonneg = derived_nonneg catalog def in
@@ -154,7 +177,8 @@ let rec run ?(tech = Optimizer.all_techniques) ?(nljp_config = Nljp.default_conf
      query's accounting. *)
   let skipped0, scanned0 = Colscan.counters () in
   let result, rep =
-    run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog main
+    run_block ~span ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog
+      main
   in
   List.iter (Catalog.remove_table catalog) !temp_names;
   let skipped1, scanned1 = Colscan.counters () in
@@ -168,9 +192,16 @@ let rec run ?(tech = Optimizer.all_techniques) ?(nljp_config = Nljp.default_conf
     { rep with notes = rep.notes @ block_notes; cte_reports = List.rev !cte_reports }
   )
 
-and run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog (q : Ast.query) =
+and run_block ~span ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog
+    (q : Ast.query) =
   let fallback notes =
-    let rel = Binder.run catalog q in
+    let rel =
+      in_span span "execute" (fun s ->
+          List.iter (span_note s) notes;
+          let rel = Binder.run catalog q in
+          span_rows_out s (Relation.cardinality rel);
+          rel)
+    in
     ( rel,
       {
         technique = tech;
@@ -196,9 +227,15 @@ and run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog (q : A
     && not tech.Optimizer.pruning
   then begin
     (* Appendix C: memoization through static query rewriting. *)
-    match Optimizer.pick_static_memo catalog q with
+    match in_span span "optimize" (fun _ -> Optimizer.pick_static_memo catalog q) with
     | Some rewritten ->
-      let rel = Binder.run catalog rewritten in
+      let rel =
+        in_span span "execute" (fun s ->
+            span_note s "memoization via static rewrite (Listing 8)";
+            let rel = Binder.run catalog rewritten in
+            span_rows_out s (Relation.cardinality rel);
+            rel)
+      in
       ( rel,
         {
           technique = tech;
@@ -212,7 +249,21 @@ and run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog (q : A
     | None -> fallback [ "static memo rewrite not applicable" ]
   end
   else begin
-    match Optimizer.decide ~adaptive:adaptive_apriori catalog q ~tech ~nljp_config with
+    match
+      in_span span "optimize" (fun s ->
+          match
+            Optimizer.decide ~adaptive:adaptive_apriori catalog q ~tech
+              ~nljp_config
+          with
+          | decision ->
+            span_counter s "apriori_rewrites"
+              (List.length decision.Optimizer.apriori_rewrites);
+            List.iter (span_note s) decision.Optimizer.notes;
+            decision
+          | exception e ->
+            span_note s "unsupported query shape";
+            raise e)
+    with
     | exception Qspec.Unsupported reason ->
       fallback [ "not optimized: " ^ reason ]
     | decision ->
@@ -229,7 +280,19 @@ and run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog (q : A
       in
       (match decision.Optimizer.nljp with
        | Some (op, aliases) ->
-         let rel, stats = Nljp.execute op in
+         let rel, stats =
+           in_span span "execute" (fun s ->
+               let rel, stats = Nljp.execute op in
+               span_rows_out s (Relation.cardinality rel);
+               span_counter s "outer_rows" stats.Nljp.outer_rows;
+               span_counter s "inner_evals" stats.Nljp.inner_evals;
+               span_counter s "pruned" stats.Nljp.pruned;
+               span_counter s "memo_hits" stats.Nljp.memo_hits;
+               span_counter s "vector_evals" stats.Nljp.vector_evals;
+               span_counter s "waves" stats.Nljp.waves;
+               List.iter (span_note s) stats.Nljp.notes;
+               (rel, stats))
+         in
          ( rel,
            {
              base_report with
@@ -238,7 +301,14 @@ and run_block ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog (q : A
              nljp_describe = Some (Nljp.describe op);
            } )
        | None ->
-         let rel = Binder.run catalog (Optimizer.rewritten_query decision) in
+         let rel =
+           in_span span "execute" (fun s ->
+               let rel =
+                 Binder.run catalog (Optimizer.rewritten_query decision)
+               in
+               span_rows_out s (Relation.cardinality rel);
+               rel)
+         in
          (rel, base_report))
   end
 

@@ -22,8 +22,12 @@ type report = {
     through Appendix C's static SQL rewrite (Listing 8).  [workers] overrides
     [nljp_config.workers] for the smart path (main block and CTE blocks
     alike): NLJP chunks its outer relation across that many Domains.  Results
-    are bag-equal to sequential execution. *)
+    are bag-equal to sequential execution.  [span] attaches the query
+    lifecycle (per-CTE [cte:<name>], [optimize], [execute] children with row
+    counts and operator counters) under the given parent span; omitted,
+    tracing costs nothing. *)
 val run :
+  ?span:Obs.Span.t ->
   ?tech:Optimizer.technique ->
   ?nljp_config:Nljp.config ->
   ?workers:int ->
@@ -46,3 +50,16 @@ val cache_bytes : report -> int
 val same_result : Relalg.Relation.t -> Relalg.Relation.t -> bool
 
 val report_to_string : report -> string
+
+(**/**)
+
+(* Internal helpers shared with [Explain], so its CTE handling registers
+   temp tables exactly as [run] does (same renaming, keys, domain facts). *)
+val rename_table_refs :
+  Sqlfront.Ast.query -> (string * string) list -> Sqlfront.Ast.query
+
+val fresh_temp_name : Relalg.Catalog.t -> string -> string
+val derived_key : Sqlfront.Ast.query -> string list option
+val derived_nonneg : Relalg.Catalog.t -> Sqlfront.Ast.query -> string list
+
+(**/**)

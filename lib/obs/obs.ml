@@ -1,0 +1,557 @@
+(* Unified observability: named metrics every operator reports into, and a
+   span tracer for the query lifecycle (DESIGN.md §9).
+
+   Counters are sharded per domain: each domain that touches a counter gets
+   its own cell through domain-local storage, so the increment on the
+   parallel NLJP hot path is one unsynchronized add to a cell no other
+   domain writes.  [read] merges the cells; after a [Domain.join] every
+   worker write is visible, so totals are deterministic.  [SI_OBS=0] turns
+   every increment into a no-op (the zero-overhead ablation switch). *)
+
+let enabled =
+  match Sys.getenv_opt "SI_OBS" with
+  | Some ("0" | "false" | "off") -> false
+  | _ -> true
+
+module Metrics = struct
+  type counter = {
+    c_name : string;
+    c_mu : Mutex.t;  (* guards [c_cells]; never held on the increment path *)
+    c_cells : int ref list ref;
+    c_key : int ref Domain.DLS.key;
+  }
+
+  type histogram = {
+    h_name : string;
+    h_mu : Mutex.t;
+    h_cells : hcell list ref;
+    h_key : hcell Domain.DLS.key;
+  }
+
+  (* Power-of-two buckets: bucket 0 is (-inf, 1), bucket i covers
+     [2^(i-1), 2^i) for observed values (milliseconds, rows, ...). *)
+  and hcell = { mutable hc_n : int; mutable hc_sum : float; hc_buckets : int array }
+
+  let nbuckets = 64
+  let registry_mu = Mutex.create ()
+  let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+  let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+  let counter name =
+    Mutex.lock registry_mu;
+    let c =
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> c
+      | None ->
+        let c_mu = Mutex.create () in
+        let c_cells = ref [] in
+        let c_key =
+          Domain.DLS.new_key (fun () ->
+              let r = ref 0 in
+              Mutex.lock c_mu;
+              c_cells := r :: !c_cells;
+              Mutex.unlock c_mu;
+              r)
+        in
+        let c = { c_name = name; c_mu; c_cells; c_key } in
+        Hashtbl.add counters_tbl name c;
+        c
+    in
+    Mutex.unlock registry_mu;
+    c
+
+  let add c n =
+    if enabled && n <> 0 then begin
+      let r = Domain.DLS.get c.c_key in
+      r := !r + n
+    end
+
+  let incr c = add c 1
+
+  let read c =
+    Mutex.lock c.c_mu;
+    let total = List.fold_left (fun acc r -> acc + !r) 0 !(c.c_cells) in
+    Mutex.unlock c.c_mu;
+    total
+
+  let reset c =
+    Mutex.lock c.c_mu;
+    List.iter (fun r -> r := 0) !(c.c_cells);
+    Mutex.unlock c.c_mu
+
+  let name c = c.c_name
+
+  let histogram name =
+    Mutex.lock registry_mu;
+    let h =
+      match Hashtbl.find_opt histograms_tbl name with
+      | Some h -> h
+      | None ->
+        let h_mu = Mutex.create () in
+        let h_cells = ref [] in
+        let h_key =
+          Domain.DLS.new_key (fun () ->
+              let cell =
+                { hc_n = 0; hc_sum = 0.; hc_buckets = Array.make nbuckets 0 }
+              in
+              Mutex.lock h_mu;
+              h_cells := cell :: !h_cells;
+              Mutex.unlock h_mu;
+              cell)
+        in
+        let h = { h_name = name; h_mu; h_cells; h_key } in
+        Hashtbl.add histograms_tbl name h;
+        h
+    in
+    Mutex.unlock registry_mu;
+    h
+
+  let bucket_of v =
+    let rec go i x = if x < 1. || i = nbuckets - 1 then i else go (i + 1) (x /. 2.) in
+    if Float.is_nan v then 0 else go 0 v
+
+  let observe h v =
+    if enabled then begin
+      let cell = Domain.DLS.get h.h_key in
+      cell.hc_n <- cell.hc_n + 1;
+      cell.hc_sum <- cell.hc_sum +. v;
+      let b = bucket_of v in
+      cell.hc_buckets.(b) <- cell.hc_buckets.(b) + 1
+    end
+
+  type hist_summary = { hs_name : string; hs_count : int; hs_sum : float; hs_buckets : int array }
+
+  let hist_read h =
+    Mutex.lock h.h_mu;
+    let merged = Array.make nbuckets 0 in
+    let n = ref 0 and sum = ref 0. in
+    List.iter
+      (fun cell ->
+        n := !n + cell.hc_n;
+        sum := !sum +. cell.hc_sum;
+        Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) cell.hc_buckets)
+      !(h.h_cells);
+    Mutex.unlock h.h_mu;
+    { hs_name = h.h_name; hs_count = !n; hs_sum = !sum; hs_buckets = merged }
+
+  let hist_reset h =
+    Mutex.lock h.h_mu;
+    List.iter
+      (fun cell ->
+        cell.hc_n <- 0;
+        cell.hc_sum <- 0.;
+        Array.fill cell.hc_buckets 0 nbuckets 0)
+      !(h.h_cells);
+    Mutex.unlock h.h_mu
+
+  let snapshot () =
+    Mutex.lock registry_mu;
+    let names = Hashtbl.fold (fun name _ acc -> name :: acc) counters_tbl [] in
+    Mutex.unlock registry_mu;
+    List.sort String.compare names
+    |> List.map (fun name -> (name, read (counter name)))
+
+  let hist_snapshot () =
+    Mutex.lock registry_mu;
+    let names = Hashtbl.fold (fun name _ acc -> name :: acc) histograms_tbl [] in
+    Mutex.unlock registry_mu;
+    List.sort String.compare names |> List.map (fun name -> hist_read (histogram name))
+
+  let reset_all () =
+    Mutex.lock registry_mu;
+    let cs = Hashtbl.fold (fun _ c acc -> c :: acc) counters_tbl [] in
+    let hs = Hashtbl.fold (fun _ h acc -> h :: acc) histograms_tbl [] in
+    Mutex.unlock registry_mu;
+    List.iter reset cs;
+    List.iter hist_reset hs
+
+  (* (name, after - before) for counters that moved between two snapshots;
+     bench rows are built from this. *)
+  let delta ~before ~after =
+    List.filter_map
+      (fun (name, v1) ->
+        let v0 = match List.assoc_opt name before with Some v -> v | None -> 0 in
+        if v1 <> v0 then Some (name, v1 - v0) else None)
+      after
+end
+
+(* ---- minimal JSON (printer + parser), for trace export/round-trip ---- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let escape_to b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let num_to_string x =
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%d" (int_of_float x)
+    else Printf.sprintf "%.12g" x
+
+  let rec to_buf b j =
+    match j with
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num x -> Buffer.add_string b (num_to_string x)
+    | Str s -> escape_to b s
+    | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ", ";
+          to_buf b x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          escape_to b k;
+          Buffer.add_string b ": ";
+          to_buf b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 256 in
+    to_buf b j;
+    Buffer.contents b
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let error msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> error (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      let ln = String.length word in
+      if !pos + ln <= n && String.sub s !pos ln = word then begin
+        pos := !pos + ln;
+        v
+      end
+      else error ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then error "unterminated string"
+        else begin
+          let c = s.[!pos] in
+          advance ();
+          if c = '"' then Buffer.contents b
+          else if c = '\\' then begin
+            if !pos >= n then error "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            (match e with
+             | '"' -> Buffer.add_char b '"'
+             | '\\' -> Buffer.add_char b '\\'
+             | '/' -> Buffer.add_char b '/'
+             | 'n' -> Buffer.add_char b '\n'
+             | 'r' -> Buffer.add_char b '\r'
+             | 't' -> Buffer.add_char b '\t'
+             | 'b' -> Buffer.add_char b '\b'
+             | 'f' -> Buffer.add_char b '\012'
+             | 'u' ->
+               if !pos + 4 > n then error "bad \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
+               (match int_of_string_opt ("0x" ^ hex) with
+                | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+                | Some _ -> Buffer.add_char b '?'  (* non-ASCII: not emitted by us *)
+                | None -> error "bad \\u escape")
+             | _ -> error "bad escape");
+            go ()
+          end
+          else begin
+            Buffer.add_char b c;
+            go ()
+          end
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && numchar s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> error "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> error "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> error "expected , or }"
+          in
+          Obj (members [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> error "expected , or ]"
+          in
+          Arr (elements [])
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing input";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+(* ---- span tracer ---- *)
+
+module Span = struct
+  type t = {
+    name : string;
+    mutable start_s : float;
+    mutable dur_ms : float;
+    mutable rows_in : int option;
+    mutable rows_out : int option;
+    mutable counters : (string * int) list;  (* insertion order *)
+    mutable notes : string list;
+    mutable children : t list;  (* reversed; [children] re-reverses *)
+  }
+
+  let now () = Unix.gettimeofday ()
+
+  let enter ?parent name =
+    let s =
+      {
+        name;
+        start_s = now ();
+        dur_ms = 0.;
+        rows_in = None;
+        rows_out = None;
+        counters = [];
+        notes = [];
+        children = [];
+      }
+    in
+    (match parent with Some p -> p.children <- s :: p.children | None -> ());
+    s
+
+  let finish ?rows_in ?rows_out s =
+    (match rows_in with Some _ -> s.rows_in <- rows_in | None -> ());
+    (match rows_out with Some _ -> s.rows_out <- rows_out | None -> ());
+    s.dur_ms <- (now () -. s.start_s) *. 1000.
+
+  let set_counter s k v =
+    if List.mem_assoc k s.counters then
+      s.counters <- List.map (fun (k', v') -> if k' = k then (k', v) else (k', v')) s.counters
+    else s.counters <- s.counters @ [ (k, v) ]
+
+  let add_counter s k v =
+    let prev = match List.assoc_opt k s.counters with Some x -> x | None -> 0 in
+    set_counter s k (prev + v)
+
+  let note s msg = s.notes <- s.notes @ [ msg ]
+  let children s = List.rev s.children
+
+  let with_span ?parent ?rows_out name f =
+    let s = enter ?parent name in
+    match f s with
+    | v ->
+      finish ?rows_out s;
+      v
+    | exception e ->
+      note s "aborted by exception";
+      finish s;
+      raise e
+
+  (* EXPLAIN ANALYZE-style tree. *)
+  let to_text s =
+    let b = Buffer.create 256 in
+    let rec go indent s =
+      let pad = String.make indent ' ' in
+      Buffer.add_string b (Printf.sprintf "%s%s  %.3f ms" pad s.name s.dur_ms);
+      (match s.rows_in with
+       | Some r -> Buffer.add_string b (Printf.sprintf "  rows_in=%d" r)
+       | None -> ());
+      (match s.rows_out with
+       | Some r -> Buffer.add_string b (Printf.sprintf "  rows_out=%d" r)
+       | None -> ());
+      Buffer.add_char b '\n';
+      if s.counters <> [] then begin
+        Buffer.add_string b
+          (pad ^ "  ["
+          ^ String.concat " "
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.counters)
+          ^ "]\n")
+      end;
+      List.iter
+        (fun n -> Buffer.add_string b (pad ^ "  note: " ^ n ^ "\n"))
+        s.notes;
+      List.iter (go (indent + 2)) (children s)
+    in
+    go 0 s;
+    Buffer.contents b
+
+  let rec to_json s : Json.t =
+    let opt_int = function Some i -> Json.Num (float_of_int i) | None -> Json.Null in
+    Json.Obj
+      [
+        ("name", Json.Str s.name);
+        ("ms", Json.Num s.dur_ms);
+        ("rows_in", opt_int s.rows_in);
+        ("rows_out", opt_int s.rows_out);
+        ( "counters",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) s.counters) );
+        ("notes", Json.Arr (List.map (fun n -> Json.Str n) s.notes));
+        ("children", Json.Arr (List.map to_json (children s)));
+      ]
+
+  let rec of_json j =
+    let str_field k d = match Json.member k j with Some (Json.Str s) -> s | _ -> d in
+    let num_field k =
+      match Json.member k j with Some (Json.Num x) -> Some x | _ -> None
+    in
+    let int_opt k =
+      match num_field k with Some x -> Some (int_of_float x) | None -> None
+    in
+    let counters =
+      match Json.member "counters" j with
+      | Some (Json.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) ->
+            match v with Json.Num x -> Some (k, int_of_float x) | _ -> None)
+          kvs
+      | _ -> []
+    in
+    let notes =
+      match Json.member "notes" j with
+      | Some (Json.Arr xs) ->
+        List.filter_map (function Json.Str s -> Some s | _ -> None) xs
+      | _ -> []
+    in
+    let kids =
+      match Json.member "children" j with
+      | Some (Json.Arr xs) -> List.rev_map of_json xs
+      | _ -> []
+    in
+    {
+      name = str_field "name" "?";
+      start_s = 0.;
+      dur_ms = (match num_field "ms" with Some x -> x | None -> 0.);
+      rows_in = int_opt "rows_in";
+      rows_out = int_opt "rows_out";
+      counters;
+      notes;
+      children = kids;
+    }
+
+  let to_json_string s = Json.to_string (to_json s)
+  let of_json_string str = of_json (Json.of_string str)
+
+  (* A trace document: the span tree plus the global metric totals at
+     export time (so skipping-effectiveness analysis has both views). *)
+  let trace_json s =
+    Json.Obj
+      [
+        ("trace", to_json s);
+        ( "metrics",
+          Json.Obj
+            (List.map
+               (fun (k, v) -> (k, Json.Num (float_of_int v)))
+               (Metrics.snapshot ())) );
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (h : Metrics.hist_summary) ->
+                 ( h.Metrics.hs_name,
+                   Json.Obj
+                     [
+                       ("count", Json.Num (float_of_int h.Metrics.hs_count));
+                       ("sum", Json.Num h.Metrics.hs_sum);
+                     ] ))
+               (Metrics.hist_snapshot ())) );
+      ]
+end

@@ -1,0 +1,115 @@
+(** Unified observability layer (DESIGN.md §9).
+
+    Every operator reports into one registry of named monotonic counters
+    and histograms, and query execution is recorded as a tree of spans
+    exportable as an [EXPLAIN ANALYZE]-style text tree or JSON.  The layer
+    sits below [relalg] and [core] so the columnar scan kernels and the
+    NLJP operator share one vocabulary. *)
+
+(** [false] when [SI_OBS] is [0]/[false]/[off]: every increment and
+    observation becomes a no-op (the zero-overhead ablation switch).
+    Spans are unaffected — tracing is explicit and opt-in at call sites. *)
+val enabled : bool
+
+module Metrics : sig
+  type counter
+  (** A named monotonic counter, sharded per domain: each domain that
+      touches it increments a private cell (one unsynchronized add), and
+      {!read} merges the cells.  Totals are deterministic once the writing
+      domains have been joined. *)
+
+  (** Find or register the counter with this name (process-global). *)
+  val counter : string -> counter
+
+  val add : counter -> int -> unit
+  val incr : counter -> unit
+  val read : counter -> int
+  val reset : counter -> unit
+  val name : counter -> string
+
+  type histogram
+  (** Power-of-two-bucket histogram with per-domain cells, same sharding
+      discipline as counters. *)
+
+  val histogram : string -> histogram
+  val observe : histogram -> float -> unit
+
+  type hist_summary = {
+    hs_name : string;
+    hs_count : int;
+    hs_sum : float;
+    hs_buckets : int array;
+  }
+
+  val hist_read : histogram -> hist_summary
+  val hist_reset : histogram -> unit
+
+  (** All counters as (name, total), sorted by name. *)
+  val snapshot : unit -> (string * int) list
+
+  val hist_snapshot : unit -> hist_summary list
+  val reset_all : unit -> unit
+
+  (** Counters that moved between two {!snapshot}s, as (name, increase). *)
+  val delta :
+    before:(string * int) list -> after:(string * int) list -> (string * int) list
+end
+
+(** Minimal JSON values with a printer and a parser — enough for trace
+    export and its round-trip test, with no external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val to_string : t -> string
+  val of_string : string -> t
+  val member : string -> t -> t option
+end
+
+module Span : sig
+  type t = {
+    name : string;
+    mutable start_s : float;
+    mutable dur_ms : float;
+    mutable rows_in : int option;
+    mutable rows_out : int option;
+    mutable counters : (string * int) list;
+    mutable notes : string list;
+    mutable children : t list;  (** reversed; use {!children} *)
+  }
+
+  (** Start a span now; appends to [parent]'s children when given. *)
+  val enter : ?parent:t -> string -> t
+
+  (** Stamp the duration (and optionally row counts). *)
+  val finish : ?rows_in:int -> ?rows_out:int -> t -> unit
+
+  val set_counter : t -> string -> int -> unit
+  val add_counter : t -> string -> int -> unit
+  val note : t -> string -> unit
+
+  (** Children in creation order. *)
+  val children : t -> t list
+
+  (** [with_span name f] runs [f span] between [enter] and [finish];
+      exceptions still finish the span (with a note) before re-raising. *)
+  val with_span : ?parent:t -> ?rows_out:int -> string -> (t -> 'a) -> 'a
+
+  (** Human [EXPLAIN ANALYZE]-style tree. *)
+  val to_text : t -> string
+
+  val to_json : t -> Json.t
+  val of_json : Json.t -> t
+  val to_json_string : t -> string
+  val of_json_string : string -> t
+
+  (** Span tree plus global metric/histogram totals, the [--trace] document. *)
+  val trace_json : t -> Json.t
+end

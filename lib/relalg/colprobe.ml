@@ -22,6 +22,13 @@
 
 open Column
 
+(* A block whose physical column type deviates from what [build] verified
+   (all-numeric for aggregate inputs, all-dict for dictionary grouping).
+   Unreachable for today's immutable cstores, but instead of aborting the
+   process the evaluator raises and NLJP degrades to the row path, surfacing
+   a [vector off: ...] note in the trace. *)
+exception Fallback of string
+
 (* ---- typed per-row comparison tests (shared with Colscan's σ) ---- *)
 
 (* Compile one (column, op, constant) test into an [int -> bool] over a
@@ -39,6 +46,8 @@ let row_test cs (b : Cstore.block) col (op : Expr.cmp) (v : Value.t) : int -> bo
     let vc = Compile.value_cmp op in
     fun i -> vc (Cstore.value_at cs b col i) v
   in
+  if Value.is_nan v then (fun _ -> false)  (* NaN compares false to everything *)
+  else
   match vec, v with
   | Cstore.C_int (a, bm), Value.Int k ->
     let test =
@@ -63,11 +72,13 @@ let row_test cs (b : Cstore.block) col (op : Expr.cmp) (v : Value.t) : int -> bo
     in
     null_guard bm test
   | Cstore.C_float (a, bm), (Value.Int _ | Value.Float _) ->
-    let f = match v with Value.Int k -> float_of_int k | Value.Float f -> f | _ -> assert false in
+    let f = match v with Value.Int k -> float_of_int k | Value.Float f -> f | _ -> 0. in
     let test =
+      (* [Ne] is spelled [< ||  >] so a stored NaN matches nothing, like the
+         row path; the other operators get that from IEEE semantics. *)
       match op with
       | Expr.Eq -> fun i -> a.(i) = f
-      | Expr.Ne -> fun i -> a.(i) <> f
+      | Expr.Ne -> fun i -> a.(i) < f || a.(i) > f
       | Expr.Lt -> fun i -> a.(i) < f
       | Expr.Le -> fun i -> a.(i) <= f
       | Expr.Gt -> fun i -> a.(i) > f
@@ -76,15 +87,15 @@ let row_test cs (b : Cstore.block) col (op : Expr.cmp) (v : Value.t) : int -> bo
     null_guard bm test
   | Cstore.C_dict (codes, bm), Value.Str s ->
     (match op, Cstore.dict cs col with
-     | (Expr.Eq | Expr.Ne), Some d ->
+     | ((Expr.Eq | Expr.Ne) as op), Some d ->
        (* Equality against the dictionary is one code comparison per row;
           an absent string matches nothing (Eq) / every non-null row (Ne). *)
-       (match Dict.find_opt d s, op with
-        | Some code, Expr.Eq -> null_guard bm (fun i -> codes.(i) = code)
-        | Some code, Expr.Ne -> null_guard bm (fun i -> codes.(i) <> code)
-        | None, Expr.Eq -> fun _ -> false
-        | None, Expr.Ne -> null_guard bm (fun _ -> true)
-        | _ -> assert false)
+       let eq = op = Expr.Eq in
+       (match Dict.find_opt d s with
+        | Some code ->
+          if eq then null_guard bm (fun i -> codes.(i) = code)
+          else null_guard bm (fun i -> codes.(i) <> code)
+        | None -> if eq then fun _ -> false else null_guard bm (fun _ -> true))
      | _ -> generic ())
   | _ -> generic ()
 
@@ -245,7 +256,16 @@ let step_sum_int ks g v =
   | 0 ->
     ks.mode.(g) <- 1;
     ks.isum.(g) <- v
-  | 1 -> ks.isum.(g) <- ks.isum.(g) + v
+  | 1 ->
+    (* Same-sign operands whose sum flips sign overflowed: promote to float,
+       exactly [Value.add]'s rule, so SUM/AVG past max_int match the row
+       path instead of wrapping. *)
+    let s = ks.isum.(g) + v in
+    if (ks.isum.(g) >= 0) = (v >= 0) && (s >= 0) <> (ks.isum.(g) >= 0) then begin
+      ks.mode.(g) <- 2;
+      ks.fsum.(g) <- float_of_int ks.isum.(g) +. float_of_int v
+    end
+    else ks.isum.(g) <- s
   | _ -> ks.fsum.(g) <- ks.fsum.(g) +. float_of_int v
 
 let step_sum_float ks g v =
@@ -291,7 +311,8 @@ let step_minmax_float smaller ks g v =
     if (if smaller then c < 0 else c > 0) then ks.fsum.(g) <- v
 
 (* Iterate (group, value) over the selection for a numeric column; null
-   rows are skipped.  The build check guarantees int or float blocks. *)
+   rows are skipped.  The build check guarantees int or float blocks;
+   anything else aborts the vectorized path (see [Fallback]). *)
 let iter_num (blk : Cstore.block) ci sel gids n ~fi ~ff =
   match blk.Cstore.cols.(ci) with
   | Cstore.C_int (a, None) ->
@@ -312,7 +333,7 @@ let iter_num (blk : Cstore.block) ci sel gids n ~fi ~ff =
       let i = sel.(k) in
       if not (Bitset.get bm i) then ff gids.(k) a.(i)
     done
-  | _ -> assert false
+  | _ -> raise (Fallback "aggregate input block is not numeric")
 
 let null_test (vec : Cstore.cvec) : int -> bool =
   match vec with
@@ -400,7 +421,7 @@ let eval t b =
                       gids.(k) <- gid
                     end
                   done
-                | _ -> assert false)
+                | _ -> raise (Fallback "grouping block is not dictionary-coded"))
              | G_generic cols ->
                let nc = Array.length cols in
                for k = 0 to n - 1 do

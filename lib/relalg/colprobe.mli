@@ -38,6 +38,12 @@ val row_test :
 
 type t
 
+(** Raised by [eval] when a block's physical layout contradicts what
+    [build] verified (e.g. a non-numeric block under a SUM kernel).
+    Unreachable for immutable cstores, but callers (NLJP) catch it and
+    degrade to the row path rather than abort. *)
+exception Fallback of string
+
 (** Result of one per-binding evaluation: the non-empty groups of Q_R(b)
     as (G_R key row, aggregate states) in first-appearance row order —
     matching the row path's partition order — plus data-skipping counters. *)

@@ -8,18 +8,19 @@
    vectors, otherwise rows are rebuilt and the compiled row predicate
    decides.
 
-   The skip/scan counters are global and atomic: scans may run from worker
-   domains, and Runner reports them per query (reset between runs). *)
+   The skip/scan counters live in the obs metrics registry: scans may run
+   from worker domains (per-domain cells, merged on read), and Runner
+   reports them per query (reset between runs). *)
 
-let blocks_skipped = Atomic.make 0
-let blocks_scanned = Atomic.make 0
+let blocks_skipped = Obs.Metrics.counter "colscan.blocks_skipped"
+let blocks_scanned = Obs.Metrics.counter "colscan.blocks_scanned"
 
 let reset_counters () =
-  Atomic.set blocks_skipped 0;
-  Atomic.set blocks_scanned 0
+  Obs.Metrics.reset blocks_skipped;
+  Obs.Metrics.reset blocks_scanned
 
 (* (skipped, scanned) since the last [reset_counters]. *)
-let counters () = (Atomic.get blocks_skipped, Atomic.get blocks_scanned)
+let counters () = (Obs.Metrics.read blocks_skipped, Obs.Metrics.read blocks_scanned)
 
 open Column
 
@@ -74,9 +75,9 @@ let select pred rel =
             (fun (ci, op, v) -> not (Zmap.may_match b.Cstore.zmaps.(ci) op v))
             zprobes
         in
-        if skip then Atomic.incr blocks_skipped
+        if skip then Obs.Metrics.incr blocks_skipped
         else begin
-          Atomic.incr blocks_scanned;
+          Obs.Metrics.incr blocks_scanned;
           let tests =
             if keep = None then
               Array.of_list (List.map (probe_test cs b) probes)

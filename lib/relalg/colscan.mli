@@ -10,9 +10,10 @@
 (** [None] unless the relation is column-primary. *)
 val select : Expr.t -> Relation.t -> Relation.t option
 
-(** Zero the global block counters (Runner does this per query). *)
+(** Zero the block counters — the obs metrics ["colscan.blocks_skipped"] /
+    ["colscan.blocks_scanned"] (Runner does this per query). *)
 val reset_counters : unit -> unit
 
-(** [(skipped, scanned)] blocks since the last reset; atomically maintained
-    so parallel scans report correctly. *)
+(** [(skipped, scanned)] blocks since the last reset; maintained in
+    per-domain metric cells so parallel scans report correctly. *)
 val counters : unit -> int * int

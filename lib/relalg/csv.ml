@@ -1,9 +1,20 @@
 let split_line line =
+  (* CRLF input reaches us with the '\r' still attached (input_line and
+     split-on-'\n' both keep it); drop exactly one so the last field stays
+     clean.  A '\r' inside a quoted field never ends the line — the quote
+     does — so this cannot eat field content. *)
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
   let fields = ref [] in
   let buf = Buffer.create 32 in
   let n = String.length line in
   let rec go i in_quotes =
-    if i >= n then fields := Buffer.contents buf :: !fields
+    if i >= n then
+      (* End of line closes an unterminated quote: the content read so far
+         is the field (multi-line quoted fields are out of scope). *)
+      fields := Buffer.contents buf :: !fields
     else
       let c = line.[i] in
       if in_quotes then
@@ -81,7 +92,9 @@ let parse_lines ?(layout = `Row) lines =
     Relation.to_layout layout rel
 
 let parse_string ?layout s =
-  let s = String.concat "" (String.split_on_char '\r' s) in
+  (* Split on '\n' only; [split_line] strips each line's trailing '\r', so
+     CRLF input parses identically without corrupting '\r' bytes that sit
+     inside quoted field content. *)
   parse_lines ?layout (String.split_on_char '\n' s)
 
 let load ?layout path =

@@ -97,6 +97,10 @@ let canonicalize schema e =
   map_cols (fun c -> Schema.nth schema (Schema.index_of_col schema c)) e
 
 let apply_cmp op a b =
+  (* NaN compares like NULL: every predicate involving it is false (the
+     compiled paths get the same rule from [Value.compare_sql_code]). *)
+  if Value.is_nan a || Value.is_nan b then Value.Bool false
+  else
   match Value.compare_sql a b with
   | None -> Value.Bool false
   | Some c ->

@@ -30,4 +30,5 @@ let () =
       ("plan-exec", Test_plan_exec.suite);
       ("runner-edge", Test_runner_edge.suite);
       ("runner", Test_runner.suite);
-      ("workload", Test_workload.suite) ]
+      ("workload", Test_workload.suite);
+      ("obs", Test_obs.suite) ]

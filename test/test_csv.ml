@@ -66,6 +66,38 @@ let suite =
                   Alcotest.failf "expected Int in col b, got %s" (Value.to_string v))
               (Relation.rows r))
           [ `Row; `Column ]);
+    t "quoted-field edge cases (table-driven)" (fun () ->
+        (* CRLF endings, unterminated quotes, ""-escapes, trailing commas
+           and empty quoted fields, in one table. *)
+        List.iter
+          (fun (label, text, expected) ->
+            check_rows label expected (Csv.parse_string text))
+          [ ("crlf line endings",
+             "a,b\r\n1,x\r\n2,y\r\n",
+             rel [ "a"; "b" ] [ [ iv 1; sv "x" ]; [ iv 2; sv "y" ] ]);
+            ("crlf on header only",
+             "a,b\r\n1,x\n",
+             rel [ "a"; "b" ] [ [ iv 1; sv "x" ] ]);
+            ("unterminated quote at eol",
+             "a,b\n1,\"oops\n",
+             rel [ "a"; "b" ] [ [ iv 1; sv "oops" ] ]);
+            ("unterminated quote keeps crlf stripped",
+             "a\n\"oops\r\n",
+             (* the '\r' is dropped before quote scanning starts: it ended
+                the line, it was never field content *)
+             rel [ "a" ] [ [ sv "oops" ] ]);
+            ("doubled-quote escape mid-field",
+             "a\n\"x\"\"y\"\"z\"\n",
+             rel [ "a" ] [ [ sv "x\"y\"z" ] ]);
+            ("trailing comma means trailing null",
+             "a,b,c\n1,x,\n",
+             rel [ "a"; "b"; "c" ] [ [ iv 1; sv "x"; Value.Null ] ]);
+            ("empty quoted field is null like an empty field",
+             "a,b\n\"\",2\n",
+             rel [ "a"; "b" ] [ [ Value.Null; iv 2 ] ]);
+            ("quoted comma before crlf",
+             "a,b\r\n\"x,y\",2\r\n",
+             rel [ "a"; "b" ] [ [ sv "x,y"; iv 2 ] ]) ]);
     t "columnar layout parses edge cases identically" (fun () ->
         let text = "a,b,c\n\"x,y\",1,\n\"he said \"\"hi\"\"\",2,w\n,3,z\n" in
         let r = Csv.parse_string ~layout:`Row text in

@@ -196,9 +196,135 @@ let test_hash_precedence () =
       "reason names the hash path" true
       (List.exists (fun n -> contains n "hash probe") s.Nljp.notes)
 
+(* A probe whose binding column is a string compared against the numeric
+   inner key: the typed kernels cannot specialize the comparison, so it runs
+   through the generic per-row test — formerly an [assert false] abort. *)
+let str_probe_catalog () =
+  let catalog = Catalog.create () in
+  Catalog.add_table catalog "ev"
+    (rel [ "k"; "x" ]
+       (List.init 200 (fun i -> [ iv i; fv (float_of_int (i mod 13)) ])));
+  Catalog.add_table catalog ~keys:[ [ "id" ] ] "probe"
+    (rel [ "id"; "lo" ]
+       [ [ iv 0; sv "m" ]; [ iv 1; sv "a" ]; [ iv 2; iv 120 ]; [ iv 3; Value.Null ] ]);
+  catalog
+
+let test_str_probe_constant () =
+  let sql =
+    "SELECT L.id, COUNT(*), SUM(R.x) FROM probe L, ev R WHERE R.k >= L.lo \
+     GROUP BY L.id HAVING COUNT(*) >= 1"
+  in
+  let q = Sqlfront.Parser.parse sql in
+  let base = Runner.run_baseline (str_probe_catalog ()) q in
+  let catalog = str_probe_catalog () in
+  Catalog.set_all_layouts catalog `Column;
+  (* must not raise, and must agree with the row oracle *)
+  let r, _ = Runner.run catalog q in
+  check_bag "Str probe constant agrees with the row path" base r
+
+(* NaN-bearing float columns, both as the zone-probed key and as the
+   aggregated measure, differentially across layouts: a NaN must never let
+   the zone maps refute a block holding matching rows, and NaN aggregates
+   must come out bit-identical to the row path. *)
+let nan_catalog seed =
+  let rng = Workload.Prng.create seed in
+  let catalog = Catalog.create () in
+  let n = 120 + Workload.Prng.int rng 120 in
+  Catalog.add_table catalog "ev"
+    (rel [ "k"; "x" ]
+       (List.init n (fun _ ->
+            [ (match Workload.Prng.int rng 8 with
+               | 0 -> fv Float.nan
+               | 1 -> Value.Null
+               | _ -> fv (float_of_int (Workload.Prng.int rng 150)));
+              (match Workload.Prng.int rng 6 with
+               | 0 -> fv Float.nan
+               | _ -> fv (float_of_int (Workload.Prng.int rng 40) /. 4.)) ])));
+  Catalog.add_table catalog ~keys:[ [ "id" ] ] "probe"
+    (rel [ "id"; "lo"; "hi" ]
+       (List.init 25 (fun i ->
+            let lo = float_of_int (10 * Workload.Prng.int rng 14) in
+            [ iv i; fv lo; fv (lo +. 35.) ])));
+  catalog
+
+let check_nan seed =
+  let rng = Workload.Prng.create seed in
+  let agg =
+    match Workload.Prng.int rng 3 with
+    | 0 -> "COUNT(*), SUM(R.x)"
+    | 1 -> "MIN(R.x), MAX(R.x)"
+    | _ -> "COUNT(*), AVG(R.x)"
+  in
+  let sql =
+    Printf.sprintf
+      "SELECT L.id, %s FROM probe L, ev R WHERE R.k >= L.lo AND R.k <= L.hi \
+       GROUP BY L.id HAVING COUNT(*) >= 1"
+      agg
+  in
+  let q = Sqlfront.Parser.parse sql in
+  let base = Runner.run_baseline (nan_catalog seed) q in
+  List.for_all
+    (fun lay ->
+      let catalog = nan_catalog seed in
+      if lay = `Column then Catalog.set_all_layouts catalog `Column;
+      let r, _ = Runner.run catalog q in
+      if not (Relation.equal_bag base r) then
+        QCheck.Test.fail_reportf
+          "NaN columns diverge from the row baseline (%s layout) for:\n%s"
+          (match lay with `Row -> "row" | `Column -> "column")
+          sql;
+      true)
+    [ `Row; `Column ]
+
+(* SUM at the int boundary: the typed kernel must promote to float exactly
+   where the row path's [Value.add] does, instead of wrapping. *)
+let test_sum_overflow_boundary () =
+  let near = max_int - 1 in
+  let mk () =
+    let catalog = Catalog.create () in
+    Catalog.add_table catalog "ev"
+      (rel [ "k"; "x" ]
+         [ [ iv 0; iv near ]; [ iv 1; iv near ]; [ iv 2; iv 5 ];
+           [ iv 3; iv (-7) ]; [ iv 10; iv 1 ] ]);
+    Catalog.add_table catalog ~keys:[ [ "id" ] ] "probe"
+      (rel [ "id"; "lo"; "hi" ] [ [ iv 0; iv 0; iv 3 ]; [ iv 1; iv 10; iv 10 ] ]);
+    catalog
+  in
+  let q =
+    Sqlfront.Parser.parse
+      "SELECT L.id, SUM(R.x), COUNT(*) FROM probe L, ev R WHERE R.k >= L.lo \
+       AND R.k <= L.hi GROUP BY L.id HAVING COUNT(*) >= 1"
+  in
+  let base = Runner.run_baseline (mk ()) q in
+  let catalog = mk () in
+  Catalog.set_all_layouts catalog `Column;
+  let r, _ = Runner.run catalog q in
+  check_bag "overflowing SUM agrees with the row path" base r;
+  (* the overflowed group really is a float, not a wrapped int *)
+  let saw_float = ref false in
+  Relation.iter
+    (fun row ->
+      match row.(1) with
+      | Value.Float f ->
+        saw_float := true;
+        Alcotest.(check bool) "promoted sum is positive" true (f > 0.)
+      | Value.Int s -> Alcotest.(check bool) "unwrapped" true (s > 0)
+      | _ -> ())
+    r;
+  Alcotest.(check bool) "boundary group promoted to float" true !saw_float
+
 let suite =
   [ Alcotest.test_case "zone-map skipping engages on a clustered inner" `Quick
       test_skipping;
+    Alcotest.test_case "Str-typed probe constant falls back gracefully" `Quick
+      test_str_probe_constant;
+    Alcotest.test_case "SUM promotes to float at the max_int boundary" `Quick
+      test_sum_overflow_boundary;
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"NaN-bearing columns agree across layouts"
+         ~count:30
+         (QCheck.int_range 1 1_000_000)
+         check_nan);
     Alcotest.test_case "disabling the vector path surfaces the reason" `Quick
       test_disabled_note;
     Alcotest.test_case "equality conjuncts keep the hash probe path" `Quick
