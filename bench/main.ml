@@ -56,6 +56,7 @@ type json_row = {
   j_technique : string;
   j_workers : int;
   j_layout : string;
+  j_vector : bool;  (* the SI_VECTOR / --no-vector switch at record time *)
   j_ms_raw : float;
   j_ms_scaled : float;
   j_counters : (string * int) list;
@@ -66,6 +67,21 @@ type json_row = {
 let json_path = ref None
 let json_rows : json_row list ref = ref []
 
+(* Short commit identifier stamped into every JSON artifact, so a results
+   file can always be traced back to the tree that produced it. *)
+let git_sha =
+  lazy
+    (match Sys.getenv_opt "GITHUB_SHA" with
+     | Some s when String.length s >= 7 -> String.sub s 0 7
+     | Some s when s <> "" -> s
+     | _ ->
+       (try
+          let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+          let line = try String.trim (input_line ic) with End_of_file -> "" in
+          ignore (Unix.close_process_in ic);
+          if line = "" then "unknown" else line
+        with _ -> "unknown"))
+
 let record ?(workers = 1) ?(counters = []) ?ms_scaled ~technique name ms_raw =
   json_rows :=
     {
@@ -73,29 +89,37 @@ let record ?(workers = 1) ?(counters = []) ?ms_scaled ~technique name ms_raw =
       j_technique = technique;
       j_workers = workers;
       j_layout = layout_name ();
+      j_vector = !vector_on;
       j_ms_raw = ms_raw;
       j_ms_scaled = Option.value ms_scaled ~default:ms_raw;
       j_counters = counters;
     }
     :: !json_rows
 
+let counters_json counters : Obs.Json.t =
+  Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Num (float_of_int v))) counters)
+
+let row_to_json r : Obs.Json.t =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str r.j_name);
+      ("technique", Obs.Json.Str r.j_technique);
+      ("workers", Obs.Json.Num (float_of_int r.j_workers));
+      ("layout", Obs.Json.Str r.j_layout);
+      ("git_sha", Obs.Json.Str (Lazy.force git_sha));
+      ("si_vector", Obs.Json.Bool r.j_vector);
+      ("ms_raw", Obs.Json.Num r.j_ms_raw);
+      ("ms_scaled", Obs.Json.Num r.j_ms_scaled);
+      ("counters", counters_json r.j_counters);
+    ]
+
+(* Through the lib/obs serializer — the old Printf "%S" writer produced
+   OCaml string escapes, which are not valid JSON for control characters. *)
 let write_json path =
   let oc = open_out path in
-  output_string oc "[\n";
-  List.iteri
-    (fun i r ->
-      let counters =
-        List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) r.j_counters
-        |> String.concat ", "
-      in
-      Printf.fprintf oc
-        "  {\"name\": %S, \"technique\": %S, \"workers\": %d, \"layout\": %S, \
-         \"ms_raw\": %.3f, \"ms_scaled\": %.3f, \"counters\": {%s}}%s\n"
-        r.j_name r.j_technique r.j_workers r.j_layout r.j_ms_raw r.j_ms_scaled
-        counters
-        (if i = List.length !json_rows - 1 then "" else ","))
-    (List.rev !json_rows);
-  output_string oc "]\n";
+  output_string oc
+    (Obs.Json.to_string (Obs.Json.Arr (List.rev_map row_to_json !json_rows)));
+  output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %d benchmark rows to %s\n" (List.length !json_rows) path
 
@@ -958,10 +982,344 @@ let vec () =
        (%.1fx) — investigate\n%!"
       (t_scan /. t_vec)
 
+(* ---- persistent benchmark-regression harness ----
+
+   `bench harness` runs a pinned suite (scans, the vectorized inner loop,
+   end-to-end smart vs baseline, the --analyze overhead pair) with a warmup
+   plus repeated measurements and writes medians + IQR, counters and run
+   metadata to a JSON file (BENCH_PR5.json by default; committed at the repo
+   root as the regression baseline).  `bench diff OLD.json NEW.json`
+   compares two such files with a noise-aware threshold and exits non-zero
+   on a regression — the CI gate.
+
+   Absolute times are machine-dependent, so every suite includes `__calib`,
+   a fixed CPU-spin workload with no inputs; diff normalizes all medians by
+   the ratio of the two `__calib` medians before comparing, turning the
+   check into "slower on the same machine-relative scale". *)
+
+let quick = ref false
+
+let calib_spin () =
+  (* Pure integer arithmetic, no allocation: proportional to CPU speed and
+     nothing else, so it anchors cross-machine normalization in [diff]. *)
+  let acc = ref 0 in
+  for i = 1 to 20_000_000 do
+    acc := (!acc + (i * i)) land 0xFFFFFF
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+type hbench = {
+  h_name : string;
+  h_reps : int;
+  h_median : float;  (* ms *)
+  h_p25 : float;
+  h_p75 : float;
+  h_counters : (string * int) list;  (* from the last repetition *)
+}
+
+let measure_bench ~reps name f =
+  (* Level the heap between benches: without this, each leg runs on
+     whatever garbage its predecessors left, which skews A/B pairs. *)
+  Gc.compact ();
+  ignore (f ());
+  (* warmup *)
+  let samples = ref [] and counters = ref [] in
+  for _ = 1 to reps do
+    let _, t, c = time_obs f in
+    samples := (t *. 1000.) :: !samples;
+    counters := c
+  done;
+  let s = Array.of_list (List.sort compare !samples) in
+  let pct p =
+    let idx = p *. float_of_int (Array.length s - 1) in
+    let lo = int_of_float (floor idx) and hi = int_of_float (ceil idx) in
+    let frac = idx -. floor idx in
+    (s.(lo) *. (1. -. frac)) +. (s.(hi) *. frac)
+  in
+  Printf.printf "%-22s median %10.3f ms   IQR [%.3f, %.3f]\n%!" name (pct 0.5)
+    (pct 0.25) (pct 0.75);
+  {
+    h_name = name;
+    h_reps = reps;
+    h_median = pct 0.5;
+    h_p25 = pct 0.25;
+    h_p75 = pct 0.75;
+    h_counters = !counters;
+  }
+
+let harness () =
+  let reps = if !quick then 5 else 7 in
+  let n_rows = if !quick then min !rows 2000 else !rows in
+  Printf.printf
+    "=== Benchmark-regression harness: pinned suite, 1 warmup + %d reps \
+     (rows=%d%s) ===\n\n"
+    reps n_rows
+    (if !quick then ", --quick" else "");
+  let measure = measure_bench ~reps in
+  (* Scan pair: zone-map block skipping vs the row layout (cf. the col
+     target, scaled down so the harness stays minutes-cheap). *)
+  let scan_n = if !quick then 200_000 else 1_000_000 in
+  let scan_schema = Schema.of_names [ "id"; "grp"; "x" ] in
+  let scan_data =
+    Array.init scan_n (fun i ->
+        [| Value.Int i; Value.Int (i mod 97);
+           Value.Float (float_of_int (i * 7 mod 1000) /. 10.) |])
+  in
+  let scan_row_rel = Relation.make scan_schema scan_data in
+  let scan_col_rel = Relation.to_layout `Column scan_row_rel in
+  let lo = scan_n * 9 / 10 in
+  let hi = lo + (Column.Cstore.default_block_size / 2) in
+  let scan_pred =
+    Expr.(
+      And
+        ( And (Cmp (Ge, col "id", int lo), Cmp (Lt, col "id", int hi)),
+          Cmp (Lt, col "grp", int 50) ))
+  in
+  (* Vectorized inner loop over a clustered key (cf. the vec target). *)
+  let vec_n = if !quick then 20_000 else 50_000 in
+  let vec_catalog =
+    let catalog = Catalog.create () in
+    Catalog.add_table catalog "ev"
+      (Relation.make
+         (Schema.of_names [ "k"; "x" ])
+         (Array.init vec_n (fun i ->
+              [| Value.Int i; Value.Float (float_of_int (i * 7 mod 1000) /. 10.) |])));
+    Catalog.add_table catalog ~keys:[ [ "id" ] ] "probe"
+      (Relation.make
+         (Schema.of_names [ "id"; "lo"; "hi" ])
+         (Array.init 240 (fun j ->
+              let l = j / 2 * 6131 mod (vec_n - 1500) in
+              [| Value.Int j; Value.Int l; Value.Int (l + 1500) |])));
+    Catalog.set_all_layouts catalog `Column;
+    catalog
+  in
+  let vec_q =
+    Sqlfront.Parser.parse
+      "SELECT L.id, COUNT(*), SUM(R.x) FROM probe L, ev R WHERE R.k >= L.lo \
+       AND R.k <= L.hi GROUP BY L.id HAVING COUNT(*) >= 1"
+  in
+  let vec_cfg =
+    { Core.Nljp.default_config with Core.Nljp.vector = true; inner_index = true }
+  in
+  (* End-to-end legs on the synthetic workloads. *)
+  let bb = baseball_catalog ~rows:n_rows () in
+  let kv = unpivoted_catalog ~rows:(n_rows / 2) () in
+  let q1 = Sqlfront.Parser.parse (List.assoc "Q1" Workload.Queries.figure1) in
+  let q_cplx =
+    Sqlfront.Parser.parse
+      (Workload.Queries.complex ~threshold:(max 5 (n_rows / 200)))
+  in
+  (* Sequential lets: a list literal would evaluate right-to-left, running
+     each --analyze leg before its plain pair on a smaller heap. *)
+  let b_calib = measure "__calib" calib_spin in
+  let b_scan_row =
+    measure "scan_row" (fun () -> ignore (Ops.select scan_pred scan_row_rel))
+  in
+  let b_scan_zm =
+    measure "scan_zonemap" (fun () -> ignore (Ops.select scan_pred scan_col_rel))
+  in
+  let b_vec =
+    measure "vec_inner" (fun () ->
+        ignore (Core.Runner.run ~nljp_config:vec_cfg vec_catalog vec_q))
+  in
+  let b_q1_base = measure "e2e_q1_base" (fun () -> ignore (run_base bb q1)) in
+  let b_q1_smart = measure "e2e_q1_smart" (fun () -> ignore (run_smart bb q1)) in
+  let b_q1_analyze =
+    measure "e2e_q1_analyze" (fun () ->
+        ignore (Core.Analyze.run ~nljp_config:(nljp_cfg ()) bb q1))
+  in
+  let b_cplx_smart =
+    measure "e2e_complex_smart" (fun () -> ignore (run_smart kv q_cplx))
+  in
+  let b_cplx_analyze =
+    measure "e2e_complex_analyze" (fun () ->
+        ignore (Core.Analyze.run ~nljp_config:(nljp_cfg ()) kv q_cplx))
+  in
+  let benches =
+    [
+      b_calib; b_scan_row; b_scan_zm; b_vec; b_q1_base; b_q1_smart;
+      b_q1_analyze; b_cplx_smart; b_cplx_analyze;
+    ]
+  in
+  let find n = List.find (fun h -> h.h_name = n) benches in
+  let overhead name plain analyzed =
+    let p = find plain and a = find analyzed in
+    Printf.printf
+      "--analyze overhead on %s: %.1f%% (plain %.3f ms, analyze %.3f ms)\n" name
+      (100. *. ((a.h_median /. p.h_median) -. 1.))
+      p.h_median a.h_median
+  in
+  print_newline ();
+  overhead "Q1" "e2e_q1_smart" "e2e_q1_analyze";
+  overhead "complex" "e2e_complex_smart" "e2e_complex_analyze";
+  let bench_json h =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.Str h.h_name);
+        ("reps", Obs.Json.Num (float_of_int h.h_reps));
+        ("median_ms", Obs.Json.Num h.h_median);
+        ("p25_ms", Obs.Json.Num h.h_p25);
+        ("p75_ms", Obs.Json.Num h.h_p75);
+        ("counters", counters_json h.h_counters);
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ( "metadata",
+          Obs.Json.Obj
+            [
+              ("schema", Obs.Json.Str "smart-iceberg-bench-harness-v1");
+              ("git_sha", Obs.Json.Str (Lazy.force git_sha));
+              ("workers", Obs.Json.Num (float_of_int !par_workers));
+              ("layout", Obs.Json.Str (layout_name ()));
+              ("si_vector", Obs.Json.Bool !vector_on);
+              ("ocaml", Obs.Json.Str Sys.ocaml_version);
+              ("rows", Obs.Json.Num (float_of_int n_rows));
+              ("quick", Obs.Json.Bool !quick);
+            ] );
+        ("benches", Obs.Json.Arr (List.map bench_json benches));
+      ]
+  in
+  let path = Option.value !json_path ~default:"BENCH_PR5.json" in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote harness baseline to %s\n" path;
+  (* The harness owns its output file; don't also dump the generic rows. *)
+  json_path := None
+
+(* `bench diff OLD.json NEW.json [--threshold R]` — the regression gate. *)
+
+let jfield k = function Obs.Json.Obj kvs -> List.assoc_opt k kvs | _ -> None
+let jnum k j = match jfield k j with Some (Obs.Json.Num n) -> Some n | _ -> None
+let jstr k j = match jfield k j with Some (Obs.Json.Str s) -> Some s | _ -> None
+
+let load_harness path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Obs.Json.of_string s
+
+let diff_cmd args =
+  let threshold = ref 1.25 in
+  let files = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--threshold" :: x :: rest ->
+      threshold := float_of_string x;
+      go rest
+    | f :: rest ->
+      files := f :: !files;
+      go rest
+  in
+  go args;
+  match List.rev !files with
+  | [ old_path; new_path ] ->
+    let old_doc = load_harness old_path and new_doc = load_harness new_path in
+    let describe doc =
+      match jfield "metadata" doc with
+      | Some m ->
+        Printf.sprintf "sha=%s layout=%s rows=%.0f quick=%b"
+          (Option.value (jstr "git_sha" m) ~default:"?")
+          (Option.value (jstr "layout" m) ~default:"?")
+          (Option.value (jnum "rows" m) ~default:0.)
+          (match jfield "quick" m with Some (Obs.Json.Bool b) -> b | _ -> false)
+      | None -> "(no metadata)"
+    in
+    Printf.printf "old %s: %s\nnew %s: %s\n\n" old_path (describe old_doc)
+      new_path (describe new_doc);
+    let benches doc =
+      match jfield "benches" doc with
+      | Some (Obs.Json.Arr l) ->
+        List.filter_map
+          (fun b -> Option.map (fun n -> (n, b)) (jstr "name" b))
+          l
+      | _ -> failwith "not a harness file (missing \"benches\")"
+    in
+    let old_b = benches old_doc and new_b = benches new_doc in
+    (* Normalize by the CPU-spin anchor when both files carry it: scale the
+       new measurements into the old file's machine units. *)
+    let calib =
+      match
+        ( Option.bind (List.assoc_opt "__calib" old_b) (jnum "median_ms"),
+          Option.bind (List.assoc_opt "__calib" new_b) (jnum "median_ms") )
+      with
+      | Some o, Some n when o > 0. && n > 0. -> n /. o
+      | _ -> 1.0
+    in
+    if calib <> 1.0 then
+      Printf.printf "normalizing by __calib: new machine runs %.2fx the old\n\n"
+        calib;
+    Printf.printf "%-22s %12s %12s %8s  %s\n" "bench" "old ms" "new ms(norm)"
+      "ratio" "verdict";
+    let regressions = ref 0 in
+    List.iter
+      (fun (name, nb) ->
+        if name <> "__calib" then
+          match List.assoc_opt name old_b with
+          | None -> Printf.printf "%-22s %12s %12s %8s  new bench\n" name "-" "-" "-"
+          | Some ob ->
+            let v k j = Option.value (jnum k j) ~default:0. in
+            let old_med = v "median_ms" ob and old_p75 = v "p75_ms" ob in
+            let new_med = v "median_ms" nb /. calib
+            and new_p25 = v "p25_ms" nb /. calib in
+            let raw_ratio =
+              if old_med > 0. then v "median_ms" nb /. old_med else 1.
+            in
+            let ratio = if old_med > 0. then new_med /. old_med else 1. in
+            (* Noise-aware: only a regression when the IQRs separate too —
+               the new 25th percentile clears the old 75th — and both the
+               raw and the calib-normalized ratio exceed the threshold.
+               The anchor is a CPU spin; frequency scaling can move it
+               without moving the allocation-heavy benches, and requiring
+               both ratios keeps that from minting false regressions in
+               either direction. *)
+            let regressed =
+              Float.min ratio raw_ratio > !threshold && new_p25 > old_p75
+            in
+            let verdict =
+              if regressed then begin
+                incr regressions;
+                "REGRESSION"
+              end
+              else if Float.min ratio raw_ratio > !threshold then
+                "noisy (IQRs overlap)"
+              else if Float.max ratio raw_ratio > !threshold then
+                "noisy (calib disagrees)"
+              else if ratio < 1. /. !threshold then "improved"
+              else "ok"
+            in
+            Printf.printf "%-22s %12.3f %12.3f %7.2fx  %s\n" name old_med new_med
+              ratio verdict)
+      new_b;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name new_b) then
+          Printf.printf "%-22s bench disappeared from the new file\n" name)
+      old_b;
+    if !regressions > 0 then begin
+      Printf.printf
+        "\n%d regression(s) above %.2fx the %s baseline\n" !regressions !threshold
+        old_path;
+      1
+    end
+    else begin
+      Printf.printf "\nno regressions above %.2fx\n" !threshold;
+      0
+    end
+  | _ ->
+    prerr_endline "usage: bench diff OLD.json NEW.json [--threshold R]";
+    2
+
 (* ---- driver ---- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | "diff" :: rest -> exit (diff_cmd rest)
+  | args ->
   let rec parse_args = function
     | [] -> []
     | "--rows" :: n :: rest ->
@@ -983,10 +1341,17 @@ let () =
     | "--no-vector" :: rest ->
       vector_on := false;
       parse_args rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse_args rest
     | x :: rest -> x :: parse_args rest
   in
   let targets = parse_args args in
-  let all = targets = [] || List.mem "all" targets in
+  (* The harness is explicit-only: `all` must not overwrite the committed
+     regression baseline as a side effect. *)
+  let all =
+    (targets = [] || List.mem "all" targets) && not (List.mem "harness" targets)
+  in
   let want t = all || List.mem t targets in
   let fig1_results = ref [] in
   if want "fig1" || want "fig3" then fig1_results := fig1 ();
@@ -1004,4 +1369,5 @@ let () =
   if want "col" then col ();
   if want "vec" then vec ();
   if want "micro" then micro ();
+  if List.mem "harness" targets then harness ();
   match !json_path with Some path -> write_json path | None -> ()

@@ -79,7 +79,7 @@ let tech_of_string = function
 (* ---- commands ---- *)
 
 let run_cmd tables synth rows layout tech workers no_vector verbose max_rows
-    explain trace sql =
+    explain analyze json trace sql =
   let catalog = setup tables synth rows layout in
   let nljp_config =
     { Core.Nljp.default_config with Core.Nljp.vector = not no_vector }
@@ -91,6 +91,32 @@ let run_cmd tables synth rows layout tech workers no_vector verbose max_rows
       if tech = "none" then Core.Optimizer.no_techniques else tech_of_string tech
     in
     print_string (Core.Explain.query ~tech ~nljp_config catalog q);
+    0
+  end
+  else if analyze then begin
+    (* EXPLAIN ANALYZE: execute with full instrumentation and print the
+       annotated tree (estimates next to actuals, per-node Q-error) plus
+       the plan-level summary.  Results are bag-equal to a plain run. *)
+    let q = Sqlfront.Parser.parse sql in
+    let tech_name = tech in
+    let tech = tech_of_string tech in
+    let t0 = Unix.gettimeofday () in
+    let result, rep, node =
+      Core.Analyze.run ~tech ~nljp_config ~workers catalog q
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let flips = Core.Analyze.decision_flips catalog rep node in
+    let s = Core.Analyze.summarize ~flips node in
+    if json then
+      print_endline (Obs.Json.to_string (Core.Analyze.document node s))
+    else begin
+      print_string (Relation.to_string ~max_rows (Relation.sorted result));
+      Printf.printf "(%d rows in %.3fs, techniques: %s)\n\n"
+        (Relation.cardinality result) elapsed tech_name;
+      print_string (Core.Analyze.to_text node);
+      print_newline ();
+      print_string (Core.Analyze.summary_to_text s)
+    end;
     0
   end
   else begin
@@ -173,6 +199,29 @@ let compare_cmd tables synth rows layout workers sql =
     [ "apriori"; "memo"; "pruning"; "all" ];
   0
 
+let calibrate_cmd rows layout tech workers json =
+  (* Cost-model calibration: replay the synthetic workloads under EXPLAIN
+     ANALYZE and tabulate estimated vs actual per technique. *)
+  let catalog = setup [] [ "baseball"; "basket"; "objects" ] rows layout in
+  let tech = tech_of_string tech in
+  let threshold = max 5 (rows / 100) in
+  let rows_of ~workload queries =
+    Core.Calibrate.calibrate ~tech ~workers ~workload catalog queries
+  in
+  let all =
+    rows_of ~workload:"baseball"
+      [ ("skyband_k50", Workload.Queries.skyband ~k:50 ());
+        ("pairs_c3_k20", Workload.Queries.pairs ~c:3 ~k:20 ());
+        ("complex", Workload.Queries.complex ~threshold) ]
+    @ rows_of ~workload:"basket"
+        [ ("listing1", Workload.Queries.listing1 ~threshold:(max 5 (rows / 500))) ]
+    @ rows_of ~workload:"objects"
+        [ ("listing2", Workload.Queries.listing2 ~k:50) ]
+  in
+  if json then print_endline (Obs.Json.to_string (Core.Calibrate.to_json all))
+  else print_string (Core.Calibrate.to_text all);
+  0
+
 (* ---- cmdliner plumbing ---- *)
 
 let tables_arg =
@@ -249,6 +298,23 @@ let explain_flag =
               split, inner access path, cost estimates) and exit without \
               executing the query.")
 
+let analyze_flag =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:"Execute the query with full instrumentation and print the \
+              operator tree annotated with estimated vs actual cardinality, \
+              per-node Q-error, self/cumulative wall time and operator \
+              counters, plus a plan summary (worst estimates, decision \
+              flips). Results are identical to a plain run.")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"With $(b,--analyze) (or under $(b,calibrate)), emit the \
+              annotated tree and summary as JSON instead of text.")
+
 let trace_arg =
   Arg.(
     value
@@ -264,7 +330,17 @@ let run_t =
     Term.(
       const run_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg $ tech_arg
       $ workers_arg $ no_vector_arg $ verbose_arg $ max_rows_arg $ explain_flag
-      $ trace_arg $ sql_arg)
+      $ analyze_flag $ json_flag $ trace_arg $ sql_arg)
+
+let calibrate_t =
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Replay the synthetic workloads under EXPLAIN ANALYZE and \
+             tabulate the cost model's estimates against measured \
+             cardinalities, keep ratios and technique payoffs")
+    Term.(
+      const calibrate_cmd $ rows_arg $ layout_arg $ tech_arg $ workers_arg
+      $ json_flag)
 
 let explain_t =
   Cmd.v
@@ -286,6 +362,6 @@ let main =
   Cmd.group
     (Cmd.info "smart-iceberg" ~version:"1.0"
        ~doc:"Iceberg query optimizer (SIGMOD'17 reproduction)")
-    [ run_t; explain_t; compare_t ]
+    [ run_t; explain_t; compare_t; calibrate_t ]
 
 let () = exit (Cmd.eval' main)

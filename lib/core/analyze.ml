@@ -1,0 +1,270 @@
+(* EXPLAIN ANALYZE: estimate-vs-actual plan accounting (DESIGN.md §10).
+
+   [run] executes a query through [Runner.run ~analyze:true] under a root
+   span and converts the span tree into an annotated node tree: per node
+   the actual rows in/out, wall time (self = total minus children),
+   operator counter slices, and — where the optimizer produced one — the
+   estimated cardinality and cost, with the Q-error max(est/act, act/est)
+   derivable per node.  [summarize] condenses the tree into the plan-level
+   view (max/median Q-error, worst offenders) and [decision_flips] replays
+   the optimizer's pick_* evidence to say which decisions the estimation
+   errors would have flipped. *)
+
+open Relalg
+
+type node = {
+  n_label : string;
+  n_est_rows : float option;
+  n_est_cost : float option;
+  n_rows_in : int option;
+  n_rows_out : int option;
+  n_total_ms : float;
+  n_self_ms : float;
+  n_counters : (string * int) list;
+  n_notes : string list;
+  n_children : node list;
+}
+
+let qerror ~est ~act =
+  (* Smoothed Q-error: both sides clamped to >= 1 so empty results and
+     sub-row estimates do not blow up to infinity. *)
+  let e = Float.max est 1. and a = Float.max act 1. in
+  Float.max (e /. a) (a /. e)
+
+let node_q n =
+  match n.n_est_rows, n.n_rows_out with
+  | Some e, Some a -> Some (qerror ~est:e ~act:(float_of_int a))
+  | _ -> None
+
+let rec of_span (s : Obs.Span.t) =
+  let kids = List.map of_span (Obs.Span.children s) in
+  let child_ms = List.fold_left (fun acc c -> acc +. c.n_total_ms) 0. kids in
+  {
+    n_label = s.Obs.Span.name;
+    n_est_rows = s.Obs.Span.est_rows;
+    n_est_cost = s.Obs.Span.est_cost;
+    n_rows_in = s.Obs.Span.rows_in;
+    n_rows_out = s.Obs.Span.rows_out;
+    n_total_ms = s.Obs.Span.dur_ms;
+    n_self_ms = Float.max 0. (s.Obs.Span.dur_ms -. child_ms);
+    n_counters = s.Obs.Span.counters;
+    n_notes = s.Obs.Span.notes;
+    n_children = kids;
+  }
+
+let run ?tech ?nljp_config ?workers ?memo_strategy ?adaptive_apriori catalog q =
+  let root = Obs.Span.enter "query" in
+  let rel, rep =
+    Runner.run ~span:root ~analyze:true ?tech ?nljp_config ?workers
+      ?memo_strategy ?adaptive_apriori catalog q
+  in
+  Obs.Span.finish ~rows_out:(Relation.cardinality rel) root;
+  (rel, rep, of_span root)
+
+(* ---- plan-level summary ---- *)
+
+type summary = {
+  s_nodes : int;
+  s_compared : int;  (* nodes with both an estimate and an actual *)
+  s_max_q : float;
+  s_median_q : float;
+  s_worst : (string * float * int * float) list;  (* label, est, act, q *)
+  s_flips : string list;
+}
+
+(* All (label, est, act, q) observations, preorder. *)
+let observations node =
+  let rec go acc n =
+    let acc =
+      match node_q n with
+      | Some q -> (n.n_label, Option.get n.n_est_rows, Option.get n.n_rows_out, q) :: acc
+      | None -> acc
+    in
+    List.fold_left go acc n.n_children
+  in
+  List.rev (go [] node)
+
+let count_nodes node =
+  let rec go acc n = List.fold_left go (acc + 1) n.n_children in
+  go 0 node
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> 1.
+  | sorted ->
+    let n = List.length sorted in
+    if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+let rec take k = function
+  | [] -> []
+  | x :: rest -> if k <= 0 then [] else x :: take (k - 1) rest
+
+let summarize ?(flips = []) node =
+  let obs = observations node in
+  let by_q_desc =
+    List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a) obs
+  in
+  {
+    s_nodes = count_nodes node;
+    s_compared = List.length obs;
+    s_max_q = (match by_q_desc with [] -> 1. | (_, _, _, q) :: _ -> q);
+    s_median_q = median (List.map (fun (_, _, _, q) -> q) obs);
+    s_worst = take 5 by_q_desc;
+    s_flips = flips;
+  }
+
+(* Which pick_* decisions would the estimation errors have flipped?
+   - pick_gapriori keeps a reducer the adaptive gate (measured keep ratio
+     >= threshold) would drop: the cost model said "selective", reality
+     says "keeps almost everything".
+   - pick_memprune chose the outer/inner split from side-query
+     cardinalities; a Q_B estimate off by >= 4x means the split was chosen
+     on evidence of that quality.
+   CTE temp tables are dropped after the run, so ratios that reference
+   them are unmeasurable here and are skipped (ratio = None). *)
+let split_misestimate_threshold = 4.
+
+let decision_flips catalog (rep : Runner.report) node =
+  let flips = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> flips := s :: !flips) fmt in
+  let rec walk_rep ctx (r : Runner.report) =
+    List.iter
+      (fun rw ->
+        match Optimizer.reducer_keep_ratio catalog rw with
+        | Some ratio when ratio >= Optimizer.adaptive_threshold ->
+          add
+            "pick_gapriori%s: reducer on {%s} keeps %.0f%% of candidate groups (>= %.0f%% gate) — adaptive gate would drop it"
+            ctx
+            (String.concat ", " rw.Optimizer.reduced)
+            (100. *. ratio)
+            (100. *. Optimizer.adaptive_threshold)
+        | _ -> ())
+      r.Runner.apriori;
+    List.iter
+      (fun (name, r') -> walk_rep (Printf.sprintf " (cte:%s)" name) r')
+      r.Runner.cte_reports
+  in
+  walk_rep "" rep;
+  let rec walk_node n =
+    (if String.equal n.n_label "Q_B (outer side)" then
+       match node_q n with
+       | Some q when q >= split_misestimate_threshold ->
+         add
+           "pick_memprune: outer side (Q_B) cardinality off by q=%.1f (est~%.0f act=%d) — the outer/inner split was chosen on estimates of this quality"
+           q
+           (Option.get n.n_est_rows)
+           (Option.get n.n_rows_out)
+       | _ -> ());
+    List.iter walk_node n.n_children
+  in
+  walk_node node;
+  List.rev !flips
+
+(* ---- rendering ---- *)
+
+let to_text node =
+  let b = Buffer.create 512 in
+  let rec go indent n =
+    let pad = String.make indent ' ' in
+    Buffer.add_string b (pad ^ n.n_label);
+    if n.n_total_ms > 0. then
+      Buffer.add_string b
+        (Printf.sprintf "  %.3f ms total (%.3f ms self)" n.n_total_ms n.n_self_ms);
+    (match n.n_rows_in with
+     | Some r -> Buffer.add_string b (Printf.sprintf "  rows_in=%d" r)
+     | None -> ());
+    (match n.n_est_rows, n.n_rows_out with
+     | Some e, Some a ->
+       Buffer.add_string b
+         (Printf.sprintf "  est~%.0f act=%d q=%.2f" e a
+            (qerror ~est:e ~act:(float_of_int a)))
+     | Some e, None -> Buffer.add_string b (Printf.sprintf "  est~%.0f" e)
+     | None, Some a -> Buffer.add_string b (Printf.sprintf "  rows_out=%d" a)
+     | None, None -> ());
+    (match n.n_est_cost with
+     | Some c -> Buffer.add_string b (Printf.sprintf "  cost~%.0f" c)
+     | None -> ());
+    Buffer.add_char b '\n';
+    if n.n_counters <> [] then
+      Buffer.add_string b
+        (pad ^ "  ["
+        ^ String.concat " "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) n.n_counters)
+        ^ "]\n");
+    List.iter (fun m -> Buffer.add_string b (pad ^ "  note: " ^ m ^ "\n")) n.n_notes;
+    List.iter (go (indent + 2)) n.n_children
+  in
+  go 0 node;
+  Buffer.contents b
+
+let summary_to_text s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "plan summary: %d nodes, %d with estimates; Q-error max %.2f, median %.2f\n"
+       s.s_nodes s.s_compared s.s_max_q s.s_median_q);
+  if s.s_worst <> [] then begin
+    Buffer.add_string b "worst estimates:\n";
+    List.iteri
+      (fun i (label, est, act, q) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %d. %s  est~%.0f act=%d q=%.2f\n" (i + 1) label est
+             act q))
+      s.s_worst
+  end;
+  (match s.s_flips with
+   | [] -> Buffer.add_string b "decision flips: none\n"
+   | flips ->
+     Buffer.add_string b "decision flips:\n";
+     List.iter (fun f -> Buffer.add_string b ("  - " ^ f ^ "\n")) flips);
+  Buffer.contents b
+
+let rec to_json n : Obs.Json.t =
+  let opt_num = function Some x -> Obs.Json.Num x | None -> Obs.Json.Null in
+  let opt_int = function
+    | Some i -> Obs.Json.Num (float_of_int i)
+    | None -> Obs.Json.Null
+  in
+  Obs.Json.Obj
+    [
+      ("label", Obs.Json.Str n.n_label);
+      ("est_rows", opt_num n.n_est_rows);
+      ("est_cost", opt_num n.n_est_cost);
+      ("rows_in", opt_int n.n_rows_in);
+      ("act_rows", opt_int n.n_rows_out);
+      ("q_error", opt_num (node_q n));
+      ("total_ms", Obs.Json.Num n.n_total_ms);
+      ("self_ms", Obs.Json.Num n.n_self_ms);
+      ( "counters",
+        Obs.Json.Obj
+          (List.map (fun (k, v) -> (k, Obs.Json.Num (float_of_int v))) n.n_counters)
+      );
+      ("notes", Obs.Json.Arr (List.map (fun m -> Obs.Json.Str m) n.n_notes));
+      ("children", Obs.Json.Arr (List.map to_json n.n_children));
+    ]
+
+let summary_to_json s : Obs.Json.t =
+  Obs.Json.Obj
+    [
+      ("nodes", Obs.Json.Num (float_of_int s.s_nodes));
+      ("compared", Obs.Json.Num (float_of_int s.s_compared));
+      ("max_q_error", Obs.Json.Num s.s_max_q);
+      ("median_q_error", Obs.Json.Num s.s_median_q);
+      ( "worst",
+        Obs.Json.Arr
+          (List.map
+             (fun (label, est, act, q) ->
+               Obs.Json.Obj
+                 [
+                   ("label", Obs.Json.Str label);
+                   ("est_rows", Obs.Json.Num est);
+                   ("act_rows", Obs.Json.Num (float_of_int act));
+                   ("q_error", Obs.Json.Num q);
+                 ])
+             s.s_worst) );
+      ("flips", Obs.Json.Arr (List.map (fun f -> Obs.Json.Str f) s.s_flips));
+    ]
+
+let document node s : Obs.Json.t =
+  Obs.Json.Obj [ ("analyze", to_json node); ("summary", summary_to_json s) ]

@@ -1,0 +1,68 @@
+(** EXPLAIN ANALYZE: estimate-vs-actual plan accounting (DESIGN.md §10).
+
+    Executes a query with full span instrumentation and renders the
+    operator tree EXPLAIN prints, annotated per node with actual rows,
+    self/cumulative wall time, counter slices, the optimizer's estimated
+    cardinality and cost, and the per-node Q-error; plus a plan-level
+    summary (max/median Q-error, worst estimates, decision flips). *)
+
+type node = {
+  n_label : string;
+  n_est_rows : float option;
+  n_est_cost : float option;
+  n_rows_in : int option;
+  n_rows_out : int option;  (** actual rows produced *)
+  n_total_ms : float;  (** cumulative wall time *)
+  n_self_ms : float;  (** total minus children *)
+  n_counters : (string * int) list;
+  n_notes : string list;
+  n_children : node list;
+}
+
+(** [max(est/act, act/est)], both sides clamped to >= 1. *)
+val qerror : est:float -> act:float -> float
+
+(** Per-node Q-error when both estimate and actual are present. *)
+val node_q : node -> float option
+
+(** Convert a finished span tree (self time derived from children). *)
+val of_span : Obs.Span.t -> node
+
+(** Execute under a fresh root span with [Runner.run ~analyze:true];
+    results are bag-equal to a plain [Runner.run]. *)
+val run :
+  ?tech:Optimizer.technique ->
+  ?nljp_config:Nljp.config ->
+  ?workers:int ->
+  ?memo_strategy:[ `Nljp | `Static_rewrite ] ->
+  ?adaptive_apriori:bool ->
+  Relalg.Catalog.t ->
+  Sqlfront.Ast.query ->
+  Relalg.Relation.t * Runner.report * node
+
+type summary = {
+  s_nodes : int;
+  s_compared : int;
+  s_max_q : float;
+  s_median_q : float;
+  s_worst : (string * float * int * float) list;  (** label, est, act, q *)
+  s_flips : string list;
+}
+
+val summarize : ?flips:string list -> node -> summary
+
+(** Replay the optimizer's pick_* evidence against the measured tree:
+    reducers the adaptive gate would drop (measured keep ratio >= the 90%
+    threshold) and outer/inner splits chosen from Q_B estimates that were
+    off by >= 4x.  Ratios needing since-dropped CTE temp tables are
+    skipped. *)
+val decision_flips :
+  Relalg.Catalog.t -> Runner.report -> node -> string list
+
+val to_text : node -> string
+val summary_to_text : summary -> string
+val to_json : node -> Obs.Json.t
+val summary_to_json : summary -> Obs.Json.t
+
+(** [{"analyze": tree, "summary": ...}] — the [--analyze --json] payload. *)
+val document : node -> summary -> Obs.Json.t

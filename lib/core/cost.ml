@@ -57,16 +57,21 @@ let distinct_of lookup e =
 
 type node = { est : estimate; lookup : lookup; label : string; children : node list }
 
-let table_stats_cache : (string, Stats.t) Hashtbl.t = Hashtbl.create 16
+(* Cached by table name, validated by the relation's physical identity: a
+   renamed or replaced table (CTE temp tables, layout flips, a different
+   catalog reusing the name) recomputes, while repeated estimates over an
+   unchanged catalog — EXPLAIN ANALYZE issues several per block — reuse the
+   one stats pass.  Bounded by the number of distinct table names seen. *)
+let table_stats_cache : (string, Relation.t * Stats.t) Hashtbl.t = Hashtbl.create 16
 
 let stats_of_table catalog name =
   let key = String.lowercase_ascii name in
+  let tbl = Catalog.find catalog name in
   match Hashtbl.find_opt table_stats_cache key with
-  | Some s -> s
-  | None ->
-    let tbl = Catalog.find catalog name in
+  | Some (rel, s) when rel == tbl.Catalog.rel -> s
+  | _ ->
     let s = Stats.of_relation tbl.Catalog.rel in
-    Hashtbl.replace table_stats_cache key s;
+    Hashtbl.replace table_stats_cache key (tbl.Catalog.rel, s);
     s
 
 let lookup_of_stats stats : lookup = fun c -> Stats.col stats c.Schema.name
@@ -240,12 +245,25 @@ let rec analyze catalog plan : node =
       children = [ n ];
     }
 
-let estimate catalog plan =
-  Hashtbl.reset table_stats_cache;
-  (analyze catalog plan).est
+let estimate catalog plan = (analyze catalog plan).est
+
+(* Public estimate tree: the same per-node labels and estimates [explain]
+   prints, with children ordered exactly like the executor visits plan
+   children, so a node at child-index path [i; j; ...] here pairs with the
+   actual row count the instrumented executor records under that path. *)
+type tree = { t_label : string; t_rows : float; t_cost : float; t_children : tree list }
+
+let rec to_tree n =
+  {
+    t_label = n.label;
+    t_rows = n.est.rows;
+    t_cost = n.est.cost;
+    t_children = List.map to_tree n.children;
+  }
+
+let tree catalog plan = to_tree (analyze catalog plan)
 
 let explain catalog plan =
-  Hashtbl.reset table_stats_cache;
   let root = analyze catalog plan in
   let b = Buffer.create 256 in
   let rec go depth node =

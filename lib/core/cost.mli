@@ -19,6 +19,13 @@ type estimate = { rows : float; cost : float }
     table on demand and memoized per call. *)
 val estimate : Relalg.Catalog.t -> Relalg.Plan.t -> estimate
 
+type tree = { t_label : string; t_rows : float; t_cost : float; t_children : tree list }
+(** Per-node estimates as a tree.  Child order matches the executor's plan
+    traversal ([Exec.run]'s recorder paths), so EXPLAIN ANALYZE can pair
+    each estimate with the actual row count observed at the same path. *)
+
+val tree : Relalg.Catalog.t -> Relalg.Plan.t -> tree
+
 (** EXPLAIN with per-node estimates appended, e.g.
     [HashAggregate ... (rows≈120 cost≈45000)]. *)
 val explain : Relalg.Catalog.t -> Relalg.Plan.t -> string

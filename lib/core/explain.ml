@@ -67,7 +67,18 @@ let explain_block ~tech ~nljp_config catalog (q : Ast.query) b =
           ("inner access path: " ^ Nljp.access_to_string access ^ "\n");
         List.iter
           (fun n -> Buffer.add_string b ("  note: " ^ n ^ "\n"))
-          access_notes));
+          access_notes;
+        (* Estimated side cardinalities — the numbers --analyze checks
+           against the actual Q_B / Q_R materializations. *)
+        (try
+           let lq, rq = Nljp.side_queries op in
+           let le = Cost.estimate catalog (Binder.bind catalog lq) in
+           let re = Cost.estimate catalog (Binder.bind catalog rq) in
+           Buffer.add_string b
+             (Printf.sprintf
+                "estimated Q_B (outer side): rows~%.0f; Q_R (inner side): rows~%.0f\n"
+                le.Cost.rows re.Cost.rows)
+         with _ -> ())));
   (* The cost model ranges over the baseline physical plan — the yardstick
      the NLJP rewrite is competing with. *)
   (match Binder.bind catalog q with

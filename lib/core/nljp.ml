@@ -419,7 +419,7 @@ type chunk_out = {
   c_stats : stats;
 }
 
-let execute op =
+let execute ?span ?(estimate = false) op =
   let { catalog; spec; overrides; config; cls; key_case; all_aggs; subsume; _ } = op in
   let stats = op.stats in
   let waves0 = stats.waves in
@@ -431,9 +431,55 @@ let execute op =
        | Some r when config.memo -> [ "memo off: " ^ r ]
        | _ -> []);
   let left_side = spec.Qspec.left and right_side = spec.Qspec.right in
-  (* Q_B: materialize the outer side; Q_R's relation: the inner side. *)
-  let l_rel = Binder.run catalog (Qspec.side_query ~overrides left_side) in
-  let r_rel = Binder.run catalog (Qspec.side_query ~overrides right_side) in
+  (* Q_B: materialize the outer side; Q_R's relation: the inner side.
+     Under [span] each side gets a timed child span; under [estimate] the
+     cost model's cardinality for the side query is stamped next to the
+     actual so EXPLAIN ANALYZE can report the per-side Q-error. *)
+  let run_side name side =
+    let q = Qspec.side_query ~overrides side in
+    match span with
+    | None -> Binder.run catalog q
+    | Some parent ->
+      Obs.Span.with_span ~parent name (fun s ->
+          (* Bind once and share the plan between the estimate and the
+             execution: binding a side query with a-priori overrides
+             materializes the reducer IN-subqueries, so a separate bind for
+             the estimate would run each reducer twice. *)
+          let plan = Binder.bind catalog q in
+          if estimate then
+            (try
+               let est = Cost.estimate catalog plan in
+               Obs.Span.set_estimate ~rows:est.Cost.rows ~cost:est.Cost.cost s
+             with _ -> ());
+          let rel = Exec.run catalog plan in
+          s.Obs.Span.rows_out <- Some (Relation.cardinality rel);
+          rel)
+  in
+  let l_rel = run_side "Q_B (outer side)" left_side in
+  let r_rel = run_side "Q_R (inner side)" right_side in
+  (* Estimated distinct bindings (product of per-column distinct counts,
+     capped by the outer cardinality): what the cost model would predict
+     for the number of distinct inner evaluations without pruning.  Counts
+     only the binding columns — a full Stats pass over every Q_B column
+     would dominate the --analyze overhead budget. *)
+  let est_distinct =
+    if not estimate then None
+    else
+      try
+        let d_of c =
+          let i = Schema.index_of_col l_rel.Relation.schema c in
+          let seen = Hashtbl.create 64 in
+          Relation.iter
+            (fun row -> Hashtbl.replace seen row.(i) ())
+            l_rel;
+          max 1 (Hashtbl.length seen)
+        in
+        let d =
+          List.fold_left (fun acc c -> acc * d_of c) 1 left_side.Qspec.join_cols
+        in
+        Some (min d (Relation.cardinality l_rel))
+      with _ -> None
+  in
   let l_schema = l_rel.Relation.schema and r_schema = r_rel.Relation.schema in
   let jl_idx =
     List.map (fun c -> Schema.index_of_col l_schema c) left_side.Qspec.join_cols
@@ -984,6 +1030,10 @@ let execute op =
       c_stats = st;
     }
   in
+  (* The probe loop proper: everything from the first binding probe to the
+     assembled result, as one timed child span (the side materializations
+     above have their own spans, so this span's self time is the loop). *)
+  let loop_span = Option.map (fun p -> Obs.Span.enter ~parent:p "NLJP probe loop") span in
   let n = Relation.cardinality l_rel in
   let workers = max 1 config.workers in
   let chunk_results, final_prune, final_memo =
@@ -1152,7 +1202,23 @@ let execute op =
   Obs.Metrics.add m_memo_cache_rows stats.memo_cache_rows;
   Obs.Metrics.add m_cache_bytes stats.cache_bytes;
   Obs.Metrics.add m_waves (stats.waves - waves0);
-  (Relation.of_rows out_schema (List.rev !out_rows), stats)
+  let result = Relation.of_rows out_schema (List.rev !out_rows) in
+  (match loop_span with
+   | None -> ()
+   | Some ls ->
+     let set = Obs.Span.set_counter ls in
+     set "outer_rows" (this_run (fun s -> s.outer_rows));
+     set "inner_evals" (this_run (fun s -> s.inner_evals));
+     set "pruned" (this_run (fun s -> s.pruned));
+     set "memo_hits" (this_run (fun s -> s.memo_hits));
+     set "vector_evals" (this_run (fun s -> s.vector_evals));
+     set "vector_fallbacks" (this_run (fun s -> s.vector_fallbacks));
+     set "inner_blocks_skipped" (this_run (fun s -> s.inner_blocks_skipped));
+     set "inner_blocks_scanned" (this_run (fun s -> s.inner_blocks_scanned));
+     set "waves" (stats.waves - waves0);
+     (match est_distinct with Some d -> set "est_distinct_bindings" d | None -> ());
+     Obs.Span.finish ~rows_in:n ~rows_out:(Relation.cardinality result) ls);
+  (result, stats)
 
 let describe op =
   let spec = op.spec in
@@ -1184,6 +1250,12 @@ let describe op =
   Buffer.contents b
 
 let subsumption op = op.subsume
+
+(* The component queries NLJP actually materializes (a-priori overrides
+   applied), so EXPLAIN can estimate their cardinalities. *)
+let side_queries op =
+  ( Qspec.side_query ~overrides:op.overrides op.spec.Qspec.left,
+    Qspec.side_query ~overrides:op.overrides op.spec.Qspec.right )
 
 (* ---- static access-path planning (EXPLAIN) ----
 

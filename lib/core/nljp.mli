@@ -95,7 +95,12 @@ val build :
   (t, string) result
 
 (** Execute; the result schema matches the original query's SELECT list. *)
-val execute : t -> Relalg.Relation.t * stats
+val execute : ?span:Obs.Span.t -> ?estimate:bool -> t -> Relalg.Relation.t * stats
+(** Execute the operator.  With [span], child spans record the Q_B / Q_R
+    materializations and the probe loop (with its counter slice); with
+    [estimate] additionally, each side span carries the cost model's
+    cardinality estimate and the loop span an [est_distinct_bindings]
+    counter, for EXPLAIN ANALYZE's estimate-vs-actual accounting. *)
 
 (** Human-readable description of the component queries (cf. Listings 7
     and 10), including the derived p⪰. *)
@@ -103,6 +108,9 @@ val describe : t -> string
 
 (** The derived subsumption predicate, if pruning is active. *)
 val subsumption : t -> Subsume.t option
+
+(** The Q_B / Q_R component queries as materialized (overrides applied). *)
+val side_queries : t -> Sqlfront.Ast.query * Sqlfront.Ast.query
 
 (** The inner-side access path, in [execute]'s priority order: hash probe
     on equality Θ conjuncts ≻ vectorized column probe ≻ sorted inner index

@@ -143,14 +143,21 @@ let pick_static_memo catalog q =
    group, drop the rewrite (the semijoins would cost more than they save).
    The group-count denominator is a cheap DISTINCT over the owning table,
    an over-estimate, so the gate is conservative. *)
-let adaptive_keep catalog rw =
+let adaptive_threshold = 0.9
+
+(* The two queries the gate compares: a DISTINCT over the reducer's
+   grouping columns on their owning table (candidate groups) and the
+   reducer itself (kept groups).  [None] when the reducer's shape makes the
+   ratio unmeasurable — multi-alias grouping, subquery FROM items — in
+   which case the gate keeps the rewrite. *)
+let reducer_queries rw =
   let reducer = rw.reducer in
   match reducer.Ast.group_by with
-  | [] -> true
+  | [] -> None
   | (q0, _) :: _ as group_by ->
     let same_alias = List.for_all (fun (q, _) -> q = q0) group_by in
-    if not same_alias then true
-    else begin
+    if not same_alias then None
+    else
       let owner =
         List.find_map
           (function
@@ -162,21 +169,49 @@ let adaptive_keep catalog rw =
             | Ast.T_subquery _ -> None)
           reducer.Ast.from
       in
-      match owner with
-      | None -> true
-      | Some (name, alias) ->
-        let distinct_q =
-          Ast.simple_select ~distinct:true
-            (List.map (fun (_, n) -> Ast.Sel_expr (Ast.S_col (Some alias, n), None)) group_by)
-            [ Ast.T_table (name, Some alias) ]
-        in
-        (match Binder.run catalog distinct_q, Binder.run catalog reducer with
-         | total, kept ->
-           let nt = Relalg.Relation.cardinality total in
-           let nk = Relalg.Relation.cardinality kept in
-           nt = 0 || float_of_int nk /. float_of_int nt < 0.9
-         | exception _ -> true)
-    end
+      Option.map
+        (fun (name, alias) ->
+          let distinct_q =
+            Ast.simple_select ~distinct:true
+              (List.map (fun (_, n) -> Ast.Sel_expr (Ast.S_col (Some alias, n), None)) group_by)
+              [ Ast.T_table (name, Some alias) ]
+          in
+          (distinct_q, reducer))
+        owner
+
+(* Actual kept/total group ratio, by executing both gate queries. *)
+let reducer_keep_ratio catalog rw =
+  match reducer_queries rw with
+  | None -> None
+  | Some (distinct_q, reducer) ->
+    (match Binder.run catalog distinct_q, Binder.run catalog reducer with
+     | total, kept ->
+       let nt = Relalg.Relation.cardinality total in
+       let nk = Relalg.Relation.cardinality kept in
+       if nt = 0 then None
+       else Some (float_of_int nk /. float_of_int nt)
+     | exception _ -> None)
+
+(* Estimated kept/total group ratio from the cost model, for calibration:
+   what the gate would decide if it trusted estimates instead of running
+   the reducer. *)
+let reducer_est_ratio catalog rw =
+  match reducer_queries rw with
+  | None -> None
+  | Some (distinct_q, reducer) ->
+    (match
+       ( Cost.estimate catalog (Binder.bind catalog distinct_q),
+         Cost.estimate catalog (Binder.bind catalog reducer) )
+     with
+     | total, kept ->
+       if total.Cost.rows <= 0. then None
+       else Some (Float.min 1. (kept.Cost.rows /. total.Cost.rows))
+     | exception _ -> None)
+
+let adaptive_keep catalog rw =
+  match reducer_keep_ratio catalog rw with
+  | None -> true
+  | Some ratio -> ratio < adaptive_threshold
 
 (* Decision-mix metrics (DESIGN.md §9): how often each optimization fires. *)
 let m_decisions = Obs.Metrics.counter "optimizer.decisions"

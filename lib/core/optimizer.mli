@@ -52,3 +52,16 @@ val pick_static_memo :
 (** All non-empty proper subsets of a list, smallest first (shared with
     tests). *)
 val proper_subsets : 'a list -> 'a list list
+
+(** The adaptive gate drops a reducer when it keeps at least this fraction
+    of the candidate groups (0.9). *)
+val adaptive_threshold : float
+
+(** Actual kept/total candidate-group ratio of a reducer, measured by
+    executing it (the adaptive gate's evidence).  [None] when unmeasurable
+    (no grouping, multi-alias grouping, missing tables, empty domain). *)
+val reducer_keep_ratio : Relalg.Catalog.t -> apriori_rewrite -> float option
+
+(** The same ratio as the cost model predicts it, for estimate-vs-actual
+    calibration of the gate. *)
+val reducer_est_ratio : Relalg.Catalog.t -> apriori_rewrite -> float option

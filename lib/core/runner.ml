@@ -135,7 +135,7 @@ let rename_table_refs (q : Ast.query) renames =
         q.Ast.from;
   }
 
-let rec run ?span ?(tech = Optimizer.all_techniques)
+let rec run ?span ?(analyze = false) ?(tech = Optimizer.all_techniques)
     ?(nljp_config = Nljp.default_config) ?workers ?(memo_strategy = `Nljp)
     ?(adaptive_apriori = false) catalog (q : Ast.query) =
   (* [?workers] overrides the NLJP worker count; once folded into the config
@@ -156,8 +156,8 @@ let rec run ?span ?(tech = Optimizer.all_techniques)
       let rel, rep =
         in_span span ("cte:" ^ name) (fun s ->
             let rel, rep =
-              run ?span:s ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
-                catalog def
+              run ?span:s ~analyze ~tech ~nljp_config ~memo_strategy
+                ~adaptive_apriori catalog def
             in
             span_rows_out s (Relation.cardinality rel);
             (rel, rep))
@@ -177,8 +177,8 @@ let rec run ?span ?(tech = Optimizer.all_techniques)
      query's accounting. *)
   let skipped0, scanned0 = Colscan.counters () in
   let result, rep =
-    run_block ~span ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog
-      main
+    run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
+      catalog main
   in
   List.iter (Catalog.remove_table catalog) !temp_names;
   let skipped1, scanned1 = Colscan.counters () in
@@ -188,17 +188,67 @@ let rec run ?span ?(tech = Optimizer.all_techniques)
           (skipped1 - skipped0) (scanned1 - scanned0) ]
     else []
   in
+  (* Zone-map slice for this block (CTE blocks record their own above). *)
+  (match span with
+   | Some sp when skipped1 > skipped0 || scanned1 > scanned0 ->
+     Obs.Span.add_counter sp "colscan.blocks_skipped" (skipped1 - skipped0);
+     Obs.Span.add_counter sp "colscan.blocks_scanned" (scanned1 - scanned0)
+   | _ -> ());
   ( result,
     { rep with notes = rep.notes @ block_notes; cte_reports = List.rev !cte_reports }
   )
 
-and run_block ~span ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog
-    (q : Ast.query) =
+and run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
+    catalog (q : Ast.query) =
+  (* Baseline execution of [query].  Under [analyze] with a live span, bind
+     once, execute with a per-plan-node recorder, and attach the full plan
+     tree as zero-duration child spans — each carrying the cost model's
+     estimated rows/cost next to the recorded actual rows.  Plan nodes are
+     pipelined, so only the block's wall time is attributable, not
+     per-node times (DESIGN.md §10). *)
+  let exec_baseline s query =
+    match (if analyze then s else None) with
+    | None -> Binder.run catalog query
+    | Some sp ->
+      let plan = Binder.bind catalog query in
+      let acts = ref [] in
+      let recorder =
+        { Exec.rec_rows = (fun path label rows -> acts := (path, (label, rows)) :: !acts) }
+      in
+      let rel = Exec.run ~recorder catalog plan in
+      let tree = Cost.tree catalog plan in
+      Obs.Span.set_estimate ~rows:tree.Cost.t_rows ~cost:tree.Cost.t_cost sp;
+      Obs.Span.note sp "plan nodes below are pipelined; per-node time not attributed";
+      let rec attach parent path (t : Cost.tree) =
+        let node = Obs.Span.enter ~parent t.Cost.t_label in
+        node.Obs.Span.dur_ms <- 0.;
+        Obs.Span.set_estimate ~rows:t.Cost.t_rows ~cost:t.Cost.t_cost node;
+        (match List.assoc_opt path !acts with
+         | Some (_, rows) -> node.Obs.Span.rows_out <- Some rows
+         | None -> ());
+        List.iteri (fun i c -> attach node (path @ [ i ]) c) t.Cost.t_children
+      in
+      attach sp [] tree;
+      rel
+  in
+  (* Estimated output cardinality/cost of the block's baseline plan,
+     stamped on the execute span so the block-level Q-error is reported
+     even when execution goes through NLJP instead of that plan. *)
+  let stamp_block_estimate s query =
+    if analyze then
+      match s with
+      | Some sp ->
+        (try
+           let est = Cost.estimate catalog (Binder.bind catalog query) in
+           Obs.Span.set_estimate ~rows:est.Cost.rows ~cost:est.Cost.cost sp
+         with _ -> ())
+      | None -> ()
+  in
   let fallback notes =
     let rel =
       in_span span "execute" (fun s ->
           List.iter (span_note s) notes;
-          let rel = Binder.run catalog q in
+          let rel = exec_baseline s q in
           span_rows_out s (Relation.cardinality rel);
           rel)
     in
@@ -232,7 +282,7 @@ and run_block ~span ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog
       let rel =
         in_span span "execute" (fun s ->
             span_note s "memoization via static rewrite (Listing 8)";
-            let rel = Binder.run catalog rewritten in
+            let rel = exec_baseline s rewritten in
             span_rows_out s (Relation.cardinality rel);
             rel)
       in
@@ -282,7 +332,8 @@ and run_block ~span ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog
        | Some (op, aliases) ->
          let rel, stats =
            in_span span "execute" (fun s ->
-               let rel, stats = Nljp.execute op in
+               stamp_block_estimate s q;
+               let rel, stats = Nljp.execute ?span:s ~estimate:analyze op in
                span_rows_out s (Relation.cardinality rel);
                span_counter s "outer_rows" stats.Nljp.outer_rows;
                span_counter s "inner_evals" stats.Nljp.inner_evals;
@@ -303,9 +354,7 @@ and run_block ~span ~tech ~nljp_config ~memo_strategy ~adaptive_apriori catalog
        | None ->
          let rel =
            in_span span "execute" (fun s ->
-               let rel =
-                 Binder.run catalog (Optimizer.rewritten_query decision)
-               in
+               let rel = exec_baseline s (Optimizer.rewritten_query decision) in
                span_rows_out s (Relation.cardinality rel);
                rel)
          in
@@ -369,7 +418,8 @@ let report_to_string rep =
     List.iter (fun n -> Buffer.add_string b (pad ^ n ^ "\n")) rep.notes;
     List.iter
       (fun (name, r) ->
-        Buffer.add_string b (Printf.sprintf "%sCTE %s:\n" pad name);
+        (* nested notes (e.g. "vector off" degrades) render through [go] *)
+        Buffer.add_string b (Printf.sprintf "%scte:%s:\n" pad name);
         go (indent + 2) r)
       rep.cte_reports
   in

@@ -25,9 +25,17 @@ type report = {
     are bag-equal to sequential execution.  [span] attaches the query
     lifecycle (per-CTE [cte:<name>], [optimize], [execute] children with row
     counts and operator counters) under the given parent span; omitted,
-    tracing costs nothing. *)
+    tracing costs nothing.
+
+    [analyze] (requires [span]) turns the trace into EXPLAIN ANALYZE
+    accounting: baseline-executed blocks attach their full physical plan as
+    child spans pairing the cost model's estimated rows/cost with recorded
+    actual rows per node, and NLJP blocks record Q_B / Q_R side spans with
+    side-query estimates plus the probe-loop counter slice.  Results stay
+    bag-equal to a plain [run]. *)
 val run :
   ?span:Obs.Span.t ->
+  ?analyze:bool ->
   ?tech:Optimizer.technique ->
   ?nljp_config:Nljp.config ->
   ?workers:int ->

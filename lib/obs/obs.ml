@@ -205,7 +205,8 @@ module Json = struct
     Buffer.add_char b '"'
 
   let num_to_string x =
-    if Float.is_integer x && Float.abs x < 1e15 then
+    if not (Float.is_finite x) then "null"  (* JSON has no nan/inf *)
+    else if Float.is_integer x && Float.abs x < 1e15 then
       Printf.sprintf "%d" (int_of_float x)
     else Printf.sprintf "%.12g" x
 
@@ -266,6 +267,24 @@ module Json = struct
       end
       else error ("expected " ^ word)
     in
+    let add_utf8 b cp =
+      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
     let parse_string () =
       expect '"';
       let b = Buffer.create 16 in
@@ -289,13 +308,31 @@ module Json = struct
              | 'b' -> Buffer.add_char b '\b'
              | 'f' -> Buffer.add_char b '\012'
              | 'u' ->
-               if !pos + 4 > n then error "bad \\u escape";
-               let hex = String.sub s !pos 4 in
-               pos := !pos + 4;
-               (match int_of_string_opt ("0x" ^ hex) with
-                | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
-                | Some _ -> Buffer.add_char b '?'  (* non-ASCII: not emitted by us *)
-                | None -> error "bad \\u escape")
+               let read4 () =
+                 if !pos + 4 > n then error "bad \\u escape";
+                 let hex = String.sub s !pos 4 in
+                 pos := !pos + 4;
+                 match int_of_string_opt ("0x" ^ hex) with
+                 | Some code -> code
+                 | None -> error "bad \\u escape"
+               in
+               let code = read4 () in
+               let code =
+                 if code >= 0xD800 && code <= 0xDBFF then begin
+                   (* high surrogate: must be followed by \uDC00-\uDFFF *)
+                   if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                     pos := !pos + 2;
+                     let low = read4 () in
+                     if low >= 0xDC00 && low <= 0xDFFF then
+                       0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                     else 0xFFFD
+                   end
+                   else 0xFFFD
+                 end
+                 else if code >= 0xDC00 && code <= 0xDFFF then 0xFFFD
+                 else code
+               in
+               add_utf8 b code
              | _ -> error "bad escape");
             go ()
           end
@@ -396,6 +433,8 @@ module Span = struct
     mutable dur_ms : float;
     mutable rows_in : int option;
     mutable rows_out : int option;
+    mutable est_rows : float option;  (* optimizer cardinality estimate *)
+    mutable est_cost : float option;  (* optimizer cost estimate *)
     mutable counters : (string * int) list;  (* insertion order *)
     mutable notes : string list;
     mutable children : t list;  (* reversed; [children] re-reverses *)
@@ -411,6 +450,8 @@ module Span = struct
         dur_ms = 0.;
         rows_in = None;
         rows_out = None;
+        est_rows = None;
+        est_cost = None;
         counters = [];
         notes = [];
         children = [];
@@ -418,6 +459,10 @@ module Span = struct
     in
     (match parent with Some p -> p.children <- s :: p.children | None -> ());
     s
+
+  let set_estimate ?rows ?cost s =
+    (match rows with Some _ -> s.est_rows <- rows | None -> ());
+    (match cost with Some _ -> s.est_cost <- cost | None -> ())
 
   let finish ?rows_in ?rows_out s =
     (match rows_in with Some _ -> s.rows_in <- rows_in | None -> ());
@@ -459,6 +504,9 @@ module Span = struct
       (match s.rows_out with
        | Some r -> Buffer.add_string b (Printf.sprintf "  rows_out=%d" r)
        | None -> ());
+      (match s.est_rows with
+       | Some e -> Buffer.add_string b (Printf.sprintf "  est_rows~%.0f" e)
+       | None -> ());
       Buffer.add_char b '\n';
       if s.counters <> [] then begin
         Buffer.add_string b
@@ -477,12 +525,15 @@ module Span = struct
 
   let rec to_json s : Json.t =
     let opt_int = function Some i -> Json.Num (float_of_int i) | None -> Json.Null in
+    let opt_num = function Some x -> Json.Num x | None -> Json.Null in
     Json.Obj
       [
         ("name", Json.Str s.name);
         ("ms", Json.Num s.dur_ms);
         ("rows_in", opt_int s.rows_in);
         ("rows_out", opt_int s.rows_out);
+        ("est_rows", opt_num s.est_rows);
+        ("est_cost", opt_num s.est_cost);
         ( "counters",
           Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) s.counters) );
         ("notes", Json.Arr (List.map (fun n -> Json.Str n) s.notes));
@@ -523,6 +574,8 @@ module Span = struct
       dur_ms = (match num_field "ms" with Some x -> x | None -> 0.);
       rows_in = int_opt "rows_in";
       rows_out = int_opt "rows_out";
+      est_rows = num_field "est_rows";
+      est_cost = num_field "est_cost";
       counters;
       notes;
       children = kids;

@@ -80,6 +80,8 @@ module Span : sig
     mutable dur_ms : float;
     mutable rows_in : int option;
     mutable rows_out : int option;
+    mutable est_rows : float option;  (** optimizer cardinality estimate *)
+    mutable est_cost : float option;  (** optimizer cost estimate *)
     mutable counters : (string * int) list;
     mutable notes : string list;
     mutable children : t list;  (** reversed; use {!children} *)
@@ -87,6 +89,10 @@ module Span : sig
 
   (** Start a span now; appends to [parent]'s children when given. *)
   val enter : ?parent:t -> string -> t
+
+  (** Attach the optimizer's estimated cardinality/cost to the span, so an
+      EXPLAIN ANALYZE view can print estimate next to actual. *)
+  val set_estimate : ?rows:float -> ?cost:float -> t -> unit
 
   (** Stamp the duration (and optionally row counts). *)
   val finish : ?rows_in:int -> ?rows_out:int -> t -> unit

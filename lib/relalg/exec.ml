@@ -13,7 +13,14 @@
    chunking the outer side across domains; under aggregation each domain
    builds a partial group table that is merged at the end — mirroring
    Vendor A's Parallelism (Gather/Repartition Streams) plan nodes in
-   Appendix E. *)
+   Appendix E.
+
+   An optional [recorder] observes the actual output cardinality of every
+   plan node as it is evaluated (EXPLAIN ANALYZE).  Materialized nodes
+   report their cardinality; a join streaming straight into aggregation
+   reports its emit count, accumulated per outer chunk into an [Atomic] so
+   worker domains never contend on a shared counter inside the feed loop.
+   Recorder callbacks themselves always run on the spawning domain. *)
 
 let scan catalog table alias filter =
   let tbl = Catalog.find catalog table in
@@ -46,42 +53,79 @@ type streamed = {
   feed : Row.t array -> (Row.t -> Row.t -> unit) -> unit;
 }
 
+type recorder = { rec_rows : int list -> string -> int -> unit }
+
+(* Labels match [Cost]'s per-node labels so estimate and actual line up. *)
+let node_label = function
+  | Plan.Scan { table; alias; _ } ->
+    Printf.sprintf "Scan %s%s" table
+      (match alias with Some a when a <> table -> " AS " ^ a | _ -> "")
+  | Plan.Values { name; _ } -> Printf.sprintf "Materialized %s" name
+  | Plan.Filter _ -> "Filter"
+  | Plan.Project _ -> "Project"
+  | Plan.Nl_join _ -> "Nested Loop"
+  | Plan.Hash_join _ -> "Hash Join"
+  | Plan.Merge_join _ -> "Merge Join"
+  | Plan.Index_nl_join { table; alias; _ } ->
+    Printf.sprintf "Index Nested Loop (%s%s)" table
+      (match alias with Some a when a <> table -> " AS " ^ a | _ -> "")
+  | Plan.Group _ -> "HashAggregate"
+  | Plan.Distinct _ -> "Distinct"
+  | Plan.Order_by _ -> "Sort"
+  | Plan.Limit (k, _) -> Printf.sprintf "Limit %d" k
+  | Plan.Semijoin _ -> "Hash Semi Join (IN)"
+  | Plan.Rename (alias, _) -> "Subquery " ^ alias
+
 let empty_row : Row.t = [||]
 
-let rec run ?(workers = 1) catalog plan =
+let rec run ?(workers = 1) ?recorder ?(path = []) catalog plan =
+  let rel = exec_node ~workers ~recorder ~path catalog plan in
+  (match recorder with
+   | Some r -> r.rec_rows path (node_label plan) (Relation.cardinality rel)
+   | None -> ());
+  rel
+
+and exec_node ~workers ~recorder ~path catalog plan =
+  let child i p = run ~workers ?recorder ~path:(path @ [ i ]) catalog p in
   match plan with
   | Plan.Scan { table; alias; filter } -> scan catalog table alias filter
   | Plan.Values { name; rel } -> Relation.requalify name rel
-  | Plan.Filter (pred, p) -> Ops.select pred (run ~workers catalog p)
-  | Plan.Project (outs, p) -> Ops.project outs (run ~workers catalog p)
+  | Plan.Filter (pred, p) -> Ops.select pred (child 0 p)
+  | Plan.Project (outs, p) -> Ops.project outs (child 0 p)
   | Plan.Nl_join _ | Plan.Hash_join _ | Plan.Index_nl_join _ ->
-    collect ~workers (stream ~workers catalog plan)
+    collect ~workers (stream ~workers ~recorder ~path catalog plan)
   | Plan.Merge_join { keys; residual; left; right } ->
-    let l = run ~workers catalog left and r = run ~workers catalog right in
+    let l = child 0 left in
+    let r = child 1 right in
     Ops.merge_join
       ~left_keys:(List.map fst keys)
       ~right_keys:(List.map snd keys)
       ~residual l r
-  | Plan.Group { group_cols; aggs; input } -> group ~workers catalog group_cols aggs input
-  | Plan.Distinct p -> Ops.distinct (run ~workers catalog p)
-  | Plan.Order_by (keys, p) -> Ops.order_by keys (run ~workers catalog p)
-  | Plan.Limit (n, p) -> Ops.limit n (run ~workers catalog p)
+  | Plan.Group { group_cols; aggs; input } ->
+    group ~workers ~recorder ~path catalog group_cols aggs input
+  | Plan.Distinct p -> Ops.distinct (child 0 p)
+  | Plan.Order_by (keys, p) -> Ops.order_by keys (child 0 p)
+  | Plan.Limit (n, p) -> Ops.limit n (child 0 p)
   | Plan.Semijoin { keys; sub; input } ->
-    let s = run ~workers catalog sub and i = run ~workers catalog input in
+    let i = child 0 input in
+    let s = child 1 sub in
     Ops.semijoin keys s i
   | Plan.Rename (alias, p) ->
-    let rel = run ~workers catalog p in
+    let rel = child 0 p in
     Relation.with_schema
       (Schema.requalify alias (Schema.unqualified rel.Relation.schema))
       rel
 
 (* Build a streamed view of a plan.  Joins stream; anything else
-   materializes and streams its rows trivially. *)
-and stream ~workers catalog plan : streamed =
+   materializes and streams its rows trivially.  Join children are
+   annotated under [path @ [0]] / [path @ [1]]; the join node itself is
+   recorded by whoever consumes the stream (collect's caller via
+   cardinality, or [group] via an emit counter). *)
+and stream ~workers ~recorder ~path catalog plan : streamed =
   match plan with
   | Plan.Nl_join { pred; left; right } ->
-    let l = run ~workers catalog left in
-    let r = run ~workers catalog right in
+    let l = run ~workers ?recorder ~path:(path @ [ 0 ]) catalog left in
+    let r = run ~workers ?recorder ~path:(path @ [ 1 ]) catalog right in
     let schema = Schema.append l.Relation.schema r.Relation.schema in
     (* Force the inner rows here, on the spawning domain: [feed] runs on
        worker domains and must not race on the relation's lazy row cache. *)
@@ -99,8 +143,8 @@ and stream ~workers catalog plan : streamed =
     in
     { schema; left_arity = Schema.arity l.Relation.schema; outer = l; feed }
   | Plan.Hash_join { keys; residual; left; right } ->
-    let l = run ~workers catalog left in
-    let r = run ~workers catalog right in
+    let l = run ~workers ?recorder ~path:(path @ [ 0 ]) catalog left in
+    let r = run ~workers ?recorder ~path:(path @ [ 1 ]) catalog right in
     let schema = Schema.append l.Relation.schema r.Relation.schema in
     let rkey = Compile.row_fn r.Relation.schema (List.map snd keys) in
     let tbl = Row.Tbl.create (max 16 (Relation.cardinality r)) in
@@ -128,10 +172,10 @@ and stream ~workers catalog plan : streamed =
     (match sorted_index_for catalog table key_col with
      | None ->
        (* No BT index: degrade to a plain nested loop over the table. *)
-       stream ~workers catalog
+       stream ~workers ~recorder ~path catalog
          (Plan.Nl_join { pred; left; right = Plan.Scan { table; alias; filter = None } })
      | Some index ->
-       let l = run ~workers catalog left in
+       let l = run ~workers ?recorder ~path:(path @ [ 0 ]) catalog left in
        let tbl = Catalog.find catalog table in
        let q = Option.value alias ~default:tbl.Catalog.name in
        let right_schema = Schema.requalify q tbl.Catalog.rel.Relation.schema in
@@ -149,7 +193,7 @@ and stream ~workers catalog plan : streamed =
        in
        { schema; left_arity = Schema.arity l.Relation.schema; outer = l; feed })
   | _ ->
-    let rel = run ~workers catalog plan in
+    let rel = run ~workers ?recorder ~path catalog plan in
     {
       schema = rel.Relation.schema;
       left_arity = Schema.arity rel.Relation.schema;
@@ -173,8 +217,16 @@ and collect ~workers s =
 
 (* Hash aggregation over a streamed input; parallel chunks build partial
    tables merged via the aggregates' algebraic [merge]. *)
-and group ~workers catalog group_cols aggs input =
-  let s = stream ~workers catalog input in
+and group ~workers ~recorder ~path catalog group_cols aggs input =
+  let s = stream ~workers ~recorder ~path:(path @ [ 0 ]) catalog input in
+  (* A join feeding this aggregate never materializes; count its emitted
+     rows so the recorder still sees the node's actual cardinality. *)
+  let counted =
+    match recorder, input with
+    | Some _, (Plan.Nl_join _ | Plan.Hash_join _ | Plan.Index_nl_join _) ->
+      Some (Atomic.make 0)
+    | _ -> None
+  in
   let out_schema = Schema.of_cols (List.map snd group_cols @ List.map snd aggs) in
   let arity = Schema.arity s.schema in
   let build chunk =
@@ -186,7 +238,9 @@ and group ~workers catalog group_cols aggs input =
     let ng = Array.length gexprs in
     (* Probe with a reusable key buffer; copy only on first insertion. *)
     let key_buf = Array.make ng Value.Null in
+    let emitted = ref 0 in
     s.feed chunk (fun lrow rrow ->
+        incr emitted;
         let ll = Array.length lrow in
         Array.blit lrow 0 scratch 0 ll;
         if Array.length rrow > 0 then Array.blit rrow 0 scratch ll (Array.length rrow);
@@ -204,6 +258,9 @@ and group ~workers catalog group_cols aggs input =
         for i = 0 to nagg - 1 do
           compiled.(i).Agg.step states.(i) scratch
         done);
+    (match counted with
+     | Some c -> ignore (Atomic.fetch_and_add c !emitted)
+     | None -> ());
     (compiled, groups)
   in
   let partials =
@@ -211,6 +268,9 @@ and group ~workers catalog group_cols aggs input =
       [ build (Relation.rows s.outer) ]
     else Parallel.run_chunks ~workers (Relation.rows s.outer) build
   in
+  (match recorder, counted with
+   | Some r, Some c -> r.rec_rows (path @ [ 0 ]) (node_label input) (Atomic.get c)
+   | _ -> ());
   match partials with
   | [] -> Relation.empty out_schema
   | (compiled0, merged) :: rest ->

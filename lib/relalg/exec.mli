@@ -4,4 +4,15 @@
     [workers = 4] parallelizes joins and aggregation across domains ("Vendor
     A" stand-in, cf. Appendix E's Parallelism/Gather plan nodes). *)
 
-val run : ?workers:int -> Catalog.t -> Plan.t -> Relation.t
+type recorder = { rec_rows : int list -> string -> int -> unit }
+(** EXPLAIN ANALYZE hook: called once per plan node with the node's path
+    (child indices from the root, matching [Cost.tree]'s child order), its
+    display label, and the actual number of rows it produced.  Joins that
+    stream straight into an aggregate report their emit count instead of a
+    materialized cardinality.  Callbacks run on the spawning domain only. *)
+
+val node_label : Plan.t -> string
+(** The display label the recorder reports for a node (matches [Cost]). *)
+
+val run :
+  ?workers:int -> ?recorder:recorder -> ?path:int list -> Catalog.t -> Plan.t -> Relation.t

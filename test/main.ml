@@ -31,4 +31,5 @@ let () =
       ("runner-edge", Test_runner_edge.suite);
       ("runner", Test_runner.suite);
       ("workload", Test_workload.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("analyze", Test_analyze.suite) ]

@@ -145,6 +145,38 @@ let test_trace_json_schema () =
   | Obs.Json.Obj _ -> ()
   | _ -> Alcotest.fail "trace document did not round-trip"
 
+let test_span_roundtrip_hostile_strings () =
+  (* Names and notes with every character class the escaper must handle:
+     quotes, backslashes, newlines, tabs, raw control characters, and
+     multi-byte UTF-8 (emitted byte-for-byte, not \u-escaped). *)
+  let hostile =
+    "he said \"hi\\there\"\nline2\ttab \x01\x1f ctrl \xc3\xa9 utf8"
+  in
+  let root = Obs.Span.enter hostile in
+  Obs.Span.note root hostile;
+  Obs.Span.set_counter root hostile 3;
+  root.Obs.Span.rows_out <- Some 1;
+  root.Obs.Span.dur_ms <- 0.5;
+  let r = Obs.Span.of_json_string (Obs.Span.to_json_string root) in
+  Alcotest.(check string) "name" hostile r.Obs.Span.name;
+  Alcotest.(check (list string)) "notes" [ hostile ] r.Obs.Span.notes;
+  Alcotest.(check (list (pair string int))) "counters" [ (hostile, 3) ]
+    r.Obs.Span.counters
+
+let test_json_escapes () =
+  (* \uXXXX escapes decode to UTF-8, including surrogate pairs; printing
+     non-finite numbers degrades to null instead of emitting invalid JSON. *)
+  (match Obs.Json.of_string "\"\\u00e9 \\u0041 \\ud83d\\ude00\"" with
+   | Obs.Json.Str s -> Alcotest.(check string) "decoded" "\xc3\xa9 A \xf0\x9f\x98\x80" s
+   | _ -> Alcotest.fail "expected a string");
+  Alcotest.(check string) "nan prints as null" "null"
+    (Obs.Json.to_string (Obs.Json.Num Float.nan));
+  Alcotest.(check string) "inf prints as null" "null"
+    (Obs.Json.to_string (Obs.Json.Num Float.infinity));
+  let s = Obs.Json.to_string (Obs.Json.Str "\x00\x07\x1b") in
+  Alcotest.(check bool) "control chars are escaped" true
+    (contains s "\\u0000" && not (contains s "\x00"))
+
 let test_json_parser () =
   let s = "{\"a\": [1, 2.5, null, true, \"x\\n\\\"y\\\"\"], \"b\": {}}" in
   let j = Obs.Json.of_string s in
@@ -225,6 +257,9 @@ let suite =
     t "NLJP counter totals match sequential under workers>1"
       test_parallel_totals;
     t "span tree round-trips through JSON" test_span_roundtrip;
+    t "hostile strings survive the span JSON round-trip"
+      test_span_roundtrip_hostile_strings;
+    t "json escape handling (\\u decode, non-finite nums)" test_json_escapes;
     t "trace document has trace + metrics members" test_trace_json_schema;
     t "json printer/parser round-trip" test_json_parser;
     t "EXPLAIN simple iceberg query" test_explain_simple;
