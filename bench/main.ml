@@ -41,13 +41,25 @@ let layout_name () = match !layout with `Row -> "row" | `Column -> "column"
 let vector_on =
   ref (match Sys.getenv_opt "SI_VECTOR" with Some "0" -> false | _ -> true)
 
+(* --no-transfer forces predicate transfer off; otherwise the runner's own
+   SI_TRANSFER default applies (on unless 0/false/off/no). *)
+let transfer_opt : bool option ref = ref None
+
+let transfer_enabled () =
+  match !transfer_opt with
+  | Some b -> b
+  | None ->
+    (match Sys.getenv_opt "SI_TRANSFER" with
+     | Some ("0" | "false" | "off" | "no") -> false
+     | _ -> true)
+
 let nljp_cfg () =
   { Core.Nljp.default_config with Core.Nljp.vector = !vector_on }
 
-(* Smart-path runner honoring the bench-wide vector switch. *)
+(* Smart-path runner honoring the bench-wide vector and transfer switches. *)
 let run_smart ?tech ?workers ?memo_strategy ?adaptive_apriori catalog q =
   Core.Runner.run ?tech ~nljp_config:(nljp_cfg ()) ?workers ?memo_strategy
-    ?adaptive_apriori catalog q
+    ?adaptive_apriori ?transfer:!transfer_opt catalog q
 
 (* ---- machine-readable results (--json FILE) ---- *)
 
@@ -57,8 +69,12 @@ type json_row = {
   j_workers : int;
   j_layout : string;
   j_vector : bool;  (* the SI_VECTOR / --no-vector switch at record time *)
+  j_transfer : bool;  (* the SI_TRANSFER / --no-transfer switch *)
   j_ms_raw : float;
   j_ms_scaled : float;
+  j_load_ms : float option;
+      (* data-load time (synthetic generation / CSV parse + layout build)
+         behind this measurement — informational, never a gate *)
   j_counters : (string * int) list;
       (* operator counters under the lib/obs names (nljp., colscan. and
          optimizer. prefixes), captured as snapshot deltas around the run *)
@@ -82,7 +98,8 @@ let git_sha =
           if line = "" then "unknown" else line
         with _ -> "unknown"))
 
-let record ?(workers = 1) ?(counters = []) ?ms_scaled ~technique name ms_raw =
+let record ?(workers = 1) ?(counters = []) ?ms_scaled ?load_ms ~technique name
+    ms_raw =
   json_rows :=
     {
       j_name = name;
@@ -90,8 +107,10 @@ let record ?(workers = 1) ?(counters = []) ?ms_scaled ~technique name ms_raw =
       j_workers = workers;
       j_layout = layout_name ();
       j_vector = !vector_on;
+      j_transfer = transfer_enabled ();
       j_ms_raw = ms_raw;
       j_ms_scaled = Option.value ms_scaled ~default:ms_raw;
+      j_load_ms = load_ms;
       j_counters = counters;
     }
     :: !json_rows
@@ -101,17 +120,21 @@ let counters_json counters : Obs.Json.t =
 
 let row_to_json r : Obs.Json.t =
   Obs.Json.Obj
-    [
+    ([
       ("name", Obs.Json.Str r.j_name);
       ("technique", Obs.Json.Str r.j_technique);
       ("workers", Obs.Json.Num (float_of_int r.j_workers));
       ("layout", Obs.Json.Str r.j_layout);
       ("git_sha", Obs.Json.Str (Lazy.force git_sha));
       ("si_vector", Obs.Json.Bool r.j_vector);
+      ("si_transfer", Obs.Json.Bool r.j_transfer);
       ("ms_raw", Obs.Json.Num r.j_ms_raw);
       ("ms_scaled", Obs.Json.Num r.j_ms_scaled);
-      ("counters", counters_json r.j_counters);
     ]
+    @ (match r.j_load_ms with
+       | Some l -> [ ("load_ms", Obs.Json.Num l) ]
+       | None -> [])
+    @ [ ("counters", counters_json r.j_counters) ])
 
 (* Through the lib/obs serializer — the old Printf "%S" writer produced
    OCaml string escapes, which are not valid JSON for control characters. *)
@@ -201,13 +224,13 @@ let rec report_has_apriori (rep : Core.Runner.report) =
   rep.Core.Runner.apriori <> []
   || List.exists (fun (_, r) -> report_has_apriori r) rep.Core.Runner.cte_reports
 
-let fig1_measure catalog (qname, sql) =
+let fig1_measure ?load_ms catalog (qname, sql) =
   let q = Sqlfront.Parser.parse sql in
   let base, base_t, base_c = time_obs (fun () -> run_base catalog q) in
-  record ~technique:"base" ~counters:base_c qname (base_t *. 1000.);
+  record ~technique:"base" ~counters:base_c ?load_ms qname (base_t *. 1000.);
   let vend, vendor_raw_t, vendor_t, vendor_c = time_vendor catalog q in
   record ~technique:"vendor" ~workers:vendor_workers ~counters:vendor_c
-    ~ms_scaled:(vendor_t *. 1000.) qname (vendor_raw_t *. 1000.);
+    ~ms_scaled:(vendor_t *. 1000.) ?load_ms qname (vendor_raw_t *. 1000.);
   check_equal (qname ^ "/vendor") base vend;
   let all_report = ref None in
   let tech_t =
@@ -216,7 +239,7 @@ let fig1_measure catalog (qname, sql) =
         let (r, rep), t, c = time_obs (fun () -> run_smart ~tech catalog q) in
         check_equal (qname ^ "/" ^ tname) base r;
         if tname = "all" then all_report := Some rep;
-        record ~technique:tname ~counters:c qname (t *. 1000.);
+        record ~technique:tname ~counters:c ?load_ms qname (t *. 1000.);
         let applied =
           match tname with "apriori" -> report_has_apriori rep | _ -> true
         in
@@ -231,8 +254,12 @@ let fig1 () =
     "=== Figure 1: normalized running times (PostgreSQL-baseline = 1.0) ===\n";
   Printf.printf
     "rows = %d; normalized time (absolute seconds); '-' = not applicable\n\n" !rows;
-  let catalog = baseball_catalog ~rows:!rows () in
-  let results = List.map (fig1_measure catalog) Workload.Queries.figure1 in
+  let catalog, load_t = time (fun () -> baseball_catalog ~rows:!rows ()) in
+  let results =
+    List.map
+      (fig1_measure ~load_ms:(load_t *. 1000.) catalog)
+      Workload.Queries.figure1
+  in
   print_newline ();
   Printf.printf "%-6s | %-16s | %-16s | %-16s | %-16s | %-16s | %-16s\n" "query"
     "base" vendor_label "pruning" "memo" "apriori" "all";
@@ -987,7 +1014,7 @@ let vec () =
    `bench harness` runs a pinned suite (scans, the vectorized inner loop,
    end-to-end smart vs baseline, the --analyze overhead pair) with a warmup
    plus repeated measurements and writes medians + IQR, counters and run
-   metadata to a JSON file (BENCH_PR5.json by default; committed at the repo
+   metadata to a JSON file (BENCH_PR6.json by default; committed at the repo
    root as the regression baseline).  `bench diff OLD.json NEW.json`
    compares two such files with a noise-aware threshold and exits non-zero
    on a regression — the CI gate.
@@ -1014,10 +1041,11 @@ type hbench = {
   h_median : float;  (* ms *)
   h_p25 : float;
   h_p75 : float;
+  h_load_ms : float option;  (* data-load time behind the bench; informational *)
   h_counters : (string * int) list;  (* from the last repetition *)
 }
 
-let measure_bench ~reps name f =
+let measure_bench ?load_ms ~reps name f =
   (* Level the heap between benches: without this, each leg runs on
      whatever garbage its predecessors left, which skews A/B pairs. *)
   Gc.compact ();
@@ -1044,6 +1072,7 @@ let measure_bench ~reps name f =
     h_median = pct 0.5;
     h_p25 = pct 0.25;
     h_p75 = pct 0.75;
+    h_load_ms = load_ms;
     h_counters = !counters;
   }
 
@@ -1101,13 +1130,26 @@ let harness () =
   let vec_cfg =
     { Core.Nljp.default_config with Core.Nljp.vector = true; inner_index = true }
   in
-  (* End-to-end legs on the synthetic workloads. *)
-  let bb = baseball_catalog ~rows:n_rows () in
-  let kv = unpivoted_catalog ~rows:(n_rows / 2) () in
+  (* End-to-end legs on the synthetic workloads.  Catalog construction is
+     timed as each leg's load cost (synthetic generation + index and layout
+     build — the stand-in for CSV parse), reported informationally. *)
+  let bb, bb_load = time (fun () -> baseball_catalog ~rows:n_rows ()) in
+  let kv, kv_load = time (fun () -> unpivoted_catalog ~rows:(n_rows / 2) ()) in
+  let bb_load = bb_load *. 1000. and kv_load = kv_load *. 1000. in
   let q1 = Sqlfront.Parser.parse (List.assoc "Q1" Workload.Queries.figure1) in
   let q_cplx =
     Sqlfront.Parser.parse
       (Workload.Queries.complex ~threshold:(max 5 (n_rows / 200)))
+  in
+  (* Predicate-transfer pair: the filtered complex query, transfer forced on
+     vs off from the same catalog.  Sized so the four-way input clears the
+     gate's 4096-row floor even under --quick. *)
+  let kv_tr, kv_tr_load =
+    time (fun () -> unpivoted_catalog ~rows:(max 1100 (n_rows / 2)) ())
+  in
+  let kv_tr_load = kv_tr_load *. 1000. in
+  let q_tr =
+    Sqlfront.Parser.parse (Workload.Queries.complex_filtered ~threshold:3 ())
   in
   (* Sequential lets: a list literal would evaluate right-to-left, running
      each --analyze leg before its plain pair on a smaller heap. *)
@@ -1122,23 +1164,38 @@ let harness () =
     measure "vec_inner" (fun () ->
         ignore (Core.Runner.run ~nljp_config:vec_cfg vec_catalog vec_q))
   in
-  let b_q1_base = measure "e2e_q1_base" (fun () -> ignore (run_base bb q1)) in
-  let b_q1_smart = measure "e2e_q1_smart" (fun () -> ignore (run_smart bb q1)) in
+  let b_q1_base =
+    measure ~load_ms:bb_load "e2e_q1_base" (fun () -> ignore (run_base bb q1))
+  in
+  let b_q1_smart =
+    measure ~load_ms:bb_load "e2e_q1_smart" (fun () -> ignore (run_smart bb q1))
+  in
   let b_q1_analyze =
-    measure "e2e_q1_analyze" (fun () ->
+    measure ~load_ms:bb_load "e2e_q1_analyze" (fun () ->
         ignore (Core.Analyze.run ~nljp_config:(nljp_cfg ()) bb q1))
   in
   let b_cplx_smart =
-    measure "e2e_complex_smart" (fun () -> ignore (run_smart kv q_cplx))
+    measure ~load_ms:kv_load "e2e_complex_smart" (fun () ->
+        ignore (run_smart kv q_cplx))
   in
   let b_cplx_analyze =
-    measure "e2e_complex_analyze" (fun () ->
+    measure ~load_ms:kv_load "e2e_complex_analyze" (fun () ->
         ignore (Core.Analyze.run ~nljp_config:(nljp_cfg ()) kv q_cplx))
+  in
+  let b_tr_on =
+    measure ~load_ms:kv_tr_load "e2e_transfer_on" (fun () ->
+        ignore
+          (Core.Runner.run ~nljp_config:(nljp_cfg ()) ~transfer:true kv_tr q_tr))
+  in
+  let b_tr_off =
+    measure ~load_ms:kv_tr_load "e2e_transfer_off" (fun () ->
+        ignore
+          (Core.Runner.run ~nljp_config:(nljp_cfg ()) ~transfer:false kv_tr q_tr))
   in
   let benches =
     [
       b_calib; b_scan_row; b_scan_zm; b_vec; b_q1_base; b_q1_smart;
-      b_q1_analyze; b_cplx_smart; b_cplx_analyze;
+      b_q1_analyze; b_cplx_smart; b_cplx_analyze; b_tr_on; b_tr_off;
     ]
   in
   let find n = List.find (fun h -> h.h_name = n) benches in
@@ -1152,16 +1209,24 @@ let harness () =
   print_newline ();
   overhead "Q1" "e2e_q1_smart" "e2e_q1_analyze";
   overhead "complex" "e2e_complex_smart" "e2e_complex_analyze";
+  Printf.printf
+    "predicate transfer on the filtered complex query: %.2fx (off %.3f ms, \
+     on %.3f ms)\n"
+    (b_tr_off.h_median /. Float.max 1e-9 b_tr_on.h_median)
+    b_tr_off.h_median b_tr_on.h_median;
   let bench_json h =
     Obs.Json.Obj
-      [
-        ("name", Obs.Json.Str h.h_name);
-        ("reps", Obs.Json.Num (float_of_int h.h_reps));
-        ("median_ms", Obs.Json.Num h.h_median);
-        ("p25_ms", Obs.Json.Num h.h_p25);
-        ("p75_ms", Obs.Json.Num h.h_p75);
-        ("counters", counters_json h.h_counters);
-      ]
+      ([
+         ("name", Obs.Json.Str h.h_name);
+         ("reps", Obs.Json.Num (float_of_int h.h_reps));
+         ("median_ms", Obs.Json.Num h.h_median);
+         ("p25_ms", Obs.Json.Num h.h_p25);
+         ("p75_ms", Obs.Json.Num h.h_p75);
+       ]
+      @ (match h.h_load_ms with
+         | Some l -> [ ("load_ms", Obs.Json.Num l) ]
+         | None -> [])
+      @ [ ("counters", counters_json h.h_counters) ])
   in
   let doc =
     Obs.Json.Obj
@@ -1174,6 +1239,7 @@ let harness () =
               ("workers", Obs.Json.Num (float_of_int !par_workers));
               ("layout", Obs.Json.Str (layout_name ()));
               ("si_vector", Obs.Json.Bool !vector_on);
+              ("si_transfer", Obs.Json.Bool (transfer_enabled ()));
               ("ocaml", Obs.Json.Str Sys.ocaml_version);
               ("rows", Obs.Json.Num (float_of_int n_rows));
               ("quick", Obs.Json.Bool !quick);
@@ -1181,7 +1247,7 @@ let harness () =
         ("benches", Obs.Json.Arr (List.map bench_json benches));
       ]
   in
-  let path = Option.value !json_path ~default:"BENCH_PR5.json" in
+  let path = Option.value !json_path ~default:"BENCH_PR6.json" in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
   output_char oc '\n';
@@ -1252,14 +1318,15 @@ let diff_cmd args =
     if calib <> 1.0 then
       Printf.printf "normalizing by __calib: new machine runs %.2fx the old\n\n"
         calib;
-    Printf.printf "%-22s %12s %12s %8s  %s\n" "bench" "old ms" "new ms(norm)"
-      "ratio" "verdict";
+    Printf.printf "%-22s %12s %12s %8s  %-20s %s\n" "bench" "old ms"
+      "new ms(norm)" "ratio" "verdict" "load (info)";
     let regressions = ref 0 in
     List.iter
       (fun (name, nb) ->
         if name <> "__calib" then
           match List.assoc_opt name old_b with
-          | None -> Printf.printf "%-22s %12s %12s %8s  new bench\n" name "-" "-" "-"
+          | None ->
+            Printf.printf "%-22s %12s %12s %8s  new bench\n" name "-" "-" "-"
           | Some ob ->
             let v k j = Option.value (jnum k j) ~default:0. in
             let old_med = v "median_ms" ob and old_p75 = v "p75_ms" ob in
@@ -1291,8 +1358,16 @@ let diff_cmd args =
               else if ratio < 1. /. !threshold then "improved"
               else "ok"
             in
-            Printf.printf "%-22s %12.3f %12.3f %7.2fx  %s\n" name old_med new_med
-              ratio verdict)
+            (* Load time is reported but never gates: data generation / CSV
+               parse cost is environmental, not a query-engine regression. *)
+            let load_info =
+              match (jnum "load_ms" ob, jnum "load_ms" nb) with
+              | Some o, Some n -> Printf.sprintf "%.1f -> %.1f ms" o n
+              | None, Some n -> Printf.sprintf "- -> %.1f ms" n
+              | _ -> ""
+            in
+            Printf.printf "%-22s %12.3f %12.3f %7.2fx  %-20s %s\n" name old_med
+              new_med ratio verdict load_info)
       new_b;
     List.iter
       (fun (name, _) ->
@@ -1340,6 +1415,9 @@ let () =
       parse_args rest
     | "--no-vector" :: rest ->
       vector_on := false;
+      parse_args rest
+    | "--no-transfer" :: rest ->
+      transfer_opt := Some false;
       parse_args rest
     | "--quick" :: rest ->
       quick := true;

@@ -78,12 +78,14 @@ let tech_of_string = function
 
 (* ---- commands ---- *)
 
-let run_cmd tables synth rows layout tech workers no_vector verbose max_rows
-    explain analyze json trace sql =
+let run_cmd tables synth rows layout tech workers no_vector no_transfer verbose
+    max_rows explain analyze json trace sql =
   let catalog = setup tables synth rows layout in
   let nljp_config =
     { Core.Nljp.default_config with Core.Nljp.vector = not no_vector }
   in
+  (* [None] defers to the SI_TRANSFER environment default in Runner. *)
+  let transfer = if no_transfer then Some false else None in
   if explain then begin
     (* EXPLAIN mode: print the optimizer's plan and return — no execution. *)
     let q = Sqlfront.Parser.parse sql in
@@ -102,7 +104,7 @@ let run_cmd tables synth rows layout tech workers no_vector verbose max_rows
     let tech = tech_of_string tech in
     let t0 = Unix.gettimeofday () in
     let result, rep, node =
-      Core.Analyze.run ~tech ~nljp_config ~workers catalog q
+      Core.Analyze.run ~tech ~nljp_config ~workers ?transfer catalog q
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     let flips = Core.Analyze.decision_flips catalog rep node in
@@ -135,7 +137,7 @@ let run_cmd tables synth rows layout tech workers no_vector verbose max_rows
       else
         let r, rep =
           Core.Runner.run ?span:root ~tech:(tech_of_string tech) ~nljp_config
-            ~workers catalog q
+            ~workers ?transfer catalog q
         in
         (r, Some rep)
     in
@@ -273,6 +275,14 @@ let workers_arg =
               parallelizes the baseline joins the same way). Results are \
               identical to sequential execution.")
 
+let no_transfer_arg =
+  Arg.(
+    value & flag
+    & info [ "no-transfer" ]
+        ~doc:"Disable predicate transfer (Bloom semi-join reduction of the \
+              base relations along equality join edges before NLJP). \
+              Equivalent to $(b,SI_TRANSFER=0); mainly for ablation.")
+
 let no_vector_arg =
   Arg.(
     value & flag
@@ -329,8 +339,9 @@ let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run an iceberg query")
     Term.(
       const run_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg $ tech_arg
-      $ workers_arg $ no_vector_arg $ verbose_arg $ max_rows_arg $ explain_flag
-      $ analyze_flag $ json_flag $ trace_arg $ sql_arg)
+      $ workers_arg $ no_vector_arg $ no_transfer_arg $ verbose_arg
+      $ max_rows_arg $ explain_flag $ analyze_flag $ json_flag $ trace_arg
+      $ sql_arg)
 
 let calibrate_t =
   Cmd.v

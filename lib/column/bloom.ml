@@ -1,0 +1,91 @@
+(* One filter is an array of 63-bit words; a key selects one word (its
+   cache line) and sets [k_probes] bits inside it.  Splitting the word
+   index and the in-word bit pattern from independently mixed hashes keeps
+   the per-word load uniform even though Hashtbl.hash only fills the low
+   30 bits. *)
+
+type t = {
+  words : int array;
+  mask : int;  (* word count - 1 (power of two) *)
+  mutable count : int;
+  mutable zmap : Zmap.t;  (* observed range of added values *)
+}
+
+let test_force_bits = ref None
+
+let k_probes = 4
+let default_bits_per_key = 10
+
+(* splitmix-style finalizers; constants truncated to OCaml's 63-bit ints
+   (multiplication wraps, which is all a mixer needs). *)
+let mix1 h =
+  let h = (h lxor (h lsr 30)) * 0x2545F4914F6CDD1D in
+  let h = (h lxor (h lsr 27)) * 0x27D4EB2F165667C5 in
+  (h lxor (h lsr 31)) land max_int
+
+let mix2 h =
+  let h = (h lxor (h lsr 33)) * 0x165667B19E3779F9 in
+  let h = (h lxor (h lsr 29)) * 0x1D8E4E27C47D124F in
+  (h lxor (h lsr 32)) land max_int
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let create ?(bits_per_key = default_bits_per_key) ~expected () =
+  let bits =
+    match !test_force_bits with
+    | Some b -> max 63 b
+    | None -> max 192 (bits_per_key * max 1 expected)
+  in
+  let nwords = pow2_at_least ((bits + 62) / 63) 1 in
+  { words = Array.make nwords 0; mask = nwords - 1; count = 0; zmap = Zmap.empty }
+
+(* The in-word pattern: [k_probes] bit positions in 0..62 cut from
+   independent 6-bit slices of the second hash. *)
+let word_pattern h2 =
+  let m = ref 0 in
+  for j = 0 to k_probes - 1 do
+    m := !m lor (1 lsl ((h2 lsr (6 * j)) mod 63))
+  done;
+  !m
+
+let add t v =
+  match v with
+  | Value.Null -> ()
+  | _ ->
+    let h = Value.hash v in
+    let wi = mix1 h land t.mask in
+    t.words.(wi) <- t.words.(wi) lor word_pattern (mix2 h);
+    t.count <- t.count + 1;
+    t.zmap <- Zmap.observe t.zmap v
+
+let mem t v =
+  match v with
+  | Value.Null -> false
+  | _ ->
+    t.count > 0
+    &&
+    let h = Value.hash v in
+    let wi = mix1 h land t.mask in
+    let pat = word_pattern (mix2 h) in
+    t.words.(wi) land pat = pat
+
+let count t = t.count
+let range t = t.zmap
+
+(* Overlap of the filter's observed [min, max] with the block's: disjoint
+   ranges prove no block value was ever added (equality can't hold), while
+   NaN-only filters keep [zmap] rangeless and conservatively pass.  An
+   all-null(-ish) block can't match because [mem Null] is false and NaN
+   compares false to everything. *)
+let range_may_match t (z : Zmap.t) =
+  t.count > 0
+  &&
+  let f = t.zmap in
+  if Value.is_null f.Zmap.min_v || Value.is_null f.Zmap.max_v then true
+  else if Value.is_null z.Zmap.min_v || Value.is_null z.Zmap.max_v then false
+  else
+    Value.compare_total f.Zmap.min_v z.Zmap.max_v <= 0
+    && Value.compare_total z.Zmap.min_v f.Zmap.max_v <= 0
+
+let nbits t = 63 * Array.length t.words
+let approx_bytes t = 8 * (Array.length t.words + 4)

@@ -52,11 +52,12 @@ let rec of_span (s : Obs.Span.t) =
     n_children = kids;
   }
 
-let run ?tech ?nljp_config ?workers ?memo_strategy ?adaptive_apriori catalog q =
+let run ?tech ?nljp_config ?workers ?memo_strategy ?adaptive_apriori ?transfer
+    catalog q =
   let root = Obs.Span.enter "query" in
   let rel, rep =
     Runner.run ~span:root ~analyze:true ?tech ?nljp_config ?workers
-      ?memo_strategy ?adaptive_apriori catalog q
+      ?memo_strategy ?adaptive_apriori ?transfer catalog q
   in
   Obs.Span.finish ~rows_out:(Relation.cardinality rel) root;
   (rel, rep, of_span root)

@@ -36,6 +36,7 @@ val run :
   ?workers:int ->
   ?memo_strategy:[ `Nljp | `Static_rewrite ] ->
   ?adaptive_apriori:bool ->
+  ?transfer:bool ->
   Relalg.Catalog.t ->
   Sqlfront.Ast.query ->
   Relalg.Relation.t * Runner.report * node

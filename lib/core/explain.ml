@@ -78,7 +78,30 @@ let explain_block ~tech ~nljp_config catalog (q : Ast.query) b =
              (Printf.sprintf
                 "estimated Q_B (outer side): rows~%.0f; Q_R (inner side): rows~%.0f\n"
                 le.Cost.rows re.Cost.rows)
-         with _ -> ())));
+         with _ -> ()));
+     (* The transfer plan itself (the gate's verdict is in the notes). *)
+     (match d.Optimizer.transfer with
+      | None -> ()
+      | Some spec ->
+        let edges =
+          List.map
+            (fun e ->
+              let (a, ca) = e.Transfer.e_left and (b, cb) = e.Transfer.e_right in
+              Printf.sprintf "%s.%s = %s.%s" a ca b cb)
+            spec.Transfer.t_edges
+        in
+        let ests =
+          List.filter_map
+            (fun (a, _) ->
+              Option.map
+                (fun f -> Printf.sprintf "%s~%.0f%%" a (100. *. f))
+                (List.assoc_opt a spec.Transfer.t_est_kept))
+            spec.Transfer.t_aliases
+        in
+        add_block b "predicate transfer plan:"
+          (Printf.sprintf "edges: %s\nestimated kept: %s"
+             (String.concat "; " edges)
+             (String.concat ", " ests))));
   (* The cost model ranges over the baseline physical plan — the yardstick
      the NLJP rewrite is competing with. *)
   (match Binder.bind catalog q with

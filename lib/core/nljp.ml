@@ -419,7 +419,7 @@ type chunk_out = {
   c_stats : stats;
 }
 
-let execute ?span ?(estimate = false) op =
+let execute ?span ?(estimate = false) ?(transfer = []) op =
   let { catalog; spec; overrides; config; cls; key_case; all_aggs; subsume; _ } = op in
   let stats = op.stats in
   let waves0 = stats.waves in
@@ -437,8 +437,23 @@ let execute ?span ?(estimate = false) op =
      actual so EXPLAIN ANALYZE can report the per-side Q-error. *)
   let run_side name side =
     let q = Qspec.side_query ~overrides side in
+    (* Transferred Bloom filters for this side's aliases are registered in
+       the catalog strictly around [Exec.run] — after [Binder.bind], so the
+       a-priori reducer subqueries (materialized at bind time) never see
+       them.  Filtering a reducer's input is unsound: a monotone HAVING
+       group can qualify on the full join yet lose rows the reducer counted. *)
+    let side_filters =
+      List.filter (fun (a, fs) -> fs <> [] && List.mem a side.Qspec.aliases) transfer
+    in
+    let exec_with_filters plan =
+      List.iter (fun (a, fs) -> Catalog.set_scan_filters catalog a fs) side_filters;
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun (a, _) -> Catalog.set_scan_filters catalog a []) side_filters)
+        (fun () -> Exec.run catalog plan)
+    in
     match span with
-    | None -> Binder.run catalog q
+    | None -> exec_with_filters (Binder.bind catalog q)
     | Some parent ->
       Obs.Span.with_span ~parent name (fun s ->
           (* Bind once and share the plan between the estimate and the
@@ -451,7 +466,7 @@ let execute ?span ?(estimate = false) op =
                let est = Cost.estimate catalog plan in
                Obs.Span.set_estimate ~rows:est.Cost.rows ~cost:est.Cost.cost s
              with _ -> ());
-          let rel = Exec.run catalog plan in
+          let rel = exec_with_filters plan in
           s.Obs.Span.rows_out <- Some (Relation.cardinality rel);
           rel)
   in
@@ -641,14 +656,36 @@ let execute ?span ?(estimate = false) op =
       (None, Some "equality Θ conjunct uses the hash probe path")
     else if Relation.layout r_rel <> `Column then
       (None, Some "inner side is not column-primary")
-    else
+    else begin
+      (* Transferred filters on inner-side columns also ride the vectorized
+         path: resolved to inner schema indices, they refute blocks against
+         the filter's observed range and cull selected rows by membership
+         (composing with the per-binding zone probes).  The inner side was
+         already semi-join-reduced at scan time, so this is cheap backstop
+         work — it matters when a filter's name didn't resolve on the base
+         scan (e.g. the side query renamed columns). *)
+      let extra =
+        List.concat_map
+          (fun (alias, fs) ->
+            if not (List.mem alias right_side.Qspec.aliases) then []
+            else
+              List.filter_map
+                (fun (col, bl) ->
+                  match Schema.index_of r_schema ~q:alias col with
+                  | i -> Some (i, bl)
+                  | exception Schema.Unknown_column _ -> None
+                  | exception Schema.Ambiguous_column _ -> None)
+                fs)
+          transfer
+      in
       match
-        Colprobe.build ~binding:binding_schema ~inner:(Relation.cstore r_rel)
-          ~theta ~gr_idx
+        Colprobe.build ~extra ~binding:binding_schema
+          ~inner:(Relation.cstore r_rel) ~theta ~gr_idx
           ~aggs:(List.map (fun (a, _) -> Binder.agg_func a) agg_mapping)
       with
       | Ok cp -> (Some cp, None)
       | Error r -> (None, Some r)
+    end
   in
   stats.vector_on <- colprobe <> None;
   (match vector_reason with

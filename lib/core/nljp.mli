@@ -95,12 +95,25 @@ val build :
   (t, string) result
 
 (** Execute; the result schema matches the original query's SELECT list. *)
-val execute : ?span:Obs.Span.t -> ?estimate:bool -> t -> Relalg.Relation.t * stats
+val execute :
+  ?span:Obs.Span.t ->
+  ?estimate:bool ->
+  ?transfer:(string * (string * Column.Bloom.t) list) list ->
+  t ->
+  Relalg.Relation.t * stats
 (** Execute the operator.  With [span], child spans record the Q_B / Q_R
     materializations and the probe loop (with its counter slice); with
     [estimate] additionally, each side span carries the cost model's
     cardinality estimate and the loop span an [est_distinct_bindings]
-    counter, for EXPLAIN ANALYZE's estimate-vs-actual accounting. *)
+    counter, for EXPLAIN ANALYZE's estimate-vs-actual accounting.
+
+    [transfer] supplies predicate-transfer Bloom filters per FROM alias
+    (see {!Transfer}): each side's filters are registered in the catalog
+    strictly around that side's plan execution — never during binding, so
+    a-priori reducer subqueries always see unfiltered inputs — and the
+    inner side's filters additionally compose with the vectorized probe
+    path.  Filters must be sound semi-join reductions: dropping a row may
+    only remove tuples that join nothing in the final result. *)
 
 (** Human-readable description of the component queries (cf. Listings 7
     and 10), including the derived p⪰. *)

@@ -22,6 +22,7 @@ type decision = {
   query : Ast.query;
   apriori_rewrites : apriori_rewrite list;
   nljp : (Nljp.t * string list) option;
+  transfer : Transfer.spec option;
   notes : string list;
 }
 
@@ -112,15 +113,21 @@ let pick_memprune catalog q ~tech ~nljp_config ~apriori_groups ~overrides =
   let config =
     { nljp_config with Nljp.pruning = tech.pruning; Nljp.memo = tech.memo }
   in
-  List.find_map
-    (fun left_aliases ->
-      match try_analyze catalog q ~left_aliases with
-      | None -> None
-      | Some spec ->
-        (match Nljp.build ~overrides catalog spec config with
-         | Ok op -> Some (op, left_aliases)
-         | Error _ -> None))
-    candidates
+  let last_error = ref None in
+  let picked =
+    List.find_map
+      (fun left_aliases ->
+        match try_analyze catalog q ~left_aliases with
+        | None -> None
+        | Some spec ->
+          (match Nljp.build ~overrides catalog spec config with
+           | Ok op -> Some (op, left_aliases)
+           | Error e ->
+             last_error := Some (left_aliases, e);
+             None))
+      candidates
+  in
+  (picked, !last_error)
 
 let pick_static_memo catalog q =
   match Qspec.aliases_of q with
@@ -213,13 +220,196 @@ let adaptive_keep catalog rw =
   | None -> true
   | Some ratio -> ratio < adaptive_threshold
 
+(* ---- predicate transfer (DESIGN.md §11) ---- *)
+
+(* Below this many total base rows the Bloom passes cost more than they
+   save; a ref so tests can lower it (or [transfer_force] past it). *)
+let transfer_min_rows = ref 4096
+let transfer_force = ref false
+
+(* IN-subquery conjuncts (the a-priori reducer outputs) are not used as
+   transfer sources by default: materializing the reducer inside the
+   transfer pass re-executes a join NLJP will materialize again anyway,
+   and on the complex four-way workload that costs ~20x more than the
+   Bloom passes themselves save.  Plain pushed-down σ conjuncts carry the
+   reduction through the join edges instead.  Tests and experiments can
+   flip this to measure the trade-off. *)
+let transfer_apriori_sources = ref false
+
+(* pick_transfer: decide whether the two semi-join passes pay for
+   themselves, and assemble the {!Transfer.spec} if so.  Every rejection is
+   recorded through [note] so EXPLAIN ANALYZE can show why the technique
+   was considered but not used (same contract as the NLJP notes). *)
+let pick_transfer catalog q ~nljp ~overrides ~note =
+  let reject reason =
+    note (Printf.sprintf "transfer: skipped (%s)" reason);
+    None
+  in
+  if nljp = None then reject "no NLJP plan"
+  else begin
+    let tables =
+      List.filter_map
+        (function
+          | Ast.T_table (name, al) -> Some (Option.value al ~default:name, name)
+          | Ast.T_subquery _ -> None)
+        q.Ast.from
+    in
+    if List.length tables <> List.length q.Ast.from then
+      reject "subquery FROM item"
+    else begin
+      (* Which single alias owns a column reference (unqualified names
+         resolve when exactly one FROM table has the column). *)
+      let owner_of (qq, n) =
+        match qq with
+        | Some a -> if List.mem_assoc a tables then Some a else None
+        | None ->
+          let owners =
+            List.filter
+              (fun (_, tname) ->
+                match Relalg.Catalog.find_opt catalog tname with
+                | None -> false
+                | Some tbl ->
+                  (match
+                     Relalg.Schema.index_of tbl.Relalg.Catalog.rel.Relalg.Relation.schema n
+                   with
+                   | _ -> true
+                   | exception Relalg.Schema.Unknown_column _ -> false
+                   | exception Relalg.Schema.Ambiguous_column _ -> false))
+              tables
+          in
+          (match owners with [ (a, _) ] -> Some a | _ -> None)
+      in
+      let conjs = match q.Ast.where with None -> [] | Some w -> Ast.conjuncts w in
+      let edges =
+        List.filter_map
+          (function
+            | Ast.P_cmp (Relalg.Expr.Eq, Ast.S_col (q1, n1), Ast.S_col (q2, n2)) ->
+              (match owner_of (q1, n1), owner_of (q2, n2) with
+               | Some a, Some b when a <> b ->
+                 Some { Transfer.e_left = (a, n1); e_right = (b, n2) }
+               | _ -> None)
+            | _ -> None)
+          conjs
+      in
+      if edges = [] then reject "no equality join edges"
+      else begin
+        let base_rows (_, tname) =
+          match Relalg.Catalog.find_opt catalog tname with
+          | Some tbl -> Relalg.Relation.cardinality tbl.Relalg.Catalog.rel
+          | None -> 0
+        in
+        let total_rows = List.fold_left (fun acc t -> acc + base_rows t) 0 tables in
+        (* A conjunct is a transfer source for alias [a] when every column
+           it mentions belongs to [a] (IN-subquery conjuncts by their
+           left-hand scalars: the subquery's own columns are internal). *)
+        let pred_owner p =
+          let cols =
+            match p with
+            | Ast.P_in (es, _) -> List.concat_map Ast.cols_of_scalar es
+            | p -> Ast.cols_of_pred p
+          in
+          match cols with
+          | [] -> None
+          | c0 :: rest ->
+            (match owner_of c0 with
+             | None -> None
+             | Some a ->
+               if List.for_all (fun c -> owner_of c = Some a) rest then Some a
+               else None)
+        in
+        let override_locals alias =
+          match List.assoc_opt alias overrides with
+          | Some (Ast.T_subquery (sq, _)) ->
+            (match sq.Ast.where with None -> [] | Some w -> Ast.conjuncts w)
+          | _ -> []
+        in
+        let all_locals =
+          List.map
+            (fun (a, _) ->
+              let own = List.filter (fun p -> pred_owner p = Some a) conjs in
+              (a, own @ override_locals a))
+            tables
+        in
+        let locals =
+          if !transfer_apriori_sources then all_locals
+          else
+            List.map
+              (fun (a, ps) ->
+                (a, List.filter (function Ast.P_in _ -> false | _ -> true) ps))
+              all_locals
+        in
+        if (not !transfer_force) && total_rows < !transfer_min_rows then
+          reject (Printf.sprintf "inputs below %d rows" !transfer_min_rows)
+        else if List.for_all (fun (_, ps) -> ps = []) locals then
+          if List.exists (fun (_, ps) -> ps <> []) all_locals then
+            reject "only a-priori IN sources; re-running reducers costs more than the passes save"
+          else reject "no selective source predicates"
+        else begin
+          (* Coarse keep-fraction estimate per alias: local σ selectivity
+             from the cost model (IN conjuncts excluded — estimating them
+             would execute the reducer at bind time), then two relaxation
+             sweeps along the edges under the uniform-containment
+             assumption that a semi-join keeps about the source's fraction.
+             Only a calibration target for EXPLAIN ANALYZE's est-vs-actual
+             notes, never a correctness input. *)
+          let local_sel (a, tname) =
+            let no_in =
+              List.filter
+                (function Ast.P_in _ -> false | _ -> true)
+                (List.assoc a locals)
+            in
+            let base = float_of_int (max 1 (base_rows (a, tname))) in
+            if no_in = [] then 1.
+            else
+              try
+                let sq =
+                  Ast.simple_select ~where:(Ast.conj no_in) [ Ast.Sel_star ]
+                    [ Ast.T_table (tname, Some a) ]
+                in
+                let est = Cost.estimate catalog (Binder.bind catalog sq) in
+                Float.max 0.01 (Float.min 1. (est.Cost.rows /. base))
+              with _ -> 1.
+          in
+          let est = ref (List.map (fun t -> (fst t, local_sel t)) tables) in
+          let get a = Option.value ~default:1. (List.assoc_opt a !est) in
+          let set a v = est := (a, v) :: List.remove_assoc a !est in
+          let sweep es =
+            List.iter
+              (fun e ->
+                let (a, _) = e.Transfer.e_left and (b, _) = e.Transfer.e_right in
+                set b (Float.min (get b) (get a));
+                set a (Float.min (get a) (get b)))
+              es
+          in
+          sweep edges;
+          sweep (List.rev edges);
+          let sources =
+            List.filter_map (fun (a, ps) -> if ps = [] then None else Some a) locals
+          in
+          note
+            (Printf.sprintf "transfer: on (%d edges, sources {%s})"
+               (List.length edges)
+               (String.concat ", " sources));
+          Some
+            {
+              Transfer.t_aliases = tables;
+              t_locals = locals;
+              t_edges = edges;
+              t_est_kept = !est;
+            }
+        end
+      end
+    end
+  end
+
 (* Decision-mix metrics (DESIGN.md §9): how often each optimization fires. *)
 let m_decisions = Obs.Metrics.counter "optimizer.decisions"
 let m_apriori = Obs.Metrics.counter "optimizer.apriori_rewrites"
 let m_adaptive_dropped = Obs.Metrics.counter "optimizer.adaptive_dropped"
 let m_nljp_plans = Obs.Metrics.counter "optimizer.nljp_plans"
+let m_transfer_plans = Obs.Metrics.counter "optimizer.transfer_plans"
 
-let decide ?(adaptive = false) catalog q ~tech ~nljp_config =
+let decide ?(adaptive = false) ?(transfer = true) catalog q ~tech ~nljp_config =
   Obs.Metrics.incr m_decisions;
   let notes = ref [] in
   let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
@@ -237,7 +427,10 @@ let decide ?(adaptive = false) catalog q ~tech ~nljp_config =
           (String.concat ", " rw.reduced)
           (String.concat ", " rw.considered);
         remaining := List.filter (fun a -> not (List.mem a rw.considered)) !remaining
-    done
+    done;
+    (* Considered-but-rejected is part of the record: calibrate replays
+       should see why a technique did not fire, not just that it didn't. *)
+    if !rewrites = [] then note "a-priori: considered, no safe reducer found"
   end;
   let rewrites = List.rev !rewrites in
   let rewrites =
@@ -261,17 +454,42 @@ let decide ?(adaptive = false) catalog q ~tech ~nljp_config =
     if tech.memo || tech.pruning then begin
       let apriori_groups = List.map (fun rw -> rw.reduced) rewrites in
       match pick_memprune catalog q ~tech ~nljp_config ~apriori_groups ~overrides with
-      | Some (op, aliases) ->
+      | Some (op, aliases), _ ->
         Obs.Metrics.incr m_nljp_plans;
         note "NLJP: outer side {%s}" (String.concat ", " aliases);
         Some (op, aliases)
-      | None ->
-        note "NLJP: no applicable outer/inner split";
+      | None, last_error ->
+        (match last_error with
+         | Some (aliases, e) ->
+           note "NLJP: no applicable outer/inner split (last tried {%s}: %s)"
+             (String.concat ", " aliases) e
+         | None -> note "NLJP: no applicable outer/inner split");
         None
     end
     else None
   in
-  { query = q; apriori_rewrites = rewrites; nljp; notes = List.rev !notes }
+  (* Phase 3: predicate transfer (semi-join reduction along join edges). *)
+  let transfer_spec =
+    if not transfer then begin
+      note "transfer: disabled by configuration";
+      None
+    end
+    else begin
+      let spec =
+        pick_transfer catalog q ~nljp ~overrides
+          ~note:(fun s -> notes := s :: !notes)
+      in
+      if spec <> None then Obs.Metrics.incr m_transfer_plans;
+      spec
+    end
+  in
+  {
+    query = q;
+    apriori_rewrites = rewrites;
+    nljp;
+    transfer = transfer_spec;
+    notes = List.rev !notes;
+  }
 
 let rewritten_query d =
   let repl = List.concat_map (fun rw -> rw.replacements) d.apriori_rewrites in

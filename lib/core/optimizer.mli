@@ -21,6 +21,9 @@ type decision = {
   query : Sqlfront.Ast.query;
   apriori_rewrites : apriori_rewrite list;
   nljp : (Nljp.t * string list) option;  (** operator + chosen outer aliases *)
+  transfer : Transfer.spec option;
+      (** predicate-transfer plan ({!Transfer.run} input); [None] with a
+          "transfer: skipped (...)" note when the gate rejects *)
   notes : string list;
 }
 
@@ -30,14 +33,33 @@ type decision = {
     With [adaptive:true] (a first cut of the cost-based decisions the paper
     leaves as future work), each chosen reducer is executed up front and
     dropped when it would keep ≥ 90% of the candidate groups — the regime
-    where the paper observes a-priori costing more than it saves. *)
+    where the paper observes a-priori costing more than it saves.
+
+    With [transfer:false] (the [--no-transfer] / [SI_TRANSFER=0] ablation),
+    phase 3 is skipped entirely; otherwise [pick_transfer] gates on an NLJP
+    plan being present, equality join edges existing, the inputs clearing
+    [transfer_min_rows], and at least one alias carrying a local predicate
+    or a-priori IN — each rejection recorded in [notes]. *)
 val decide :
   ?adaptive:bool ->
+  ?transfer:bool ->
   Relalg.Catalog.t ->
   Sqlfront.Ast.query ->
   tech:technique ->
   nljp_config:Nljp.config ->
   decision
+
+(** Transfer gate's minimum total base rows (default 4096) and its bypass —
+    refs so tests can exercise the passes on tiny relations. *)
+val transfer_min_rows : int ref
+
+val transfer_force : bool ref
+
+(** When set, IN-subquery conjuncts (a-priori reducer outputs) also act as
+    transfer sources.  Off by default: materializing a reducer inside the
+    transfer pass duplicates work NLJP performs anyway and measures as a
+    net loss on the complex workload. *)
+val transfer_apriori_sources : bool ref
 
 (** The query with all chosen a-priori rewrites applied (for non-NLJP
     execution paths). *)

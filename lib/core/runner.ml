@@ -7,9 +7,18 @@ type report = {
   nljp_outer : string list option;
   nljp_stats : Nljp.stats option;
   nljp_describe : string option;
+  transfer : Transfer.result option;
+      (** predicate-transfer passes that ran before NLJP, if any *)
   notes : string list;
   cte_reports : (string * report) list;
 }
+
+(* Predicate transfer defaults on; SI_TRANSFER=0 is the ablation switch
+   (the CLI's [--no-transfer] sets the same thing explicitly). *)
+let transfer_default () =
+  match Sys.getenv_opt "SI_TRANSFER" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | _ -> true
 
 (* ---- metadata derivation for materialized CTE results ---- *)
 
@@ -137,7 +146,8 @@ let rename_table_refs (q : Ast.query) renames =
 
 let rec run ?span ?(analyze = false) ?(tech = Optimizer.all_techniques)
     ?(nljp_config = Nljp.default_config) ?workers ?(memo_strategy = `Nljp)
-    ?(adaptive_apriori = false) catalog (q : Ast.query) =
+    ?(adaptive_apriori = false) ?transfer catalog (q : Ast.query) =
+  let transfer = match transfer with Some t -> t | None -> transfer_default () in
   (* [?workers] overrides the NLJP worker count; once folded into the config
      it propagates to CTE blocks through the recursive call below. *)
   let nljp_config =
@@ -157,7 +167,7 @@ let rec run ?span ?(analyze = false) ?(tech = Optimizer.all_techniques)
         in_span span ("cte:" ^ name) (fun s ->
             let rel, rep =
               run ?span:s ~analyze ~tech ~nljp_config ~memo_strategy
-                ~adaptive_apriori catalog def
+                ~adaptive_apriori ~transfer catalog def
             in
             span_rows_out s (Relation.cardinality rel);
             (rel, rep))
@@ -176,16 +186,24 @@ let rec run ?span ?(analyze = false) ?(tech = Optimizer.all_techniques)
      runs report their own scans without resets clobbering the enclosing
      query's accounting. *)
   let skipped0, scanned0 = Colscan.counters () in
+  let tb0, tp0, td0 = Colscan.transfer_counters () in
   let result, rep =
     run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
-      catalog main
+      ~transfer catalog main
   in
   List.iter (Catalog.remove_table catalog) !temp_names;
   let skipped1, scanned1 = Colscan.counters () in
+  let tb1, tp1, td1 = Colscan.transfer_counters () in
   let block_notes =
-    if skipped1 > skipped0 || scanned1 > scanned0 then
-      [ Printf.sprintf "columnar scan: blocks skipped=%d scanned=%d"
-          (skipped1 - skipped0) (scanned1 - scanned0) ]
+    (if skipped1 > skipped0 || scanned1 > scanned0 then
+       [ Printf.sprintf "columnar scan: blocks skipped=%d scanned=%d"
+           (skipped1 - skipped0) (scanned1 - scanned0) ]
+     else [])
+    @
+    if tb1 > tb0 || tp1 > tp0 then
+      [ Printf.sprintf
+          "predicate transfer: blocks skipped=%d rows probed=%d dropped=%d"
+          (tb1 - tb0) (tp1 - tp0) (td1 - td0) ]
     else []
   in
   (* Zone-map slice for this block (CTE blocks record their own above). *)
@@ -194,12 +212,18 @@ let rec run ?span ?(analyze = false) ?(tech = Optimizer.all_techniques)
      Obs.Span.add_counter sp "colscan.blocks_skipped" (skipped1 - skipped0);
      Obs.Span.add_counter sp "colscan.blocks_scanned" (scanned1 - scanned0)
    | _ -> ());
+  (match span with
+   | Some sp when tb1 > tb0 || tp1 > tp0 ->
+     Obs.Span.add_counter sp "transfer.blocks_skipped" (tb1 - tb0);
+     Obs.Span.add_counter sp "transfer.rows_probed" (tp1 - tp0);
+     Obs.Span.add_counter sp "transfer.rows_dropped" (td1 - td0)
+   | _ -> ());
   ( result,
     { rep with notes = rep.notes @ block_notes; cte_reports = List.rev !cte_reports }
   )
 
 and run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
-    catalog (q : Ast.query) =
+    ~transfer catalog (q : Ast.query) =
   (* Baseline execution of [query].  Under [analyze] with a live span, bind
      once, execute with a per-plan-node recorder, and attach the full plan
      tree as zero-duration child spans — each carrying the cost model's
@@ -259,6 +283,7 @@ and run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
         nljp_outer = None;
         nljp_stats = None;
         nljp_describe = None;
+        transfer = None;
         notes;
         cte_reports = [];
       } )
@@ -293,6 +318,7 @@ and run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
           nljp_outer = None;
           nljp_stats = None;
           nljp_describe = None;
+          transfer = None;
           notes = [ "memoization via static rewrite (Listing 8)" ];
           cte_reports = [];
         } )
@@ -302,8 +328,8 @@ and run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
     match
       in_span span "optimize" (fun s ->
           match
-            Optimizer.decide ~adaptive:adaptive_apriori catalog q ~tech
-              ~nljp_config
+            Optimizer.decide ~adaptive:adaptive_apriori ~transfer catalog q
+              ~tech ~nljp_config
           with
           | decision ->
             span_counter s "apriori_rewrites"
@@ -324,16 +350,37 @@ and run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
           nljp_outer = None;
           nljp_stats = None;
           nljp_describe = None;
+          transfer = None;
           notes = decision.Optimizer.notes;
           cte_reports = [];
         }
       in
       (match decision.Optimizer.nljp with
        | Some (op, aliases) ->
+         (* Predicate transfer runs its two semi-join passes before NLJP so
+            both side queries scan through the resulting filters. *)
+         let transfer_result =
+           match decision.Optimizer.transfer with
+           | None -> None
+           | Some spec ->
+             Some
+               (in_span span "transfer" (fun s ->
+                    let r = Transfer.run ?span:s catalog spec in
+                    List.iter (span_note s) r.Transfer.r_notes;
+                    r))
+         in
+         let transfer_filters =
+           match transfer_result with
+           | Some r -> r.Transfer.r_filters
+           | None -> []
+         in
          let rel, stats =
            in_span span "execute" (fun s ->
                stamp_block_estimate s q;
-               let rel, stats = Nljp.execute ?span:s ~estimate:analyze op in
+               let rel, stats =
+                 Nljp.execute ?span:s ~estimate:analyze
+                   ~transfer:transfer_filters op
+               in
                span_rows_out s (Relation.cardinality rel);
                span_counter s "outer_rows" stats.Nljp.outer_rows;
                span_counter s "inner_evals" stats.Nljp.inner_evals;
@@ -350,6 +397,7 @@ and run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
              nljp_outer = Some aliases;
              nljp_stats = Some stats;
              nljp_describe = Some (Nljp.describe op);
+             transfer = transfer_result;
            } )
        | None ->
          let rel =
@@ -398,6 +446,17 @@ let report_to_string rep =
        String.split_on_char '\n' d
        |> List.iter (fun line ->
               if line <> "" then Buffer.add_string b (pad ^ line ^ "\n"))
+     | None -> ());
+    (match rep.transfer with
+     | Some t ->
+       let per_alias =
+         List.map
+           (fun (a, (k, n)) -> Printf.sprintf "%s %d/%d" a k n)
+           t.Transfer.r_kept
+       in
+       Buffer.add_string b
+         (Printf.sprintf "%spredicate transfer: kept %s\n" pad
+            (String.concat ", " per_alias))
      | None -> ());
     (match rep.nljp_stats with
      | Some s ->

@@ -13,6 +13,8 @@ type report = {
   nljp_outer : string list option;
   nljp_stats : Nljp.stats option;
   nljp_describe : string option;
+  transfer : Transfer.result option;
+      (** predicate-transfer passes that ran before NLJP, if any *)
   notes : string list;
   cte_reports : (string * report) list;
 }
@@ -32,7 +34,13 @@ type report = {
     child spans pairing the cost model's estimated rows/cost with recorded
     actual rows per node, and NLJP blocks record Q_B / Q_R side spans with
     side-query estimates plus the probe-loop counter slice.  Results stay
-    bag-equal to a plain [run]. *)
+    bag-equal to a plain [run].
+
+    [transfer] enables predicate transfer ({!Transfer}): when the optimizer
+    accepts the plan, a Bloom semi-join reduction of every base relation
+    runs before NLJP and its filters are pushed into the side-query scans.
+    Defaults from the [SI_TRANSFER] environment variable (on unless
+    [0]/[false]/[off]/[no]); results are bag-equal either way. *)
 val run :
   ?span:Obs.Span.t ->
   ?analyze:bool ->
@@ -41,6 +49,7 @@ val run :
   ?workers:int ->
   ?memo_strategy:[ `Nljp | `Static_rewrite ] ->
   ?adaptive_apriori:bool ->
+  ?transfer:bool ->
   Relalg.Catalog.t ->
   Sqlfront.Ast.query ->
   Relalg.Relation.t * report

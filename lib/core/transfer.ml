@@ -1,0 +1,143 @@
+open Relalg
+open Sqlfront
+
+type edge = {
+  e_left : string * string;
+  e_right : string * string;
+}
+
+type spec = {
+  t_aliases : (string * string) list;
+  t_locals : (string * Ast.pred list) list;
+  t_edges : edge list;
+  t_est_kept : (string * float) list;
+}
+
+type result = {
+  r_filters : (string * (string * Column.Bloom.t) list) list;
+  r_kept : (string * (int * int)) list;
+  r_notes : string list;
+}
+
+let m_filters_built = Obs.Metrics.counter "transfer.filters_built"
+let filters_built () = Obs.Metrics.read m_filters_built
+
+(* A received filter is keyed (target column, source alias) so a tighter
+   filter from a later pass over the same directed edge replaces, never
+   stacks with, the earlier one. *)
+type inbox = ((string * string) * Column.Bloom.t) list ref
+
+let run ?span catalog spec =
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
+  let base =
+    List.filter_map
+      (fun (alias, tname) ->
+        match Catalog.find_opt catalog tname with
+        | Some tbl -> Some (alias, Relation.requalify alias tbl.Catalog.rel)
+        | None -> None)
+      spec.t_aliases
+  in
+  (* Local σ compiled once per alias and shared by both passes:
+     [Binder.pred_expr] materializes any a-priori IN-subquery at compile
+     time, so memoizing here keeps each reducer in [t_locals] to a single
+     extra execution for the whole transfer. *)
+  let local_cache = Hashtbl.create 8 in
+  let local_expr alias =
+    match Hashtbl.find_opt local_cache alias with
+    | Some e -> e
+    | None ->
+      let e =
+        match List.assoc_opt alias spec.t_locals with
+        | None | Some [] -> None
+        | Some preds -> Some (Binder.pred_expr catalog (Ast.conj preds))
+      in
+      Hashtbl.add local_cache alias e;
+      e
+  in
+  let inboxes : (string * inbox) list =
+    List.map (fun (alias, _) -> (alias, ref [])) base
+  in
+  let inbox_of alias = List.assoc alias inboxes in
+  let filters_of alias =
+    List.map (fun ((col, _), bl) -> (col, bl)) !(inbox_of alias)
+  in
+  let receive ~target ~col ~source bl =
+    let box = inbox_of target in
+    box := ((col, source), bl) :: List.remove_assoc (col, source) !box
+  in
+  (* Directed edges out of [alias] toward aliases later in [order]. *)
+  let outgoing order alias =
+    let pos a = Option.value ~default:(-1) (List.assoc_opt a order) in
+    let p = pos alias in
+    List.filter_map
+      (fun e ->
+        let (la, lc) = e.e_left and (ra, rc) = e.e_right in
+        if la = alias && pos ra > p then Some (lc, ra, rc)
+        else if ra = alias && pos la > p then Some (rc, la, lc)
+        else None)
+      spec.t_edges
+  in
+  let kept : (string * (int * int)) list ref = ref [] in
+  let pass pname parent aliases =
+    let order = List.mapi (fun i (a, _) -> (a, i)) aliases in
+    let body sp =
+      List.iter
+        (fun (alias, rel) ->
+          let filters = filters_of alias in
+          let pred = local_expr alias in
+          let survivors =
+            if filters = [] && pred = None then rel
+            else Colscan.select_bloom ~filters pred rel
+          in
+          let n_kept = Relation.cardinality survivors in
+          let n_total = Relation.cardinality rel in
+          kept := (alias, (n_kept, n_total)) :: List.remove_assoc alias !kept;
+          (match sp with
+           | Some s ->
+             Obs.Span.note s
+               (Printf.sprintf "%s %s: kept %d/%d (%d filters in)" pname alias
+                  n_kept n_total (List.length filters))
+           | None -> ());
+          List.iter
+            (fun (mycol, target, tcol) ->
+              match Schema.index_of survivors.Relation.schema mycol with
+              | exception Schema.Unknown_column _ -> ()
+              | exception Schema.Ambiguous_column _ -> ()
+              | i ->
+                let bl = Column.Bloom.create ~expected:(max 1 n_kept) () in
+                Relation.iter (fun row -> Column.Bloom.add bl row.(i)) survivors;
+                Obs.Metrics.incr m_filters_built;
+                note "%s: %s.%s -> %s.%s (%d keys, %d bits)" pname alias mycol
+                  target tcol (Column.Bloom.count bl) (Column.Bloom.nbits bl);
+                receive ~target ~col:tcol ~source:alias bl)
+            (outgoing order alias))
+        aliases
+    in
+    match parent with
+    | None -> body None
+    | Some p -> Obs.Span.with_span ~parent:p pname (fun s -> body (Some s))
+  in
+  pass "forward" span base;
+  pass "backward" span (List.rev base);
+  (* The backward pass scans each alias under its final filter set, so
+     [r_kept] previews exactly what NLJP's registered-filter scans keep. *)
+  List.iter
+    (fun (alias, (k, t)) ->
+      let actual = if t = 0 then 1. else float_of_int k /. float_of_int t in
+      match List.assoc_opt alias spec.t_est_kept with
+      | Some est ->
+        note "reduction %s: est %.0f%% kept, actual %d/%d (%.0f%%)" alias
+          (100. *. est) k t (100. *. actual)
+      | None ->
+        note "reduction %s: actual %d/%d (%.0f%%)" alias k t (100. *. actual))
+    (List.rev !kept);
+  {
+    r_filters =
+      List.filter_map
+        (fun (alias, _) ->
+          match filters_of alias with [] -> None | fs -> Some (alias, fs))
+        base;
+    r_kept = List.rev !kept;
+    r_notes = List.rev !notes;
+  }

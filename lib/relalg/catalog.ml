@@ -7,25 +7,42 @@ type table = {
   mutable indexes : Index.t list;
 }
 
-type t = (string, table) Hashtbl.t
+type t = {
+  tables : (string, table) Hashtbl.t;
+  (* Transferred scan filters, keyed by the (normalized) alias a scan runs
+     under.  Registered by NLJP around side execution only — never during
+     bind, where a-priori reducers materialize and must see full inputs. *)
+  scan_filters : (string, (string * Column.Bloom.t) list) Hashtbl.t;
+}
 
-let create () = Hashtbl.create 16
+let create () = { tables = Hashtbl.create 16; scan_filters = Hashtbl.create 4 }
 
 let norm = String.lowercase_ascii
 
 let add_table t ?(keys = []) ?(fds = []) ?(nonneg = []) name rel =
-  Hashtbl.replace t (norm name) { name; rel; keys; fds; nonneg; indexes = [] }
+  Hashtbl.replace t.tables (norm name) { name; rel; keys; fds; nonneg; indexes = [] }
 
-let find_opt t name = Hashtbl.find_opt t (norm name)
+let find_opt t name = Hashtbl.find_opt t.tables (norm name)
 
 let find t name =
   match find_opt t name with
   | Some tbl -> tbl
   | None -> invalid_arg (Printf.sprintf "Catalog: unknown table %s" name)
 
-let mem t name = Hashtbl.mem t (norm name)
+let mem t name = Hashtbl.mem t.tables (norm name)
 
-let table_names t = Hashtbl.fold (fun _ tbl acc -> tbl.name :: acc) t []
+let table_names t = Hashtbl.fold (fun _ tbl acc -> tbl.name :: acc) t.tables []
+
+let set_scan_filters t alias filters =
+  if filters = [] then Hashtbl.remove t.scan_filters (norm alias)
+  else Hashtbl.replace t.scan_filters (norm alias) filters
+
+let clear_scan_filters t = Hashtbl.reset t.scan_filters
+
+let scan_filters_for t alias =
+  match Hashtbl.find_opt t.scan_filters (norm alias) with
+  | Some fs -> fs
+  | None -> []
 
 let all_fds tbl =
   let all_cols = List.map (fun c -> c.Schema.name) (Schema.cols tbl.rel.Relation.schema) in
@@ -62,7 +79,7 @@ let replace_rows t name rel =
         (names, match idx with Index.Hash_index _ -> `Hash | Index.Sorted_index _ -> `Sorted))
       tbl.indexes
   in
-  Hashtbl.replace t (norm name) { tbl with rel; indexes = [] };
+  Hashtbl.replace t.tables (norm name) { tbl with rel; indexes = [] };
   List.iter
     (fun (names, kind) ->
       match kind with
@@ -100,11 +117,11 @@ let hash_index_on tbl cols =
    their own row references and stay valid either way. *)
 let set_layout t name layout =
   let tbl = find t name in
-  Hashtbl.replace t (norm name) { tbl with rel = Relation.to_layout layout tbl.rel }
+  Hashtbl.replace t.tables (norm name) { tbl with rel = Relation.to_layout layout tbl.rel }
 
 let set_all_layouts t layout =
   List.iter (fun name -> set_layout t name layout) (table_names t)
 
 let add_temp t name rel = add_table t name rel
 
-let remove_table t name = Hashtbl.remove t (norm name)
+let remove_table t name = Hashtbl.remove t.tables (norm name)

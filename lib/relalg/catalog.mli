@@ -54,6 +54,19 @@ val set_layout : t -> string -> [ `Row | `Column ] -> unit
 
 val set_all_layouts : t -> [ `Row | `Column ] -> unit
 
+(** Transferred scan filters (predicate transfer, DESIGN.md §11): Bloom
+    filters registered against a scan {e alias}; [Exec] composes them into
+    every scan running under that alias until cleared.  They are a
+    performance hint — membership keeps a superset of the rows that can
+    join — and must only be live around plan {e execution}: registering
+    them while binding would starve the a-priori reducers' inputs. *)
+val set_scan_filters : t -> string -> (string * Column.Bloom.t) list -> unit
+
+val clear_scan_filters : t -> unit
+
+(** Filters registered for this alias ([[]] when none). *)
+val scan_filters_for : t -> string -> (string * Column.Bloom.t) list
+
 (** Register a derived relation under a fresh name (CTE materialization). *)
 val add_temp : t -> string -> Relation.t -> unit
 

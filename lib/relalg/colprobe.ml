@@ -114,11 +114,22 @@ type grouping =
   | G_dict of int * Dict.t  (* group on dictionary codes, decode at finalize *)
   | G_generic of int array  (* per-row key over these columns *)
 
+(* A transferred Bloom filter on one inner column (predicate transfer,
+   DESIGN.md §11): blocks whose zone map misses the filter's observed range
+   are refuted like a zone probe, surviving rows must pass membership.
+   Dict-coded columns precompute a per-dictionary pass table at build. *)
+type bloom_filter = {
+  bf_col : int;
+  bf_bloom : Bloom.t;
+  bf_dict_pass : bool array option;
+}
+
 type t = {
   cs : Cstore.t;
   probes : Compile.param_probe array;
   zops : Zmap.cmp array;  (* probe ops translated for the zone maps *)
   gates : (Row.t -> bool) array;  (* binding-only conjuncts of Θ *)
+  extra : bloom_filter array;  (* binding-independent transferred filters *)
   grouping : grouping;
   kernels : kernel array;
   scratch_len : int;  (* largest block *)
@@ -148,7 +159,7 @@ let dict_col cs ci =
   && all_blocks_match cs (fun b ->
          match b.Cstore.cols.(ci) with Cstore.C_dict _ -> true | _ -> false)
 
-let build ~binding ~inner:cs ~theta ~gr_idx ~aggs =
+let build ~extra ~binding ~inner:cs ~theta ~gr_idx ~aggs =
   let schema = Cstore.schema cs in
   let probes, gates, exact = Compile.param_probes ~binding ~inner:schema theta in
   if not exact then Error "Θ has conjuncts outside the r_col-vs-binding shape"
@@ -211,6 +222,20 @@ let build ~binding ~inner:cs ~theta ~gr_idx ~aggs =
             Array.of_list
               (List.map (fun p -> Compile.zmap_cmp p.Compile.pp_op) probes);
           gates = Array.of_list gates;
+          extra =
+            Array.of_list
+              (List.map
+                 (fun (ci, bl) ->
+                   let dict_pass =
+                     match Cstore.dict cs ci with
+                     | Some d ->
+                       Some
+                         (Array.init (Dict.size d) (fun code ->
+                              Bloom.mem bl (Value.Str (Dict.get d code))))
+                     | None -> None
+                   in
+                   { bf_col = ci; bf_bloom = bl; bf_dict_pass = dict_pass })
+                 extra);
           grouping;
           kernels = Array.of_list kernels;
           scratch_len = Cstore.max_block_length cs;
@@ -382,6 +407,13 @@ let eval t b =
                     t.zops.(pi) consts.(pi))
           then refuted := true
         done;
+        Array.iter
+          (fun bf ->
+            if
+              (not !refuted)
+              && not (Bloom.range_may_match bf.bf_bloom blk.Cstore.zmaps.(bf.bf_col))
+            then refuted := true)
+          t.extra;
         if !refuted then incr skipped
         else begin
           incr scanned;
@@ -394,6 +426,22 @@ let eval t b =
                   (row_test t.cs blk p.Compile.pp_col p.Compile.pp_op consts.(pi))
             end
           done;
+          Array.iter
+            (fun bf ->
+              if !n > 0 then begin
+                let test =
+                  match bf.bf_dict_pass, blk.Cstore.cols.(bf.bf_col) with
+                  | Some pass, Cstore.C_dict (codes, bm) ->
+                    (match bm with
+                     | None -> fun i -> pass.(codes.(i))
+                     | Some bm ->
+                       fun i -> (not (Bitset.get bm i)) && pass.(codes.(i)))
+                  | _ ->
+                    fun i -> Bloom.mem bf.bf_bloom (Cstore.value_at t.cs blk bf.bf_col i)
+                in
+                n := Cstore.sel_refine sel !n test
+              end)
+            t.extra;
           let n = !n in
           if n > 0 then begin
             (match t.grouping with

@@ -58,8 +58,15 @@ type outcome = {
     probe/gate shape, an aggregate ranges over a computed expression or a
     non-numeric column, or COUNT(DISTINCT) appears.  [gr_idx] are G_R's
     column indices in [inner]'s schema; [theta] resolves columns like
-    [Compile.join_pred binding inner]. *)
+    [Compile.join_pred binding inner].
+
+    [extra] attaches transferred Bloom filters (column index, filter) —
+    [[]] for none: binding-independent semi-join reductions that compose
+    with the per-binding zone probes — a block misses when its zone map
+    falls outside a filter's observed range, and selected rows must pass
+    membership (dict-coded columns via a pass table precomputed here). *)
 val build :
+  extra:(int * Column.Bloom.t) list ->
   binding:Schema.t ->
   inner:Column.Cstore.t ->
   theta:Expr.t ->

@@ -88,3 +88,148 @@ let select pred rel =
       cs;
     Some (Relation.of_rows schema (List.rev !out))
   end
+
+(* ---- transferred Bloom filters composed into the scan (DESIGN.md §11) ---- *)
+
+let transfer_blocks_skipped = Obs.Metrics.counter "transfer.blocks_skipped"
+let transfer_rows_probed = Obs.Metrics.counter "transfer.rows_probed"
+let transfer_rows_dropped = Obs.Metrics.counter "transfer.rows_dropped"
+
+(* (blocks skipped by a filter's range, rows probed, rows dropped) since
+   process start — callers take deltas, mirroring [counters]. *)
+let transfer_counters () =
+  ( Obs.Metrics.read transfer_blocks_skipped,
+    Obs.Metrics.read transfer_rows_probed,
+    Obs.Metrics.read transfer_rows_dropped )
+
+let select_bloom ~filters pred rel =
+  let schema = Relation.(rel.schema) in
+  (* Filters are a hint: a name that doesn't resolve is dropped, never an
+     error (e.g. a projection changed the scan's output columns). *)
+  let fidx =
+    List.filter_map
+      (fun (name, bl) ->
+        match Schema.index_of schema name with
+        | i -> Some (i, bl)
+        | exception Schema.Unknown_column _ -> None
+        | exception Schema.Ambiguous_column _ -> None)
+      filters
+  in
+  let probed = ref 0 and dropped = ref 0 in
+  let flush () =
+    if !probed > 0 then Obs.Metrics.add transfer_rows_probed !probed;
+    if !dropped > 0 then Obs.Metrics.add transfer_rows_dropped !dropped
+  in
+  let result =
+    if Relation.layout rel <> `Column then begin
+      let keep =
+        match pred with
+        | None -> fun _ -> true
+        | Some p -> Compile.pred schema p
+      in
+      let tests =
+        List.map (fun (i, bl) -> fun (row : Row.t) -> Bloom.mem bl row.(i)) fidx
+      in
+      let out = ref [] in
+      Relation.iter
+        (fun row ->
+          if keep row then begin
+            incr probed;
+            if List.for_all (fun t -> t row) tests then out := row :: !out
+            else incr dropped
+          end)
+        rel;
+      Relation.of_rows schema (List.rev !out)
+    end
+    else begin
+      let cs = Relation.cstore rel in
+      let probes, exact =
+        match pred with
+        | None -> ([], true)
+        | Some p -> Compile.zone_probes schema p
+      in
+      let keep =
+        match pred with
+        | Some p when not exact -> Some (Compile.pred schema p)
+        | _ -> None
+      in
+      (* Dict-coded columns probe the filter once per dictionary entry;
+         per-row membership is then one code lookup. *)
+      let dict_pass =
+        List.map
+          (fun (ci, bl) ->
+            match Cstore.dict cs ci with
+            | Some d ->
+              Some
+                (Array.init (Dict.size d) (fun code ->
+                     Bloom.mem bl (Value.Str (Dict.get d code))))
+            | None -> None)
+          fidx
+      in
+      let out = ref [] in
+      Cstore.iter_blocks
+        (fun (b : Cstore.block) ->
+          let zrefuted =
+            List.exists
+              (fun (p : Compile.zone_probe) ->
+                not
+                  (Zmap.may_match
+                     b.Cstore.zmaps.(p.Compile.zp_col)
+                     (Compile.zmap_cmp p.Compile.zp_op)
+                     p.Compile.zp_const))
+              probes
+          in
+          if zrefuted then Obs.Metrics.incr blocks_skipped
+          else if
+            List.exists
+              (fun (ci, bl) -> not (Bloom.range_may_match bl b.Cstore.zmaps.(ci)))
+              fidx
+          then Obs.Metrics.incr transfer_blocks_skipped
+          else begin
+            Obs.Metrics.incr blocks_scanned;
+            let stests =
+              if keep = None then Array.of_list (List.map (probe_test cs b) probes)
+              else [||]
+            in
+            let ns = Array.length stests in
+            let btests =
+              Array.of_list
+                (List.map2
+                   (fun (ci, bl) dp ->
+                     match dp, b.Cstore.cols.(ci) with
+                     | Some pass, Cstore.C_dict (codes, bm) ->
+                       (match bm with
+                        | None -> fun i -> pass.(codes.(i))
+                        | Some bm ->
+                          fun i -> (not (Bitset.get bm i)) && pass.(codes.(i)))
+                     | _ -> fun i -> Bloom.mem bl (Cstore.value_at cs b ci i))
+                   fidx dict_pass)
+            in
+            let nb = Array.length btests in
+            for i = 0 to b.Cstore.length - 1 do
+              let ok = ref true in
+              (match keep with
+               | None ->
+                 let t = ref 0 in
+                 while !ok && !t < ns do
+                   if not (stests.(!t) i) then ok := false;
+                   incr t
+                 done
+               | Some keep -> if not (keep (Cstore.row_of cs b i)) then ok := false);
+              if !ok then begin
+                incr probed;
+                let t = ref 0 in
+                while !ok && !t < nb do
+                  if not (btests.(!t) i) then ok := false;
+                  incr t
+                done;
+                if !ok then out := Cstore.row_of cs b i :: !out else incr dropped
+              end
+            done
+          end)
+        cs;
+      Relation.of_rows schema (List.rev !out)
+    end
+  in
+  flush ();
+  result

@@ -10,6 +10,23 @@
 (** [None] unless the relation is column-primary. *)
 val select : Expr.t -> Relation.t -> Relation.t option
 
+(** [select_bloom ~filters pred rel]: the scan with transferred Bloom
+    filters composed in (predicate transfer, DESIGN.md §11).  On the column
+    layout, a block is skipped when a σ zone probe refutes it {e or} a
+    filter's observed range misses the block's zone map; surviving rows must
+    pass σ and every filter's membership test (dictionary-coded columns
+    probe a per-dictionary pass table computed once per scan).  On the row
+    layout the same tests run row-at-a-time.  Filters name unqualified
+    columns of [rel]; unresolvable names are ignored (a filter is only ever
+    a performance hint).  Bloom work is reported under the
+    ["transfer.blocks_skipped"] / ["transfer.rows_probed"] /
+    ["transfer.rows_dropped"] metrics. *)
+val select_bloom :
+  filters:(string * Column.Bloom.t) list ->
+  Expr.t option ->
+  Relation.t ->
+  Relation.t
+
 (** Zero the block counters — the obs metrics ["colscan.blocks_skipped"] /
     ["colscan.blocks_scanned"] (Runner does this per query). *)
 val reset_counters : unit -> unit
@@ -17,3 +34,7 @@ val reset_counters : unit -> unit
 (** [(skipped, scanned)] blocks since the last reset; maintained in
     per-domain metric cells so parallel scans report correctly. *)
 val counters : unit -> int * int
+
+(** [(blocks skipped, rows probed, rows dropped)] by transferred Bloom
+    filters since process start — take deltas around a query. *)
+val transfer_counters : unit -> int * int * int

@@ -28,7 +28,12 @@ let scan catalog table alias filter =
   (* requalify keeps the table's physical layout (row or columnar), so a
      filtered scan of a columnar table takes the block-skipping path. *)
   let rel = Relation.requalify q tbl.Catalog.rel in
-  match filter with None -> rel | Some pred -> Ops.select pred rel
+  match Catalog.scan_filters_for catalog q with
+  | [] -> (match filter with None -> rel | Some pred -> Ops.select pred rel)
+  | filters ->
+    (* Transferred Bloom filters registered for this alias compose with σ
+       into one block-skipping scan (predicate transfer, DESIGN.md §11). *)
+    Colscan.select_bloom ~filters filter rel
 
 let compile_bound schema lo hi () =
   let cb = function

@@ -12,27 +12,38 @@ type t = {
 
 (* Columnar relation: min/max/null counts come straight from the merged
    per-block zone maps (built at load time — no second pass over values);
-   only distinct counts still need to visit values, and a column stored
-   dictionary-coded in every block reads its distinct count off the
-   dictionary for free. *)
+   only distinct counts still need to visit values, and a column with a
+   dictionary reads its distinct count off the dictionary for free.  The
+   dictionary is per-column and covers every string the column ever
+   interned, so even when some blocks fell back to [C_mixed] (mixed types)
+   only those blocks' non-string values still need visiting — the old code
+   re-sampled every row of the column in that case, which both cost a full
+   pass and under-reported the Bloom sizing inputs for mostly-dict columns. *)
 let of_cstore cs =
   let schema = Column.Cstore.schema cs in
   let columns =
     List.mapi
       (fun i c ->
         let z = Column.Cstore.col_zmap cs i in
-        let all_dict =
-          Array.for_all
-            (fun (b : Column.Cstore.block) ->
-              match b.Column.Cstore.cols.(i) with
-              | Column.Cstore.C_dict _ -> true
-              | _ -> false)
-            cs.Column.Cstore.blocks
-        in
         let distinct =
           match Column.Cstore.dict cs i with
-          | Some d when all_dict && Column.Cstore.nblocks cs > 0 ->
-            Column.Dict.size d
+          | Some d when Column.Cstore.nblocks cs > 0 ->
+            (* Non-dict blocks add distinct values the dictionary missed:
+               non-strings, plus strings a mixed block never interned. *)
+            let extra = Row.Tbl.create 16 in
+            Array.iter
+              (fun (b : Column.Cstore.block) ->
+                match b.Column.Cstore.cols.(i) with
+                | Column.Cstore.C_dict _ -> ()
+                | _ ->
+                  for r = 0 to b.Column.Cstore.length - 1 do
+                    match Column.Cstore.value_at cs b i r with
+                    | Value.Null -> ()
+                    | Value.Str s when Column.Dict.find_opt d s <> None -> ()
+                    | v -> Row.Tbl.replace extra [| v |] ()
+                  done)
+              cs.Column.Cstore.blocks;
+            Column.Dict.size d + Row.Tbl.length extra
           | _ ->
             let seen = Row.Tbl.create 64 in
             Column.Cstore.iter_col cs i (fun v ->

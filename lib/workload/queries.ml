@@ -44,6 +44,22 @@ let complex ~threshold =
      HAVING COUNT(*) >= %d"
     threshold
 
+(* The complex query with a selective local predicate on S1 — the
+   predicate-transfer showcase: the σ on one alias propagates to all four
+   through the id/category/attr join edges. *)
+let complex_filtered ?(category = "team7") ~threshold () =
+  pp
+    "SELECT S1.id, S1.attr, S2.attr, COUNT(*) \
+     FROM perf_kv S1, perf_kv S2, perf_kv T1, perf_kv T2 \
+     WHERE S1.id = S2.id AND T1.id = T2.id \
+     AND S1.category = T1.category \
+     AND T1.attr = S1.attr AND T2.attr = S2.attr \
+     AND T1.val > S1.val AND T2.val > S2.val \
+     AND S1.category = '%s' \
+     GROUP BY S1.id, S1.attr, S2.attr \
+     HAVING COUNT(*) >= %d"
+    category threshold
+
 let skyband_avg ?(a = ("b_h", "b_hr")) ~k () =
   let x, y = a in
   pp

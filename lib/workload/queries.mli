@@ -15,6 +15,11 @@ val pairs : ?agg:[ `Avg | `Sum ] -> c:int -> k:int -> unit -> string
     products. *)
 val complex : threshold:int -> string
 
+(** [complex] with an extra selective predicate [S1.category = category] —
+    the predicate-transfer showcase: the σ on one alias semi-join-reduces
+    all four via the id/category/attr join edges. *)
+val complex_filtered : ?category:string -> threshold:int -> unit -> string
+
 (** Q8: average player statistics over time, then a skyband with the simple
     strict-dominance join condition. *)
 val skyband_avg : ?a:string * string -> k:int -> unit -> string

@@ -32,4 +32,5 @@ let () =
       ("runner", Test_runner.suite);
       ("workload", Test_workload.suite);
       ("obs", Test_obs.suite);
-      ("analyze", Test_analyze.suite) ]
+      ("analyze", Test_analyze.suite);
+      ("transfer", Test_transfer.suite) ]

@@ -237,6 +237,7 @@ let golden_tests =
             nljp_outer = None;
             nljp_stats = None;
             nljp_describe = None;
+            transfer = None;
             notes = [];
             cte_reports = [];
           }
