@@ -78,6 +78,12 @@ type json_row = {
   j_counters : (string * int) list;
       (* operator counters under the lib/obs names (nljp., colscan. and
          optimizer. prefixes), captured as snapshot deltas around the run *)
+  j_qps : float option;  (* serve targets: sustained queries per second *)
+  j_p50_ms : float option;  (* serve targets: median request latency *)
+  j_p95_ms : float option;  (* serve targets: tail request latency *)
+  j_session : int option;
+      (* server session behind this row's counters, when the row is one
+         session's slice rather than a whole-server aggregate *)
 }
 
 let json_path = ref None
@@ -98,8 +104,8 @@ let git_sha =
           if line = "" then "unknown" else line
         with _ -> "unknown"))
 
-let record ?(workers = 1) ?(counters = []) ?ms_scaled ?load_ms ~technique name
-    ms_raw =
+let record ?(workers = 1) ?(counters = []) ?ms_scaled ?load_ms ?qps ?p50_ms
+    ?p95_ms ?session ~technique name ms_raw =
   json_rows :=
     {
       j_name = name;
@@ -112,11 +118,21 @@ let record ?(workers = 1) ?(counters = []) ?ms_scaled ?load_ms ~technique name
       j_ms_scaled = Option.value ms_scaled ~default:ms_raw;
       j_load_ms = load_ms;
       j_counters = counters;
+      j_qps = qps;
+      j_p50_ms = p50_ms;
+      j_p95_ms = p95_ms;
+      j_session = session;
     }
     :: !json_rows
 
-let counters_json counters : Obs.Json.t =
-  Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Num (float_of_int v))) counters)
+let counters_json ?session counters : Obs.Json.t =
+  let base =
+    List.map (fun (k, v) -> (k, Obs.Json.Num (float_of_int v))) counters
+  in
+  Obs.Json.Obj
+    (match session with
+     | Some sid -> ("session_id", Obs.Json.Num (float_of_int sid)) :: base
+     | None -> base)
 
 let row_to_json r : Obs.Json.t =
   Obs.Json.Obj
@@ -134,7 +150,16 @@ let row_to_json r : Obs.Json.t =
     @ (match r.j_load_ms with
        | Some l -> [ ("load_ms", Obs.Json.Num l) ]
        | None -> [])
-    @ [ ("counters", counters_json r.j_counters) ])
+    @ (match r.j_qps with
+       | Some q -> [ ("qps", Obs.Json.Num q) ]
+       | None -> [])
+    @ (match r.j_p50_ms with
+       | Some p -> [ ("p50_ms", Obs.Json.Num p) ]
+       | None -> [])
+    @ (match r.j_p95_ms with
+       | Some p -> [ ("p95_ms", Obs.Json.Num p) ]
+       | None -> [])
+    @ [ ("counters", counters_json ?session:r.j_session r.j_counters) ])
 
 (* Through the lib/obs serializer — the old Printf "%S" writer produced
    OCaml string escapes, which are not valid JSON for control characters. *)
@@ -1388,6 +1413,134 @@ let diff_cmd args =
     prerr_endline "usage: bench diff OLD.json NEW.json [--threshold R]";
     2
 
+(* ---- query server: concurrent sessions, plan + result caches ---- *)
+
+let serve_bench () =
+  Printf.printf "=== Query server: concurrent sessions, plan + result caches ===\n\n";
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "si-bench-%d.sock" (Unix.getpid ()))
+  in
+  let catalog, load_t = time (fun () -> baseball_catalog ~rows:!rows ()) in
+  let load_ms = load_t *. 1000. in
+  let config =
+    {
+      Serve.Server.listen = `Unix sock;
+      pool = 2;
+      queue_cap = 256;
+      plan_cache_cap = 64;
+      result_cache_cap = 256;
+      max_rows = None;
+    }
+  in
+  let srv = Serve.Server.start ~config [ (!layout, catalog) ] in
+  let hot =
+    [
+      List.assoc "Q1" Workload.Queries.figure1;
+      Workload.Queries.pairs ~c:3 ~k:50 ();
+      Workload.Queries.skyband ~k:50 ();
+    ]
+  in
+  (* distinct HAVING thresholds: distinct normalized text, so each fresh
+     query is a plan-cache miss that must run the full Listing 9 pipeline *)
+  let fresh i = Workload.Queries.skyband ~k:(60 + i) () in
+  let timed_query cl sql =
+    let t0 = Unix.gettimeofday () in
+    let r = Serve.Client.query cl sql in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  (* cold vs warm: same text and session config, so the first execution
+     pays planning + execution and every repeat is a result-cache hit *)
+  let c = Serve.Client.connect (`Unix sock) in
+  let q0 = List.hd hot in
+  let _, cold_ms = timed_query c q0 in
+  let reps = if !quick then 20 else 100 in
+  let warm_lat = Array.init reps (fun _ -> snd (timed_query c q0)) in
+  let warm_ms = Array.fold_left ( +. ) 0. warm_lat /. float_of_int reps in
+  Serve.Client.close c;
+  Printf.printf
+    "repeat query: cold %8.3fms   warm %8.3fms   (%.0fx over %d reps)\n%!"
+    cold_ms warm_ms (cold_ms /. warm_ms) reps;
+  record ~technique:"serve_cold" ~load_ms "serve_repeat" cold_ms;
+  record ~technique:"serve_warm" "serve_repeat" warm_ms;
+  if cold_ms < 5. *. warm_ms then
+    Printf.printf "!! warm repeats below 5x faster than cold — investigate\n%!";
+  (* mixed concurrent workload: N sessions, ~70%% repeats from the hot set
+     (cache traffic), ~30%% fresh thresholds (plan + execute) *)
+  let n_clients = 4 in
+  let per_client = if !quick then 15 else 50 in
+  let lat = Array.make n_clients [] in
+  let sids = Array.make n_clients 0 in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init n_clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let cl = Serve.Client.connect (`Unix sock) in
+            sids.(ci) <- Serve.Client.session cl;
+            for j = 0 to per_client - 1 do
+              let sql =
+                if j mod 10 < 7 then List.nth hot (j mod List.length hot)
+                else fresh ((ci * per_client) + j)
+              in
+              let _, ms = timed_query cl sql in
+              lat.(ci) <- ms :: lat.(ci)
+            done;
+            Serve.Client.close cl)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* cache hit/miss and rejection counters come off the server's stats
+     response, so the JSON row records what the server saw, not a guess *)
+  let cstat = Serve.Client.connect (`Unix sock) in
+  let stats = Serve.Client.stats cstat in
+  let cache_counters =
+    let sub name =
+      match Obs.Json.member name stats with
+      | Some o ->
+        List.filter_map
+          (fun k ->
+            match Obs.Json.member k o with
+            | Some (Obs.Json.Num x) -> Some (name ^ "_" ^ k, int_of_float x)
+            | _ -> None)
+          [ "hits"; "misses"; "evictions" ]
+      | None -> []
+    in
+    sub "plan_cache" @ sub "result_cache"
+    @ (match Obs.Json.member "rejected" stats with
+       | Some (Obs.Json.Num x) -> [ ("rejected", int_of_float x) ]
+       | _ -> [])
+  in
+  Serve.Client.shutdown cstat;
+  Serve.Client.close cstat;
+  Serve.Server.wait srv;
+  let pct p xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    if Array.length a = 0 then 0.
+    else
+      a.(min (Array.length a - 1) (int_of_float (p *. float_of_int (Array.length a))))
+  in
+  let all_lat = List.concat (Array.to_list lat) in
+  let qps = float_of_int (List.length all_lat) /. wall_s in
+  let p50 = pct 0.5 all_lat and p95 = pct 0.95 all_lat in
+  Printf.printf
+    "%d sessions x %d requests: %.0f qps, p50 %.2fms, p95 %.2fms\n  %s\n%!"
+    n_clients per_client qps p50 p95
+    (String.concat " "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) cache_counters));
+  record ~technique:"serve_mixed" ~workers:n_clients ~counters:cache_counters
+    ~qps ~p50_ms:p50 ~p95_ms:p95 "serve_mixed" (wall_s *. 1000.);
+  Array.iteri
+    (fun ci ms ->
+      record ~technique:"serve_session" ~session:sids.(ci)
+        ~qps:(float_of_int (List.length ms) /. wall_s)
+        ~p50_ms:(pct 0.5 ms) ~p95_ms:(pct 0.95 ms) "serve_mixed"
+        (List.fold_left ( +. ) 0. ms))
+    lat;
+  print_newline ()
+
 (* ---- driver ---- *)
 
 let () =
@@ -1446,6 +1599,7 @@ let () =
   if want "par" then par ();
   if want "col" then col ();
   if want "vec" then vec ();
+  if want "serve" then serve_bench ();
   if want "micro" then micro ();
   if List.mem "harness" targets then harness ();
   match !json_path with Some path -> write_json path | None -> ()

@@ -224,6 +224,91 @@ let calibrate_cmd rows layout tech workers json =
   else print_string (Core.Calibrate.to_text all);
   0
 
+let serve_cmd tables synth rows layouts addr pool queue_cap plan_cap result_cap
+    max_rows =
+  let layouts =
+    match layouts with
+    | "both" -> [ `Row; `Column ]
+    | l -> [ layout_of_string l ]
+  in
+  let catalogs =
+    List.map
+      (fun l ->
+        let cat = setup tables synth rows (match l with `Row -> "row" | `Column -> "column") in
+        (l, cat))
+      layouts
+  in
+  let config =
+    {
+      Serve.Server.listen = Serve.Protocol.addr_of_string addr;
+      pool;
+      queue_cap;
+      plan_cache_cap = plan_cap;
+      result_cache_cap = result_cap;
+      max_rows = (if max_rows <= 0 then None else Some max_rows);
+    }
+  in
+  let srv = Serve.Server.start ~config catalogs in
+  Printf.printf "serving on %s (pool=%d queue=%d)\n%!"
+    (Serve.Protocol.addr_to_string config.Serve.Server.listen)
+    pool queue_cap;
+  (* Runs until a client sends {"op":"shutdown"} (or the process is killed). *)
+  Serve.Server.wait srv;
+  print_endline "server stopped";
+  0
+
+let client_cmd addr analyze sets stats shutdown sql =
+  let c = Serve.Client.connect (Serve.Protocol.addr_of_string addr) in
+  let parse_set kv =
+    match String.index_opt kv '=' with
+    | None -> failwith ("--set expects key=value, got " ^ kv)
+    | Some i ->
+      let k = String.sub kv 0 i in
+      let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+      let j =
+        match (bool_of_string_opt v, int_of_string_opt v) with
+        | Some b, _ -> Obs.Json.Bool b
+        | None, Some n -> Obs.Json.Num (float_of_int n)
+        | None, None -> Obs.Json.Str v
+      in
+      (k, j)
+  in
+  let print_result j =
+    let rel = Serve.Client.relation_of_response j in
+    print_string (Relation.to_string (Relation.sorted rel));
+    Printf.printf "(%d rows in %.3fms%s)\n" (Serve.Client.rows_n j)
+      (Serve.Client.ms j)
+      (if Serve.Client.cached j then ", cached" else "");
+    match Obs.Json.member "trace" j with
+    | Some t -> print_string (Obs.Span.to_text (Obs.Span.of_json t))
+    | None -> ()
+  in
+  let status = ref 0 in
+  (try
+     if sets <> [] then ignore (Serve.Client.set c (List.map parse_set sets));
+     (match sql with
+      | Some q -> print_result (Serve.Client.query ~analyze c q)
+      | None -> ());
+     if stats then print_endline (Obs.Json.to_string (Serve.Client.stats c));
+     if shutdown then Serve.Client.shutdown c;
+     (* With nothing else to do, read queries from stdin (one per line). *)
+     if sql = None && not stats && not shutdown && sets = [] then begin
+       try
+         while true do
+           let line = String.trim (input_line stdin) in
+           if line <> "" then
+             try print_result (Serve.Client.query ~analyze c line)
+             with Serve.Client.Server_error { code; message } ->
+               Printf.printf "error (%s): %s\n%!" code message
+         done
+       with End_of_file -> ()
+     end
+   with Serve.Client.Server_error { code; message } ->
+     Printf.eprintf "error (%s): %s\n" code message;
+     status := 1);
+  Serve.Client.close c;
+  !status
+
 (* ---- cmdliner plumbing ---- *)
 
 let tables_arg =
@@ -369,10 +454,99 @@ let compare_t =
       const compare_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg
       $ workers_arg $ sql_arg)
 
+let addr_arg =
+  Arg.(
+    value
+    & opt string "unix:/tmp/iceberg-serve.sock"
+    & info [ "addr"; "a" ] ~docv:"ADDR"
+        ~doc:"Listen/connect address: $(b,unix:/path/to.sock) or \
+              $(b,tcp:host:port).")
+
+let serve_layouts_arg =
+  Arg.(
+    value & opt string "both"
+    & info [ "layout" ] ~docv:"LAYOUT"
+        ~doc:"Physical layouts to load: $(b,row), $(b,column) or $(b,both). \
+              With $(b,both) each session picks its layout via \
+              $(b,set layout=...).")
+
+let pool_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "pool" ] ~docv:"N"
+        ~doc:"Worker domains executing queries off the job queue.")
+
+let queue_cap_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:"Admission-control high-water mark: requests beyond $(docv) \
+              queued jobs are rejected with an $(b,overloaded) response \
+              instead of buffered.")
+
+let plan_cap_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "plan-cache" ] ~docv:"N" ~doc:"Plan (prepared-statement) cache capacity.")
+
+let result_cap_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "result-cache" ] ~docv:"N" ~doc:"Result cache capacity.")
+
+let serve_max_rows_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-rows" ] ~docv:"N"
+        ~doc:"Truncate query responses to $(docv) rows (0 = unlimited).")
+
+let set_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "set" ] ~docv:"KEY=VALUE"
+        ~doc:"Session config before anything else runs: $(b,layout=column), \
+              $(b,workers=4), $(b,transfer=false), $(b,tech=memo+pruning), \
+              $(b,plan_cache=false), $(b,result_cache=false).")
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print server statistics as JSON.")
+
+let shutdown_flag =
+  Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop.")
+
+let client_sql_arg =
+  Arg.(
+    value & pos 0 (some string) None
+    & info [] ~docv:"SQL"
+        ~doc:"Query to run; omitted (and with no other action), queries are \
+              read from stdin one per line.")
+
+let serve_t =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Start the multi-session query server: a worker-domain pool \
+             behind a bounded admission queue, with a shared plan cache \
+             (prepared statements keyed by normalized query + session \
+             config) and a version-keyed result cache")
+    Term.(
+      const serve_cmd $ tables_arg $ synth_arg $ rows_arg $ serve_layouts_arg
+      $ addr_arg $ pool_arg $ queue_cap_arg $ plan_cap_arg $ result_cap_arg
+      $ serve_max_rows_arg)
+
+let client_t =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Connect to a running server and run queries, tweak session \
+             config, fetch statistics or request shutdown")
+    Term.(
+      const client_cmd $ addr_arg $ analyze_flag $ set_arg $ stats_flag
+      $ shutdown_flag $ client_sql_arg)
+
 let main =
   Cmd.group
     (Cmd.info "smart-iceberg" ~version:"1.0"
        ~doc:"Iceberg query optimizer (SIGMOD'17 reproduction)")
-    [ run_t; explain_t; compare_t; calibrate_t ]
+    [ run_t; explain_t; compare_t; calibrate_t; serve_t; client_t ]
 
 let () = exit (Cmd.eval' main)

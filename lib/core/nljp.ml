@@ -419,7 +419,22 @@ type chunk_out = {
   c_stats : stats;
 }
 
-let execute ?span ?(estimate = false) ?(transfer = []) op =
+(* Cross-query shared cache tier (the server's plan cache owns one per
+   cached operator): prune/memo caches that outlive a single [execute],
+   lazily shaped on first use because the prune cache's structure
+   (flat/sorted/partitioned) is derived per operator. *)
+type shared_cache = {
+  mutable sc_prune : Prune_cache.t option;
+  mutable sc_memo : partition list Row.Tbl.t option;
+}
+
+let shared_cache () = { sc_prune = None; sc_memo = None }
+
+let shared_cache_rows sc =
+  ( (match sc.sc_prune with Some p -> Prune_cache.length p | None -> 0),
+    match sc.sc_memo with Some m -> Row.Tbl.length m | None -> 0 )
+
+let execute ?span ?(estimate = false) ?(transfer = []) ?shared op =
   let { catalog; spec; overrides; config; cls; key_case; all_aggs; subsume; _ } = op in
   let stats = op.stats in
   let waves0 = stats.waves in
@@ -437,21 +452,17 @@ let execute ?span ?(estimate = false) ?(transfer = []) op =
      actual so EXPLAIN ANALYZE can report the per-side Q-error. *)
   let run_side name side =
     let q = Qspec.side_query ~overrides side in
-    (* Transferred Bloom filters for this side's aliases are registered in
-       the catalog strictly around [Exec.run] — after [Binder.bind], so the
+    (* Transferred Bloom filters for this side's aliases are passed to
+       [Exec.run] as per-plan state — never to [Binder.bind], so the
        a-priori reducer subqueries (materialized at bind time) never see
        them.  Filtering a reducer's input is unsound: a monotone HAVING
-       group can qualify on the full join yet lose rows the reducer counted. *)
+       group can qualify on the full join yet lose rows the reducer counted.
+       Keeping filters out of the shared catalog also means two in-flight
+       queries can never observe each other's filters. *)
     let side_filters =
       List.filter (fun (a, fs) -> fs <> [] && List.mem a side.Qspec.aliases) transfer
     in
-    let exec_with_filters plan =
-      List.iter (fun (a, fs) -> Catalog.set_scan_filters catalog a fs) side_filters;
-      Fun.protect
-        ~finally:(fun () ->
-          List.iter (fun (a, _) -> Catalog.set_scan_filters catalog a []) side_filters)
-        (fun () -> Exec.run catalog plan)
-    in
+    let exec_with_filters plan = Exec.run ~filters:side_filters catalog plan in
     match span with
     | None -> exec_with_filters (Binder.bind catalog q)
     | Some parent ->
@@ -1073,14 +1084,60 @@ let execute ?span ?(estimate = false) ?(transfer = []) op =
   let loop_span = Option.map (fun p -> Obs.Span.enter ~parent:p "NLJP probe loop") span in
   let n = Relation.cardinality l_rel in
   let workers = max 1 config.workers in
+  (* Cross-query shared tier: when the caller owns a [shared_cache] for this
+     operator, seed the wave-shared prune/memo caches from it and persist
+     the merged caches back, under the same §7 discipline that makes the
+     wave merge safe — dropping or duplicating entries only costs pruning
+     and memo opportunity, never correctness.  The owner must reset the
+     tier on catalog mutation (cached entries describe the data they were
+     computed from) and must not overlap executions of one operator: tier
+     caches are read without locks during waves and mutated at boundaries. *)
+  let tier =
+    match shared with
+    | None -> None
+    | Some sc ->
+      let p =
+        match sc.sc_prune with
+        | Some p -> p
+        | None ->
+          let p = mk_prune_cache () in
+          sc.sc_prune <- Some p;
+          p
+      in
+      let m =
+        match sc.sc_memo with
+        | Some m -> m
+        | None ->
+          let m : partition list Row.Tbl.t = Row.Tbl.create 1024 in
+          sc.sc_memo <- Some m;
+          m
+      in
+      if Prune_cache.length p > 0 || Row.Tbl.length m > 0 then
+        stats.notes <-
+          stats.notes
+          @ [ Printf.sprintf "shared cache tier seeded: prune=%d memo=%d"
+                (Prune_cache.length p) (Row.Tbl.length m) ];
+      Some (p, m)
+  in
   let chunk_results, final_prune, final_memo =
     if workers = 1 || n < workers * 32 then begin
-      (* Sequential: one chunk, its local caches are the caches. *)
+      (* Sequential: one chunk; with a tier, it plays the frozen shared
+         cache and absorbs the chunk-local caches afterwards. *)
       stats.waves <- stats.waves + 1;
-      let r =
-        process_chunk ~shared_prune:None ~shared_memo:None (Relation.rows l_rel)
-      in
-      ([ r ], r.c_prune, r.c_memo)
+      let shared_prune = Option.map fst tier in
+      let shared_memo = Option.map snd tier in
+      let r = process_chunk ~shared_prune ~shared_memo (Relation.rows l_rel) in
+      match tier with
+      | None -> ([ r ], r.c_prune, r.c_memo)
+      | Some (tp, tm) ->
+        Prune_cache.iter r.c_prune (fun b ->
+            if below_cap (Prune_cache.length tp) then Prune_cache.add tp b);
+        Row.Tbl.iter
+          (fun b parts ->
+            if (not (Row.Tbl.mem tm b)) && below_cap (Row.Tbl.length tm) then
+              Row.Tbl.add tm b parts)
+          r.c_memo;
+        ([ r ], tp, tm)
     end
     else begin
       (* Process the outer side in waves of [workers] chunks.  During a
@@ -1090,8 +1147,12 @@ let execute ?span ?(estimate = false) ?(transfer = []) op =
          entry dropped by the cap (or duplicated because two domains found
          the same binding unpromising) only costs pruning opportunities,
          never correctness — §7's cache-bound argument. *)
-      let shared_prune = mk_prune_cache () in
-      let shared_memo : partition list Row.Tbl.t = Row.Tbl.create 1024 in
+      let shared_prune =
+        match tier with Some (p, _) -> p | None -> mk_prune_cache ()
+      in
+      let shared_memo : partition list Row.Tbl.t =
+        match tier with Some (_, m) -> m | None -> Row.Tbl.create 1024
+      in
       (* Wave slices of the outer side.  A columnar outer is consumed block
          by block ([workers] blocks per wave) without ever materializing
          the whole row array; a row outer is sliced as before. *)
@@ -1287,6 +1348,10 @@ let describe op =
   Buffer.contents b
 
 let subsumption op = op.subsume
+
+(* The operator's cumulative stats record (mutated in place by [execute];
+   callers wanting per-execution deltas snapshot it around the call). *)
+let op_stats op = op.stats
 
 (* The component queries NLJP actually materializes (a-priori overrides
    applied), so EXPLAIN can estimate their cardinalities. *)

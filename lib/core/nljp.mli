@@ -94,11 +94,29 @@ val build :
   config ->
   (t, string) result
 
+type shared_cache
+(** Cross-query shared prune/memo cache tier (§7's wave-merge discipline
+    extended across executions): seeds the shared caches of the next
+    [execute ~shared] of the {e same} operator and absorbs what it learns.
+    Owned by a caller that caches plans (the query server); the owner must
+    (a) never overlap two executions of one operator — the tier is read
+    lock-free during waves and mutated at boundaries — and (b) discard the
+    tier when the underlying data changes (cache entries are only valid for
+    the catalog version they were computed from).  Dropping a tier is
+    always safe: it costs pruning/memo opportunity, never correctness. *)
+
+val shared_cache : unit -> shared_cache
+(** A fresh, empty tier. *)
+
+val shared_cache_rows : shared_cache -> int * int
+(** Current (prune, memo) entry counts — accounting/tests. *)
+
 (** Execute; the result schema matches the original query's SELECT list. *)
 val execute :
   ?span:Obs.Span.t ->
   ?estimate:bool ->
   ?transfer:(string * (string * Column.Bloom.t) list) list ->
+  ?shared:shared_cache ->
   t ->
   Relalg.Relation.t * stats
 (** Execute the operator.  With [span], child spans record the Q_B / Q_R
@@ -108,12 +126,17 @@ val execute :
     counter, for EXPLAIN ANALYZE's estimate-vs-actual accounting.
 
     [transfer] supplies predicate-transfer Bloom filters per FROM alias
-    (see {!Transfer}): each side's filters are registered in the catalog
-    strictly around that side's plan execution — never during binding, so
-    a-priori reducer subqueries always see unfiltered inputs — and the
-    inner side's filters additionally compose with the vectorized probe
-    path.  Filters must be sound semi-join reductions: dropping a row may
-    only remove tuples that join nothing in the final result. *)
+    (see {!Transfer}): each side's filters are passed to that side's plan
+    execution as per-plan state — never during binding, so a-priori
+    reducer subqueries always see unfiltered inputs — and the inner side's
+    filters additionally compose with the vectorized probe path.  Filters
+    must be sound semi-join reductions: dropping a row may only remove
+    tuples that join nothing in the final result.
+
+    [shared] plugs in a cross-query cache tier (see {!shared_cache}); a
+    repeated execution then starts with the previous runs' prune/memo
+    entries already warm, and [stats] counts its hits as memo hits /
+    prunes. *)
 
 (** Human-readable description of the component queries (cf. Listings 7
     and 10), including the derived p⪰. *)
@@ -121,6 +144,10 @@ val describe : t -> string
 
 (** The derived subsumption predicate, if pruning is active. *)
 val subsumption : t -> Subsume.t option
+
+(** The operator's stats record — cumulative across [execute] calls
+    (mutated in place); snapshot around a call for per-execution deltas. *)
+val op_stats : t -> stats
 
 (** The Q_B / Q_R component queries as materialized (overrides applied). *)
 val side_queries : t -> Sqlfront.Ast.query * Sqlfront.Ast.query

@@ -175,7 +175,7 @@ let rec run ?span ?(analyze = false) ?(tech = Optimizer.all_techniques)
       let fresh = fresh_temp_name catalog name in
       let keys = match derived_key def with Some k -> [ k ] | None -> [] in
       let nonneg = derived_nonneg catalog def in
-      Catalog.add_table catalog ~keys ~nonneg fresh
+      Catalog.add_temp catalog ~keys ~nonneg fresh
         (Relation.with_schema (Schema.unqualified rel.Relation.schema) rel);
       temp_names := fresh :: !temp_names;
       renames := (String.lowercase_ascii name, fresh) :: !renames;
@@ -410,6 +410,190 @@ and run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
   end
 
 let run_baseline ?(workers = 1) catalog q = Binder.run ~workers catalog q
+
+(* ---- prepared statements (the query server's plan cache entries) ---- *)
+
+(* A prepared query pins the optimizer's decision so repeated executions
+   skip the Listing 9 procedure (subset enumeration, reducer analysis,
+   pick_* costing).  NLJP decisions additionally carry a cross-query shared
+   prune/memo tier and memoize the predicate-transfer Bloom build; both are
+   only valid for the catalog version the plan was prepared against — the
+   owner re-prepares after any catalog mutation ({!prepared_version}). *)
+type prepared_kind =
+  | P_direct  (** CTE / non-iceberg / unsupported shape: full [run] per call *)
+  | P_rewrite of Ast.query * Optimizer.decision
+      (** decision without an NLJP operator: execute the rewritten query *)
+  | P_nljp of {
+      decision : Optimizer.decision;
+      op : Nljp.t;
+      aliases : string list;
+      shared : Nljp.shared_cache;
+      mutable transfer_run : Transfer.result option;
+    }
+
+type prepared = {
+  p_catalog : Catalog.t;
+  p_query : Ast.query;
+  p_tech : Optimizer.technique;
+  p_nljp_config : Nljp.config;
+  p_transfer : bool;
+  p_version : int;
+  p_kind : prepared_kind;
+  p_mu : Mutex.t;
+      (* Serializes executions of one prepared plan: the NLJP operator's
+         stats record and shared tier are mutated in place.  Distinct
+         prepared plans execute concurrently without contention. *)
+}
+
+let prepare ?(tech = Optimizer.all_techniques) ?(nljp_config = Nljp.default_config)
+    ?workers ?transfer catalog (q : Ast.query) =
+  let transfer = match transfer with Some t -> t | None -> transfer_default () in
+  let nljp_config =
+    match workers with
+    | None -> nljp_config
+    | Some w -> { nljp_config with Nljp.workers = w }
+  in
+  (* Same gate as [run_block]; CTE queries go direct — their temp-table
+     registration needs the full per-call lifecycle. *)
+  let optimizable =
+    q.Ast.with_defs = []
+    && q.Ast.having <> None
+    && List.length q.Ast.from >= 2
+    && List.for_all (function Ast.T_table _ -> true | _ -> false) q.Ast.from
+    && (tech.Optimizer.apriori || tech.Optimizer.memo || tech.Optimizer.pruning)
+  in
+  let kind =
+    if not optimizable then P_direct
+    else
+      match Optimizer.decide ~transfer catalog q ~tech ~nljp_config with
+      | exception Qspec.Unsupported _ -> P_direct
+      | decision ->
+        (match decision.Optimizer.nljp with
+         | Some (op, aliases) ->
+           P_nljp
+             {
+               decision;
+               op;
+               aliases;
+               shared = Nljp.shared_cache ();
+               transfer_run = None;
+             }
+         | None -> P_rewrite (Optimizer.rewritten_query decision, decision))
+  in
+  {
+    p_catalog = catalog;
+    p_query = q;
+    p_tech = tech;
+    p_nljp_config = nljp_config;
+    p_transfer = transfer;
+    p_version = Catalog.version catalog;
+    p_kind = kind;
+    p_mu = Mutex.create ();
+  }
+
+let prepared_version p = p.p_version
+
+let prepared_kind p =
+  match p.p_kind with
+  | P_direct -> `Direct
+  | P_rewrite _ -> `Rewrite
+  | P_nljp _ -> `Nljp
+
+let prepared_shared_rows p =
+  match p.p_kind with
+  | P_nljp pn -> Some (Nljp.shared_cache_rows pn.shared)
+  | _ -> None
+
+(* Per-execution delta of the operator's cumulative stats record. *)
+let stats_delta (s0 : Nljp.stats) (s1 : Nljp.stats) =
+  {
+    s1 with
+    Nljp.outer_rows = s1.Nljp.outer_rows - s0.Nljp.outer_rows;
+    inner_evals = s1.Nljp.inner_evals - s0.Nljp.inner_evals;
+    pruned = s1.Nljp.pruned - s0.Nljp.pruned;
+    memo_hits = s1.Nljp.memo_hits - s0.Nljp.memo_hits;
+    vector_evals = s1.Nljp.vector_evals - s0.Nljp.vector_evals;
+    vector_fallbacks = s1.Nljp.vector_fallbacks - s0.Nljp.vector_fallbacks;
+    inner_blocks_skipped =
+      s1.Nljp.inner_blocks_skipped - s0.Nljp.inner_blocks_skipped;
+    inner_blocks_scanned =
+      s1.Nljp.inner_blocks_scanned - s0.Nljp.inner_blocks_scanned;
+    waves = s1.Nljp.waves - s0.Nljp.waves;
+  }
+
+let run_prepared ?span p =
+  match p.p_kind with
+  | P_direct ->
+    run ?span ~tech:p.p_tech ~nljp_config:p.p_nljp_config
+      ~transfer:p.p_transfer p.p_catalog p.p_query
+  | P_rewrite (rw, decision) ->
+    let rel =
+      in_span span "execute" (fun s ->
+          List.iter (span_note s) decision.Optimizer.notes;
+          let rel = Binder.run ~workers:p.p_nljp_config.Nljp.workers p.p_catalog rw in
+          span_rows_out s (Relation.cardinality rel);
+          rel)
+    in
+    ( rel,
+      {
+        technique = p.p_tech;
+        apriori = decision.Optimizer.apriori_rewrites;
+        nljp_outer = None;
+        nljp_stats = None;
+        nljp_describe = None;
+        transfer = None;
+        notes = decision.Optimizer.notes;
+        cte_reports = [];
+      } )
+  | P_nljp pn ->
+    Mutex.lock p.p_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock p.p_mu) @@ fun () ->
+    let transfer_result =
+      match pn.transfer_run with
+      | Some r -> Some r
+      | None ->
+        (match pn.decision.Optimizer.transfer with
+         | None -> None
+         | Some spec ->
+           let r =
+             in_span span "transfer" (fun s ->
+                 let r = Transfer.run ?span:s p.p_catalog spec in
+                 List.iter (span_note s) r.Transfer.r_notes;
+                 r)
+           in
+           pn.transfer_run <- Some r;
+           Some r)
+    in
+    let transfer_filters =
+      match transfer_result with Some r -> r.Transfer.r_filters | None -> []
+    in
+    let before = { (Nljp.op_stats pn.op) with Nljp.notes = [] } in
+    let rel, stats =
+      in_span span "execute" (fun s ->
+          let rel, stats =
+            Nljp.execute ?span:s ~transfer:transfer_filters ~shared:pn.shared
+              pn.op
+          in
+          let d = stats_delta before stats in
+          span_rows_out s (Relation.cardinality rel);
+          span_counter s "outer_rows" d.Nljp.outer_rows;
+          span_counter s "inner_evals" d.Nljp.inner_evals;
+          span_counter s "pruned" d.Nljp.pruned;
+          span_counter s "memo_hits" d.Nljp.memo_hits;
+          List.iter (span_note s) stats.Nljp.notes;
+          (rel, stats))
+    in
+    ( rel,
+      {
+        technique = p.p_tech;
+        apriori = pn.decision.Optimizer.apriori_rewrites;
+        nljp_outer = Some pn.aliases;
+        nljp_stats = Some (stats_delta before stats);
+        nljp_describe = Some (Nljp.describe pn.op);
+        transfer = transfer_result;
+        notes = pn.decision.Optimizer.notes;
+        cte_reports = [];
+      } )
 
 let rec cache_rows rep =
   let own =

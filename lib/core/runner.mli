@@ -57,6 +57,47 @@ val run :
 val run_baseline :
   ?workers:int -> Relalg.Catalog.t -> Sqlfront.Ast.query -> Relalg.Relation.t
 
+(** {2 Prepared statements}
+
+    A prepared query pins the optimizer's decision (the expensive Listing 9
+    procedure) so repeated executions skip planning.  NLJP plans
+    additionally carry a {!Nljp.shared_cache} — prune/memo entries learned
+    by one execution warm the next — and memoize their predicate-transfer
+    Bloom build.  Both are valid only for the catalog version the plan was
+    prepared against: after any catalog mutation, compare
+    {!prepared_version} with {!Relalg.Catalog.version} and re-prepare.
+    Executions of one prepared plan are serialized internally (the NLJP
+    operator's stats and shared tier are mutated in place); distinct
+    prepared plans may execute concurrently. *)
+
+type prepared
+
+val prepare :
+  ?tech:Optimizer.technique ->
+  ?nljp_config:Nljp.config ->
+  ?workers:int ->
+  ?transfer:bool ->
+  Relalg.Catalog.t ->
+  Sqlfront.Ast.query ->
+  prepared
+
+(** Execute a prepared plan.  [span] attaches [transfer]/[execute] children
+    as {!run} does.  The report's [nljp_stats] is this execution's delta
+    (not the operator's cumulative totals). *)
+val run_prepared : ?span:Obs.Span.t -> prepared -> Relalg.Relation.t * report
+
+(** Catalog version the plan was prepared against. *)
+val prepared_version : prepared -> int
+
+(** How the plan executes: [`Nljp] (cached operator + shared cache tier),
+    [`Rewrite] (cached decision, rewritten-query execution), or [`Direct]
+    (CTE / non-iceberg / unsupported shape — full [run] per call). *)
+val prepared_kind : prepared -> [ `Direct | `Nljp | `Rewrite ]
+
+(** (prune, memo) entry counts of the plan's shared cache tier, when it has
+    one. *)
+val prepared_shared_rows : prepared -> (int * int) option
+
 (** Total cache footprint of a report (pruning + memo caches of the main
     block and every CTE block), for the Figure 3 accounting. *)
 val cache_rows : report -> int

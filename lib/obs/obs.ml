@@ -3,8 +3,10 @@
 
    Counters are sharded per domain: each domain that touches a counter gets
    its own cell through domain-local storage, so the increment on the
-   parallel NLJP hot path is one unsynchronized add to a cell no other
-   domain writes.  [read] merges the cells; after a [Domain.join] every
+   parallel NLJP hot path touches a cell no other domain writes.  Cells are
+   atomic — an increment is an uncontended fetch-and-add — so concurrent
+   sys-threads on one domain (the server's connection handlers) and
+   cross-domain [read]/[reset] are race-free; after a [Domain.join] every
    worker write is visible, so totals are deterministic.  [SI_OBS=0] turns
    every increment into a no-op (the zero-overhead ablation switch). *)
 
@@ -17,8 +19,8 @@ module Metrics = struct
   type counter = {
     c_name : string;
     c_mu : Mutex.t;  (* guards [c_cells]; never held on the increment path *)
-    c_cells : int ref list ref;
-    c_key : int ref Domain.DLS.key;
+    c_cells : int Atomic.t list ref;
+    c_key : int Atomic.t Domain.DLS.key;
   }
 
   type histogram = {
@@ -47,7 +49,7 @@ module Metrics = struct
         let c_cells = ref [] in
         let c_key =
           Domain.DLS.new_key (fun () ->
-              let r = ref 0 in
+              let r = Atomic.make 0 in
               Mutex.lock c_mu;
               c_cells := r :: !c_cells;
               Mutex.unlock c_mu;
@@ -63,20 +65,20 @@ module Metrics = struct
   let add c n =
     if enabled && n <> 0 then begin
       let r = Domain.DLS.get c.c_key in
-      r := !r + n
+      ignore (Atomic.fetch_and_add r n)
     end
 
   let incr c = add c 1
 
   let read c =
     Mutex.lock c.c_mu;
-    let total = List.fold_left (fun acc r -> acc + !r) 0 !(c.c_cells) in
+    let total = List.fold_left (fun acc r -> acc + Atomic.get r) 0 !(c.c_cells) in
     Mutex.unlock c.c_mu;
     total
 
   let reset c =
     Mutex.lock c.c_mu;
-    List.iter (fun r -> r := 0) !(c.c_cells);
+    List.iter (fun r -> Atomic.set r 0) !(c.c_cells);
     Mutex.unlock c.c_mu
 
   let name c = c.c_name
@@ -208,7 +210,12 @@ module Json = struct
     if not (Float.is_finite x) then "null"  (* JSON has no nan/inf *)
     else if Float.is_integer x && Float.abs x < 1e15 then
       Printf.sprintf "%d" (int_of_float x)
-    else Printf.sprintf "%.12g" x
+    else
+      (* Shortest representation that parses back to the same float: the
+         query server ships result values through this printer, so lossy
+         rounding would show up as differential-test divergence. *)
+      let s = Printf.sprintf "%.15g" x in
+      if float_of_string s = x then s else Printf.sprintf "%.17g" x
 
   let rec to_buf b j =
     match j with
@@ -431,6 +438,7 @@ module Span = struct
     name : string;
     mutable start_s : float;
     mutable dur_ms : float;
+    mutable session_id : int option;  (* owning server session, if any *)
     mutable rows_in : int option;
     mutable rows_out : int option;
     mutable est_rows : float option;  (* optimizer cardinality estimate *)
@@ -442,12 +450,17 @@ module Span = struct
 
   let now () = Unix.gettimeofday ()
 
-  let enter ?parent name =
+  let enter ?parent ?session_id name =
     let s =
       {
         name;
         start_s = now ();
         dur_ms = 0.;
+        session_id =
+          (match session_id, parent with
+           | Some _, _ -> session_id
+           | None, Some p -> p.session_id  (* children inherit the slice *)
+           | None, None -> None);
         rows_in = None;
         rows_out = None;
         est_rows = None;
@@ -530,6 +543,7 @@ module Span = struct
       [
         ("name", Json.Str s.name);
         ("ms", Json.Num s.dur_ms);
+        ("session_id", opt_int s.session_id);
         ("rows_in", opt_int s.rows_in);
         ("rows_out", opt_int s.rows_out);
         ("est_rows", opt_num s.est_rows);
@@ -572,6 +586,7 @@ module Span = struct
       name = str_field "name" "?";
       start_s = 0.;
       dur_ms = (match num_field "ms" with Some x -> x | None -> 0.);
+      session_id = int_opt "session_id";
       rows_in = int_opt "rows_in";
       rows_out = int_opt "rows_out";
       est_rows = num_field "est_rows";

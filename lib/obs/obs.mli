@@ -14,8 +14,10 @@ val enabled : bool
 module Metrics : sig
   type counter
   (** A named monotonic counter, sharded per domain: each domain that
-      touches it increments a private cell (one unsynchronized add), and
-      {!read} merges the cells.  Totals are deterministic once the writing
+      touches it increments a private atomic cell (one uncontended
+      fetch-and-add), and {!read} merges the cells.  Concurrent increments
+      from sys-threads sharing a domain, and {!read}/{!reset} racing
+      writers, are well-defined; totals are deterministic once the writing
       domains have been joined. *)
 
   (** Find or register the counter with this name (process-global). *)
@@ -78,6 +80,10 @@ module Span : sig
     name : string;
     mutable start_s : float;
     mutable dur_ms : float;
+    mutable session_id : int option;
+        (** owning server session: stamped on a session's root spans and
+            inherited by children, so one session's EXPLAIN ANALYZE slice
+            never reads another's traffic *)
     mutable rows_in : int option;
     mutable rows_out : int option;
     mutable est_rows : float option;  (** optimizer cardinality estimate *)
@@ -87,8 +93,10 @@ module Span : sig
     mutable children : t list;  (** reversed; use {!children} *)
   }
 
-  (** Start a span now; appends to [parent]'s children when given. *)
-  val enter : ?parent:t -> string -> t
+  (** Start a span now; appends to [parent]'s children when given.  The
+      span's [session_id] is [session_id] when given, else inherited from
+      [parent]. *)
+  val enter : ?parent:t -> ?session_id:int -> string -> t
 
   (** Attach the optimizer's estimated cardinality/cost to the span, so an
       EXPLAIN ANALYZE view can print estimate next to actual. *)

@@ -9,17 +9,25 @@ type table = {
 
 type t = {
   tables : (string, table) Hashtbl.t;
-  (* Transferred scan filters, keyed by the (normalized) alias a scan runs
-     under.  Registered by NLJP around side execution only — never during
-     bind, where a-priori reducers materialize and must see full inputs. *)
-  scan_filters : (string, (string * Column.Bloom.t) list) Hashtbl.t;
+  (* Monotone data version, bumped by every mutation of base-table contents
+     (add/replace/layout/index changes).  Cache keys derived from catalog
+     contents (the server's plan/result caches) include it, so a mutation
+     invalidates them without any registration machinery.  Transient CTE
+     temp registration ([add_temp]/[remove_table]) does not bump: temps are
+     paired add/remove around one query and never outlive it. *)
+  version : int Atomic.t;
 }
 
-let create () = { tables = Hashtbl.create 16; scan_filters = Hashtbl.create 4 }
+let create () = { tables = Hashtbl.create 16; version = Atomic.make 0 }
+
+let version t = Atomic.get t.version
+
+let bump t = Atomic.incr t.version
 
 let norm = String.lowercase_ascii
 
 let add_table t ?(keys = []) ?(fds = []) ?(nonneg = []) name rel =
+  bump t;
   Hashtbl.replace t.tables (norm name) { name; rel; keys; fds; nonneg; indexes = [] }
 
 let find_opt t name = Hashtbl.find_opt t.tables (norm name)
@@ -33,17 +41,6 @@ let mem t name = Hashtbl.mem t.tables (norm name)
 
 let table_names t = Hashtbl.fold (fun _ tbl acc -> tbl.name :: acc) t.tables []
 
-let set_scan_filters t alias filters =
-  if filters = [] then Hashtbl.remove t.scan_filters (norm alias)
-  else Hashtbl.replace t.scan_filters (norm alias) filters
-
-let clear_scan_filters t = Hashtbl.reset t.scan_filters
-
-let scan_filters_for t alias =
-  match Hashtbl.find_opt t.scan_filters (norm alias) with
-  | Some fs -> fs
-  | None -> []
-
 let all_fds tbl =
   let all_cols = List.map (fun c -> c.Schema.name) (Schema.cols tbl.rel.Relation.schema) in
   List.map (fun k -> (k, all_cols)) tbl.keys @ tbl.fds
@@ -54,20 +51,24 @@ let col_idxs tbl cols =
   List.map (fun c -> Schema.index_of tbl.rel.Relation.schema c) cols
 
 let build_hash_index t name cols =
+  bump t;
   let tbl = find t name in
   let idx = Index.Hash_index (Index.Hash.build tbl.rel (col_idxs tbl cols)) in
   tbl.indexes <- idx :: tbl.indexes
 
 let build_sorted_index t name cols =
+  bump t;
   let tbl = find t name in
   let idx = Index.Sorted_index (Index.Sorted.build tbl.rel (col_idxs tbl cols)) in
   tbl.indexes <- idx :: tbl.indexes
 
 let drop_indexes t name =
+  bump t;
   let tbl = find t name in
   tbl.indexes <- []
 
 let replace_rows t name rel =
+  bump t;
   let tbl = find t name in
   let index_cols =
     List.map
@@ -116,12 +117,17 @@ let hash_index_on tbl cols =
 (* Convert a table to the given physical layout in place.  Indexes hold
    their own row references and stay valid either way. *)
 let set_layout t name layout =
+  bump t;
   let tbl = find t name in
   Hashtbl.replace t.tables (norm name) { tbl with rel = Relation.to_layout layout tbl.rel }
 
 let set_all_layouts t layout =
   List.iter (fun name -> set_layout t name layout) (table_names t)
 
-let add_temp t name rel = add_table t name rel
+(* Temp add/remove must cancel out version-wise: a CTE query registering a
+   transient table would otherwise flush every version-keyed cache. *)
+let add_temp t ?keys ?fds ?nonneg name rel =
+  add_table t ?keys ?fds ?nonneg name rel;
+  ignore (Atomic.fetch_and_add t.version (-1))
 
 let remove_table t name = Hashtbl.remove t.tables (norm name)

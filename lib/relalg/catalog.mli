@@ -16,6 +16,18 @@ type t
 
 val create : unit -> t
 
+(** Monotone data version of the catalog: bumped by every mutation of
+    base-table contents or physical organization ({!add_table},
+    {!replace_rows}, {!set_layout}, index build/drop).  Version-keyed caches
+    (the server's plan and result caches) are thereby invalidated by any
+    mutation without registration machinery.  {!add_temp}/{!remove_table}
+    (the transient CTE lifecycle) leave the version unchanged.  Reads and
+    bumps are atomic, so concurrent readers always see a coherent value —
+    but the catalog's table contents themselves are {e not} synchronized:
+    mutate only while no concurrent query is executing (the server runs
+    mutations and CTE queries under an exclusive lock). *)
+val version : t -> int
+
 val add_table :
   t ->
   ?keys:string list list ->
@@ -54,20 +66,16 @@ val set_layout : t -> string -> [ `Row | `Column ] -> unit
 
 val set_all_layouts : t -> [ `Row | `Column ] -> unit
 
-(** Transferred scan filters (predicate transfer, DESIGN.md §11): Bloom
-    filters registered against a scan {e alias}; [Exec] composes them into
-    every scan running under that alias until cleared.  They are a
-    performance hint — membership keeps a superset of the rows that can
-    join — and must only be live around plan {e execution}: registering
-    them while binding would starve the a-priori reducers' inputs. *)
-val set_scan_filters : t -> string -> (string * Column.Bloom.t) list -> unit
-
-val clear_scan_filters : t -> unit
-
-(** Filters registered for this alias ([[]] when none). *)
-val scan_filters_for : t -> string -> (string * Column.Bloom.t) list
-
-(** Register a derived relation under a fresh name (CTE materialization). *)
-val add_temp : t -> string -> Relation.t -> unit
+(** Register a derived relation under a fresh name (CTE materialization).
+    Unlike {!add_table} this leaves {!version} unchanged — temps are paired
+    with {!remove_table} around a single query and never outlive it. *)
+val add_temp :
+  t ->
+  ?keys:string list list ->
+  ?fds:(string list * string list) list ->
+  ?nonneg:string list ->
+  string ->
+  Relation.t ->
+  unit
 
 val remove_table : t -> string -> unit

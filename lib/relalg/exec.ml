@@ -22,16 +22,29 @@
    worker domains never contend on a shared counter inside the feed loop.
    Recorder callbacks themselves always run on the spawning domain. *)
 
-let scan catalog table alias filter =
+(* Transferred scan filters (predicate transfer, DESIGN.md §11) are plan
+   state, not catalog state: the caller passes per-alias Bloom filters in,
+   so two plans executing concurrently against one shared catalog can never
+   observe each other's filters.  Alias matching is case-insensitive, like
+   catalog lookup. *)
+let filters_for filters q =
+  let q = String.lowercase_ascii q in
+  match
+    List.find_opt (fun (a, _) -> String.lowercase_ascii a = q) filters
+  with
+  | Some (_, fs) -> fs
+  | None -> []
+
+let scan ~filters catalog table alias filter =
   let tbl = Catalog.find catalog table in
   let q = Option.value alias ~default:tbl.Catalog.name in
   (* requalify keeps the table's physical layout (row or columnar), so a
      filtered scan of a columnar table takes the block-skipping path. *)
   let rel = Relation.requalify q tbl.Catalog.rel in
-  match Catalog.scan_filters_for catalog q with
+  match filters_for filters q with
   | [] -> (match filter with None -> rel | Some pred -> Ops.select pred rel)
   | filters ->
-    (* Transferred Bloom filters registered for this alias compose with σ
+    (* Transferred Bloom filters supplied for this alias compose with σ
        into one block-skipping scan (predicate transfer, DESIGN.md §11). *)
     Colscan.select_bloom ~filters filter rel
 
@@ -83,22 +96,22 @@ let node_label = function
 
 let empty_row : Row.t = [||]
 
-let rec run ?(workers = 1) ?recorder ?(path = []) catalog plan =
-  let rel = exec_node ~workers ~recorder ~path catalog plan in
+let rec run ?(workers = 1) ?recorder ?(path = []) ?(filters = []) catalog plan =
+  let rel = exec_node ~workers ~recorder ~path ~filters catalog plan in
   (match recorder with
    | Some r -> r.rec_rows path (node_label plan) (Relation.cardinality rel)
    | None -> ());
   rel
 
-and exec_node ~workers ~recorder ~path catalog plan =
-  let child i p = run ~workers ?recorder ~path:(path @ [ i ]) catalog p in
+and exec_node ~workers ~recorder ~path ~filters catalog plan =
+  let child i p = run ~workers ?recorder ~path:(path @ [ i ]) ~filters catalog p in
   match plan with
-  | Plan.Scan { table; alias; filter } -> scan catalog table alias filter
+  | Plan.Scan { table; alias; filter } -> scan ~filters catalog table alias filter
   | Plan.Values { name; rel } -> Relation.requalify name rel
   | Plan.Filter (pred, p) -> Ops.select pred (child 0 p)
   | Plan.Project (outs, p) -> Ops.project outs (child 0 p)
   | Plan.Nl_join _ | Plan.Hash_join _ | Plan.Index_nl_join _ ->
-    collect ~workers (stream ~workers ~recorder ~path catalog plan)
+    collect ~workers (stream ~workers ~recorder ~path ~filters catalog plan)
   | Plan.Merge_join { keys; residual; left; right } ->
     let l = child 0 left in
     let r = child 1 right in
@@ -107,7 +120,7 @@ and exec_node ~workers ~recorder ~path catalog plan =
       ~right_keys:(List.map snd keys)
       ~residual l r
   | Plan.Group { group_cols; aggs; input } ->
-    group ~workers ~recorder ~path catalog group_cols aggs input
+    group ~workers ~recorder ~path ~filters catalog group_cols aggs input
   | Plan.Distinct p -> Ops.distinct (child 0 p)
   | Plan.Order_by (keys, p) -> Ops.order_by keys (child 0 p)
   | Plan.Limit (n, p) -> Ops.limit n (child 0 p)
@@ -126,11 +139,11 @@ and exec_node ~workers ~recorder ~path catalog plan =
    annotated under [path @ [0]] / [path @ [1]]; the join node itself is
    recorded by whoever consumes the stream (collect's caller via
    cardinality, or [group] via an emit counter). *)
-and stream ~workers ~recorder ~path catalog plan : streamed =
+and stream ~workers ~recorder ~path ~filters catalog plan : streamed =
   match plan with
   | Plan.Nl_join { pred; left; right } ->
-    let l = run ~workers ?recorder ~path:(path @ [ 0 ]) catalog left in
-    let r = run ~workers ?recorder ~path:(path @ [ 1 ]) catalog right in
+    let l = run ~workers ?recorder ~path:(path @ [ 0 ]) ~filters catalog left in
+    let r = run ~workers ?recorder ~path:(path @ [ 1 ]) ~filters catalog right in
     let schema = Schema.append l.Relation.schema r.Relation.schema in
     (* Force the inner rows here, on the spawning domain: [feed] runs on
        worker domains and must not race on the relation's lazy row cache. *)
@@ -148,8 +161,8 @@ and stream ~workers ~recorder ~path catalog plan : streamed =
     in
     { schema; left_arity = Schema.arity l.Relation.schema; outer = l; feed }
   | Plan.Hash_join { keys; residual; left; right } ->
-    let l = run ~workers ?recorder ~path:(path @ [ 0 ]) catalog left in
-    let r = run ~workers ?recorder ~path:(path @ [ 1 ]) catalog right in
+    let l = run ~workers ?recorder ~path:(path @ [ 0 ]) ~filters catalog left in
+    let r = run ~workers ?recorder ~path:(path @ [ 1 ]) ~filters catalog right in
     let schema = Schema.append l.Relation.schema r.Relation.schema in
     let rkey = Compile.row_fn r.Relation.schema (List.map snd keys) in
     let tbl = Row.Tbl.create (max 16 (Relation.cardinality r)) in
@@ -177,10 +190,10 @@ and stream ~workers ~recorder ~path catalog plan : streamed =
     (match sorted_index_for catalog table key_col with
      | None ->
        (* No BT index: degrade to a plain nested loop over the table. *)
-       stream ~workers ~recorder ~path catalog
+       stream ~workers ~recorder ~path ~filters catalog
          (Plan.Nl_join { pred; left; right = Plan.Scan { table; alias; filter = None } })
      | Some index ->
-       let l = run ~workers ?recorder ~path:(path @ [ 0 ]) catalog left in
+       let l = run ~workers ?recorder ~path:(path @ [ 0 ]) ~filters catalog left in
        let tbl = Catalog.find catalog table in
        let q = Option.value alias ~default:tbl.Catalog.name in
        let right_schema = Schema.requalify q tbl.Catalog.rel.Relation.schema in
@@ -198,7 +211,7 @@ and stream ~workers ~recorder ~path catalog plan : streamed =
        in
        { schema; left_arity = Schema.arity l.Relation.schema; outer = l; feed })
   | _ ->
-    let rel = run ~workers ?recorder ~path catalog plan in
+    let rel = run ~workers ?recorder ~path ~filters catalog plan in
     {
       schema = rel.Relation.schema;
       left_arity = Schema.arity rel.Relation.schema;
@@ -222,8 +235,8 @@ and collect ~workers s =
 
 (* Hash aggregation over a streamed input; parallel chunks build partial
    tables merged via the aggregates' algebraic [merge]. *)
-and group ~workers ~recorder ~path catalog group_cols aggs input =
-  let s = stream ~workers ~recorder ~path:(path @ [ 0 ]) catalog input in
+and group ~workers ~recorder ~path ~filters catalog group_cols aggs input =
+  let s = stream ~workers ~recorder ~path:(path @ [ 0 ]) ~filters catalog input in
   (* A join feeding this aggregate never materializes; count its emitted
      rows so the recorder still sees the node's actual cardinality. *)
   let counted =

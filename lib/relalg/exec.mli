@@ -15,4 +15,17 @@ val node_label : Plan.t -> string
 (** The display label the recorder reports for a node (matches [Cost]). *)
 
 val run :
-  ?workers:int -> ?recorder:recorder -> ?path:int list -> Catalog.t -> Plan.t -> Relation.t
+  ?workers:int ->
+  ?recorder:recorder ->
+  ?path:int list ->
+  ?filters:(string * (string * Column.Bloom.t) list) list ->
+  Catalog.t ->
+  Plan.t ->
+  Relation.t
+(** [filters] supplies transferred Bloom scan filters per FROM alias
+    (predicate transfer, DESIGN.md §11): every scan running under a listed
+    alias composes its filters with σ into one block-skipping scan.  Filters
+    are {e plan} state — passed per call, never stored in the catalog — so
+    concurrent plans over a shared catalog cannot observe each other's
+    filters.  Membership keeps a superset of the rows that can join; the
+    caller must only supply sound semi-join reductions. *)

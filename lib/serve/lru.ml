@@ -1,0 +1,122 @@
+(* Bounded, thread-safe LRU keyed by string.  One mutex per cache: every
+   operation is a handful of hashtable probes and pointer swaps, so the
+   critical sections are tiny next to query execution.  Recency is an
+   intrusive doubly-linked list — [get] unlinks the node and re-links it at
+   the head, [put] beyond capacity evicts the tail. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  mu : Mutex.t;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create capacity =
+  {
+    capacity = max 1 capacity;
+    mu = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        t.hits <- t.hits + 1;
+        unlink t n;
+        push_front t n;
+        Some n.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let put t key value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        n.value <- value;
+        unlink t n;
+        push_front t n
+      | None ->
+        if Hashtbl.length t.tbl >= t.capacity then begin
+          match t.tail with
+          | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.tbl lru.key;
+            t.evictions <- t.evictions + 1
+          | None -> ()
+        end;
+        let n = { key; value; prev = None; next = None } in
+        Hashtbl.add t.tbl key n;
+        push_front t n)
+
+let remove t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl key
+      | None -> ())
+
+(* Drop every entry failing [keep] (explicit invalidation sweeps). *)
+let retain t keep =
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold (fun k n acc -> if keep k n.value then acc else n :: acc) t.tbl []
+      in
+      List.iter
+        (fun n ->
+          unlink t n;
+          Hashtbl.remove t.tbl n.key)
+        doomed;
+      List.length doomed)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.head <- None;
+      t.tail <- None)
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+type stats = { s_hits : int; s_misses : int; s_evictions : int; s_len : int }
+
+let stats t =
+  locked t (fun () ->
+      {
+        s_hits = t.hits;
+        s_misses = t.misses;
+        s_evictions = t.evictions;
+        s_len = Hashtbl.length t.tbl;
+      })

@@ -1,0 +1,29 @@
+(** Bounded, thread-safe LRU cache keyed by string (the server's plan and
+    result caches).  All operations take the cache's single mutex; critical
+    sections are O(1) hashtable probes and list relinks (plus O(n) for
+    {!retain}'s sweep). *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity]: capacity is clamped to ≥ 1. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes recency.  Hit/miss tallies feed {!stats}. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or overwrite; beyond capacity the least-recently-used entry is
+    evicted. *)
+
+val remove : 'a t -> string -> unit
+
+val retain : 'a t -> (string -> 'a -> bool) -> int
+(** Drop every entry failing the predicate (explicit invalidation); returns
+    how many were dropped. *)
+
+val clear : 'a t -> unit
+val length : 'a t -> int
+
+type stats = { s_hits : int; s_misses : int; s_evictions : int; s_len : int }
+
+val stats : 'a t -> stats

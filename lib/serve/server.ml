@@ -1,0 +1,775 @@
+(* The always-on query server (DESIGN.md §12).
+
+   One process owns the catalogs; any number of clients hold sessions
+   against them.  The concurrency architecture in one paragraph: a
+   sys-thread per connection parses requests off the socket and either
+   answers cheap control operations inline (ping / set / stats) or submits
+   the request to a bounded job queue; a fixed pool of worker domains
+   drains the queue and executes queries.  Submission past the queue's
+   high-water mark is rejected immediately with an [overloaded] response —
+   admission control by backpressure, never by unbounded buffering.
+   Catalog access follows a readers/writer discipline: plain queries take
+   the read side and run concurrently; appends and CTE-bearing queries
+   (whose execution registers temp tables in the shared catalog) take the
+   exclusive side.
+
+   Two cache tiers sit in front of execution, both keyed by the normalized
+   query text plus the session's execution-relevant config (layout,
+   workers, transfer, tech):
+
+   - the PLAN cache maps that key to a {!Runner.prepared} — optimizer
+     decision, NLJP operator with its cross-query shared prune/memo tier,
+     and memoized predicate-transfer Blooms.  Entries are validated
+     lazily: a hit whose {!Runner.prepared_version} trails the catalog's
+     {!Catalog.version} is re-prepared in place (and counted as a miss).
+   - the RESULT cache additionally keys on the catalog version, so a hit
+     is exact: same text, same config, same data.  Values are the
+     already-encoded JSON response fields (immutable, so sharing them
+     across domains is trivially safe).  Appends invalidate explicitly by
+     sweeping out entries whose version no longer matches.
+
+   Correctness of both tiers leans on the catalog version being bumped by
+   every mutation of base data ({!Catalog.version}) and left alone by the
+   temp-table lifecycle. *)
+
+open Relalg
+module Json = Obs.Json
+module P = Protocol
+
+(* ---------------------------------------------------------------- *)
+(* Readers/writer lock *)
+
+module Rwlock = struct
+  type t = {
+    mu : Mutex.t;
+    cv : Condition.t;
+    mutable readers : int;
+    mutable writer : bool;
+  }
+
+  let create () =
+    { mu = Mutex.create (); cv = Condition.create (); readers = 0; writer = false }
+
+  let read t f =
+    Mutex.lock t.mu;
+    while t.writer do
+      Condition.wait t.cv t.mu
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.mu;
+    Fun.protect f ~finally:(fun () ->
+        Mutex.lock t.mu;
+        t.readers <- t.readers - 1;
+        if t.readers = 0 then Condition.broadcast t.cv;
+        Mutex.unlock t.mu)
+
+  let write t f =
+    Mutex.lock t.mu;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.cv t.mu
+    done;
+    t.writer <- true;
+    Mutex.unlock t.mu;
+    Fun.protect f ~finally:(fun () ->
+        Mutex.lock t.mu;
+        t.writer <- false;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.mu)
+end
+
+(* ---------------------------------------------------------------- *)
+(* Configuration *)
+
+type config = {
+  listen : P.addr;
+  pool : int;  (* worker domains *)
+  queue_cap : int;  (* admission-control high-water mark *)
+  plan_cache_cap : int;
+  result_cache_cap : int;
+  max_rows : int option;  (* rows per response; None = all *)
+}
+
+let default_config =
+  {
+    listen = `Unix "/tmp/iceberg-serve.sock";
+    pool = 2;
+    queue_cap = 32;
+    plan_cache_cap = 64;
+    result_cache_cap = 128;
+    max_rows = None;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Sessions *)
+
+type session = {
+  sid : int;
+  mutable layout : [ `Row | `Column ];
+  mutable workers : int;
+  mutable transfer : bool;
+  mutable tech : Core.Optimizer.technique;
+  mutable use_plan_cache : bool;
+  mutable use_result_cache : bool;
+  s_mu : Mutex.t;  (* guards the mutable tallies below *)
+  mutable s_queries : int;
+  mutable s_errors : int;
+  mutable s_plan_hits : int;
+  mutable s_result_hits : int;
+  mutable s_ms : float;
+  mutable s_counters : (string * int) list;
+      (* cumulative per-session slice of span counters: summed over the
+         span trees of this session's queries only, so it never reads
+         another session's traffic *)
+}
+
+let layout_str = function `Row -> "row" | `Column -> "column"
+
+let tech_str (t : Core.Optimizer.technique) =
+  match (t.apriori, t.memo, t.pruning) with
+  | true, true, true -> "all"
+  | false, false, false -> "none"
+  | a, m, p ->
+    String.concat "+"
+      (List.filter_map
+         (fun (on, s) -> if on then Some s else None)
+         [ (a, "apriori"); (m, "memo"); (p, "pruning") ])
+
+let tech_of_str s =
+  match String.lowercase_ascii s with
+  | "all" -> Some Core.Optimizer.all_techniques
+  | "none" -> Some { Core.Optimizer.apriori = false; memo = false; pruning = false }
+  | s ->
+    let parts = String.split_on_char '+' s in
+    let t = ref { Core.Optimizer.apriori = false; memo = false; pruning = false } in
+    let ok =
+      List.for_all
+        (fun p ->
+          match p with
+          | "apriori" -> t := { !t with Core.Optimizer.apriori = true }; true
+          | "memo" -> t := { !t with Core.Optimizer.memo = true }; true
+          | "pruning" -> t := { !t with Core.Optimizer.pruning = true }; true
+          | _ -> false)
+        parts
+    in
+    if ok then Some !t else None
+
+let session_config_json s =
+  Json.Obj
+    [
+      ("layout", Json.Str (layout_str s.layout));
+      ("workers", Json.Num (float_of_int s.workers));
+      ("transfer", Json.Bool s.transfer);
+      ("tech", Json.Str (tech_str s.tech));
+      ("plan_cache", Json.Bool s.use_plan_cache);
+      ("result_cache", Json.Bool s.use_result_cache);
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Server state *)
+
+type plan_entry = {
+  pe_mu : Mutex.t;  (* guards the re-prepare swap, not execution *)
+  mutable pe_prepared : Core.Runner.prepared;
+}
+
+type cached_result = {
+  cr_fields : (string * Json.t) list;  (* encoded response payload *)
+  cr_version : int;
+  cr_layout : [ `Row | `Column ];
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  oc : out_channel;
+  w_mu : Mutex.t;  (* one response line at a time per connection *)
+  session : session;
+}
+
+type job = { j_conn : conn; j_id : int; j_req : P.request }
+
+type t = {
+  config : config;
+  catalogs : ([ `Row | `Column ] * Catalog.t) list;
+  plan_cache : plan_entry Lru.t;
+  result_cache : cached_result Lru.t;
+  lock : Rwlock.t;
+  queue : job Queue.t;
+  q_mu : Mutex.t;
+  q_cv : Condition.t;
+  mutable q_closed : bool;
+  sessions : (int, session) Hashtbl.t;
+  sess_mu : Mutex.t;
+  next_sid : int Atomic.t;
+  stopping : bool Atomic.t;
+  started : float;
+  mutable listen_fd : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  mutable workers : unit Domain.t list;
+}
+
+(* Server-level counters live in the shared Obs registry so they surface in
+   [--metrics] dumps and bench JSON alongside operator counters. *)
+let c_queries = Obs.Metrics.counter "serve.queries"
+let c_rejected = Obs.Metrics.counter "serve.rejected"
+let c_plan_hit = Obs.Metrics.counter "serve.plan_hit"
+let c_plan_miss = Obs.Metrics.counter "serve.plan_miss"
+let c_result_hit = Obs.Metrics.counter "serve.result_hit"
+let c_result_miss = Obs.Metrics.counter "serve.result_miss"
+let c_appends = Obs.Metrics.counter "serve.appends"
+let c_errors = Obs.Metrics.counter "serve.errors"
+let h_query_ms = Obs.Metrics.histogram "serve.query_ms"
+
+let catalog_for t layout =
+  match List.assoc_opt layout t.catalogs with
+  | Some c -> c
+  | None -> snd (List.hd t.catalogs)
+
+let fresh_session t =
+  let sid = Atomic.fetch_and_add t.next_sid 1 in
+  let layout, _ = List.hd t.catalogs in
+  let s =
+    {
+      sid;
+      layout;
+      workers = 1;
+      transfer = true;
+      tech = Core.Optimizer.all_techniques;
+      use_plan_cache = true;
+      use_result_cache = true;
+      s_mu = Mutex.create ();
+      s_queries = 0;
+      s_errors = 0;
+      s_plan_hits = 0;
+      s_result_hits = 0;
+      s_ms = 0.;
+      s_counters = [];
+    }
+  in
+  Mutex.lock t.sess_mu;
+  Hashtbl.replace t.sessions sid s;
+  Mutex.unlock t.sess_mu;
+  s
+
+let drop_session t s =
+  Mutex.lock t.sess_mu;
+  Hashtbl.remove t.sessions s.sid;
+  Mutex.unlock t.sess_mu
+
+(* ---------------------------------------------------------------- *)
+(* Responses *)
+
+let send conn json =
+  Mutex.lock conn.w_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.w_mu)
+    (fun () ->
+      output_string conn.oc (Json.to_string json);
+      output_char conn.oc '\n';
+      flush conn.oc)
+
+let send_ok conn ~id fields = send conn (P.response_ok ~id fields)
+
+let send_error conn ~id ~code msg =
+  Obs.Metrics.incr c_errors;
+  Mutex.lock conn.session.s_mu;
+  conn.session.s_errors <- conn.session.s_errors + 1;
+  Mutex.unlock conn.session.s_mu;
+  send conn (P.response_error ~id ~code msg)
+
+(* ---------------------------------------------------------------- *)
+(* Query execution *)
+
+let merge_counts acc kvs =
+  List.fold_left
+    (fun acc (k, v) ->
+      match List.assoc_opt k acc with
+      | Some v0 -> (k, v0 + v) :: List.remove_assoc k acc
+      | None -> (k, v) :: acc)
+    acc kvs
+
+let rec span_counter_slice acc (s : Obs.Span.t) =
+  let acc = merge_counts acc s.Obs.Span.counters in
+  List.fold_left span_counter_slice acc (Obs.Span.children s)
+
+let plan_key session ast =
+  Printf.sprintf "%s|layout=%s|workers=%d|transfer=%b|tech=%s"
+    (Sqlfront.Pretty.query ast) (layout_str session.layout) session.workers
+    session.transfer (tech_str session.tech)
+
+let bump_session session ~ms ~plan_hit ~result_hit slice =
+  Mutex.lock session.s_mu;
+  session.s_queries <- session.s_queries + 1;
+  session.s_ms <- session.s_ms +. ms;
+  if plan_hit then session.s_plan_hits <- session.s_plan_hits + 1;
+  if result_hit then session.s_result_hits <- session.s_result_hits + 1;
+  session.s_counters <- merge_counts session.s_counters slice;
+  Mutex.unlock session.s_mu
+
+let handle_query t conn ~id ~analyze sql =
+  let session = conn.session in
+  match Sqlfront.Parser.parse sql with
+  | exception Sqlfront.Parser.Parse_error m ->
+    send_error conn ~id ~code:"bad_request" ("parse error: " ^ m)
+  | exception Sqlfront.Lexer.Lex_error (m, off) ->
+    send_error conn ~id ~code:"bad_request"
+      (Printf.sprintf "lex error at %d: %s" off m)
+  | ast ->
+    let cat = catalog_for t session.layout in
+    (* CTE execution registers temp tables in the shared catalog, so those
+       queries take the writer side; everything else runs concurrently. *)
+    let exclusive = ast.Sqlfront.Ast.with_defs <> [] in
+    let with_lock f = if exclusive then Rwlock.write t.lock f else Rwlock.read t.lock f in
+    let outcome =
+      with_lock (fun () ->
+          let version = Catalog.version cat in
+          let key = plan_key session ast in
+          let rkey = Printf.sprintf "%s|v=%d" key version in
+          let cached =
+            if analyze || not session.use_result_cache then None
+            else Lru.find t.result_cache rkey
+          in
+          match cached with
+          | Some cr ->
+            Obs.Metrics.incr c_result_hit;
+            `Hit cr.cr_fields
+          | None ->
+            if (not analyze) && session.use_result_cache then
+              Obs.Metrics.incr c_result_miss;
+            let span = Obs.Span.enter ~session_id:session.sid "serve.query" in
+            let exec () =
+              (* Plan caching needs a stable prepared plan; analyze wants a
+                 fresh trace and CTE queries re-register temps per run, so
+                 both bypass. *)
+              if analyze || exclusive || not session.use_plan_cache then begin
+                let rel, report =
+                  Core.Runner.run ~span ~analyze ~tech:session.tech
+                    ~workers:session.workers ~transfer:session.transfer cat ast
+                in
+                (rel, Some report, `Bypass)
+              end
+              else begin
+                let prepare () =
+                  Core.Runner.prepare ~tech:session.tech
+                    ~workers:session.workers ~transfer:session.transfer cat ast
+                in
+                let entry, status =
+                  match Lru.find t.plan_cache key with
+                  | Some e ->
+                    (* Stale entries are re-prepared in place under the
+                       entry mutex; that is a logical miss. *)
+                    Mutex.lock e.pe_mu;
+                    let st =
+                      if Core.Runner.prepared_version e.pe_prepared <> version
+                      then begin
+                        e.pe_prepared <- prepare ();
+                        `Miss
+                      end
+                      else `Hit
+                    in
+                    Mutex.unlock e.pe_mu;
+                    (e, st)
+                  | None ->
+                    let e = { pe_mu = Mutex.create (); pe_prepared = prepare () } in
+                    Lru.put t.plan_cache key e;
+                    (e, `Miss)
+                in
+                (match status with
+                | `Hit -> Obs.Metrics.incr c_plan_hit
+                | `Miss -> Obs.Metrics.incr c_plan_miss);
+                let rel, report = Core.Runner.run_prepared ~span entry.pe_prepared in
+                (rel, Some report, status)
+              end
+            in
+            (match exec () with
+            | exception e ->
+              Obs.Span.finish span;
+              `Err (Printexc.to_string e)
+            | rel, _report, status ->
+              Obs.Span.finish span;
+              let ms = span.Obs.Span.dur_ms in
+              Obs.Metrics.observe h_query_ms ms;
+              let slice = span_counter_slice [] span in
+              bump_session session ~ms
+                ~plan_hit:(status = `Hit)
+                ~result_hit:false slice;
+              let fields =
+                P.relation_to_json ?max_rows:t.config.max_rows rel
+                @ [
+                    ("ms", Json.Num ms);
+                    ( "plan",
+                      Json.Str
+                        (match status with
+                        | `Hit -> "hit"
+                        | `Miss -> "miss"
+                        | `Bypass -> "bypass") );
+                  ]
+                @ (if analyze then [ ("trace", Obs.Span.to_json span) ] else [])
+              in
+              if (not analyze) && session.use_result_cache then
+                Lru.put t.result_cache rkey
+                  { cr_fields = fields; cr_version = version; cr_layout = session.layout };
+              `Fresh fields))
+    in
+    (match outcome with
+    | `Hit fields ->
+      bump_session session ~ms:0. ~plan_hit:false ~result_hit:true [];
+      Obs.Metrics.incr c_queries;
+      send_ok conn ~id
+        (fields @ [ ("cached", Json.Bool true); ("session", Json.Num (float_of_int session.sid)) ])
+    | `Fresh fields ->
+      Obs.Metrics.incr c_queries;
+      send_ok conn ~id
+        (fields @ [ ("cached", Json.Bool false); ("session", Json.Num (float_of_int session.sid)) ])
+    | `Err msg -> send_error conn ~id ~code:"error" msg)
+
+(* ---------------------------------------------------------------- *)
+(* Appends *)
+
+let handle_append t conn ~id table rows =
+  match
+    Rwlock.write t.lock (fun () ->
+        (* Decode against the first catalog's schema, then apply the append
+           to every layout's catalog so they stay in lockstep. *)
+        List.iter
+          (fun (_, cat) ->
+            let tbl = Catalog.find cat table in
+            let schema = tbl.Catalog.rel.Relation.schema in
+            let arity = Schema.arity schema in
+            let fresh =
+              List.map
+                (fun rj ->
+                  match rj with
+                  | Json.Arr cells when List.length cells = arity ->
+                    Array.of_list (List.map P.value_of_json cells)
+                  | Json.Arr _ ->
+                    failwith
+                      (Printf.sprintf "append %s: row arity mismatch (want %d)"
+                         table arity)
+                  | _ -> failwith "append: each row must be a JSON array")
+                rows
+            in
+            let old = Relation.rows tbl.Catalog.rel in
+            let rel' =
+              Relation.of_rows schema (Array.to_list old @ fresh)
+              |> Relation.to_layout (Relation.layout tbl.Catalog.rel)
+            in
+            Catalog.replace_rows cat table rel')
+          t.catalogs;
+        (* Explicit invalidation: sweep out result-cache entries keyed to a
+           superseded catalog version.  Plan-cache entries invalidate
+           lazily via the version check on their next hit. *)
+        Lru.retain t.result_cache (fun _ cr ->
+            cr.cr_version = Catalog.version (catalog_for t cr.cr_layout)))
+  with
+  | exception Not_found ->
+    send_error conn ~id ~code:"bad_request" ("append: no such table " ^ table)
+  | exception Failure m -> send_error conn ~id ~code:"bad_request" m
+  | exception e -> send_error conn ~id ~code:"error" (Printexc.to_string e)
+  | invalidated ->
+    Obs.Metrics.incr c_appends;
+    send_ok conn ~id
+      [
+        ("appended", Json.Num (float_of_int (List.length rows)));
+        ("invalidated", Json.Num (float_of_int invalidated));
+        ( "version",
+          Json.Num (float_of_int (Catalog.version (catalog_for t conn.session.layout))) );
+      ]
+
+(* ---------------------------------------------------------------- *)
+(* Control operations (handled inline on the reader thread) *)
+
+let handle_set t conn ~id kvs =
+  let session = conn.session in
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  List.iter
+    (fun (k, v) ->
+      match (k, v) with
+      | "layout", Json.Str l ->
+        (match l with
+        | "row" when List.mem_assoc `Row t.catalogs -> session.layout <- `Row
+        | "column" when List.mem_assoc `Column t.catalogs -> session.layout <- `Column
+        | "row" | "column" -> fail ("layout " ^ l ^ " not loaded on this server")
+        | _ -> fail "layout must be \"row\" or \"column\"")
+      | "workers", Json.Num n ->
+        let n = int_of_float n in
+        if n >= 1 && n <= 64 then session.workers <- n
+        else fail "workers must be in 1..64"
+      | "transfer", Json.Bool b -> session.transfer <- b
+      | "tech", Json.Str s ->
+        (match tech_of_str s with
+        | Some tech -> session.tech <- tech
+        | None -> fail ("unknown tech " ^ s))
+      | "plan_cache", Json.Bool b -> session.use_plan_cache <- b
+      | "result_cache", Json.Bool b -> session.use_result_cache <- b
+      | k, _ -> fail ("unknown or ill-typed config key " ^ k))
+    kvs;
+  match !err with
+  | Some m -> send_error conn ~id ~code:"bad_request" m
+  | None -> send_ok conn ~id [ ("config", session_config_json session) ]
+
+let lru_stats_json (s : Lru.stats) ~hits ~misses =
+  Json.Obj
+    [
+      ("hits", Json.Num (float_of_int hits));
+      ("misses", Json.Num (float_of_int misses));
+      ("evictions", Json.Num (float_of_int s.Lru.s_evictions));
+      ("entries", Json.Num (float_of_int s.Lru.s_len));
+    ]
+
+let session_stats_json s =
+  Mutex.lock s.s_mu;
+  let j =
+    Json.Obj
+      [
+        ("session", Json.Num (float_of_int s.sid));
+        ("queries", Json.Num (float_of_int s.s_queries));
+        ("errors", Json.Num (float_of_int s.s_errors));
+        ("plan_hits", Json.Num (float_of_int s.s_plan_hits));
+        ("result_hits", Json.Num (float_of_int s.s_result_hits));
+        ("ms", Json.Num s.s_ms);
+        ( "counters",
+          Json.Obj
+            (List.map
+               (fun (k, v) -> (k, Json.Num (float_of_int v)))
+               (List.sort compare s.s_counters)) );
+        ("config", session_config_json s);
+      ]
+  in
+  Mutex.unlock s.s_mu;
+  j
+
+let queue_depth t =
+  Mutex.lock t.q_mu;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.q_mu;
+  n
+
+let handle_stats t conn ~id =
+  let sessions =
+    Mutex.lock t.sess_mu;
+    let xs = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+    Mutex.unlock t.sess_mu;
+    List.sort (fun a b -> compare a.sid b.sid) xs
+  in
+  send_ok conn ~id
+    [
+      ("uptime_ms", Json.Num ((Unix.gettimeofday () -. t.started) *. 1000.));
+      ("queries", Json.Num (float_of_int (Obs.Metrics.read c_queries)));
+      ("rejected", Json.Num (float_of_int (Obs.Metrics.read c_rejected)));
+      ("queue_depth", Json.Num (float_of_int (queue_depth t)));
+      ("queue_cap", Json.Num (float_of_int t.config.queue_cap));
+      ("pool", Json.Num (float_of_int t.config.pool));
+      ( "catalog_versions",
+        Json.Obj
+          (List.map
+             (fun (l, c) -> (layout_str l, Json.Num (float_of_int (Catalog.version c))))
+             t.catalogs) );
+      ( "plan_cache",
+        lru_stats_json (Lru.stats t.plan_cache)
+          ~hits:(Obs.Metrics.read c_plan_hit)
+          ~misses:(Obs.Metrics.read c_plan_miss) );
+      ( "result_cache",
+        lru_stats_json (Lru.stats t.result_cache)
+          ~hits:(Obs.Metrics.read c_result_hit)
+          ~misses:(Obs.Metrics.read c_result_miss) );
+      ("sessions", Json.Arr (List.map session_stats_json sessions));
+      ("session", Json.Num (float_of_int conn.session.sid));
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Job queue and worker pool *)
+
+let submit t job =
+  Mutex.lock t.q_mu;
+  let r =
+    if t.q_closed then `Closed
+    else if Queue.length t.queue >= t.config.queue_cap then `Full
+    else begin
+      Queue.add job t.queue;
+      Condition.signal t.q_cv;
+      `Ok
+    end
+  in
+  Mutex.unlock t.q_mu;
+  r
+
+let take t =
+  Mutex.lock t.q_mu;
+  let rec loop () =
+    if not (Queue.is_empty t.queue) then Some (Queue.take t.queue)
+    else if t.q_closed then None
+    else begin
+      Condition.wait t.q_cv t.q_mu;
+      loop ()
+    end
+  in
+  let r = loop () in
+  Mutex.unlock t.q_mu;
+  r
+
+let run_job t { j_conn; j_id; j_req } =
+  match j_req with
+  | P.Query { sql; analyze } -> handle_query t j_conn ~id:j_id ~analyze sql
+  | P.Append { table; rows } -> handle_append t j_conn ~id:j_id table rows
+  | P.Ping | P.Set _ | P.Stats | P.Shutdown ->
+    (* control ops never reach the queue *)
+    send_error j_conn ~id:j_id ~code:"error" "internal: control op queued"
+
+let rec worker_loop t =
+  match take t with
+  | None -> ()
+  | Some job ->
+    (try run_job t job
+     with e ->
+       (try send_error job.j_conn ~id:job.j_id ~code:"error" (Printexc.to_string e)
+        with _ -> ()));
+    worker_loop t
+
+(* ---------------------------------------------------------------- *)
+(* Lifecycle *)
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Closing a listening fd does not wake a thread blocked in accept(2),
+       so poke the listener with a throwaway connection; the accept loop
+       sees [stopping] and exits, closing the fd itself. *)
+    (try
+       let domain, sockaddr =
+         match t.config.listen with
+         | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+         | `Tcp (_, port) ->
+           ( Unix.PF_INET,
+             Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port) )
+       in
+       let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+       Unix.connect fd sockaddr;
+       Unix.close fd
+     with _ -> ());
+    Mutex.lock t.q_mu;
+    t.q_closed <- true;
+    Condition.broadcast t.q_cv;
+    Mutex.unlock t.q_mu
+  end
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let reader_loop t conn =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let finished = ref false in
+  while not !finished do
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> finished := true
+    | line when String.trim line = "" -> ()
+    | line -> (
+      match P.parse_request (Json.of_string line) with
+      | exception Json.Parse_error m ->
+        send_error conn ~id:0 ~code:"bad_request" ("invalid json: " ^ m)
+      | Error m -> send_error conn ~id:0 ~code:"bad_request" m
+      | Ok { P.rq_id = id; rq } -> (
+        match rq with
+        | P.Ping -> send_ok conn ~id [ ("pong", Json.Bool true) ]
+        | P.Set kvs -> handle_set t conn ~id kvs
+        | P.Stats -> handle_stats t conn ~id
+        | P.Shutdown ->
+          send_ok conn ~id [ ("stopping", Json.Bool true) ];
+          stop t;
+          finished := true
+        | P.Query _ | P.Append _ -> (
+          match submit t { j_conn = conn; j_id = id; j_req = rq } with
+          | `Ok -> ()
+          | `Full ->
+            Obs.Metrics.incr c_rejected;
+            send_error conn ~id ~code:"overloaded"
+              (Printf.sprintf "queue full (%d jobs queued); retry later"
+                 t.config.queue_cap)
+          | `Closed ->
+            send_error conn ~id ~code:"error" "server shutting down")))
+  done;
+  drop_session t conn.session;
+  (try close_out_noerr conn.oc with _ -> ());
+  try Unix.close conn.fd with _ -> ()
+
+let accept_loop t =
+  let finished = ref false in
+  while not !finished do
+    match Unix.accept t.listen_fd with
+    | exception _ -> finished := true
+    | fd, _ ->
+      if Atomic.get t.stopping then begin
+        (try Unix.close fd with _ -> ());
+        finished := true
+      end
+      else begin
+        let session = fresh_session t in
+        let conn =
+          { fd; oc = Unix.out_channel_of_descr fd; w_mu = Mutex.create (); session }
+        in
+        send conn
+          (Json.Obj
+             [
+               ("hello", Json.Str "iceberg");
+               ("session", Json.Num (float_of_int session.sid));
+             ]);
+        ignore (Thread.create (fun () -> reader_loop t conn) ())
+      end
+  done;
+  (try Unix.close t.listen_fd with _ -> ());
+  match t.config.listen with
+  | `Unix path -> ( try Unix.unlink path with _ -> ())
+  | `Tcp _ -> ()
+
+let bind_listener addr =
+  match addr with
+  | `Unix path ->
+    (try Unix.unlink path with _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | `Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let ip =
+      try Unix.inet_addr_of_string host
+      with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    Unix.bind fd (Unix.ADDR_INET (ip, port));
+    Unix.listen fd 64;
+    fd
+
+let start ?(config = default_config) catalogs =
+  if catalogs = [] then invalid_arg "Server.start: no catalogs";
+  let t =
+    {
+      config;
+      catalogs;
+      plan_cache = Lru.create config.plan_cache_cap;
+      result_cache = Lru.create config.result_cache_cap;
+      lock = Rwlock.create ();
+      queue = Queue.create ();
+      q_mu = Mutex.create ();
+      q_cv = Condition.create ();
+      q_closed = false;
+      sessions = Hashtbl.create 16;
+      sess_mu = Mutex.create ();
+      next_sid = Atomic.make 1;
+      stopping = Atomic.make false;
+      started = Unix.gettimeofday ();
+      listen_fd = Unix.stdin;  (* replaced below *)
+      accept_thread = None;
+      workers = [];
+    }
+  in
+  t.listen_fd <- bind_listener config.listen;
+  t.workers <-
+    List.init (max 1 config.pool) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let shutdown t =
+  stop t;
+  wait t

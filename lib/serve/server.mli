@@ -1,0 +1,49 @@
+(** The always-on multi-session query server (DESIGN.md §12).
+
+    One process owns the catalogs; clients hold sessions over a
+    line-delimited JSON protocol ({!Protocol}).  A sys-thread per
+    connection parses requests and answers control operations inline;
+    queries and appends go through a bounded job queue drained by a fixed
+    pool of worker domains, with submission past the queue's high-water
+    mark rejected immediately ([overloaded] — admission control by
+    backpressure).  Catalog access is readers/writer: plain queries run
+    concurrently, appends and CTE-bearing queries run exclusively.
+
+    Two shared cache tiers front execution, both keyed by normalized query
+    text plus the session's execution config (layout, workers, transfer,
+    tech): a plan cache of {!Core.Runner.prepared} statements (lazily
+    re-prepared when {!Relalg.Catalog.version} has moved) and a result
+    cache additionally keyed by catalog version, swept explicitly on
+    append. *)
+
+type config = {
+  listen : Protocol.addr;
+  pool : int;  (** worker domains executing queued jobs *)
+  queue_cap : int;  (** admission-control high-water mark *)
+  plan_cache_cap : int;
+  result_cache_cap : int;
+  max_rows : int option;  (** rows per query response; [None] = all *)
+}
+
+val default_config : config
+
+type t
+
+(** [start ~config catalogs] binds the listener, spawns the worker pool
+    and the accept thread, and returns immediately.  [catalogs] maps each
+    loadable layout to its catalog (sessions switch with
+    [set layout=...]); the first entry is the session default.  The
+    catalogs become server-owned: mutate them only through the protocol's
+    [append] once serving has started. *)
+val start : ?config:config -> ([ `Row | `Column ] * Relalg.Catalog.t) list -> t
+
+(** Initiate shutdown: stop accepting, close the job queue (queued jobs
+    still drain), unblock the accept thread.  Idempotent; also triggered
+    by a client's [shutdown] request. *)
+val stop : t -> unit
+
+(** Block until the accept thread and every worker domain have exited. *)
+val wait : t -> unit
+
+(** [stop] followed by [wait]. *)
+val shutdown : t -> unit

@@ -33,4 +33,5 @@ let () =
       ("workload", Test_workload.suite);
       ("obs", Test_obs.suite);
       ("analyze", Test_analyze.suite);
-      ("transfer", Test_transfer.suite) ]
+      ("transfer", Test_transfer.suite);
+      ("serve", Test_serve.suite) ]

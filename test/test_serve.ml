@@ -1,0 +1,437 @@
+(* The query server: protocol plumbing, the LRU tiers, and end-to-end
+   socket tests — concurrent-session differential fuzzing against one-shot
+   execution, plan-cache hit/miss accounting, result-cache invalidation on
+   append, and admission-control rejection under a full queue. *)
+open Relalg
+open Helpers
+module Json = Obs.Json
+module P = Serve.Protocol
+
+(* ---- lru ---- *)
+
+let test_lru_basic () =
+  let c = Serve.Lru.create 2 in
+  Serve.Lru.put c "a" 1;
+  Serve.Lru.put c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Serve.Lru.find c "a");
+  (* a is now most recent; inserting c evicts b *)
+  Serve.Lru.put c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Serve.Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Serve.Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Serve.Lru.find c "c");
+  let s = Serve.Lru.stats c in
+  Alcotest.(check int) "evictions" 1 s.Serve.Lru.s_evictions;
+  Alcotest.(check int) "len" 2 s.Serve.Lru.s_len
+
+let test_lru_retain () =
+  let c = Serve.Lru.create 8 in
+  List.iter (fun i -> Serve.Lru.put c (string_of_int i) i) [ 1; 2; 3; 4; 5 ];
+  let dropped = Serve.Lru.retain c (fun _ v -> v mod 2 = 0) in
+  Alcotest.(check int) "dropped odd" 3 dropped;
+  Alcotest.(check int) "left" 2 (Serve.Lru.length c);
+  Alcotest.(check (option int)) "even kept" (Some 4) (Serve.Lru.find c "4");
+  Alcotest.(check (option int)) "odd gone" None (Serve.Lru.find c "3")
+
+(* ---- protocol ---- *)
+
+let test_addr_strings () =
+  Alcotest.(check string) "unix round-trip" "unix:/tmp/x.sock"
+    (P.addr_to_string (P.addr_of_string "unix:/tmp/x.sock"));
+  Alcotest.(check string) "bare path is unix" "unix:/tmp/y.sock"
+    (P.addr_to_string (P.addr_of_string "/tmp/y.sock"));
+  Alcotest.(check string) "tcp" "tcp:127.0.0.1:7070"
+    (P.addr_to_string (P.addr_of_string "tcp:127.0.0.1:7070"));
+  Alcotest.(check string) "host:port shorthand" "tcp:localhost:7070"
+    (P.addr_to_string (P.addr_of_string "localhost:7070"))
+
+let test_value_json_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "round-trip" true
+        (Value.equal_total v (P.value_of_json (P.value_to_json v))))
+    [ Value.Null; Value.Bool true; Value.Int 42; Value.Int (-7);
+      Value.Float 2.5; Value.Str "x y" ];
+  (* integral floats come back as ints — the documented coercion *)
+  Alcotest.(check bool) "2.0 -> Int 2" true
+    (P.value_of_json (P.value_to_json (Value.Float 2.)) = Value.Int 2)
+
+let test_parse_request () =
+  let ok s =
+    match P.parse_request (Json.of_string s) with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "parse_request %s: %s" s m
+  in
+  let e = ok {|{"id":3,"op":"query","sql":"SELECT 1"}|} in
+  Alcotest.(check int) "id" 3 e.P.rq_id;
+  (match e.P.rq with
+   | P.Query { sql; analyze } ->
+     Alcotest.(check string) "sql" "SELECT 1" sql;
+     Alcotest.(check bool) "analyze defaults off" false analyze
+   | _ -> Alcotest.fail "expected Query");
+  (match (ok {|{"id":1,"op":"append","table":"t","rows":[[1,"a"]]}|}).P.rq with
+   | P.Append { table; rows } ->
+     Alcotest.(check string) "table" "t" table;
+     Alcotest.(check int) "rows" 1 (List.length rows)
+   | _ -> Alcotest.fail "expected Append");
+  (match P.parse_request (Json.of_string {|{"id":9,"op":"nope"}|}) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown op must be rejected")
+
+(* ---- end-to-end fixtures ---- *)
+
+let sock_counter = ref 0
+
+let with_server ?(pool = 2) ?(queue_cap = 32) catalogs f =
+  incr sock_counter;
+  let path =
+    Printf.sprintf "/tmp/si-test-%d-%d.sock" (Unix.getpid ()) !sock_counter
+  in
+  let config =
+    {
+      Serve.Server.listen = `Unix path;
+      pool;
+      queue_cap;
+      plan_cache_cap = 32;
+      result_cache_cap = 64;
+      max_rows = None;
+    }
+  in
+  let srv = Serve.Server.start ~config catalogs in
+  Fun.protect
+    ~finally:(fun () -> Serve.Server.shutdown srv)
+    (fun () -> f (`Unix path : P.addr))
+
+(* The wire collapses integral floats to ints (JSON numbers carry no type
+   tag), so normalize both sides before bag comparison. *)
+let norm_rel rel =
+  Relation.map_rows rel.Relation.schema
+    (Array.map (fun v ->
+         match v with
+         | Value.Float f when Float.is_integer f && Float.abs f < 1e15 ->
+           Value.Int (int_of_float f)
+         | v -> v))
+    rel
+
+let check_wire_bag msg expected response =
+  let got = Serve.Client.relation_of_response response in
+  if not (Core.Runner.same_result (norm_rel expected) (norm_rel got)) then
+    Alcotest.failf "%s: server result differs\nexpected:\n%sgot:\n%s" msg
+      (Relation.to_string ~max_rows:30 (Relation.sorted expected))
+      (Relation.to_string ~max_rows:30 (Relation.sorted got))
+
+let basket_sql =
+  "SELECT i1.item, COUNT(*) FROM basket i1, basket i2 WHERE i1.bid = i2.bid \
+   GROUP BY i1.item HAVING COUNT(*) >= 2"
+
+(* ---- basic end-to-end ---- *)
+
+let test_serve_basic () =
+  let catalog = basket_catalog () in
+  let expected, _ =
+    Core.Runner.run (basket_catalog ()) (Sqlfront.Parser.parse basket_sql)
+  in
+  ignore catalog;
+  with_server [ (`Row, basket_catalog ()) ] (fun addr ->
+      let c = Serve.Client.connect addr in
+      Serve.Client.ping c;
+      let r1 = Serve.Client.query c basket_sql in
+      check_wire_bag "fresh" expected r1;
+      Alcotest.(check bool) "first is uncached" false (Serve.Client.cached r1);
+      let r2 = Serve.Client.query c basket_sql in
+      check_wire_bag "repeat" expected r2;
+      Alcotest.(check bool) "repeat is cached" true (Serve.Client.cached r2);
+      (* bad SQL comes back as bad_request, not a dead connection *)
+      (try
+         ignore (Serve.Client.query c "SELECT FROM WHERE");
+         Alcotest.fail "expected parse error"
+       with Serve.Client.Server_error { code; _ } ->
+         Alcotest.(check string) "parse error code" "bad_request" code);
+      (* the session still works after an error *)
+      let r3 = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "still cached" true (Serve.Client.cached r3);
+      Serve.Client.close c)
+
+let test_serve_set_config () =
+  with_server [ (`Row, basket_catalog ()) ] (fun addr ->
+      let c = Serve.Client.connect addr in
+      ignore
+        (Serve.Client.set c
+           [ ("workers", Json.Num 2.); ("transfer", Json.Bool false);
+             ("tech", Json.Str "memo+pruning") ]);
+      (try
+         ignore (Serve.Client.set c [ ("layout", Json.Str "column") ]);
+         Alcotest.fail "column layout is not loaded on this server"
+       with Serve.Client.Server_error { code; _ } ->
+         Alcotest.(check string) "unloaded layout" "bad_request" code);
+      (try
+         ignore (Serve.Client.set c [ ("nonsense", Json.Num 1.) ]);
+         Alcotest.fail "unknown key must be rejected"
+       with Serve.Client.Server_error { code; _ } ->
+         Alcotest.(check string) "unknown key" "bad_request" code);
+      let r = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "still executes after set" true
+        (Serve.Client.rows_n r > 0);
+      Serve.Client.close c)
+
+(* ---- plan-cache accounting ---- *)
+
+let session_field stats sid name =
+  match Json.member "sessions" stats with
+  | Some (Json.Arr sessions) ->
+    let own =
+      List.find_opt
+        (fun s -> Json.member "session" s = Some (Json.Num (float_of_int sid)))
+        sessions
+    in
+    (match own with
+     | Some s ->
+       (match Json.member name s with
+        | Some (Json.Num x) -> int_of_float x
+        | _ -> Alcotest.failf "session field %s missing" name)
+     | None -> Alcotest.failf "session %d not in stats" sid)
+  | _ -> Alcotest.fail "stats has no sessions array"
+
+let plan_of r =
+  match Json.member "plan" r with Some (Json.Str s) -> s | _ -> "?"
+
+let test_plan_cache_accounting () =
+  with_server [ (`Row, basket_catalog ()) ] (fun addr ->
+      let c = Serve.Client.connect addr in
+      (* result cache off: every run goes to the planner or the plan cache *)
+      ignore (Serve.Client.set c [ ("result_cache", Json.Bool false) ]);
+      let r1 = Serve.Client.query c basket_sql in
+      let r2 = Serve.Client.query c basket_sql in
+      let r3 = Serve.Client.query c basket_sql in
+      Alcotest.(check string) "first plans" "miss" (plan_of r1);
+      Alcotest.(check string) "second reuses" "hit" (plan_of r2);
+      Alcotest.(check string) "third reuses" "hit" (plan_of r3);
+      Alcotest.(check bool) "none cached" true
+        (List.for_all (fun r -> not (Serve.Client.cached r)) [ r1; r2; r3 ]);
+      let stats = Serve.Client.stats c in
+      let sid = Serve.Client.session c in
+      Alcotest.(check int) "session plan hits" 2
+        (session_field stats sid "plan_hits");
+      Alcotest.(check int) "session queries" 3
+        (session_field stats sid "queries");
+      (* plan cache off: execution still works, reported as bypass *)
+      ignore (Serve.Client.set c [ ("plan_cache", Json.Bool false) ]);
+      let r4 = Serve.Client.query c basket_sql in
+      Alcotest.(check string) "bypass" "bypass" (plan_of r4);
+      (* a config change is a different plan key: back on, it re-plans
+         rather than reusing a plan prepared for other settings *)
+      ignore
+        (Serve.Client.set c
+           [ ("plan_cache", Json.Bool true); ("workers", Json.Num 2.) ]);
+      let r5 = Serve.Client.query c basket_sql in
+      Alcotest.(check string) "config change misses" "miss" (plan_of r5);
+      Serve.Client.close c)
+
+(* ---- result-cache invalidation on append ---- *)
+
+let test_append_invalidation () =
+  with_server [ (`Row, basket_catalog ()); (`Column, basket_catalog ()) ]
+    (fun addr ->
+      let c = Serve.Client.connect addr in
+      ignore (Serve.Client.query c basket_sql);
+      let r2 = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "warm before append" true (Serve.Client.cached r2);
+      (* two more rows for bid 1: bid-1 items now pair with 4 rows *)
+      let resp =
+        Serve.Client.append c "basket"
+          [ Json.Arr [ Json.Num 1.; Json.Str "z" ];
+            Json.Arr [ Json.Num 1.; Json.Str "w" ] ]
+      in
+      (match Json.member "invalidated" resp with
+       | Some (Json.Num n) ->
+         Alcotest.(check bool) "append invalidated the cached result" true
+           (int_of_float n >= 1)
+       | _ -> Alcotest.fail "append response lacks invalidated");
+      let r3 = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "append evicts" false (Serve.Client.cached r3);
+      (* the post-append result matches one-shot execution over the
+         appended data *)
+      let catalog = basket_catalog () in
+      let tbl = Catalog.find catalog "basket" in
+      let rows =
+        Array.to_list (Relation.rows tbl.Catalog.rel)
+        @ [ row [ iv 1; sv "z" ]; row [ iv 1; sv "w" ] ]
+      in
+      Catalog.replace_rows catalog "basket"
+        (Relation.of_rows tbl.Catalog.rel.Relation.schema rows);
+      let expected, _ =
+        Core.Runner.run catalog (Sqlfront.Parser.parse basket_sql)
+      in
+      check_wire_bag "post-append" expected r3;
+      (* both layouts saw the append *)
+      ignore (Serve.Client.set c [ ("layout", Json.Str "column") ]);
+      let r4 = Serve.Client.query c basket_sql in
+      check_wire_bag "column layout post-append" expected r4;
+      Serve.Client.close c)
+
+let test_catalog_version () =
+  let catalog = basket_catalog () in
+  let v0 = Catalog.version catalog in
+  Catalog.add_temp catalog "tmp_x" (rel [ "a" ] [ [ iv 1 ] ]);
+  Catalog.remove_table catalog "tmp_x";
+  Alcotest.(check int) "temp lifecycle is version-neutral" v0
+    (Catalog.version catalog);
+  let tbl = Catalog.find catalog "basket" in
+  Catalog.replace_rows catalog "basket" tbl.Catalog.rel;
+  Alcotest.(check bool) "replace_rows bumps" true (Catalog.version catalog > v0)
+
+(* ---- admission control ---- *)
+
+let test_admission_rejection () =
+  let catalog = Catalog.create () in
+  ignore (Workload.Baseball.register catalog ~rows:4000 ~seed:2017);
+  let sql = List.assoc "Q1" Workload.Queries.figure1 in
+  with_server ~pool:1 ~queue_cap:1 [ (`Row, catalog) ] (fun addr ->
+      (* pipeline a burst past the high-water mark on a raw connection: a
+         1-deep queue with 1 worker must reject most of an 8-deep burst *)
+      let path = match addr with `Unix p -> p | _ -> assert false in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      ignore (input_line ic) (* hello *);
+      let n = 8 in
+      for i = 1 to n do
+        output_string oc
+          (Json.to_string
+             (P.encode_request { P.rq_id = i; rq = P.Query { sql; analyze = false } }));
+        output_char oc '\n'
+      done;
+      flush oc;
+      let ok = ref 0 and overloaded = ref 0 and other = ref 0 in
+      for _ = 1 to n do
+        let j = Json.of_string (input_line ic) in
+        match (Json.member "ok" j, Json.member "code" j) with
+        | Some (Json.Bool true), _ -> incr ok
+        | _, Some (Json.Str "overloaded") -> incr overloaded
+        | _ -> incr other
+      done;
+      Alcotest.(check int) "no unexpected errors" 0 !other;
+      Alcotest.(check bool) "some executed" true (!ok >= 1);
+      Alcotest.(check bool) "backpressure engaged" true (!overloaded >= 1);
+      Alcotest.(check int) "every request answered" n (!ok + !overloaded);
+      close_out_noerr oc;
+      (* rejection did not poison the server: a fresh client still works *)
+      let c = Serve.Client.connect addr in
+      let r = Serve.Client.query c sql in
+      Alcotest.(check bool) "healthy after burst" true (Serve.Client.rows_n r >= 0);
+      Serve.Client.close c)
+
+(* ---- concurrent-session differential fuzz ---- *)
+
+let test_concurrent_fuzz () =
+  (* Deterministic random points, shared by the server catalogs and the
+     private one-shot baseline catalog. *)
+  let rng = Workload.Prng.create 515 in
+  let points =
+    List.init 60 (fun _ ->
+        (Workload.Prng.int rng 12, Workload.Prng.int rng 12))
+  in
+  let queries =
+    List.init 10 (fun _ -> Test_fuzz.object_query rng)
+  in
+  let expected =
+    let catalog = objects_catalog points in
+    List.map
+      (fun sql -> Core.Runner.run_baseline catalog (Sqlfront.Parser.parse sql))
+      queries
+  in
+  let col_catalog = objects_catalog points in
+  Catalog.set_all_layouts col_catalog `Column;
+  with_server ~pool:3
+    [ (`Row, objects_catalog points); (`Column, col_catalog) ]
+    (fun addr ->
+      (* 4 sessions x (layout x technique x transfer), all running the same
+         query list concurrently, twice — the second round flows through
+         the result cache, so cached results are differentially checked
+         against one-shot execution too. *)
+      let configs =
+        [ [ ("layout", Json.Str "row"); ("tech", Json.Str "all") ];
+          [ ("layout", Json.Str "column"); ("tech", Json.Str "all");
+            ("transfer", Json.Bool false) ];
+          [ ("layout", Json.Str "row"); ("tech", Json.Str "memo+pruning");
+            ("workers", Json.Num 2.) ];
+          [ ("layout", Json.Str "column"); ("tech", Json.Str "none") ] ]
+      in
+      let failures = Array.make (List.length configs) None in
+      let threads =
+        List.mapi
+          (fun i cfg ->
+            Thread.create
+              (fun () ->
+                try
+                  let c = Serve.Client.connect addr in
+                  ignore (Serve.Client.set c cfg);
+                  for _round = 1 to 2 do
+                    List.iteri
+                      (fun j sql ->
+                        let r = Serve.Client.query c sql in
+                        let got = Serve.Client.relation_of_response r in
+                        let want = List.nth expected j in
+                        if
+                          not
+                            (Core.Runner.same_result (norm_rel want)
+                               (norm_rel got))
+                        then
+                          failwith
+                            (Printf.sprintf "session %d query %d diverged: %s"
+                               i j sql))
+                      queries
+                  done;
+                  Serve.Client.close c
+                with e -> failures.(i) <- Some (Printexc.to_string e))
+              ())
+          configs
+      in
+      List.iter Thread.join threads;
+      Array.iter
+        (function
+          | Some m -> Alcotest.failf "concurrent fuzz: %s" m
+          | None -> ())
+        failures)
+
+(* ---- prepared statements (the plan cache's substrate) ---- *)
+
+let test_prepared_statements () =
+  let catalog = basket_catalog () in
+  let q = Sqlfront.Parser.parse basket_sql in
+  let expected, _ = Core.Runner.run catalog q in
+  let p = Core.Runner.prepare catalog q in
+  Alcotest.(check int) "prepared at current version"
+    (Catalog.version catalog)
+    (Core.Runner.prepared_version p);
+  (* repeated executions reuse the decision and stay bag-equal *)
+  for i = 1 to 3 do
+    let r, _ = Core.Runner.run_prepared p in
+    if not (Core.Runner.same_result expected r) then
+      Alcotest.failf "run_prepared #%d diverged" i
+  done;
+  (* NLJP plans carry a shared cache tier that persists across runs *)
+  (match Core.Runner.prepared_kind p with
+   | `Nljp ->
+     (match Core.Runner.prepared_shared_rows p with
+      | Some (prune, memo) ->
+        Alcotest.(check bool) "shared tier warmed" true (prune + memo > 0)
+      | None -> Alcotest.fail "NLJP plan without a shared tier")
+   | `Rewrite | `Direct -> ())
+
+let suite =
+  [
+    Alcotest.test_case "lru basic" `Quick test_lru_basic;
+    Alcotest.test_case "lru retain" `Quick test_lru_retain;
+    Alcotest.test_case "addr strings" `Quick test_addr_strings;
+    Alcotest.test_case "value json round-trip" `Quick test_value_json_roundtrip;
+    Alcotest.test_case "parse request" `Quick test_parse_request;
+    Alcotest.test_case "serve basic" `Quick test_serve_basic;
+    Alcotest.test_case "serve set config" `Quick test_serve_set_config;
+    Alcotest.test_case "plan cache accounting" `Quick test_plan_cache_accounting;
+    Alcotest.test_case "append invalidation" `Quick test_append_invalidation;
+    Alcotest.test_case "catalog version" `Quick test_catalog_version;
+    Alcotest.test_case "admission rejection" `Quick test_admission_rejection;
+    Alcotest.test_case "concurrent differential fuzz" `Quick test_concurrent_fuzz;
+    Alcotest.test_case "prepared statements" `Quick test_prepared_statements;
+  ]
