@@ -84,10 +84,37 @@ type json_row = {
   j_session : int option;
       (* server session behind this row's counters, when the row is one
          session's slice rather than a whole-server aggregate *)
+  j_max_rss_mb : float;  (* process peak RSS when the row was recorded *)
 }
 
 let json_path = ref None
 let json_rows : json_row list ref = ref []
+
+(* Peak resident set of this process in MB, from /proc/self/status (VmHWM),
+   with the GC's top-of-heap as a portable fallback.  Process-wide and
+   monotonic, so per-row values record "the peak so far", not a per-bench
+   footprint — informational in `bench diff`, never a gate. *)
+let max_rss_mb () =
+  let from_proc () =
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec scan () =
+          let line = input_line ic in
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+            Scanf.sscanf
+              (String.sub line 6 (String.length line - 6))
+              " %d kB"
+              (fun kb -> float_of_int kb /. 1024.)
+          else scan ()
+        in
+        scan ())
+  in
+  try from_proc ()
+  with _ ->
+    let st = Gc.quick_stat () in
+    float_of_int (st.Gc.top_heap_words * (Sys.word_size / 8)) /. (1024. *. 1024.)
 
 (* Short commit identifier stamped into every JSON artifact, so a results
    file can always be traced back to the tree that produced it. *)
@@ -122,6 +149,7 @@ let record ?(workers = 1) ?(counters = []) ?ms_scaled ?load_ms ?qps ?p50_ms
       j_p50_ms = p50_ms;
       j_p95_ms = p95_ms;
       j_session = session;
+      j_max_rss_mb = max_rss_mb ();
     }
     :: !json_rows
 
@@ -159,7 +187,8 @@ let row_to_json r : Obs.Json.t =
     @ (match r.j_p95_ms with
        | Some p -> [ ("p95_ms", Obs.Json.Num p) ]
        | None -> [])
-    @ [ ("counters", counters_json ?session:r.j_session r.j_counters) ])
+    @ [ ("max_rss_mb", Obs.Json.Num r.j_max_rss_mb);
+        ("counters", counters_json ?session:r.j_session r.j_counters) ])
 
 (* Through the lib/obs serializer — the old Printf "%S" writer produced
    OCaml string escapes, which are not valid JSON for control characters. *)
@@ -1034,12 +1063,169 @@ let vec () =
        (%.1fx) — investigate\n%!"
       (t_scan /. t_vec)
 
+(* ---- compressed columnar storage: the .sic disk tier ---- *)
+
+(* --cache-mb caps the block cache for the capped leg of the sic target
+   (default: about a quarter of the decoded dataset, so eviction pressure
+   is guaranteed). *)
+let cache_mb_opt : int option ref = ref None
+
+(* Synthetic table tuned so every codec engages: [id] clustered (narrow
+   FOR deltas), [grp]/[score] small ranges (bit-packing), [tag] in long
+   runs (RLE over dict codes), [x] raw floats, plus a sprinkle of NULLs. *)
+let sic_table n =
+  let tags = [| "alpha"; "beta"; "gamma"; "delta" |] in
+  let schema = Schema.of_names [ "id"; "grp"; "tag"; "x"; "score" ] in
+  let data =
+    Array.init n (fun i ->
+        [| Value.Int i;
+           (if i mod 101 = 0 then Value.Null else Value.Int (i mod 97));
+           Value.Str tags.((i / 1000) mod 4);
+           Value.Float (float_of_int (i * 7 mod 1000) /. 10.);
+           Value.Int (i * 13 mod 1000) |])
+  in
+  Relation.make schema data
+
+let sic_queries n =
+  let lo = n * 9 / 10 in
+  let hi = lo + (Column.Cstore.default_block_size / 2) in
+  [ ( "filter_int",
+      Printf.sprintf "SELECT id, score FROM ev WHERE id >= %d AND id < %d" lo hi );
+    ("filter_str", "SELECT COUNT(*) FROM ev WHERE tag = 'beta' AND id < 2000");
+    ( "agg_global",
+      "SELECT COUNT(*), SUM(score), MIN(score), MAX(score), AVG(x) FROM ev" ) ]
+
+let sic_bench () =
+  Printf.printf
+    "=== Compressed columnar storage: .sic cold start, compression ratio, \
+     capped-cache disk tier ===\n\n";
+  let n = max 200_000 !rows in
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "si-bench-%d.%s" (Unix.getpid ()) name)
+  in
+  let csv_path = tmp "csv" and sic_path = tmp "sic" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ csv_path; sic_path ];
+      Column.Blockcache.set_capacity_mb Column.Blockcache.default_capacity_mb)
+    (fun () ->
+      let row_rel = sic_table n in
+      Csv.save csv_path row_rel;
+      (* Cold start: parse + layout + zone maps from CSV vs one decode pass
+         over the .sic blocks (dictionaries, zone maps and Blooms ride in
+         the footer). *)
+      let col_rel, csv_load_t = time (fun () -> Csv.load ~layout:`Column csv_path) in
+      Sic.save sic_path (Relation.to_layout `Column col_rel);
+      let resident, sic_load_t, sic_load_c =
+        time_obs (fun () -> Sic.load ~mode:`Resident sic_path)
+      in
+      (* The CLI and server open .sic paged: footer only, blocks on demand.
+         That open is what replaces the CSV parse on the serving path. *)
+      let _, sic_open_t = time (fun () -> Sic.load ~mode:`Paged sic_path) in
+      check_equal "sic/resident" col_rel resident;
+      let csv_bytes = (Unix.stat csv_path).Unix.st_size in
+      let sic_bytes = (Unix.stat sic_path).Unix.st_size in
+      let decoded_bytes = Relation.approx_bytes resident in
+      Printf.printf "rows=%d\n" n;
+      Printf.printf
+        "cold start: CSV parse %8.3fs, .sic paged open %8.3fs (%.0fx), .sic \
+         full decode %8.3fs (%.1fx)\n"
+        csv_load_t sic_open_t
+        (csv_load_t /. Float.max 1e-6 sic_open_t)
+        sic_load_t (csv_load_t /. sic_load_t);
+      Printf.printf
+        "size: csv %d kB, .sic %d kB, decoded %d kB  (%.2fx vs csv, %.2fx vs \
+         decoded)\n\n"
+        (csv_bytes / 1024) (sic_bytes / 1024) (decoded_bytes / 1024)
+        (float_of_int csv_bytes /. float_of_int sic_bytes)
+        (float_of_int decoded_bytes /. float_of_int sic_bytes);
+      record ~technique:"csv" "sic_cold_start" (csv_load_t *. 1000.)
+        ~load_ms:(csv_load_t *. 1000.);
+      record ~technique:"sic_paged" "sic_cold_start" (sic_open_t *. 1000.)
+        ~load_ms:(sic_open_t *. 1000.);
+      record ~technique:"sic_resident" ~counters:sic_load_c "sic_cold_start"
+        (sic_load_t *. 1000.) ~load_ms:(sic_load_t *. 1000.);
+      record ~technique:"sic"
+        ~counters:
+          [ ("csv_bytes", csv_bytes); ("sic_bytes", sic_bytes);
+            ("decoded_bytes", decoded_bytes) ]
+        "sic_compression" 0.;
+      if csv_load_t < 5. *. sic_open_t then
+        Printf.printf "!! .sic cold start below 5x faster than CSV — investigate\n%!";
+      (* Paged execution, uncapped vs a cache capped well below the decoded
+         dataset: same answers, bounded resident memory, evictions > 0. *)
+      let counter_of c name = Option.value (List.assoc_opt name c) ~default:0 in
+      let mk_catalog rel =
+        let catalog = Catalog.create () in
+        Catalog.add_table catalog "ev" rel;
+        catalog
+      in
+      let resident_cat = mk_catalog resident in
+      let queries = List.map (fun (qn, s) -> (qn, Sqlfront.Parser.parse s)) (sic_queries n) in
+      let run_leg leg cap_mb =
+        Column.Blockcache.set_capacity_mb cap_mb;
+        let paged = Sic.load ~mode:`Paged sic_path in
+        let catalog = mk_catalog paged in
+        List.map
+          (fun (qn, q) ->
+            let (r, _), t, c = time_obs (fun () -> run_smart catalog q) in
+            record ~technique:leg ~counters:c ("sic_" ^ qn) (t *. 1000.);
+            Printf.printf
+              "%-12s %-10s %8.3fs  direct=%d decoded=%d hits=%d misses=%d \
+               evictions=%d\n%!"
+              qn leg t
+              (counter_of c "sic.blocks_direct")
+              (counter_of c "sic.blocks_decoded")
+              (counter_of c "sic.cache_hits")
+              (counter_of c "sic.cache_misses")
+              (counter_of c "sic.cache_evictions");
+            (qn, r, c))
+          queries
+      in
+      Printf.printf "%-12s %-10s %9s\n" "query" "cache" "time";
+      let uncapped = run_leg "uncapped" (max 64 Column.Blockcache.default_capacity_mb) in
+      let cap_mb =
+        match !cache_mb_opt with
+        | Some m -> max 1 m
+        | None -> max 1 (decoded_bytes / 4 / 1_048_576)
+      in
+      Printf.printf "(capped leg: --cache-mb %d, decoded dataset %d MB)\n%!" cap_mb
+        (decoded_bytes / 1_048_576);
+      let capped = run_leg "capped" cap_mb in
+      List.iter2
+        (fun (qn, r_un, _) (_, r_cap, c_cap) ->
+          (* Ground truth: the fully decoded resident relation. *)
+          let oracle = run_base resident_cat (List.assoc qn queries) in
+          check_equal ("sic/" ^ qn ^ "/uncapped") oracle r_un;
+          check_equal ("sic/" ^ qn ^ "/capped") oracle r_cap;
+          ignore c_cap)
+        uncapped capped;
+      let evictions =
+        List.fold_left
+          (fun acc (_, _, c) -> acc + counter_of c "sic.cache_evictions")
+          0 capped
+      in
+      let direct =
+        List.fold_left
+          (fun acc (_, _, c) -> acc + counter_of c "sic.blocks_direct")
+          0 (uncapped @ capped)
+      in
+      Printf.printf
+        "\ncapped leg evictions=%d (cap %d MB vs %d MB decoded); blocks_direct \
+         total=%d; peak rss %.0f MB\n\n"
+        evictions cap_mb (decoded_bytes / 1_048_576) direct (max_rss_mb ());
+      if evictions = 0 then
+        Printf.printf "!! expected cache evictions under the capped leg — investigate\n%!";
+      if direct = 0 then
+        Printf.printf "!! expected compressed-execution blocks_direct > 0 — investigate\n%!")
+
 (* ---- persistent benchmark-regression harness ----
 
    `bench harness` runs a pinned suite (scans, the vectorized inner loop,
    end-to-end smart vs baseline, the --analyze overhead pair) with a warmup
    plus repeated measurements and writes medians + IQR, counters and run
-   metadata to a JSON file (BENCH_PR6.json by default; committed at the repo
+   metadata to a JSON file (BENCH_PR8.json by default; committed at the repo
    root as the regression baseline).  `bench diff OLD.json NEW.json`
    compares two such files with a noise-aware threshold and exits non-zero
    on a regression — the CI gate.
@@ -1068,6 +1254,7 @@ type hbench = {
   h_p75 : float;
   h_load_ms : float option;  (* data-load time behind the bench; informational *)
   h_counters : (string * int) list;  (* from the last repetition *)
+  h_max_rss_mb : float;  (* process peak RSS after the last repetition *)
 }
 
 let measure_bench ?load_ms ~reps name f =
@@ -1099,6 +1286,7 @@ let measure_bench ?load_ms ~reps name f =
     h_p75 = pct 0.75;
     h_load_ms = load_ms;
     h_counters = !counters;
+    h_max_rss_mb = max_rss_mb ();
   }
 
 let harness () =
@@ -1185,6 +1373,38 @@ let harness () =
   let b_scan_zm =
     measure "scan_zonemap" (fun () -> ignore (Ops.select scan_pred scan_col_rel))
   in
+  (* Disk tier: .sic cold load, then paged execution under a block cache
+     capped well below the decoded dataset, so every repetition exercises
+     eviction (sic.cache_evictions lands in the leg's counters). *)
+  let sic_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "si-harness-%d.sic" (Unix.getpid ()))
+  in
+  Sic.save sic_path scan_col_rel;
+  let b_sic_load =
+    measure "sic_load_resident" (fun () ->
+        ignore (Sic.load ~mode:`Resident sic_path))
+  in
+  Column.Blockcache.set_capacity_mb
+    (max 2 (Relation.approx_bytes scan_col_rel / 4 / 1_048_576));
+  let sic_paged = Sic.load ~mode:`Paged sic_path in
+  let b_sic_scan =
+    measure "sic_scan_paged" (fun () -> ignore (Ops.select scan_pred sic_paged))
+  in
+  let sic_cat =
+    let c = Catalog.create () in
+    Catalog.add_table c "ev" sic_paged;
+    c
+  in
+  let sic_agg_q =
+    Sqlfront.Parser.parse
+      "SELECT COUNT(*), SUM(grp), MIN(id), MAX(id), AVG(x) FROM ev"
+  in
+  let b_sic_agg =
+    measure "sic_agg_direct" (fun () -> ignore (run_base sic_cat sic_agg_q))
+  in
+  Column.Blockcache.set_capacity_mb Column.Blockcache.default_capacity_mb;
+  (try Sys.remove sic_path with Sys_error _ -> ());
   let b_vec =
     measure "vec_inner" (fun () ->
         ignore (Core.Runner.run ~nljp_config:vec_cfg vec_catalog vec_q))
@@ -1219,8 +1439,9 @@ let harness () =
   in
   let benches =
     [
-      b_calib; b_scan_row; b_scan_zm; b_vec; b_q1_base; b_q1_smart;
-      b_q1_analyze; b_cplx_smart; b_cplx_analyze; b_tr_on; b_tr_off;
+      b_calib; b_scan_row; b_scan_zm; b_sic_load; b_sic_scan; b_sic_agg;
+      b_vec; b_q1_base; b_q1_smart; b_q1_analyze; b_cplx_smart;
+      b_cplx_analyze; b_tr_on; b_tr_off;
     ]
   in
   let find n = List.find (fun h -> h.h_name = n) benches in
@@ -1251,7 +1472,10 @@ let harness () =
       @ (match h.h_load_ms with
          | Some l -> [ ("load_ms", Obs.Json.Num l) ]
          | None -> [])
-      @ [ ("counters", counters_json h.h_counters) ])
+      @ [
+          ("max_rss_mb", Obs.Json.Num h.h_max_rss_mb);
+          ("counters", counters_json h.h_counters);
+        ])
   in
   let doc =
     Obs.Json.Obj
@@ -1272,7 +1496,7 @@ let harness () =
         ("benches", Obs.Json.Arr (List.map bench_json benches));
       ]
   in
-  let path = Option.value !json_path ~default:"BENCH_PR6.json" in
+  let path = Option.value !json_path ~default:"BENCH_PR8.json" in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string doc);
   output_char oc '\n';
@@ -1390,6 +1614,19 @@ let diff_cmd args =
               | Some o, Some n -> Printf.sprintf "%.1f -> %.1f ms" o n
               | None, Some n -> Printf.sprintf "- -> %.1f ms" n
               | _ -> ""
+            in
+            (* Peak RSS rides along the same way: informational only. *)
+            let load_info =
+              match (jnum "max_rss_mb" ob, jnum "max_rss_mb" nb) with
+              | Some o, Some n ->
+                Printf.sprintf "%s%srss %.0f -> %.0f MB" load_info
+                  (if load_info = "" then "" else ", ")
+                  o n
+              | None, Some n ->
+                Printf.sprintf "%s%srss %.0f MB" load_info
+                  (if load_info = "" then "" else ", ")
+                  n
+              | _ -> load_info
             in
             Printf.printf "%-22s %12.3f %12.3f %7.2fx  %-20s %s\n" name old_med
               new_med ratio verdict load_info)
@@ -1575,6 +1812,9 @@ let () =
     | "--quick" :: rest ->
       quick := true;
       parse_args rest
+    | "--cache-mb" :: n :: rest ->
+      cache_mb_opt := Some (int_of_string n);
+      parse_args rest
     | x :: rest -> x :: parse_args rest
   in
   let targets = parse_args args in
@@ -1599,6 +1839,7 @@ let () =
   if want "par" then par ();
   if want "col" then col ();
   if want "vec" then vec ();
+  if want "sic" then sic_bench ();
   if want "serve" then serve_bench ();
   if want "micro" then micro ();
   if List.mem "harness" targets then harness ();

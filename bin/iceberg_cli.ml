@@ -14,10 +14,12 @@ open Cmdliner
 
 (* ---- shared setup ---- *)
 
-let load_tables ?layout catalog specs =
+let load_tables ?layout ?(sic_mode = `Paged) catalog specs =
   List.iter
     (fun spec ->
-      (* spec: path.csv[:key=col1+col2] *)
+      (* spec: path.csv[:key=col1+col2] — a .sic path loads the binary
+         columnar format instead of parsing CSV (paged through the block
+         cache by default; see --sic-resident). *)
       let path, key =
         match String.split_on_char ':' spec with
         | [ p ] -> (p, None)
@@ -28,7 +30,10 @@ let load_tables ?layout catalog specs =
         | _ -> failwith ("bad table spec: " ^ spec)
       in
       let name = Filename.remove_extension (Filename.basename path) in
-      let rel = Csv.load ?layout path in
+      let rel =
+        if Filename.check_suffix path ".sic" then Sic.load ~mode:sic_mode path
+        else Csv.load ?layout path
+      in
       let keys = match key with Some k -> [ k ] | None -> [] in
       Catalog.add_table catalog ~keys name rel;
       Printf.printf "loaded %s: %d rows %s\n" name (Relation.cardinality rel)
@@ -59,10 +64,14 @@ let layout_of_string = function
   | "column" | "col" -> `Column
   | other -> failwith ("unknown layout: " ^ other)
 
-let setup tables synth rows layout =
+let setup ?cache_mb ?(sic_resident = false) tables synth rows layout =
+  (match cache_mb with
+   | Some mb when mb > 0 -> Column.Blockcache.set_capacity_mb mb
+   | _ -> ());
   let catalog = Catalog.create () in
   let layout = layout_of_string layout in
-  load_tables ~layout catalog tables;
+  let sic_mode = if sic_resident then `Resident else `Paged in
+  load_tables ~layout ~sic_mode catalog tables;
   List.iter (fun kind -> synth_catalog catalog kind rows) synth;
   (* Synthetic generators register row-form tables; flip them here. *)
   if layout = `Column then Catalog.set_all_layouts catalog `Column;
@@ -78,9 +87,9 @@ let tech_of_string = function
 
 (* ---- commands ---- *)
 
-let run_cmd tables synth rows layout tech workers no_vector no_transfer verbose
-    max_rows explain analyze json trace sql =
-  let catalog = setup tables synth rows layout in
+let run_cmd tables synth rows layout cache_mb sic_resident tech workers
+    no_vector no_transfer verbose max_rows explain analyze json trace sql =
+  let catalog = setup ?cache_mb ~sic_resident tables synth rows layout in
   let nljp_config =
     { Core.Nljp.default_config with Core.Nljp.vector = not no_vector }
   in
@@ -201,6 +210,33 @@ let compare_cmd tables synth rows layout workers sql =
     [ "apriori"; "memo"; "pruning"; "all" ];
   0
 
+let save_cmd tables synth rows name format block_size out =
+  (match format with
+   | "sic" -> ()
+   | other -> failwith ("unknown save format: " ^ other));
+  let catalog = setup tables synth rows "column" in
+  let name =
+    match (name, Catalog.table_names catalog) with
+    | Some n, _ -> n
+    | None, [ n ] -> n
+    | None, names ->
+      failwith
+        ("--name required when several tables are loaded: "
+        ^ String.concat ", " names)
+  in
+  let table = Catalog.find catalog name in
+  let rel = Relation.to_layout `Column table.Catalog.rel in
+  (match block_size with
+   | None -> Sic.save out rel
+   | Some bs ->
+     (* Re-block through the streaming writer to honor the requested size. *)
+     Sic.save_rows ~block_size:bs out rel.Relation.schema
+       (Array.to_seq (Relation.rows rel)));
+  let st = Unix.stat out in
+  Printf.printf "saved %s: %d rows -> %s (%d bytes)\n" name
+    (Relation.cardinality rel) out st.Unix.st_size;
+  0
+
 let calibrate_cmd rows layout tech workers json =
   (* Cost-model calibration: replay the synthetic workloads under EXPLAIN
      ANALYZE and tabulate estimated vs actual per technique. *)
@@ -224,8 +260,8 @@ let calibrate_cmd rows layout tech workers json =
   else print_string (Core.Calibrate.to_text all);
   0
 
-let serve_cmd tables synth rows layouts addr pool queue_cap plan_cap result_cap
-    max_rows =
+let serve_cmd tables synth rows layouts cache_mb addr pool queue_cap plan_cap
+    result_cap max_rows =
   let layouts =
     match layouts with
     | "both" -> [ `Row; `Column ]
@@ -234,7 +270,10 @@ let serve_cmd tables synth rows layouts addr pool queue_cap plan_cap result_cap
   let catalogs =
     List.map
       (fun l ->
-        let cat = setup tables synth rows (match l with `Row -> "row" | `Column -> "column") in
+        let cat =
+          setup ?cache_mb tables synth rows
+            (match l with `Row -> "row" | `Column -> "column")
+        in
         (l, cat))
       layouts
   in
@@ -341,6 +380,24 @@ let layout_arg =
               $(b,column) (chunked columnar storage with zone maps; \
               filtered scans skip non-matching blocks).")
 
+let cache_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~env:(Cmd.Env.info "SI_CACHE_MB")
+        ~doc:"Block-cache budget for paged $(b,.sic) tables, in megabytes. \
+              Decoded blocks and encoded column sets share this byte budget \
+              under LRU eviction, so datasets larger than the cap execute \
+              with bounded resident memory.")
+
+let sic_resident_arg =
+  Arg.(
+    value & flag
+    & info [ "sic-resident" ]
+        ~doc:"Decode $(b,.sic) tables fully at load instead of paging \
+              blocks through the cache on demand.")
+
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
 
@@ -423,10 +480,49 @@ let trace_arg =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run an iceberg query")
     Term.(
-      const run_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg $ tech_arg
+      const run_cmd $ tables_arg $ synth_arg $ rows_arg $ layout_arg
+      $ cache_mb_arg $ sic_resident_arg $ tech_arg
       $ workers_arg $ no_vector_arg $ no_transfer_arg $ verbose_arg
       $ max_rows_arg $ explain_flag $ analyze_flag $ json_flag $ trace_arg
       $ sql_arg)
+
+let save_name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "name" ] ~docv:"TABLE"
+        ~doc:"Table to save (defaults to the only loaded table).")
+
+let save_format_arg =
+  Arg.(
+    value & opt string "sic"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format; only $(b,sic) (compressed binary columnar).")
+
+let save_block_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "block-size" ] ~docv:"N"
+        ~doc:"Rows per block (default: the store's block size).")
+
+let save_out_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"OUT.sic" ~doc:"Output path.")
+
+let save_t =
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Save a loaded or synthetic table as a compressed .sic columnar \
+             file: frame-of-reference/run-length encoded blocks plus a \
+             footer with schema, dictionaries, zone maps and Bloom filters, \
+             so later runs load it without CSV parsing (and can page \
+             blocks on demand)")
+    Term.(
+      const save_cmd $ tables_arg $ synth_arg $ rows_arg $ save_name_arg
+      $ save_format_arg $ save_block_size_arg $ save_out_arg)
 
 let calibrate_t =
   Cmd.v
@@ -531,8 +627,8 @@ let serve_t =
              config) and a version-keyed result cache")
     Term.(
       const serve_cmd $ tables_arg $ synth_arg $ rows_arg $ serve_layouts_arg
-      $ addr_arg $ pool_arg $ queue_cap_arg $ plan_cap_arg $ result_cap_arg
-      $ serve_max_rows_arg)
+      $ cache_mb_arg $ addr_arg $ pool_arg $ queue_cap_arg $ plan_cap_arg
+      $ result_cap_arg $ serve_max_rows_arg)
 
 let client_t =
   Cmd.v
@@ -547,6 +643,6 @@ let main =
   Cmd.group
     (Cmd.info "smart-iceberg" ~version:"1.0"
        ~doc:"Iceberg query optimizer (SIGMOD'17 reproduction)")
-    [ run_t; explain_t; compare_t; calibrate_t; serve_t; client_t ]
+    [ run_t; explain_t; compare_t; calibrate_t; save_t; serve_t; client_t ]
 
 let () = exit (Cmd.eval' main)

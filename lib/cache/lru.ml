@@ -1,22 +1,28 @@
 (* Bounded, thread-safe LRU keyed by string.  One mutex per cache: every
    operation is a handful of hashtable probes and pointer swaps, so the
    critical sections are tiny next to query execution.  Recency is an
-   intrusive doubly-linked list — [get] unlinks the node and re-links it at
-   the head, [put] beyond capacity evicts the tail. *)
+   intrusive doubly-linked list — [find] unlinks the node and re-links it at
+   the head; [put] evicts from the tail while the weight budget is exceeded.
+
+   Capacity is a total weight rather than an entry count: the block cache
+   weighs entries by compressed byte size, while the server's plan/result
+   caches use the default weight of 1 per entry (count semantics). *)
 
 type 'a node = {
   key : string;
   mutable value : 'a;
+  mutable weight : int;
   mutable prev : 'a node option;
   mutable next : 'a node option;
 }
 
 type 'a t = {
-  capacity : int;
+  capacity : int;  (* max total weight *)
   mu : Mutex.t;
   tbl : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;  (* most recently used *)
   mutable tail : 'a node option;  (* least recently used *)
+  mutable total : int;  (* sum of resident weights *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -29,6 +35,7 @@ let create capacity =
     tbl = Hashtbl.create 64;
     head = None;
     tail = None;
+    total = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -61,32 +68,48 @@ let find t key =
         t.misses <- t.misses + 1;
         None)
 
-let put t key value =
+(* Evict tail entries until the budget holds, but never [keep]: a single
+   entry heavier than the whole cache still gets to live (alone). *)
+let evict_over t ~keep =
+  let continue_ = ref true in
+  while t.total > t.capacity && !continue_ do
+    match t.tail with
+    | Some lru when lru != keep ->
+      unlink t lru;
+      Hashtbl.remove t.tbl lru.key;
+      t.total <- t.total - lru.weight;
+      t.evictions <- t.evictions + 1
+    | _ -> continue_ := false
+  done
+
+let put ?(weight = 1) t key value =
+  let weight = max 1 weight in
   locked t (fun () ->
-      match Hashtbl.find_opt t.tbl key with
-      | Some n ->
-        n.value <- value;
-        unlink t n;
-        push_front t n
-      | None ->
-        if Hashtbl.length t.tbl >= t.capacity then begin
-          match t.tail with
-          | Some lru ->
-            unlink t lru;
-            Hashtbl.remove t.tbl lru.key;
-            t.evictions <- t.evictions + 1
-          | None -> ()
-        end;
-        let n = { key; value; prev = None; next = None } in
-        Hashtbl.add t.tbl key n;
-        push_front t n)
+      let n =
+        match Hashtbl.find_opt t.tbl key with
+        | Some n ->
+          n.value <- value;
+          t.total <- t.total - n.weight + weight;
+          n.weight <- weight;
+          unlink t n;
+          push_front t n;
+          n
+        | None ->
+          let n = { key; value; weight; prev = None; next = None } in
+          Hashtbl.add t.tbl key n;
+          t.total <- t.total + weight;
+          push_front t n;
+          n
+      in
+      evict_over t ~keep:n)
 
 let remove t key =
   locked t (fun () ->
       match Hashtbl.find_opt t.tbl key with
       | Some n ->
         unlink t n;
-        Hashtbl.remove t.tbl key
+        Hashtbl.remove t.tbl key;
+        t.total <- t.total - n.weight
       | None -> ())
 
 (* Drop every entry failing [keep] (explicit invalidation sweeps). *)
@@ -98,7 +121,8 @@ let retain t keep =
       List.iter
         (fun n ->
           unlink t n;
-          Hashtbl.remove t.tbl n.key)
+          Hashtbl.remove t.tbl n.key;
+          t.total <- t.total - n.weight)
         doomed;
       List.length doomed)
 
@@ -106,11 +130,19 @@ let clear t =
   locked t (fun () ->
       Hashtbl.reset t.tbl;
       t.head <- None;
-      t.tail <- None)
+      t.tail <- None;
+      t.total <- 0)
 
 let length t = locked t (fun () -> Hashtbl.length t.tbl)
+let weight t = locked t (fun () -> t.total)
 
-type stats = { s_hits : int; s_misses : int; s_evictions : int; s_len : int }
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_len : int;
+  s_weight : int;
+}
 
 let stats t =
   locked t (fun () ->
@@ -119,4 +151,5 @@ let stats t =
         s_misses = t.misses;
         s_evictions = t.evictions;
         s_len = Hashtbl.length t.tbl;
+        s_weight = t.total;
       })

@@ -1,0 +1,44 @@
+(** Bounded, thread-safe LRU cache keyed by string, shared by the server's
+    plan/result caches and the columnar block cache.  All operations take the
+    cache's single mutex; critical sections are O(1) hashtable probes and
+    list relinks (plus O(n) for {!retain}'s sweep).
+
+    Capacity is a total *weight* budget.  [put] defaults each entry's weight
+    to 1, which recovers plain entry-count semantics; callers caching blocks
+    pass the entry's byte size so eviction is byte-bounded. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity]: maximum total weight, clamped to ≥ 1. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes recency.  Hit/miss tallies feed {!stats}. *)
+
+val put : ?weight:int -> 'a t -> string -> 'a -> unit
+(** Insert or overwrite (weight defaults to 1, clamped to ≥ 1).  While the
+    total weight exceeds capacity, least-recently-used entries are evicted —
+    except the entry just written, which is always retained so an oversized
+    single entry still caches. *)
+
+val remove : 'a t -> string -> unit
+
+val retain : 'a t -> (string -> 'a -> bool) -> int
+(** Drop every entry failing the predicate (explicit invalidation); returns
+    how many were dropped. *)
+
+val clear : 'a t -> unit
+val length : 'a t -> int
+
+val weight : 'a t -> int
+(** Current total weight of resident entries. *)
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_len : int;
+  s_weight : int;
+}
+
+val stats : 'a t -> stats

@@ -1,0 +1,65 @@
+(* Process-global byte-weighted block cache (see the mli).
+
+   Entries are keyed "<file-id>:<variant>:<block-index>"; the file id is a
+   fresh integer per open, so re-saving a file and re-opening it can never
+   observe stale blocks.  Evictions are mirrored into the obs registry as
+   a delta after every store, so EXPLAIN ANALYZE and the bench JSON see
+   [sic.cache_evictions] move per query like every other counter. *)
+
+type entry = Enc of Encode.col array | Dec of Cstore.block
+
+let cache_hits = Obs.Metrics.counter "sic.cache_hits"
+let cache_misses = Obs.Metrics.counter "sic.cache_misses"
+let cache_evictions = Obs.Metrics.counter "sic.cache_evictions"
+
+let default_capacity_mb = 256
+
+let env_capacity_mb () =
+  match Sys.getenv_opt "SI_CACHE_MB" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> default_capacity_mb)
+  | None -> default_capacity_mb
+
+let cache : entry Cache.Lru.t ref = ref (Cache.Lru.create (env_capacity_mb () * 1024 * 1024))
+let capacity = ref (env_capacity_mb () * 1024 * 1024)
+
+(* The Lru's eviction tally is cumulative per instance; this remembers the
+   last value mirrored into the obs counter. *)
+let mirrored_evictions = ref 0
+let mu = Mutex.create ()
+
+let next_id = Atomic.make 0
+let file_id () = Atomic.fetch_and_add next_id 1
+
+let key id ~variant bi = Printf.sprintf "%d:%c:%d" id variant bi
+
+let find id ~variant bi =
+  let r = Cache.Lru.find !cache (key id ~variant bi) in
+  (match r with
+   | Some _ -> Obs.Metrics.incr cache_hits
+   | None -> Obs.Metrics.incr cache_misses);
+  r
+
+let sync_evictions () =
+  let s = Cache.Lru.stats !cache in
+  Mutex.lock mu;
+  let delta = s.Cache.Lru.s_evictions - !mirrored_evictions in
+  if delta > 0 then mirrored_evictions := s.Cache.Lru.s_evictions;
+  Mutex.unlock mu;
+  if delta > 0 then Obs.Metrics.add cache_evictions delta
+
+let store id ~variant bi ~weight entry =
+  Cache.Lru.put ~weight !cache (key id ~variant bi) entry;
+  sync_evictions ()
+
+let capacity_bytes () = !capacity
+
+let set_capacity_mb mb =
+  let mb = max 1 mb in
+  Mutex.lock mu;
+  capacity := mb * 1024 * 1024;
+  cache := Cache.Lru.create !capacity;
+  mirrored_evictions := 0;
+  Mutex.unlock mu
+
+let stats () = Cache.Lru.stats !cache
+let clear () = Cache.Lru.clear !cache

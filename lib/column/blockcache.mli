@@ -1,0 +1,36 @@
+(** Process-global, byte-weighted cache of [.sic] blocks.
+
+    One {!Cache.Lru} instance is shared by every open paged file: decoded
+    blocks weigh their in-RAM footprint, encoded column sets weigh their
+    compressed size, and the two kinds compete for the same byte budget —
+    so total block-resident memory stays under the cap no matter how many
+    relations are open.
+
+    Capacity comes from [--cache-mb] / [SI_CACHE_MB] (default
+    {!default_capacity_mb}); changing it drops resident entries.
+
+    Obs counters: [sic.cache_hits], [sic.cache_misses],
+    [sic.cache_evictions]. *)
+
+type entry = Enc of Encode.col array | Dec of Cstore.block
+
+val file_id : unit -> int
+(** Fresh identity for one opened file (cache keys never collide across
+    opens, so re-saving a path can't serve stale blocks). *)
+
+val find : int -> variant:char -> int -> entry option
+(** [find id ~variant bi] looks up block [bi] of file [id]; [variant] is
+    ['d'] (decoded) or ['e'] (encoded). *)
+
+val store : int -> variant:char -> int -> weight:int -> entry -> unit
+
+val default_capacity_mb : int
+
+val capacity_bytes : unit -> int
+
+val set_capacity_mb : int -> unit
+(** Replace the cache with a fresh one of the given capacity (≥ 1 MB). *)
+
+val stats : unit -> Cache.Lru.stats
+
+val clear : unit -> unit

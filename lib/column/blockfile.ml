@@ -1,0 +1,497 @@
+(* .sic reader/writer (layout in the mli and DESIGN.md §13).
+
+   All integers little-endian: u8 | u32 (read back unsigned) | i64.
+   Strings are u32 length + bytes.  Values use Encode's tagged form.
+
+   Footer, in order:
+     u32 arity
+     per col:    u8 has_qualifier, [str], str name
+     u32 nblocks
+     per block:  u32 row count
+     per col:    u8 has_dict, [u32 size, size * str]   (codes = entry order)
+     per block:  per col: zmap (value min, value max, u32 nulls, u32 rows)
+     per col:    u8 kind tag
+     per col:    u8 has_bloom, [u32 count, zmap, u32 nwords, nwords * i64]
+     per block:  i64 offset, u32 segment length
+   Trailer: i64 footer_offset, "SICE". *)
+
+let magic = "SIC1"
+let end_magic = "SICE"
+
+let blocks_decoded = Obs.Metrics.counter "sic.blocks_decoded"
+let bytes_compressed = Obs.Metrics.counter "sic.bytes_compressed"
+
+(* Whole-table Bloom filters over int columns stop accumulating past this
+   many rows (a saturated filter refutes nothing and bloats the footer). *)
+let int_bloom_max_rows = 2_000_000
+let int_bloom_expected = 65_536
+
+(* ---- primitive IO ---- *)
+
+let w_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+let w_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+let w_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let w_str buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+type cursor = { buf : Bytes.t; mutable pos : int }
+
+let r_u8 c =
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  let v = Int32.to_int (Bytes.get_int32_le c.buf c.pos) land 0xffffffff in
+  c.pos <- c.pos + 4;
+  v
+
+let r_i64 c =
+  let v = Int64.to_int (Bytes.get_int64_le c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_str c =
+  let len = r_u32 c in
+  let s = Bytes.sub_string c.buf c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let r_value c =
+  let v, pos = Encode.read_value c.buf c.pos in
+  c.pos <- pos;
+  v
+
+let w_zmap buf (z : Zmap.t) =
+  Encode.write_value buf z.Zmap.min_v;
+  Encode.write_value buf z.Zmap.max_v;
+  w_u32 buf z.Zmap.nulls;
+  w_u32 buf z.Zmap.rows
+
+let r_zmap c =
+  let min_v = r_value c in
+  let max_v = r_value c in
+  let nulls = r_u32 c in
+  let rows = r_u32 c in
+  { Zmap.min_v; max_v; nulls; rows }
+
+let kind_tag = function
+  | Cstore.K_int -> 0
+  | Cstore.K_float -> 1
+  | Cstore.K_dict -> 2
+  | Cstore.K_bool -> 3
+  | Cstore.K_mixed -> 4
+  | Cstore.K_varied -> 5
+  | Cstore.K_empty -> 6
+
+let kind_of_tag = function
+  | 0 -> Cstore.K_int
+  | 1 -> Cstore.K_float
+  | 2 -> Cstore.K_dict
+  | 3 -> Cstore.K_bool
+  | 4 -> Cstore.K_mixed
+  | 5 -> Cstore.K_varied
+  | 6 -> Cstore.K_empty
+  | t -> failwith (Printf.sprintf "Blockfile: bad kind tag %d" t)
+
+let cvec_kind = function
+  | Cstore.C_int _ -> Cstore.K_int
+  | Cstore.C_float _ -> Cstore.K_float
+  | Cstore.C_dict _ -> Cstore.K_dict
+  | Cstore.C_bool _ -> Cstore.K_bool
+  | Cstore.C_mixed _ -> Cstore.K_mixed
+
+(* ---- writer ---- *)
+
+type writer = {
+  oc : out_channel;
+  path : string;
+  schema : Schema.t;
+  arity : int;
+  block_size : int;
+  dicts : Dict.t option array;
+  buf_rows : Row.t array;
+  mutable nbuf : int;
+  mutable pos : int;
+  mutable rows_total : int;
+  mutable lengths_rev : int list;
+  mutable zmaps_rev : Zmap.t array list;
+  mutable dir_rev : (int * int) list;
+  (* per-col running kind: None until the first block, K_varied once blocks
+     disagree *)
+  kinds : Cstore.kind option array;
+  int_blooms : Bloom.t option array;
+  mutable int_blooms_dead : bool;
+}
+
+let create_writer ?(block_size = Cstore.default_block_size) path schema =
+  if block_size <= 0 then invalid_arg "Blockfile.create_writer: block_size <= 0";
+  let oc = open_out_bin path in
+  output_string oc magic;
+  let arity = Schema.arity schema in
+  {
+    oc;
+    path;
+    schema;
+    arity;
+    block_size;
+    dicts = Array.make (max arity 1) None;
+    buf_rows = Array.make block_size [||];
+    nbuf = 0;
+    pos = String.length magic;
+    rows_total = 0;
+    lengths_rev = [];
+    zmaps_rev = [];
+    dir_rev = [];
+    kinds = Array.make (max arity 1) None;
+    int_blooms = Array.make (max arity 1) None;
+    int_blooms_dead = false;
+  }
+
+let note_kind w ci k =
+  match w.kinds.(ci) with
+  | None -> w.kinds.(ci) <- Some k
+  | Some k0 when k0 = k -> ()
+  | Some Cstore.K_varied -> ()
+  | Some _ -> w.kinds.(ci) <- Some Cstore.K_varied
+
+let feed_int_bloom w ci (vec : Cstore.cvec) =
+  if not w.int_blooms_dead then
+    match vec with
+    | Cstore.C_int (a, bm) ->
+      let bloom =
+        match w.int_blooms.(ci) with
+        | Some b -> b
+        | None ->
+          let b = Bloom.create ~expected:int_bloom_expected () in
+          w.int_blooms.(ci) <- Some b;
+          b
+      in
+      Array.iteri
+        (fun i v ->
+          let null = match bm with Some bm -> Bitset.get bm i | None -> false in
+          if not null then Bloom.add bloom (Value.Int v))
+        a
+    | _ -> w.int_blooms.(ci) <- None
+
+(* Encode and append one built block; records directory + footer rows. *)
+let emit_block w (b : Cstore.block) =
+  let buf = Buffer.create 4096 in
+  for ci = 0 to w.arity - 1 do
+    let vec = b.Cstore.cols.(ci) in
+    note_kind w ci (cvec_kind vec);
+    feed_int_bloom w ci vec;
+    Encode.write buf (Encode.of_cvec ~len:b.Cstore.length vec)
+  done;
+  let seg = Buffer.contents buf in
+  output_string w.oc seg;
+  w.dir_rev <- (w.pos, String.length seg) :: w.dir_rev;
+  w.pos <- w.pos + String.length seg;
+  w.rows_total <- w.rows_total + b.Cstore.length;
+  w.lengths_rev <- b.Cstore.length :: w.lengths_rev;
+  w.zmaps_rev <- b.Cstore.zmaps :: w.zmaps_rev;
+  if w.rows_total > int_bloom_max_rows then begin
+    w.int_blooms_dead <- true;
+    Array.fill w.int_blooms 0 (Array.length w.int_blooms) None
+  end
+
+let flush_rows w =
+  if w.nbuf > 0 then begin
+    let b = Cstore.build_block ~dicts:w.dicts ~arity:w.arity w.buf_rows ~lo:0 ~len:w.nbuf in
+    w.nbuf <- 0;
+    emit_block w b
+  end
+
+let add_row w row =
+  w.buf_rows.(w.nbuf) <- row;
+  w.nbuf <- w.nbuf + 1;
+  if w.nbuf = w.block_size then flush_rows w
+
+let write_footer w =
+  let buf = Buffer.create 4096 in
+  w_u32 buf w.arity;
+  List.iter
+    (fun (c : Schema.col) ->
+      (match c.Schema.qualifier with
+       | Some q ->
+         w_u8 buf 1;
+         w_str buf q
+       | None -> w_u8 buf 0);
+      w_str buf c.Schema.name)
+    (Schema.cols w.schema);
+  let lengths = Array.of_list (List.rev w.lengths_rev) in
+  let zmaps = Array.of_list (List.rev w.zmaps_rev) in
+  let dir = Array.of_list (List.rev w.dir_rev) in
+  w_u32 buf (Array.length lengths);
+  Array.iter (w_u32 buf) lengths;
+  for ci = 0 to w.arity - 1 do
+    match w.dicts.(ci) with
+    | None -> w_u8 buf 0
+    | Some d ->
+      w_u8 buf 1;
+      w_u32 buf (Dict.size d);
+      for code = 0 to Dict.size d - 1 do
+        w_str buf (Dict.get d code)
+      done
+  done;
+  Array.iter (fun zs -> Array.iter (w_zmap buf) zs) zmaps;
+  for ci = 0 to w.arity - 1 do
+    let k = match w.kinds.(ci) with Some k -> k | None -> Cstore.K_empty in
+    w_u8 buf (kind_tag k)
+  done;
+  for ci = 0 to w.arity - 1 do
+    let bloom =
+      match w.kinds.(ci) with
+      | Some Cstore.K_int -> w.int_blooms.(ci)
+      | Some Cstore.K_dict ->
+        (* exact over the dictionary: every string the column ever held *)
+        (match w.dicts.(ci) with
+         | Some d ->
+           let b = Bloom.create ~expected:(Dict.size d) () in
+           for code = 0 to Dict.size d - 1 do
+             Bloom.add b (Value.Str (Dict.get d code))
+           done;
+           Some b
+         | None -> None)
+      | _ -> None
+    in
+    match bloom with
+    | None -> w_u8 buf 0
+    | Some b ->
+      w_u8 buf 1;
+      w_u32 buf (Bloom.count b);
+      w_zmap buf (Bloom.range b);
+      let words = Bloom.words b in
+      w_u32 buf (Array.length words);
+      Array.iter (w_i64 buf) words
+  done;
+  Array.iter
+    (fun (off, len) ->
+      w_i64 buf off;
+      w_u32 buf len)
+    dir;
+  let footer_off = w.pos in
+  output_string w.oc (Buffer.contents buf);
+  let trailer = Buffer.create 12 in
+  w_i64 trailer footer_off;
+  Buffer.add_string trailer end_magic;
+  output_string w.oc (Buffer.contents trailer)
+
+let close_writer w =
+  flush_rows w;
+  write_footer w;
+  close_out w.oc
+
+let save_rows ?block_size path schema rows =
+  let w = create_writer ?block_size path schema in
+  Seq.iter (add_row w) rows;
+  close_writer w
+
+let save path cs =
+  let w = create_writer path (Cstore.schema cs) in
+  (* Blocks are already built; reuse the store's dictionaries (codes in the
+     emitted blocks refer to them). *)
+  for ci = 0 to w.arity - 1 do
+    w.dicts.(ci) <- Cstore.dict cs ci
+  done;
+  for bi = 0 to Cstore.nblocks cs - 1 do
+    emit_block w (Cstore.block cs bi)
+  done;
+  write_footer w;
+  close_out w.oc
+
+(* ---- footer parsing ---- *)
+
+type meta = {
+  m_schema : Schema.t;
+  m_lengths : int array;
+  m_dicts : Dict.t option array;
+  m_zmaps : Zmap.t array array;
+  m_kinds : Cstore.kind array;
+  m_blooms : Bloom.t option array;
+  m_dir : (int * int) array;
+}
+
+let parse_footer c =
+  let arity = r_u32 c in
+  let cols =
+    List.init arity (fun _ ->
+        let q = if r_u8 c = 1 then Some (r_str c) else None in
+        let name = r_str c in
+        { Schema.qualifier = q; name })
+  in
+  let schema = Schema.of_cols cols in
+  let nblocks = r_u32 c in
+  let lengths = Array.init nblocks (fun _ -> r_u32 c) in
+  let dicts =
+    Array.init (max arity 1) (fun ci ->
+        if ci >= arity then None
+        else if r_u8 c = 1 then begin
+          let size = r_u32 c in
+          let d = Dict.create () in
+          for _ = 1 to size do
+            ignore (Dict.intern d (r_str c))
+          done;
+          Some d
+        end
+        else None)
+  in
+  let zmaps =
+    Array.init nblocks (fun _ -> Array.init arity (fun _ -> r_zmap c))
+  in
+  let kinds =
+    Array.init (max arity 1) (fun ci ->
+        if ci >= arity then Cstore.K_empty else kind_of_tag (r_u8 c))
+  in
+  let blooms =
+    Array.init (max arity 1) (fun ci ->
+        if ci >= arity then None
+        else if r_u8 c = 1 then begin
+          let count = r_u32 c in
+          let zmap = r_zmap c in
+          let nwords = r_u32 c in
+          let words = Array.init nwords (fun _ -> r_i64 c) in
+          Some (Bloom.restore ~words ~count ~zmap)
+        end
+        else None)
+  in
+  let dir =
+    Array.init nblocks (fun _ ->
+        let off = r_i64 c in
+        let len = r_u32 c in
+        (off, len))
+  in
+  { m_schema = schema; m_lengths = lengths; m_dicts = dicts; m_zmaps = zmaps;
+    m_kinds = kinds; m_blooms = blooms; m_dir = dir }
+
+let check_magic path s =
+  if s <> magic then
+    failwith (Printf.sprintf "%s: not a .sic file (bad magic)" path)
+
+(* ---- resident load ---- *)
+
+let parse_segment ~arity buf off =
+  let pos = ref off in
+  Array.init arity (fun _ ->
+      let col, pos' = Encode.read buf !pos in
+      pos := pos';
+      col)
+
+let block_of_enc ~zmaps ~length enc =
+  {
+    Cstore.length;
+    cols = Array.map Encode.to_cvec enc;
+    zmaps;
+  }
+
+let load_resident path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      let buf = Bytes.create size in
+      really_input ic buf 0 size;
+      check_magic path (Bytes.sub_string buf 0 4);
+      if Bytes.sub_string buf (size - 4) 4 <> end_magic then
+        failwith (Printf.sprintf "%s: truncated .sic file" path);
+      let footer_off = Int64.to_int (Bytes.get_int64_le buf (size - 12)) in
+      let m = parse_footer { buf; pos = footer_off } in
+      let arity = Schema.arity m.m_schema in
+      let blocks =
+        Array.mapi
+          (fun bi (off, len) ->
+            Obs.Metrics.incr blocks_decoded;
+            Obs.Metrics.add bytes_compressed len;
+            block_of_enc ~zmaps:m.m_zmaps.(bi) ~length:m.m_lengths.(bi)
+              (parse_segment ~arity buf off))
+          m.m_dir
+      in
+      Cstore.make_resident ~schema:m.m_schema ~dicts:m.m_dicts ~blocks)
+
+(* ---- paged open ---- *)
+
+let really_pread fd off buf len =
+  let mu_off = ref 0 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  while !mu_off < len do
+    let k = Unix.read fd buf !mu_off (len - !mu_off) in
+    if k = 0 then failwith "Blockfile: unexpected EOF";
+    mu_off := !mu_off + k
+  done
+
+let open_paged path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let mu = Mutex.create () in
+  let closed = ref false in
+  let read_at off len =
+    Mutex.lock mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mu)
+      (fun () ->
+        if !closed then failwith "Blockfile: file closed";
+        let buf = Bytes.create len in
+        really_pread fd off buf len;
+        buf)
+  in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size < 16 then failwith (Printf.sprintf "%s: not a .sic file" path);
+  check_magic path (Bytes.to_string (read_at 0 4));
+  let trailer = read_at (size - 12) 12 in
+  if Bytes.sub_string trailer 8 4 <> end_magic then
+    failwith (Printf.sprintf "%s: truncated .sic file" path);
+  let footer_off = Int64.to_int (Bytes.get_int64_le trailer 0) in
+  let footer = read_at footer_off (size - 12 - footer_off) in
+  let m = parse_footer { buf = footer; pos = 0 } in
+  let arity = Schema.arity m.m_schema in
+  let id = Blockcache.file_id () in
+  let read_enc bi =
+    let off, len = m.m_dir.(bi) in
+    let buf = read_at off len in
+    Obs.Metrics.add bytes_compressed len;
+    (parse_segment ~arity buf 0, len)
+  in
+  let enc bi =
+    match Blockcache.find id ~variant:'e' bi with
+    | Some (Blockcache.Enc e) -> e
+    | _ ->
+      let e, len = read_enc bi in
+      Blockcache.store id ~variant:'e' bi ~weight:len (Blockcache.Enc e);
+      e
+  in
+  let fetch bi =
+    match Blockcache.find id ~variant:'d' bi with
+    | Some (Blockcache.Dec b) -> b
+    | _ ->
+      (* Prefer an already-cached encoded segment over a disk read. *)
+      let e =
+        match Blockcache.find id ~variant:'e' bi with
+        | Some (Blockcache.Enc e) -> e
+        | _ -> fst (read_enc bi)
+      in
+      Obs.Metrics.incr blocks_decoded;
+      let b = block_of_enc ~zmaps:m.m_zmaps.(bi) ~length:m.m_lengths.(bi) e in
+      Blockcache.store id ~variant:'d' bi ~weight:(Cstore.block_bytes b)
+        (Blockcache.Dec b);
+      b
+  in
+  let bytes = Array.fold_left (fun acc (_, len) -> acc + len) 0 m.m_dir in
+  let cs =
+    Cstore.make_paged ~schema:m.m_schema ~dicts:m.m_dicts ~lengths:m.m_lengths
+      ~zmaps:m.m_zmaps ~kinds:m.m_kinds ~blooms:m.m_blooms ~bytes ~fetch ~enc
+  in
+  (* The closures above are reachable exactly as long as [cs] is; closing
+     the fd when the store is collected leaks nothing and frees the
+     descriptor for long sessions that open many files. *)
+  Gc.finalise
+    (fun _ ->
+      Mutex.lock mu;
+      if not !closed then begin
+        closed := true;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end;
+      Mutex.unlock mu)
+    cs;
+  cs

@@ -1,0 +1,39 @@
+(** The [.sic] binary columnar file format (DESIGN.md §13).
+
+    A file is a 4-byte magic ["SIC1"], the concatenated per-block encoded
+    segments (each segment: one {!Encode.col} per column), a footer holding
+    everything needed to plan without touching a block — schema, per-block
+    lengths, shared dictionaries, per-block per-column zone maps, column
+    kinds, optional whole-table Bloom filters, and the block directory —
+    and a 12-byte trailer (footer offset + ["SICE"]).
+
+    Loading therefore skips CSV parsing, dictionary interning, and
+    zone-map building entirely: {!load_resident} decodes every block once
+    (fast cold start), {!open_paged} reads only the trailer + footer and
+    fetches blocks on demand through {!Blockcache} (bounded resident
+    memory; encoded columns stay reachable for the direct kernels). *)
+
+val save : string -> Cstore.t -> unit
+(** Write a store (resident or paged) to [path], re-encoding each block. *)
+
+type writer
+
+val create_writer : ?block_size:int -> string -> Schema.t -> writer
+(** Streaming writer: rows are buffered into blocks of [block_size]
+    (default {!Cstore.default_block_size}) and flushed as they fill, so
+    memory stays O(block) regardless of file size. *)
+
+val add_row : writer -> Row.t -> unit
+
+val close_writer : writer -> unit
+(** Flush the tail block and write footer + trailer. *)
+
+val save_rows : ?block_size:int -> string -> Schema.t -> Row.t Seq.t -> unit
+
+val load_resident : string -> Cstore.t
+(** Read and decode the whole file into a resident store. *)
+
+val open_paged : string -> Cstore.t
+(** Read only the footer; blocks are fetched (and decoded) on demand via
+    the global {!Blockcache}.  The file descriptor stays open for the
+    store's lifetime and is closed by a GC finalizer. *)

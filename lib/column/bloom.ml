@@ -89,3 +89,8 @@ let range_may_match t (z : Zmap.t) =
 
 let nbits t = 63 * Array.length t.words
 let approx_bytes t = 8 * (Array.length t.words + 4)
+
+let words t = t.words
+
+let restore ~words ~count ~zmap =
+  { words; mask = Array.length words - 1; count; zmap }

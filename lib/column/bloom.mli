@@ -47,6 +47,14 @@ val range_may_match : t -> Zmap.t -> bool
 val nbits : t -> int
 val approx_bytes : t -> int
 
+(** Raw filter words (serialization — the [.sic] footer persists filters
+    built at save time). *)
+val words : t -> int array
+
+(** Rebuild a filter from serialized parts.  [words] must be the
+    power-of-two-length array a filter was built with. *)
+val restore : words:int array -> count:int -> zmap:Zmap.t -> t
+
 (** Test hook: when [Some n], [create] clamps every new filter to [n] total
     bits, forcing high false-positive rates so the fuzz suite can prove
     transfer never filters results, only work. *)

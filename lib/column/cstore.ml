@@ -7,9 +7,16 @@
    [int array], a block that mixes types falls back to boxed values.
    Strings are dictionary-coded against a per-column dictionary shared by
    all blocks (codes are first-appearance-ordered; ordered tests use the
-   zone map's min/max strings). *)
+   zone map's min/max strings).
 
-type cvec =
+   Blocks come from one of two sources.  [Resident] keeps them decoded in
+   RAM (the [of_rows] build path).  [Paged] fetches them on demand from a
+   compressed file through the block cache; zone maps, block lengths, and
+   column kinds stay resident so skipping decisions cost no I/O, and the
+   encoded columns are reachable without decoding for the direct
+   (compressed-execution) kernels. *)
+
+type cvec = Encode.cvec =
   | C_int of int array * Bitset.t option
   | C_float of float array * Bitset.t option
   | C_dict of int array * Bitset.t option
@@ -18,10 +25,24 @@ type cvec =
 
 type block = { length : int; cols : cvec array; zmaps : Zmap.t array }
 
+type kind = K_int | K_float | K_dict | K_bool | K_mixed | K_varied | K_empty
+
+type pager = {
+  p_lengths : int array;
+  p_zmaps : Zmap.t array array;
+  p_kinds : kind array;
+  p_blooms : Bloom.t option array;
+  p_bytes : int;  (* compressed payload size *)
+  p_fetch : int -> block;
+  p_enc : int -> Encode.col array;
+}
+
+type source = Resident of block array | Paged of pager
+
 type t = {
   schema : Schema.t;
   dicts : Dict.t option array;
-  blocks : block array;
+  source : source;
   length : int;
 }
 
@@ -32,9 +53,51 @@ let default_block_size = 4096
 
 let schema t = t.schema
 let length t = t.length
-let nblocks t = Array.length t.blocks
-let block t i = t.blocks.(i)
+
+let nblocks t =
+  match t.source with
+  | Resident blocks -> Array.length blocks
+  | Paged p -> Array.length p.p_lengths
+
+let block t i =
+  match t.source with Resident blocks -> blocks.(i) | Paged p -> p.p_fetch i
+
 let dict t ci = t.dicts.(ci)
+let is_paged t = match t.source with Paged _ -> true | Resident _ -> false
+
+let block_length t i =
+  match t.source with
+  | Resident blocks -> blocks.(i).length
+  | Paged p -> p.p_lengths.(i)
+
+let block_zmaps t i =
+  match t.source with
+  | Resident blocks -> blocks.(i).zmaps
+  | Paged p -> p.p_zmaps.(i)
+
+let block_enc t i =
+  match t.source with Resident _ -> None | Paged p -> Some (p.p_enc i)
+
+let kind_of_cvec = function
+  | C_int _ -> K_int
+  | C_float _ -> K_float
+  | C_dict _ -> K_dict
+  | C_bool _ -> K_bool
+  | C_mixed _ -> K_mixed
+
+let col_kind t ci =
+  match t.source with
+  | Paged p -> p.p_kinds.(ci)
+  | Resident blocks ->
+    if Array.length blocks = 0 then K_empty
+    else begin
+      let k = kind_of_cvec blocks.(0).cols.(ci) in
+      let uniform = ref true in
+      for bi = 1 to Array.length blocks - 1 do
+        if kind_of_cvec blocks.(bi).cols.(ci) <> k then uniform := false
+      done;
+      if !uniform then k else K_varied
+    end
 
 let with_schema schema t = { t with schema }
 
@@ -124,6 +187,19 @@ let build_col dicts ci rows lo len =
   in
   (vec, zmap)
 
+(* One block over rows.(lo .. lo+len-1), interning strings into the shared
+   [dicts] — the streaming [.sic] writer builds blocks one at a time with
+   file-lifetime dictionaries. *)
+let build_block ~dicts ~arity rows ~lo ~len =
+  let cols = Array.make arity (C_mixed [||]) in
+  let zmaps = Array.make arity Zmap.empty in
+  for ci = 0 to arity - 1 do
+    let vec, zmap = build_col dicts ci rows lo len in
+    cols.(ci) <- vec;
+    zmaps.(ci) <- zmap
+  done;
+  { length = len; cols; zmaps }
+
 let of_rows ?(block_size = default_block_size) schema rows =
   if block_size <= 0 then invalid_arg "Cstore.of_rows: block_size <= 0";
   let n = Array.length rows in
@@ -143,7 +219,33 @@ let of_rows ?(block_size = default_block_size) schema rows =
         done;
         { length = len; cols; zmaps })
   in
-  { schema; dicts; blocks; length = n }
+  { schema; dicts; source = Resident blocks; length = n }
+
+let make_resident ~schema ~dicts ~blocks =
+  let length = Array.fold_left (fun acc (b : block) -> acc + b.length) 0 blocks in
+  { schema; dicts; source = Resident blocks; length }
+
+let make_paged ~schema ~dicts ~lengths ~zmaps ~kinds ~blooms ~bytes ~fetch ~enc =
+  let length = Array.fold_left ( + ) 0 lengths in
+  {
+    schema;
+    dicts;
+    source =
+      Paged
+        {
+          p_lengths = lengths;
+          p_zmaps = zmaps;
+          p_kinds = kinds;
+          p_blooms = blooms;
+          p_bytes = bytes;
+          p_fetch = fetch;
+          p_enc = enc;
+        };
+    length;
+  }
+
+let col_bloom t ci =
+  match t.source with Resident _ -> None | Paged p -> p.p_blooms.(ci)
 
 (* ---- reading ---- *)
 
@@ -174,19 +276,25 @@ let row_of t (b : block) i : Row.t =
 
 let block_rows t (b : block) : Row.t array = Array.init b.length (row_of t b)
 
+let iter_blocks f t =
+  match t.source with
+  | Resident blocks -> Array.iter f blocks
+  | Paged p ->
+    for bi = 0 to Array.length p.p_lengths - 1 do
+      f (p.p_fetch bi)
+    done
+
 let to_rows t : Row.t array =
   let out = Array.make t.length [||] in
   let pos = ref 0 in
-  Array.iter
+  iter_blocks
     (fun (b : block) ->
       for i = 0 to b.length - 1 do
         out.(!pos) <- row_of t b i;
         incr pos
       done)
-    t.blocks;
+    t;
   out
-
-let iter_blocks f t = Array.iter f t.blocks
 
 (* ---- selection vectors ----
 
@@ -212,19 +320,28 @@ let sel_refine sel n test =
   !kept
 
 let max_block_length t =
-  Array.fold_left (fun acc (b : block) -> max acc b.length) 0 t.blocks
+  let acc = ref 0 in
+  for bi = 0 to nblocks t - 1 do
+    acc := max !acc (block_length t bi)
+  done;
+  !acc
 
 let iter_col t ci f =
-  Array.iter
+  iter_blocks
     (fun (b : block) ->
       for i = 0 to b.length - 1 do
         f (value_at t b ci i)
       done)
-    t.blocks
+    t
 
-(* Table-level zone map of one column: union over all blocks. *)
+(* Table-level zone map of one column: union over all blocks (metadata
+   only — no block fetch for paged stores). *)
 let col_zmap t ci =
-  Array.fold_left (fun acc b -> Zmap.merge acc b.zmaps.(ci)) Zmap.empty t.blocks
+  let acc = ref Zmap.empty in
+  for bi = 0 to nblocks t - 1 do
+    acc := Zmap.merge !acc (block_zmaps t bi).(ci)
+  done;
+  !acc
 
 (* ---- footprint ---- *)
 
@@ -240,15 +357,21 @@ let vec_bytes = function
     + (match bm with Some b -> Bitset.approx_bytes b | None -> 0)
   | C_mixed a -> Array.fold_left (fun acc v -> acc + 8 + Value.approx_bytes v) 0 a
 
+let block_bytes (b : block) =
+  Array.fold_left (fun acc vec -> acc + vec_bytes vec) 0 b.cols
+
+let dict_bytes dicts =
+  Array.fold_left
+    (fun acc d -> match d with Some d -> acc + Dict.approx_bytes d | None -> acc)
+    0 dicts
+
 let approx_bytes t =
-  let blocks =
-    Array.fold_left
-      (fun acc b -> Array.fold_left (fun acc vec -> acc + vec_bytes vec) acc b.cols)
-      0 t.blocks
-  in
-  let dicts =
-    Array.fold_left
-      (fun acc d -> match d with Some d -> acc + Dict.approx_bytes d | None -> acc)
-      0 t.dicts
-  in
-  blocks + dicts
+  match t.source with
+  | Resident blocks ->
+    let body =
+      Array.fold_left
+        (fun acc b -> Array.fold_left (fun acc vec -> acc + vec_bytes vec) acc b.cols)
+        0 blocks
+    in
+    body + dict_bytes t.dicts
+  | Paged p -> p.p_bytes + dict_bytes t.dicts

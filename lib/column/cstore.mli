@@ -6,10 +6,16 @@
     blocks) with an optional null bitmap, plus a {!Zmap.t} zone map built
     in the same pass.  Conversion to and from row form is lossless.
 
-    The representation is exposed so the execution layer can compile
-    column-aware scan kernels against it. *)
+    A store's blocks are either {e resident} (decoded in RAM, built by
+    {!of_rows}) or {e paged}: fetched on demand from a compressed source —
+    a [.sic] file behind the block cache — via {!make_paged}.  Per-block
+    zone maps, lengths, and column kinds are always resident, so block
+    skipping and kernel selection never touch the disk tier; only
+    surviving blocks are fetched.  [block_enc] additionally exposes a
+    paged block's encoded columns so scans can evaluate predicates
+    directly on the compressed form. *)
 
-type cvec =
+type cvec = Encode.cvec =
   | C_int of int array * Bitset.t option
   | C_float of float array * Bitset.t option
   | C_dict of int array * Bitset.t option  (** codes into the column dictionary *)
@@ -18,22 +24,67 @@ type cvec =
 
 type block = { length : int; cols : cvec array; zmaps : Zmap.t array }
 
-type t = private {
-  schema : Schema.t;
-  dicts : Dict.t option array;
-  blocks : block array;
-  length : int;
-}
+type t
+
+(** Uniform physical kind of a column across all blocks ([K_varied] when
+    blocks disagree, [K_empty] for a zero-block store). *)
+type kind = K_int | K_float | K_dict | K_bool | K_mixed | K_varied | K_empty
 
 val default_block_size : int
 
 val of_rows : ?block_size:int -> Schema.t -> Row.t array -> t
+
+val make_resident :
+  schema:Schema.t -> dicts:Dict.t option array -> blocks:block array -> t
+(** Wrap already-decoded blocks (the [.sic] resident-load path). *)
+
+val make_paged :
+  schema:Schema.t ->
+  dicts:Dict.t option array ->
+  lengths:int array ->
+  zmaps:Zmap.t array array ->
+  kinds:kind array ->
+  blooms:Bloom.t option array ->
+  bytes:int ->
+  fetch:(int -> block) ->
+  enc:(int -> Encode.col array) ->
+  t
+(** Build a paged store over [Array.length lengths] blocks.  [fetch bi]
+    returns block [bi] decoded (typically via the block cache); [enc bi]
+    returns its encoded columns.  [zmaps.(bi)] are the per-block zone maps,
+    [blooms] optional per-column whole-table filters from the file footer,
+    and [bytes] the compressed payload size ({!approx_bytes}). *)
+
+val build_block :
+  dicts:Dict.t option array -> arity:int -> Row.t array -> lo:int -> len:int -> block
+(** Build one block over [rows.(lo .. lo+len-1)], interning strings into
+    the shared [dicts] (the streaming [.sic] writer's per-chunk step). *)
 
 val schema : t -> Schema.t
 val length : t -> int
 val nblocks : t -> int
 val block : t -> int -> block
 val dict : t -> int -> Dict.t option
+
+val is_paged : t -> bool
+
+val block_length : t -> int -> int
+(** Row count of block [i], without fetching it. *)
+
+val block_zmaps : t -> int -> Zmap.t array
+(** Zone maps of block [i], without fetching it. *)
+
+val block_enc : t -> int -> Encode.col array option
+(** Encoded columns of block [i] for a paged store ([None] if resident). *)
+
+val col_kind : t -> int -> kind
+(** Physical kind of column [ci] across blocks (metadata-only for paged
+    stores; a tag scan over resident blocks). *)
+
+val col_bloom : t -> int -> Bloom.t option
+(** Whole-table Bloom filter over column [ci]'s values, when the paged
+    source's footer carries one ([None] for resident stores).  Used to
+    refute equality probes without touching any block. *)
 
 (** Same blocks under a different schema (e.g. requalified aliases). *)
 val with_schema : Schema.t -> t -> t
@@ -61,3 +112,8 @@ val iter_col : t -> int -> (Value.t -> unit) -> unit
 val col_zmap : t -> int -> Zmap.t
 
 val approx_bytes : t -> int
+(** Resident: decoded in-RAM footprint.  Paged: compressed payload size
+    (the resident footprint is whatever the block cache holds). *)
+
+val block_bytes : block -> int
+(** Decoded in-RAM footprint of one block (block-cache entry weights). *)

@@ -1,0 +1,597 @@
+(* Block compression codecs and compressed-execution kernels.
+
+   Encoding choices are made per block column from the values actually
+   present, mirroring how Cstore picks a physical type per block:
+
+   - int / dict-code vectors: one pass computes min, max, and run count;
+     frame-of-reference + bit-packing, RLE, and raw 64-bit are costed in
+     bytes and the cheapest wins.  FOR widths stop at 57 bits so any
+     packed value spans at most one aligned 64-bit window read
+     (width + intra-byte shift ≤ 64); wider ranges (or a max-min that
+     overflows the 63-bit native int) go raw.
+   - null bitmaps: alternating run lengths starting with the non-null run
+     (sparse nulls — the common case — collapse to a handful of ints).
+   - floats raw LE, bools packed bits, mixed blocks boxed values.
+
+   Direct kernels (int_test / sel_fill_* / iter_int_segments) evaluate over
+   the encoded form: FOR gives O(1) random access, RLE gives one test per
+   run.  They are the "operate on compressed data" half of the tentpole. *)
+
+type cvec =
+  | C_int of int array * Bitset.t option
+  | C_float of float array * Bitset.t option
+  | C_dict of int array * Bitset.t option
+  | C_bool of Bitset.t * Bitset.t option
+  | C_mixed of Value.t array
+
+type nulls = N_none | N_runs of int array
+
+type ints =
+  | I_for of { base : int; width : int; packed : Bytes.t }
+  | I_rle of { values : int array; lengths : int array }
+  | I_raw of Bytes.t
+
+type col =
+  | E_int of { n : int; data : ints; nulls : nulls }
+  | E_dict of { n : int; data : ints; nulls : nulls }
+  | E_float of { n : int; data : Bytes.t; nulls : nulls }
+  | E_bool of { n : int; bits : Bytes.t; nulls : nulls }
+  | E_mixed of Value.t array
+
+(* ---- null runs ---- *)
+
+let runs_of_bitset n bm =
+  if Bitset.count bm = 0 then N_none
+  else begin
+    let runs = ref [] and run = ref 0 and cur = ref false in
+    for i = 0 to n - 1 do
+      let b = Bitset.get bm i in
+      if b = !cur then incr run
+      else begin
+        runs := !run :: !runs;
+        cur := b;
+        run := 1
+      end
+    done;
+    runs := !run :: !runs;
+    N_runs (Array.of_list (List.rev !runs))
+  end
+
+let nulls_of_bitmap n = function
+  | None -> N_none
+  | Some bm -> runs_of_bitset n bm
+
+let bitset_of_runs n runs =
+  let bm = Bitset.create n in
+  let pos = ref 0 and isnull = ref false in
+  Array.iter
+    (fun len ->
+      if !isnull then
+        for i = !pos to !pos + len - 1 do
+          Bitset.set bm i
+        done;
+      pos := !pos + len;
+      isnull := not !isnull)
+    runs;
+  bm
+
+let null_bitset = function
+  | E_int { n; nulls = N_runs r; _ }
+  | E_dict { n; nulls = N_runs r; _ }
+  | E_float { n; nulls = N_runs r; _ }
+  | E_bool { n; nulls = N_runs r; _ } ->
+    Some (bitset_of_runs n r)
+  | E_mixed a ->
+    let n = Array.length a in
+    let bm = Bitset.create n in
+    let any = ref false in
+    Array.iteri
+      (fun i v ->
+        if Value.is_null v then begin
+          Bitset.set bm i;
+          any := true
+        end)
+      a;
+    if !any then Some bm else None
+  | _ -> None
+
+let null_count_of = function
+  | N_none -> 0
+  | N_runs runs ->
+    let c = ref 0 and isnull = ref false in
+    Array.iter
+      (fun len ->
+        if !isnull then c := !c + len;
+        isnull := not !isnull)
+      runs;
+    !c
+
+let null_count = function
+  | E_int { nulls; _ } | E_dict { nulls; _ } | E_float { nulls; _ }
+  | E_bool { nulls; _ } ->
+    null_count_of nulls
+  | E_mixed a ->
+    Array.fold_left (fun acc v -> if Value.is_null v then acc + 1 else acc) 0 a
+
+let length = function
+  | E_int { n; _ } | E_dict { n; _ } | E_float { n; _ } | E_bool { n; _ } -> n
+  | E_mixed a -> Array.length a
+
+(* ---- int codecs ---- *)
+
+let bits_needed r =
+  let w = ref 0 and x = ref r in
+  while !x > 0 do
+    incr w;
+    x := !x lsr 1
+  done;
+  !w
+
+(* Packed buffers carry 8 slack bytes so the 64-bit window covering the
+   last value never reads past the end. *)
+let pack_for base width a =
+  let n = Array.length a in
+  let nbytes = (((n * width) + 7) / 8) + 8 in
+  let b = Bytes.make nbytes '\000' in
+  if width > 0 then
+    for i = 0 to n - 1 do
+      let d = a.(i) - base in
+      let bitpos = i * width in
+      let byte = bitpos lsr 3 and shift = bitpos land 7 in
+      let cur = Bytes.get_int64_le b byte in
+      Bytes.set_int64_le b byte
+        (Int64.logor cur (Int64.shift_left (Int64.of_int d) shift))
+    done;
+  b
+
+let get_for base width packed i =
+  if width = 0 then base
+  else begin
+    let bitpos = i * width in
+    let byte = bitpos lsr 3 and shift = bitpos land 7 in
+    let w = Bytes.get_int64_le packed byte in
+    let mask = Int64.sub (Int64.shift_left 1L width) 1L in
+    base + Int64.to_int (Int64.logand (Int64.shift_right_logical w shift) mask)
+  end
+
+let max_for_width = 57
+
+let encode_ints a =
+  let n = Array.length a in
+  if n = 0 then I_for { base = 0; width = 0; packed = Bytes.create 0 }
+  else begin
+    let mn = ref a.(0) and mx = ref a.(0) and nruns = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) < !mn then mn := a.(i);
+      if a.(i) > !mx then mx := a.(i);
+      if a.(i) <> a.(i - 1) then incr nruns
+    done;
+    let range = !mx - !mn in
+    let for_cost =
+      if range < 0 then max_int (* max-min overflowed the native int *)
+      else
+        let w = bits_needed range in
+        if w > max_for_width then max_int else 17 + (((n * w) + 7) / 8) + 8
+    in
+    let rle_cost = 4 + (12 * !nruns) in
+    let raw_cost = 8 * n in
+    if for_cost <= rle_cost && for_cost <= raw_cost then
+      let w = bits_needed range in
+      I_for { base = !mn; width = w; packed = pack_for !mn w a }
+    else if rle_cost <= raw_cost then begin
+      let values = Array.make !nruns 0 and lengths = Array.make !nruns 0 in
+      let k = ref (-1) in
+      for i = 0 to n - 1 do
+        if i = 0 || a.(i) <> a.(i - 1) then begin
+          incr k;
+          values.(!k) <- a.(i);
+          lengths.(!k) <- 1
+        end
+        else lengths.(!k) <- lengths.(!k) + 1
+      done;
+      I_rle { values; lengths }
+    end
+    else begin
+      let b = Bytes.create (8 * n) in
+      for i = 0 to n - 1 do
+        Bytes.set_int64_le b (8 * i) (Int64.of_int a.(i))
+      done;
+      I_raw b
+    end
+  end
+
+let decode_ints n data =
+  match data with
+  | I_for { base; width; packed } -> Array.init n (get_for base width packed)
+  | I_rle { values; lengths } ->
+    let a = Array.make n 0 in
+    let pos = ref 0 in
+    Array.iteri
+      (fun k v ->
+        for i = !pos to !pos + lengths.(k) - 1 do
+          a.(i) <- v
+        done;
+        pos := !pos + lengths.(k))
+      values;
+    a
+  | I_raw b -> Array.init n (fun i -> Int64.to_int (Bytes.get_int64_le b (8 * i)))
+
+(* Random access over any int encoding (RLE via prefix-sum binary search). *)
+let int_get data =
+  match data with
+  | I_for { base; width; packed } -> fun i -> get_for base width packed i
+  | I_raw b -> fun i -> Int64.to_int (Bytes.get_int64_le b (8 * i))
+  | I_rle { values; lengths } ->
+    let starts = Array.make (Array.length lengths + 1) 0 in
+    Array.iteri (fun k l -> starts.(k + 1) <- starts.(k) + l) lengths;
+    fun i ->
+      let lo = ref 0 and hi = ref (Array.length values - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if starts.(mid) <= i then lo := mid else hi := mid - 1
+      done;
+      values.(!lo)
+
+(* ---- encode / decode ---- *)
+
+let of_cvec ~len vec =
+  match vec with
+  | C_int (a, bm) -> E_int { n = len; data = encode_ints a; nulls = nulls_of_bitmap len bm }
+  | C_dict (a, bm) -> E_dict { n = len; data = encode_ints a; nulls = nulls_of_bitmap len bm }
+  | C_float (a, bm) ->
+    let b = Bytes.create (8 * len) in
+    for i = 0 to len - 1 do
+      Bytes.set_int64_le b (8 * i) (Int64.bits_of_float a.(i))
+    done;
+    E_float { n = len; data = b; nulls = nulls_of_bitmap len bm }
+  | C_bool (v, bm) ->
+    let b = Bytes.make ((len + 7) / 8) '\000' in
+    for i = 0 to len - 1 do
+      if Bitset.get v i then
+        Bytes.set b (i lsr 3)
+          (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+    done;
+    E_bool { n = len; bits = b; nulls = nulls_of_bitmap len bm }
+  | C_mixed a -> E_mixed a
+
+let bitmap_of_nulls n = function
+  | N_none -> None
+  | N_runs runs -> Some (bitset_of_runs n runs)
+
+let to_cvec = function
+  | E_int { n; data; nulls } -> C_int (decode_ints n data, bitmap_of_nulls n nulls)
+  | E_dict { n; data; nulls } -> C_dict (decode_ints n data, bitmap_of_nulls n nulls)
+  | E_float { n; data; nulls } ->
+    let a = Array.init n (fun i -> Int64.float_of_bits (Bytes.get_int64_le data (8 * i))) in
+    C_float (a, bitmap_of_nulls n nulls)
+  | E_bool { n; bits; nulls } ->
+    let v = Bitset.create n in
+    for i = 0 to n - 1 do
+      if Char.code (Bytes.get bits (i lsr 3)) land (1 lsl (i land 7)) <> 0 then
+        Bitset.set v i
+    done;
+    C_bool (v, bitmap_of_nulls n nulls)
+  | E_mixed a -> C_mixed a
+
+(* ---- footprint ---- *)
+
+let ints_bytes = function
+  | I_for { packed; _ } -> 17 + Bytes.length packed
+  | I_rle { values; _ } -> 4 + (12 * Array.length values)
+  | I_raw b -> Bytes.length b
+
+let nulls_bytes = function N_none -> 1 | N_runs r -> 5 + (4 * Array.length r)
+
+let encoded_bytes = function
+  | E_int { data; nulls; _ } | E_dict { data; nulls; _ } ->
+    5 + ints_bytes data + nulls_bytes nulls
+  | E_float { data; nulls; _ } -> 5 + Bytes.length data + nulls_bytes nulls
+  | E_bool { bits; nulls; _ } -> 5 + Bytes.length bits + nulls_bytes nulls
+  | E_mixed a ->
+    Array.fold_left (fun acc v -> acc + 1 + Value.approx_bytes v) 5 a
+
+(* ---- serialization ----
+
+   Fixed-width little-endian throughout; see DESIGN.md §13 for the layout.
+   u32 counts are read back unsigned. *)
+
+let w_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+let w_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+let w_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+type cursor = { buf : Bytes.t; mutable pos : int }
+
+let r_u8 c =
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  let v = Int32.to_int (Bytes.get_int32_le c.buf c.pos) land 0xffffffff in
+  c.pos <- c.pos + 4;
+  v
+
+let r_i64 c =
+  let v = Int64.to_int (Bytes.get_int64_le c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_bytes c len =
+  let b = Bytes.sub c.buf c.pos len in
+  c.pos <- c.pos + len;
+  b
+
+let w_nulls buf = function
+  | N_none -> w_u8 buf 0
+  | N_runs runs ->
+    w_u8 buf 1;
+    w_u32 buf (Array.length runs);
+    Array.iter (w_u32 buf) runs
+
+let r_nulls c =
+  match r_u8 c with
+  | 0 -> N_none
+  | 1 ->
+    let k = r_u32 c in
+    N_runs (Array.init k (fun _ -> r_u32 c))
+  | t -> failwith (Printf.sprintf "Encode.read: bad null tag %d" t)
+
+let w_ints buf = function
+  | I_for { base; width; packed } ->
+    w_u8 buf 0;
+    w_i64 buf base;
+    w_u8 buf width;
+    w_u32 buf (Bytes.length packed);
+    Buffer.add_bytes buf packed
+  | I_rle { values; lengths } ->
+    w_u8 buf 1;
+    w_u32 buf (Array.length values);
+    Array.iteri
+      (fun k v ->
+        w_i64 buf v;
+        w_u32 buf lengths.(k))
+      values
+  | I_raw b ->
+    w_u8 buf 2;
+    w_u32 buf (Bytes.length b);
+    Buffer.add_bytes buf b
+
+let r_ints c =
+  match r_u8 c with
+  | 0 ->
+    let base = r_i64 c in
+    let width = r_u8 c in
+    let nbytes = r_u32 c in
+    I_for { base; width; packed = r_bytes c nbytes }
+  | 1 ->
+    let k = r_u32 c in
+    let values = Array.make k 0 and lengths = Array.make k 0 in
+    for i = 0 to k - 1 do
+      values.(i) <- r_i64 c;
+      lengths.(i) <- r_u32 c
+    done;
+    I_rle { values; lengths }
+  | 2 ->
+    let nbytes = r_u32 c in
+    I_raw (r_bytes c nbytes)
+  | t -> failwith (Printf.sprintf "Encode.read: bad ints tag %d" t)
+
+let w_value buf = function
+  | Value.Null -> w_u8 buf 0
+  | Value.Int x ->
+    w_u8 buf 1;
+    w_i64 buf x
+  | Value.Float f ->
+    w_u8 buf 2;
+    Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Value.Str s ->
+    w_u8 buf 3;
+    w_u32 buf (String.length s);
+    Buffer.add_string buf s
+  | Value.Bool b ->
+    w_u8 buf 4;
+    w_u8 buf (if b then 1 else 0)
+
+let r_value c =
+  match r_u8 c with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (r_i64 c)
+  | 2 ->
+    let bits = Bytes.get_int64_le c.buf c.pos in
+    c.pos <- c.pos + 8;
+    Value.Float (Int64.float_of_bits bits)
+  | 3 ->
+    let len = r_u32 c in
+    let s = Bytes.sub_string c.buf c.pos len in
+    c.pos <- c.pos + len;
+    Value.Str s
+  | 4 -> Value.Bool (r_u8 c <> 0)
+  | t -> failwith (Printf.sprintf "Encode.read: bad value tag %d" t)
+
+let write buf col =
+  match col with
+  | E_int { n; data; nulls } ->
+    w_u8 buf 0;
+    w_u32 buf n;
+    w_nulls buf nulls;
+    w_ints buf data
+  | E_dict { n; data; nulls } ->
+    w_u8 buf 1;
+    w_u32 buf n;
+    w_nulls buf nulls;
+    w_ints buf data
+  | E_float { n; data; nulls } ->
+    w_u8 buf 2;
+    w_u32 buf n;
+    w_nulls buf nulls;
+    Buffer.add_bytes buf data
+  | E_bool { n; bits; nulls } ->
+    w_u8 buf 3;
+    w_u32 buf n;
+    w_nulls buf nulls;
+    Buffer.add_bytes buf bits
+  | E_mixed a ->
+    w_u8 buf 4;
+    w_u32 buf (Array.length a);
+    Array.iter (w_value buf) a
+
+let read buf pos =
+  let c = { buf; pos } in
+  let col =
+    match r_u8 c with
+    | 0 ->
+      let n = r_u32 c in
+      let nulls = r_nulls c in
+      E_int { n; data = r_ints c; nulls }
+    | 1 ->
+      let n = r_u32 c in
+      let nulls = r_nulls c in
+      E_dict { n; data = r_ints c; nulls }
+    | 2 ->
+      let n = r_u32 c in
+      let nulls = r_nulls c in
+      E_float { n; data = r_bytes c (8 * n); nulls }
+    | 3 ->
+      let n = r_u32 c in
+      let nulls = r_nulls c in
+      E_bool { n; bits = r_bytes c ((n + 7) / 8); nulls }
+    | 4 ->
+      let n = r_u32 c in
+      E_mixed (Array.init n (fun _ -> r_value c))
+    | t -> failwith (Printf.sprintf "Encode.read: bad column tag %d" t)
+  in
+  (col, c.pos)
+
+(* ---- direct kernels ---- *)
+
+let cmp_int (cmp : Zmap.cmp) v k =
+  match cmp with
+  | Zmap.Eq -> v = k
+  | Zmap.Ne -> v <> k
+  | Zmap.Lt -> v < k
+  | Zmap.Le -> v <= k
+  | Zmap.Gt -> v > k
+  | Zmap.Ge -> v >= k
+
+let null_test n nulls =
+  match nulls with
+  | N_none -> fun _ -> false
+  | N_runs runs ->
+    let bm = bitset_of_runs n runs in
+    fun i -> Bitset.get bm i
+
+let int_test col cmp k =
+  match col with
+  | E_int { n; data; nulls } ->
+    let get = int_get data in
+    let isnull = null_test n nulls in
+    Some (fun i -> (not (isnull i)) && cmp_int cmp (get i) k)
+  | _ -> None
+
+let code_test col op code =
+  match col with
+  | E_dict { n; data; nulls } ->
+    let get = int_get data in
+    let isnull = null_test n nulls in
+    (match op, code with
+     | `Eq, None -> Some (fun _ -> false)
+     | `Ne, None -> Some (fun i -> not (isnull i))
+     | `Eq, Some c -> Some (fun i -> (not (isnull i)) && get i = c)
+     | `Ne, Some c -> Some (fun i -> (not (isnull i)) && get i <> c))
+  | _ -> None
+
+(* Walk null runs; [f is_null run_len] in row order, zero-length runs
+   suppressed. *)
+let iter_null_runs n nulls f =
+  match nulls with
+  | N_none -> if n > 0 then f false n
+  | N_runs runs ->
+    let isnull = ref false in
+    Array.iter
+      (fun len ->
+        if len > 0 then f !isnull len;
+        isnull := not !isnull)
+      runs
+
+let iter_int_segments col f =
+  match col with
+  | E_int { n; data; nulls } | E_dict { n; data; nulls } ->
+    (match data with
+     | I_rle { values; lengths } ->
+       (* Two-pointer merge of data runs and null runs. *)
+       let nd = Array.length values in
+       let di = ref 0 and dleft = ref (if nd > 0 then lengths.(0) else 0) in
+       let emit isnull len =
+         let left = ref len in
+         while !left > 0 do
+           while !dleft = 0 && !di < nd - 1 do
+             incr di;
+             dleft := lengths.(!di)
+           done;
+           let seg = min !left !dleft in
+           f values.(!di) seg isnull;
+           dleft := !dleft - seg;
+           left := !left - seg
+         done
+       in
+       iter_null_runs n nulls emit
+     | I_for _ | I_raw _ ->
+       let get = int_get data in
+       let pos = ref 0 in
+       iter_null_runs n nulls (fun isnull len ->
+           if isnull then f 0 len true
+           else
+             for i = !pos to !pos + len - 1 do
+               f (get i) 1 false
+             done;
+           pos := !pos + len));
+    true
+  | _ -> false
+
+let sel_fill_segments col test sel =
+  let cnt = ref 0 and pos = ref 0 in
+  let ok =
+    iter_int_segments col (fun v len isnull ->
+        if (not isnull) && test v then
+          for i = !pos to !pos + len - 1 do
+            sel.(!cnt) <- i;
+            incr cnt
+          done;
+        pos := !pos + len)
+  in
+  if ok then Some !cnt else None
+
+let sel_fill_int col cmp k sel =
+  match col with
+  | E_int _ -> sel_fill_segments col (fun v -> cmp_int cmp v k) sel
+  | _ -> None
+
+let sel_fill_code col op code sel =
+  match col with
+  | E_dict _ ->
+    let test =
+      match op, code with
+      | `Eq, None -> fun _ -> false
+      | `Ne, None -> fun _ -> true
+      | `Eq, Some c -> fun v -> v = c
+      | `Ne, Some c -> fun v -> v <> c
+    in
+    sel_fill_segments col test sel
+  | _ -> None
+
+let iter_floats_nonnull col f =
+  match col with
+  | E_float { n; data; nulls } ->
+    let isnull = null_test n nulls in
+    for i = 0 to n - 1 do
+      if not (isnull i) then f (Int64.float_of_bits (Bytes.get_int64_le data (8 * i)))
+    done;
+    true
+  | _ -> false
+
+let write_value buf v = w_value buf v
+
+let read_value buf pos =
+  let c = { buf; pos } in
+  let v = r_value c in
+  (v, c.pos)

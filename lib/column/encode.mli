@@ -1,0 +1,106 @@
+(** Block compression codecs and compressed-execution kernels.
+
+    One {!col} is the encoded form of a single column within one block:
+
+    - int and dict-code vectors: frame-of-reference + bit-packing (widths up
+      to 57 bits; wider ranges fall back to raw 64-bit), or run-length
+      encoding when runs are cheaper — whichever costs fewer bytes;
+    - null bitmaps: alternating run lengths (starting with the non-null
+      run, which may be zero);
+    - floats: raw 64-bit little-endian;
+    - booleans: packed bits;
+    - mixed-type blocks: boxed values (storage fallback).
+
+    The module owns the {!cvec} decoded-vector type; {!Cstore} re-exports it
+    so the execution layer keeps using [Cstore.C_int] etc.
+
+    Direct kernels evaluate predicates and iterate run segments over the
+    encoded form without materializing decoded arrays — the compressed
+    execution path used by [Colscan]/[Colagg]. *)
+
+type cvec =
+  | C_int of int array * Bitset.t option
+  | C_float of float array * Bitset.t option
+  | C_dict of int array * Bitset.t option  (** codes into the column dictionary *)
+  | C_bool of Bitset.t * Bitset.t option  (** (values, null bitmap) *)
+  | C_mixed of Value.t array  (** fallback for blocks mixing value types *)
+
+type nulls =
+  | N_none
+  | N_runs of int array
+      (** alternating run lengths over row positions, first run non-null
+          (possibly 0), then null, then non-null, … summing to the block
+          length *)
+
+type ints =
+  | I_for of { base : int; width : int; packed : Bytes.t }
+      (** frame-of-reference deltas, [width] bits each (≤ 57), LSB-first *)
+  | I_rle of { values : int array; lengths : int array }
+  | I_raw of Bytes.t  (** 8 bytes LE per value *)
+
+type col =
+  | E_int of { n : int; data : ints; nulls : nulls }
+  | E_dict of { n : int; data : ints; nulls : nulls }
+  | E_float of { n : int; data : Bytes.t; nulls : nulls }
+  | E_bool of { n : int; bits : Bytes.t; nulls : nulls }
+  | E_mixed of Value.t array
+
+val of_cvec : len:int -> cvec -> col
+(** Encode one block column.  Int-kind data picks the cheapest of
+    FOR+bit-packing, RLE, and raw by byte cost. *)
+
+val to_cvec : col -> cvec
+(** Decode back to a typed vector.  Lossless up to null-bitmap
+    normalization (an all-clear bitmap decodes to [None]). *)
+
+val length : col -> int
+val null_count : col -> int
+
+val null_bitset : col -> Bitset.t option
+(** Materializes the null bitmap from its run encoding ([None] if the
+    column has no nulls). *)
+
+val encoded_bytes : col -> int
+(** Serialized size in bytes (cache weights, compression-ratio metrics). *)
+
+(** {2 Serialization} *)
+
+val write : Buffer.t -> col -> unit
+
+val read : Bytes.t -> int -> col * int
+(** [read buf pos] parses one column, returning it and the next offset. *)
+
+(** Tagged single-value IO, shared with the [.sic] footer writer (zone-map
+    bounds, dictionary-free constants). *)
+val write_value : Buffer.t -> Value.t -> unit
+
+val read_value : Bytes.t -> int -> Value.t * int
+
+(** {2 Direct kernels} *)
+
+val int_test : col -> Zmap.cmp -> int -> (int -> bool) option
+(** Random-access row test [v cmp k] over an [E_int] column; null rows
+    fail.  [None] when the column is not int-encoded. *)
+
+val code_test : col -> [ `Eq | `Ne ] -> int option -> (int -> bool) option
+(** Same over an [E_dict] column's codes.  The probe code is [None] when
+    the probe string is absent from the dictionary (Eq matches nothing, Ne
+    matches every non-null row). *)
+
+val sel_fill_int : col -> Zmap.cmp -> int -> int array -> int option
+(** Sequential selection fill over an [E_int] column: writes the matching
+    non-null row indices (ascending) into [sel], returns the count.
+    Run-length segments are tested once per run. *)
+
+val sel_fill_code : col -> [ `Eq | `Ne ] -> int option -> int array -> int option
+(** Same over an [E_dict] column's codes. *)
+
+val iter_int_segments : col -> (int -> int -> bool -> unit) -> bool
+(** [iter_int_segments c f] calls [f value run_length is_null] over an
+    int-encoded column ([E_int]/[E_dict]) in row order; RLE data yields
+    whole runs, FOR/raw data yields per-row segments (nulls still
+    batched).  Returns [false] (no calls) for other encodings. *)
+
+val iter_floats_nonnull : col -> (float -> unit) -> bool
+(** Iterate non-null float values in row order; [false] for non-float
+    columns. *)

@@ -19,6 +19,11 @@ let compare a b =
 
 let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t
 
+(* SQL: a NULL in an equi-join key matches nothing, so key-based join
+   operators (hash, merge) must drop such rows rather than let the
+   hashtable's structural equality pair NULL with NULL. *)
+let has_null t = Array.exists (fun v -> v = Value.Null) t
+
 let to_string t =
   "(" ^ String.concat ", " (Array.to_list (Array.map Value.to_string t)) ^ ")"
 

@@ -8,6 +8,13 @@ val project : t -> int list -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
+
+val has_null : t -> bool
+(** [true] when any field is [Value.Null] — an equi-join key containing a
+    NULL matches nothing under SQL semantics, while {!Tbl}'s structural
+    equality would pair it with an identical key; key-based joins must
+    check this before inserting or probing. *)
+
 val to_string : t -> string
 
 (** Hashtbl key module with total (SQL-agnostic) equality. *)

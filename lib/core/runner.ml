@@ -187,6 +187,14 @@ let rec run ?span ?(analyze = false) ?(tech = Optimizer.all_techniques)
      query's accounting. *)
   let skipped0, scanned0 = Colscan.counters () in
   let tb0, tp0, td0 = Colscan.transfer_counters () in
+  (* Compressed-storage tier: blocks decoded vs answered directly on the
+     encoded form, and block-cache traffic (lib/column DESIGN.md §13). *)
+  let sic_counters =
+    List.map Obs.Metrics.counter
+      [ "sic.blocks_decoded"; "sic.blocks_direct"; "sic.cache_hits";
+        "sic.cache_misses"; "sic.cache_evictions" ]
+  in
+  let sic0 = List.map Obs.Metrics.read sic_counters in
   let result, rep =
     run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
       ~transfer catalog main
@@ -218,9 +226,36 @@ let rec run ?span ?(analyze = false) ?(tech = Optimizer.all_techniques)
      Obs.Span.add_counter sp "transfer.rows_probed" (tp1 - tp0);
      Obs.Span.add_counter sp "transfer.rows_dropped" (td1 - td0)
    | _ -> ());
+  let sic_deltas =
+    List.map2
+      (fun c v0 -> (Obs.Metrics.name c, Obs.Metrics.read c - v0))
+      sic_counters sic0
+    |> List.filter (fun (_, d) -> d > 0)
+  in
+  (match span with
+   | Some sp ->
+     List.iter (fun (n, d) -> Obs.Span.add_counter sp n d) sic_deltas
+   | None -> ());
+  let sic_notes =
+    if sic_deltas = [] then []
+    else
+      [ "compressed tier: "
+        ^ String.concat " "
+            (List.map
+               (fun (n, d) ->
+                 let n =
+                   if String.length n > 4 && String.sub n 0 4 = "sic." then
+                     String.sub n 4 (String.length n - 4)
+                   else n
+                 in
+                 Printf.sprintf "%s=%d" n d)
+               sic_deltas) ]
+  in
   ( result,
-    { rep with notes = rep.notes @ block_notes; cte_reports = List.rev !cte_reports }
-  )
+    { rep with
+      notes = rep.notes @ block_notes @ sic_notes;
+      cte_reports = List.rev !cte_reports
+    } )
 
 and run_block ~span ~analyze ~tech ~nljp_config ~memo_strategy ~adaptive_apriori
     ~transfer catalog (q : Ast.query) =

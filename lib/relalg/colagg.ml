@@ -1,0 +1,244 @@
+(* Global aggregation directly on compressed blocks (see colagg.mli).
+
+   The accumulation discipline mirrors Agg's left-fold of [Value.add] /
+   [better] exactly: [mode] is 0 until the first non-null input, 1 while
+   the running value is an int, 2 once it is a float (overflow promotion
+   for SUM/AVG, float input for MIN/MAX).  Run-length segments fold in one
+   multiply when provably overflow-free; otherwise the run replays
+   per-element through the same step the row path takes. *)
+
+open Column
+
+let blocks_direct = Obs.Metrics.counter "sic.blocks_direct"
+
+type kern =
+  | A_count_star
+  | A_count of int
+  | A_sum of int * bool  (* column, is_float *)
+  | A_minmax of int * bool * bool  (* column, is_float, smaller *)
+  | A_avg of int * bool
+
+type scratch = {
+  mutable cnt : int;
+  mutable mode : int;  (* 0 = no input yet, 1 = int, 2 = float *)
+  mutable i : int;
+  mutable f : float;
+}
+
+(* Same-sign operands whose sum flips sign overflowed: promote to float,
+   exactly [Value.add]'s rule. *)
+let step_sum_int s v =
+  match s.mode with
+  | 0 ->
+    s.mode <- 1;
+    s.i <- v
+  | 1 ->
+    let sum = s.i + v in
+    if (s.i >= 0) = (v >= 0) && (sum >= 0) <> (s.i >= 0) then begin
+      s.mode <- 2;
+      s.f <- float_of_int s.i +. float_of_int v
+    end
+    else s.i <- sum
+  | _ -> s.f <- s.f +. float_of_int v
+
+let step_sum_float s v =
+  match s.mode with
+  | 0 ->
+    s.mode <- 2;
+    s.f <- v
+  | 1 ->
+    s.mode <- 2;
+    s.f <- float_of_int s.i +. v
+  | _ -> s.f <- s.f +. v
+
+(* |acc| and |v|·len both under 2^60 keeps every intermediate partial sum
+   below 2^61 < max_int, so no step of the row path's fold would have
+   promoted — folding the whole run as one multiply is then exact. *)
+let sum_guard = 1 lsl 60
+
+let sum_run s v len =
+  if len > 0 then begin
+    if s.mode = 2 then
+      (* Float addition is not associative: replay per element so rounding
+         matches the row path bit for bit. *)
+      for _ = 1 to len do
+        s.f <- s.f +. float_of_int v
+      done
+    else begin
+      let acc = if s.mode = 0 then 0 else s.i in
+      if
+        v > -sum_guard && v < sum_guard
+        && abs v < sum_guard / len
+        && acc > -sum_guard && acc < sum_guard
+      then begin
+        s.mode <- 1;
+        s.i <- acc + (v * len)
+      end
+      else
+        for _ = 1 to len do
+          step_sum_int s v
+        done
+    end
+  end
+
+(* Strictly-better keeps the earlier value (and its representation) on
+   ties, like Agg's [better]; one test per run suffices since repetition
+   cannot change a min/max. *)
+let minmax_int smaller s v =
+  match s.mode with
+  | 0 ->
+    s.mode <- 1;
+    s.i <- v
+  | 1 ->
+    let c = compare v s.i in
+    if (if smaller then c < 0 else c > 0) then s.i <- v
+  | _ ->
+    let c = compare (float_of_int v) s.f in
+    if (if smaller then c < 0 else c > 0) then begin
+      s.mode <- 1;
+      s.i <- v
+    end
+
+let minmax_float smaller s v =
+  match s.mode with
+  | 0 ->
+    s.mode <- 2;
+    s.f <- v
+  | 1 ->
+    let c = compare v (float_of_int s.i) in
+    if (if smaller then c < 0 else c > 0) then begin
+      s.mode <- 2;
+      s.f <- v
+    end
+  | _ ->
+    let c = compare v s.f in
+    if (if smaller then c < 0 else c > 0) then s.f <- v
+
+(* Fold one kernel over one encoded block; [false] when the physical
+   encoding refuses the kernel (caller abandons the whole fast path). *)
+let eval_kern k s (enc : Encode.col array) block_len =
+  match k with
+  | A_count_star ->
+    s.cnt <- s.cnt + block_len;
+    true
+  | A_count ci ->
+    s.cnt <- s.cnt + (block_len - Encode.null_count enc.(ci));
+    true
+  | A_sum (ci, false) ->
+    Encode.iter_int_segments enc.(ci) (fun v len is_null ->
+        if not is_null then sum_run s v len)
+  | A_sum (_, true) | A_avg (_, true) | A_minmax (_, true, _) -> (
+    let ci, per_value =
+      match k with
+      | A_sum (ci, _) -> (ci, fun v -> step_sum_float s v)
+      | A_avg (ci, _) ->
+        ( ci,
+          fun v ->
+            s.cnt <- s.cnt + 1;
+            step_sum_float s v )
+      | A_minmax (ci, _, smaller) -> (ci, minmax_float smaller s)
+      | _ -> assert false
+    in
+    Encode.iter_floats_nonnull enc.(ci) per_value)
+  | A_avg (ci, false) ->
+    Encode.iter_int_segments enc.(ci) (fun v len is_null ->
+        if not is_null then begin
+          s.cnt <- s.cnt + len;
+          sum_run s v len
+        end)
+  | A_minmax (ci, false, smaller) ->
+    Encode.iter_int_segments enc.(ci) (fun v len is_null ->
+        if (not is_null) && len > 0 then minmax_int smaller s v)
+
+let state_of k s =
+  let num () =
+    match s.mode with
+    | 0 -> Value.Null
+    | 1 -> Value.Int s.i
+    | _ -> Value.Float s.f
+  in
+  match k with
+  | A_count_star | A_count _ -> Agg.count_state s.cnt
+  | A_sum _ -> Agg.sum_state (num ())
+  | A_minmax (_, _, true) -> Agg.min_state (num ())
+  | A_minmax (_, _, false) -> Agg.max_state (num ())
+  | A_avg _ -> Agg.avg_state ~sum:(num ()) ~n:s.cnt
+
+let try_global ~group_cols ~aggs rel =
+  if group_cols <> [] || Relation.layout rel <> `Column then None
+  else begin
+    let cs = Relation.cstore rel in
+    if not (Cstore.is_paged cs) then None
+    else begin
+      let schema = Relation.(rel.schema) in
+      let col_of e =
+        match (e : Expr.t) with
+        | Expr.Col c -> (
+          match Schema.index_of_col schema c with
+          | i -> Some i
+          | exception Schema.Unknown_column _ -> None
+          | exception Schema.Ambiguous_column _ -> None)
+        | _ -> None
+      in
+      let numeric ci =
+        match Cstore.col_kind cs ci with
+        | Cstore.K_int -> Some false
+        | Cstore.K_float -> Some true
+        | _ -> None
+      in
+      let num_kern mk e =
+        Option.bind (col_of e) (fun ci ->
+            Option.map (fun is_float -> mk ci is_float) (numeric ci))
+      in
+      let kern_of (f : Agg.func) =
+        match f with
+        | Agg.Count_star -> Some A_count_star
+        | Agg.Count e -> Option.map (fun ci -> A_count ci) (col_of e)
+        | Agg.Sum e -> num_kern (fun ci fl -> A_sum (ci, fl)) e
+        | Agg.Avg e -> num_kern (fun ci fl -> A_avg (ci, fl)) e
+        | Agg.Min e -> num_kern (fun ci fl -> A_minmax (ci, fl, true)) e
+        | Agg.Max e -> num_kern (fun ci fl -> A_minmax (ci, fl, false)) e
+        | Agg.Count_distinct _ -> None
+      in
+      let rec mk acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | (f, _) :: rest -> (
+          match kern_of f with Some k -> mk (k :: acc) rest | None -> None)
+      in
+      match mk [] aggs with
+      | None -> None
+      | Some kerns ->
+        let nk = Array.length kerns in
+        let scr =
+          Array.init nk (fun _ -> { cnt = 0; mode = 0; i = 0; f = 0. })
+        in
+        let nb = Cstore.nblocks cs in
+        let ok = ref true in
+        let bi = ref 0 in
+        while !ok && !bi < nb do
+          (match Cstore.block_enc cs !bi with
+           | None -> ok := false
+           | Some enc ->
+             let len = Cstore.block_length cs !bi in
+             let ki = ref 0 in
+             while !ok && !ki < nk do
+               if not (eval_kern kerns.(!ki) scr.(!ki) enc len) then ok := false;
+               incr ki
+             done);
+          incr bi
+        done;
+        if not !ok then None
+        else begin
+          Obs.Metrics.add blocks_direct nb;
+          let out_schema = Schema.of_cols (List.map snd aggs) in
+          let row =
+            Array.of_list
+              (List.mapi
+                 (fun ki (f, _) ->
+                   (Agg.compile schema f).Agg.final (state_of kerns.(ki) scr.(ki)))
+                 aggs)
+          in
+          Some (Relation.of_rows out_schema [ row ])
+        end
+    end
+  end

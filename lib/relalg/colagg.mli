@@ -1,0 +1,21 @@
+(** Compressed-execution global aggregation (DESIGN.md §13).
+
+    COUNT/SUM/MIN/MAX/AVG over a paged [.sic] store evaluated on the
+    encoded block columns: COUNT-star answered from resident block
+    lengths, COUNT(c) from run-length null metadata, int kernels folding whole
+    run-length segments without expansion (with an overflow guard that
+    falls back to per-element replay, preserving [Value.add]'s
+    int-until-first-overflow promotion), and float inputs replayed per
+    non-null value so rounding stays bit-identical to the row path.
+
+    [try_global] answers [None] — caller falls back to [Ops.group_by]'s
+    row path — unless the query is a global aggregate ([group_cols = []])
+    over a paged columnar relation whose every aggregate input is a plain
+    column of uniform numeric kind (any kind for COUNT).  Handled blocks
+    never decode, which is what [sic.blocks_direct] counts. *)
+
+val try_global :
+  group_cols:(Expr.t * Schema.col) list ->
+  aggs:(Agg.func * Schema.col) list ->
+  Relation.t ->
+  Relation.t option

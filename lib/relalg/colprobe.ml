@@ -143,21 +143,27 @@ type outcome = {
 
 (* ---- build-time checks ---- *)
 
+(* Column-kind checks go through [Cstore.col_kind], which is resident
+   metadata for paged stores — building an NLJP evaluator over a [.sic]
+   disk tier must not fault in every block just to inspect types.  Only a
+   [K_varied] numeric candidate (int blocks mixed with float blocks, which
+   the kernels do support) falls back to inspecting the blocks. *)
 let all_blocks_match cs pred =
   let ok = ref true in
   Cstore.iter_blocks (fun b -> if not (pred b) then ok := false) cs;
   !ok
 
 let numeric_col cs ci =
-  all_blocks_match cs (fun b ->
-      match b.Cstore.cols.(ci) with
-      | Cstore.C_int _ | Cstore.C_float _ -> true
-      | _ -> false)
+  match Cstore.col_kind cs ci with
+  | Cstore.K_int | Cstore.K_float | Cstore.K_empty -> true
+  | Cstore.K_varied ->
+    all_blocks_match cs (fun b ->
+        match b.Cstore.cols.(ci) with
+        | Cstore.C_int _ | Cstore.C_float _ -> true
+        | _ -> false)
+  | Cstore.K_dict | Cstore.K_bool | Cstore.K_mixed -> false
 
-let dict_col cs ci =
-  Cstore.nblocks cs > 0
-  && all_blocks_match cs (fun b ->
-         match b.Cstore.cols.(ci) with Cstore.C_dict _ -> true | _ -> false)
+let dict_col cs ci = Cstore.col_kind cs ci = Cstore.K_dict
 
 let build ~extra ~binding ~inner:cs ~theta ~gr_idx ~aggs =
   let schema = Cstore.schema cs in
@@ -395,28 +401,32 @@ let eval t b =
     let gen_tbl : int Row.Tbl.t = Row.Tbl.create 16 in
     let gen_keys = ref [] in
     let skipped = ref 0 and scanned = ref 0 in
-    Cstore.iter_blocks
-      (fun blk ->
-        let refuted = ref false in
-        for pi = 0 to np - 1 do
+    (* Zone maps come from resident metadata ([Cstore.block_zmaps]) so a
+       refuted block of a paged store is skipped without a fetch — the
+       whole point of NLJP data skipping over the disk tier. *)
+    for bi = 0 to nb - 1 do
+      let zm = Cstore.block_zmaps t.cs bi in
+      let refuted = ref false in
+      for pi = 0 to np - 1 do
+        if
+          (not !refuted)
+          && not
+               (Zmap.may_match
+                  zm.(t.probes.(pi).Compile.pp_col)
+                  t.zops.(pi) consts.(pi))
+        then refuted := true
+      done;
+      Array.iter
+        (fun bf ->
           if
             (not !refuted)
-            && not
-                 (Zmap.may_match
-                    blk.Cstore.zmaps.(t.probes.(pi).Compile.pp_col)
-                    t.zops.(pi) consts.(pi))
-          then refuted := true
-        done;
-        Array.iter
-          (fun bf ->
-            if
-              (not !refuted)
-              && not (Bloom.range_may_match bf.bf_bloom blk.Cstore.zmaps.(bf.bf_col))
-            then refuted := true)
-          t.extra;
-        if !refuted then incr skipped
-        else begin
-          incr scanned;
+            && not (Bloom.range_may_match bf.bf_bloom zm.(bf.bf_col))
+          then refuted := true)
+        t.extra;
+      if !refuted then incr skipped
+      else begin
+        incr scanned;
+        let blk = Cstore.block t.cs bi in
           let n = ref (Cstore.sel_all blk sel) in
           for pi = 0 to np - 1 do
             if !n > 0 then begin
@@ -521,8 +531,8 @@ let eval t b =
                   ~ff:(step_minmax_float false ks)
             done
           end
-        end)
-      t.cs;
+        end
+    done;
     let ng = !ngroups in
     let keys =
       match t.grouping with

@@ -3,10 +3,20 @@
    A compiled predicate's column-vs-constant conjuncts (Compile.zone_probes)
    are first tested against each block's zone map: a refuted probe proves
    the block holds no matching row and the whole block is skipped without
-   touching its vectors.  Surviving blocks are scanned; when the probes are
-   the entire predicate they run as typed kernels directly on the unboxed
-   vectors, otherwise rows are rebuilt and the compiled row predicate
-   decides.
+   touching its vectors.  Zone maps are always resident (Cstore.block_zmaps),
+   so for paged stores skipping never touches the disk tier.  A paged
+   source's footer Bloom filters refute equality probes for the whole table
+   before the block loop even starts.
+
+   Surviving blocks of a paged store first try the compressed-execution
+   path: when every probe is an int comparison on an int-kind column or a
+   string (in)equality on a dict-kind column and the probes are the entire
+   predicate, the selection is computed directly on the encoded columns
+   (Encode.sel_fill_int / sel_fill_code — FOR deltas and dictionary codes,
+   run-length segments tested once per run) and the block is decoded only
+   when matches must be materialized as rows.  Otherwise the block is
+   fetched and scanned through the typed kernels / compiled row predicate
+   exactly like a resident store.
 
    The skip/scan counters live in the obs metrics registry: scans may run
    from worker domains (per-domain cells, merged on read), and Runner
@@ -14,6 +24,12 @@
 
 let blocks_skipped = Obs.Metrics.counter "colscan.blocks_skipped"
 let blocks_scanned = Obs.Metrics.counter "colscan.blocks_scanned"
+
+(* Blocks whose predicate was decided entirely on the compressed form.  A
+   direct block with matches still decodes once to materialize the output
+   rows (that decode shows up in sic.blocks_decoded); a direct block with
+   zero matches never leaves the encoded domain. *)
+let blocks_direct = Obs.Metrics.counter "sic.blocks_direct"
 
 let reset_counters () =
   Obs.Metrics.reset blocks_skipped;
@@ -51,6 +67,80 @@ let scan_block cs (b : Cstore.block) tests keep push =
       if keep row then push row
     done
 
+(* ---- compressed-execution probes (paged stores) ---- *)
+
+(* A zone probe re-expressed against the encoded column representation:
+   int comparisons run on FOR deltas / RLE runs, string (in)equality on
+   dictionary codes.  Probes that don't fit (float constants, ordered
+   string comparisons — dict codes are appearance-ordered, not
+   value-ordered) leave the whole block on the decode path. *)
+type dprobe =
+  | D_int of int * Zmap.cmp * int
+  | D_code of int * [ `Eq | `Ne ] * int option
+
+(* All probes must compile or none run direct: a half-direct block would
+   still decode, so there is nothing to save. *)
+let direct_probes cs zprobes =
+  let rec go acc = function
+    | [] ->
+      (match acc with [] -> None | l -> Some (Array.of_list (List.rev l)))
+    | (ci, op, v) :: rest ->
+      (match (v : Value.t), Cstore.col_kind cs ci with
+       | Value.Int k, Cstore.K_int -> go (D_int (ci, op, k) :: acc) rest
+       | Value.Str s, Cstore.K_dict ->
+         (match (op : Zmap.cmp), Cstore.dict cs ci with
+          | Zmap.Eq, Some d -> go (D_code (ci, `Eq, Dict.find_opt d s) :: acc) rest
+          | Zmap.Ne, Some d -> go (D_code (ci, `Ne, Dict.find_opt d s) :: acc) rest
+          | _ -> None)
+       | _ -> None)
+  in
+  go [] zprobes
+
+(* Evaluate the compiled probes on one block's encoded columns, filling
+   [sel] with the surviving row indices.  [None] if a column's physical
+   encoding deviates from what [direct_probes] inferred (caller decodes). *)
+let direct_select (enc : Encode.col array) dps sel =
+  let n = ref (-1) (* identity selection not yet materialized *) in
+  let ok = ref true in
+  let np = Array.length dps in
+  let pi = ref 0 in
+  while !ok && !n <> 0 && !pi < np do
+    (match dps.(!pi) with
+     | D_int (ci, op, k) ->
+       if !n < 0 then
+         (match Encode.sel_fill_int enc.(ci) op k sel with
+          | Some c -> n := c
+          | None -> ok := false)
+       else (
+         match Encode.int_test enc.(ci) op k with
+         | Some t -> n := Cstore.sel_refine sel !n t
+         | None -> ok := false)
+     | D_code (ci, op, code) ->
+       if !n < 0 then
+         (match Encode.sel_fill_code enc.(ci) op code sel with
+          | Some c -> n := c
+          | None -> ok := false)
+       else (
+         match Encode.code_test enc.(ci) op code with
+         | Some t -> n := Cstore.sel_refine sel !n t
+         | None -> ok := false));
+    incr pi
+  done;
+  if !ok then Some (max !n 0) else None
+
+(* A footer Bloom filter refutes an equality probe for the whole table:
+   the filter has no false negatives over the column's non-null values,
+   and [= NULL] / [= NaN] match nothing anyway, so [mem] answering false
+   proves the scan is empty without touching a single block. *)
+let bloom_refuted cs zprobes =
+  List.exists
+    (fun (ci, op, v) ->
+      op = Zmap.Eq
+      && (match Cstore.col_bloom cs ci with
+          | Some bl -> not (Bloom.mem bl v)
+          | None -> false))
+    zprobes
+
 (* [select pred rel] is the block-skipping counterpart of [Ops.select];
    [None] when [rel] is not column-primary (caller falls back to rows). *)
 let select pred rel =
@@ -66,27 +156,61 @@ let select pred rel =
           (p.Compile.zp_col, Compile.zmap_cmp p.Compile.zp_op, p.Compile.zp_const))
         probes
     in
-    let out = ref [] in
-    let push row = out := row :: !out in
-    Cstore.iter_blocks
-      (fun (b : Cstore.block) ->
+    let nb = Cstore.nblocks cs in
+    if bloom_refuted cs zprobes then begin
+      Obs.Metrics.add blocks_skipped nb;
+      Some (Relation.of_rows schema [])
+    end
+    else begin
+      let dps =
+        if exact && Cstore.is_paged cs then direct_probes cs zprobes else None
+      in
+      let sel =
+        match dps with
+        | Some _ -> Array.make (max 1 (Cstore.max_block_length cs)) 0
+        | None -> [||]
+      in
+      let out = ref [] in
+      let push row = out := row :: !out in
+      for bi = 0 to nb - 1 do
+        let zm = Cstore.block_zmaps cs bi in
         let skip =
-          List.exists
-            (fun (ci, op, v) -> not (Zmap.may_match b.Cstore.zmaps.(ci) op v))
-            zprobes
+          List.exists (fun (ci, op, v) -> not (Zmap.may_match zm.(ci) op v)) zprobes
         in
         if skip then Obs.Metrics.incr blocks_skipped
         else begin
           Obs.Metrics.incr blocks_scanned;
-          let tests =
-            if keep = None then
-              Array.of_list (List.map (probe_test cs b) probes)
-            else [||]
+          let direct =
+            match dps with
+            | None -> false
+            | Some dps ->
+              (match Cstore.block_enc cs bi with
+               | None -> false
+               | Some enc ->
+                 (match direct_select enc dps sel with
+                  | None -> false
+                  | Some cnt ->
+                    Obs.Metrics.incr blocks_direct;
+                    if cnt > 0 then begin
+                      let b = Cstore.block cs bi in
+                      for k = 0 to cnt - 1 do
+                        push (Cstore.row_of cs b sel.(k))
+                      done
+                    end;
+                    true))
           in
-          scan_block cs b tests keep push
-        end)
-      cs;
-    Some (Relation.of_rows schema (List.rev !out))
+          if not direct then begin
+            let b = Cstore.block cs bi in
+            let tests =
+              if keep = None then Array.of_list (List.map (probe_test cs b) probes)
+              else [||]
+            in
+            scan_block cs b tests keep push
+          end
+        end
+      done;
+      Some (Relation.of_rows schema (List.rev !out))
+    end
   end
 
 (* ---- transferred Bloom filters composed into the scan (DESIGN.md §11) ---- *)
@@ -167,67 +291,67 @@ let select_bloom ~filters pred rel =
           fidx
       in
       let out = ref [] in
-      Cstore.iter_blocks
-        (fun (b : Cstore.block) ->
-          let zrefuted =
-            List.exists
-              (fun (p : Compile.zone_probe) ->
-                not
-                  (Zmap.may_match
-                     b.Cstore.zmaps.(p.Compile.zp_col)
-                     (Compile.zmap_cmp p.Compile.zp_op)
-                     p.Compile.zp_const))
-              probes
+      let nb = Cstore.nblocks cs in
+      for bi = 0 to nb - 1 do
+        let zm = Cstore.block_zmaps cs bi in
+        let zrefuted =
+          List.exists
+            (fun (p : Compile.zone_probe) ->
+              not
+                (Zmap.may_match
+                   zm.(p.Compile.zp_col)
+                   (Compile.zmap_cmp p.Compile.zp_op)
+                   p.Compile.zp_const))
+            probes
+        in
+        if zrefuted then Obs.Metrics.incr blocks_skipped
+        else if
+          List.exists (fun (ci, bl) -> not (Bloom.range_may_match bl zm.(ci))) fidx
+        then Obs.Metrics.incr transfer_blocks_skipped
+        else begin
+          Obs.Metrics.incr blocks_scanned;
+          let b = Cstore.block cs bi in
+          let stests =
+            if keep = None then Array.of_list (List.map (probe_test cs b) probes)
+            else [||]
           in
-          if zrefuted then Obs.Metrics.incr blocks_skipped
-          else if
-            List.exists
-              (fun (ci, bl) -> not (Bloom.range_may_match bl b.Cstore.zmaps.(ci)))
-              fidx
-          then Obs.Metrics.incr transfer_blocks_skipped
-          else begin
-            Obs.Metrics.incr blocks_scanned;
-            let stests =
-              if keep = None then Array.of_list (List.map (probe_test cs b) probes)
-              else [||]
-            in
-            let ns = Array.length stests in
-            let btests =
-              Array.of_list
-                (List.map2
-                   (fun (ci, bl) dp ->
-                     match dp, b.Cstore.cols.(ci) with
-                     | Some pass, Cstore.C_dict (codes, bm) ->
-                       (match bm with
-                        | None -> fun i -> pass.(codes.(i))
-                        | Some bm ->
-                          fun i -> (not (Bitset.get bm i)) && pass.(codes.(i)))
-                     | _ -> fun i -> Bloom.mem bl (Cstore.value_at cs b ci i))
-                   fidx dict_pass)
-            in
-            let nb = Array.length btests in
-            for i = 0 to b.Cstore.length - 1 do
-              let ok = ref true in
-              (match keep with
-               | None ->
-                 let t = ref 0 in
-                 while !ok && !t < ns do
-                   if not (stests.(!t) i) then ok := false;
-                   incr t
-                 done
-               | Some keep -> if not (keep (Cstore.row_of cs b i)) then ok := false);
-              if !ok then begin
-                incr probed;
-                let t = ref 0 in
-                while !ok && !t < nb do
-                  if not (btests.(!t) i) then ok := false;
-                  incr t
-                done;
-                if !ok then out := Cstore.row_of cs b i :: !out else incr dropped
-              end
-            done
-          end)
-        cs;
+          let ns = Array.length stests in
+          let btests =
+            Array.of_list
+              (List.map2
+                 (fun (ci, bl) dp ->
+                   match dp, b.Cstore.cols.(ci) with
+                   | Some pass, Cstore.C_dict (codes, bm) ->
+                     (match bm with
+                      | None -> fun i -> pass.(codes.(i))
+                      | Some bm ->
+                        fun i -> (not (Bitset.get bm i)) && pass.(codes.(i)))
+                   | _ -> fun i -> Bloom.mem bl (Cstore.value_at cs b ci i))
+                 fidx dict_pass)
+          in
+          let nbt = Array.length btests in
+          for i = 0 to b.Cstore.length - 1 do
+            let ok = ref true in
+            (match keep with
+             | None ->
+               let t = ref 0 in
+               while !ok && !t < ns do
+                 if not (stests.(!t) i) then ok := false;
+                 incr t
+               done
+             | Some keep -> if not (keep (Cstore.row_of cs b i)) then ok := false);
+            if !ok then begin
+              incr probed;
+              let t = ref 0 in
+              while !ok && !t < nbt do
+                if not (btests.(!t) i) then ok := false;
+                incr t
+              done;
+              if !ok then out := Cstore.row_of cs b i :: !out else incr dropped
+            end
+          done
+        end
+      done;
       Relation.of_rows schema (List.rev !out)
     end
   in

@@ -169,9 +169,11 @@ and stream ~workers ~recorder ~path ~filters catalog plan : streamed =
     Relation.iter
       (fun rrow ->
         let key = rkey rrow in
-        match Row.Tbl.find_opt tbl key with
-        | Some cell -> cell := rrow :: !cell
-        | None -> Row.Tbl.add tbl key (ref [ rrow ]))
+        (* SQL: NULL join keys match nothing; keep them out of the table. *)
+        if not (Row.has_null key) then
+          match Row.Tbl.find_opt tbl key with
+          | Some cell -> cell := rrow :: !cell
+          | None -> Row.Tbl.add tbl key (ref [ rrow ]))
       r;
     let feed chunk emit =
       let lkey = Compile.row_fn l.Relation.schema (List.map fst keys) in
@@ -236,6 +238,26 @@ and collect ~workers s =
 (* Hash aggregation over a streamed input; parallel chunks build partial
    tables merged via the aggregates' algebraic [merge]. *)
 and group ~workers ~recorder ~path ~filters catalog group_cols aggs input =
+  (* Compressed-execution fast path: a global aggregate directly over a
+     base-table scan (no residual filter, no transferred Blooms) can often
+     be answered from the encoded blocks without decoding ({!Colagg}).
+     Skipped under a recorder — EXPLAIN ANALYZE wants real per-node row
+     counts, which would force the full decode anyway. *)
+  let direct =
+    match (recorder, group_cols, input) with
+    | None, [], Plan.Scan { table; alias; filter = None } ->
+      let tbl = Catalog.find catalog table in
+      let q = Option.value alias ~default:tbl.Catalog.name in
+      (match filters_for filters q with
+       | [] ->
+         Colagg.try_global ~group_cols ~aggs
+           (Relation.requalify q tbl.Catalog.rel)
+       | _ :: _ -> None)
+    | _ -> None
+  in
+  match direct with
+  | Some r -> r
+  | None ->
   let s = stream ~workers ~recorder ~path:(path @ [ 0 ]) ~filters catalog input in
   (* A join feeding this aggregate never materializes; count its emitted
      rows so the recorder still sees the node's actual cardinality. *)

@@ -33,9 +33,11 @@ let hash_join ~left_keys ~right_keys ~residual left right =
   Relation.iter
     (fun rrow ->
       let key = rkey rrow in
-      match Row.Tbl.find_opt tbl key with
-      | Some cell -> cell := rrow :: !cell
-      | None -> Row.Tbl.add tbl key (ref [ rrow ]))
+      (* SQL: NULL join keys match nothing; keep them out of the table. *)
+      if not (Row.has_null key) then
+        match Row.Tbl.find_opt tbl key with
+        | Some cell -> cell := rrow :: !cell
+        | None -> Row.Tbl.add tbl key (ref [ rrow ]))
     right;
   let ok = Compile.join_pred left.Relation.schema right.Relation.schema residual in
   let out = ref [] in
@@ -55,16 +57,22 @@ let merge_join ~left_keys ~right_keys ~residual left right =
   let schema = joined_schema left right in
   let lkey = Compile.row_fn left.Relation.schema left_keys in
   let rkey = Compile.row_fn right.Relation.schema right_keys in
-  let lsorted =
-    let rows = Array.map (fun r -> (lkey r, r)) (Relation.rows left) in
+  (* SQL: NULL join keys match nothing — drop them before sorting, or the
+     equal-key-run cross product would pair NULL with NULL. *)
+  let sorted_keyed key rel =
+    let rows =
+      Array.of_seq
+        (Seq.filter_map
+           (fun r ->
+             let k = key r in
+             if Row.has_null k then None else Some (k, r))
+           (Array.to_seq (Relation.rows rel)))
+    in
     Array.sort (fun (a, _) (b, _) -> Row.compare a b) rows;
     rows
   in
-  let rsorted =
-    let rows = Array.map (fun r -> (rkey r, r)) (Relation.rows right) in
-    Array.sort (fun (a, _) (b, _) -> Row.compare a b) rows;
-    rows
-  in
+  let lsorted = sorted_keyed lkey left in
+  let rsorted = sorted_keyed rkey right in
   let ok = Compile.join_pred left.Relation.schema right.Relation.schema residual in
   let out = ref [] in
   let nl = Array.length lsorted and nr = Array.length rsorted in
@@ -111,6 +119,9 @@ let index_nl_join ~pred ~index ~right_schema ~right_bound left =
   Relation.of_rows schema (List.rev !out)
 
 let group_by ~group_cols ~aggs rel =
+  match Colagg.try_global ~group_cols ~aggs rel with
+  | Some r -> r
+  | None ->
   let gkey = Compile.row_fn rel.Relation.schema (List.map fst group_cols) in
   let compiled = List.map (fun (f, _) -> Agg.compile rel.Relation.schema f) aggs in
   let schema =

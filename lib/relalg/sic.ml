@@ -1,0 +1,9 @@
+let save path rel = Column.Blockfile.save path (Relation.cstore rel)
+
+let save_rows ?block_size path schema rows =
+  Column.Blockfile.save_rows ?block_size path schema rows
+
+let load ?(mode = `Resident) path =
+  match mode with
+  | `Resident -> Relation.of_cstore (Column.Blockfile.load_resident path)
+  | `Paged -> Relation.of_cstore (Column.Blockfile.open_paged path)

@@ -1,0 +1,13 @@
+(** Relation-level [.sic] save/load (see {!Column.Blockfile} for the
+    format).  [`Resident] decodes everything up front — the fast cold-start
+    replacement for CSV; [`Paged] opens lazily and serves blocks through
+    the global block cache, so relations larger than the cache budget
+    execute with bounded resident memory. *)
+
+val save : string -> Relation.t -> unit
+
+val save_rows : ?block_size:int -> string -> Schema.t -> Row.t Seq.t -> unit
+(** Streaming save: O(block) memory regardless of row count. *)
+
+val load : ?mode:[ `Resident | `Paged ] -> string -> Relation.t
+(** Default [`Resident]. *)

@@ -19,36 +19,65 @@ type t = {
    only those blocks' non-string values still need visiting — the old code
    re-sampled every row of the column in that case, which both cost a full
    pass and under-reported the Bloom sizing inputs for mostly-dict columns. *)
+(* Paged stores cap the distinct pass at this many blocks and scale the
+   sample — a full pass would drag every block through the cache just to
+   build stats.  Uniformly-dict columns stay exact (the dictionary is
+   resident), as do zone-map-derived min/max/null counts. *)
+let paged_sample_blocks = 8
+
 let of_cstore cs =
   let schema = Column.Cstore.schema cs in
+  let nb = Column.Cstore.nblocks cs in
   let columns =
     List.mapi
       (fun i c ->
         let z = Column.Cstore.col_zmap cs i in
+        let paged = Column.Cstore.is_paged cs in
+        let visit_nb = if paged then min nb paged_sample_blocks else nb in
+        let scale count sampled_rows =
+          if sampled_rows >= Column.Cstore.length cs then count
+          else begin
+            let non_null = max 0 (z.Column.Zmap.rows - z.Column.Zmap.nulls) in
+            let total = Column.Cstore.length cs in
+            min non_null (count * total / max 1 sampled_rows)
+          end
+        in
         let distinct =
           match Column.Cstore.dict cs i with
-          | Some d when Column.Cstore.nblocks cs > 0 ->
+          | Some d when nb > 0 && Column.Cstore.col_kind cs i = Column.Cstore.K_dict ->
+            (* every block is dict-coded: the dictionary covers the column *)
+            Column.Dict.size d
+          | Some d when nb > 0 ->
             (* Non-dict blocks add distinct values the dictionary missed:
                non-strings, plus strings a mixed block never interned. *)
             let extra = Row.Tbl.create 16 in
-            Array.iter
-              (fun (b : Column.Cstore.block) ->
-                match b.Column.Cstore.cols.(i) with
-                | Column.Cstore.C_dict _ -> ()
-                | _ ->
-                  for r = 0 to b.Column.Cstore.length - 1 do
-                    match Column.Cstore.value_at cs b i r with
-                    | Value.Null -> ()
-                    | Value.Str s when Column.Dict.find_opt d s <> None -> ()
-                    | v -> Row.Tbl.replace extra [| v |] ()
-                  done)
-              cs.Column.Cstore.blocks;
-            Column.Dict.size d + Row.Tbl.length extra
+            let visited_rows = ref 0 in
+            for bi = 0 to visit_nb - 1 do
+              let b = Column.Cstore.block cs bi in
+              visited_rows := !visited_rows + b.Column.Cstore.length;
+              match b.Column.Cstore.cols.(i) with
+              | Column.Cstore.C_dict _ -> ()
+              | _ ->
+                for r = 0 to b.Column.Cstore.length - 1 do
+                  match Column.Cstore.value_at cs b i r with
+                  | Value.Null -> ()
+                  | Value.Str s when Column.Dict.find_opt d s <> None -> ()
+                  | v -> Row.Tbl.replace extra [| v |] ()
+                done
+            done;
+            Column.Dict.size d + scale (Row.Tbl.length extra) !visited_rows
           | _ ->
             let seen = Row.Tbl.create 64 in
-            Column.Cstore.iter_col cs i (fun v ->
-                if not (Value.is_null v) then Row.Tbl.replace seen [| v |] ());
-            Row.Tbl.length seen
+            let visited_rows = ref 0 in
+            for bi = 0 to visit_nb - 1 do
+              let b = Column.Cstore.block cs bi in
+              visited_rows := !visited_rows + b.Column.Cstore.length;
+              for r = 0 to b.Column.Cstore.length - 1 do
+                let v = Column.Cstore.value_at cs b i r in
+                if not (Value.is_null v) then Row.Tbl.replace seen [| v |] ()
+              done
+            done;
+            scale (Row.Tbl.length seen) !visited_rows
         in
         ( c.Schema.name,
           {

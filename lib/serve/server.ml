@@ -190,8 +190,8 @@ type job = { j_conn : conn; j_id : int; j_req : P.request }
 type t = {
   config : config;
   catalogs : ([ `Row | `Column ] * Catalog.t) list;
-  plan_cache : plan_entry Lru.t;
-  result_cache : cached_result Lru.t;
+  plan_cache : plan_entry Cache.Lru.t;
+  result_cache : cached_result Cache.Lru.t;
   lock : Rwlock.t;
   queue : job Queue.t;
   q_mu : Mutex.t;
@@ -326,7 +326,7 @@ let handle_query t conn ~id ~analyze sql =
           let rkey = Printf.sprintf "%s|v=%d" key version in
           let cached =
             if analyze || not session.use_result_cache then None
-            else Lru.find t.result_cache rkey
+            else Cache.Lru.find t.result_cache rkey
           in
           match cached with
           | Some cr ->
@@ -353,7 +353,7 @@ let handle_query t conn ~id ~analyze sql =
                     ~workers:session.workers ~transfer:session.transfer cat ast
                 in
                 let entry, status =
-                  match Lru.find t.plan_cache key with
+                  match Cache.Lru.find t.plan_cache key with
                   | Some e ->
                     (* Stale entries are re-prepared in place under the
                        entry mutex; that is a logical miss. *)
@@ -370,7 +370,7 @@ let handle_query t conn ~id ~analyze sql =
                     (e, st)
                   | None ->
                     let e = { pe_mu = Mutex.create (); pe_prepared = prepare () } in
-                    Lru.put t.plan_cache key e;
+                    Cache.Lru.put t.plan_cache key e;
                     (e, `Miss)
                 in
                 (match status with
@@ -406,7 +406,7 @@ let handle_query t conn ~id ~analyze sql =
                 @ (if analyze then [ ("trace", Obs.Span.to_json span) ] else [])
               in
               if (not analyze) && session.use_result_cache then
-                Lru.put t.result_cache rkey
+                Cache.Lru.put t.result_cache rkey
                   { cr_fields = fields; cr_version = version; cr_layout = session.layout };
               `Fresh fields))
     in
@@ -458,7 +458,7 @@ let handle_append t conn ~id table rows =
         (* Explicit invalidation: sweep out result-cache entries keyed to a
            superseded catalog version.  Plan-cache entries invalidate
            lazily via the version check on their next hit. *)
-        Lru.retain t.result_cache (fun _ cr ->
+        Cache.Lru.retain t.result_cache (fun _ cr ->
             cr.cr_version = Catalog.version (catalog_for t cr.cr_layout)))
   with
   | exception Not_found ->
@@ -508,13 +508,13 @@ let handle_set t conn ~id kvs =
   | Some m -> send_error conn ~id ~code:"bad_request" m
   | None -> send_ok conn ~id [ ("config", session_config_json session) ]
 
-let lru_stats_json (s : Lru.stats) ~hits ~misses =
+let lru_stats_json (s : Cache.Lru.stats) ~hits ~misses =
   Json.Obj
     [
       ("hits", Json.Num (float_of_int hits));
       ("misses", Json.Num (float_of_int misses));
-      ("evictions", Json.Num (float_of_int s.Lru.s_evictions));
-      ("entries", Json.Num (float_of_int s.Lru.s_len));
+      ("evictions", Json.Num (float_of_int s.Cache.Lru.s_evictions));
+      ("entries", Json.Num (float_of_int s.Cache.Lru.s_len));
     ]
 
 let session_stats_json s =
@@ -566,11 +566,11 @@ let handle_stats t conn ~id =
              (fun (l, c) -> (layout_str l, Json.Num (float_of_int (Catalog.version c))))
              t.catalogs) );
       ( "plan_cache",
-        lru_stats_json (Lru.stats t.plan_cache)
+        lru_stats_json (Cache.Lru.stats t.plan_cache)
           ~hits:(Obs.Metrics.read c_plan_hit)
           ~misses:(Obs.Metrics.read c_plan_miss) );
       ( "result_cache",
-        lru_stats_json (Lru.stats t.result_cache)
+        lru_stats_json (Cache.Lru.stats t.result_cache)
           ~hits:(Obs.Metrics.read c_result_hit)
           ~misses:(Obs.Metrics.read c_result_miss) );
       ("sessions", Json.Arr (List.map session_stats_json sessions));
@@ -747,8 +747,8 @@ let start ?(config = default_config) catalogs =
     {
       config;
       catalogs;
-      plan_cache = Lru.create config.plan_cache_cap;
-      result_cache = Lru.create config.result_cache_cap;
+      plan_cache = Cache.Lru.create config.plan_cache_cap;
+      result_cache = Cache.Lru.create config.result_cache_cap;
       lock = Rwlock.create ();
       queue = Queue.create ();
       q_mu = Mutex.create ();

@@ -34,4 +34,5 @@ let () =
       ("obs", Test_obs.suite);
       ("analyze", Test_analyze.suite);
       ("transfer", Test_transfer.suite);
-      ("serve", Test_serve.suite) ]
+      ("serve", Test_serve.suite);
+      ("sic", Test_sic.suite) ]

@@ -10,27 +10,27 @@ module P = Serve.Protocol
 (* ---- lru ---- *)
 
 let test_lru_basic () =
-  let c = Serve.Lru.create 2 in
-  Serve.Lru.put c "a" 1;
-  Serve.Lru.put c "b" 2;
-  Alcotest.(check (option int)) "hit a" (Some 1) (Serve.Lru.find c "a");
+  let c = Cache.Lru.create 2 in
+  Cache.Lru.put c "a" 1;
+  Cache.Lru.put c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Cache.Lru.find c "a");
   (* a is now most recent; inserting c evicts b *)
-  Serve.Lru.put c "c" 3;
-  Alcotest.(check (option int)) "b evicted" None (Serve.Lru.find c "b");
-  Alcotest.(check (option int)) "a kept" (Some 1) (Serve.Lru.find c "a");
-  Alcotest.(check (option int)) "c kept" (Some 3) (Serve.Lru.find c "c");
-  let s = Serve.Lru.stats c in
-  Alcotest.(check int) "evictions" 1 s.Serve.Lru.s_evictions;
-  Alcotest.(check int) "len" 2 s.Serve.Lru.s_len
+  Cache.Lru.put c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Cache.Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Cache.Lru.find c "c");
+  let s = Cache.Lru.stats c in
+  Alcotest.(check int) "evictions" 1 s.Cache.Lru.s_evictions;
+  Alcotest.(check int) "len" 2 s.Cache.Lru.s_len
 
 let test_lru_retain () =
-  let c = Serve.Lru.create 8 in
-  List.iter (fun i -> Serve.Lru.put c (string_of_int i) i) [ 1; 2; 3; 4; 5 ];
-  let dropped = Serve.Lru.retain c (fun _ v -> v mod 2 = 0) in
+  let c = Cache.Lru.create 8 in
+  List.iter (fun i -> Cache.Lru.put c (string_of_int i) i) [ 1; 2; 3; 4; 5 ];
+  let dropped = Cache.Lru.retain c (fun _ v -> v mod 2 = 0) in
   Alcotest.(check int) "dropped odd" 3 dropped;
-  Alcotest.(check int) "left" 2 (Serve.Lru.length c);
-  Alcotest.(check (option int)) "even kept" (Some 4) (Serve.Lru.find c "4");
-  Alcotest.(check (option int)) "odd gone" None (Serve.Lru.find c "3")
+  Alcotest.(check int) "left" 2 (Cache.Lru.length c);
+  Alcotest.(check (option int)) "even kept" (Some 4) (Cache.Lru.find c "4");
+  Alcotest.(check (option int)) "odd gone" None (Cache.Lru.find c "3")
 
 (* ---- protocol ---- *)
 

@@ -1,0 +1,365 @@
+(* Compressed storage + .sic disk tier: codec round-trips, byte-weighted
+   LRU, file round-trips (resident and paged), and a differential fuzz
+   suite proving compressed/paged execution is bag-equal to the row path
+   across σ/π/⋈/γ, NLJP prune/memo, transfer on/off, and worker counts. *)
+
+open Relalg
+module Cstore = Column.Cstore
+module Encode = Column.Encode
+module Bitset = Column.Bitset
+
+let tmp_path =
+  let ctr = ref 0 in
+  fun name ->
+    incr ctr;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sic_test_%d_%d_%s.sic" (Unix.getpid ()) !ctr name)
+
+let with_tmp name f =
+  let path = tmp_path name in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* ---- Encode round-trips ---- *)
+
+let decoded_equal a b =
+  match (a, b) with
+  | Cstore.C_int (x, bx), Cstore.C_int (y, by)
+  | Cstore.C_dict (x, bx), Cstore.C_dict (y, by) ->
+    x = y
+    && (match (bx, by) with
+        | None, None -> true
+        | Some bx, Some by ->
+          Bitset.length bx = Bitset.length by
+          && (let ok = ref true in
+              for i = 0 to Bitset.length bx - 1 do
+                if Bitset.get bx i <> Bitset.get by i then ok := false
+              done;
+              !ok)
+        | _ -> false)
+  | _ -> false
+
+let roundtrip_ints a bm =
+  let len = Array.length a in
+  let col = Encode.of_cvec ~len (Cstore.C_int (a, bm)) in
+  (* serialize too *)
+  let buf = Buffer.create 64 in
+  Encode.write buf col;
+  let col', n = Encode.read (Buffer.to_bytes buf) 0 in
+  Alcotest.(check int) "consumed" (Buffer.length buf) n;
+  let dec = Encode.to_cvec col' in
+  if not (decoded_equal (Cstore.C_int (a, bm)) dec) then
+    Alcotest.failf "int round-trip mismatch (n=%d)" len
+
+let test_encode_edges () =
+  roundtrip_ints [||] None;
+  roundtrip_ints [| 0 |] None;
+  roundtrip_ints [| max_int; min_int; 0; -1; 1 |] None;
+  roundtrip_ints (Array.init 100 (fun i -> i)) None;
+  roundtrip_ints (Array.make 100 42) None;
+  (* forces raw: range overflows 63-bit int *)
+  roundtrip_ints [| min_int; max_int |] None;
+  (* width > 57 *)
+  roundtrip_ints [| 0; 1 lsl 58 |] None;
+  (* nulls: leading, trailing, alternating *)
+  let bm100 pat =
+    let b = Bitset.create 100 in
+    Array.iteri (fun i () -> if pat i then Bitset.set b i) (Array.make 100 ());
+    Some b
+  in
+  roundtrip_ints (Array.init 100 (fun i -> i * 3)) (bm100 (fun i -> i < 10));
+  roundtrip_ints (Array.init 100 (fun i -> i * 3)) (bm100 (fun i -> i >= 90));
+  roundtrip_ints (Array.init 100 (fun i -> i mod 7)) (bm100 (fun i -> i mod 2 = 0));
+  roundtrip_ints (Array.make 100 0) (bm100 (fun _ -> true))
+
+let test_encode_qcheck =
+  QCheck.Test.make ~name:"encode round-trip (random int blocks)" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 300)
+           (oneof [ int; int_range (-5) 5; int_range 0 1 ]))
+        (list small_int))
+    (fun (vals, null_pos) ->
+      let a = Array.of_list vals in
+      let n = Array.length a in
+      let bm =
+        if null_pos = [] || n = 0 then None
+        else begin
+          let b = Bitset.create n in
+          let any = ref false in
+          List.iter
+            (fun p ->
+              if n > 0 then begin
+                Bitset.set b (p mod n);
+                any := true
+              end)
+            null_pos;
+          if !any then Some b else None
+        end
+      in
+      (* null slots are zeroed like Cstore.build_col produces them *)
+      (match bm with
+       | Some b ->
+         for i = 0 to n - 1 do
+           if Bitset.get b i then a.(i) <- 0
+         done
+       | None -> ());
+      let col = Encode.of_cvec ~len:n (Cstore.C_int (a, bm)) in
+      let buf = Buffer.create 64 in
+      Encode.write buf col;
+      let col', _ = Encode.read (Buffer.to_bytes buf) 0 in
+      decoded_equal (Cstore.C_int (a, bm)) (Encode.to_cvec col'))
+
+(* Direct kernels agree with decoded evaluation. *)
+let test_direct_kernels =
+  QCheck.Test.make ~name:"direct int kernels vs decoded" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (int_range (-8) 8))
+        (pair (int_range (-8) 8) (list small_int)))
+    (fun (vals, (k, null_pos)) ->
+      let a = Array.of_list vals in
+      let n = Array.length a in
+      let bm =
+        if null_pos = [] then None
+        else begin
+          let b = Bitset.create n in
+          List.iter (fun p -> Bitset.set b (p mod n)) null_pos;
+          for i = 0 to n - 1 do
+            if Bitset.get b i then a.(i) <- 0
+          done;
+          Some b
+        end
+      in
+      let isnull i = match bm with Some b -> Bitset.get b i | None -> false in
+      let col = Encode.of_cvec ~len:n (Cstore.C_int (a, bm)) in
+      List.for_all
+        (fun cmp ->
+          let expect =
+            Array.of_list
+              (List.filteri (fun i _ -> not (isnull i)) (Array.to_list a)
+               |> List.map (fun _ -> ()))
+          in
+          ignore expect;
+          let want i =
+            (not (isnull i))
+            &&
+            match cmp with
+            | Column.Zmap.Eq -> a.(i) = k
+            | Column.Zmap.Ne -> a.(i) <> k
+            | Column.Zmap.Lt -> a.(i) < k
+            | Column.Zmap.Le -> a.(i) <= k
+            | Column.Zmap.Gt -> a.(i) > k
+            | Column.Zmap.Ge -> a.(i) >= k
+          in
+          let sel = Array.make n 0 in
+          let cnt =
+            match Encode.sel_fill_int col cmp k sel with
+            | Some c -> c
+            | None -> Alcotest.fail "sel_fill_int refused an int column"
+          in
+          let expected = List.filter want (List.init n Fun.id) in
+          let got = Array.to_list (Array.sub sel 0 cnt) in
+          let test =
+            match Encode.int_test col cmp k with
+            | Some t -> t
+            | None -> Alcotest.fail "int_test refused an int column"
+          in
+          got = expected && List.for_all (fun i -> want i = test i) (List.init n Fun.id))
+        [ Column.Zmap.Eq; Column.Zmap.Ne; Column.Zmap.Lt; Column.Zmap.Le;
+          Column.Zmap.Gt; Column.Zmap.Ge ])
+
+(* ---- byte-weighted LRU ---- *)
+
+let test_lru_weighted () =
+  let c = Cache.Lru.create 100 in
+  Cache.Lru.put ~weight:40 c "a" 1;
+  Cache.Lru.put ~weight:40 c "b" 2;
+  Cache.Lru.put ~weight:40 c "c" 3;
+  (* a (LRU) must have been evicted to fit c *)
+  Alcotest.(check (option int)) "a evicted" None (Cache.Lru.find c "a");
+  Alcotest.(check (option int)) "b kept" (Some 2) (Cache.Lru.find c "b");
+  Alcotest.(check int) "weight" 80 (Cache.Lru.weight c);
+  (* oversized entry evicts everything else but is itself kept *)
+  Cache.Lru.put ~weight:500 c "big" 9;
+  Alcotest.(check (option int)) "big kept" (Some 9) (Cache.Lru.find c "big");
+  Alcotest.(check int) "only big" 1 (Cache.Lru.length c);
+  (* overwrite adjusts weight *)
+  Cache.Lru.put ~weight:10 c "big" 10;
+  Alcotest.(check int) "weight after overwrite" 10 (Cache.Lru.weight c);
+  let s = Cache.Lru.stats c in
+  Alcotest.(check int) "weight in stats" 10 s.Cache.Lru.s_weight
+
+(* ---- file round-trip ---- *)
+
+let mixed_rel n =
+  let rows =
+    List.init n (fun i ->
+        [| Value.Int i;
+           (if i mod 7 = 0 then Value.Null else Value.Int (i mod 5));
+           Value.Str (Printf.sprintf "s%d" (i mod 11));
+           Value.Float (float_of_int (i mod 13) /. 4.);
+           (if i mod 3 = 0 then Value.Bool (i mod 2 = 0) else Value.Bool true)
+        |])
+  in
+  Relation.of_rows (Schema.of_names [ "id"; "grp"; "tag"; "x"; "b" ]) rows
+
+let test_file_roundtrip () =
+  let rel = Relation.to_layout `Column (mixed_rel 1000) in
+  with_tmp "roundtrip" (fun path ->
+      Sic.save path rel;
+      let back = Sic.load ~mode:`Resident path in
+      Alcotest.(check bool) "resident bag-equal" true (Relation.equal_bag rel back);
+      let paged = Sic.load ~mode:`Paged path in
+      Alcotest.(check bool) "paged bag-equal" true (Relation.equal_bag rel paged))
+
+let test_streaming_writer () =
+  let schema = Schema.of_names [ "a"; "b" ] in
+  let rows =
+    Seq.init 10_000 (fun i -> [| Value.Int i; Value.Str (string_of_int (i mod 3)) |])
+  in
+  with_tmp "stream" (fun path ->
+      Sic.save_rows ~block_size:256 path schema rows;
+      let back = Sic.load ~mode:`Resident path in
+      Alcotest.(check int) "rows" 10_000 (Relation.cardinality back);
+      let expect = Relation.of_rows schema (List.of_seq rows) in
+      Alcotest.(check bool) "bag-equal" true (Relation.equal_bag expect back))
+
+let test_empty_relation () =
+  let schema = Schema.of_names [ "a"; "b" ] in
+  let rel = Relation.to_layout `Column (Relation.empty schema) in
+  with_tmp "empty" (fun path ->
+      Sic.save path rel;
+      let back = Sic.load ~mode:`Resident path in
+      Alcotest.(check int) "rows" 0 (Relation.cardinality back);
+      let paged = Sic.load ~mode:`Paged path in
+      Alcotest.(check int) "paged rows" 0 (Relation.cardinality paged))
+
+(* ---- differential fuzz: compressed/paged execution vs the row path ----
+
+   One random table, one random query per seed, executed on three physical
+   representations (row layout, .sic decoded resident, .sic paged through
+   the block cache) under every optimizer configuration that matters
+   (baseline, all techniques, NLJP prune/memo alone, transfer on/off,
+   workers 1/4).  Every run must be bag-equal to the row-layout baseline.
+   A reload-re-save-re-run round trip rides along: the paged relation is
+   streamed back out to a second .sic and the query re-run from there. *)
+
+let fuzz_pick rng xs = List.nth xs (Workload.Prng.int rng (List.length xs))
+let fuzz_tags = [| "alpha"; "beta"; "gamma"; "delta"; "eps" |]
+
+let random_sic_rel rng =
+  let n = 300 + Workload.Prng.int rng 1200 in
+  let rows =
+    List.init n (fun i ->
+        [| Value.Int i;
+           (if Workload.Prng.int rng 11 = 0 then Value.Null
+            else Value.Int (Workload.Prng.int rng 7));
+           (if Workload.Prng.int rng 13 = 0 then Value.Null
+            else Value.Str fuzz_tags.(Workload.Prng.int rng (Array.length fuzz_tags)));
+           (if Workload.Prng.int rng 17 = 0 then Value.Null
+            else Value.Float (float_of_int (Workload.Prng.int rng 100) /. 8.));
+           Value.Int (Workload.Prng.int rng 1000 - 500) |])
+  in
+  Relation.of_rows (Schema.of_names [ "id"; "grp"; "tag"; "x"; "score" ]) rows
+
+let random_sic_query rng =
+  let tag () = fuzz_tags.(Workload.Prng.int rng (Array.length fuzz_tags)) in
+  let pred () =
+    fuzz_pick rng
+      [ Printf.sprintf "id >= %d" (Workload.Prng.int rng 1500);
+        Printf.sprintf "score < %d" (Workload.Prng.int rng 600 - 300);
+        Printf.sprintf "tag = '%s'" (tag ());
+        Printf.sprintf "tag <> '%s'" (tag ());
+        Printf.sprintf "grp = %d" (Workload.Prng.int rng 8);
+        "x >= 5.0" ]
+  in
+  fuzz_pick rng
+    [ (* selection + projection over every column kind *)
+      Printf.sprintf "SELECT id, tag, score FROM t WHERE %s AND %s" (pred ())
+        (pred ());
+      (* global aggregation: the Colagg kernels, NULL inputs included *)
+      "SELECT COUNT(*), COUNT(x), COUNT(grp), SUM(score), MIN(score), \
+       MAX(score), AVG(x), AVG(score) FROM t";
+      Printf.sprintf "SELECT COUNT(*), SUM(score), MIN(x) FROM t WHERE %s"
+        (pred ());
+      (* grouped aggregation (NULL group keys possible) *)
+      Printf.sprintf "SELECT grp, COUNT(*), SUM(score) FROM t WHERE %s GROUP \
+                      BY grp"
+        (pred ());
+      (* iceberg self-join: NLJP prune/memo territory *)
+      Printf.sprintf
+        "SELECT L.grp, COUNT(*) FROM t L, t R WHERE L.grp = R.grp AND L.id < \
+         R.id AND R.id < %d GROUP BY L.grp HAVING COUNT(*) >= %d"
+        (200 + Workload.Prng.int rng 200)
+        (1 + Workload.Prng.int rng 10) ]
+
+let fuzz_configs =
+  [ ("baseline", fun c q -> Core.Runner.run_baseline c q);
+    ("all", fun c q -> fst (Core.Runner.run ~tech:Core.Optimizer.all_techniques c q));
+    ("pruning", fun c q -> fst (Core.Runner.run ~tech:(Core.Optimizer.only `Pruning) c q));
+    ("memo", fun c q -> fst (Core.Runner.run ~tech:(Core.Optimizer.only `Memo) c q));
+    ("transfer-on", fun c q -> fst (Core.Runner.run ~transfer:true c q));
+    ("transfer-off", fun c q -> fst (Core.Runner.run ~transfer:false c q));
+    ("workers4", fun c q -> fst (Core.Runner.run ~workers:4 c q)) ]
+
+let catalog_of rel =
+  let c = Catalog.create () in
+  Catalog.add_table c "t" rel;
+  c
+
+let check_sic_differential seed =
+  let rng = Workload.Prng.create seed in
+  let rel = random_sic_rel rng in
+  let block_size = 64 + Workload.Prng.int rng 192 in
+  let sql = random_sic_query rng in
+  let q = Sqlfront.Parser.parse sql in
+  let oracle = Core.Runner.run_baseline (catalog_of rel) q in
+  let check storage got =
+    if not (Relation.equal_bag oracle got) then
+      QCheck.Test.fail_reportf
+        "[%s] mismatch for:\n%s\n(seed %d, block_size %d): oracle %d rows, \
+         got %d rows"
+        storage sql seed block_size
+        (Relation.cardinality oracle)
+        (Relation.cardinality got)
+  in
+  with_tmp "fuzz" (fun path ->
+      Sic.save_rows ~block_size path rel.Relation.schema
+        (Array.to_seq (Relation.rows rel));
+      let storages =
+        [ ("resident", Sic.load ~mode:`Resident path);
+          ("paged", Sic.load ~mode:`Paged path) ]
+      in
+      List.iter
+        (fun (sname, srel) ->
+          let cat = catalog_of srel in
+          List.iter
+            (fun (cname, run) -> check (sname ^ "/" ^ cname) (run cat q))
+            fuzz_configs)
+        storages;
+      (* reload → re-save → re-run round trip from the paged relation *)
+      with_tmp "fuzz2" (fun path2 ->
+          let paged = List.assoc "paged" storages in
+          Sic.save_rows ~block_size:(2 * block_size) path2
+            paged.Relation.schema
+            (Array.to_seq (Relation.rows paged));
+          let back = Sic.load ~mode:`Paged path2 in
+          check "resaved/baseline" (Core.Runner.run_baseline (catalog_of back) q)));
+  true
+
+let test_differential =
+  QCheck.Test.make
+    ~name:"differential: row vs resident vs paged across configs" ~count:25
+    (QCheck.int_range 1 100000) check_sic_differential
+
+let suite =
+  [ Alcotest.test_case "encode edge cases" `Quick test_encode_edges;
+    QCheck_alcotest.to_alcotest test_encode_qcheck;
+    QCheck_alcotest.to_alcotest test_direct_kernels;
+    Alcotest.test_case "byte-weighted lru" `Quick test_lru_weighted;
+    Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+    Alcotest.test_case "streaming writer" `Quick test_streaming_writer;
+    Alcotest.test_case "empty relation" `Quick test_empty_relation;
+    QCheck_alcotest.to_alcotest test_differential ]
