@@ -261,7 +261,7 @@ let calibrate_cmd rows layout tech workers json =
   0
 
 let serve_cmd tables synth rows layouts cache_mb addr pool queue_cap plan_cap
-    result_cap max_rows =
+    result_cap max_rows no_maintain =
   let layouts =
     match layouts with
     | "both" -> [ `Row; `Column ]
@@ -285,6 +285,7 @@ let serve_cmd tables synth rows layouts cache_mb addr pool queue_cap plan_cap
       plan_cache_cap = plan_cap;
       result_cache_cap = result_cap;
       max_rows = (if max_rows <= 0 then None else Some max_rows);
+      maintain = not no_maintain;
     }
   in
   let srv = Serve.Server.start ~config catalogs in
@@ -296,7 +297,7 @@ let serve_cmd tables synth rows layouts cache_mb addr pool queue_cap plan_cap
   print_endline "server stopped";
   0
 
-let client_cmd addr analyze sets stats shutdown sql =
+let client_cmd addr analyze sets appends stats shutdown sql =
   let c = Serve.Client.connect (Serve.Protocol.addr_of_string addr) in
   let parse_set kv =
     match String.index_opt kv '=' with
@@ -322,16 +323,46 @@ let client_cmd addr analyze sets stats shutdown sql =
     | Some t -> print_string (Obs.Span.to_text (Obs.Span.of_json t))
     | None -> ()
   in
+  (* --append TABLE:v1,v2,... — one row per occurrence; cells are typed by
+     shape (int, float, else string), matching the CSV loader's coercions. *)
+  let do_append spec =
+    match String.index_opt spec ':' with
+    | None -> failwith ("--append expects TABLE:v1,v2,..., got " ^ spec)
+    | Some i ->
+      let table = String.sub spec 0 i in
+      let cells =
+        String.split_on_char ',' (String.sub spec (i + 1) (String.length spec - i - 1))
+      in
+      let cell v =
+        match (int_of_string_opt v, float_of_string_opt v) with
+        | Some n, _ -> Obs.Json.Num (float_of_int n)
+        | None, Some f -> Obs.Json.Num f
+        | None, None -> Obs.Json.Str v
+      in
+      let resp = Serve.Client.append c table [ Obs.Json.Arr (List.map cell cells) ] in
+      let f n =
+        match Obs.Json.member n resp with
+        | Some (Obs.Json.Num x) -> int_of_float x
+        | _ -> 0
+      in
+      Printf.printf
+        "appended %d row(s) to %s: incremental %d, revalidated %d, \
+         invalidated %d, plans refreshed %d\n%!"
+        (f "appended") table (f "incremental") (f "revalidated")
+        (f "invalidated") (f "plans_refreshed")
+  in
   let status = ref 0 in
   (try
      if sets <> [] then ignore (Serve.Client.set c (List.map parse_set sets));
+     List.iter do_append appends;
      (match sql with
       | Some q -> print_result (Serve.Client.query ~analyze c q)
       | None -> ());
      if stats then print_endline (Obs.Json.to_string (Serve.Client.stats c));
      if shutdown then Serve.Client.shutdown c;
      (* With nothing else to do, read queries from stdin (one per line). *)
-     if sql = None && not stats && not shutdown && sets = [] then begin
+     if sql = None && not stats && not shutdown && sets = [] && appends = []
+     then begin
        try
          while true do
            let line = String.trim (input_line stdin) in
@@ -596,6 +627,14 @@ let serve_max_rows_arg =
     & info [ "max-rows" ] ~docv:"N"
         ~doc:"Truncate query responses to $(docv) rows (0 = unlimited).")
 
+let no_maintain_flag =
+  Arg.(
+    value & flag
+    & info [ "no-maintain" ]
+        ~doc:"Disable incremental result maintenance: appends drop affected \
+              result-cache entries instead of folding the delta into their \
+              algebraic partial state.")
+
 let set_arg =
   Arg.(
     value
@@ -611,6 +650,14 @@ let stats_flag =
 let shutdown_flag =
   Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to stop.")
 
+let append_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "append" ] ~docv:"TABLE:v1,v2,..."
+        ~doc:"Append one row to $(docv) on the server (repeatable). Cells \
+              are typed by shape: int, float, else string.")
+
 let client_sql_arg =
   Arg.(
     value & pos 0 (some string) None
@@ -624,20 +671,21 @@ let serve_t =
        ~doc:"Start the multi-session query server: a worker-domain pool \
              behind a bounded admission queue, with a shared plan cache \
              (prepared statements keyed by normalized query + session \
-             config) and a version-keyed result cache")
+             config) and a stamp-keyed result cache maintained \
+             incrementally across appends")
     Term.(
       const serve_cmd $ tables_arg $ synth_arg $ rows_arg $ serve_layouts_arg
       $ cache_mb_arg $ addr_arg $ pool_arg $ queue_cap_arg $ plan_cap_arg
-      $ result_cap_arg $ serve_max_rows_arg)
+      $ result_cap_arg $ serve_max_rows_arg $ no_maintain_flag)
 
 let client_t =
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Connect to a running server and run queries, tweak session \
-             config, fetch statistics or request shutdown")
+       ~doc:"Connect to a running server and run queries, append rows, \
+             tweak session config, fetch statistics or request shutdown")
     Term.(
-      const client_cmd $ addr_arg $ analyze_flag $ set_arg $ stats_flag
-      $ shutdown_flag $ client_sql_arg)
+      const client_cmd $ addr_arg $ analyze_flag $ set_arg $ append_arg
+      $ stats_flag $ shutdown_flag $ client_sql_arg)
 
 let main =
   Cmd.group

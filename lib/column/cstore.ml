@@ -39,10 +39,17 @@ type pager = {
 
 type source = Resident of block array | Paged of pager
 
+(* [delta] holds blocks appended after the store was built (the streaming
+   append path).  They are ordinary decoded blocks — own zone maps, codes
+   interned into the shared per-column dicts (codes are first-appearance
+   ordered, so growing a dict never invalidates older blocks) — logically
+   concatenated after the base source, which itself may be resident or
+   paged.  Appends are O(delta); fragmented tails are coalesced lazily. *)
 type t = {
   schema : Schema.t;
   dicts : Dict.t option array;
   source : source;
+  delta : block array;
   length : int;
 }
 
@@ -54,29 +61,45 @@ let default_block_size = 4096
 let schema t = t.schema
 let length t = t.length
 
-let nblocks t =
+let base_nblocks t =
   match t.source with
   | Resident blocks -> Array.length blocks
   | Paged p -> Array.length p.p_lengths
 
+let nblocks t = base_nblocks t + Array.length t.delta
+
+let delta_rows t =
+  Array.fold_left (fun acc (b : block) -> acc + b.length) 0 t.delta
+
 let block t i =
-  match t.source with Resident blocks -> blocks.(i) | Paged p -> p.p_fetch i
+  let nb = base_nblocks t in
+  if i >= nb then t.delta.(i - nb)
+  else match t.source with Resident blocks -> blocks.(i) | Paged p -> p.p_fetch i
 
 let dict t ci = t.dicts.(ci)
 let is_paged t = match t.source with Paged _ -> true | Resident _ -> false
 
 let block_length t i =
-  match t.source with
-  | Resident blocks -> blocks.(i).length
-  | Paged p -> p.p_lengths.(i)
+  let nb = base_nblocks t in
+  if i >= nb then t.delta.(i - nb).length
+  else
+    match t.source with
+    | Resident blocks -> blocks.(i).length
+    | Paged p -> p.p_lengths.(i)
 
 let block_zmaps t i =
-  match t.source with
-  | Resident blocks -> blocks.(i).zmaps
-  | Paged p -> p.p_zmaps.(i)
+  let nb = base_nblocks t in
+  if i >= nb then t.delta.(i - nb).zmaps
+  else
+    match t.source with
+    | Resident blocks -> blocks.(i).zmaps
+    | Paged p -> p.p_zmaps.(i)
 
+(* Delta blocks are decoded, so they have no encoded form: callers fall
+   back to the decoded path for them, exactly as for resident blocks. *)
 let block_enc t i =
-  match t.source with Resident _ -> None | Paged p -> Some (p.p_enc i)
+  if i >= base_nblocks t then None
+  else match t.source with Resident _ -> None | Paged p -> Some (p.p_enc i)
 
 let kind_of_cvec = function
   | C_int _ -> K_int
@@ -85,19 +108,29 @@ let kind_of_cvec = function
   | C_bool _ -> K_bool
   | C_mixed _ -> K_mixed
 
+let kind_merge a b =
+  match (a, b) with
+  | K_empty, k | k, K_empty -> k
+  | a, b -> if a = b then a else K_varied
+
 let col_kind t ci =
-  match t.source with
-  | Paged p -> p.p_kinds.(ci)
-  | Resident blocks ->
-    if Array.length blocks = 0 then K_empty
-    else begin
-      let k = kind_of_cvec blocks.(0).cols.(ci) in
-      let uniform = ref true in
-      for bi = 1 to Array.length blocks - 1 do
-        if kind_of_cvec blocks.(bi).cols.(ci) <> k then uniform := false
-      done;
-      if !uniform then k else K_varied
-    end
+  let base =
+    match t.source with
+    | Paged p -> p.p_kinds.(ci)
+    | Resident blocks ->
+      if Array.length blocks = 0 then K_empty
+      else begin
+        let k = kind_of_cvec blocks.(0).cols.(ci) in
+        let uniform = ref true in
+        for bi = 1 to Array.length blocks - 1 do
+          if kind_of_cvec blocks.(bi).cols.(ci) <> k then uniform := false
+        done;
+        if !uniform then k else K_varied
+      end
+  in
+  Array.fold_left
+    (fun acc (b : block) -> kind_merge acc (kind_of_cvec b.cols.(ci)))
+    base t.delta
 
 let with_schema schema t = { t with schema }
 
@@ -219,11 +252,11 @@ let of_rows ?(block_size = default_block_size) schema rows =
         done;
         { length = len; cols; zmaps })
   in
-  { schema; dicts; source = Resident blocks; length = n }
+  { schema; dicts; source = Resident blocks; delta = [||]; length = n }
 
 let make_resident ~schema ~dicts ~blocks =
   let length = Array.fold_left (fun acc (b : block) -> acc + b.length) 0 blocks in
-  { schema; dicts; source = Resident blocks; length }
+  { schema; dicts; source = Resident blocks; delta = [||]; length }
 
 let make_paged ~schema ~dicts ~lengths ~zmaps ~kinds ~blooms ~bytes ~fetch ~enc =
   let length = Array.fold_left ( + ) 0 lengths in
@@ -241,11 +274,16 @@ let make_paged ~schema ~dicts ~lengths ~zmaps ~kinds ~blooms ~bytes ~fetch ~enc 
           p_fetch = fetch;
           p_enc = enc;
         };
+    delta = [||];
     length;
   }
 
+(* A file footer's Bloom filter covers only the rows present at save time;
+   once a delta exists it would wrongly refute probes for appended values,
+   so it is withdrawn rather than consulted. *)
 let col_bloom t ci =
-  match t.source with Resident _ -> None | Paged p -> p.p_blooms.(ci)
+  if Array.length t.delta > 0 then None
+  else match t.source with Resident _ -> None | Paged p -> p.p_blooms.(ci)
 
 (* ---- reading ---- *)
 
@@ -277,12 +315,13 @@ let row_of t (b : block) i : Row.t =
 let block_rows t (b : block) : Row.t array = Array.init b.length (row_of t b)
 
 let iter_blocks f t =
-  match t.source with
-  | Resident blocks -> Array.iter f blocks
-  | Paged p ->
-    for bi = 0 to Array.length p.p_lengths - 1 do
-      f (p.p_fetch bi)
-    done
+  (match t.source with
+   | Resident blocks -> Array.iter f blocks
+   | Paged p ->
+     for bi = 0 to Array.length p.p_lengths - 1 do
+       f (p.p_fetch bi)
+     done);
+  Array.iter f t.delta
 
 let to_rows t : Row.t array =
   let out = Array.make t.length [||] in
@@ -295,6 +334,69 @@ let to_rows t : Row.t array =
       done)
     t;
   out
+
+(* Decode only the suffix rows.(lo ..): blocks wholly before [lo] are never
+   fetched, so extracting a fresh delta from a large table is O(delta). *)
+let rows_from t lo =
+  if lo < 0 || lo > t.length then invalid_arg "Cstore.rows_from";
+  let out = Array.make (t.length - lo) [||] in
+  let pos = ref 0 and off = ref 0 in
+  for bi = 0 to nblocks t - 1 do
+    let len = block_length t bi in
+    if !off + len > lo then begin
+      let b = block t bi in
+      for i = max 0 (lo - !off) to len - 1 do
+        out.(!pos) <- row_of t b i;
+        incr pos
+      done
+    end;
+    off := !off + len
+  done;
+  out
+
+(* ---- appending ---- *)
+
+let chunk_blocks ~dicts ~arity rows =
+  let n = Array.length rows in
+  let nb = (n + default_block_size - 1) / default_block_size in
+  Array.init nb (fun bi ->
+      let lo = bi * default_block_size in
+      let len = min default_block_size (n - lo) in
+      build_block ~dicts ~arity rows ~lo ~len)
+
+(* Lazy merge: every append lands a (possibly short) tail block, so a
+   streaming appender fragments the delta.  Once the delta is ≥ 8 blocks
+   averaging under a quarter fill, rebuild it from its own rows into full
+   blocks — O(delta), so appends stay O(delta) amortized. *)
+let coalesce t =
+  let nd = Array.length t.delta in
+  if nd < 8 then t
+  else begin
+    let dlen = delta_rows t in
+    if dlen >= nd * (default_block_size / 4) then t
+    else begin
+      let rows = Array.make dlen [||] in
+      let pos = ref 0 in
+      Array.iter
+        (fun (b : block) ->
+          for i = 0 to b.length - 1 do
+            rows.(!pos) <- row_of t b i;
+            incr pos
+          done)
+        t.delta;
+      let delta = chunk_blocks ~dicts:t.dicts ~arity:(Schema.arity t.schema) rows in
+      { t with delta }
+    end
+  end
+
+let append_rows t rows =
+  let n = Array.length rows in
+  if n = 0 then t
+  else begin
+    let fresh = chunk_blocks ~dicts:t.dicts ~arity:(Schema.arity t.schema) rows in
+    coalesce
+      { t with delta = Array.append t.delta fresh; length = t.length + n }
+  end
 
 (* ---- selection vectors ----
 
@@ -366,6 +468,7 @@ let dict_bytes dicts =
     0 dicts
 
 let approx_bytes t =
+  let delta_body = Array.fold_left (fun acc b -> acc + block_bytes b) 0 t.delta in
   match t.source with
   | Resident blocks ->
     let body =
@@ -373,5 +476,5 @@ let approx_bytes t =
         (fun acc b -> Array.fold_left (fun acc vec -> acc + vec_bytes vec) acc b.cols)
         0 blocks
     in
-    body + dict_bytes t.dicts
-  | Paged p -> p.p_bytes + dict_bytes t.dicts
+    body + delta_body + dict_bytes t.dicts
+  | Paged p -> p.p_bytes + delta_body + dict_bytes t.dicts

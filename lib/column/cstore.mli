@@ -60,6 +60,21 @@ val build_block :
 (** Build one block over [rows.(lo .. lo+len-1)], interning strings into
     the shared [dicts] (the streaming [.sic] writer's per-chunk step). *)
 
+val append_rows : t -> Row.t array -> t
+(** O(delta) append: the rows become {e delta blocks} (own zone maps, codes
+    interned into the shared dicts) logically concatenated after the base
+    source — resident or paged — without touching it.  Fragmented delta
+    tails are coalesced lazily, keeping appends O(delta) amortized.  The
+    result shares base blocks and dictionaries with the input store. *)
+
+val delta_rows : t -> int
+(** Number of rows living in delta blocks (0 for a freshly built store). *)
+
+val rows_from : t -> int -> Row.t array
+(** [rows_from t lo] decodes rows [lo ..] only, fetching just the blocks
+    that overlap the suffix — the delta-extraction path for incremental
+    maintenance. *)
+
 val schema : t -> Schema.t
 val length : t -> int
 val nblocks : t -> int
@@ -84,7 +99,9 @@ val col_kind : t -> int -> kind
 val col_bloom : t -> int -> Bloom.t option
 (** Whole-table Bloom filter over column [ci]'s values, when the paged
     source's footer carries one ([None] for resident stores).  Used to
-    refute equality probes without touching any block. *)
+    refute equality probes without touching any block.  Withdrawn (returns
+    [None]) once delta blocks exist: the saved filter does not cover
+    appended rows and would refute probes unsoundly. *)
 
 (** Same blocks under a different schema (e.g. requalified aliases). *)
 val with_schema : Schema.t -> t -> t

@@ -1,0 +1,52 @@
+(** Incremental maintenance of cached iceberg results under appends.
+
+    An entry holds the query's algebraic partial states (one partial row per
+    group, HAVING not yet applied).  Appending Δ rows to a table folds in
+    via telescoping delta joins — for k occurrences of the table in FROM,
+    k runs that each place Δ at one occurrence (old prefix before it, the
+    grown table after) — so maintenance is O(Δ ⋈ rest), not a recompute.
+    When the WHERE conjuncts local to every occurrence refute all delta
+    rows, the result provably cannot change ([`Revalidated]).
+
+    The catalog is temporarily extended with delta/prefix temp tables while
+    a step runs: callers must hold the same exclusive lock they use for
+    catalog mutation (the server applies maintenance inside [handle_append]'s
+    write section). *)
+
+type t
+
+val supported : Relalg.Catalog.t -> Sqlfront.Ast.query -> bool
+(** Whether the query has a delta rule: base tables only, no WITH /
+    DISTINCT / ORDER BY / LIMIT / subqueries / SELECT *, and all aggregates
+    algebraic (COUNT DISTINCT is holistic and refused). *)
+
+val init : ?max_groups:int -> Relalg.Catalog.t -> Sqlfront.Ast.query -> t option
+(** Build maintenance state by running the partials query (one full
+    execution, comparable to the query itself).  [None] when the query is
+    unsupported, the group count exceeds [max_groups] (default 200k), or
+    compilation fails — callers just serve the query uncached-maintained. *)
+
+val tables : t -> string list
+(** Normalized base tables the query reads (the entry's invalidation key). *)
+
+val apply :
+  ?max_delta_frac:float ->
+  t ->
+  table:string ->
+  delta:Relalg.Relation.t ->
+  ([ `Incremental of int | `Revalidated ], string) result
+(** Fold an append of [delta] rows to [table] into the partial states.
+    [`Revalidated]: every delta row was refuted by occurrence-local WHERE
+    conjuncts — state and result unchanged.  [`Incremental n]: the delta
+    was folded in; [n] counts delta rows per occurrence placement that
+    survived local filtering (a row joining at both occurrences of a
+    self-join counts twice).  [Error] (delta larger than
+    [max_delta_frac] of the table, default 0.5, or an execution failure):
+    the state is unreliable and the caller must recompute from scratch. *)
+
+val result : t -> Relalg.Relation.t
+(** Finalize: compute finals from partials, apply HAVING, evaluate the
+    SELECT list.  Bag-equal to re-running the query from scratch. *)
+
+val groups : t -> int
+(** Number of maintained groups (below- and above-threshold). *)

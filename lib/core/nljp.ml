@@ -90,6 +90,9 @@ type t = {
   subsume : Subsume.t option;
   prune_reason : string option;  (* why pruning is off, if it is *)
   memo_reason : string option;
+  numeric_theta : (Schema.col * bool) list;
+      (* build-time numeric judgement of Θ's columns: p⪰'s arithmetic was
+         derived under it, so [delta_refresh] rechecks it after appends *)
   stats : stats;
 }
 
@@ -207,7 +210,17 @@ let build ?(overrides = []) catalog (spec : Qspec.t) config =
     in
     if (not key_case) && not algebraic_ok then
       Error "non-algebraic aggregates with G_L not a key cannot be combined"
-    else
+    else begin
+      let numeric_theta =
+        match
+          Expr.canonicalize
+            (Schema.append left.Qspec.schema spec.Qspec.right.Qspec.schema)
+            (Qspec.theta_expr catalog spec)
+        with
+        | theta ->
+          List.map (fun c -> (c, col_numeric catalog spec c)) (Expr.columns theta)
+        | exception _ -> []
+      in
       Ok
         {
           catalog;
@@ -220,8 +233,10 @@ let build ?(overrides = []) catalog (spec : Qspec.t) config =
           subsume;
           prune_reason;
           memo_reason;
+          numeric_theta;
           stats = fresh_stats ();
         }
+    end
   end
 
 (* ---- pruning cache ---- *)
@@ -384,6 +399,49 @@ module Prune_cache = struct
         f t.brows.(i)
       done
     | Partitioned p -> Row.Tbl.iter (fun _ cell -> List.iter f !cell) p.tbl
+
+  (* Drop every entry failing [keep], preserving layout invariants (sorted
+     order survives filtering; partition cells are trimmed and emptied cells
+     removed).  Returns the number of entries dropped.  Single-threaded:
+     callers must not overlap this with probes (the server refreshes under
+     the same exclusive lock it appends under). *)
+  let filter_in_place cache keep =
+    match cache with
+    | Flat f ->
+      let items = List.filter keep f.items in
+      let n' = List.length items in
+      let dropped = f.n - n' in
+      f.items <- items;
+      f.n <- n';
+      dropped
+    | Sorted t ->
+      flush t;
+      let k = ref 0 in
+      for i = 0 to t.len - 1 do
+        if keep t.rows.(i) then begin
+          t.rows.(!k) <- t.rows.(i);
+          t.keys.(!k) <- t.keys.(i);
+          incr k
+        end
+      done;
+      let dropped = t.len - !k in
+      for i = !k to t.len - 1 do
+        t.rows.(i) <- [||]
+      done;
+      t.len <- !k;
+      dropped
+    | Partitioned p ->
+      let dropped = ref 0 in
+      let dead = ref [] in
+      Row.Tbl.iter
+        (fun key cell ->
+          let kept = List.filter keep !cell in
+          dropped := !dropped + (List.length !cell - List.length kept);
+          if kept = [] then dead := key :: !dead else cell := kept)
+        p.tbl;
+      List.iter (Row.Tbl.remove p.tbl) !dead;
+      p.n <- p.n - !dropped;
+      !dropped
 
   let bytes cache =
     match cache with
@@ -1352,6 +1410,173 @@ let subsumption op = op.subsume
 (* The operator's cumulative stats record (mutated in place by [execute];
    callers wanting per-execution deltas snapshot it around the call). *)
 let op_stats op = op.stats
+
+(* ---- incremental cache refresh after appends (delta maintenance) ----
+
+   After [Catalog.append_rows] the shared cross-query tier can often be kept
+   instead of discarded.  The delta rules, per entry (a binding b):
+
+   - the appended table occurs only on the outer side: Q_R is untouched, so
+     per-binding cache contents stay exact (new bindings simply miss);
+   - it occurs on the inner side: a memo entry stays exact iff no delta row
+     can join b — either a binding-only Θ gate already fails for b (Q_R(b)
+     was empty and stays empty) or, at every inner occurrence of the table,
+     some Θ probe [r_col op f(b)] refutes the delta's column zone map;
+   - prune entries additionally survive wholesale when Φ is anti-monotone:
+     ¬Φ on a subset implies ¬Φ on every superset, so an unpromising binding
+     cannot become promising by appending rows.  Monotone Φ can flip, so
+     those entries need the same per-binding refutation as memo entries.
+
+   Probes are necessary conditions of Θ conjuncts, so refuting one against
+   the delta's min/max is sound even when Θ has conjuncts outside the probe
+   shape.  When p⪰'s build-time numeric judgement of a Θ column is
+   contradicted by the delta (a string lands in a column the subsumption
+   arithmetic ordered numerically), the operator itself — not just the
+   caches — is invalid and the caller must rebuild it. *)
+
+let m_delta_refreshes = Obs.Metrics.counter "nljp.delta_refreshes"
+let m_delta_entries_kept = Obs.Metrics.counter "nljp.delta_entries_kept"
+let m_delta_entries_dropped = Obs.Metrics.counter "nljp.delta_entries_dropped"
+
+type refresh = {
+  rf_prune_kept : int;
+  rf_prune_dropped : int;
+  rf_memo_kept : int;
+  rf_memo_dropped : int;
+}
+
+let delta_refresh op shared ~table ~delta =
+  let { catalog; spec; cls; _ } = op in
+  let norm = String.lowercase_ascii in
+  let t_norm = norm table in
+  let left_side = spec.Qspec.left and right_side = spec.Qspec.right in
+  let occurs (side : Qspec.side) =
+    List.exists (fun (tn, _) -> String.equal (norm tn) t_norm) side.Qspec.tables
+  in
+  if not (occurs left_side || occurs right_side) then `Kept
+  else if
+    List.exists
+      (fun (c, was) -> was && not (col_numeric catalog spec c))
+      op.numeric_theta
+  then begin
+    shared.sc_prune <- None;
+    shared.sc_memo <- None;
+    `Reprepare "a Θ column lost its numeric domain in the appended rows"
+  end
+  else if not (occurs right_side) then `Kept
+  else begin
+    let drows = Relation.rows delta in
+    if Array.length drows = 0 then `Kept
+    else begin
+      Obs.Metrics.add m_delta_refreshes 1;
+      let l_schema = left_side.Qspec.schema
+      and r_schema = right_side.Qspec.schema in
+      let jl_idx =
+        List.map (fun c -> Schema.index_of_col l_schema c) left_side.Qspec.join_cols
+      in
+      let binding_schema = Schema.project l_schema jl_idx in
+      let theta =
+        Expr.canonicalize
+          (Schema.append binding_schema r_schema)
+          (Qspec.theta_expr catalog spec)
+      in
+      let probes, gates, _exact =
+        Compile.param_probes ~binding:binding_schema ~inner:r_schema theta
+      in
+      (* Column span of each inner FROM item inside r_schema ([side_schema]
+         appends the per-alias requalified base schemas in FROM order). *)
+      let spans, total =
+        List.fold_left
+          (fun (acc, off) (tn, _alias) ->
+            let ar =
+              Schema.arity (Catalog.find catalog tn).Catalog.rel.Relation.schema
+            in
+            ((tn, off, ar) :: acc, off + ar))
+          ([], 0) right_side.Qspec.tables
+      in
+      let occ_probes =
+        if total <> Schema.arity r_schema then [ [] ]
+          (* layout mismatch: treat every entry as joinable by the delta *)
+        else
+          List.filter_map
+            (fun (tn, off, ar) ->
+              if String.equal (norm tn) t_norm then
+                Some
+                  (List.filter_map
+                     (fun p ->
+                       if p.Compile.pp_col >= off && p.Compile.pp_col < off + ar
+                       then Some (p.Compile.pp_col - off, p)
+                       else None)
+                     probes)
+              else None)
+            (List.rev spans)
+      in
+      (* Per-column zone map over the delta rows, built lazily: refuting a
+         probe against it proves no delta row satisfies that conjunct. *)
+      let zm_cache : (int, Column.Zmap.t) Hashtbl.t = Hashtbl.create 8 in
+      let delta_zmap ci =
+        match Hashtbl.find_opt zm_cache ci with
+        | Some z -> z
+        | None ->
+          let z =
+            Array.fold_left
+              (fun z r -> Column.Zmap.observe z r.(ci))
+              Column.Zmap.empty drows
+          in
+          Hashtbl.add zm_cache ci z;
+          z
+      in
+      let refuted b =
+        List.exists (fun g -> not (g b)) gates
+        || List.for_all
+             (fun ps ->
+               List.exists
+                 (fun (ci, p) ->
+                   match p.Compile.pp_val b with
+                   | v ->
+                     not
+                       (Column.Zmap.may_match (delta_zmap ci)
+                          (Compile.zmap_cmp p.Compile.pp_op) v)
+                   | exception _ -> false)
+                 ps)
+             occ_probes
+      in
+      let prune_kept, prune_dropped =
+        match shared.sc_prune with
+        | None -> (0, 0)
+        | Some pc ->
+          if Monotone.is_anti_monotone cls then (Prune_cache.length pc, 0)
+          else
+            let dropped = Prune_cache.filter_in_place pc refuted in
+            (Prune_cache.length pc, dropped)
+      in
+      let memo_kept, memo_dropped =
+        match shared.sc_memo with
+        | None -> (0, 0)
+        | Some m ->
+          let dead = ref [] in
+          Row.Tbl.iter (fun b _ -> if not (refuted b) then dead := b :: !dead) m;
+          List.iter (Row.Tbl.remove m) !dead;
+          (Row.Tbl.length m, List.length !dead)
+      in
+      Obs.Metrics.add m_delta_entries_kept (prune_kept + memo_kept);
+      Obs.Metrics.add m_delta_entries_dropped (prune_dropped + memo_dropped);
+      op.stats.notes <-
+        op.stats.notes
+        @ [ Printf.sprintf
+              "delta refresh (%s, +%d rows): prune kept %d dropped %d, memo \
+               kept %d dropped %d"
+              t_norm (Array.length drows) prune_kept prune_dropped memo_kept
+              memo_dropped ];
+      `Refreshed
+        {
+          rf_prune_kept = prune_kept;
+          rf_prune_dropped = prune_dropped;
+          rf_memo_kept = memo_kept;
+          rf_memo_dropped = memo_dropped;
+        }
+    end
+  end
 
 (* The component queries NLJP actually materializes (a-priori overrides
    applied), so EXPLAIN can estimate their cardinalities. *)

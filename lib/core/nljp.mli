@@ -138,6 +138,41 @@ val execute :
     entries already warm, and [stats] counts its hits as memo hits /
     prunes. *)
 
+(** Per-cache survival counts of one {!delta_refresh}. *)
+type refresh = {
+  rf_prune_kept : int;
+  rf_prune_dropped : int;
+  rf_memo_kept : int;
+  rf_memo_dropped : int;
+}
+
+(** [delta_refresh op shared ~table ~delta] revalidates the shared tier
+    after [delta] rows were appended to base table [table] (normalized
+    name), instead of discarding it wholesale.
+
+    [`Kept]: every entry provably survives untouched — the table does not
+    occur in the operator, occurs only on the outer side (Q_R is untouched;
+    per-binding entries stay exact and new bindings simply miss), or the
+    delta is empty.  [`Refreshed]: the table occurs on the inner side; each
+    entry was kept iff no delta row can join its binding — a binding-only Θ
+    gate fails, or at every inner occurrence a Θ probe refutes the delta's
+    column zone map.  Anti-monotone Φ keeps all prune entries (¬Φ is
+    preserved under appends); monotone Φ filters them like memo entries.
+    [`Reprepare]: the delta contradicts the build-time numeric judgement a
+    derived p⪰ relies on — the caches are cleared and the caller must
+    rebuild the operator.
+
+    Callers must not overlap this with [execute] of the same operator (the
+    server refreshes under the exclusive lock it appends under), and must
+    separately discard any predicate-transfer Bloom state: Blooms describe
+    pre-append tables and refreshing them is the caller's job. *)
+val delta_refresh :
+  t ->
+  shared_cache ->
+  table:string ->
+  delta:Relalg.Relation.t ->
+  [ `Kept | `Refreshed of refresh | `Reprepare of string ]
+
 (** Human-readable description of the component queries (cf. Listings 7
     and 10), including the derived p⪰. *)
 val describe : t -> string

@@ -472,7 +472,7 @@ type prepared = {
   p_tech : Optimizer.technique;
   p_nljp_config : Nljp.config;
   p_transfer : bool;
-  p_version : int;
+  mutable p_version : int;
   p_kind : prepared_kind;
   p_mu : Mutex.t;
       (* Serializes executions of one prepared plan: the NLJP operator's
@@ -527,6 +527,33 @@ let prepare ?(tech = Optimizer.all_techniques) ?(nljp_config = Nljp.default_conf
   }
 
 let prepared_version p = p.p_version
+
+(* Carry a prepared plan across an append instead of re-preparing it.
+   P_direct and P_rewrite re-bind and re-execute against the live catalog
+   on every call (a-priori reducer subqueries re-materialize per run), so
+   they survive any append unchanged; P_nljp delegates to the operator's
+   delta rules for its shared prune/memo tier and always discards the
+   predicate-transfer Bloom memo (Blooms describe pre-append tables).
+   On [`Kept]/[`Refreshed] the plan's version is advanced to the current
+   catalog version so version-keyed owners keep accepting it; [`Reprepare]
+   leaves it stale and the owner must rebuild. *)
+let refresh_prepared p ~table ~delta =
+  Mutex.lock p.p_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.p_mu) @@ fun () ->
+  let outcome =
+    match p.p_kind with
+    | P_direct | P_rewrite _ -> `Kept
+    | P_nljp pn ->
+      pn.transfer_run <- None;
+      (match Nljp.delta_refresh pn.op pn.shared ~table ~delta with
+       | `Kept -> `Kept
+       | `Refreshed _ -> `Refreshed
+       | `Reprepare reason -> `Reprepare reason)
+  in
+  (match outcome with
+   | `Reprepare _ -> ()
+   | `Kept | `Refreshed -> p.p_version <- Catalog.version p.p_catalog);
+  outcome
 
 let prepared_kind p =
   match p.p_kind with

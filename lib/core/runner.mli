@@ -89,6 +89,23 @@ val run_prepared : ?span:Obs.Span.t -> prepared -> Relalg.Relation.t * report
 (** Catalog version the plan was prepared against. *)
 val prepared_version : prepared -> int
 
+(** Carry a prepared plan across an append of [delta] rows to base table
+    [table] instead of re-preparing.  [`Kept]: the plan and its caches are
+    untouched (direct/rewrite plans re-execute against the live catalog
+    anyway; an NLJP plan whose inner side doesn't read [table] keeps its
+    tier).  [`Refreshed]: the NLJP shared tier was revalidated entry by
+    entry (see {!Nljp.delta_refresh}).  In both cases the plan's version is
+    advanced to the current catalog version.  [`Reprepare]: the delta
+    invalidates the operator itself — caches are cleared, the version stays
+    stale, and the owner must rebuild the plan.  Predicate-transfer Bloom
+    state is always discarded.  Call under the same exclusive lock the
+    append ran under. *)
+val refresh_prepared :
+  prepared ->
+  table:string ->
+  delta:Relalg.Relation.t ->
+  [ `Kept | `Refreshed | `Reprepare of string ]
+
 (** How the plan executes: [`Nljp] (cached operator + shared cache tier),
     [`Rewrite] (cached decision, rewritten-query execution), or [`Direct]
     (CTE / non-iceberg / unsupported shape — full [run] per call). *)

@@ -5,7 +5,14 @@ type table = {
   fds : (string list * string list) list;
   nonneg : string list;
   mutable indexes : Index.t list;
+  (* Structural generation: bumped by anything that rewrites or reorganizes
+     existing rows (replace, layout change, index build/drop) but NOT by
+     [append_rows].  Together with the row count it forms the table's
+     {!stamp}: same gen + larger count = "the rows you saw plus a delta". *)
+  mutable gen : int;
 }
+
+type stamp = { s_gen : int; s_len : int }
 
 type t = {
   tables : (string, table) Hashtbl.t;
@@ -28,7 +35,8 @@ let norm = String.lowercase_ascii
 
 let add_table t ?(keys = []) ?(fds = []) ?(nonneg = []) name rel =
   bump t;
-  Hashtbl.replace t.tables (norm name) { name; rel; keys; fds; nonneg; indexes = [] }
+  Hashtbl.replace t.tables (norm name)
+    { name; rel; keys; fds; nonneg; indexes = []; gen = Atomic.get t.version }
 
 let find_opt t name = Hashtbl.find_opt t.tables (norm name)
 
@@ -54,39 +62,78 @@ let build_hash_index t name cols =
   bump t;
   let tbl = find t name in
   let idx = Index.Hash_index (Index.Hash.build tbl.rel (col_idxs tbl cols)) in
-  tbl.indexes <- idx :: tbl.indexes
+  tbl.indexes <- idx :: tbl.indexes;
+  tbl.gen <- Atomic.get t.version
 
 let build_sorted_index t name cols =
   bump t;
   let tbl = find t name in
   let idx = Index.Sorted_index (Index.Sorted.build tbl.rel (col_idxs tbl cols)) in
-  tbl.indexes <- idx :: tbl.indexes
+  tbl.indexes <- idx :: tbl.indexes;
+  tbl.gen <- Atomic.get t.version
 
 let drop_indexes t name =
   bump t;
   let tbl = find t name in
-  tbl.indexes <- []
+  tbl.indexes <- [];
+  tbl.gen <- Atomic.get t.version
 
-let replace_rows t name rel =
-  bump t;
-  let tbl = find t name in
-  let index_cols =
-    List.map
-      (fun idx ->
-        let cols = Index.columns idx in
-        let names =
-          List.map (fun i -> (Schema.nth tbl.rel.Relation.schema i).Schema.name) cols
-        in
-        (names, match idx with Index.Hash_index _ -> `Hash | Index.Sorted_index _ -> `Sorted))
-      tbl.indexes
-  in
-  Hashtbl.replace t.tables (norm name) { tbl with rel; indexes = [] };
+let saved_index_cols tbl =
+  List.map
+    (fun idx ->
+      let cols = Index.columns idx in
+      let names =
+        List.map (fun i -> (Schema.nth tbl.rel.Relation.schema i).Schema.name) cols
+      in
+      (names, match idx with Index.Hash_index _ -> `Hash | Index.Sorted_index _ -> `Sorted))
+    tbl.indexes
+
+let rebuild_indexes t name index_cols =
   List.iter
     (fun (names, kind) ->
       match kind with
       | `Hash -> build_hash_index t name names
       | `Sorted -> build_sorted_index t name names)
     index_cols
+
+let replace_rows t name rel =
+  bump t;
+  let tbl = find t name in
+  let index_cols = saved_index_cols tbl in
+  Hashtbl.replace t.tables (norm name)
+    { tbl with rel; indexes = []; gen = Atomic.get t.version };
+  rebuild_indexes t name index_cols
+
+(* O(delta) append: the generation survives, so stamps taken before the
+   append remain the "old prefix" of the grown table and [delta_since]
+   can hand back exactly the fresh rows. *)
+let append_rows t name fresh =
+  if Array.length fresh > 0 then begin
+    bump t;
+    let tbl = find t name in
+    let gen = tbl.gen in
+    let index_cols = saved_index_cols tbl in
+    let rel = Relation.append tbl.rel fresh in
+    Hashtbl.replace t.tables (norm name) { tbl with rel; indexes = [] };
+    rebuild_indexes t name index_cols;
+    (* index rebuilds bump gen as a structural change; an append's rebuild
+       re-covers an unchanged prefix plus new rows, so the gen survives *)
+    (find t name).gen <- gen
+  end
+
+let stamp t name =
+  let tbl = find t name in
+  { s_gen = tbl.gen; s_len = Relation.cardinality tbl.rel }
+
+let stamps t names = List.map (fun n -> (norm n, stamp t n)) names
+
+let delta_since t name (s : stamp) =
+  match find_opt t name with
+  | None -> `Invalid
+  | Some tbl ->
+    let n = Relation.cardinality tbl.rel in
+    if tbl.gen <> s.s_gen || s.s_len > n then `Invalid
+    else `Delta (Relation.slice_from tbl.rel s.s_len)
 
 let sorted_index_on tbl col =
   let rec go = function
@@ -119,7 +166,8 @@ let hash_index_on tbl cols =
 let set_layout t name layout =
   bump t;
   let tbl = find t name in
-  Hashtbl.replace t.tables (norm name) { tbl with rel = Relation.to_layout layout tbl.rel }
+  Hashtbl.replace t.tables (norm name)
+    { tbl with rel = Relation.to_layout layout tbl.rel; gen = Atomic.get t.version }
 
 let set_all_layouts t layout =
   List.iter (fun name -> set_layout t name layout) (table_names t)

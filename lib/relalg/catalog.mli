@@ -10,7 +10,17 @@ type table = {
   fds : (string list * string list) list;  (** extra FDs beyond keys *)
   nonneg : string list;  (** columns with dom ⊆ ℝ≥0 *)
   mutable indexes : Index.t list;
+  mutable gen : int;  (** structural generation; see {!stamp} *)
 }
+
+(** Delta epoch of one table: its structural generation plus row count.
+    Anything that rewrites or reorganizes existing rows ({!replace_rows},
+    {!set_layout}, index build/drop) starts a new generation; {!append_rows}
+    keeps it and only grows the count.  So for two stamps of the same table,
+    equal = identical contents, and equal [s_gen] with larger [s_len] =
+    "the rows you saw, plus an appended delta" — the distinction the
+    incremental-maintenance caches key on. *)
+type stamp = { s_gen : int; s_len : int }
 
 type t
 
@@ -40,6 +50,22 @@ val add_table :
 (** Replace a table's rows, keeping metadata and rebuilding its indexes
     (used by benchmarks that sweep input size). *)
 val replace_rows : t -> string -> Relation.t -> unit
+
+val append_rows : t -> string -> Row.t array -> unit
+(** O(delta) append via {!Relation.append}: bumps {!version} (result caches
+    must notice) but keeps the table's generation, so stamps taken before
+    the append stay deltable.  Indexes are rebuilt if present. *)
+
+val stamp : t -> string -> stamp
+(** Current delta epoch of a table (raises like {!find} if unknown). *)
+
+val stamps : t -> string list -> (string * stamp) list
+(** Stamps for several tables, keyed by normalized (lowercase) name. *)
+
+val delta_since : t -> string -> stamp -> [ `Delta of Relation.t | `Invalid ]
+(** The rows appended since [stamp] ([`Delta] may be empty), or [`Invalid]
+    if the table changed structurally (new generation, shrank, or was
+    dropped) and delta reasoning no longer applies. *)
 
 val find : t -> string -> table
 val find_opt : t -> string -> table option

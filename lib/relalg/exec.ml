@@ -164,30 +164,46 @@ and stream ~workers ~recorder ~path ~filters catalog plan : streamed =
     let l = run ~workers ?recorder ~path:(path @ [ 0 ]) ~filters catalog left in
     let r = run ~workers ?recorder ~path:(path @ [ 1 ]) ~filters catalog right in
     let schema = Schema.append l.Relation.schema r.Relation.schema in
-    let rkey = Compile.row_fn r.Relation.schema (List.map snd keys) in
-    let tbl = Row.Tbl.create (max 16 (Relation.cardinality r)) in
+    (* Build the hash table on the smaller input and stream the larger one.
+       Delta-maintenance runs put a tiny append batch on one side of the
+       join; hashing that side instead of the full table keeps the build
+       O(delta) regardless of which side the planner placed it on. *)
+    let build_left = Relation.cardinality l < Relation.cardinality r in
+    let build, probe =
+      if build_left then (l, r) else (r, l)
+    in
+    let build_cols, probe_cols =
+      if build_left then (List.map fst keys, List.map snd keys)
+      else (List.map snd keys, List.map fst keys)
+    in
+    let bkey = Compile.row_fn build.Relation.schema build_cols in
+    let tbl = Row.Tbl.create (max 16 (Relation.cardinality build)) in
     Relation.iter
-      (fun rrow ->
-        let key = rkey rrow in
+      (fun brow ->
+        let key = bkey brow in
         (* SQL: NULL join keys match nothing; keep them out of the table. *)
         if not (Row.has_null key) then
           match Row.Tbl.find_opt tbl key with
-          | Some cell -> cell := rrow :: !cell
-          | None -> Row.Tbl.add tbl key (ref [ rrow ]))
-      r;
+          | Some cell -> cell := brow :: !cell
+          | None -> Row.Tbl.add tbl key (ref [ brow ]))
+      build;
     let feed chunk emit =
-      let lkey = Compile.row_fn l.Relation.schema (List.map fst keys) in
+      let pkey = Compile.row_fn probe.Relation.schema probe_cols in
       let ok = Compile.join_pred l.Relation.schema r.Relation.schema residual in
+      (* [emit] expects (left row, right row) in plan order. *)
+      let emit_match =
+        if build_left then (fun brow prow -> if ok brow prow then emit brow prow)
+        else fun brow prow -> if ok prow brow then emit prow brow
+      in
       Array.iter
-        (fun lrow ->
-          let key = lkey lrow in
+        (fun prow ->
+          let key = pkey prow in
           match Row.Tbl.find_opt tbl key with
           | None -> ()
-          | Some cell ->
-            List.iter (fun rrow -> if ok lrow rrow then emit lrow rrow) !cell)
+          | Some cell -> List.iter (fun brow -> emit_match brow prow) !cell)
         chunk
     in
-    { schema; left_arity = Schema.arity l.Relation.schema; outer = l; feed }
+    { schema; left_arity = Schema.arity l.Relation.schema; outer = probe; feed }
   | Plan.Index_nl_join { pred; left; table; alias; key_col; lo; hi } ->
     (match sorted_index_for catalog table key_col with
      | None ->

@@ -70,6 +70,39 @@ let cardinality t =
 
 let empty schema = make schema [||]
 
+(* O(delta) append.  Column-primary: delta blocks onto the cstore (the row
+   cache, if any, is dropped rather than copied).  Row-primary: one
+   pointer-copying [Array.append]; a cached cstore is extended with delta
+   blocks so it need not be rebuilt. *)
+let append t fresh =
+  if Array.length fresh = 0 then t
+  else
+    match t.primary with
+    | `Column ->
+      let cs = Column.Cstore.append_rows (cstore t) fresh in
+      { schema = t.schema; primary = `Column; rows_q = None; cols_q = Some cs }
+    | `Row ->
+      let rows = Array.append (rows t) fresh in
+      let cols_q =
+        Option.map (fun cs -> Column.Cstore.append_rows cs fresh) t.cols_q
+      in
+      { schema = t.schema; primary = `Row; rows_q = Some rows; cols_q }
+
+(* Rows [lo ..] as a relation (the appended delta, given the old length).
+   Row-primary slices the array; column-primary decodes only the blocks
+   overlapping the suffix. *)
+let slice_from t lo =
+  let n = cardinality t in
+  if lo <= 0 then t
+  else if lo >= n then make t.schema [||]
+  else
+    match t.rows_q with
+    | Some r -> make t.schema (Array.sub r lo (n - lo))
+    | None ->
+      (match t.cols_q with
+       | Some cs -> make t.schema (Column.Cstore.rows_from cs lo)
+       | None -> make t.schema [||])
+
 (* Change the schema without rebuilding either layout (used by scans to
    requalify a base table under its alias). *)
 let with_schema schema t =

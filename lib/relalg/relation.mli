@@ -38,6 +38,16 @@ val to_layout : [ `Row | `Column ] -> t -> t
 val cardinality : t -> int
 val empty : Schema.t -> t
 
+val append : t -> Row.t array -> t
+(** O(delta) append.  Column-primary relations gain {!Column.Cstore} delta
+    blocks (base blocks are shared, not rebuilt); row-primary relations get
+    one pointer-copying array append, and an already-materialized columnar
+    cache is extended in kind rather than dropped. *)
+
+val slice_from : t -> int -> t
+(** [slice_from t lo] is rows [lo ..] as a relation — the delta view for
+    incremental maintenance, O(suffix) in either layout. *)
+
 (** Same data under a different schema (no copy of either layout). *)
 val with_schema : Schema.t -> t -> t
 

@@ -22,15 +22,24 @@
      and memoized predicate-transfer Blooms.  Entries are validated
      lazily: a hit whose {!Runner.prepared_version} trails the catalog's
      {!Catalog.version} is re-prepared in place (and counted as a miss).
-   - the RESULT cache additionally keys on the catalog version, so a hit
-     is exact: same text, same config, same data.  Values are the
-     already-encoded JSON response fields (immutable, so sharing them
-     across domains is trivially safe).  Appends invalidate explicitly by
-     sweeping out entries whose version no longer matches.
+     An append refreshes every entry in place ({!Runner.refresh_prepared}):
+     the version advances and the NLJP shared tier is revalidated entry by
+     entry instead of discarded, so only plans the delta actually
+     invalidates re-prepare.
+   - the RESULT cache holds the already-encoded JSON response fields plus
+     the entry's delta epoch: the tables the query reads and their
+     {!Catalog.stamp}s at execution time.  A hit is exact iff every stamp
+     still matches — same text, same config, same data.  An append
+     maintains affected entries instead of evicting them: entries whose
+     tables don't include the appended table are untouched; entries with
+     §6 algebraic partial state ({!Core.Delta}) are folded forward
+     (telescoping delta joins) or revalidated (every delta row refuted by
+     occurrence-local predicates); only entries without a delta rule — or
+     whose delta step fails — are dropped and recomputed on next demand.
 
-   Correctness of both tiers leans on the catalog version being bumped by
-   every mutation of base data ({!Catalog.version}) and left alone by the
-   temp-table lifecycle. *)
+   Correctness of both tiers leans on every base-data mutation going
+   through [append] under the exclusive lock, and on the temp-table
+   lifecycle leaving versions and stamps alone. *)
 
 open Relalg
 module Json = Obs.Json
@@ -87,6 +96,9 @@ type config = {
   plan_cache_cap : int;
   result_cache_cap : int;
   max_rows : int option;  (* rows per response; None = all *)
+  maintain : bool;
+      (* maintain cached results incrementally across appends (build §6
+         algebraic partial state per cached query; fold deltas in) *)
 }
 
 let default_config =
@@ -97,6 +109,7 @@ let default_config =
     plan_cache_cap = 64;
     result_cache_cap = 128;
     max_rows = None;
+    maintain = true;
   }
 
 (* ---------------------------------------------------------------- *)
@@ -172,10 +185,16 @@ type plan_entry = {
   mutable pe_prepared : Core.Runner.prepared;
 }
 
+(* A cached result and its delta epoch.  Mutable fields are only written
+   under the exclusive lock (fresh inserts happen via [Lru.put], appends
+   maintain in place); readers under the shared lock see a coherent entry
+   because appends exclude them entirely. *)
 type cached_result = {
-  cr_fields : (string * Json.t) list;  (* encoded response payload *)
-  cr_version : int;
+  mutable cr_fields : (string * Json.t) list;  (* encoded response payload *)
   cr_layout : [ `Row | `Column ];
+  cr_tables : string list;  (* normalized base tables the query reads *)
+  mutable cr_stamps : (string * Catalog.stamp) list;  (* per-table epochs *)
+  cr_state : Core.Delta.t option;  (* §6 partials, when the query has a delta rule *)
 }
 
 type conn = {
@@ -217,7 +236,12 @@ let c_result_hit = Obs.Metrics.counter "serve.result_hit"
 let c_result_miss = Obs.Metrics.counter "serve.result_miss"
 let c_appends = Obs.Metrics.counter "serve.appends"
 let c_errors = Obs.Metrics.counter "serve.errors"
+let c_maint_incremental = Obs.Metrics.counter "serve.maint_incremental"
+let c_maint_revalidate = Obs.Metrics.counter "serve.maint_revalidate"
+let c_maint_recompute = Obs.Metrics.counter "serve.maint_recompute"
+let c_plan_refreshed = Obs.Metrics.counter "serve.plan_refreshed"
 let h_query_ms = Obs.Metrics.histogram "serve.query_ms"
+let h_maint_ms = Obs.Metrics.histogram "serve.maint_ms"
 
 let catalog_for t layout =
   match List.assoc_opt layout t.catalogs with
@@ -323,10 +347,20 @@ let handle_query t conn ~id ~analyze sql =
       with_lock (fun () ->
           let version = Catalog.version cat in
           let key = plan_key session ast in
-          let rkey = Printf.sprintf "%s|v=%d" key version in
           let cached =
             if analyze || not session.use_result_cache then None
-            else Cache.Lru.find t.result_cache rkey
+            else
+              match Cache.Lru.find t.result_cache key with
+              | None -> None
+              | Some cr ->
+                (* A hit is exact iff every table the query read still has
+                   the stamp the entry was computed (or maintained) at.
+                   Appends keep maintained entries current, so a mismatch
+                   only means the entry predates an unmaintainable change —
+                   fall through to a fresh execution that overwrites it. *)
+                (match Catalog.stamps cat cr.cr_tables with
+                 | exception _ -> None
+                 | now -> if now = cr.cr_stamps then Some cr else None)
           in
           match cached with
           | Some cr ->
@@ -405,9 +439,29 @@ let handle_query t conn ~id ~analyze sql =
                   ]
                 @ (if analyze then [ ("trace", Obs.Span.to_json span) ] else [])
               in
-              if (not analyze) && session.use_result_cache then
-                Cache.Lru.put t.result_cache rkey
-                  { cr_fields = fields; cr_version = version; cr_layout = session.layout };
+              if (not analyze) && session.use_result_cache then begin
+                let tables =
+                  List.filter (Catalog.mem cat)
+                    (Sqlfront.Ast.tables_of_query ast)
+                in
+                (* Delta state costs one partials-query execution now and
+                   buys O(Δ ⋈ rest) maintenance on every later append;
+                   queries without a delta rule (CTEs, DISTINCT, holistic
+                   aggregates, …) get [None] and are dropped on append. *)
+                let state =
+                  if t.config.maintain && not exclusive then
+                    Core.Delta.init cat ast
+                  else None
+                in
+                Cache.Lru.put t.result_cache key
+                  {
+                    cr_fields = fields;
+                    cr_layout = session.layout;
+                    cr_tables = tables;
+                    cr_stamps = Catalog.stamps cat tables;
+                    cr_state = state;
+                  }
+              end;
               `Fresh fields))
     in
     (match outcome with
@@ -428,49 +482,113 @@ let handle_query t conn ~id ~analyze sql =
 let handle_append t conn ~id table rows =
   match
     Rwlock.write t.lock (fun () ->
-        (* Decode against the first catalog's schema, then apply the append
-           to every layout's catalog so they stay in lockstep. *)
-        List.iter
-          (fun (_, cat) ->
-            let tbl = Catalog.find cat table in
-            let schema = tbl.Catalog.rel.Relation.schema in
-            let arity = Schema.arity schema in
-            let fresh =
-              List.map
-                (fun rj ->
-                  match rj with
-                  | Json.Arr cells when List.length cells = arity ->
-                    Array.of_list (List.map P.value_of_json cells)
-                  | Json.Arr _ ->
-                    failwith
-                      (Printf.sprintf "append %s: row arity mismatch (want %d)"
-                         table arity)
-                  | _ -> failwith "append: each row must be a JSON array")
-                rows
-            in
-            let old = Relation.rows tbl.Catalog.rel in
-            let rel' =
-              Relation.of_rows schema (Array.to_list old @ fresh)
-              |> Relation.to_layout (Relation.layout tbl.Catalog.rel)
-            in
-            Catalog.replace_rows cat table rel')
-          t.catalogs;
-        (* Explicit invalidation: sweep out result-cache entries keyed to a
-           superseded catalog version.  Plan-cache entries invalidate
-           lazily via the version check on their next hit. *)
-        Cache.Lru.retain t.result_cache (fun _ cr ->
-            cr.cr_version = Catalog.version (catalog_for t cr.cr_layout)))
+        (* Resolve the table in every layout catalog and decode the payload
+           completely BEFORE mutating anything: a bad row (or a table known
+           to one catalog but not another) then can never leave the layout
+           catalogs out of lockstep — either every catalog appends the same
+           rows or none does. *)
+        let cats =
+          List.map
+            (fun (_, cat) ->
+              match Catalog.find_opt cat table with
+              | Some tb -> (cat, tb)
+              | None -> failwith ("append: no such table " ^ table))
+            t.catalogs
+        in
+        let schema = (snd (List.hd cats)).Catalog.rel.Relation.schema in
+        let arity = Schema.arity schema in
+        let fresh =
+          Array.of_list
+            (List.map
+               (fun rj ->
+                 match rj with
+                 | Json.Arr cells when List.length cells = arity ->
+                   Array.of_list (List.map P.value_of_json cells)
+                 | Json.Arr _ ->
+                   failwith
+                     (Printf.sprintf "append %s: row arity mismatch (want %d)"
+                        table arity)
+                 | _ -> failwith "append: each row must be a JSON array")
+               rows)
+        in
+        (* O(delta): the rows land in delta blocks ({!Relation.append}),
+           never rebuilding the resident prefix. *)
+        List.iter (fun (cat, _) -> Catalog.append_rows cat table fresh) cats;
+        let delta = Relation.make schema fresh in
+        (* Cached plans survive the append: direct/rewrite plans re-execute
+           against the live catalog anyway, NLJP plans revalidate their
+           shared prune/memo tier entry by entry.  Only a plan whose
+           operator the delta invalidates stays stale (it re-prepares
+           lazily on its next hit). *)
+        let plans_refreshed = ref 0 in
+        ignore
+          (Cache.Lru.retain t.plan_cache (fun _ e ->
+               Mutex.lock e.pe_mu;
+               (match
+                  Core.Runner.refresh_prepared e.pe_prepared ~table ~delta
+                with
+               | `Kept | `Refreshed -> incr plans_refreshed
+               | `Reprepare _ -> ());
+               Mutex.unlock e.pe_mu;
+               true));
+        (* Maintain the result cache.  Entries that don't read the table
+           keep their payload and stamps untouched; entries with delta
+           state fold the append in (or prove it can't change the result);
+           the rest drop and recompute on next demand. *)
+        let t_norm = String.lowercase_ascii table in
+        let maint_inc = ref 0 and maint_reval = ref 0 in
+        let dropped =
+          Cache.Lru.retain t.result_cache (fun _ cr ->
+              if not (List.mem t_norm cr.cr_tables) then true
+              else
+                let keep =
+                  match cr.cr_state with
+                  | None -> false
+                  | Some st ->
+                    let t0 = Unix.gettimeofday () in
+                    (match Core.Delta.apply st ~table ~delta with
+                    | Ok outcome ->
+                      (match outcome with
+                      | `Revalidated -> incr maint_reval
+                      | `Incremental _ ->
+                        let rel = Core.Delta.result st in
+                        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                        cr.cr_fields <-
+                          P.relation_to_json ?max_rows:t.config.max_rows rel
+                          @ [ ("ms", Json.Num ms);
+                              ("plan", Json.Str "maintained") ];
+                        incr maint_inc);
+                      Obs.Metrics.observe h_maint_ms
+                        ((Unix.gettimeofday () -. t0) *. 1000.);
+                      true
+                    | Error _ -> false)
+                in
+                (if keep then
+                   match
+                     Catalog.stamps (catalog_for t cr.cr_layout) cr.cr_tables
+                   with
+                   | exception _ -> ()
+                   | st -> cr.cr_stamps <- st);
+                keep)
+        in
+        (!plans_refreshed, !maint_inc, !maint_reval, dropped))
   with
-  | exception Not_found ->
-    send_error conn ~id ~code:"bad_request" ("append: no such table " ^ table)
   | exception Failure m -> send_error conn ~id ~code:"bad_request" m
   | exception e -> send_error conn ~id ~code:"error" (Printexc.to_string e)
-  | invalidated ->
+  | plans_refreshed, inc, reval, dropped ->
     Obs.Metrics.incr c_appends;
+    Obs.Metrics.add c_maint_incremental inc;
+    Obs.Metrics.add c_maint_revalidate reval;
+    Obs.Metrics.add c_maint_recompute dropped;
+    Obs.Metrics.add c_plan_refreshed plans_refreshed;
     send_ok conn ~id
       [
         ("appended", Json.Num (float_of_int (List.length rows)));
-        ("invalidated", Json.Num (float_of_int invalidated));
+        ("maintained", Json.Num (float_of_int (inc + reval)));
+        ("incremental", Json.Num (float_of_int inc));
+        ("revalidated", Json.Num (float_of_int reval));
+        ("invalidated", Json.Num (float_of_int dropped));
+        ("plans_refreshed", Json.Num (float_of_int plans_refreshed));
         ( "version",
           Json.Num (float_of_int (Catalog.version (catalog_for t conn.session.layout))) );
       ]
@@ -573,6 +691,18 @@ let handle_stats t conn ~id =
         lru_stats_json (Cache.Lru.stats t.result_cache)
           ~hits:(Obs.Metrics.read c_result_hit)
           ~misses:(Obs.Metrics.read c_result_miss) );
+      ( "maintenance",
+        Json.Obj
+          [
+            ( "incremental",
+              Json.Num (float_of_int (Obs.Metrics.read c_maint_incremental)) );
+            ( "revalidated",
+              Json.Num (float_of_int (Obs.Metrics.read c_maint_revalidate)) );
+            ( "recompute",
+              Json.Num (float_of_int (Obs.Metrics.read c_maint_recompute)) );
+            ( "plans_refreshed",
+              Json.Num (float_of_int (Obs.Metrics.read c_plan_refreshed)) );
+          ] );
       ("sessions", Json.Arr (List.map session_stats_json sessions));
       ("session", Json.Num (float_of_int conn.session.sid));
     ]

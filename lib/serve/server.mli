@@ -11,10 +11,15 @@
 
     Two shared cache tiers front execution, both keyed by normalized query
     text plus the session's execution config (layout, workers, transfer,
-    tech): a plan cache of {!Core.Runner.prepared} statements (lazily
-    re-prepared when {!Relalg.Catalog.version} has moved) and a result
-    cache additionally keyed by catalog version, swept explicitly on
-    append. *)
+    tech): a plan cache of {!Core.Runner.prepared} statements and a result
+    cache whose entries carry their delta epoch (the tables read and their
+    {!Relalg.Catalog.stamp}s).  Appends are O(delta) (delta-block append,
+    all layout catalogs in lockstep, all-or-nothing validation) and
+    maintain both tiers instead of evicting them: plans refresh in place
+    ({!Core.Runner.refresh_prepared}), result entries for unrelated tables
+    survive untouched, and entries with §6 algebraic partial state
+    ({!Core.Delta}) are folded forward or revalidated — only entries
+    without a delta rule drop and recompute on next demand. *)
 
 type config = {
   listen : Protocol.addr;
@@ -23,6 +28,11 @@ type config = {
   plan_cache_cap : int;
   result_cache_cap : int;
   max_rows : int option;  (** rows per query response; [None] = all *)
+  maintain : bool;
+      (** maintain cached results incrementally across appends: each cached
+          query with a delta rule keeps §6 algebraic partials (one extra
+          partials-query execution when first cached) so appends cost
+          O(delta join) instead of a recompute *)
 }
 
 val default_config : config

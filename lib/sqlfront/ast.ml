@@ -170,6 +170,39 @@ and map_cols_agg f = function
   | A_max x -> A_max (map_cols_scalar f x)
   | A_avg x -> A_avg (map_cols_scalar f x)
 
+(* Every base table a query can read, normalized to lowercase: FROM refs
+   plus WITH bodies, derived-table and IN-subqueries, minus names bound by
+   an enclosing WITH (those are derived, not catalog tables). *)
+let tables_of_query q =
+  let acc = ref [] in
+  let add n =
+    let n = String.lowercase_ascii n in
+    if not (List.mem n !acc) then acc := n :: !acc
+  in
+  let rec go_q defined q =
+    let defined =
+      List.map (fun (n, _) -> String.lowercase_ascii n) q.with_defs @ defined
+    in
+    List.iter (fun (_, dq) -> go_q defined dq) q.with_defs;
+    List.iter
+      (function
+        | T_table (n, _) ->
+          if not (List.mem (String.lowercase_ascii n) defined) then add n
+        | T_subquery (sq, _) -> go_q defined sq)
+      q.from;
+    Option.iter (go_p defined) q.where;
+    Option.iter (go_p defined) q.having
+  and go_p defined = function
+    | P_true | P_cmp _ -> ()
+    | P_and (a, b) | P_or (a, b) ->
+      go_p defined a;
+      go_p defined b
+    | P_not a -> go_p defined a
+    | P_in (_, sq) -> go_q defined sq
+  in
+  go_q [] q;
+  List.rev !acc
+
 let rec map_cols_pred f = function
   | P_true -> P_true
   | P_cmp (op, a, b) -> P_cmp (op, map_cols_scalar f a, map_cols_scalar f b)

@@ -89,3 +89,9 @@ val equal_pred : pred -> pred -> bool
 val map_cols_scalar : (string option * string -> scalar) -> scalar -> scalar
 
 val map_cols_pred : (string option * string -> scalar) -> pred -> pred
+
+val tables_of_query : query -> string list
+(** Every base table the query can read, normalized to lowercase — FROM
+    refs plus WITH bodies, derived-table and [P_in] subqueries, excluding
+    names bound by an enclosing WITH.  The server keys result-cache entries
+    on this set so appends to unrelated tables don't evict them. *)

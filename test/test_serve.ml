@@ -81,7 +81,7 @@ let test_parse_request () =
 
 let sock_counter = ref 0
 
-let with_server ?(pool = 2) ?(queue_cap = 32) catalogs f =
+let with_server ?(pool = 2) ?(queue_cap = 32) ?(maintain = true) catalogs f =
   incr sock_counter;
   let path =
     Printf.sprintf "/tmp/si-test-%d-%d.sock" (Unix.getpid ()) !sock_counter
@@ -94,6 +94,7 @@ let with_server ?(pool = 2) ?(queue_cap = 32) catalogs f =
       plan_cache_cap = 32;
       result_cache_cap = 64;
       max_rows = None;
+      maintain;
     }
   in
   let srv = Serve.Server.start ~config catalogs in
@@ -226,9 +227,23 @@ let test_plan_cache_accounting () =
       Alcotest.(check string) "config change misses" "miss" (plan_of r5);
       Serve.Client.close c)
 
-(* ---- result-cache invalidation on append ---- *)
+(* ---- result-cache maintenance / invalidation on append ---- *)
 
-let test_append_invalidation () =
+let int_field resp name =
+  match Json.member name resp with
+  | Some (Json.Num n) -> int_of_float n
+  | _ -> Alcotest.failf "append response lacks %s" name
+
+(* One-shot expected result for basket_sql after appending [extra] rows. *)
+let basket_expected extra =
+  let catalog = basket_catalog () in
+  let tbl = Catalog.find catalog "basket" in
+  let rows = Array.to_list (Relation.rows tbl.Catalog.rel) @ extra in
+  Catalog.replace_rows catalog "basket"
+    (Relation.of_rows tbl.Catalog.rel.Relation.schema rows);
+  fst (Core.Runner.run catalog (Sqlfront.Parser.parse basket_sql))
+
+let test_append_maintenance () =
   with_server [ (`Row, basket_catalog ()); (`Column, basket_catalog ()) ]
     (fun addr ->
       let c = Serve.Client.connect addr in
@@ -241,31 +256,195 @@ let test_append_invalidation () =
           [ Json.Arr [ Json.Num 1.; Json.Str "z" ];
             Json.Arr [ Json.Num 1.; Json.Str "w" ] ]
       in
-      (match Json.member "invalidated" resp with
-       | Some (Json.Num n) ->
-         Alcotest.(check bool) "append invalidated the cached result" true
-           (int_of_float n >= 1)
-       | _ -> Alcotest.fail "append response lacks invalidated");
+      (* the entry has a delta rule: it is folded forward, not dropped *)
+      Alcotest.(check bool) "append maintained the cached result" true
+        (int_field resp "incremental" >= 1);
+      Alcotest.(check int) "nothing dropped" 0 (int_field resp "invalidated");
+      Alcotest.(check bool) "cached plan survived the append" true
+        (int_field resp "plans_refreshed" >= 1);
+      let r3 = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "maintained entry still serves hits" true
+        (Serve.Client.cached r3);
+      Alcotest.(check string) "payload marks maintenance" "maintained"
+        (plan_of r3);
+      let extra1 = [ row [ iv 1; sv "z" ]; row [ iv 1; sv "w" ] ] in
+      check_wire_bag "post-append" (basket_expected extra1) r3;
+      (* a second append folds into the already-maintained state *)
+      ignore
+        (Serve.Client.append c "basket" [ Json.Arr [ Json.Num 2.; Json.Str "z" ] ]);
+      let r4 = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "still cached after second append" true
+        (Serve.Client.cached r4);
+      let extra2 = extra1 @ [ row [ iv 2; sv "z" ] ] in
+      let expected2 = basket_expected extra2 in
+      check_wire_bag "second append" expected2 r4;
+      (* both layouts saw the appends *)
+      ignore (Serve.Client.set c [ ("layout", Json.Str "column") ]);
+      let r5 = Serve.Client.query c basket_sql in
+      check_wire_bag "column layout post-append" expected2 r5;
+      Serve.Client.close c)
+
+let test_append_invalidation () =
+  (* maintenance off: appends fall back to dropping affected entries *)
+  with_server ~maintain:false [ (`Row, basket_catalog ()) ] (fun addr ->
+      let c = Serve.Client.connect addr in
+      ignore (Serve.Client.query c basket_sql);
+      let r2 = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "warm before append" true (Serve.Client.cached r2);
+      let resp =
+        Serve.Client.append c "basket"
+          [ Json.Arr [ Json.Num 1.; Json.Str "z" ];
+            Json.Arr [ Json.Num 1.; Json.Str "w" ] ]
+      in
+      Alcotest.(check bool) "append invalidated the cached result" true
+        (int_field resp "invalidated" >= 1);
       let r3 = Serve.Client.query c basket_sql in
       Alcotest.(check bool) "append evicts" false (Serve.Client.cached r3);
-      (* the post-append result matches one-shot execution over the
-         appended data *)
-      let catalog = basket_catalog () in
-      let tbl = Catalog.find catalog "basket" in
-      let rows =
-        Array.to_list (Relation.rows tbl.Catalog.rel)
-        @ [ row [ iv 1; sv "z" ]; row [ iv 1; sv "w" ] ]
+      check_wire_bag "post-append"
+        (basket_expected [ row [ iv 1; sv "z" ]; row [ iv 1; sv "w" ] ])
+        r3;
+      Serve.Client.close c)
+
+(* Regression for the lockstep bug: a bad row anywhere in the batch (or a
+   table one layout catalog lacks) must leave every catalog untouched —
+   decode-all-before-mutate, all-or-nothing. *)
+let test_append_all_or_nothing () =
+  with_server [ (`Row, basket_catalog ()); (`Column, basket_catalog ()) ]
+    (fun addr ->
+      let c = Serve.Client.connect addr in
+      let expected0 = basket_expected [] in
+      let bad_batches =
+        [ (* arity mismatch in the middle of the batch *)
+          [ Json.Arr [ Json.Num 9.; Json.Str "ok" ];
+            Json.Arr [ Json.Num 9. ];
+            Json.Arr [ Json.Num 9.; Json.Str "ok2" ] ];
+          (* not even a row *)
+          [ Json.Arr [ Json.Num 9.; Json.Str "ok" ]; Json.Str "junk" ] ]
       in
-      Catalog.replace_rows catalog "basket"
-        (Relation.of_rows tbl.Catalog.rel.Relation.schema rows);
-      let expected, _ =
-        Core.Runner.run catalog (Sqlfront.Parser.parse basket_sql)
-      in
-      check_wire_bag "post-append" expected r3;
-      (* both layouts saw the append *)
+      List.iter
+        (fun batch ->
+          try
+            ignore (Serve.Client.append c "basket" batch);
+            Alcotest.fail "bad batch must be rejected"
+          with Serve.Client.Server_error { code; _ } ->
+            Alcotest.(check string) "bad batch" "bad_request" code)
+        bad_batches;
+      (try
+         ignore
+           (Serve.Client.append c "nosuch" [ Json.Arr [ Json.Num 1. ] ]);
+         Alcotest.fail "unknown table must be rejected"
+       with Serve.Client.Server_error { code; _ } ->
+         Alcotest.(check string) "unknown table" "bad_request" code);
+      (* neither layout saw any of the valid prefix rows *)
+      let r_row = Serve.Client.query c basket_sql in
+      check_wire_bag "row untouched" expected0 r_row;
       ignore (Serve.Client.set c [ ("layout", Json.Str "column") ]);
-      let r4 = Serve.Client.query c basket_sql in
-      check_wire_bag "column layout post-append" expected r4;
+      let r_col = Serve.Client.query c basket_sql in
+      check_wire_bag "column untouched" expected0 r_col;
+      (* and a good append still lands in both *)
+      ignore
+        (Serve.Client.append c "basket" [ Json.Arr [ Json.Num 1.; Json.Str "z" ] ]);
+      let expected1 = basket_expected [ row [ iv 1; sv "z" ] ] in
+      let r_col2 = Serve.Client.query c basket_sql in
+      check_wire_bag "column after good append" expected1 r_col2;
+      ignore (Serve.Client.set c [ ("layout", Json.Str "row") ]);
+      let r_row2 = Serve.Client.query c basket_sql in
+      check_wire_bag "row after good append" expected1 r_row2;
+      Serve.Client.close c)
+
+(* Regression for the blanket-sweep bug: appending to one table must not
+   evict cached results of queries that never read it. *)
+let test_append_unrelated_survives () =
+  let mixed_catalog () =
+    let catalog = basket_catalog () in
+    Catalog.add_table catalog ~keys:[ [ "id" ] ] ~nonneg:[ "x"; "y" ] "object"
+      (rel [ "id"; "x"; "y" ]
+         (List.init 12 (fun i -> [ iv i; iv (i mod 4); iv (i mod 3) ])));
+    catalog
+  in
+  let object_sql =
+    "SELECT o1.x, COUNT(*) FROM object o1, object o2 WHERE o1.x = o2.x GROUP \
+     BY o1.x HAVING COUNT(*) >= 2"
+  in
+  with_server ~maintain:false [ (`Row, mixed_catalog ()) ] (fun addr ->
+      let c = Serve.Client.connect addr in
+      ignore (Serve.Client.query c basket_sql);
+      ignore (Serve.Client.query c object_sql);
+      (* append to object: the basket entry reads a disjoint table set and
+         must survive even with maintenance off *)
+      let resp =
+        Serve.Client.append c "object"
+          [ Json.Arr [ Json.Num 100.; Json.Num 1.; Json.Num 1. ] ]
+      in
+      Alcotest.(check int) "only the object entry dropped" 1
+        (int_field resp "invalidated");
+      let rb = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "unrelated entry survived" true
+        (Serve.Client.cached rb);
+      let ro = Serve.Client.query c object_sql in
+      Alcotest.(check bool) "related entry dropped" false
+        (Serve.Client.cached ro);
+      Serve.Client.close c)
+
+(* ---- append/query race ---- *)
+
+let test_concurrent_append_query () =
+  let appends = 6 in
+  with_server ~pool:3 [ (`Row, basket_catalog ()) ] (fun addr ->
+      let failures = Array.make 3 None in
+      let stop = Atomic.make false in
+      let readers =
+        List.init 2 (fun i ->
+            Thread.create
+              (fun () ->
+                try
+                  let c = Serve.Client.connect addr in
+                  while not (Atomic.get stop) do
+                    let r = Serve.Client.query c basket_sql in
+                    (* every in-flight snapshot is internally consistent:
+                       at least the seed groups, never a torn row *)
+                    if Serve.Client.rows_n r < 1 then
+                      failwith "result lost the seed groups"
+                  done;
+                  Serve.Client.close c
+                with e -> failures.(i) <- Some (Printexc.to_string e))
+              ())
+      in
+      let writer =
+        Thread.create
+          (fun () ->
+            try
+              let c = Serve.Client.connect addr in
+              for k = 1 to appends do
+                ignore
+                  (Serve.Client.append c "basket"
+                     [ Json.Arr
+                         [ Json.Num (float_of_int (10 + k)); Json.Str "a" ];
+                       Json.Arr
+                         [ Json.Num (float_of_int (10 + k)); Json.Str "b" ] ]);
+                Thread.yield ()
+              done;
+              Serve.Client.close c
+            with e -> failures.(2) <- Some (Printexc.to_string e))
+          ()
+      in
+      Thread.join writer;
+      Atomic.set stop true;
+      List.iter Thread.join readers;
+      Array.iter
+        (function
+          | Some m -> Alcotest.failf "append/query race: %s" m | None -> ())
+        failures;
+      (* after the dust settles, the served result (maintained or cached)
+         equals a one-shot recompute over everything appended *)
+      let extra =
+        List.concat_map
+          (fun k -> [ row [ iv (10 + k); sv "a" ]; row [ iv (10 + k); sv "b" ] ])
+          (List.init appends (fun k -> k + 1))
+      in
+      let expected = basket_expected extra in
+      let c = Serve.Client.connect addr in
+      check_wire_bag "final state" expected (Serve.Client.query c basket_sql);
       Serve.Client.close c)
 
 let test_catalog_version () =
@@ -429,7 +608,12 @@ let suite =
     Alcotest.test_case "serve basic" `Quick test_serve_basic;
     Alcotest.test_case "serve set config" `Quick test_serve_set_config;
     Alcotest.test_case "plan cache accounting" `Quick test_plan_cache_accounting;
+    Alcotest.test_case "append maintenance" `Quick test_append_maintenance;
     Alcotest.test_case "append invalidation" `Quick test_append_invalidation;
+    Alcotest.test_case "append all-or-nothing" `Quick test_append_all_or_nothing;
+    Alcotest.test_case "append unrelated survives" `Quick
+      test_append_unrelated_survives;
+    Alcotest.test_case "append/query race" `Quick test_concurrent_append_query;
     Alcotest.test_case "catalog version" `Quick test_catalog_version;
     Alcotest.test_case "admission rejection" `Quick test_admission_rejection;
     Alcotest.test_case "concurrent differential fuzz" `Quick test_concurrent_fuzz;
