@@ -261,7 +261,7 @@ let calibrate_cmd rows layout tech workers json =
   0
 
 let serve_cmd tables synth rows layouts cache_mb addr pool queue_cap plan_cap
-    result_cap max_rows no_maintain =
+    result_cap max_rows no_maintain metrics_addr slow_ms slow_log trace_sample =
   let layouts =
     match layouts with
     | "both" -> [ `Row; `Column ]
@@ -286,18 +286,115 @@ let serve_cmd tables synth rows layouts cache_mb addr pool queue_cap plan_cap
       result_cache_cap = result_cap;
       max_rows = (if max_rows <= 0 then None else Some max_rows);
       maintain = not no_maintain;
+      metrics_addr =
+        (match metrics_addr with
+         | None | Some "" -> None
+         | Some a -> Some (Serve.Protocol.addr_of_string a));
+      slow_ms;
+      slow_log = Some slow_log;
+      trace_sample;
     }
   in
   let srv = Serve.Server.start ~config catalogs in
   Printf.printf "serving on %s (pool=%d queue=%d)\n%!"
     (Serve.Protocol.addr_to_string config.Serve.Server.listen)
     pool queue_cap;
+  (match Serve.Server.metrics_addr srv with
+   | Some a ->
+     Printf.printf "metrics on %s (Prometheus text)\n%!"
+       (Serve.Protocol.addr_to_string a)
+   | None -> ());
+  (match slow_ms with
+   | Some th -> Printf.printf "slow-query log: %s (threshold %gms)\n%!" slow_log th
+   | None ->
+     if trace_sample > 0. then
+       Printf.printf "trace-sample log: %s (fraction %g)\n%!" slow_log trace_sample);
   (* Runs until a client sends {"op":"shutdown"} (or the process is killed). *)
   Serve.Server.wait srv;
   print_endline "server stopped";
   0
 
-let client_cmd addr analyze sets appends stats shutdown sql =
+(* Live terminal view over the server's [metrics] op: qps and rolling
+   p50/p95 from the last-minute windows, cache hit rates, queue depth and
+   maintenance outcomes, redrawn in place every [interval] seconds. *)
+let do_monitor c interval frames =
+  let module J = Obs.Json in
+  let numf j name = match J.member name j with Some (J.Num x) -> x | _ -> 0. in
+  let numi j name = int_of_float (numf j name) in
+  let nested j outer name =
+    match J.member outer j with Some o -> numf o name | None -> 0.
+  in
+  let rolling j name field =
+    match J.member "rolling" j with
+    | Some o -> (match J.member name o with Some r -> numf r field | None -> 0.)
+    | None -> 0.
+  in
+  let pct hits misses =
+    let tot = hits +. misses in
+    if tot <= 0. then 0. else 100. *. hits /. tot
+  in
+  let frame = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let m = Serve.Client.metrics c in
+    let counters =
+      match J.member "counters" m with Some o -> o | None -> J.Obj []
+    in
+    let b = Buffer.create 1024 in
+    let line fmt =
+      Printf.ksprintf
+        (fun s ->
+          Buffer.add_string b s;
+          Buffer.add_char b '\n')
+        fmt
+    in
+    line "smart-iceberg monitor   uptime %.1fs   sessions %d   queue %d/%d   pool %d"
+      (numf m "uptime_ms" /. 1000.)
+      (numi m "sessions") (numi m "queue_depth") (numi m "queue_cap")
+      (numi m "pool");
+    line "queries       total %d   qps %.1f   errors %d   rejected %d"
+      (numi counters "serve.queries")
+      (rolling m "serve.queries" "rate")
+      (numi counters "serve.errors")
+      (numi counters "serve.rejected");
+    line "latency       rolling p50 %.2fms  p95 %.2fms  (n=%.0f)   queue wait p95 %.2fms"
+      (rolling m "serve.query_ms" "p50")
+      (rolling m "serve.query_ms" "p95")
+      (rolling m "serve.query_ms" "count")
+      (rolling m "serve.queue_wait_ms" "p95");
+    line "plan cache    hits %.0f  misses %.0f  (%.1f%%)   entries %.0f  evictions %.0f"
+      (nested m "plan_cache" "hits")
+      (nested m "plan_cache" "misses")
+      (pct (nested m "plan_cache" "hits") (nested m "plan_cache" "misses"))
+      (nested m "plan_cache" "entries")
+      (nested m "plan_cache" "evictions");
+    line "result cache  hits %.0f  misses %.0f  (%.1f%%)   entries %.0f  evictions %.0f"
+      (nested m "result_cache" "hits")
+      (nested m "result_cache" "misses")
+      (pct (nested m "result_cache" "hits") (nested m "result_cache" "misses"))
+      (nested m "result_cache" "entries")
+      (nested m "result_cache" "evictions");
+    line "maintenance   incremental %d  revalidated %d  recompute %d  plans refreshed %d"
+      (numi counters "serve.maint_incremental")
+      (numi counters "serve.maint_revalidate")
+      (numi counters "serve.maint_recompute")
+      (numi counters "serve.plan_refreshed");
+    line "maint latency rolling p50 %.2fms  p95 %.2fms  (n=%.0f)   appends %d"
+      (rolling m "serve.maint_ms" "p50")
+      (rolling m "serve.maint_ms" "p95")
+      (rolling m "serve.maint_ms" "count")
+      (numi counters "serve.appends");
+    (* home + clear-screen, then the frame: a flicker-free in-place redraw *)
+    print_string "\027[H\027[2J";
+    print_string (Buffer.contents b);
+    flush stdout;
+    incr frame;
+    if frames > 0 && !frame >= frames then continue := false
+    else Unix.sleepf interval
+  done
+
+let client_cmd addr analyze sets appends stats shutdown monitor interval frames
+    sql =
   let c = Serve.Client.connect (Serve.Protocol.addr_of_string addr) in
   let parse_set kv =
     match String.index_opt kv '=' with
@@ -359,9 +456,11 @@ let client_cmd addr analyze sets appends stats shutdown sql =
       | Some q -> print_result (Serve.Client.query ~analyze c q)
       | None -> ());
      if stats then print_endline (Obs.Json.to_string (Serve.Client.stats c));
+     if monitor then do_monitor c interval frames;
      if shutdown then Serve.Client.shutdown c;
      (* With nothing else to do, read queries from stdin (one per line). *)
-     if sql = None && not stats && not shutdown && sets = [] && appends = []
+     if sql = None && not stats && not shutdown && not monitor && sets = []
+        && appends = []
      then begin
        try
          while true do
@@ -665,6 +764,62 @@ let client_sql_arg =
         ~doc:"Query to run; omitted (and with no other action), queries are \
               read from stdin one per line.")
 
+let metrics_addr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-addr" ] ~docv:"ADDR"
+        ~doc:"Expose Prometheus text metrics over plain HTTP on $(docv) \
+              (HOST:PORT, port 0 for ephemeral, or a unix:PATH socket).")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:"Log queries taking at least $(docv) milliseconds to the \
+              slow-query log as JSONL (query text, session config, cache \
+              disposition, per-node analyze summary). Per-session \
+              overridable with $(b,set slow_ms=...). Off by default.")
+
+let slow_log_arg =
+  Arg.(
+    value
+    & opt string "iceberg-slow.jsonl"
+    & info [ "slow-log" ] ~docv:"FILE"
+        ~doc:"Slow-query log path (opened lazily on the first record).")
+
+let trace_sample_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "trace-sample" ] ~docv:"FRACTION"
+        ~doc:"Run this fraction (0..1) of queries fully instrumented \
+              (bypassing both caches) and log their complete span trees to \
+              the slow-query log, so est-vs-actual coverage includes fast \
+              queries. Per-session overridable with \
+              $(b,set trace_sample=...).")
+
+let monitor_flag =
+  Arg.(
+    value & flag
+    & info [ "monitor" ]
+        ~doc:"Live terminal view of server health: qps, rolling p50/p95 \
+              latency, cache hit rates, queue depth and maintenance \
+              outcomes, polled from the metrics op and redrawn in place.")
+
+let interval_arg =
+  Arg.(
+    value & opt float 2.
+    & info [ "interval" ] ~docv:"SECONDS"
+        ~doc:"Refresh interval for $(b,--monitor).")
+
+let frames_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "frames" ] ~docv:"N"
+        ~doc:"Exit $(b,--monitor) after $(docv) refreshes (0 = run until \
+              interrupted).")
+
 let serve_t =
   Cmd.v
     (Cmd.info "serve"
@@ -676,7 +831,8 @@ let serve_t =
     Term.(
       const serve_cmd $ tables_arg $ synth_arg $ rows_arg $ serve_layouts_arg
       $ cache_mb_arg $ addr_arg $ pool_arg $ queue_cap_arg $ plan_cap_arg
-      $ result_cap_arg $ serve_max_rows_arg $ no_maintain_flag)
+      $ result_cap_arg $ serve_max_rows_arg $ no_maintain_flag
+      $ metrics_addr_arg $ slow_ms_arg $ slow_log_arg $ trace_sample_arg)
 
 let client_t =
   Cmd.v
@@ -685,7 +841,8 @@ let client_t =
              tweak session config, fetch statistics or request shutdown")
     Term.(
       const client_cmd $ addr_arg $ analyze_flag $ set_arg $ append_arg
-      $ stats_flag $ shutdown_flag $ client_sql_arg)
+      $ stats_flag $ shutdown_flag $ monitor_flag $ interval_arg $ frames_arg
+      $ client_sql_arg)
 
 let main =
   Cmd.group

@@ -123,6 +123,36 @@ module Metrics = struct
 
   type hist_summary = { hs_name : string; hs_count : int; hs_sum : float; hs_buckets : int array }
 
+  (* Estimated value at quantile [q] of a merged power-of-two bucket array
+     holding [n] observations: walk the cumulative counts to the target
+     rank, then interpolate linearly inside the landing bucket's value
+     range ([0,1) for bucket 0, [2^(i-1), 2^i) otherwise).  The estimate
+     is within a factor of 2 of the true order statistic by construction
+     — the price of constant-space histograms. *)
+  let quantile_of_buckets buckets n q =
+    if n <= 0 then 0.
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let target = Float.max 1. (q *. float_of_int n) in
+      let nb = Array.length buckets in
+      let rec go i cum =
+        if i >= nb then ldexp 1. (nb - 1)
+        else begin
+          let c = buckets.(i) in
+          if c > 0 && float_of_int (cum + c) >= target then begin
+            let lo = if i = 0 then 0. else ldexp 1. (i - 1) in
+            let hi = ldexp 1. i in
+            let frac = (target -. float_of_int cum) /. float_of_int c in
+            lo +. ((hi -. lo) *. frac)
+          end
+          else go (i + 1) (cum + c)
+        end
+      in
+      go 0 0
+    end
+
+  let hist_quantile hs q = quantile_of_buckets hs.hs_buckets hs.hs_count q
+
   let hist_read h =
     Mutex.lock h.h_mu;
     let merged = Array.make nbuckets 0 in
@@ -175,6 +205,168 @@ module Metrics = struct
         let v0 = match List.assoc_opt name before with Some v -> v | None -> 0 in
         if v1 <> v0 then Some (name, v1 - v0) else None)
       after
+end
+
+(* ---- rolling windows ---- *)
+
+(* Windowed view over the same power-of-two buckets: a ring of per-window
+   cells, each stamped with the absolute window index (epoch) it holds
+   data for.  Writes land in the cell for the current epoch, recycling it
+   in place if it still holds an older window's data; reads merge only the
+   cells whose epoch falls inside the horizon, so a clock that skips any
+   number of windows needs no catch-up work — stale cells are simply
+   excluded and recycled on their next write.  One mutex per roll: these
+   feed request-path telemetry (per query / per append), not operator hot
+   loops, so a lock is cheap and keeps torn cells impossible. *)
+module Rolling = struct
+  type cell = {
+    mutable rc_epoch : int;  (* absolute window index the data belongs to *)
+    mutable rc_n : int;
+    mutable rc_sum : float;
+    rc_buckets : int array;
+  }
+
+  type t = {
+    r_name : string;
+    r_window_s : float;
+    r_windows : int;  (* ring size; horizon = window_s * windows *)
+    r_clock : unit -> float;
+    r_mu : Mutex.t;
+    r_cells : cell array;
+  }
+
+  type snap = {
+    rs_name : string;
+    rs_window_s : float;
+    rs_windows : int;
+    rs_count : int;
+    rs_sum : float;
+    rs_rate : float;  (* events per second over the covered span *)
+    rs_p50 : float;
+    rs_p90 : float;
+    rs_p95 : float;
+    rs_p99 : float;
+  }
+
+  let registry_mu = Mutex.create ()
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let roll ?(window_s = 10.) ?(windows = 6) ?clock name =
+    Mutex.lock registry_mu;
+    let r =
+      match Hashtbl.find_opt registry name with
+      | Some r -> r
+      | None ->
+        let windows = max 1 windows in
+        let r =
+          {
+            r_name = name;
+            r_window_s = (if window_s <= 0. then 1. else window_s);
+            r_windows = windows;
+            r_clock = (match clock with Some f -> f | None -> Unix.gettimeofday);
+            r_mu = Mutex.create ();
+            r_cells =
+              Array.init windows (fun _ ->
+                  { rc_epoch = min_int;
+                    rc_n = 0;
+                    rc_sum = 0.;
+                    rc_buckets = Array.make Metrics.nbuckets 0 });
+          }
+        in
+        Hashtbl.add registry name r;
+        r
+    in
+    Mutex.unlock registry_mu;
+    r
+
+  let name r = r.r_name
+
+  (* The cell for the current epoch, recycled in place when it still holds
+     an older (or sentinel) epoch.  Caller holds [r_mu]. *)
+  let live_cell r =
+    let epoch = int_of_float (r.r_clock () /. r.r_window_s) in
+    let cell = r.r_cells.(epoch mod r.r_windows) in
+    if cell.rc_epoch <> epoch then begin
+      cell.rc_epoch <- epoch;
+      cell.rc_n <- 0;
+      cell.rc_sum <- 0.;
+      Array.fill cell.rc_buckets 0 Metrics.nbuckets 0
+    end;
+    cell
+
+  let observe r v =
+    if enabled then begin
+      Mutex.lock r.r_mu;
+      let cell = live_cell r in
+      cell.rc_n <- cell.rc_n + 1;
+      cell.rc_sum <- cell.rc_sum +. v;
+      let b = Metrics.bucket_of v in
+      cell.rc_buckets.(b) <- cell.rc_buckets.(b) + 1;
+      Mutex.unlock r.r_mu
+    end
+
+  (* Count-only event (a counter-rate feed: qps, appends/s).  Buckets stay
+     empty, so quantiles read 0 — only [rs_count]/[rs_rate] are meaningful. *)
+  let mark ?(n = 1) r =
+    if enabled && n <> 0 then begin
+      Mutex.lock r.r_mu;
+      let cell = live_cell r in
+      cell.rc_n <- cell.rc_n + n;
+      Mutex.unlock r.r_mu
+    end
+
+  let read r =
+    Mutex.lock r.r_mu;
+    let now = r.r_clock () in
+    let epoch = int_of_float (now /. r.r_window_s) in
+    let merged = Array.make Metrics.nbuckets 0 in
+    let n = ref 0 and sum = ref 0. and oldest = ref epoch in
+    Array.iter
+      (fun c ->
+        if c.rc_n > 0 && c.rc_epoch > epoch - r.r_windows && c.rc_epoch <= epoch
+        then begin
+          n := !n + c.rc_n;
+          sum := !sum +. c.rc_sum;
+          if c.rc_epoch < !oldest then oldest := c.rc_epoch;
+          Array.iteri (fun i x -> merged.(i) <- merged.(i) + x) c.rc_buckets
+        end)
+      r.r_cells;
+    Mutex.unlock r.r_mu;
+    (* Rate over the span actually covered — from the start of the oldest
+       live window to now — so a roll younger than its horizon doesn't
+       dilute the rate with windows that never existed. *)
+    let span = now -. (float_of_int !oldest *. r.r_window_s) in
+    let rate = if !n = 0 || span <= 0. then 0. else float_of_int !n /. span in
+    let q p = Metrics.quantile_of_buckets merged !n p in
+    {
+      rs_name = r.r_name;
+      rs_window_s = r.r_window_s;
+      rs_windows = r.r_windows;
+      rs_count = !n;
+      rs_sum = !sum;
+      rs_rate = rate;
+      rs_p50 = q 0.5;
+      rs_p90 = q 0.9;
+      rs_p95 = q 0.95;
+      rs_p99 = q 0.99;
+    }
+
+  let reset r =
+    Mutex.lock r.r_mu;
+    Array.iter
+      (fun c ->
+        c.rc_epoch <- min_int;
+        c.rc_n <- 0;
+        c.rc_sum <- 0.;
+        Array.fill c.rc_buckets 0 Metrics.nbuckets 0)
+      r.r_cells;
+    Mutex.unlock r.r_mu
+
+  let snapshot_all () =
+    Mutex.lock registry_mu;
+    let rs = Hashtbl.fold (fun _ r acc -> r :: acc) registry [] in
+    Mutex.unlock registry_mu;
+    List.sort (fun a b -> String.compare a.r_name b.r_name) rs |> List.map read
 end
 
 (* ---- minimal JSON (printer + parser), for trace export/round-trip ---- *)

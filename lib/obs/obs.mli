@@ -46,6 +46,15 @@ module Metrics : sig
   val hist_read : histogram -> hist_summary
   val hist_reset : histogram -> unit
 
+  (** Estimated value at quantile [q] (clamped to [0,1]) of a power-of-two
+      bucket array holding [n] observations: cumulative walk to the target
+      rank with linear interpolation inside the landing bucket.  [0.] when
+      empty; within a factor of 2 of the true order statistic. *)
+  val quantile_of_buckets : int array -> int -> float -> float
+
+  (** [quantile_of_buckets] applied to a {!hist_read} summary. *)
+  val hist_quantile : hist_summary -> float -> float
+
   (** All counters as (name, total), sorted by name. *)
   val snapshot : unit -> (string * int) list
 
@@ -55,6 +64,59 @@ module Metrics : sig
   (** Counters that moved between two {!snapshot}s, as (name, increase). *)
   val delta :
     before:(string * int) list -> after:(string * int) list -> (string * int) list
+end
+
+(** Rolling-window telemetry: a ring of per-window cells over the same
+    power-of-two buckets as {!Metrics} histograms, so p50/p95/qps reflect
+    the last [windows * window_s] seconds of traffic rather than process
+    lifetime.  Cells are stamped with their absolute window index; a clock
+    that skips any number of windows needs no catch-up — stale cells are
+    excluded on read and recycled in place on their next write.  Rolls are
+    mutex-guarded (they feed request-path telemetry, not operator hot
+    loops) and live in a process-global registry keyed by name, separate
+    from the cumulative histogram registry. *)
+module Rolling : sig
+  type t
+
+  (** Find or register the roll with this name.  [window_s] (default 10s),
+      [windows] (default 6 — a one-minute horizon) and [clock] (default
+      [Unix.gettimeofday], injectable for tests) apply only on first
+      registration. *)
+  val roll : ?window_s:float -> ?windows:int -> ?clock:(unit -> float) -> string -> t
+
+  val name : t -> string
+
+  (** Record a value (histogram semantics: count, sum and buckets). *)
+  val observe : t -> float -> unit
+
+  (** Record [n] count-only events (a counter-rate feed: qps, appends/s);
+      buckets stay empty, so only [rs_count]/[rs_rate] are meaningful. *)
+  val mark : ?n:int -> t -> unit
+
+  type snap = {
+    rs_name : string;
+    rs_window_s : float;
+    rs_windows : int;
+    rs_count : int;  (** observations inside the horizon *)
+    rs_sum : float;
+    rs_rate : float;
+        (** events per second over the covered span: from the start of the
+            oldest live window to now, so a roll younger than its horizon
+            is not diluted by windows that never existed *)
+    rs_p50 : float;
+    rs_p90 : float;
+    rs_p95 : float;
+    rs_p99 : float;
+  }
+
+  (** Merge the live cells and estimate quantiles
+      ({!Metrics.quantile_of_buckets}). *)
+  val read : t -> snap
+
+  val reset : t -> unit
+
+  (** Every registered roll, read, sorted by name. *)
+  val snapshot_all : unit -> snap list
 end
 
 (** Minimal JSON values with a printer and a parser — enough for trace

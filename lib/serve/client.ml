@@ -77,6 +77,7 @@ let query ?(analyze = false) t sql = rpc t (P.Query { sql; analyze })
 let set t kvs = rpc t (P.Set kvs)
 let append t table rows = rpc t (P.Append { table; rows })
 let stats t = rpc t P.Stats
+let metrics t = rpc t P.Metrics
 
 let shutdown t =
   try ignore (rpc t P.Shutdown) with End_of_file | Sys_error _ -> ()

@@ -27,6 +27,11 @@ val set : t -> (string * Obs.Json.t) list -> Obs.Json.t
 val append : t -> string -> Obs.Json.t list -> Obs.Json.t
 val stats : t -> Obs.Json.t
 
+(** The metrics exposition document: cumulative counters and histogram
+    summaries, rolling-window snapshots (qps, p50/p95 over the last
+    minute), queue/cache gauges — the [monitor] view's data source. *)
+val metrics : t -> Obs.Json.t
+
 (** Request shutdown; tolerates the connection dropping as the server
     stops. *)
 val shutdown : t -> unit

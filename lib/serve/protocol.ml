@@ -9,6 +9,7 @@
      {"id":N, "op":"set", "config":{"layout":"column", "workers":2, ...}}
      {"id":N, "op":"append", "table":"t", "rows":[[1,"a"], ...]}
      {"id":N, "op":"stats"}
+     {"id":N, "op":"metrics"}
      {"id":N, "op":"shutdown"}
 
    Responses: {"id":N, "ok":true, ...} or
@@ -55,6 +56,7 @@ type request =
   | Set of (string * Json.t) list
   | Append of { table : string; rows : Json.t list }
   | Stats
+  | Metrics
   | Shutdown
 
 type envelope = { rq_id : int; rq : request }
@@ -128,6 +130,7 @@ let parse_request j =
        | Some table, Some (Json.Arr rows) -> Ok (Append { table; rows })
        | _ -> Error "append: missing table or rows")
     | Some "stats" -> Ok Stats
+    | Some "metrics" -> Ok Metrics
     | Some "shutdown" -> Ok Shutdown
     | Some other -> Error ("unknown op: " ^ other)
     | None -> Error "missing op"
@@ -146,6 +149,7 @@ let encode_request { rq_id; rq } =
     | Append { table; rows } ->
       [ ("op", Json.Str "append"); ("table", Json.Str table); ("rows", Json.Arr rows) ]
     | Stats -> [ ("op", Json.Str "stats") ]
+    | Metrics -> [ ("op", Json.Str "metrics") ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
   in
   Json.Obj (base @ fields)

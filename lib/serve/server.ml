@@ -99,6 +99,18 @@ type config = {
   maintain : bool;
       (* maintain cached results incrementally across appends (build §6
          algebraic partial state per cached query; fold deltas in) *)
+  metrics_addr : P.addr option;
+      (* optional plain-HTTP listener answering every request with the
+         Prometheus text exposition of the metrics registry *)
+  slow_ms : float option;
+      (* default slow-query threshold (per-session overridable with
+         [set slow_ms=...]); queries at or above it are written to the
+         slow-query log.  None = off. *)
+  slow_log : string option;  (* JSONL path; opened lazily on first record *)
+  trace_sample : float;
+      (* default fraction of queries (decided per request id, before
+         execution) run with full analyze instrumentation and logged with
+         their span tree — est-vs-actual coverage for fast queries too *)
 }
 
 let default_config =
@@ -110,6 +122,10 @@ let default_config =
     result_cache_cap = 128;
     max_rows = None;
     maintain = true;
+    metrics_addr = None;
+    slow_ms = None;
+    slow_log = None;
+    trace_sample = 0.;
   }
 
 (* ---------------------------------------------------------------- *)
@@ -123,6 +139,8 @@ type session = {
   mutable tech : Core.Optimizer.technique;
   mutable use_plan_cache : bool;
   mutable use_result_cache : bool;
+  mutable slow_ms : float option;  (* slow-query threshold; None = off *)
+  mutable trace_sample : float;  (* fraction of queries traced end to end *)
   s_mu : Mutex.t;  (* guards the mutable tallies below *)
   mutable s_queries : int;
   mutable s_errors : int;
@@ -175,6 +193,9 @@ let session_config_json s =
       ("tech", Json.Str (tech_str s.tech));
       ("plan_cache", Json.Bool s.use_plan_cache);
       ("result_cache", Json.Bool s.use_result_cache);
+      ( "slow_ms",
+        match s.slow_ms with Some x -> Json.Num x | None -> Json.Null );
+      ("trace_sample", Json.Num s.trace_sample);
     ]
 
 (* ---------------------------------------------------------------- *)
@@ -204,7 +225,16 @@ type conn = {
   session : session;
 }
 
-type job = { j_conn : conn; j_id : int; j_req : P.request }
+(* [j_rid] is the server-wide request id stamped by the reader thread and
+   threaded through the queue into the worker's spans and the slow-query
+   log; [j_submit_s] times the queue wait. *)
+type job = {
+  j_conn : conn;
+  j_id : int;
+  j_rid : int;
+  j_submit_s : float;
+  j_req : P.request;
+}
 
 type t = {
   config : config;
@@ -224,6 +254,10 @@ type t = {
   mutable listen_fd : Unix.file_descr;
   mutable accept_thread : Thread.t option;
   mutable workers : unit Domain.t list;
+  mutable metrics_fd : Unix.file_descr option;
+  mutable metrics_thread : Thread.t option;
+  slow_mu : Mutex.t;  (* guards the lazily opened slow-query log channel *)
+  mutable slow_oc : out_channel option;
 }
 
 (* Server-level counters live in the shared Obs registry so they surface in
@@ -242,6 +276,31 @@ let c_maint_recompute = Obs.Metrics.counter "serve.maint_recompute"
 let c_plan_refreshed = Obs.Metrics.counter "serve.plan_refreshed"
 let h_query_ms = Obs.Metrics.histogram "serve.query_ms"
 let h_maint_ms = Obs.Metrics.histogram "serve.maint_ms"
+let h_queue_wait_ms = Obs.Metrics.histogram "serve.queue_wait_ms"
+
+(* Rolling windows over the last minute (6 x 10s), feeding the metrics
+   endpoint and the live monitor: current qps and p50/p95, not lifetime. *)
+let r_queries = Obs.Rolling.roll "serve.queries"
+let r_query_ms = Obs.Rolling.roll "serve.query_ms"
+let r_maint_ms = Obs.Rolling.roll "serve.maint_ms"
+let r_queue_wait_ms = Obs.Rolling.roll "serve.queue_wait_ms"
+
+(* Server-wide request ids, stamped on jobs by the reader threads. *)
+let next_rid = Atomic.make 1
+
+(* Deterministic per-request sampling decision: an integer hash of the
+   request id mapped into [0,1) — no shared RNG state, and a given rid
+   samples identically however the request is routed. *)
+let sample_hit rid frac =
+  if frac <= 0. then false
+  else if frac >= 1. then true
+  else begin
+    let z = rid * 0x2545F4914F6CDD1 in
+    let z = z lxor (z lsr 29) in
+    let z = z * 0x9E3779B97F4A7 in
+    let z = z lxor (z lsr 32) in
+    float_of_int (z land 0xFFFFFF) /. 16777216. < frac
+  end
 
 let catalog_for t layout =
   match List.assoc_opt layout t.catalogs with
@@ -260,6 +319,8 @@ let fresh_session t =
       tech = Core.Optimizer.all_techniques;
       use_plan_cache = true;
       use_result_cache = true;
+      slow_ms = t.config.slow_ms;
+      trace_sample = t.config.trace_sample;
       s_mu = Mutex.create ();
       s_queries = 0;
       s_errors = 0;
@@ -329,7 +390,57 @@ let bump_session session ~ms ~plan_hit ~result_hit slice =
   session.s_counters <- merge_counts session.s_counters slice;
   Mutex.unlock session.s_mu
 
-let handle_query t conn ~id ~analyze sql =
+(* ---- structured slow-query log ----
+
+   One JSON object per line, written under [slow_mu] (the channel is opened
+   lazily, so a server that never logs never touches the filesystem).  A
+   record carries the query text, the session's execution config, the
+   plan/cache disposition, the per-node Analyze summary derived from the
+   request's span tree (actual rows, counters, per-node times; est-vs-actual
+   Q-errors wherever estimates were stamped), and — for sampled requests,
+   which run fully instrumented — the complete span tree. *)
+
+let slow_log_write t json =
+  match t.config.slow_log with
+  | None -> ()
+  | Some path ->
+    Mutex.lock t.slow_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.slow_mu)
+      (fun () ->
+        let oc =
+          match t.slow_oc with
+          | Some oc -> oc
+          | None ->
+            let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+            t.slow_oc <- Some oc;
+            oc
+        in
+        output_string oc (Json.to_string json);
+        output_char oc '\n';
+        flush oc)
+
+let slow_record ~kind ~rid ~wait_ms ~ms ~plan ~sql ~sampled session span =
+  let node = Core.Analyze.of_span span in
+  let summary = Core.Analyze.summarize node in
+  Json.Obj
+    [
+      ("ts", Json.Num (Unix.gettimeofday ()));
+      ("rid", Json.Num (float_of_int rid));
+      ("session", Json.Num (float_of_int session.sid));
+      ("kind", Json.Str kind);
+      ("ms", Json.Num ms);
+      ("queue_ms", Json.Num wait_ms);
+      ( "slow_ms",
+        match session.slow_ms with Some x -> Json.Num x | None -> Json.Null );
+      ("sql", Json.Str sql);
+      ("config", session_config_json session);
+      ("plan", Json.Str plan);
+      ("analyze", Core.Analyze.document node summary);
+      ("trace", if sampled then Obs.Span.to_json span else Json.Null);
+    ]
+
+let handle_query t conn ~id ~rid ~wait_ms ~analyze sql =
   let session = conn.session in
   match Sqlfront.Parser.parse sql with
   | exception Sqlfront.Parser.Parse_error m ->
@@ -343,12 +454,18 @@ let handle_query t conn ~id ~analyze sql =
        queries take the writer side; everything else runs concurrently. *)
     let exclusive = ast.Sqlfront.Ast.with_defs <> [] in
     let with_lock f = if exclusive then Rwlock.write t.lock f else Rwlock.read t.lock f in
+    (* A sampled request runs fully instrumented like an explicit analyze
+       (fresh trace with per-node estimates, caches bypassed), so the log
+       gets complete est-vs-actual span trees for a fraction of ordinary
+       traffic; everything else keeps its cached path untouched. *)
+    let sampled = sample_hit rid session.trace_sample in
+    let instrument = analyze || sampled in
     let outcome =
       with_lock (fun () ->
           let version = Catalog.version cat in
           let key = plan_key session ast in
           let cached =
-            if analyze || not session.use_result_cache then None
+            if instrument || not session.use_result_cache then None
             else
               match Cache.Lru.find t.result_cache key with
               | None -> None
@@ -367,16 +484,18 @@ let handle_query t conn ~id ~analyze sql =
             Obs.Metrics.incr c_result_hit;
             `Hit cr.cr_fields
           | None ->
-            if (not analyze) && session.use_result_cache then
+            if (not instrument) && session.use_result_cache then
               Obs.Metrics.incr c_result_miss;
             let span = Obs.Span.enter ~session_id:session.sid "serve.query" in
+            Obs.Span.note span
+              (Printf.sprintf "rid=%d queue_ms=%.3f" rid wait_ms);
             let exec () =
-              (* Plan caching needs a stable prepared plan; analyze wants a
-                 fresh trace and CTE queries re-register temps per run, so
-                 both bypass. *)
-              if analyze || exclusive || not session.use_plan_cache then begin
+              (* Plan caching needs a stable prepared plan; analyze (and a
+                 sampled trace) wants a fresh instrumented run and CTE
+                 queries re-register temps per run, so all three bypass. *)
+              if instrument || exclusive || not session.use_plan_cache then begin
                 let rel, report =
-                  Core.Runner.run ~span ~analyze ~tech:session.tech
+                  Core.Runner.run ~span ~analyze:instrument ~tech:session.tech
                     ~workers:session.workers ~transfer:session.transfer cat ast
                 in
                 (rel, Some report, `Bypass)
@@ -422,24 +541,37 @@ let handle_query t conn ~id ~analyze sql =
               Obs.Span.finish span;
               let ms = span.Obs.Span.dur_ms in
               Obs.Metrics.observe h_query_ms ms;
+              Obs.Rolling.observe r_query_ms ms;
               let slice = span_counter_slice [] span in
               bump_session session ~ms
                 ~plan_hit:(status = `Hit)
                 ~result_hit:false slice;
+              let plan_s =
+                match status with
+                | `Hit -> "hit"
+                | `Miss -> "miss"
+                | `Bypass -> "bypass"
+              in
+              let slow =
+                match session.slow_ms with Some th -> ms >= th | None -> false
+              in
+              if slow || sampled then begin
+                let kind =
+                  match (slow, sampled) with
+                  | true, true -> "slow+sampled"
+                  | true, false -> "slow"
+                  | false, _ -> "sampled"
+                in
+                slow_log_write t
+                  (slow_record ~kind ~rid ~wait_ms ~ms ~plan:plan_s ~sql
+                     ~sampled session span)
+              end;
               let fields =
                 P.relation_to_json ?max_rows:t.config.max_rows rel
-                @ [
-                    ("ms", Json.Num ms);
-                    ( "plan",
-                      Json.Str
-                        (match status with
-                        | `Hit -> "hit"
-                        | `Miss -> "miss"
-                        | `Bypass -> "bypass") );
-                  ]
+                @ [ ("ms", Json.Num ms); ("plan", Json.Str plan_s) ]
                 @ (if analyze then [ ("trace", Obs.Span.to_json span) ] else [])
               in
-              if (not analyze) && session.use_result_cache then begin
+              if (not instrument) && session.use_result_cache then begin
                 let tables =
                   List.filter (Catalog.mem cat)
                     (Sqlfront.Ast.tables_of_query ast)
@@ -468,12 +600,24 @@ let handle_query t conn ~id ~analyze sql =
     | `Hit fields ->
       bump_session session ~ms:0. ~plan_hit:false ~result_hit:true [];
       Obs.Metrics.incr c_queries;
+      Obs.Rolling.mark r_queries;
       send_ok conn ~id
-        (fields @ [ ("cached", Json.Bool true); ("session", Json.Num (float_of_int session.sid)) ])
+        (fields
+        @ [
+            ("cached", Json.Bool true);
+            ("session", Json.Num (float_of_int session.sid));
+            ("rid", Json.Num (float_of_int rid));
+          ])
     | `Fresh fields ->
       Obs.Metrics.incr c_queries;
+      Obs.Rolling.mark r_queries;
       send_ok conn ~id
-        (fields @ [ ("cached", Json.Bool false); ("session", Json.Num (float_of_int session.sid)) ])
+        (fields
+        @ [
+            ("cached", Json.Bool false);
+            ("session", Json.Num (float_of_int session.sid));
+            ("rid", Json.Num (float_of_int rid));
+          ])
     | `Err msg -> send_error conn ~id ~code:"error" msg)
 
 (* ---------------------------------------------------------------- *)
@@ -558,8 +702,9 @@ let handle_append t conn ~id table rows =
                           @ [ ("ms", Json.Num ms);
                               ("plan", Json.Str "maintained") ];
                         incr maint_inc);
-                      Obs.Metrics.observe h_maint_ms
-                        ((Unix.gettimeofday () -. t0) *. 1000.);
+                      let maint_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                      Obs.Metrics.observe h_maint_ms maint_ms;
+                      Obs.Rolling.observe r_maint_ms maint_ms;
                       true
                     | Error _ -> false)
                 in
@@ -620,6 +765,12 @@ let handle_set t conn ~id kvs =
         | None -> fail ("unknown tech " ^ s))
       | "plan_cache", Json.Bool b -> session.use_plan_cache <- b
       | "result_cache", Json.Bool b -> session.use_result_cache <- b
+      | "slow_ms", Json.Num x ->
+        (* negative disables; 0 logs every query (the CI smoke's setting) *)
+        session.slow_ms <- (if x < 0. then None else Some x)
+      | "trace_sample", Json.Num x ->
+        if x >= 0. && x <= 1. then session.trace_sample <- x
+        else fail "trace_sample must be in 0..1"
       | k, _ -> fail ("unknown or ill-typed config key " ^ k))
     kvs;
   match !err with
@@ -708,6 +859,206 @@ let handle_stats t conn ~id =
     ]
 
 (* ---------------------------------------------------------------- *)
+(* Metrics exposition: the [metrics] protocol op (JSON) and the optional
+   plain-HTTP listener (Prometheus text format).  Both render the same
+   registries: cumulative counters/histograms, rolling windows, cache and
+   queue gauges, per-session tallies. *)
+
+let sessions_sorted t =
+  Mutex.lock t.sess_mu;
+  let xs = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+  Mutex.unlock t.sess_mu;
+  List.sort (fun a b -> compare a.sid b.sid) xs
+
+let hist_summary_json (h : Obs.Metrics.hist_summary) =
+  let q p = Obs.Metrics.hist_quantile h p in
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int h.Obs.Metrics.hs_count));
+      ("sum", Json.Num h.Obs.Metrics.hs_sum);
+      ("p50", Json.Num (q 0.5));
+      ("p95", Json.Num (q 0.95));
+      ("p99", Json.Num (q 0.99));
+    ]
+
+let rolling_json (s : Obs.Rolling.snap) =
+  Json.Obj
+    [
+      ("window_s", Json.Num s.Obs.Rolling.rs_window_s);
+      ("windows", Json.Num (float_of_int s.Obs.Rolling.rs_windows));
+      ("count", Json.Num (float_of_int s.Obs.Rolling.rs_count));
+      ("sum", Json.Num s.Obs.Rolling.rs_sum);
+      ("rate", Json.Num s.Obs.Rolling.rs_rate);
+      ("p50", Json.Num s.Obs.Rolling.rs_p50);
+      ("p90", Json.Num s.Obs.Rolling.rs_p90);
+      ("p95", Json.Num s.Obs.Rolling.rs_p95);
+      ("p99", Json.Num s.Obs.Rolling.rs_p99);
+    ]
+
+let handle_metrics t conn ~id =
+  send_ok conn ~id
+    [
+      ("uptime_ms", Json.Num ((Unix.gettimeofday () -. t.started) *. 1000.));
+      ("queue_depth", Json.Num (float_of_int (queue_depth t)));
+      ("queue_cap", Json.Num (float_of_int t.config.queue_cap));
+      ("pool", Json.Num (float_of_int t.config.pool));
+      ( "sessions",
+        Json.Num (float_of_int (List.length (sessions_sorted t))) );
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Num (float_of_int v)))
+             (Obs.Metrics.snapshot ())) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (h : Obs.Metrics.hist_summary) ->
+               (h.Obs.Metrics.hs_name, hist_summary_json h))
+             (Obs.Metrics.hist_snapshot ())) );
+      ( "rolling",
+        Json.Obj
+          (List.map
+             (fun (s : Obs.Rolling.snap) -> (s.Obs.Rolling.rs_name, rolling_json s))
+             (Obs.Rolling.snapshot_all ())) );
+      ( "plan_cache",
+        lru_stats_json (Cache.Lru.stats t.plan_cache)
+          ~hits:(Obs.Metrics.read c_plan_hit)
+          ~misses:(Obs.Metrics.read c_plan_miss) );
+      ( "result_cache",
+        lru_stats_json (Cache.Lru.stats t.result_cache)
+          ~hits:(Obs.Metrics.read c_result_hit)
+          ~misses:(Obs.Metrics.read c_result_miss) );
+      ("session", Json.Num (float_of_int conn.session.sid));
+    ]
+
+(* Prometheus text exposition (version 0.0.4): dotted registry names are
+   mangled to underscores, counters gain the [_total] suffix, histograms
+   emit cumulative power-of-two [le] buckets, rolling snapshots and
+   per-session tallies surface as gauges. *)
+let prom_name s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    s
+
+let prometheus_text t =
+  let b = Buffer.create 8192 in
+  let typ name kind = Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind) in
+  let gauge name v =
+    typ name "gauge";
+    Buffer.add_string b (Printf.sprintf "%s %.6g\n" name v)
+  in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name ^ "_total" in
+      typ n "counter";
+      Buffer.add_string b (Printf.sprintf "%s %d\n" n v))
+    (Obs.Metrics.snapshot ());
+  List.iter
+    (fun (h : Obs.Metrics.hist_summary) ->
+      let n = prom_name h.Obs.Metrics.hs_name in
+      typ n "histogram";
+      let buckets = h.Obs.Metrics.hs_buckets in
+      let top = ref 0 in
+      Array.iteri (fun i c -> if c > 0 then top := i) buckets;
+      let cum = ref 0 in
+      for i = 0 to !top do
+        cum := !cum + buckets.(i);
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"%.6g\"} %d\n" n (ldexp 1. i) !cum)
+      done;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n%s_sum %.6g\n%s_count %d\n" n
+           h.Obs.Metrics.hs_count n h.Obs.Metrics.hs_sum n h.Obs.Metrics.hs_count))
+    (Obs.Metrics.hist_snapshot ());
+  List.iter
+    (fun (s : Obs.Rolling.snap) ->
+      let n = prom_name s.Obs.Rolling.rs_name ^ "_rolling" in
+      gauge (n ^ "_count") (float_of_int s.Obs.Rolling.rs_count);
+      gauge (n ^ "_rate") s.Obs.Rolling.rs_rate;
+      gauge (n ^ "_p50") s.Obs.Rolling.rs_p50;
+      gauge (n ^ "_p95") s.Obs.Rolling.rs_p95;
+      gauge (n ^ "_p99") s.Obs.Rolling.rs_p99)
+    (Obs.Rolling.snapshot_all ());
+  gauge "serve_uptime_seconds" (Unix.gettimeofday () -. t.started);
+  gauge "serve_queue_depth" (float_of_int (queue_depth t));
+  gauge "serve_queue_cap" (float_of_int t.config.queue_cap);
+  gauge "serve_pool" (float_of_int t.config.pool);
+  let plan_stats = Cache.Lru.stats t.plan_cache in
+  let result_stats = Cache.Lru.stats t.result_cache in
+  gauge "serve_plan_cache_entries" (float_of_int plan_stats.Cache.Lru.s_len);
+  gauge "serve_plan_cache_evictions" (float_of_int plan_stats.Cache.Lru.s_evictions);
+  gauge "serve_result_cache_entries" (float_of_int result_stats.Cache.Lru.s_len);
+  gauge "serve_result_cache_evictions"
+    (float_of_int result_stats.Cache.Lru.s_evictions);
+  let sessions = sessions_sorted t in
+  gauge "serve_sessions" (float_of_int (List.length sessions));
+  List.iter
+    (fun (family, get) ->
+      if sessions <> [] then begin
+        typ family "gauge";
+        List.iter
+          (fun s ->
+            Mutex.lock s.s_mu;
+            let v = get s in
+            Mutex.unlock s.s_mu;
+            Buffer.add_string b
+              (Printf.sprintf "%s{session=\"%d\"} %.6g\n" family s.sid v))
+          sessions
+      end)
+    [
+      ("serve_session_queries", fun s -> float_of_int s.s_queries);
+      ("serve_session_errors", fun s -> float_of_int s.s_errors);
+      ("serve_session_plan_hits", fun s -> float_of_int s.s_plan_hits);
+      ("serve_session_result_hits", fun s -> float_of_int s.s_result_hits);
+      ("serve_session_ms", fun s -> s.s_ms);
+    ];
+  Buffer.contents b
+
+(* Minimal HTTP/1.0 server for scrapers: read whatever request head arrives,
+   answer every path with the full exposition, close.  One short-lived
+   thread per scrape connection. *)
+let metrics_conn t fd =
+  let buf = Bytes.create 1024 in
+  (try ignore (Unix.read fd buf 0 1024) with _ -> ());
+  (try
+     let body = prometheus_text t in
+     let resp =
+       Printf.sprintf
+         "HTTP/1.0 200 OK\r\n\
+          Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+          Content-Length: %d\r\n\
+          Connection: close\r\n\r\n%s"
+         (String.length body) body
+     in
+     let rec out pos len =
+       if len > 0 then begin
+         let w = Unix.write_substring fd resp pos len in
+         out (pos + w) (len - w)
+       end
+     in
+     out 0 (String.length resp)
+   with _ -> ());
+  try Unix.close fd with _ -> ()
+
+let metrics_loop t fd =
+  let finished = ref false in
+  while not !finished do
+    match Unix.accept fd with
+    | exception _ -> finished := true
+    | cfd, _ ->
+      if Atomic.get t.stopping then begin
+        (try Unix.close cfd with _ -> ());
+        finished := true
+      end
+      else ignore (Thread.create (fun () -> metrics_conn t cfd) ())
+  done;
+  (try Unix.close fd with _ -> ());
+  match t.config.metrics_addr with
+  | Some (`Unix path) -> ( try Unix.unlink path with _ -> ())
+  | _ -> ()
+
+(* ---------------------------------------------------------------- *)
 (* Job queue and worker pool *)
 
 let submit t job =
@@ -738,11 +1089,15 @@ let take t =
   Mutex.unlock t.q_mu;
   r
 
-let run_job t { j_conn; j_id; j_req } =
+let run_job t { j_conn; j_id; j_rid; j_submit_s; j_req } =
+  let wait_ms = (Unix.gettimeofday () -. j_submit_s) *. 1000. in
+  Obs.Metrics.observe h_queue_wait_ms wait_ms;
+  Obs.Rolling.observe r_queue_wait_ms wait_ms;
   match j_req with
-  | P.Query { sql; analyze } -> handle_query t j_conn ~id:j_id ~analyze sql
+  | P.Query { sql; analyze } ->
+    handle_query t j_conn ~id:j_id ~rid:j_rid ~wait_ms ~analyze sql
   | P.Append { table; rows } -> handle_append t j_conn ~id:j_id table rows
-  | P.Ping | P.Set _ | P.Stats | P.Shutdown ->
+  | P.Ping | P.Set _ | P.Stats | P.Metrics | P.Shutdown ->
     (* control ops never reach the queue *)
     send_error j_conn ~id:j_id ~code:"error" "internal: control op queued"
 
@@ -759,23 +1114,47 @@ let rec worker_loop t =
 (* ---------------------------------------------------------------- *)
 (* Lifecycle *)
 
+(* Closing a listening fd does not wake a thread blocked in accept(2), so
+   poke the listener with a throwaway connection; its accept loop sees
+   [stopping] and exits, closing the fd itself.  [port] overrides the
+   configured port (an ephemeral bind resolves port 0 at listen time). *)
+let poke_listener ?port addr =
+  try
+    let domain, sockaddr =
+      match addr with
+      | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+      | `Tcp (_, p) ->
+        let p = match port with Some p -> p | None -> p in
+        ( Unix.PF_INET,
+          Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", p) )
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    Unix.connect fd sockaddr;
+    Unix.close fd
+  with _ -> ()
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> Some port
+  | _ | (exception _) -> None
+
+(* The metrics listener's effective address (the configured one with an
+   ephemeral TCP port resolved to the bound port), None when disabled. *)
+let metrics_addr t =
+  match (t.metrics_fd, t.config.metrics_addr) with
+  | Some fd, Some (`Tcp (host, port)) ->
+    (match bound_port fd with
+     | Some p -> Some (`Tcp (host, p))
+     | None -> Some (`Tcp (host, port)))
+  | Some _, addr -> addr
+  | None, _ -> None
+
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
-    (* Closing a listening fd does not wake a thread blocked in accept(2),
-       so poke the listener with a throwaway connection; the accept loop
-       sees [stopping] and exits, closing the fd itself. *)
-    (try
-       let domain, sockaddr =
-         match t.config.listen with
-         | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
-         | `Tcp (_, port) ->
-           ( Unix.PF_INET,
-             Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port) )
-       in
-       let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-       Unix.connect fd sockaddr;
-       Unix.close fd
-     with _ -> ());
+    poke_listener t.config.listen;
+    (match (t.metrics_fd, t.config.metrics_addr) with
+     | Some fd, Some addr -> poke_listener ?port:(bound_port fd) addr
+     | _ -> ());
     Mutex.lock t.q_mu;
     t.q_closed <- true;
     Condition.broadcast t.q_cv;
@@ -784,8 +1163,16 @@ let stop t =
 
 let wait t =
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (match t.metrics_thread with Some th -> Thread.join th | None -> ());
   List.iter Domain.join t.workers;
-  t.workers <- []
+  t.workers <- [];
+  Mutex.lock t.slow_mu;
+  (match t.slow_oc with
+   | Some oc ->
+     t.slow_oc <- None;
+     close_out_noerr oc
+   | None -> ());
+  Mutex.unlock t.slow_mu
 
 let reader_loop t conn =
   let ic = Unix.in_channel_of_descr conn.fd in
@@ -804,12 +1191,22 @@ let reader_loop t conn =
         | P.Ping -> send_ok conn ~id [ ("pong", Json.Bool true) ]
         | P.Set kvs -> handle_set t conn ~id kvs
         | P.Stats -> handle_stats t conn ~id
+        | P.Metrics -> handle_metrics t conn ~id
         | P.Shutdown ->
           send_ok conn ~id [ ("stopping", Json.Bool true) ];
           stop t;
           finished := true
         | P.Query _ | P.Append _ -> (
-          match submit t { j_conn = conn; j_id = id; j_req = rq } with
+          match
+            submit t
+              {
+                j_conn = conn;
+                j_id = id;
+                j_rid = Atomic.fetch_and_add next_rid 1;
+                j_submit_s = Unix.gettimeofday ();
+                j_req = rq;
+              }
+          with
           | `Ok -> ()
           | `Full ->
             Obs.Metrics.incr c_rejected;
@@ -892,9 +1289,19 @@ let start ?(config = default_config) catalogs =
       listen_fd = Unix.stdin;  (* replaced below *)
       accept_thread = None;
       workers = [];
+      metrics_fd = None;
+      metrics_thread = None;
+      slow_mu = Mutex.create ();
+      slow_oc = None;
     }
   in
   t.listen_fd <- bind_listener config.listen;
+  (match config.metrics_addr with
+   | None -> ()
+   | Some addr ->
+     let fd = bind_listener addr in
+     t.metrics_fd <- Some fd;
+     t.metrics_thread <- Some (Thread.create (fun () -> metrics_loop t fd) ()));
   t.workers <-
     List.init (max 1 config.pool) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());

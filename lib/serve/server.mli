@@ -33,6 +33,26 @@ type config = {
           query with a delta rule keeps §6 algebraic partials (one extra
           partials-query execution when first cached) so appends cost
           O(delta join) instead of a recompute *)
+  metrics_addr : Protocol.addr option;
+      (** optional plain-HTTP listener answering every request with the
+          Prometheus text exposition of the metrics registries (cumulative
+          counters/histograms, rolling windows, cache/queue gauges,
+          per-session tallies); [`Tcp (host, 0)] binds an ephemeral port,
+          resolved by {!metrics_addr} *)
+  slow_ms : float option;
+      (** default slow-query threshold in milliseconds (per-session
+          overridable with [set slow_ms=...]; negative resets to off):
+          queries at or above it append a JSONL record — query text,
+          session config, plan/cache disposition, per-node Analyze summary
+          with est-vs-actual Q-errors — to [slow_log].  [None] = off. *)
+  slow_log : string option;
+      (** slow-query log path, opened lazily on the first record *)
+  trace_sample : float;
+      (** default fraction (0..1, per-session overridable with
+          [set trace_sample=...]) of queries run fully instrumented —
+          bypassing both caches, like an explicit analyze — and logged to
+          [slow_log] with their complete span tree, so est-vs-actual
+          coverage includes fast queries *)
 }
 
 val default_config : config
@@ -46,6 +66,11 @@ type t
     catalogs become server-owned: mutate them only through the protocol's
     [append] once serving has started. *)
 val start : ?config:config -> ([ `Row | `Column ] * Relalg.Catalog.t) list -> t
+
+(** The metrics listener's effective address — the configured one with an
+    ephemeral TCP port resolved to the actually bound port — or [None]
+    when no [metrics_addr] was configured. *)
+val metrics_addr : t -> Protocol.addr option
 
 (** Initiate shutdown: stop accepting, close the job queue (queued jobs
     still drain), unblock the accept thread.  Idempotent; also triggered

@@ -95,6 +95,167 @@ let test_parallel_totals () =
         + counter d "nljp.memo_hits"))
     [ d1; d3 ]
 
+(* ---- bucket quantile estimation ---- *)
+
+let test_hist_quantiles () =
+  let h = Obs.Metrics.histogram "test.quant_ms" in
+  Obs.Metrics.hist_reset h;
+  (* 90 fast observations in [2,4), 10 slow in [64,128): p50 must land in
+     the fast bucket, p95/p99 in the slow one — within the buckets'
+     factor-of-2 resolution. *)
+  for _ = 1 to 90 do
+    Obs.Metrics.observe h 3.
+  done;
+  for _ = 1 to 10 do
+    Obs.Metrics.observe h 100.
+  done;
+  let s = Obs.Metrics.hist_read h in
+  Alcotest.(check int) "count" 100 s.Obs.Metrics.hs_count;
+  let p50 = Obs.Metrics.hist_quantile s 0.5 in
+  let p95 = Obs.Metrics.hist_quantile s 0.95 in
+  let p99 = Obs.Metrics.hist_quantile s 0.99 in
+  Alcotest.(check bool) "p50 in the fast bucket" true (p50 >= 2. && p50 <= 4.);
+  Alcotest.(check bool) "p95 in the slow bucket" true
+    (p95 >= 64. && p95 <= 128.);
+  Alcotest.(check bool) "quantiles are monotone" true (p50 <= p95 && p95 <= p99);
+  (* edge cases: empty histogram, and q clamped to [0,1] *)
+  Alcotest.(check (float 0.)) "empty reads 0" 0.
+    (Obs.Metrics.quantile_of_buckets (Array.make 64 0) 0 0.5);
+  Alcotest.(check bool) "q is clamped" true
+    (Obs.Metrics.hist_quantile s 2. >= Obs.Metrics.hist_quantile s 1.)
+
+(* ---- rolling windows ---- *)
+
+let feq msg want got =
+  if Float.abs (want -. got) > 1e-9 then
+    Alcotest.failf "%s: expected %g, got %g" msg want got
+
+let test_rolling_rotation () =
+  (* Injected clock: deterministic window boundaries, including a clock
+     that skips many windows at once. *)
+  let now = ref 0.5 in
+  let r =
+    Obs.Rolling.roll ~window_s:1. ~windows:3
+      ~clock:(fun () -> !now)
+      "test.roll_rot"
+  in
+  Obs.Rolling.reset r;
+  Obs.Rolling.observe r 3.;
+  Obs.Rolling.observe r 3.;
+  let s = Obs.Rolling.read r in
+  Alcotest.(check int) "both land in window 0" 2 s.Obs.Rolling.rs_count;
+  feq "sum" 6. s.Obs.Rolling.rs_sum;
+  Alcotest.(check bool) "p50 in the value's bucket" true
+    (s.Obs.Rolling.rs_p50 >= 2. && s.Obs.Rolling.rs_p50 <= 4.);
+  (* next window: both windows are inside the 3-window horizon *)
+  now := 1.5;
+  Obs.Rolling.observe r 3.;
+  Alcotest.(check int) "merged across two live windows" 3
+    (Obs.Rolling.read r).Obs.Rolling.rs_count;
+  (* window 0 ages out of the horizon; window 1 survives *)
+  now := 3.2;
+  let s = Obs.Rolling.read r in
+  Alcotest.(check int) "oldest window aged out" 1 s.Obs.Rolling.rs_count;
+  feq "surviving sum" 3. s.Obs.Rolling.rs_sum;
+  (* clock skips far past every window: the roll reads empty without any
+     catch-up work, and quantiles degrade to 0 *)
+  now := 100.25;
+  let s = Obs.Rolling.read r in
+  Alcotest.(check int) "all windows stale after a skip" 0
+    s.Obs.Rolling.rs_count;
+  feq "empty rate" 0. s.Obs.Rolling.rs_rate;
+  feq "empty p95" 0. s.Obs.Rolling.rs_p95;
+  (* the next write recycles a stale cell in place *)
+  Obs.Rolling.observe r 5.;
+  let s = Obs.Rolling.read r in
+  Alcotest.(check int) "write after skip starts fresh" 1
+    s.Obs.Rolling.rs_count;
+  feq "fresh sum" 5. s.Obs.Rolling.rs_sum
+
+let test_rolling_rate () =
+  let now = ref 20.25 in
+  let r =
+    Obs.Rolling.roll ~window_s:1. ~windows:6
+      ~clock:(fun () -> !now)
+      "test.roll_rate"
+  in
+  Obs.Rolling.reset r;
+  Obs.Rolling.mark ~n:10 r;
+  (* covered span runs from the live window's start (t=20) to now (20.25):
+     the rate is not diluted by the five windows that never existed *)
+  feq "rate over covered span" 40. (Obs.Rolling.read r).Obs.Rolling.rs_rate;
+  now := 21.5;
+  Obs.Rolling.mark ~n:5 r;
+  (* span 20..21.5, 15 events *)
+  feq "rate across two windows" 10. (Obs.Rolling.read r).Obs.Rolling.rs_rate;
+  Alcotest.(check bool) "same name returns the same roll" true
+    (Obs.Rolling.name (Obs.Rolling.roll "test.roll_rate") = "test.roll_rate")
+
+let test_rolling_concurrent () =
+  (* Concurrent observe from several domains: totals must be exact — the
+     mutex serializes cell updates; nothing is lost or double-counted.
+     The window is far wider than the test's runtime, so no rotation. *)
+  let r = Obs.Rolling.roll ~window_s:3600. ~windows:2 "test.roll_conc" in
+  Obs.Rolling.reset r;
+  let per_domain = 25_000 and domains = 4 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Rolling.observe r 2.
+            done))
+  in
+  List.iter Domain.join workers;
+  let s = Obs.Rolling.read r in
+  Alcotest.(check int) "exact count" (domains * per_domain)
+    s.Obs.Rolling.rs_count;
+  feq "exact sum" (float_of_int (domains * per_domain) *. 2.)
+    s.Obs.Rolling.rs_sum;
+  Alcotest.(check bool) "p50 lands in the observed bucket" true
+    (s.Obs.Rolling.rs_p50 >= 2. && s.Obs.Rolling.rs_p50 <= 4.)
+
+(* ---- metric-name audit ---- *)
+
+(* DESIGN.md §15: every registered counter, histogram and roll is named
+   `subsystem.name` — dotted lowercase [a-z0-9_] segments, at least two —
+   so the Prometheus exporter's mangling (dots to underscores) is
+   collision-free and dashboards can group by prefix. *)
+let valid_metric_name n =
+  let ok_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' in
+  let parts = String.split_on_char '.' n in
+  List.length parts >= 2
+  && List.for_all (fun p -> p <> "" && String.for_all ok_char p) parts
+
+let test_metric_name_convention () =
+  Alcotest.(check bool) "validator accepts" true
+    (List.for_all valid_metric_name
+       [ "serve.query_ms"; "nljp.outer_rows"; "sic.cache_hits" ]);
+  Alcotest.(check bool) "validator rejects" false
+    (List.exists valid_metric_name
+       [ "queries"; "Serve.queries"; "serve..x"; "serve."; ".serve";
+         "serve.q-ms"; "serve.q ms" ]);
+  (* Force-register every subsystem's metrics (most are registered at
+     module init by the libraries this binary links), then audit the
+     registries. *)
+  ignore (Obs.Metrics.counter "test.audit_probe");
+  List.iter
+    (fun n ->
+      if not (valid_metric_name n) then
+        Alcotest.failf "counter %S violates the subsystem.name convention" n)
+    (List.map fst (Obs.Metrics.snapshot ()));
+  List.iter
+    (fun (h : Obs.Metrics.hist_summary) ->
+      if not (valid_metric_name h.Obs.Metrics.hs_name) then
+        Alcotest.failf "histogram %S violates the subsystem.name convention"
+          h.Obs.Metrics.hs_name)
+    (Obs.Metrics.hist_snapshot ());
+  List.iter
+    (fun (s : Obs.Rolling.snap) ->
+      if not (valid_metric_name s.Obs.Rolling.rs_name) then
+        Alcotest.failf "roll %S violates the subsystem.name convention"
+          s.Obs.Rolling.rs_name)
+    (Obs.Rolling.snapshot_all ())
+
 (* ---- trace JSON ---- *)
 
 let test_span_roundtrip () =
@@ -256,6 +417,13 @@ let suite =
     t "snapshot delta reports movement only" test_snapshot_delta;
     t "NLJP counter totals match sequential under workers>1"
       test_parallel_totals;
+    t "histogram quantile estimation (p50/p95/p99, edges)" test_hist_quantiles;
+    t "rolling windows rotate, age out and survive clock skips"
+      test_rolling_rotation;
+    t "rolling rate covers the live span only" test_rolling_rate;
+    t "rolling totals exact under concurrent observe" test_rolling_concurrent;
+    t "metric names follow the subsystem.name convention"
+      test_metric_name_convention;
     t "span tree round-trips through JSON" test_span_roundtrip;
     t "hostile strings survive the span JSON round-trip"
       test_span_roundtrip_hostile_strings;

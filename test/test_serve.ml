@@ -81,7 +81,10 @@ let test_parse_request () =
 
 let sock_counter = ref 0
 
-let with_server ?(pool = 2) ?(queue_cap = 32) ?(maintain = true) catalogs f =
+(* Full fixture: [f] gets the address and the server handle (the handle is
+   how the metrics tests resolve an ephemerally bound exporter port). *)
+let with_server_full ?(pool = 2) ?(queue_cap = 32) ?(maintain = true)
+    ?metrics_addr ?slow_ms ?slow_log ?(trace_sample = 0.) catalogs f =
   incr sock_counter;
   let path =
     Printf.sprintf "/tmp/si-test-%d-%d.sock" (Unix.getpid ()) !sock_counter
@@ -95,12 +98,21 @@ let with_server ?(pool = 2) ?(queue_cap = 32) ?(maintain = true) catalogs f =
       result_cache_cap = 64;
       max_rows = None;
       maintain;
+      metrics_addr;
+      slow_ms;
+      slow_log;
+      trace_sample;
     }
   in
   let srv = Serve.Server.start ~config catalogs in
   Fun.protect
     ~finally:(fun () -> Serve.Server.shutdown srv)
-    (fun () -> f (`Unix path : P.addr))
+    (fun () -> f (`Unix path : P.addr) srv)
+
+let with_server ?pool ?queue_cap ?maintain ?slow_ms ?slow_log ?trace_sample
+    catalogs f =
+  with_server_full ?pool ?queue_cap ?maintain ?slow_ms ?slow_log ?trace_sample
+    catalogs (fun addr _srv -> f addr)
 
 (* The wire collapses integral floats to ints (JSON numbers carry no type
    tag), so normalize both sides before bag comparison. *)
@@ -598,6 +610,206 @@ let test_prepared_statements () =
       | None -> Alcotest.fail "NLJP plan without a shared tier")
    | `Rewrite | `Direct -> ())
 
+(* ---- telemetry: metrics op, Prometheus exporter, slow-query log ---- *)
+
+let test_metrics_op () =
+  with_server [ (`Row, basket_catalog ()) ] (fun addr ->
+      let c = Serve.Client.connect addr in
+      let r1 = Serve.Client.query c basket_sql in
+      let r2 = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "second is a result-cache hit" true
+        (Serve.Client.cached r2);
+      (* every query response carries its request id *)
+      (match (Json.member "rid" r1, Json.member "rid" r2) with
+       | Some (Json.Num a), Some (Json.Num b) ->
+         Alcotest.(check bool) "rids are distinct" true (a <> b)
+       | _ -> Alcotest.fail "query responses must carry rid");
+      let m = Serve.Client.metrics c in
+      let num j name =
+        match Json.member name j with
+        | Some (Json.Num x) -> x
+        | _ -> Alcotest.failf "metrics missing numeric %s" name
+      in
+      let obj j name =
+        match Json.member name j with
+        | Some (Json.Obj _ as o) -> o
+        | _ -> Alcotest.failf "metrics missing object %s" name
+      in
+      Alcotest.(check bool) "uptime" true (num m "uptime_ms" >= 0.);
+      Alcotest.(check bool) "queue drained" true (num m "queue_depth" >= 0.);
+      Alcotest.(check bool) "pool" true (num m "pool" >= 1.);
+      let counters = obj m "counters" in
+      Alcotest.(check bool) "serve.queries counted" true
+        (num counters "serve.queries" >= 2.);
+      let hists = obj m "histograms" in
+      let qms = obj hists "serve.query_ms" in
+      Alcotest.(check bool) "histogram count moved" true
+        (num qms "count" >= 1.);
+      Alcotest.(check bool) "histogram p95 >= p50" true
+        (num qms "p95" >= num qms "p50");
+      let rolling = obj m "rolling" in
+      let rq = obj rolling "serve.queries" in
+      Alcotest.(check bool) "rolling qps covers this burst" true
+        (num rq "count" >= 2. && num rq "rate" > 0.);
+      let rl = obj rolling "serve.query_ms" in
+      Alcotest.(check bool) "rolling latency recorded" true
+        (num rl "count" >= 1. && num rl "p50" >= 0.);
+      let pc = obj m "plan_cache" in
+      Alcotest.(check bool) "plan cache entries" true (num pc "entries" >= 1.);
+      let rc = obj m "result_cache" in
+      Alcotest.(check bool) "result cache hit recorded" true
+        (num rc "hits" >= 1.);
+      Alcotest.(check int) "caller's session id echoed"
+        (Serve.Client.session c)
+        (int_of_float (num m "session"));
+      Serve.Client.close c)
+
+let http_get host port path_q =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  let req = Printf.sprintf "GET %s HTTP/1.0\r\nHost: x\r\n\r\n" path_q in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    let n = Unix.read fd chunk 0 4096 in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    end
+  in
+  drain ();
+  Unix.close fd;
+  Buffer.contents buf
+
+let test_metrics_http () =
+  with_server_full
+    ~metrics_addr:(`Tcp ("127.0.0.1", 0))
+    [ (`Row, basket_catalog ()) ]
+    (fun addr srv ->
+      let host, port =
+        match Serve.Server.metrics_addr srv with
+        | Some (`Tcp (h, p)) ->
+          Alcotest.(check bool) "ephemeral port resolved" true (p > 0);
+          (h, p)
+        | _ -> Alcotest.fail "metrics listener not bound"
+      in
+      let c = Serve.Client.connect addr in
+      ignore (Serve.Client.query c basket_sql);
+      ignore
+        (Serve.Client.append c "basket"
+           [ Json.Arr [ Json.Num 9001.; Json.Str "itemX" ] ]);
+      let body = http_get host port "/metrics" in
+      Serve.Client.close c;
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "HTTP 200" true (contains body "200 OK");
+      List.iter
+        (fun needle ->
+          if not (contains body needle) then
+            Alcotest.failf "exposition missing %S:\n%s" needle body)
+        [ "# TYPE serve_queries_total counter";
+          "serve_queries_total";
+          "# TYPE serve_query_ms histogram";
+          "serve_query_ms_bucket{le=";
+          "serve_query_ms_bucket{le=\"+Inf\"}";
+          "serve_query_ms_count";
+          "serve_queries_rolling_rate";
+          "serve_uptime_seconds";
+          "serve_queue_depth";
+          "serve_plan_cache_entries";
+          "serve_result_cache_entries";
+          "serve_appends_total";
+          "serve_session_queries{session=" ])
+
+let read_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (Json.of_string line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_slow_log () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "si-slow-%d.jsonl" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  (* Threshold 0: every query is "slow", so the log is deterministic. *)
+  with_server ~slow_ms:0. ~slow_log:path [ (`Row, basket_catalog ()) ]
+    (fun addr ->
+      let c = Serve.Client.connect addr in
+      ignore (Serve.Client.query c basket_sql);
+      Serve.Client.close c);
+  let records = read_jsonl path in
+  Alcotest.(check bool) "at least one record" true (records <> []);
+  let r = List.hd records in
+  (match Json.member "sql" r with
+   | Some (Json.Str s) -> Alcotest.(check string) "sql" basket_sql s
+   | _ -> Alcotest.fail "record has no sql");
+  (match Json.member "kind" r with
+   | Some (Json.Str "slow") -> ()
+   | k -> Alcotest.failf "unexpected kind: %s"
+            (match k with Some j -> Json.to_string j | None -> "absent"));
+  (match Json.member "config" r with
+   | Some (Json.Obj _) -> ()
+   | _ -> Alcotest.fail "record has no session config");
+  (* the per-node Analyze summary rode along *)
+  (match Json.member "analyze" r with
+   | Some doc ->
+     (match (Json.member "analyze" doc, Json.member "summary" doc) with
+      | Some _, Some _ -> ()
+      | _ -> Alcotest.fail "analyze document missing tree or summary")
+   | None -> Alcotest.fail "record has no analyze document");
+  (match Json.member "trace" r with
+   | Some Json.Null -> ()  (* not sampled: no full span tree *)
+   | _ -> Alcotest.fail "unsampled slow record must not carry a trace");
+  Sys.remove path
+
+let test_trace_sampling () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "si-trace-%d.jsonl" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  (* Sample 100%: every request runs instrumented and logs its span tree;
+     instrumented runs bypass the result cache, so repeats stay fresh. *)
+  with_server ~slow_log:path ~trace_sample:1.0 [ (`Row, basket_catalog ()) ]
+    (fun addr ->
+      let c = Serve.Client.connect addr in
+      let r1 = Serve.Client.query c basket_sql in
+      let r2 = Serve.Client.query c basket_sql in
+      Alcotest.(check bool) "sampled queries bypass the result cache" false
+        (Serve.Client.cached r1 || Serve.Client.cached r2);
+      Serve.Client.close c);
+  let records = read_jsonl path in
+  Alcotest.(check int) "one record per sampled query" 2 (List.length records);
+  List.iter
+    (fun r ->
+      (match Json.member "kind" r with
+       | Some (Json.Str "sampled") -> ()
+       | k -> Alcotest.failf "unexpected kind: %s"
+                (match k with Some j -> Json.to_string j | None -> "absent"));
+      match Json.member "trace" r with
+      | Some (Json.Obj _ as tr) ->
+        (* a real span tree: the root names the query span *)
+        let root = Obs.Span.of_json tr in
+        Alcotest.(check bool) "root span is the query" true
+          (root.Obs.Span.name = "serve.query")
+      | _ -> Alcotest.fail "sampled record must carry the full span tree")
+    records;
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "lru basic" `Quick test_lru_basic;
@@ -618,4 +830,8 @@ let suite =
     Alcotest.test_case "admission rejection" `Quick test_admission_rejection;
     Alcotest.test_case "concurrent differential fuzz" `Quick test_concurrent_fuzz;
     Alcotest.test_case "prepared statements" `Quick test_prepared_statements;
+    Alcotest.test_case "metrics op" `Quick test_metrics_op;
+    Alcotest.test_case "prometheus http exporter" `Quick test_metrics_http;
+    Alcotest.test_case "slow-query log" `Quick test_slow_log;
+    Alcotest.test_case "trace sampling" `Quick test_trace_sampling;
   ]
